@@ -1,0 +1,60 @@
+// A7 (ablation) — model compression for embedded targets: magnitude
+// pruning sweep, alone and combined with int8 quantization.
+//
+// Shape claims: accuracy degrades gracefully up to moderate sparsity and
+// collapses at extreme sparsity; pruning composes with quantization
+// (pruned+int8 stays within a few points of dense float32).
+#include "bench_common.hpp"
+#include "dl/prune.hpp"
+#include "dl/quant.hpp"
+#include "dl/train.hpp"
+
+namespace sx {
+namespace {
+
+int run_experiment() {
+  bench::print_header("A7: compression (pruning x quantization)",
+                      "How much of the model can an embedded target drop?");
+
+  const auto& ds = bench::road_data();
+  const dl::Model& base = bench::trained_mlp();
+  const double base_acc = dl::Trainer::evaluate_accuracy(base, ds);
+
+  util::Table table({"sparsity", "float32 accuracy", "int8 accuracy",
+                     "weights kept"});
+  double acc_at_30 = 0.0, acc_at_95 = 0.0;
+  bool combo_ok = true;
+  for (const double frac : {0.0, 0.3, 0.5, 0.7, 0.9, 0.95}) {
+    dl::Model m = base;
+    const auto rep = dl::prune_by_magnitude(m, frac);
+    const double facc = dl::Trainer::evaluate_accuracy(m, ds);
+    dl::QuantizedModel qm = dl::QuantizedModel::quantize(m, ds);
+    const double qacc = qm.evaluate_accuracy(ds);
+    table.add_row({util::fmt_pct(frac, 0), util::fmt_pct(facc),
+                   util::fmt_pct(qacc),
+                   std::to_string(rep.total_weights - rep.pruned_weights)});
+    if (frac == 0.3) {
+      acc_at_30 = facc;
+      combo_ok = qacc > base_acc - 0.05;
+    }
+    if (frac == 0.95) acc_at_95 = facc;
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+
+  const bool graceful = acc_at_30 > base_acc - 0.1;
+  const bool collapses = acc_at_95 < acc_at_30;
+  bench::print_verdict(graceful,
+                       "30% sparsity costs < 10% accuracy (" +
+                           util::fmt_pct(acc_at_30) + " vs " +
+                           util::fmt_pct(base_acc) + ")");
+  bench::print_verdict(collapses, "extreme sparsity visibly degrades");
+  bench::print_verdict(combo_ok,
+                       "pruned+int8 within 5% of dense float32");
+  return (graceful && collapses && combo_ok) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sx
+
+int main() { return sx::run_experiment(); }

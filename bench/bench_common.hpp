@@ -1,0 +1,81 @@
+// Shared fixtures for the experiment harnesses (E1..E10).
+//
+// Each bench binary regenerates one table/figure family from DESIGN.md's
+// experiment index: it trains the standard models deterministically, runs
+// the experiment, and prints an aligned ASCII table (and the qualitative
+// "shape" verdicts the reproduction commits to).
+#pragma once
+
+#include <chrono>
+#include <iostream>
+
+#include "dl/dataset.hpp"
+#include "dl/model.hpp"
+#include "dl/train.hpp"
+#include "util/table.hpp"
+
+namespace sx::bench {
+
+inline const dl::Dataset& road_data() {
+  static const dl::Dataset ds = dl::make_road_scene(600, /*seed=*/11);
+  return ds;
+}
+
+inline const dl::Dataset& railway_data() {
+  static const dl::Dataset ds = dl::make_railway_obstacle(400, /*seed=*/2);
+  return ds;
+}
+
+inline const dl::Model& trained_mlp() {
+  static const dl::Model model = [] {
+    dl::ModelBuilder b{road_data().input_shape};
+    b.flatten().dense(32).relu().dense(16).relu().dense(
+        dl::kRoadSceneClasses);
+    dl::Model m = b.build(5);
+    dl::Trainer trainer{dl::TrainConfig{.learning_rate = 0.02,
+                                        .momentum = 0.9,
+                                        .epochs = 30,
+                                        .batch_size = 16,
+                                        .shuffle_seed = 3}};
+    trainer.fit(m, road_data());
+    return m;
+  }();
+  return model;
+}
+
+inline const dl::Model& trained_cnn() {
+  static const dl::Model model = [] {
+    dl::ModelBuilder b{road_data().input_shape};
+    b.conv2d(4, 3, 1, 1).relu().maxpool(2).flatten().dense(24).relu().dense(
+        dl::kRoadSceneClasses);
+    dl::Model m = b.build(17);
+    dl::Trainer trainer{dl::TrainConfig{.learning_rate = 0.02,
+                                        .momentum = 0.9,
+                                        .epochs = 12,
+                                        .batch_size = 16,
+                                        .shuffle_seed = 23}};
+    trainer.fit(m, road_data());
+    return m;
+  }();
+  return model;
+}
+
+/// Wall-clock microseconds for `fn()` repeated `reps` times, per repetition.
+template <typename Fn>
+double time_per_call_us(Fn&& fn, std::size_t reps) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < reps; ++i) fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count() /
+         static_cast<double>(reps);
+}
+
+inline void print_header(const char* experiment, const char* question) {
+  std::cout << "\n=== " << experiment << " ===\n" << question << "\n\n";
+}
+
+inline void print_verdict(bool holds, const std::string& claim) {
+  std::cout << (holds ? "[SHAPE OK]   " : "[SHAPE FAIL] ") << claim << "\n";
+}
+
+}  // namespace sx::bench

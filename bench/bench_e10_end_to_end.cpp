@@ -1,0 +1,140 @@
+// E10 — End-to-end certifiable pipeline on the railway workload (all
+// pillars).
+//
+// Regenerates the lifecycle table: phase x outcome, the traceability
+// coverage figures, and prints the generated GSN safety case. Shape claims:
+// the audit chain verifies; tampering is detected; the safety case is
+// complete; requirement verification coverage is 100% for the demo
+// requirement set.
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "platform/sim.hpp"
+#include "timing/mbpta.hpp"
+#include "trace/requirements.hpp"
+
+namespace sx {
+namespace {
+
+int run_experiment() {
+  bench::print_header("E10: end-to-end certifiable deployment (railway)",
+                      "Does the full stack produce a complete, tamper-"
+                      "evident evidence trail for a deployed DL function?");
+
+  // Train the railway obstacle detector.
+  const auto& train = bench::railway_data();
+  const dl::Dataset test = dl::make_railway_obstacle(200, 3);
+  dl::ModelBuilder b{train.input_shape};
+  b.flatten().dense(24).relu().dense(2);
+  dl::Model model = b.build(4);
+  dl::Trainer trainer{dl::TrainConfig{.learning_rate = 0.05,
+                                      .epochs = 10,
+                                      .batch_size = 16,
+                                      .shuffle_seed = 6}};
+  trainer.fit(model, train);
+  const double accuracy = dl::Trainer::evaluate_accuracy(model, test);
+
+  // Timing budget from MBPTA on the platform simulator.
+  const platform::AccessTrace trace = platform::inference_trace(model);
+  const platform::CacheConfig cache{.line_bytes = 64,
+                                    .sets = 64,
+                                    .ways = 4,
+                                    .placement = platform::Placement::kRandom,
+                                    .replacement =
+                                        platform::Replacement::kRandom};
+  const auto times = platform::collect_execution_times(
+      cache, platform::TimingModel{}, trace, 600, 77);
+  const auto timing_report = timing::analyze(times);
+  const auto budget = static_cast<std::uint64_t>(
+      timing::pwcet(timing_report.fit, 1e-9));
+
+  // Deploy at SIL3 with "assume obstacle" fallback.
+  core::PipelineConfig cfg;
+  cfg.criticality = trace::Criticality::kSil3;
+  cfg.timing_budget = budget;
+  cfg.fallback_class = 1;
+  core::CertifiablePipeline pipeline{model, train, cfg};
+
+  // Mission: nominal stream then corrupted stream.
+  std::size_t ok_n = 0, correct = 0, degraded_ood = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    const auto d = pipeline.infer(test.samples[i].input, i,
+                                  static_cast<std::uint64_t>(times[i % 600]));
+    if (ok(d.status) && !d.degraded) {
+      ++ok_n;
+      correct += d.predicted_class == test.samples[i].label ? 1 : 0;
+    }
+  }
+  const dl::Dataset ood =
+      dl::corrupt(test, dl::Corruption::kUniformRandom, 9);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto d = pipeline.infer(ood.samples[i].input, 100 + i, 100);
+    degraded_ood += (!ok(d.status) || d.degraded) ? 1 : 0;
+  }
+
+  // Evidence checks.
+  const bool audit_ok = ok(pipeline.audit().verify());
+  const bool integrity_ok = ok(pipeline.verify_integrity());
+  const auto safety_case = pipeline.build_safety_case();
+
+  // Requirement registry for the demo function.
+  trace::RequirementRegistry reg;
+  reg.add({"REQ-RWY-001", "Detect obstacles between the rails",
+           trace::Criticality::kSil3});
+  reg.add({"REQ-RWY-002", "Reject inputs outside the qualified ODD",
+           trace::Criticality::kSil3});
+  reg.add({"REQ-RWY-003", "Meet the inference deadline with P(miss)<=1e-9",
+           trace::Criticality::kSil3});
+  reg.link("REQ-RWY-001", trace::ArtifactKind::kModel,
+           pipeline.model_card().model_hash, "implements");
+  reg.link("REQ-RWY-001", trace::ArtifactKind::kTest, "railway-accuracy",
+           "verifies");
+  reg.link("REQ-RWY-002", trace::ArtifactKind::kComponent, "odd-guard",
+           "implements");
+  reg.link("REQ-RWY-002", trace::ArtifactKind::kTest, "ood-degradation",
+           "verifies");
+  reg.link("REQ-RWY-003", trace::ArtifactKind::kAnalysis, "mbpta-pwcet",
+           "verifies");
+
+  util::Table table({"lifecycle phase", "outcome"});
+  table.add_row({"model accuracy (held-out)", util::fmt_pct(accuracy)});
+  table.add_row({"MBPTA admissible", timing_report.admissible ? "yes" : "no"});
+  table.add_row({"pWCET@1e-9 budget (cycles)", std::to_string(budget)});
+  table.add_row({"nominal stream accepted",
+                 util::fmt_pct(static_cast<double>(ok_n) / 100.0)});
+  table.add_row(
+      {"accepted-decision accuracy",
+       util::fmt_pct(ok_n ? static_cast<double>(correct) /
+                                static_cast<double>(ok_n)
+                          : 0.0)});
+  table.add_row({"corrupted stream degraded/rejected",
+                 util::fmt_pct(static_cast<double>(degraded_ood) / 50.0)});
+  table.add_row({"audit chain verifies", audit_ok ? "yes" : "NO"});
+  table.add_row({"model integrity gate", integrity_ok ? "pass" : "FAIL"});
+  table.add_row({"safety case complete",
+                 safety_case.complete() ? "yes" : "NO"});
+  table.add_row({"requirement verification coverage",
+                 util::fmt_pct(reg.coverage("verifies"))});
+  table.print(std::cout);
+
+  std::cout << "\ngenerated safety case:\n" << safety_case.to_text() << "\n";
+
+  // Assessor-facing bundle: the single document certification receives.
+  const auto cert = core::make_certification_report(
+      pipeline, &reg,
+      {core::EvidenceItem{"MBPTA timing analysis", timing_report.to_text()}});
+  std::cout << cert.text << "\n";
+
+  const bool holds = accuracy > 0.85 && timing_report.admissible && audit_ok &&
+                     integrity_ok && safety_case.complete() && cert.complete &&
+                     reg.coverage("verifies") == 1.0 && degraded_ood >= 40;
+  bench::print_verdict(holds,
+                       "full lifecycle produces a complete, verifiable "
+                       "evidence trail");
+  return holds ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sx
+
+int main() { return sx::run_experiment(); }

@@ -1,0 +1,167 @@
+// E1 — FUSA-compliant DL library vs dynamic framework baseline (pillar 3).
+//
+// Regenerates the table: engine x {latency, heap allocations per inference,
+// peak working memory, bit-determinism}. Shape claims:
+//   - StaticEngine performs zero heap allocations per inference;
+//   - the dynamic engine allocates every call;
+//   - outputs are bit-identical across runs for the static engine.
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "bench_common.hpp"
+#include "dl/engine.hpp"
+#include "dl/quant.hpp"
+#include "util/hash.hpp"
+
+// Global allocation counter: counts every operator-new on this binary.
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace sx {
+namespace {
+
+using bench::road_data;
+
+struct EngineRow {
+  std::string name;
+  double latency_us = 0.0;
+  std::uint64_t allocs_per_inference = 0;
+  std::size_t working_bytes = 0;
+  bool bit_deterministic = false;
+};
+
+template <typename RunFn>
+EngineRow measure(std::string name, std::size_t out_size, RunFn&& run,
+                  std::size_t working_bytes) {
+  constexpr std::size_t kReps = 1000;
+  const auto& ds = road_data();
+  std::vector<float> out(out_size);
+
+  // Warm-up, then count allocations over kReps inferences.
+  for (std::size_t i = 0; i < 10; ++i) run(ds.samples[i].input, out);
+  const std::uint64_t a0 = g_allocs.load();
+  const double us = bench::time_per_call_us(
+      [&, i = std::size_t{0}]() mutable {
+        run(ds.samples[i % ds.samples.size()].input, out);
+        ++i;
+      },
+      kReps);
+  const std::uint64_t allocs = (g_allocs.load() - a0) / kReps;
+
+  // Bit-determinism across 20 repeated runs on one input.
+  run(ds.samples[0].input, out);
+  const std::uint64_t h = util::fnv1a(std::span<const float>(out));
+  bool deterministic = true;
+  for (int r = 0; r < 20; ++r) {
+    run(ds.samples[0].input, out);
+    deterministic &= util::fnv1a(std::span<const float>(out)) == h;
+  }
+  return EngineRow{std::move(name), us, allocs, working_bytes, deterministic};
+}
+
+int run_experiment() {
+  bench::print_header(
+      "E1: FUSA-compliant library vs dynamic baseline",
+      "Does the static-arena engine deliver allocation-free, deterministic "
+      "inference at competitive latency?");
+
+  const dl::Model& mlp = bench::trained_mlp();
+  const dl::Model& cnn = bench::trained_cnn();
+
+  std::vector<EngineRow> rows;
+  {
+    dl::StaticEngine eng{mlp};
+    rows.push_back(measure(
+        "mlp/static-f32", mlp.output_shape().size(),
+        [&](const tensor::Tensor& in, std::vector<float>& out) {
+          (void)eng.run(in.view(), out);
+        },
+        eng.arena_capacity() * sizeof(float)));
+  }
+  {
+    dl::DynamicEngine eng{mlp};
+    rows.push_back(measure(
+        "mlp/dynamic-f32", mlp.output_shape().size(),
+        [&](const tensor::Tensor& in, std::vector<float>& out) {
+          const auto v = eng.run(in);
+          for (std::size_t i = 0; i < out.size(); ++i) out[i] = v[i];
+        },
+        0));
+  }
+  {
+    dl::QuantizedModel qm = dl::QuantizedModel::quantize(mlp, road_data());
+    rows.push_back(measure(
+        "mlp/static-int8", mlp.output_shape().size(),
+        [&](const tensor::Tensor& in, std::vector<float>& out) {
+          (void)qm.run(in.view(), out);
+        },
+        qm.weight_bytes()));
+  }
+  {
+    dl::StaticEngine eng{cnn};
+    rows.push_back(measure(
+        "cnn/static-f32", cnn.output_shape().size(),
+        [&](const tensor::Tensor& in, std::vector<float>& out) {
+          (void)eng.run(in.view(), out);
+        },
+        eng.arena_capacity() * sizeof(float)));
+  }
+  {
+    dl::DynamicEngine eng{cnn};
+    rows.push_back(measure(
+        "cnn/dynamic-f32", cnn.output_shape().size(),
+        [&](const tensor::Tensor& in, std::vector<float>& out) {
+          const auto v = eng.run(in);
+          for (std::size_t i = 0; i < out.size(); ++i) out[i] = v[i];
+        },
+        0));
+  }
+
+  util::Table table(
+      {"engine", "latency (us)", "heap allocs/inf", "working set (B)",
+       "bit-deterministic"});
+  for (const auto& r : rows) {
+    table.add_row({r.name, util::fmt(r.latency_us, 2),
+                   std::to_string(r.allocs_per_inference),
+                   std::to_string(r.working_bytes),
+                   r.bit_deterministic ? "yes" : "no"});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+
+  bool static_alloc_free = true, dynamic_allocates = true,
+       static_deterministic = true;
+  for (const auto& r : rows) {
+    if (r.name.find("static") != std::string::npos) {
+      static_alloc_free &= r.allocs_per_inference == 0;
+      static_deterministic &= r.bit_deterministic;
+    } else {
+      dynamic_allocates &= r.allocs_per_inference > 0;
+    }
+  }
+  bench::print_verdict(static_alloc_free,
+                       "static engines: zero heap allocations per inference");
+  bench::print_verdict(dynamic_allocates,
+                       "dynamic engine allocates on every inference");
+  bench::print_verdict(static_deterministic,
+                       "static engines bit-identical across repeated runs");
+  return (static_alloc_free && dynamic_allocates && static_deterministic)
+             ? 0
+             : 1;
+}
+
+}  // namespace
+}  // namespace sx
+
+int main() { return sx::run_experiment(); }

@@ -1,0 +1,72 @@
+// E2 — Post-training int8 quantization (pillar 3).
+//
+// Regenerates the table: model x precision x {accuracy, weight bytes,
+// latency}. Shape claims: int8 stays within a few points of float32
+// accuracy; per-channel >= per-tensor; footprint shrinks ~4x.
+#include "bench_common.hpp"
+#include "dl/engine.hpp"
+#include "dl/quant.hpp"
+
+namespace sx {
+namespace {
+
+int run_experiment() {
+  bench::print_header("E2: int8 quantization",
+                      "How much accuracy does int8 post-training "
+                      "quantization cost, per weight granularity?");
+
+  util::Table table({"model", "precision", "accuracy", "weight bytes",
+                     "latency (us)"});
+
+  struct Case {
+    const char* name;
+    const dl::Model* model;
+  };
+  const Case cases[] = {{"mlp", &bench::trained_mlp()},
+                        {"cnn", &bench::trained_cnn()}};
+
+  bool within_margin = true, per_channel_wins = true, footprint_shrinks = true;
+  for (const auto& c : cases) {
+    const auto& ds = bench::road_data();
+    const double facc = dl::Trainer::evaluate_accuracy(*c.model, ds);
+    dl::StaticEngine eng{*c.model};
+    std::vector<float> out(c.model->output_shape().size());
+    const double f_lat = bench::time_per_call_us(
+        [&] { (void)eng.run(ds.samples[0].input.view(), out); }, 300);
+    table.add_row({c.name, "float32", util::fmt_pct(facc),
+                   std::to_string(c.model->param_count() * sizeof(float)),
+                   util::fmt(f_lat, 2)});
+
+    double acc_by_granularity[2] = {0.0, 0.0};
+    for (const auto g : {dl::WeightGranularity::kPerTensor,
+                         dl::WeightGranularity::kPerChannel}) {
+      dl::QuantizedModel qm =
+          dl::QuantizedModel::quantize(*c.model, ds, dl::QuantConfig{g});
+      const double qacc = qm.evaluate_accuracy(ds);
+      acc_by_granularity[g == dl::WeightGranularity::kPerChannel] = qacc;
+      const double q_lat = bench::time_per_call_us(
+          [&] { (void)qm.run(ds.samples[0].input.view(), out); }, 300);
+      table.add_row({c.name, std::string("int8/") + to_string(g),
+                     util::fmt_pct(qacc), std::to_string(qm.weight_bytes()),
+                     util::fmt(q_lat, 2)});
+      within_margin &= qacc > facc - 0.05;
+      footprint_shrinks &=
+          qm.weight_bytes() < c.model->param_count() * sizeof(float) / 2;
+    }
+    per_channel_wins &= acc_by_granularity[1] >= acc_by_granularity[0] - 0.02;
+  }
+
+  table.print(std::cout);
+  std::cout << "\n";
+  bench::print_verdict(within_margin,
+                       "int8 accuracy within 5% of float32 on both models");
+  bench::print_verdict(per_channel_wins,
+                       "per-channel >= per-tensor accuracy (within 2%)");
+  bench::print_verdict(footprint_shrinks, "weight footprint shrinks > 2x");
+  return (within_margin && per_channel_wins && footprint_shrinks) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sx
+
+int main() { return sx::run_experiment(); }

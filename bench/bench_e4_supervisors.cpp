@@ -1,0 +1,95 @@
+// E4 — Prediction-trust supervisors (pillar 1).
+//
+// Regenerates three tables:
+//   (a) supervisor x corruption: AUROC / FPR@95TPR;
+//   (b) conformal prediction: alpha -> empirical coverage / set size;
+//   (c) confidence calibration: temperature scaling and ECE.
+// Shape claims: feature-/input-based supervisors beat the max-softmax
+// baseline on far-OOD; conformal coverage meets its nominal level.
+#include "bench_common.hpp"
+#include "supervise/calibration.hpp"
+#include "supervise/conformal.hpp"
+#include "supervise/metrics.hpp"
+#include "supervise/supervisor.hpp"
+
+namespace sx {
+namespace {
+
+int run_experiment() {
+  bench::print_header("E4: trust supervisors, conformal sets, calibration",
+                      "Can the runtime tell trustworthy predictions from "
+                      "untrustworthy ones, with quantified guarantees?");
+
+  const dl::Model& model = bench::trained_mlp();
+  const auto& id = bench::road_data();
+
+  // ---- (a) OOD detection ladder. -----------------------------------------
+  util::Table det({"supervisor", "corruption", "AUROC", "FPR@95TPR"});
+  double baseline_far_auroc = 0.0, best_feature_far_auroc = 0.0;
+  auto supervisors = supervise::make_all_supervisors();
+  for (auto& sup : supervisors) sup->fit(model, id);
+  for (const auto c :
+       {dl::Corruption::kGaussianNoise, dl::Corruption::kInvert,
+        dl::Corruption::kFog, dl::Corruption::kUniformRandom}) {
+    const dl::Dataset ood = dl::corrupt(id, c, 77);
+    for (const auto& sup : supervisors) {
+      const auto r =
+          supervise::evaluate_detection(*sup, model, id, ood, to_string(c));
+      det.add_row({r.supervisor, r.ood_name, util::fmt(r.auroc, 3),
+                   util::fmt(r.fpr_at_95tpr, 3)});
+      if (c == dl::Corruption::kUniformRandom) {
+        if (r.supervisor == "max-softmax") baseline_far_auroc = r.auroc;
+        if (r.supervisor == "mahalanobis" || r.supervisor == "autoencoder")
+          best_feature_far_auroc = std::max(best_feature_far_auroc, r.auroc);
+      }
+    }
+  }
+  det.print(std::cout);
+  std::cout << "\n";
+
+  // ---- (b) conformal prediction. -----------------------------------------
+  dl::Dataset calib, test;
+  dl::split(id, 0.5, calib, test);
+  util::Table conf({"alpha", "nominal coverage", "empirical coverage",
+                    "mean set size", "singleton frac"});
+  bool coverage_ok = true;
+  for (const double alpha : {0.10, 0.05, 0.01}) {
+    const supervise::ConformalClassifier cc{model, calib, alpha};
+    const auto rep = cc.evaluate(model, test);
+    conf.add_row({util::fmt(alpha, 2), util::fmt_pct(1.0 - alpha),
+                  util::fmt_pct(rep.empirical_coverage),
+                  util::fmt(rep.mean_set_size, 2),
+                  util::fmt_pct(rep.singleton_fraction)});
+    coverage_ok &= rep.empirical_coverage >= 1.0 - alpha - 0.06;
+  }
+  conf.print(std::cout);
+  std::cout << "\n";
+
+  // ---- (c) calibration. ---------------------------------------------------
+  const double t = supervise::fit_temperature(model, calib);
+  util::Table cal({"temperature", "NLL", "ECE"});
+  for (const double temp : {1.0, t}) {
+    cal.add_row({util::fmt(temp, 3),
+                 util::fmt(supervise::nll_at_temperature(model, test, temp), 4),
+                 util::fmt(
+                     supervise::expected_calibration_error(model, test, temp),
+                     4)});
+  }
+  cal.print(std::cout);
+  std::cout << "\n";
+
+  const bool ladder_holds = best_feature_far_auroc > baseline_far_auroc;
+  bench::print_verdict(ladder_holds,
+                       "feature-based supervisors beat max-softmax on "
+                       "far-OOD (AUROC " +
+                           util::fmt(best_feature_far_auroc, 3) + " vs " +
+                           util::fmt(baseline_far_auroc, 3) + ")");
+  bench::print_verdict(coverage_ok,
+                       "conformal empirical coverage meets nominal level");
+  return (ladder_holds && coverage_ok) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sx
+
+int main() { return sx::run_experiment(); }

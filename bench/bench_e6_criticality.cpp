@@ -1,0 +1,100 @@
+// E6 — Criticality-driven pipeline selection (pillars 1+2).
+//
+// Regenerates two tables:
+//   (a) the admissibility matrix: criticality x required measures;
+//   (b) end-to-end behaviour of the recommended pipeline per level on a
+//       mixed nominal/corrupted input stream: acceptance, degradation and
+//       unsafe-decision rates.
+// Shape claims: obligations accumulate with criticality; unsafe decisions
+// on corrupted inputs fall as criticality rises.
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+
+namespace sx {
+namespace {
+
+int run_experiment() {
+  bench::print_header("E6: criticality-driven configuration",
+                      "Which safety measures does each criticality level "
+                      "demand, and what do they buy end to end?");
+
+  using trace::Criticality;
+  const Criticality levels[] = {Criticality::kQM, Criticality::kSil1,
+                                Criticality::kSil2, Criticality::kSil3,
+                                Criticality::kSil4};
+
+  // ---- (a) admissibility matrix. ------------------------------------------
+  util::Table matrix({"criticality", "min pattern", "supervisor", "ODD guard",
+                      "safety bag", "timing budget", "explanations"});
+  for (const auto c : levels) {
+    const auto o = core::obligations_for(c);
+    auto yn = [](bool b) { return std::string(b ? "required" : "-"); };
+    matrix.add_row({std::string(trace::to_string(c)),
+                    core::to_string(o.min_pattern), yn(o.supervisor),
+                    yn(o.odd_guard), yn(o.safety_bag), yn(o.timing_budget),
+                    yn(o.explanations)});
+  }
+  matrix.print(std::cout);
+  std::cout << "\n";
+
+  // ---- (b) end-to-end behaviour per level. --------------------------------
+  const dl::Model& model = bench::trained_mlp();
+  const auto& id = bench::road_data();
+  const dl::Dataset noisy =
+      dl::corrupt(id, dl::Corruption::kGaussianNoise, 31, 1.5f);
+
+  util::Table behaviour({"criticality", "ID accepted", "ID accuracy",
+                         "corrupted degraded", "unsafe on corrupted"});
+  std::vector<double> unsafe_rates;
+  for (const auto c : levels) {
+    core::PipelineConfig cfg;
+    cfg.criticality = c;
+    cfg.timing_budget = 1'000'000;
+    cfg.fallback_class =
+        static_cast<std::size_t>(dl::RoadSceneClass::kObstacle);
+    core::CertifiablePipeline pipeline{model, id, cfg};
+
+    const std::size_t n = 80;
+    std::size_t id_ok = 0, id_correct = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto d = pipeline.infer(id.samples[i].input, i, 100);
+      if (ok(d.status) && !d.degraded) {
+        ++id_ok;
+        id_correct += d.predicted_class == id.samples[i].label ? 1 : 0;
+      }
+    }
+    std::size_t degraded = 0, unsafe = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto d = pipeline.infer(noisy.samples[i].input, n + i, 100);
+      if (!ok(d.status) || d.degraded) {
+        ++degraded;
+      } else if (d.predicted_class != noisy.samples[i].label) {
+        ++unsafe;  // confident wrong answer on a corrupted input
+      }
+    }
+    const auto nn = static_cast<double>(n);
+    behaviour.add_row(
+        {std::string(trace::to_string(c)),
+         util::fmt_pct(static_cast<double>(id_ok) / nn),
+         util::fmt_pct(id_ok ? static_cast<double>(id_correct) /
+                                   static_cast<double>(id_ok)
+                             : 0.0),
+         util::fmt_pct(static_cast<double>(degraded) / nn),
+         util::fmt_pct(static_cast<double>(unsafe) / nn)});
+    unsafe_rates.push_back(static_cast<double>(unsafe) / nn);
+  }
+  behaviour.print(std::cout);
+  std::cout << "\n";
+
+  const bool risk_falls = unsafe_rates.back() <= unsafe_rates.front();
+  bench::print_verdict(risk_falls,
+                       "unsafe decisions on corrupted inputs fall from QM (" +
+                           util::fmt_pct(unsafe_rates.front()) + ") to SIL4 (" +
+                           util::fmt_pct(unsafe_rates.back()) + ")");
+  return risk_falls ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sx
+
+int main() { return sx::run_experiment(); }

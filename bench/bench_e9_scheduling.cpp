@@ -1,0 +1,93 @@
+// E9 — Real-time scheduling of DL tasks under pWCET budgets (pillar 4).
+//
+// Regenerates the utilization-sweep table: target utilization x {RTA
+// verdict, simulated miss rate (run-to-completion), simulated miss rate
+// (watchdog abort)}. Shape claims: RTA-schedulable sets never miss in
+// simulation; past the bound misses appear and grow; the watchdog policy
+// protects the high-priority (DL) task.
+#include "bench_common.hpp"
+#include "rt/edf.hpp"
+#include "rt/rta.hpp"
+#include "rt/scheduler.hpp"
+
+namespace sx {
+namespace {
+
+rt::TaskSet make_set(double target_utilization) {
+  // Three-task set modelled on a perception stack: DL inference (high
+  // rate), sensor fusion, housekeeping. WCETs scale to hit the target
+  // utilization with fixed ratios 3:2:1 across periods 100/250/1000.
+  rt::TaskSet ts;
+  const double share[] = {0.5, 0.333, 0.167};
+  const std::uint64_t period[] = {100, 250, 1000};
+  const char* names[] = {"dl-inference", "sensor-fusion", "housekeeping"};
+  for (int i = 0; i < 3; ++i) {
+    const auto wcet = static_cast<std::uint64_t>(
+        std::max(1.0, target_utilization * share[i] *
+                          static_cast<double>(period[i])));
+    ts.add(rt::Task{.name = names[i], .period = period[i], .wcet = wcet});
+  }
+  ts.assign_deadline_monotonic();
+  return ts;
+}
+
+int run_experiment() {
+  bench::print_header("E9: scheduling DL inference under pWCET budgets",
+                      "Up to which utilization are deadlines provably and "
+                      "empirically met, and what does the watchdog buy?");
+
+  util::Table table({"utilization", "RTA", "sim miss rate (continue)",
+                     "sim miss rate (abort)", "DL-task misses (abort)",
+                     "EDF miss rate"});
+  bool rta_implies_clean = true;
+  bool overload_misses = false;
+  bool watchdog_protects_dl = true;
+  bool edf_clean_below_one = true;
+  for (const double u :
+       {0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0, 1.05, 1.1}) {
+    const rt::TaskSet ts = make_set(u);
+    const auto rta = rt::response_time_analysis(ts);
+    const auto sim_cont = rt::simulate(
+        ts, rt::SimConfig{.duration = 500'000,
+                          .miss_policy = rt::MissPolicy::kContinue});
+    const auto sim_abort = rt::simulate(
+        ts, rt::SimConfig{.duration = 500'000,
+                          .miss_policy = rt::MissPolicy::kAbort});
+    const auto sim_edf =
+        rt::simulate_edf(ts, rt::SimConfig{.duration = 500'000});
+    table.add_row({util::fmt(ts.utilization(), 3),
+                   rta.schedulable ? "schedulable" : "NOT schedulable",
+                   util::fmt_pct(sim_cont.miss_rate(), 2),
+                   util::fmt_pct(sim_abort.miss_rate(), 2),
+                   std::to_string(sim_abort.per_task[0].deadline_misses +
+                                  sim_abort.per_task[0].aborted),
+                   util::fmt_pct(sim_edf.miss_rate(), 2)});
+    if (rta.schedulable) rta_implies_clean &= sim_cont.total_misses == 0;
+    if (ts.utilization() > 1.0) overload_misses |= sim_cont.total_misses > 0;
+    if (ts.utilization() <= 1.0)
+      edf_clean_below_one &= sim_edf.total_misses == 0;
+    // Highest-priority task is the DL task (shortest deadline).
+    watchdog_protects_dl &= (sim_abort.per_task[0].deadline_misses +
+                             sim_abort.per_task[0].aborted) == 0;
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+
+  bench::print_verdict(rta_implies_clean,
+                       "RTA-schedulable sets show zero simulated misses");
+  bench::print_verdict(overload_misses,
+                       "overload (U > 1) produces deadline misses");
+  bench::print_verdict(watchdog_protects_dl,
+                       "abort policy fully protects the DL task");
+  bench::print_verdict(edf_clean_below_one,
+                       "EDF misses nothing up to U = 1 (optimality)");
+  return (rta_implies_clean && overload_misses && watchdog_protects_dl &&
+          edf_clean_below_one)
+             ? 0
+             : 1;
+}
+
+}  // namespace
+}  // namespace sx
+
+int main() { return sx::run_experiment(); }

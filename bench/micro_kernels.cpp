@@ -1,0 +1,127 @@
+// Microbenchmarks (google-benchmark) backing the latency columns of E1/E3:
+// raw kernels, engines and safety patterns.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "dl/engine.hpp"
+#include "dl/quant.hpp"
+#include "explain/explainer.hpp"
+#include "safety/channel.hpp"
+#include "safety/deep_monitor.hpp"
+#include "tensor/ops.hpp"
+#include "trace/audit.hpp"
+#include "verify/ibp.hpp"
+
+namespace sx {
+namespace {
+
+void BM_Matvec(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  tensor::Tensor w{tensor::Shape::mat(n, n)};
+  tensor::Tensor x{tensor::Shape::vec(n)};
+  tensor::Tensor b{tensor::Shape::vec(n)};
+  tensor::Tensor out{tensor::Shape::vec(n)};
+  util::Xoshiro256 rng{1};
+  w.init_uniform(rng, -1, 1);
+  x.init_uniform(rng, -1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tensor::matvec(w.view(), x.view(), b.view(), out.view()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_Matvec)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_Softmax(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  tensor::Tensor logits{tensor::Shape::vec(n)};
+  tensor::Tensor out{tensor::Shape::vec(n)};
+  util::Xoshiro256 rng{2};
+  logits.init_uniform(rng, -5, 5);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(tensor::softmax(logits.view(), out.view()));
+}
+BENCHMARK(BM_Softmax)->Arg(10)->Arg(1000);
+
+void BM_StaticEngineMlp(benchmark::State& state) {
+  const dl::Model& m = bench::trained_mlp();
+  dl::StaticEngine eng{m};
+  std::vector<float> out(m.output_shape().size());
+  const auto& in = bench::road_data().samples[0].input;
+  for (auto _ : state) benchmark::DoNotOptimize(eng.run(in.view(), out));
+}
+BENCHMARK(BM_StaticEngineMlp);
+
+void BM_StaticEngineCnn(benchmark::State& state) {
+  const dl::Model& m = bench::trained_cnn();
+  dl::StaticEngine eng{m};
+  std::vector<float> out(m.output_shape().size());
+  const auto& in = bench::road_data().samples[0].input;
+  for (auto _ : state) benchmark::DoNotOptimize(eng.run(in.view(), out));
+}
+BENCHMARK(BM_StaticEngineCnn);
+
+void BM_DynamicEngineMlp(benchmark::State& state) {
+  const dl::Model& m = bench::trained_mlp();
+  dl::DynamicEngine eng{m};
+  const auto& in = bench::road_data().samples[0].input;
+  for (auto _ : state) benchmark::DoNotOptimize(eng.run(in));
+}
+BENCHMARK(BM_DynamicEngineMlp);
+
+void BM_QuantizedMlp(benchmark::State& state) {
+  const dl::Model& m = bench::trained_mlp();
+  dl::QuantizedModel qm = dl::QuantizedModel::quantize(m, bench::road_data());
+  std::vector<float> out(m.output_shape().size());
+  const auto& in = bench::road_data().samples[0].input;
+  for (auto _ : state) benchmark::DoNotOptimize(qm.run(in.view(), out));
+}
+BENCHMARK(BM_QuantizedMlp);
+
+void BM_TmrChannel(benchmark::State& state) {
+  safety::TmrChannel ch{bench::trained_mlp()};
+  std::vector<float> out(ch.output_size());
+  const auto& in = bench::road_data().samples[0].input;
+  for (auto _ : state) benchmark::DoNotOptimize(ch.infer(in.view(), out));
+}
+BENCHMARK(BM_TmrChannel);
+
+void BM_GradientSaliency(benchmark::State& state) {
+  dl::Model m = bench::trained_cnn();
+  explain::GradientSaliency g;
+  const auto& in = bench::road_data().samples[1].input;
+  for (auto _ : state) benchmark::DoNotOptimize(g.attribute(m, in, 1));
+}
+BENCHMARK(BM_GradientSaliency);
+
+void BM_IbpBoundsMlp(benchmark::State& state) {
+  const dl::Model& m = bench::trained_mlp();
+  const auto& in = bench::road_data().samples[0].input;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(verify::ibp_bounds(m, in, 0.01f));
+}
+BENCHMARK(BM_IbpBoundsMlp);
+
+void BM_DeepMonitoredChannel(benchmark::State& state) {
+  safety::DeepMonitoredChannel ch{bench::trained_mlp(), bench::road_data(),
+                                  0.5f};
+  std::vector<float> out(ch.output_size());
+  const auto& in = bench::road_data().samples[0].input;
+  for (auto _ : state) benchmark::DoNotOptimize(ch.infer(in.view(), out));
+}
+BENCHMARK(BM_DeepMonitoredChannel);
+
+void BM_Sha256Audit(benchmark::State& state) {
+  trace::AuditLog log;
+  std::uint64_t t = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        log.append(++t, "engine", "decision", "class=1 conf=0.97"));
+}
+BENCHMARK(BM_Sha256Audit);
+
+}  // namespace
+}  // namespace sx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+#include "core/criticality.hpp"
+
+namespace sx::core {
+
+const char* to_string(PatternKind p) noexcept {
+  switch (p) {
+    case PatternKind::kSingle: return "single";
+    case PatternKind::kMonitored: return "monitored";
+    case PatternKind::kDmr: return "dmr";
+    case PatternKind::kTmr: return "tmr";
+    case PatternKind::kDiverseTmr: return "diverse-tmr";
+  }
+  return "?";
+}
+
+int pattern_strength(PatternKind p) noexcept {
+  switch (p) {
+    case PatternKind::kSingle: return 0;
+    case PatternKind::kMonitored: return 1;
+    case PatternKind::kDmr: return 2;
+    case PatternKind::kTmr: return 3;
+    case PatternKind::kDiverseTmr: return 4;
+  }
+  return 0;
+}
+
+Obligations obligations_for(Criticality c) noexcept {
+  Obligations o;
+  switch (c) {
+    case Criticality::kQM:
+      break;  // no safety claim, anything goes
+    case Criticality::kSil1:
+      o.min_pattern = PatternKind::kMonitored;
+      o.explanations = true;
+      break;
+    case Criticality::kSil2:
+      o.min_pattern = PatternKind::kMonitored;
+      o.supervisor = true;
+      o.odd_guard = true;
+      o.explanations = true;
+      break;
+    case Criticality::kSil3:
+      o.min_pattern = PatternKind::kDmr;
+      o.supervisor = true;
+      o.odd_guard = true;
+      o.safety_bag = true;
+      o.timing_budget = true;
+      o.explanations = true;
+      break;
+    case Criticality::kSil4:
+      o.min_pattern = PatternKind::kDiverseTmr;
+      o.supervisor = true;
+      o.odd_guard = true;
+      o.safety_bag = true;
+      o.timing_budget = true;
+      o.explanations = true;
+      break;
+  }
+  return o;
+}
+
+AdmissibilityVerdict check_admissible(const PipelineSpec& spec,
+                                      Criticality c) {
+  const Obligations o = obligations_for(c);
+  AdmissibilityVerdict v;
+  if (pattern_strength(spec.pattern) < pattern_strength(o.min_pattern))
+    v.missing.push_back(std::string("pattern must be at least ") +
+                        to_string(o.min_pattern));
+  if (o.supervisor && !spec.has_supervisor)
+    v.missing.push_back("runtime trust supervisor required");
+  if (o.odd_guard && !spec.has_odd_guard)
+    v.missing.push_back("ODD input guard required");
+  if (o.safety_bag && !spec.has_safety_bag)
+    v.missing.push_back("fail-operational fallback (safety bag) required");
+  if (o.timing_budget && !spec.has_timing_budget)
+    v.missing.push_back("pWCET-backed timing budget required");
+  if (o.explanations && !spec.has_explanations)
+    v.missing.push_back("per-decision explanation evidence required");
+  v.admissible = v.missing.empty();
+  return v;
+}
+
+PipelineSpec recommended_spec(Criticality c) noexcept {
+  const Obligations o = obligations_for(c);
+  PipelineSpec s;
+  s.pattern = o.min_pattern;
+  s.has_supervisor = o.supervisor;
+  s.has_odd_guard = o.odd_guard;
+  s.has_safety_bag = o.safety_bag;
+  s.has_timing_budget = o.timing_budget;
+  s.has_explanations = o.explanations;
+  return s;
+}
+
+}  // namespace sx::core

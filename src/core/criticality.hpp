@@ -1,0 +1,66 @@
+// Criticality-driven admissibility (pillar 2 meets certification).
+//
+// SAFEXPLAIN's central idea: *which* combination of DL safety measures is
+// required depends on the criticality of the function. This module encodes
+// an ASIL/SIL-style admissibility matrix: given a pipeline configuration,
+// it decides whether the configuration is acceptable at a criticality level
+// and explains which obligations are missing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/requirements.hpp"
+
+namespace sx::core {
+
+using trace::Criticality;
+
+enum class PatternKind : std::uint8_t {
+  kSingle,
+  kMonitored,
+  kDmr,
+  kTmr,
+  kDiverseTmr,
+};
+
+const char* to_string(PatternKind p) noexcept;
+
+/// Declarative description of a deployed pipeline's safety measures.
+struct PipelineSpec {
+  PatternKind pattern = PatternKind::kSingle;
+  bool has_supervisor = false;     ///< runtime trust scoring (pillar 1)
+  bool has_odd_guard = false;      ///< input-domain guard (pillar 1)
+  bool has_safety_bag = false;     ///< fail-operational fallback (pillar 2)
+  bool has_timing_budget = false;  ///< pWCET-backed deadline (pillar 4)
+  bool has_explanations = false;   ///< per-decision attribution evidence
+};
+
+/// Obligations a criticality level imposes.
+struct Obligations {
+  PatternKind min_pattern = PatternKind::kSingle;
+  bool supervisor = false;
+  bool odd_guard = false;
+  bool safety_bag = false;
+  bool timing_budget = false;
+  bool explanations = false;
+};
+
+/// The framework's admissibility matrix.
+Obligations obligations_for(Criticality c) noexcept;
+
+/// Pattern ordering for "at least as strong as" comparisons.
+int pattern_strength(PatternKind p) noexcept;
+
+struct AdmissibilityVerdict {
+  bool admissible = false;
+  std::vector<std::string> missing;  ///< human-readable gaps
+};
+
+AdmissibilityVerdict check_admissible(const PipelineSpec& spec,
+                                      Criticality c);
+
+/// The cheapest spec satisfying a criticality level's obligations.
+PipelineSpec recommended_spec(Criticality c) noexcept;
+
+}  // namespace sx::core

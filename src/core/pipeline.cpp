@@ -1,0 +1,263 @@
+#include "core/pipeline.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "dl/engine.hpp"
+#include "supervise/metrics.hpp"
+
+namespace sx::core {
+namespace {
+
+std::unique_ptr<safety::InferenceChannel> make_channel(
+    PatternKind p, const dl::Model& model, const dl::Dataset& calibration) {
+  switch (p) {
+    case PatternKind::kSingle:
+      return std::make_unique<safety::SingleChannel>(model);
+    case PatternKind::kMonitored:
+      return std::make_unique<safety::MonitoredChannel>(
+          model, safety::MonitorConfig{});
+    case PatternKind::kDmr:
+      return std::make_unique<safety::DmrChannel>(model);
+    case PatternKind::kTmr:
+      return std::make_unique<safety::TmrChannel>(model);
+    case PatternKind::kDiverseTmr:
+      return std::make_unique<safety::DiverseTmrChannel>(model, calibration);
+  }
+  throw std::invalid_argument("make_channel: unknown pattern");
+}
+
+}  // namespace
+
+CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
+                                         const dl::Dataset& calibration,
+                                         PipelineConfig cfg)
+    : cfg_(std::move(cfg)),
+      spec_(cfg_.spec.value_or(recommended_spec(cfg_.criticality))) {
+  const AdmissibilityVerdict verdict =
+      check_admissible(spec_, cfg_.criticality);
+  if (!verdict.admissible) {
+    std::string what = "CertifiablePipeline: spec not admissible at " +
+                       std::string(trace::to_string(cfg_.criticality)) + ":";
+    for (const auto& m : verdict.missing) what += " [" + m + "]";
+    throw std::invalid_argument(what);
+  }
+  if (calibration.samples.empty())
+    throw std::invalid_argument("CertifiablePipeline: empty calibration set");
+
+  model_ = std::make_unique<dl::Model>(model);
+  const std::size_t n_out = model_->output_shape().size();
+
+  // Fallback logits: explicit, or one-hot on the conservative class.
+  fallback_ = cfg_.fallback_logits;
+  if (fallback_.empty()) {
+    if (cfg_.fallback_class >= n_out)
+      throw std::invalid_argument("CertifiablePipeline: fallback class range");
+    fallback_.assign(n_out, 0.0f);
+    fallback_[cfg_.fallback_class] = 10.0f;
+  } else if (fallback_.size() != n_out) {
+    throw std::invalid_argument("CertifiablePipeline: fallback logit size");
+  }
+
+  // Supervisor (fit + threshold on calibration data) plus a stream-level
+  // CUSUM drift detector on the log-transformed score stream.
+  if (spec_.has_supervisor) {
+    supervisor_ = std::make_unique<supervise::MahalanobisSupervisor>();
+    supervisor_->fit(*model_, calibration);
+    const auto scores =
+        supervise::collect_scores(*supervisor_, *model_, calibration);
+    supervisor_->calibrate_threshold(scores, cfg_.supervisor_tpr);
+    std::vector<double> log_scores(scores.size());
+    for (std::size_t i = 0; i < scores.size(); ++i)
+      log_scores[i] = std::log1p(std::max(0.0, scores[i]));
+    drift_ = std::make_unique<supervise::CusumDetector>(
+        supervise::CusumDetector::fit(log_scores, 0.5, 10.0));
+  }
+
+  // Inference channel, optionally wrapped in a safety bag.
+  auto inner = make_channel(spec_.pattern, *model_, calibration);
+  if (spec_.has_safety_bag) {
+    channel_ = std::make_unique<safety::SafetyBagChannel>(
+        std::move(inner), supervisor_ ? model_.get() : nullptr,
+        supervisor_.get(), fallback_);
+  } else {
+    channel_ = std::move(inner);
+  }
+
+  if (spec_.has_odd_guard)
+    odd_ = std::make_unique<trace::OddGuard>(trace::OddGuard::fit(calibration));
+
+  if (spec_.has_explanations)
+    explainer_ = std::make_unique<explain::GradientSaliency>();
+
+  if (spec_.has_timing_budget && cfg_.timing_budget == 0)
+    throw std::invalid_argument(
+        "CertifiablePipeline: spec demands a timing budget but none given");
+
+  card_ = trace::make_model_card(
+      "safexplain-pipeline", "1.0", *model_, calibration,
+      "criticality=" + std::string(trace::to_string(cfg_.criticality)) +
+          " pattern=" + to_string(spec_.pattern),
+      /*validation_accuracy=*/0.0,
+      "inputs within fitted ODD; see safety case");
+
+  out_buf_.assign(n_out, 0.0f);
+  audit_.append(0, "pipeline", "deploy",
+                "model=" + card_.model_hash +
+                    " criticality=" +
+                    std::string(trace::to_string(cfg_.criticality)) +
+                    " pattern=" + to_string(spec_.pattern));
+}
+
+Decision CertifiablePipeline::infer(const tensor::Tensor& input,
+                                    std::uint64_t logical_time,
+                                    std::uint64_t elapsed) {
+  Decision d;
+  ++decisions_;
+
+  // 1. ODD guard.
+  if (odd_) {
+    const Status st = odd_->check(input.view());
+    if (!ok(st)) {
+      ++rejections_;
+      d.status = st;
+      d.degraded = true;
+      d.predicted_class = cfg_.fallback_class;
+      d.audit_sequence =
+          audit_.append(logical_time, "odd-guard", "reject",
+                        "status=" + std::string(to_string(st)))
+              .sequence;
+      return d;
+    }
+  }
+
+  // 2. Timing budget (watchdog over the measured execution time).
+  if (spec_.has_timing_budget) {
+    watchdog_.arm(logical_time, cfg_.timing_budget);
+    const Status wd = watchdog_.kick(logical_time + elapsed);
+    if (!ok(wd)) {
+      ++rejections_;
+      d.status = Status::kDeadlineMiss;
+      d.degraded = true;
+      d.predicted_class = cfg_.fallback_class;
+      d.audit_sequence =
+          audit_.append(logical_time, "watchdog", "deadline-miss",
+                        "elapsed=" + std::to_string(elapsed) + " budget=" +
+                            std::to_string(cfg_.timing_budget))
+              .sequence;
+      return d;
+    }
+  }
+
+  // 3. Channel inference (includes pattern redundancy and the safety bag).
+  const Status st = channel_->infer(input.view(), out_buf_);
+  d.status = st;
+  if (!ok(st)) {
+    ++rejections_;
+    d.degraded = true;
+    d.predicted_class = cfg_.fallback_class;
+    d.audit_sequence =
+        audit_.append(logical_time, "channel", "fail-stop",
+                      "status=" + std::string(to_string(st)))
+            .sequence;
+    return d;
+  }
+  d.degraded = channel_->last_degraded();
+  if (d.degraded) ++fallbacks_;
+
+  // 4. Decision + confidence.
+  const auto probs = dl::softmax_copy(out_buf_);
+  d.predicted_class = 0;
+  for (std::size_t i = 1; i < probs.size(); ++i)
+    if (probs[i] > probs[d.predicted_class]) d.predicted_class = i;
+  d.confidence = probs[d.predicted_class];
+  if (supervisor_) {
+    d.supervisor_score = supervisor_->score(*model_, input);
+    if (drift_) {
+      const bool was_alarmed = drift_->alarmed();
+      drift_->update(std::log1p(std::max(0.0, d.supervisor_score)));
+      if (!was_alarmed && drift_->alarmed())
+        audit_.append(logical_time, "drift-detector", "alarm",
+                      "cusum=" + std::to_string(drift_->statistic()));
+    }
+  }
+
+  std::ostringstream payload;
+  payload << "class=" << d.predicted_class << " conf=" << d.confidence
+          << " degraded=" << (d.degraded ? 1 : 0)
+          << " sup=" << d.supervisor_score;
+  d.audit_sequence =
+      audit_.append(logical_time, "channel", "decision", payload.str())
+          .sequence;
+  return d;
+}
+
+tensor::Tensor CertifiablePipeline::explain(const tensor::Tensor& input,
+                                            std::size_t target_class) {
+  if (!explainer_)
+    throw std::logic_error(
+        "CertifiablePipeline::explain: spec has no explanation support");
+  return explainer_->attribute(*model_, input, target_class);
+}
+
+Status CertifiablePipeline::verify_integrity() const {
+  return trace::verify_model_integrity(card_, *model_);
+}
+
+trace::SafetyCase CertifiablePipeline::build_safety_case() const {
+  trace::SafetyCase sc;
+  const auto root = sc.set_root_goal(
+      "G0", "The DL-based function is acceptably safe at criticality " +
+                std::string(trace::to_string(cfg_.criticality)));
+  const auto strat = sc.add_strategy(
+      root, "S0", "Argue over the four SAFEXPLAIN pillars");
+
+  // Pillar 1: explainability & traceability.
+  const auto g1 = sc.add_goal(strat, "G1",
+                              "Predictions are trustworthy and traceable");
+  sc.add_solution(g1, "Sn1.1", "model provenance hash " + card_.model_hash);
+  sc.add_solution(g1, "Sn1.2",
+                  "hash-chained audit log, head=" + util::to_hex(audit_.head()));
+  if (supervisor_)
+    sc.add_solution(g1, "Sn1.3",
+                    "runtime trust supervisor '" +
+                        std::string(supervisor_->name()) + "', threshold=" +
+                        std::to_string(supervisor_->threshold()));
+  if (odd_) sc.add_solution(g1, "Sn1.4", "fitted ODD guard active");
+  if (explainer_)
+    sc.add_solution(g1, "Sn1.5",
+                    "per-decision attribution via " +
+                        std::string(explainer_->name()));
+
+  // Pillar 2: safety patterns.
+  const auto g2 = sc.add_goal(
+      strat, "G2", "Residual random-fault risk is controlled");
+  sc.add_solution(g2, "Sn2.1",
+                  std::string("safety pattern '") + to_string(spec_.pattern) +
+                      "' deployed");
+  if (spec_.has_safety_bag)
+    sc.add_solution(g2, "Sn2.2", "fail-operational fallback configured");
+
+  // Pillar 3: FUSA-compliant library.
+  const auto g3 = sc.add_goal(
+      strat, "G3", "Inference library satisfies FUSA coding constraints");
+  sc.add_solution(g3, "Sn3.1",
+                  "static-arena engine: no allocation, no exceptions on the "
+                  "operational path");
+
+  // Pillar 4: real time.
+  const auto g4 =
+      sc.add_goal(strat, "G4", "Real-time constraints are satisfied");
+  if (spec_.has_timing_budget) {
+    sc.add_solution(g4, "Sn4.1",
+                    "watchdog enforces budget of " +
+                        std::to_string(cfg_.timing_budget) + " time units");
+  } else {
+    sc.add_solution(g4, "Sn4.1",
+                    "criticality level imposes no timing obligation");
+  }
+  return sc;
+}
+
+}  // namespace sx::core

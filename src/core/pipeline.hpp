@@ -1,0 +1,112 @@
+// CertifiablePipeline: the SAFEXPLAIN runtime stack.
+//
+// Composes, according to a criticality-derived specification:
+//   ODD guard -> safety-pattern inference channel -> trust supervisor ->
+//   fallback -> watchdog (timing budget) -> audit log,
+// with per-decision evidence (confidence, supervisor score, explanation on
+// demand) and deployment-time provenance verification.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/criticality.hpp"
+#include "dl/dataset.hpp"
+#include "explain/explainer.hpp"
+#include "safety/channel.hpp"
+#include "safety/watchdog.hpp"
+#include "supervise/drift.hpp"
+#include "supervise/supervisor.hpp"
+#include "trace/audit.hpp"
+#include "trace/odd.hpp"
+#include "trace/provenance.hpp"
+#include "trace/safety_case.hpp"
+
+namespace sx::core {
+
+struct PipelineConfig {
+  Criticality criticality = Criticality::kQM;
+  /// When unset, the spec recommended for `criticality` is used.
+  std::optional<PipelineSpec> spec;
+  /// Conservative logits substituted by the safety bag. Empty = one-hot on
+  /// `fallback_class`.
+  std::vector<float> fallback_logits;
+  std::size_t fallback_class = 0;
+  /// Timing budget in logical time units (used when the spec demands one).
+  std::uint64_t timing_budget = 0;
+  /// Supervisor acceptance rate on in-distribution data.
+  double supervisor_tpr = 0.95;
+  std::uint64_t seed = 2024;
+};
+
+/// Per-inference outcome with its evidence trail.
+struct Decision {
+  Status status = Status::kOk;
+  std::size_t predicted_class = 0;
+  float confidence = 0.0f;     ///< max softmax probability
+  bool degraded = false;       ///< fallback output used
+  double supervisor_score = 0.0;
+  std::uint64_t audit_sequence = 0;  ///< audit-log entry for this decision
+};
+
+class CertifiablePipeline {
+ public:
+  /// Builds and *fits* the full stack from a trained model and calibration
+  /// data. Throws if the resulting spec is not admissible at the requested
+  /// criticality.
+  CertifiablePipeline(const dl::Model& model, const dl::Dataset& calibration,
+                      PipelineConfig cfg);
+
+  /// Runs one decision. `logical_time` drives the watchdog/audit clock;
+  /// `elapsed` is the measured execution time of this inference in the same
+  /// units (0 when no timing budget is configured).
+  Decision infer(const tensor::Tensor& input, std::uint64_t logical_time = 0,
+                 std::uint64_t elapsed = 0);
+
+  /// On-demand explanation for the latest decision's input.
+  tensor::Tensor explain(const tensor::Tensor& input,
+                         std::size_t target_class);
+
+  const PipelineSpec& spec() const noexcept { return spec_; }
+  Criticality criticality() const noexcept { return cfg_.criticality; }
+  const trace::AuditLog& audit() const noexcept { return audit_; }
+  const trace::ModelCard& model_card() const noexcept { return card_; }
+
+  /// Deployment-time integrity gate: does the deployed model still match
+  /// the card's provenance hash?
+  Status verify_integrity() const;
+
+  /// Builds the GSN safety case for this deployment; complete() holds iff
+  /// every goal is backed by evidence produced by this pipeline.
+  trace::SafetyCase build_safety_case() const;
+
+  std::uint64_t decisions() const noexcept { return decisions_; }
+  std::uint64_t rejections() const noexcept { return rejections_; }
+  std::uint64_t fallbacks() const noexcept { return fallbacks_; }
+
+  /// Stream-level drift alarm (only meaningful when the spec includes a
+  /// supervisor — the detector runs on its score stream).
+  bool drift_alarmed() const noexcept {
+    return drift_ && drift_->alarmed();
+  }
+
+ private:
+  PipelineConfig cfg_;
+  PipelineSpec spec_;
+  std::unique_ptr<dl::Model> model_;  // deployed copy
+  std::unique_ptr<safety::InferenceChannel> channel_;
+  std::unique_ptr<supervise::Supervisor> supervisor_;
+  std::unique_ptr<supervise::CusumDetector> drift_;
+  std::unique_ptr<trace::OddGuard> odd_;
+  std::unique_ptr<explain::Explainer> explainer_;
+  safety::Watchdog watchdog_;
+  trace::AuditLog audit_;
+  trace::ModelCard card_;
+  std::vector<float> out_buf_;
+  std::vector<float> fallback_;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t rejections_ = 0;
+  std::uint64_t fallbacks_ = 0;
+};
+
+}  // namespace sx::core

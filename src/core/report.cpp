@@ -1,0 +1,90 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "util/hash.hpp"
+
+namespace sx::core {
+
+CertificationReport make_certification_report(
+    const CertifiablePipeline& pipeline,
+    const trace::RequirementRegistry* requirements,
+    const std::vector<EvidenceItem>& evidence) {
+  std::ostringstream os;
+  os << "================================================================\n"
+     << "SAFEXPLAIN CERTIFICATION REPORT\n"
+     << "================================================================\n\n";
+
+  os << "1. DEPLOYED COMPONENT\n"
+     << pipeline.model_card().to_text() << "\n";
+
+  os << "2. CLAIMED CRITICALITY AND CONFIGURATION\n"
+     << "  criticality: " << trace::to_string(pipeline.criticality()) << "\n"
+     << "  pattern: " << to_string(pipeline.spec().pattern) << "\n"
+     << "  supervisor: " << (pipeline.spec().has_supervisor ? "yes" : "no")
+     << "\n"
+     << "  ODD guard: " << (pipeline.spec().has_odd_guard ? "yes" : "no")
+     << "\n"
+     << "  safety bag: " << (pipeline.spec().has_safety_bag ? "yes" : "no")
+     << "\n"
+     << "  timing budget: "
+     << (pipeline.spec().has_timing_budget ? "yes" : "no") << "\n"
+     << "  explanations: "
+     << (pipeline.spec().has_explanations ? "yes" : "no") << "\n";
+  const AdmissibilityVerdict verdict =
+      check_admissible(pipeline.spec(), pipeline.criticality());
+  os << "  admissibility: " << (verdict.admissible ? "ADMISSIBLE" : "NOT "
+                                                                     "ADMISSIBLE")
+     << "\n\n";
+
+  os << "3. OPERATIONAL EVIDENCE\n"
+     << "  decisions: " << pipeline.decisions() << "\n"
+     << "  rejections (fail-stop/guard): " << pipeline.rejections() << "\n"
+     << "  fallback activations: " << pipeline.fallbacks() << "\n"
+     << "  audit chain: "
+     << (ok(pipeline.audit().verify()) ? "VERIFIES" : "BROKEN") << " ("
+     << pipeline.audit().size() << " entries, head "
+     << util::to_hex(pipeline.audit().head()).substr(0, 16) << "...)\n"
+     << "  model integrity: "
+     << (ok(pipeline.verify_integrity()) ? "PASS" : "FAIL") << "\n\n";
+
+  const trace::SafetyCase sc = pipeline.build_safety_case();
+  os << "4. SAFETY CASE (GSN)\n" << sc.to_text();
+  const auto gaps = sc.undischarged_goals();
+  if (gaps.empty()) {
+    os << "  status: COMPLETE (every leaf goal has evidence)\n\n";
+  } else {
+    os << "  status: INCOMPLETE, undischarged goals:";
+    for (const auto& g : gaps) os << " " << g;
+    os << "\n\n";
+  }
+
+  bool requirements_ok = true;
+  if (requirements != nullptr) {
+    os << "5. REQUIREMENT TRACEABILITY\n" << requirements->matrix();
+    const double cov = requirements->coverage("verifies");
+    requirements_ok = cov == 1.0;
+    os << "  verification coverage: " << cov * 100.0 << "%\n\n";
+  }
+
+  if (!evidence.empty()) {
+    os << "6. ATTACHED ANALYSES\n";
+    for (const auto& e : evidence) {
+      os << "--- " << e.title << " ---\n" << e.body;
+      if (e.body.empty() || e.body.back() != '\n') os << '\n';
+    }
+    os << "\n";
+  }
+
+  CertificationReport report;
+  report.complete =
+      verdict.admissible && gaps.empty() && requirements_ok &&
+      ok(pipeline.audit().verify()) && ok(pipeline.verify_integrity());
+  os << "OVERALL: " << (report.complete ? "EVIDENCE COMPLETE"
+                                        : "EVIDENCE GAPS REMAIN")
+     << "\n";
+  report.text = os.str();
+  return report;
+}
+
+}  // namespace sx::core

@@ -1,0 +1,38 @@
+// Certification report generator: bundles every evidence artifact the
+// framework produces into one assessor-facing text document.
+//
+// The report is the deliverable of "qualify and certify DL-based software
+// products under bounded effort/cost": model provenance, admissibility at
+// the claimed criticality, the GSN safety case, requirement traceability,
+// runtime statistics, and any analysis evidence (fault campaigns, MBPTA,
+// robustness certificates) attached by the caller.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "trace/requirements.hpp"
+
+namespace sx::core {
+
+/// One externally produced piece of evidence (a campaign result, an MBPTA
+/// report, a robustness certificate...).
+struct EvidenceItem {
+  std::string title;
+  std::string body;  ///< preformatted text
+};
+
+struct CertificationReport {
+  std::string text;
+  bool complete = false;  ///< safety case complete AND requirements covered
+};
+
+/// Renders the full report for a deployed pipeline.
+/// `requirements` may be null (section omitted).
+CertificationReport make_certification_report(
+    const CertifiablePipeline& pipeline,
+    const trace::RequirementRegistry* requirements,
+    const std::vector<EvidenceItem>& evidence);
+
+}  // namespace sx::core

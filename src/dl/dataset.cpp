@@ -1,0 +1,236 @@
+#include "dl/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sx::dl {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+constexpr std::size_t kSide = kRoadSceneSide;
+
+float clamp01(float v) noexcept { return std::min(1.0f, std::max(0.0f, v)); }
+
+/// Fills a 1xHxW image with a smooth vertical background gradient + noise.
+void paint_background(Tensor& img, util::Xoshiro256& rng, float base,
+                      float noise_sigma) {
+  const std::size_t h = img.shape()[1], w = img.shape()[2];
+  for (std::size_t y = 0; y < h; ++y)
+    for (std::size_t x = 0; x < w; ++x) {
+      const float grad = 0.08f * static_cast<float>(y) / static_cast<float>(h);
+      img.at(0, y, x) = clamp01(
+          base + grad + static_cast<float>(rng.gaussian(0.0, noise_sigma)));
+    }
+}
+
+Region paint_rect(Tensor& img, util::Xoshiro256& rng, std::size_t rect_h,
+                  std::size_t rect_w, float brightness, float noise_sigma) {
+  const std::size_t h = img.shape()[1], w = img.shape()[2];
+  const std::size_t y0 = rng.below(h - rect_h);
+  const std::size_t x0 = rng.below(w - rect_w);
+  for (std::size_t y = y0; y < y0 + rect_h; ++y)
+    for (std::size_t x = x0; x < x0 + rect_w; ++x)
+      img.at(0, y, x) = clamp01(
+          brightness + static_cast<float>(rng.gaussian(0.0, noise_sigma)));
+  return Region{y0, x0, y0 + rect_h, x0 + rect_w};
+}
+
+Region paint_disc(Tensor& img, util::Xoshiro256& rng, std::size_t radius,
+                  float brightness, float noise_sigma) {
+  const std::size_t h = img.shape()[1], w = img.shape()[2];
+  const std::size_t cy = radius + rng.below(h - 2 * radius);
+  const std::size_t cx = radius + rng.below(w - 2 * radius);
+  for (std::size_t y = cy - radius; y <= cy + radius; ++y)
+    for (std::size_t x = cx - radius; x <= cx + radius; ++x) {
+      const auto dy = static_cast<double>(y) - static_cast<double>(cy);
+      const auto dx = static_cast<double>(x) - static_cast<double>(cx);
+      if (dy * dy + dx * dx <= static_cast<double>(radius * radius))
+        img.at(0, y, x) = clamp01(
+            brightness + static_cast<float>(rng.gaussian(0.0, noise_sigma)));
+    }
+  return Region{cy - radius, cx - radius, cy + radius + 1, cx + radius + 1};
+}
+
+}  // namespace
+
+Dataset make_road_scene(std::size_t n, std::uint64_t seed,
+                        float noise_sigma) {
+  Dataset ds;
+  ds.num_classes = kRoadSceneClasses;
+  ds.input_shape = Shape::chw(1, kSide, kSide);
+  ds.samples.reserve(n);
+  util::Xoshiro256 rng{seed};
+  for (std::size_t i = 0; i < n; ++i) {
+    Sample s;
+    s.input = Tensor{ds.input_shape};
+    const auto cls = static_cast<RoadSceneClass>(i % kRoadSceneClasses);
+    s.label = static_cast<std::size_t>(cls);
+    const float base = 0.15f + static_cast<float>(rng.uniform()) * 0.10f;
+    paint_background(s.input, rng, base, noise_sigma);
+    switch (cls) {
+      case RoadSceneClass::kClearRoad:
+        break;
+      case RoadSceneClass::kVehicle: {
+        const std::size_t rh = 3 + rng.below(3);   // 3..5
+        const std::size_t rw = 5 + rng.below(4);   // 5..8
+        s.signal = paint_rect(s.input, rng, rh, rw, 0.85f, noise_sigma);
+        break;
+      }
+      case RoadSceneClass::kPedestrian: {
+        const std::size_t rh = 7 + rng.below(4);   // 7..10
+        const std::size_t rw = 1 + rng.below(2);   // 1..2
+        s.signal = paint_rect(s.input, rng, rh, rw, 0.80f, noise_sigma);
+        break;
+      }
+      case RoadSceneClass::kObstacle: {
+        const std::size_t r = 2 + rng.below(2);    // 2..3
+        s.signal = paint_disc(s.input, rng, r, 0.90f, noise_sigma);
+        break;
+      }
+    }
+    ds.samples.push_back(std::move(s));
+  }
+  return ds;
+}
+
+Dataset make_railway_obstacle(std::size_t n, std::uint64_t seed,
+                              float noise_sigma) {
+  Dataset ds;
+  ds.num_classes = 2;
+  ds.input_shape = Shape::chw(1, kSide, kSide);
+  ds.samples.reserve(n);
+  util::Xoshiro256 rng{seed};
+  for (std::size_t i = 0; i < n; ++i) {
+    Sample s;
+    s.input = Tensor{ds.input_shape};
+    s.label = i % 2;
+    paint_background(s.input, rng, 0.12f, noise_sigma);
+    // Rails: two bright vertical lines at columns 5 and 10 (+ jitter).
+    const std::size_t rail_l = 4 + rng.below(2);
+    const std::size_t rail_r = rail_l + 5 + rng.below(2);
+    for (std::size_t y = 0; y < kSide; ++y) {
+      s.input.at(0, y, rail_l) = clamp01(
+          0.7f + static_cast<float>(rng.gaussian(0.0, noise_sigma)));
+      s.input.at(0, y, rail_r) = clamp01(
+          0.7f + static_cast<float>(rng.gaussian(0.0, noise_sigma)));
+    }
+    if (s.label == 1) {
+      // Obstacle between the rails.
+      const std::size_t r = 1 + rng.below(2);
+      const std::size_t cy = 3 + rng.below(kSide - 6);
+      const std::size_t cx = rail_l + 2 + rng.below(rail_r - rail_l - 3);
+      Region reg{cy - std::min(cy, r), cx - std::min(cx, r),
+                 std::min(kSide, cy + r + 1), std::min(kSide, cx + r + 1)};
+      for (std::size_t y = reg.y0; y < reg.y1; ++y)
+        for (std::size_t x = reg.x0; x < reg.x1; ++x)
+          s.input.at(0, y, x) = clamp01(
+              0.95f + static_cast<float>(rng.gaussian(0.0, noise_sigma)));
+      s.signal = reg;
+    }
+    ds.samples.push_back(std::move(s));
+  }
+  return ds;
+}
+
+Dataset make_satellite_telemetry(std::size_t n, std::uint64_t seed,
+                                 double anomaly_fraction) {
+  Dataset ds;
+  ds.num_classes = 2;
+  ds.input_shape = Shape::vec(kTelemetryDim);
+  ds.samples.reserve(n);
+  util::Xoshiro256 rng{seed};
+  for (std::size_t i = 0; i < n; ++i) {
+    Sample s;
+    s.input = Tensor{ds.input_shape};
+    const double phase = rng.uniform(0.0, 6.283185307);
+    const double amp = 0.5 + rng.uniform() * 0.3;
+    for (std::size_t k = 0; k < kTelemetryDim; ++k) {
+      // Correlated channels: harmonics of one orbit phase + sensor noise.
+      const double base =
+          amp * std::sin(phase + 0.35 * static_cast<double>(k)) +
+          0.2 * std::sin(2.0 * phase + 0.11 * static_cast<double>(k));
+      s.input.at(k) = static_cast<float>(base + rng.gaussian(0.0, 0.03));
+    }
+    if (rng.uniform() < anomaly_fraction) {
+      s.label = 1;
+      const std::size_t mode = rng.below(3);
+      if (mode == 0) {  // spike
+        s.input.at(rng.below(kTelemetryDim)) += 3.0f;
+      } else if (mode == 1) {  // stuck sensor bank
+        const std::size_t start = rng.below(kTelemetryDim - 8);
+        const float v = s.input.at(start);
+        for (std::size_t k = start; k < start + 8; ++k) s.input.at(k) = v;
+      } else {  // drift
+        for (std::size_t k = 0; k < kTelemetryDim; ++k)
+          s.input.at(k) += 0.05f * static_cast<float>(k);
+      }
+    }
+    ds.samples.push_back(std::move(s));
+  }
+  return ds;
+}
+
+const char* to_string(Corruption c) noexcept {
+  switch (c) {
+    case Corruption::kGaussianNoise: return "gaussian-noise";
+    case Corruption::kInvert: return "invert";
+    case Corruption::kFog: return "fog";
+    case Corruption::kUniformRandom: return "uniform-random";
+  }
+  return "unknown";
+}
+
+Dataset corrupt(const Dataset& ds, Corruption c, std::uint64_t seed,
+                float severity) {
+  Dataset out;
+  out.num_classes = ds.num_classes;
+  out.input_shape = ds.input_shape;
+  out.samples.reserve(ds.samples.size());
+  util::Xoshiro256 rng{seed};
+  for (const auto& s : ds.samples) {
+    Sample t;
+    t.label = s.label;
+    t.signal = s.signal;
+    t.input = s.input;
+    auto data = t.input.data();
+    switch (c) {
+      case Corruption::kGaussianNoise:
+        for (auto& v : data)
+          v = clamp01(v + static_cast<float>(
+                              rng.gaussian(0.0, 0.35 * severity)));
+        break;
+      case Corruption::kInvert:
+        for (auto& v : data) v = 1.0f - v;
+        break;
+      case Corruption::kFog:
+        for (auto& v : data)
+          v = clamp01(v * (1.0f - 0.7f * severity) + 0.7f * severity);
+        break;
+      case Corruption::kUniformRandom:
+        for (auto& v : data) v = static_cast<float>(rng.uniform());
+        break;
+    }
+    out.samples.push_back(std::move(t));
+  }
+  return out;
+}
+
+void split(const Dataset& ds, double train_fraction, Dataset& train,
+           Dataset& test) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0)
+    throw std::invalid_argument("split: fraction must be in (0,1)");
+  train.samples.clear();
+  test.samples.clear();
+  train.num_classes = test.num_classes = ds.num_classes;
+  train.input_shape = test.input_shape = ds.input_shape;
+  const auto cut = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(ds.samples.size()));
+  for (std::size_t i = 0; i < ds.samples.size(); ++i) {
+    (i < cut ? train : test).samples.push_back(ds.samples[i]);
+  }
+}
+
+}  // namespace sx::dl

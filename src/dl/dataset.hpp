@@ -1,0 +1,93 @@
+// Synthetic workloads standing in for the SAFEXPLAIN project demonstrators.
+//
+// The project evaluates on proprietary automotive / railway / space case
+// studies. We substitute procedurally generated datasets that exercise the
+// same code paths (see DESIGN.md):
+//   - RoadScene      multi-class perception (automotive camera stand-in),
+//                    with a *known planted signal region* per sample so that
+//                    explanation quality is measurable (experiment E3);
+//   - RailwayObstacle high-criticality binary detection;
+//   - SatelliteTelemetry rank-1 sensor vectors with injectable anomalies.
+// Out-of-distribution corruptions model environment shift for pillar 1.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace sx::dl {
+
+/// Axis-aligned region of an image (inclusive lo, exclusive hi).
+struct Region {
+  std::size_t y0 = 0, x0 = 0, y1 = 0, x1 = 0;
+
+  bool contains(std::size_t y, std::size_t x) const noexcept {
+    return y >= y0 && y < y1 && x >= x0 && x < x1;
+  }
+  std::size_t area() const noexcept { return (y1 - y0) * (x1 - x0); }
+};
+
+struct Sample {
+  tensor::Tensor input;
+  std::size_t label = 0;
+  /// Where the class-defining signal was planted (if localized).
+  std::optional<Region> signal;
+};
+
+struct Dataset {
+  std::vector<Sample> samples;
+  std::size_t num_classes = 0;
+  tensor::Shape input_shape;
+
+  std::size_t size() const noexcept { return samples.size(); }
+};
+
+/// RoadScene classes.
+enum class RoadSceneClass : std::size_t {
+  kClearRoad = 0,   ///< background only
+  kVehicle = 1,     ///< bright rectangle
+  kPedestrian = 2,  ///< thin vertical bar
+  kObstacle = 3,    ///< bright disc
+};
+inline constexpr std::size_t kRoadSceneClasses = 4;
+inline constexpr std::size_t kRoadSceneSide = 16;
+
+/// Generates `n` RoadScene samples (1 x 16 x 16, values in [0,1]).
+Dataset make_road_scene(std::size_t n, std::uint64_t seed,
+                        float noise_sigma = 0.10f);
+
+/// Railway obstacle detection: 1 x 16 x 16 track images, label 1 iff an
+/// obstacle blob sits between the rails.
+Dataset make_railway_obstacle(std::size_t n, std::uint64_t seed,
+                              float noise_sigma = 0.08f);
+
+inline constexpr std::size_t kTelemetryDim = 32;
+
+/// Satellite telemetry vectors: correlated sinusoidal channels + noise.
+/// label 0 = nominal, 1 = anomalous (spike / stuck sensor / drift).
+Dataset make_satellite_telemetry(std::size_t n, std::uint64_t seed,
+                                 double anomaly_fraction = 0.0);
+
+/// Out-of-distribution corruptions (environment shift).
+enum class Corruption {
+  kGaussianNoise,  ///< heavy sensor noise
+  kInvert,         ///< contrast inversion (camera failure)
+  kFog,            ///< contrast collapse toward a bright mean
+  kUniformRandom,  ///< completely unstructured input
+};
+
+const char* to_string(Corruption c) noexcept;
+
+/// Returns a corrupted copy of `ds` (labels preserved; signal regions kept).
+Dataset corrupt(const Dataset& ds, Corruption c, std::uint64_t seed,
+                float severity = 1.0f);
+
+/// Deterministic split into train/test (no shuffling of the caller's data;
+/// sampling is decided by index hash).
+void split(const Dataset& ds, double train_fraction, Dataset& train,
+           Dataset& test);
+
+}  // namespace sx::dl

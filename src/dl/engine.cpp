@@ -1,0 +1,72 @@
+#include "dl/engine.hpp"
+
+#include <cmath>
+
+namespace sx::dl {
+
+StaticEngine::StaticEngine(const Model& model, StaticEngineConfig cfg)
+    : model_(&model),
+      cfg_(cfg),
+      arena_(2 * model.max_activation_size() + cfg.arena_slack) {}
+
+Status StaticEngine::run(tensor::ConstTensorView input,
+                         std::span<float> output) noexcept {
+  if (input.shape != model_->input_shape() || !input.valid())
+    return Status::kShapeMismatch;
+  if (output.size() != model_->output_shape().size())
+    return Status::kShapeMismatch;
+
+  arena_.reset();
+  // Ping-pong between two arena buffers; each is big enough for any layer.
+  const std::size_t buf_size = model_->max_activation_size();
+  std::span<float> ping = arena_.alloc(buf_size);
+  std::span<float> pong = arena_.alloc(buf_size);
+  if (ping.empty() || pong.empty()) return Status::kArenaExhausted;
+
+  if (cfg_.check_numeric_faults && tensor::has_non_finite(input)) {
+    ++faults_;
+    return Status::kNumericFault;
+  }
+
+  tensor::ConstTensorView cur = input;
+  bool use_ping = true;
+  for (std::size_t i = 0; i < model_->layer_count(); ++i) {
+    const Shape& out_shape = model_->activation_shape(i);
+    std::span<float> dst = use_ping ? ping : pong;
+    tensor::TensorView out{dst.first(out_shape.size()), out_shape};
+    const Status st = model_->layer(i).forward(cur, out);
+    if (!ok(st)) return st;
+    if (cfg_.check_numeric_faults && tensor::has_non_finite(out)) {
+      ++faults_;
+      return Status::kNumericFault;
+    }
+    cur = out;
+    use_ping = !use_ping;
+  }
+
+  for (std::size_t i = 0; i < output.size(); ++i) output[i] = cur.data[i];
+  ++runs_;
+  return Status::kOk;
+}
+
+std::vector<float> DynamicEngine::run(const tensor::Tensor& input) const {
+  // Intentionally allocation-heavy: one fresh tensor per layer, mirroring a
+  // general-purpose framework's per-op buffer behaviour.
+  const tensor::Tensor out = model_->forward(input);
+  return std::vector<float>(out.data().begin(), out.data().end());
+}
+
+std::vector<float> softmax_copy(std::span<const float> logits) {
+  std::vector<float> out(logits.size());
+  float m = -std::numeric_limits<float>::infinity();
+  for (float v : logits) m = v > m ? v : m;
+  float z = 0.0f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - m);
+    z += out[i];
+  }
+  for (auto& v : out) v /= z;
+  return out;
+}
+
+}  // namespace sx::dl

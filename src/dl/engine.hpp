@@ -1,0 +1,81 @@
+// Inference engines.
+//
+// StaticEngine is the FUSA-compliant runtime: all buffers come from a static
+// arena sized at configuration time, run() is noexcept and performs zero heap
+// allocations, and optional per-layer numeric-fault checks detect NaN/Inf
+// propagation (pillar 3).
+//
+// DynamicEngine is the deliberately non-compliant baseline standing in for a
+// general-purpose DL framework: per-inference heap allocation and no fault
+// containment. Experiment E1 contrasts the two.
+#pragma once
+
+#include <vector>
+
+#include "dl/model.hpp"
+#include "tensor/arena.hpp"
+
+namespace sx::dl {
+
+struct StaticEngineConfig {
+  /// Check every intermediate activation for NaN/Inf and fail fast.
+  bool check_numeric_faults = true;
+  /// Extra arena headroom (floats) on top of the planned demand.
+  std::size_t arena_slack = 0;
+};
+
+/// Allocation-free, deterministic inference over a fixed model.
+class StaticEngine {
+ public:
+  /// Plans buffers for `model`. The model must outlive the engine.
+  explicit StaticEngine(const Model& model, StaticEngineConfig cfg = {});
+
+  StaticEngine(const StaticEngine&) = delete;
+  StaticEngine& operator=(const StaticEngine&) = delete;
+
+  /// Runs inference. `input` must match the model input shape; `output`
+  /// must have exactly output_shape().size() elements. No allocation.
+  Status run(tensor::ConstTensorView input,
+             std::span<float> output) noexcept;
+
+  const Shape& input_shape() const noexcept { return model_->input_shape(); }
+  const Shape& output_shape() const noexcept { return model_->output_shape(); }
+
+  /// Worst-case arena demand actually observed (certification evidence).
+  std::size_t arena_high_water_mark() const noexcept {
+    return arena_.high_water_mark();
+  }
+  std::size_t arena_capacity() const noexcept { return arena_.capacity(); }
+
+  /// Number of inferences executed.
+  std::uint64_t run_count() const noexcept { return runs_; }
+  /// Number of runs rejected due to numeric faults.
+  std::uint64_t numeric_fault_count() const noexcept { return faults_; }
+
+ private:
+  const Model* model_;
+  StaticEngineConfig cfg_;
+  tensor::Arena arena_;
+  std::uint64_t runs_ = 0;
+  std::uint64_t faults_ = 0;
+};
+
+/// Baseline engine with per-call allocation (framework stand-in).
+class DynamicEngine {
+ public:
+  explicit DynamicEngine(const Model& model) : model_(&model) {}
+
+  /// Allocates intermediate tensors on every call.
+  std::vector<float> run(const tensor::Tensor& input) const;
+
+  const Shape& output_shape() const noexcept { return model_->output_shape(); }
+
+ private:
+  const Model* model_;
+};
+
+/// Softmax applied to raw logits; offline helper shared by callers that
+/// want probabilities out of a logits-producing model.
+std::vector<float> softmax_copy(std::span<const float> logits);
+
+}  // namespace sx::dl

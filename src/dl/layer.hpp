@@ -1,0 +1,83 @@
+// Layer interface of the FUSA-compliant DL library.
+//
+// Every layer is a pure transform over caller-provided buffers:
+//   - forward() is noexcept, allocation-free and deterministic;
+//   - backward() (used offline for training and for gradient-based
+//     explanations) recomputes what it needs from the saved forward input,
+//     accumulating parameter gradients into layer-owned buffers.
+//
+// Parameters are stored as one flattened float vector per layer so that
+// optimizers, fault injectors and provenance hashing can treat every layer
+// uniformly.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sx::dl {
+
+using tensor::ConstTensorView;
+using tensor::Shape;
+using tensor::TensorView;
+
+/// Discriminator used for serialization and quantization dispatch.
+enum class LayerKind : std::uint8_t {
+  kDense,
+  kRelu,
+  kConv2d,
+  kMaxPool2d,
+  kAvgPool2d,
+  kFlatten,
+  kSoftmax,
+  kBatchNorm,
+  kSigmoid,
+  kTanh,
+};
+
+std::string_view to_string(LayerKind k) noexcept;
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual LayerKind kind() const noexcept = 0;
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Output shape for a given input shape; throws std::invalid_argument if
+  /// the input shape is not acceptable (configuration-time check).
+  virtual Shape output_shape(const Shape& in) const = 0;
+
+  /// Runtime path: compute out from in. Both buffers are caller-provided and
+  /// correctly sized (checked; mismatch yields kShapeMismatch, not UB).
+  virtual Status forward(ConstTensorView in, TensorView out) const noexcept = 0;
+
+  /// Offline path: given the forward input and dL/dout, compute dL/din and
+  /// accumulate parameter gradients. Layers that cannot be differentiated
+  /// return kInvalidArgument.
+  virtual Status backward(ConstTensorView in, ConstTensorView grad_out,
+                          TensorView grad_in) noexcept = 0;
+
+  /// Flattened trainable parameters (empty for stateless layers).
+  virtual std::span<float> params() noexcept { return {}; }
+  virtual std::span<const float> params() const noexcept { return {}; }
+  /// Gradient buffer aligned with params().
+  virtual std::span<float> param_grads() noexcept { return {}; }
+
+  std::size_t param_count() const noexcept {
+    return const_cast<const Layer*>(this)->params().size();
+  }
+
+  void zero_grads() noexcept {
+    for (auto& g : param_grads()) g = 0.0f;
+  }
+
+  /// Deep copy (used by redundant-channel patterns and fault injection).
+  virtual std::unique_ptr<Layer> clone() const = 0;
+};
+
+}  // namespace sx::dl

@@ -1,0 +1,532 @@
+#include "dl/layers.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sx::dl {
+
+std::string_view to_string(LayerKind k) noexcept {
+  switch (k) {
+    case LayerKind::kDense: return "dense";
+    case LayerKind::kRelu: return "relu";
+    case LayerKind::kConv2d: return "conv2d";
+    case LayerKind::kMaxPool2d: return "maxpool2d";
+    case LayerKind::kAvgPool2d: return "avgpool2d";
+    case LayerKind::kFlatten: return "flatten";
+    case LayerKind::kSoftmax: return "softmax";
+    case LayerKind::kBatchNorm: return "batchnorm";
+    case LayerKind::kSigmoid: return "sigmoid";
+    case LayerKind::kTanh: return "tanh";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------- Dense
+
+Dense::Dense(std::size_t in_dim, std::size_t out_dim)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      params_(in_dim * out_dim + out_dim, 0.0f),
+      grads_(params_.size(), 0.0f) {
+  if (in_dim == 0 || out_dim == 0)
+    throw std::invalid_argument("Dense: zero dimension");
+}
+
+Shape Dense::output_shape(const Shape& in) const {
+  if (in.size() != in_dim_)
+    throw std::invalid_argument("Dense: input size " +
+                                std::to_string(in.size()) + " != " +
+                                std::to_string(in_dim_));
+  return Shape::vec(out_dim_);
+}
+
+Status Dense::forward(ConstTensorView in, TensorView out) const noexcept {
+  if (in.shape.size() != in_dim_ || out.shape.size() != out_dim_ ||
+      !in.valid() || !out.valid())
+    return Status::kShapeMismatch;
+  const float* w = params_.data();
+  const float* b = params_.data() + out_dim_ * in_dim_;
+  for (std::size_t r = 0; r < out_dim_; ++r) {
+    float acc = b[r];
+    const float* wr = w + r * in_dim_;
+    for (std::size_t c = 0; c < in_dim_; ++c) acc += wr[c] * in.data[c];
+    out.data[r] = acc;
+  }
+  return Status::kOk;
+}
+
+Status Dense::backward(ConstTensorView in, ConstTensorView grad_out,
+                       TensorView grad_in) noexcept {
+  if (in.shape.size() != in_dim_ || grad_out.shape.size() != out_dim_ ||
+      grad_in.shape.size() != in_dim_)
+    return Status::kShapeMismatch;
+  const float* w = params_.data();
+  float* gw = grads_.data();
+  float* gb = grads_.data() + out_dim_ * in_dim_;
+  for (std::size_t c = 0; c < in_dim_; ++c) grad_in.data[c] = 0.0f;
+  for (std::size_t r = 0; r < out_dim_; ++r) {
+    const float go = grad_out.data[r];
+    gb[r] += go;
+    const float* wr = w + r * in_dim_;
+    float* gwr = gw + r * in_dim_;
+    for (std::size_t c = 0; c < in_dim_; ++c) {
+      gwr[c] += go * in.data[c];
+      grad_in.data[c] += go * wr[c];
+    }
+  }
+  return Status::kOk;
+}
+
+std::unique_ptr<Layer> Dense::clone() const {
+  return std::make_unique<Dense>(*this);
+}
+
+void Dense::init(util::Xoshiro256& rng) {
+  const double std = std::sqrt(2.0 / static_cast<double>(in_dim_));
+  for (std::size_t i = 0; i < out_dim_ * in_dim_; ++i)
+    params_[i] = static_cast<float>(rng.gaussian(0.0, std));
+  for (std::size_t i = out_dim_ * in_dim_; i < params_.size(); ++i)
+    params_[i] = 0.0f;
+}
+
+// ---------------------------------------------------------------- Relu
+
+Status Relu::forward(ConstTensorView in, TensorView out) const noexcept {
+  return tensor::relu(in, out);
+}
+
+Status Relu::backward(ConstTensorView in, ConstTensorView grad_out,
+                      TensorView grad_in) noexcept {
+  if (in.shape != grad_out.shape || in.shape != grad_in.shape)
+    return Status::kShapeMismatch;
+  for (std::size_t i = 0; i < in.data.size(); ++i)
+    grad_in.data[i] = in.data[i] > 0.0f ? grad_out.data[i] : 0.0f;
+  return Status::kOk;
+}
+
+// --------------------------------------------------------------- Sigmoid
+
+Status Sigmoid::forward(ConstTensorView in, TensorView out) const noexcept {
+  if (in.shape != out.shape || !in.valid() || !out.valid())
+    return Status::kShapeMismatch;
+  for (std::size_t i = 0; i < in.data.size(); ++i)
+    out.data[i] = 1.0f / (1.0f + std::exp(-in.data[i]));
+  return Status::kOk;
+}
+
+Status Sigmoid::backward(ConstTensorView in, ConstTensorView grad_out,
+                         TensorView grad_in) noexcept {
+  if (in.shape != grad_out.shape || in.shape != grad_in.shape)
+    return Status::kShapeMismatch;
+  for (std::size_t i = 0; i < in.data.size(); ++i) {
+    const float s = 1.0f / (1.0f + std::exp(-in.data[i]));
+    grad_in.data[i] = grad_out.data[i] * s * (1.0f - s);
+  }
+  return Status::kOk;
+}
+
+// ------------------------------------------------------------------ Tanh
+
+Status Tanh::forward(ConstTensorView in, TensorView out) const noexcept {
+  if (in.shape != out.shape || !in.valid() || !out.valid())
+    return Status::kShapeMismatch;
+  for (std::size_t i = 0; i < in.data.size(); ++i)
+    out.data[i] = std::tanh(in.data[i]);
+  return Status::kOk;
+}
+
+Status Tanh::backward(ConstTensorView in, ConstTensorView grad_out,
+                      TensorView grad_in) noexcept {
+  if (in.shape != grad_out.shape || in.shape != grad_in.shape)
+    return Status::kShapeMismatch;
+  for (std::size_t i = 0; i < in.data.size(); ++i) {
+    const float t = std::tanh(in.data[i]);
+    grad_in.data[i] = grad_out.data[i] * (1.0f - t * t);
+  }
+  return Status::kOk;
+}
+
+// ---------------------------------------------------------------- Conv2d
+
+Conv2d::Conv2d(std::size_t in_c, std::size_t out_c, std::size_t kernel,
+               std::size_t stride, std::size_t padding)
+    : in_c_(in_c),
+      out_c_(out_c),
+      k_(kernel),
+      stride_(stride),
+      pad_(padding),
+      params_(out_c * in_c * kernel * kernel + out_c, 0.0f),
+      grads_(params_.size(), 0.0f) {
+  if (in_c == 0 || out_c == 0 || kernel == 0 || stride == 0)
+    throw std::invalid_argument("Conv2d: zero hyper-parameter");
+}
+
+Shape Conv2d::output_shape(const Shape& in) const {
+  if (in.rank() != 3 || in[0] != in_c_)
+    throw std::invalid_argument("Conv2d: expected CHW input with C=" +
+                                std::to_string(in_c_) + ", got " +
+                                in.to_string());
+  const std::size_t h = in[1], w = in[2];
+  if (h + 2 * pad_ < k_ || w + 2 * pad_ < k_)
+    throw std::invalid_argument("Conv2d: kernel larger than padded input");
+  const std::size_t oh = (h + 2 * pad_ - k_) / stride_ + 1;
+  const std::size_t ow = (w + 2 * pad_ - k_) / stride_ + 1;
+  return Shape::chw(out_c_, oh, ow);
+}
+
+Status Conv2d::forward(ConstTensorView in, TensorView out) const noexcept {
+  if (in.shape.rank() != 3 || out.shape.rank() != 3 || in.shape[0] != in_c_ ||
+      out.shape[0] != out_c_ || !in.valid() || !out.valid())
+    return Status::kShapeMismatch;
+  const std::size_t h = in.shape[1], w = in.shape[2];
+  const std::size_t oh = out.shape[1], ow = out.shape[2];
+  if (oh != (h + 2 * pad_ - k_) / stride_ + 1 ||
+      ow != (w + 2 * pad_ - k_) / stride_ + 1)
+    return Status::kShapeMismatch;
+
+  const float* wt = params_.data();
+  const float* bias = params_.data() + out_c_ * in_c_ * k_ * k_;
+  for (std::size_t oc = 0; oc < out_c_; ++oc) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        float acc = bias[oc];
+        for (std::size_t ic = 0; ic < in_c_; ++ic) {
+          const float* wk = wt + ((oc * in_c_ + ic) * k_) * k_;
+          for (std::size_t ky = 0; ky < k_; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                static_cast<std::ptrdiff_t>(pad_);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+            for (std::size_t kx = 0; kx < k_; ++kx) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                  static_cast<std::ptrdiff_t>(pad_);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+              acc += wk[ky * k_ + kx] *
+                     in.at(ic, static_cast<std::size_t>(iy),
+                           static_cast<std::size_t>(ix));
+            }
+          }
+        }
+        out.at(oc, oy, ox) = acc;
+      }
+    }
+  }
+  return Status::kOk;
+}
+
+Status Conv2d::backward(ConstTensorView in, ConstTensorView grad_out,
+                        TensorView grad_in) noexcept {
+  if (in.shape.rank() != 3 || grad_out.shape.rank() != 3 ||
+      in.shape != grad_in.shape || in.shape[0] != in_c_ ||
+      grad_out.shape[0] != out_c_)
+    return Status::kShapeMismatch;
+  const std::size_t h = in.shape[1], w = in.shape[2];
+  const std::size_t oh = grad_out.shape[1], ow = grad_out.shape[2];
+
+  for (auto& g : grad_in.data) g = 0.0f;
+  const float* wt = params_.data();
+  float* gw = grads_.data();
+  float* gb = grads_.data() + out_c_ * in_c_ * k_ * k_;
+
+  for (std::size_t oc = 0; oc < out_c_; ++oc) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        const float go = grad_out.at(oc, oy, ox);
+        gb[oc] += go;
+        for (std::size_t ic = 0; ic < in_c_; ++ic) {
+          const std::size_t base = ((oc * in_c_ + ic) * k_) * k_;
+          for (std::size_t ky = 0; ky < k_; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                static_cast<std::ptrdiff_t>(pad_);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+            for (std::size_t kx = 0; kx < k_; ++kx) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                  static_cast<std::ptrdiff_t>(pad_);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+              const auto uy = static_cast<std::size_t>(iy);
+              const auto ux = static_cast<std::size_t>(ix);
+              gw[base + ky * k_ + kx] += go * in.at(ic, uy, ux);
+              grad_in.at(ic, uy, ux) += go * wt[base + ky * k_ + kx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return Status::kOk;
+}
+
+std::unique_ptr<Layer> Conv2d::clone() const {
+  return std::make_unique<Conv2d>(*this);
+}
+
+void Conv2d::init(util::Xoshiro256& rng) {
+  const std::size_t fan_in = in_c_ * k_ * k_;
+  const double std = std::sqrt(2.0 / static_cast<double>(fan_in));
+  const std::size_t n_w = out_c_ * in_c_ * k_ * k_;
+  for (std::size_t i = 0; i < n_w; ++i)
+    params_[i] = static_cast<float>(rng.gaussian(0.0, std));
+  for (std::size_t i = n_w; i < params_.size(); ++i) params_[i] = 0.0f;
+}
+
+// ---------------------------------------------------------------- pooling
+
+namespace {
+
+Shape pool_output_shape(const Shape& in, std::size_t w,
+                        std::string_view what) {
+  if (in.rank() != 3)
+    throw std::invalid_argument(std::string(what) + ": expected CHW input");
+  if (in[1] % w != 0 || in[2] % w != 0)
+    throw std::invalid_argument(std::string(what) +
+                                ": H and W must be divisible by window");
+  return Shape::chw(in[0], in[1] / w, in[2] / w);
+}
+
+bool pool_shapes_ok(ConstTensorView in, const TensorView& out,
+                    std::size_t w) noexcept {
+  return in.shape.rank() == 3 && out.shape.rank() == 3 && in.valid() &&
+         out.valid() && in.shape[0] == out.shape[0] &&
+         out.shape[1] * w == in.shape[1] && out.shape[2] * w == in.shape[2];
+}
+
+}  // namespace
+
+MaxPool2d::MaxPool2d(std::size_t window) : w_(window) {
+  if (window == 0) throw std::invalid_argument("MaxPool2d: zero window");
+}
+
+Shape MaxPool2d::output_shape(const Shape& in) const {
+  return pool_output_shape(in, w_, "MaxPool2d");
+}
+
+Status MaxPool2d::forward(ConstTensorView in, TensorView out) const noexcept {
+  if (!pool_shapes_ok(in, out, w_)) return Status::kShapeMismatch;
+  const std::size_t c = in.shape[0], oh = out.shape[1], ow = out.shape[2];
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        float m = -std::numeric_limits<float>::infinity();
+        for (std::size_t dy = 0; dy < w_; ++dy)
+          for (std::size_t dx = 0; dx < w_; ++dx) {
+            const float v = in.at(ch, oy * w_ + dy, ox * w_ + dx);
+            m = v > m ? v : m;
+          }
+        out.at(ch, oy, ox) = m;
+      }
+    }
+  }
+  return Status::kOk;
+}
+
+Status MaxPool2d::backward(ConstTensorView in, ConstTensorView grad_out,
+                           TensorView grad_in) noexcept {
+  if (in.shape != grad_in.shape || grad_out.shape.rank() != 3)
+    return Status::kShapeMismatch;
+  for (auto& g : grad_in.data) g = 0.0f;
+  const std::size_t c = in.shape[0];
+  const std::size_t oh = grad_out.shape[1], ow = grad_out.shape[2];
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        // Route gradient to the (first) maximal element of the window.
+        float m = -std::numeric_limits<float>::infinity();
+        std::size_t my = 0, mx = 0;
+        for (std::size_t dy = 0; dy < w_; ++dy)
+          for (std::size_t dx = 0; dx < w_; ++dx) {
+            const float v = in.at(ch, oy * w_ + dy, ox * w_ + dx);
+            if (v > m) {
+              m = v;
+              my = oy * w_ + dy;
+              mx = ox * w_ + dx;
+            }
+          }
+        grad_in.at(ch, my, mx) += grad_out.at(ch, oy, ox);
+      }
+    }
+  }
+  return Status::kOk;
+}
+
+AvgPool2d::AvgPool2d(std::size_t window) : w_(window) {
+  if (window == 0) throw std::invalid_argument("AvgPool2d: zero window");
+}
+
+Shape AvgPool2d::output_shape(const Shape& in) const {
+  return pool_output_shape(in, w_, "AvgPool2d");
+}
+
+Status AvgPool2d::forward(ConstTensorView in, TensorView out) const noexcept {
+  if (!pool_shapes_ok(in, out, w_)) return Status::kShapeMismatch;
+  const std::size_t c = in.shape[0], oh = out.shape[1], ow = out.shape[2];
+  const float inv = 1.0f / static_cast<float>(w_ * w_);
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        float acc = 0.0f;
+        for (std::size_t dy = 0; dy < w_; ++dy)
+          for (std::size_t dx = 0; dx < w_; ++dx)
+            acc += in.at(ch, oy * w_ + dy, ox * w_ + dx);
+        out.at(ch, oy, ox) = acc * inv;
+      }
+    }
+  }
+  return Status::kOk;
+}
+
+Status AvgPool2d::backward(ConstTensorView in, ConstTensorView grad_out,
+                           TensorView grad_in) noexcept {
+  if (in.shape != grad_in.shape || grad_out.shape.rank() != 3)
+    return Status::kShapeMismatch;
+  const float inv = 1.0f / static_cast<float>(w_ * w_);
+  const std::size_t c = in.shape[0];
+  const std::size_t oh = grad_out.shape[1], ow = grad_out.shape[2];
+  for (std::size_t ch = 0; ch < c; ++ch)
+    for (std::size_t oy = 0; oy < oh; ++oy)
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        const float g = grad_out.at(ch, oy, ox) * inv;
+        for (std::size_t dy = 0; dy < w_; ++dy)
+          for (std::size_t dx = 0; dx < w_; ++dx)
+            grad_in.at(ch, oy * w_ + dy, ox * w_ + dx) = g;
+      }
+  return Status::kOk;
+}
+
+// ---------------------------------------------------------------- Flatten
+
+Status Flatten::forward(ConstTensorView in, TensorView out) const noexcept {
+  if (in.shape.size() != out.shape.size() || !in.valid() || !out.valid())
+    return Status::kShapeMismatch;
+  for (std::size_t i = 0; i < in.data.size(); ++i) out.data[i] = in.data[i];
+  return Status::kOk;
+}
+
+Status Flatten::backward(ConstTensorView in, ConstTensorView grad_out,
+                         TensorView grad_in) noexcept {
+  if (in.shape.size() != grad_out.shape.size() ||
+      in.shape != grad_in.shape)
+    return Status::kShapeMismatch;
+  for (std::size_t i = 0; i < grad_out.data.size(); ++i)
+    grad_in.data[i] = grad_out.data[i];
+  return Status::kOk;
+}
+
+// ---------------------------------------------------------------- Softmax
+
+Shape Softmax::output_shape(const Shape& in) const {
+  if (in.rank() != 1) throw std::invalid_argument("Softmax: rank-1 input");
+  return in;
+}
+
+Status Softmax::forward(ConstTensorView in, TensorView out) const noexcept {
+  return tensor::softmax(in, out);
+}
+
+Status Softmax::backward(ConstTensorView in, ConstTensorView grad_out,
+                         TensorView grad_in) noexcept {
+  if (in.shape != grad_out.shape || in.shape != grad_in.shape)
+    return Status::kShapeMismatch;
+  // Recompute p = softmax(in); grad_in = (diag(p) - p p^T) grad_out.
+  const std::size_t n = in.data.size();
+  float m = -std::numeric_limits<float>::infinity();
+  for (float v : in.data) m = v > m ? v : m;
+  float z = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    grad_in.data[i] = std::exp(in.data[i] - m);  // temporarily hold p
+    z += grad_in.data[i];
+  }
+  if (z <= 0.0f || !std::isfinite(z)) return Status::kNumericFault;
+  float dot = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    grad_in.data[i] /= z;
+    dot += grad_in.data[i] * grad_out.data[i];
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    grad_in.data[i] = grad_in.data[i] * (grad_out.data[i] - dot);
+  return Status::kOk;
+}
+
+// ---------------------------------------------------------------- BatchNorm
+
+BatchNorm::BatchNorm(std::size_t channels, float eps)
+    : channels_(channels),
+      eps_(eps),
+      params_(2 * channels, 0.0f),
+      grads_(2 * channels, 0.0f),
+      mean_(channels, 0.0f),
+      var_(channels, 1.0f) {
+  if (channels == 0) throw std::invalid_argument("BatchNorm: zero channels");
+  for (std::size_t i = 0; i < channels; ++i) params_[i] = 1.0f;  // gamma
+}
+
+Shape BatchNorm::output_shape(const Shape& in) const {
+  const std::size_t c = in.rank() == 3 ? in[0] : 1;
+  if ((in.rank() == 3 && c != channels_) ||
+      (in.rank() == 1 && channels_ != 1))
+    throw std::invalid_argument("BatchNorm: channel mismatch for input " +
+                                in.to_string());
+  if (in.rank() != 1 && in.rank() != 3)
+    throw std::invalid_argument("BatchNorm: rank-1 or rank-3 input");
+  return in;
+}
+
+Status BatchNorm::forward(ConstTensorView in, TensorView out) const noexcept {
+  if (in.shape != out.shape || !in.valid() || !out.valid())
+    return Status::kShapeMismatch;
+  const std::size_t c = in.shape.rank() == 3 ? in.shape[0] : 1;
+  if (c != channels_) return Status::kShapeMismatch;
+  const std::size_t per = in.data.size() / c;
+  const float* gamma = params_.data();
+  const float* beta = params_.data() + channels_;
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    const float inv_std = 1.0f / std::sqrt(var_[ch] + eps_);
+    const float g = gamma[ch] * inv_std;
+    const float b = beta[ch] - mean_[ch] * g;
+    for (std::size_t i = 0; i < per; ++i)
+      out.data[ch * per + i] = g * in.data[ch * per + i] + b;
+  }
+  return Status::kOk;
+}
+
+Status BatchNorm::backward(ConstTensorView in, ConstTensorView grad_out,
+                           TensorView grad_in) noexcept {
+  if (in.shape != grad_out.shape || in.shape != grad_in.shape)
+    return Status::kShapeMismatch;
+  const std::size_t c = in.shape.rank() == 3 ? in.shape[0] : 1;
+  if (c != channels_) return Status::kShapeMismatch;
+  const std::size_t per = in.data.size() / c;
+  const float* gamma = params_.data();
+  float* g_gamma = grads_.data();
+  float* g_beta = grads_.data() + channels_;
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    const float inv_std = 1.0f / std::sqrt(var_[ch] + eps_);
+    for (std::size_t i = 0; i < per; ++i) {
+      const std::size_t idx = ch * per + i;
+      const float xhat = (in.data[idx] - mean_[ch]) * inv_std;
+      g_gamma[ch] += grad_out.data[idx] * xhat;
+      g_beta[ch] += grad_out.data[idx];
+      grad_in.data[idx] = grad_out.data[idx] * gamma[ch] * inv_std;
+    }
+  }
+  return Status::kOk;
+}
+
+std::unique_ptr<Layer> BatchNorm::clone() const {
+  return std::make_unique<BatchNorm>(*this);
+}
+
+void BatchNorm::set_statistics(std::span<const float> mean,
+                               std::span<const float> var) {
+  if (mean.size() != channels_ || var.size() != channels_)
+    throw std::invalid_argument("BatchNorm: statistics size mismatch");
+  for (std::size_t i = 0; i < channels_; ++i) {
+    mean_[i] = mean[i];
+    var_[i] = var[i];
+  }
+}
+
+}  // namespace sx::dl

@@ -1,0 +1,238 @@
+// Concrete layers: Dense, ReLU, Conv2d, pooling, Flatten, Softmax, BatchNorm.
+#pragma once
+
+#include <vector>
+
+#include "dl/layer.hpp"
+#include "util/rng.hpp"
+
+namespace sx::dl {
+
+/// Fully connected layer: y = W x + b, W is out_dim x in_dim.
+class Dense final : public Layer {
+ public:
+  Dense(std::size_t in_dim, std::size_t out_dim);
+
+  LayerKind kind() const noexcept override { return LayerKind::kDense; }
+  std::string_view name() const noexcept override { return "dense"; }
+  Shape output_shape(const Shape& in) const override;
+  Status forward(ConstTensorView in, TensorView out) const noexcept override;
+  Status backward(ConstTensorView in, ConstTensorView grad_out,
+                  TensorView grad_in) noexcept override;
+  std::span<float> params() noexcept override { return params_; }
+  std::span<const float> params() const noexcept override { return params_; }
+  std::span<float> param_grads() noexcept override { return grads_; }
+  std::unique_ptr<Layer> clone() const override;
+
+  void init(util::Xoshiro256& rng);
+
+  std::size_t in_dim() const noexcept { return in_dim_; }
+  std::size_t out_dim() const noexcept { return out_dim_; }
+
+  /// Weight matrix view (out_dim x in_dim) into the flattened parameters.
+  std::span<float> weights() noexcept {
+    return std::span<float>(params_).first(out_dim_ * in_dim_);
+  }
+  std::span<const float> weights() const noexcept {
+    return std::span<const float>(params_).first(out_dim_ * in_dim_);
+  }
+  std::span<float> bias() noexcept {
+    return std::span<float>(params_).subspan(out_dim_ * in_dim_);
+  }
+  std::span<const float> bias() const noexcept {
+    return std::span<const float>(params_).subspan(out_dim_ * in_dim_);
+  }
+
+ private:
+  std::size_t in_dim_;
+  std::size_t out_dim_;
+  std::vector<float> params_;  // weights (out*in) then bias (out)
+  std::vector<float> grads_;
+};
+
+/// Rectified linear unit.
+class Relu final : public Layer {
+ public:
+  LayerKind kind() const noexcept override { return LayerKind::kRelu; }
+  std::string_view name() const noexcept override { return "relu"; }
+  Shape output_shape(const Shape& in) const override { return in; }
+  Status forward(ConstTensorView in, TensorView out) const noexcept override;
+  Status backward(ConstTensorView in, ConstTensorView grad_out,
+                  TensorView grad_in) noexcept override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Relu>(*this);
+  }
+};
+
+/// 2D convolution over CHW input. Weights: out_c x in_c x k x k.
+class Conv2d final : public Layer {
+ public:
+  Conv2d(std::size_t in_c, std::size_t out_c, std::size_t kernel,
+         std::size_t stride = 1, std::size_t padding = 0);
+
+  LayerKind kind() const noexcept override { return LayerKind::kConv2d; }
+  std::string_view name() const noexcept override { return "conv2d"; }
+  Shape output_shape(const Shape& in) const override;
+  Status forward(ConstTensorView in, TensorView out) const noexcept override;
+  Status backward(ConstTensorView in, ConstTensorView grad_out,
+                  TensorView grad_in) noexcept override;
+  std::span<float> params() noexcept override { return params_; }
+  std::span<const float> params() const noexcept override { return params_; }
+  std::span<float> param_grads() noexcept override { return grads_; }
+  std::unique_ptr<Layer> clone() const override;
+
+  void init(util::Xoshiro256& rng);
+
+  std::size_t in_channels() const noexcept { return in_c_; }
+  std::size_t out_channels() const noexcept { return out_c_; }
+  std::size_t kernel() const noexcept { return k_; }
+  std::size_t stride() const noexcept { return stride_; }
+  std::size_t padding() const noexcept { return pad_; }
+
+  std::span<const float> weights() const noexcept {
+    return std::span<const float>(params_).first(out_c_ * in_c_ * k_ * k_);
+  }
+  std::span<const float> bias() const noexcept {
+    return std::span<const float>(params_).subspan(out_c_ * in_c_ * k_ * k_);
+  }
+
+ private:
+  std::size_t in_c_, out_c_, k_, stride_, pad_;
+  std::vector<float> params_;  // weights then bias
+  std::vector<float> grads_;
+};
+
+/// Max pooling with square window and matching stride.
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(std::size_t window);
+
+  LayerKind kind() const noexcept override { return LayerKind::kMaxPool2d; }
+  std::string_view name() const noexcept override { return "maxpool2d"; }
+  Shape output_shape(const Shape& in) const override;
+  Status forward(ConstTensorView in, TensorView out) const noexcept override;
+  Status backward(ConstTensorView in, ConstTensorView grad_out,
+                  TensorView grad_in) noexcept override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<MaxPool2d>(*this);
+  }
+
+  std::size_t window() const noexcept { return w_; }
+
+ private:
+  std::size_t w_;
+};
+
+/// Average pooling with square window and matching stride.
+class AvgPool2d final : public Layer {
+ public:
+  explicit AvgPool2d(std::size_t window);
+
+  LayerKind kind() const noexcept override { return LayerKind::kAvgPool2d; }
+  std::string_view name() const noexcept override { return "avgpool2d"; }
+  Shape output_shape(const Shape& in) const override;
+  Status forward(ConstTensorView in, TensorView out) const noexcept override;
+  Status backward(ConstTensorView in, ConstTensorView grad_out,
+                  TensorView grad_in) noexcept override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<AvgPool2d>(*this);
+  }
+
+  std::size_t window() const noexcept { return w_; }
+
+ private:
+  std::size_t w_;
+};
+
+/// Logistic sigmoid, element-wise.
+class Sigmoid final : public Layer {
+ public:
+  LayerKind kind() const noexcept override { return LayerKind::kSigmoid; }
+  std::string_view name() const noexcept override { return "sigmoid"; }
+  Shape output_shape(const Shape& in) const override { return in; }
+  Status forward(ConstTensorView in, TensorView out) const noexcept override;
+  Status backward(ConstTensorView in, ConstTensorView grad_out,
+                  TensorView grad_in) noexcept override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Sigmoid>(*this);
+  }
+};
+
+/// Hyperbolic tangent, element-wise.
+class Tanh final : public Layer {
+ public:
+  LayerKind kind() const noexcept override { return LayerKind::kTanh; }
+  std::string_view name() const noexcept override { return "tanh"; }
+  Shape output_shape(const Shape& in) const override { return in; }
+  Status forward(ConstTensorView in, TensorView out) const noexcept override;
+  Status backward(ConstTensorView in, ConstTensorView grad_out,
+                  TensorView grad_in) noexcept override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Tanh>(*this);
+  }
+};
+
+/// Reshape to rank-1 (no data movement semantics beyond copy).
+class Flatten final : public Layer {
+ public:
+  LayerKind kind() const noexcept override { return LayerKind::kFlatten; }
+  std::string_view name() const noexcept override { return "flatten"; }
+  Shape output_shape(const Shape& in) const override {
+    return Shape::vec(in.size());
+  }
+  Status forward(ConstTensorView in, TensorView out) const noexcept override;
+  Status backward(ConstTensorView in, ConstTensorView grad_out,
+                  TensorView grad_in) noexcept override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Flatten>(*this);
+  }
+};
+
+/// Softmax over a rank-1 input.
+class Softmax final : public Layer {
+ public:
+  LayerKind kind() const noexcept override { return LayerKind::kSoftmax; }
+  std::string_view name() const noexcept override { return "softmax"; }
+  Shape output_shape(const Shape& in) const override;
+  Status forward(ConstTensorView in, TensorView out) const noexcept override;
+  Status backward(ConstTensorView in, ConstTensorView grad_out,
+                  TensorView grad_in) noexcept override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Softmax>(*this);
+  }
+};
+
+/// Inference-mode batch normalization over channels of a CHW tensor (or the
+/// single "channel" of a vector). Statistics are frozen; gamma/beta train.
+class BatchNorm final : public Layer {
+ public:
+  explicit BatchNorm(std::size_t channels, float eps = 1e-5f);
+
+  LayerKind kind() const noexcept override { return LayerKind::kBatchNorm; }
+  std::string_view name() const noexcept override { return "batchnorm"; }
+  Shape output_shape(const Shape& in) const override;
+  Status forward(ConstTensorView in, TensorView out) const noexcept override;
+  Status backward(ConstTensorView in, ConstTensorView grad_out,
+                  TensorView grad_in) noexcept override;
+  std::span<float> params() noexcept override { return params_; }
+  std::span<const float> params() const noexcept override { return params_; }
+  std::span<float> param_grads() noexcept override { return grads_; }
+  std::unique_ptr<Layer> clone() const override;
+
+  std::size_t channels() const noexcept { return channels_; }
+  /// Sets the frozen running statistics (e.g. estimated from training data).
+  void set_statistics(std::span<const float> mean, std::span<const float> var);
+  std::span<const float> running_mean() const noexcept { return mean_; }
+  std::span<const float> running_var() const noexcept { return var_; }
+  float epsilon() const noexcept { return eps_; }
+
+ private:
+  std::size_t channels_;
+  float eps_;
+  std::vector<float> params_;  // gamma (channels) then beta (channels)
+  std::vector<float> grads_;
+  std::vector<float> mean_;
+  std::vector<float> var_;
+};
+
+}  // namespace sx::dl

@@ -1,0 +1,381 @@
+#include "dl/model.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sx::dl {
+
+Model::Model(Shape input_shape, std::vector<std::unique_ptr<Layer>> layers)
+    : input_shape_(input_shape), layers_(std::move(layers)) {
+  if (layers_.empty()) throw std::invalid_argument("Model: no layers");
+  shapes_.reserve(layers_.size() + 1);
+  Shape s = input_shape_;
+  for (const auto& l : layers_) {
+    s = l->output_shape(s);  // throws on incompatibility
+    shapes_.push_back(s);
+  }
+}
+
+Model::Model(const Model& o) : input_shape_(o.input_shape_), shapes_(o.shapes_) {
+  layers_.reserve(o.layers_.size());
+  for (const auto& l : o.layers_) layers_.push_back(l->clone());
+}
+
+Model& Model::operator=(const Model& o) {
+  if (this == &o) return *this;
+  Model tmp(o);
+  *this = std::move(tmp);
+  return *this;
+}
+
+std::size_t Model::param_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l->param_count();
+  return n;
+}
+
+std::size_t Model::max_activation_size() const noexcept {
+  std::size_t m = input_shape_.size();
+  for (const auto& s : shapes_) m = std::max(m, s.size());
+  return m;
+}
+
+tensor::Tensor Model::forward(const tensor::Tensor& input) const {
+  if (input.shape() != input_shape_)
+    throw std::invalid_argument("Model::forward: input shape " +
+                                input.shape().to_string() + " != " +
+                                input_shape_.to_string());
+  tensor::Tensor cur = input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    tensor::Tensor next{shapes_[i]};
+    const Status st = layers_[i]->forward(cur.view(), next.view());
+    if (!ok(st))
+      throw std::runtime_error(std::string("Model::forward: layer ") +
+                               std::to_string(i) + " failed: " +
+                               std::string(to_string(st)));
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+std::vector<tensor::Tensor> Model::forward_trace(
+    const tensor::Tensor& input) const {
+  if (input.shape() != input_shape_)
+    throw std::invalid_argument("Model::forward_trace: bad input shape");
+  std::vector<tensor::Tensor> acts;
+  acts.reserve(layers_.size() + 1);
+  acts.push_back(input);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    tensor::Tensor next{shapes_[i]};
+    const Status st = layers_[i]->forward(acts.back().view(), next.view());
+    if (!ok(st))
+      throw std::runtime_error("Model::forward_trace: layer failed: " +
+                               std::string(to_string(st)));
+    acts.push_back(std::move(next));
+  }
+  return acts;
+}
+
+tensor::Tensor Model::backward(const std::vector<tensor::Tensor>& activations,
+                               const tensor::Tensor& grad_output) {
+  return backward_to(activations, grad_output, 0);
+}
+
+tensor::Tensor Model::backward_to(
+    const std::vector<tensor::Tensor>& activations,
+    const tensor::Tensor& grad_output, std::size_t stop_layer) {
+  if (activations.size() != layers_.size() + 1)
+    throw std::invalid_argument("Model::backward: activation count mismatch");
+  if (grad_output.shape() != output_shape())
+    throw std::invalid_argument("Model::backward: bad grad_output shape");
+  if (stop_layer >= layers_.size())
+    throw std::invalid_argument("Model::backward_to: stop_layer out of range");
+  tensor::Tensor grad = grad_output;
+  for (std::size_t i = layers_.size(); i-- > stop_layer;) {
+    tensor::Tensor grad_in{activations[i].shape()};
+    const Status st =
+        layers_[i]->backward(activations[i].view(), grad.view(), grad_in.view());
+    if (!ok(st))
+      throw std::runtime_error("Model::backward: layer failed: " +
+                               std::string(to_string(st)));
+    grad = std::move(grad_in);
+  }
+  return grad;
+}
+
+void Model::zero_grads() noexcept {
+  for (auto& l : layers_) l->zero_grads();
+}
+
+util::Sha256Digest Model::provenance_hash() const {
+  util::Sha256 h;
+  h.update(summary());
+  for (const auto& l : layers_) {
+    const auto p = l->params();
+    h.update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(p.data()),
+        p.size() * sizeof(float)));
+  }
+  return h.finish();
+}
+
+std::string Model::summary() const {
+  std::ostringstream os;
+  os << "input " << input_shape_.to_string() << "\n";
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    os << i << ": " << layers_[i]->name() << " -> "
+       << shapes_[i].to_string() << " (" << layers_[i]->param_count()
+       << " params)\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+void save_shape(std::ostream& os, const Shape& s) {
+  os << s.rank();
+  for (std::size_t i = 0; i < s.rank(); ++i) os << ' ' << s[i];
+  os << '\n';
+}
+
+Shape load_shape(std::istream& is) {
+  std::size_t rank = 0;
+  is >> rank;
+  if (!is || rank > Shape::kMaxRank)
+    throw std::runtime_error("Model::load: bad shape rank");
+  std::initializer_list<std::size_t> empty{};
+  (void)empty;
+  std::size_t d[Shape::kMaxRank] = {1, 1, 1, 1};
+  for (std::size_t i = 0; i < rank; ++i) is >> d[i];
+  if (!is) throw std::runtime_error("Model::load: bad shape dims");
+  switch (rank) {
+    case 0: return Shape::scalar();
+    case 1: return Shape{d[0]};
+    case 2: return Shape{d[0], d[1]};
+    case 3: return Shape{d[0], d[1], d[2]};
+    default: return Shape{d[0], d[1], d[2], d[3]};
+  }
+}
+
+// Parameters are serialized as raw IEEE-754 bit patterns in hex: bit-exact
+// round trips, no dependence on locale or float-parsing quirks.
+void save_params(std::ostream& os, std::span<const float> p) {
+  os << p.size();
+  os << std::hex;
+  for (float v : p) {
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    os << ' ' << bits;
+  }
+  os << std::dec << '\n';
+}
+
+void load_params(std::istream& is, std::span<float> p) {
+  std::size_t n = 0;
+  is >> n;
+  if (!is || n != p.size())
+    throw std::runtime_error("Model::load: parameter count mismatch");
+  is >> std::hex;
+  for (auto& v : p) {
+    std::uint32_t bits = 0;
+    is >> bits;
+    std::memcpy(&v, &bits, sizeof(v));
+  }
+  is >> std::dec;
+  if (!is) throw std::runtime_error("Model::load: truncated parameters");
+}
+
+}  // namespace
+
+void Model::save(std::ostream& os) const {
+  os << "safexplain-model v1\n";
+  save_shape(os, input_shape_);
+  os << layers_.size() << '\n';
+  for (const auto& l : layers_) {
+    os << to_string(l->kind());
+    switch (l->kind()) {
+      case LayerKind::kDense: {
+        const auto& d = static_cast<const Dense&>(*l);
+        os << ' ' << d.in_dim() << ' ' << d.out_dim() << '\n';
+        save_params(os, d.params());
+        break;
+      }
+      case LayerKind::kConv2d: {
+        const auto& c = static_cast<const Conv2d&>(*l);
+        os << ' ' << c.in_channels() << ' ' << c.out_channels() << ' '
+           << c.kernel() << ' ' << c.stride() << ' ' << c.padding() << '\n';
+        save_params(os, c.params());
+        break;
+      }
+      case LayerKind::kMaxPool2d:
+        os << ' ' << static_cast<const MaxPool2d&>(*l).window() << '\n';
+        break;
+      case LayerKind::kAvgPool2d:
+        os << ' ' << static_cast<const AvgPool2d&>(*l).window() << '\n';
+        break;
+      case LayerKind::kBatchNorm: {
+        const auto& b = static_cast<const BatchNorm&>(*l);
+        os << ' ' << b.channels() << '\n';
+        save_params(os, b.params());
+        save_params(os, b.running_mean());
+        save_params(os, b.running_var());
+        break;
+      }
+      default:
+        os << '\n';
+        break;
+    }
+  }
+}
+
+Model Model::load(std::istream& is) {
+  std::string magic, version;
+  is >> magic >> version;
+  if (magic != "safexplain-model" || version != "v1")
+    throw std::runtime_error("Model::load: bad header");
+  const Shape input = load_shape(is);
+  std::size_t n_layers = 0;
+  is >> n_layers;
+  if (!is || n_layers == 0 || n_layers > 10000)
+    throw std::runtime_error("Model::load: bad layer count");
+
+  std::vector<std::unique_ptr<Layer>> layers;
+  layers.reserve(n_layers);
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    std::string kind;
+    is >> kind;
+    if (kind == "dense") {
+      std::size_t in = 0, out = 0;
+      is >> in >> out;
+      auto d = std::make_unique<Dense>(in, out);
+      load_params(is, d->params());
+      layers.push_back(std::move(d));
+    } else if (kind == "conv2d") {
+      std::size_t ic = 0, oc = 0, k = 0, s = 0, p = 0;
+      is >> ic >> oc >> k >> s >> p;
+      auto c = std::make_unique<Conv2d>(ic, oc, k, s, p);
+      load_params(is, c->params());
+      layers.push_back(std::move(c));
+    } else if (kind == "relu") {
+      layers.push_back(std::make_unique<Relu>());
+    } else if (kind == "sigmoid") {
+      layers.push_back(std::make_unique<Sigmoid>());
+    } else if (kind == "tanh") {
+      layers.push_back(std::make_unique<Tanh>());
+    } else if (kind == "maxpool2d") {
+      std::size_t w = 0;
+      is >> w;
+      layers.push_back(std::make_unique<MaxPool2d>(w));
+    } else if (kind == "avgpool2d") {
+      std::size_t w = 0;
+      is >> w;
+      layers.push_back(std::make_unique<AvgPool2d>(w));
+    } else if (kind == "flatten") {
+      layers.push_back(std::make_unique<Flatten>());
+    } else if (kind == "softmax") {
+      layers.push_back(std::make_unique<Softmax>());
+    } else if (kind == "batchnorm") {
+      std::size_t c = 0;
+      is >> c;
+      auto b = std::make_unique<BatchNorm>(c);
+      load_params(is, b->params());
+      std::vector<float> mean(c), var(c);
+      load_params(is, mean);
+      load_params(is, var);
+      b->set_statistics(mean, var);
+      layers.push_back(std::move(b));
+    } else {
+      throw std::runtime_error("Model::load: unknown layer kind: " + kind);
+    }
+  }
+  return Model(input, std::move(layers));
+}
+
+// ---------------------------------------------------------------- builder
+
+Shape ModelBuilder::current_shape() const {
+  Shape s = input_;
+  for (const auto& l : layers_) s = l->output_shape(s);
+  return s;
+}
+
+ModelBuilder& ModelBuilder::dense(std::size_t out_dim) {
+  layers_.push_back(std::make_unique<Dense>(current_shape().size(), out_dim));
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::relu() {
+  layers_.push_back(std::make_unique<Relu>());
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::sigmoid() {
+  layers_.push_back(std::make_unique<Sigmoid>());
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::tanh_() {
+  layers_.push_back(std::make_unique<Tanh>());
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::conv2d(std::size_t out_c, std::size_t kernel,
+                                   std::size_t stride, std::size_t padding) {
+  const Shape s = current_shape();
+  if (s.rank() != 3)
+    throw std::invalid_argument("conv2d: needs CHW input, got " +
+                                s.to_string());
+  auto layer = std::make_unique<Conv2d>(s[0], out_c, kernel, stride, padding);
+  (void)layer->output_shape(s);  // validate now
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::maxpool(std::size_t window) {
+  auto layer = std::make_unique<MaxPool2d>(window);
+  (void)layer->output_shape(current_shape());
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::avgpool(std::size_t window) {
+  auto layer = std::make_unique<AvgPool2d>(window);
+  (void)layer->output_shape(current_shape());
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::flatten() {
+  layers_.push_back(std::make_unique<Flatten>());
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::softmax() {
+  auto layer = std::make_unique<Softmax>();
+  (void)layer->output_shape(current_shape());
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::batchnorm() {
+  const Shape s = current_shape();
+  const std::size_t c = s.rank() == 3 ? s[0] : 1;
+  auto layer = std::make_unique<BatchNorm>(c);
+  (void)layer->output_shape(s);
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Model ModelBuilder::build(std::uint64_t seed) {
+  util::Xoshiro256 rng{seed};
+  for (auto& l : layers_) {
+    if (auto* d = dynamic_cast<Dense*>(l.get())) d->init(rng);
+    if (auto* c = dynamic_cast<Conv2d*>(l.get())) c->init(rng);
+  }
+  return Model(input_, std::move(layers_));
+}
+
+}  // namespace sx::dl

@@ -1,0 +1,109 @@
+// Sequential model: an ordered list of layers with validated shapes.
+//
+// Models are assembled offline through ModelBuilder (which throws on shape
+// errors) and are immutable in structure afterwards. Parameter bytes are
+// hashable for provenance (pillar 1: traceability).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dl/layers.hpp"
+#include "util/hash.hpp"
+
+namespace sx::dl {
+
+class Model {
+ public:
+  Model(Shape input_shape, std::vector<std::unique_ptr<Layer>> layers);
+
+  Model(const Model& o);
+  Model& operator=(const Model& o);
+  Model(Model&&) noexcept = default;
+  Model& operator=(Model&&) noexcept = default;
+
+  const Shape& input_shape() const noexcept { return input_shape_; }
+  const Shape& output_shape() const noexcept { return shapes_.back(); }
+
+  std::size_t layer_count() const noexcept { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+  /// Shape of the activation *after* layer i (shapes_[0] is the input shape).
+  const Shape& activation_shape(std::size_t i) const { return shapes_.at(i); }
+
+  /// Total number of trainable parameters.
+  std::size_t param_count() const noexcept;
+
+  /// Largest activation buffer any layer needs (floats) — sizes the arena.
+  std::size_t max_activation_size() const noexcept;
+
+  /// Offline convenience forward: allocates the output. Throws on mismatch.
+  tensor::Tensor forward(const tensor::Tensor& input) const;
+
+  /// Forward keeping every intermediate activation (for training/XAI).
+  /// activations[0] = input copy, activations[i+1] = output of layer i.
+  std::vector<tensor::Tensor> forward_trace(const tensor::Tensor& input) const;
+
+  /// Backpropagates grad at the output through all layers, accumulating
+  /// parameter gradients; returns the gradient w.r.t. the input.
+  tensor::Tensor backward(const std::vector<tensor::Tensor>& activations,
+                          const tensor::Tensor& grad_output);
+
+  /// Backpropagates only through layers [stop_layer, layer_count()),
+  /// returning the gradient w.r.t. activations[stop_layer] — i.e. the
+  /// input of layer `stop_layer`. Used by layer-attribution methods such
+  /// as Grad-CAM.
+  tensor::Tensor backward_to(const std::vector<tensor::Tensor>& activations,
+                             const tensor::Tensor& grad_output,
+                             std::size_t stop_layer);
+
+  void zero_grads() noexcept;
+
+  /// SHA-256 over architecture string + parameter bytes: the model identity
+  /// used by the traceability subsystem.
+  util::Sha256Digest provenance_hash() const;
+
+  /// Human-readable architecture summary (one line per layer).
+  std::string summary() const;
+
+  /// Text serialization (architecture + full-precision parameters).
+  void save(std::ostream& os) const;
+  static Model load(std::istream& is);
+
+ private:
+  Shape input_shape_{};
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<Shape> shapes_;  // shapes_[i] = shape after layer i-1
+};
+
+/// Fluent builder with eager shape validation.
+class ModelBuilder {
+ public:
+  explicit ModelBuilder(Shape input_shape) : input_(input_shape) {}
+
+  ModelBuilder& dense(std::size_t out_dim);
+  ModelBuilder& relu();
+  ModelBuilder& sigmoid();
+  ModelBuilder& tanh_();
+  ModelBuilder& conv2d(std::size_t out_c, std::size_t kernel,
+                       std::size_t stride = 1, std::size_t padding = 0);
+  ModelBuilder& maxpool(std::size_t window);
+  ModelBuilder& avgpool(std::size_t window);
+  ModelBuilder& flatten();
+  ModelBuilder& softmax();
+  ModelBuilder& batchnorm();
+
+  /// Finalizes; initializes all parameters deterministically from `seed`.
+  Model build(std::uint64_t seed);
+
+ private:
+  Shape current_shape() const;
+
+  Shape input_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace sx::dl

@@ -1,0 +1,66 @@
+#include "dl/prune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace sx::dl {
+namespace {
+
+/// The weight portion (excluding bias) of a parametric layer, or empty.
+std::span<float> weight_span(Layer& layer) {
+  if (auto* d = dynamic_cast<Dense*>(&layer)) return d->weights();
+  if (layer.kind() == LayerKind::kConv2d) {
+    auto& c = static_cast<Conv2d&>(layer);
+    const std::size_t n_w =
+        c.out_channels() * c.in_channels() * c.kernel() * c.kernel();
+    return layer.params().first(n_w);
+  }
+  return {};
+}
+
+}  // namespace
+
+PruneReport prune_by_magnitude(Model& model, double fraction) {
+  if (fraction < 0.0 || fraction > 1.0)
+    throw std::invalid_argument("prune_by_magnitude: fraction out of [0,1]");
+  PruneReport report;
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    auto w = weight_span(model.layer(i));
+    if (w.empty()) continue;
+    report.total_weights += w.size();
+    const auto k = static_cast<std::size_t>(
+        fraction * static_cast<double>(w.size()));
+    if (k == 0) continue;
+    std::vector<float> mags(w.size());
+    for (std::size_t j = 0; j < w.size(); ++j) mags[j] = std::fabs(w[j]);
+    std::vector<float> sorted = mags;
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     sorted.end());
+    const float cut = sorted[k - 1];
+    std::size_t pruned = 0;
+    for (std::size_t j = 0; j < w.size() && pruned < k; ++j) {
+      if (mags[j] <= cut && w[j] != 0.0f) {
+        w[j] = 0.0f;
+        ++pruned;
+      }
+    }
+    report.pruned_weights += pruned;
+  }
+  return report;
+}
+
+double measured_sparsity(const Model& model) {
+  std::size_t total = 0, zeros = 0;
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    // const_cast is confined to reading: weight_span needs a Layer&.
+    auto w = weight_span(const_cast<Model&>(model).layer(i));
+    total += w.size();
+    for (float v : w) zeros += (v == 0.0f) ? 1 : 0;
+  }
+  return total ? static_cast<double>(zeros) / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace sx::dl

@@ -1,0 +1,31 @@
+// Magnitude pruning (pillar 3: embedded deployment footprint).
+//
+// Zeroes the smallest-magnitude fraction of each parametric layer's
+// weights (biases kept). Structured reporting lets the E2-style footprint
+// analysis quantify the sparsity/accuracy trade-off an embedded target
+// can exploit.
+#pragma once
+
+#include "dl/model.hpp"
+
+namespace sx::dl {
+
+struct PruneReport {
+  std::size_t total_weights = 0;
+  std::size_t pruned_weights = 0;
+
+  double sparsity() const noexcept {
+    return total_weights ? static_cast<double>(pruned_weights) /
+                               static_cast<double>(total_weights)
+                         : 0.0;
+  }
+};
+
+/// Prunes `fraction` (0..1) of each Dense/Conv2d layer's weights by
+/// magnitude, in place. Returns what was pruned.
+PruneReport prune_by_magnitude(Model& model, double fraction);
+
+/// Fraction of exactly-zero weights across all parametric layers.
+double measured_sparsity(const Model& model);
+
+}  // namespace sx::dl

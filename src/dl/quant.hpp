@@ -1,0 +1,98 @@
+// Post-training static int8 quantization (pillar 3).
+//
+// Symmetric int8 quantization with int32 accumulation:
+//   - weights: per-tensor or per-output-channel scales (experiment E2
+//     contrasts the two granularities);
+//   - activations: per-layer scales calibrated from a representative dataset
+//     (abs-max over the calibration run);
+//   - inference: int8 ping-pong buffers, noexcept, allocation-free after
+//     construction — the same FUSA discipline as StaticEngine.
+//
+// BatchNorm layers must be folded into the preceding Conv2d/Dense first
+// (fold_batchnorm), mirroring standard deployment practice.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dl/dataset.hpp"
+#include "dl/model.hpp"
+
+namespace sx::dl {
+
+enum class WeightGranularity : std::uint8_t { kPerTensor, kPerChannel };
+
+const char* to_string(WeightGranularity g) noexcept;
+
+struct QuantConfig {
+  WeightGranularity granularity = WeightGranularity::kPerChannel;
+};
+
+/// Returns a copy of `model` with every BatchNorm folded into the directly
+/// preceding Conv2d or Dense layer. Throws if a BatchNorm has no foldable
+/// predecessor.
+Model fold_batchnorm(const Model& model);
+
+/// A fully quantized sequential model.
+class QuantizedModel {
+ public:
+  /// Quantizes `model` (which must contain only Dense/Conv2d/Relu/MaxPool/
+  /// AvgPool/Flatten layers) using `calibration` to set activation scales.
+  static QuantizedModel quantize(const Model& model,
+                                 const Dataset& calibration,
+                                 QuantConfig cfg = {});
+
+  /// Int8 inference; output is dequantized float logits. No allocation.
+  Status run(tensor::ConstTensorView input,
+             std::span<float> output) noexcept;
+
+  const Shape& input_shape() const noexcept { return input_shape_; }
+  const Shape& output_shape() const noexcept { return shapes_.back(); }
+
+  /// Bytes of weight storage (for the footprint column of E2).
+  std::size_t weight_bytes() const noexcept;
+
+  /// Classification accuracy (argmax over dequantized logits).
+  double evaluate_accuracy(const Dataset& ds);
+
+  WeightGranularity granularity() const noexcept { return cfg_.granularity; }
+
+ private:
+  struct QLayer {
+    LayerKind kind{};
+    // Dense / Conv2d payload.
+    std::vector<std::int8_t> weights;
+    std::vector<float> w_scales;  // one per output channel, or a single entry
+    std::vector<float> bias;
+    std::size_t in_c = 0, out_c = 0, k = 0, stride = 0, pad = 0;  // conv
+    std::size_t in_dim = 0, out_dim = 0;                          // dense
+    std::size_t window = 0;                                       // pooling
+    float out_scale = 1.0f;  // activation scale after this layer
+  };
+
+  QuantizedModel() = default;
+
+  Status run_layer(const QLayer& l, const Shape& in_shape,
+                   std::span<const std::int8_t> in, float in_scale,
+                   const Shape& out_shape,
+                   std::span<std::int8_t> out) const noexcept;
+
+  Shape input_shape_{};
+  float input_scale_ = 1.0f;
+  std::vector<QLayer> layers_;
+  std::vector<Shape> shapes_;  // shape after each layer
+  QuantConfig cfg_{};
+  // Ping-pong int8 activation buffers (sized at quantize() time).
+  std::vector<std::int8_t> ping_;
+  std::vector<std::int8_t> pong_;
+};
+
+/// Quantizes a single float to int8 with the given scale.
+inline std::int8_t quantize_value(float v, float scale) noexcept {
+  const float q = v / scale;
+  const float r = q >= 0.0f ? q + 0.5f : q - 0.5f;  // round half away
+  const int i = static_cast<int>(r);
+  return static_cast<std::int8_t>(i > 127 ? 127 : (i < -127 ? -127 : i));
+}
+
+}  // namespace sx::dl

@@ -1,0 +1,237 @@
+#include "dl/train.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sx::dl {
+
+double cross_entropy_with_grad(std::span<const float> logits,
+                               std::size_t label, std::span<float> grad) {
+  if (label >= logits.size() || grad.size() != logits.size())
+    throw std::invalid_argument("cross_entropy_with_grad: bad sizes");
+  // Stable log-softmax.
+  float m = -std::numeric_limits<float>::infinity();
+  for (float v : logits) m = v > m ? v : m;
+  double z = 0.0;
+  for (float v : logits) z += std::exp(static_cast<double>(v - m));
+  const double log_z = std::log(z);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const double p = std::exp(static_cast<double>(logits[i] - m)) / z;
+    grad[i] = static_cast<float>(p - (i == label ? 1.0 : 0.0));
+  }
+  return -(static_cast<double>(logits[label] - m) - log_z);
+}
+
+tensor::Tensor augment_image(const tensor::Tensor& img,
+                             util::Xoshiro256& rng) {
+  if (img.shape().rank() != 3) return img;
+  const std::size_t c = img.shape()[0];
+  const std::size_t h = img.shape()[1];
+  const std::size_t w = img.shape()[2];
+  const bool flip = rng.uniform() < 0.5;
+  const int dy = static_cast<int>(rng.below(3)) - 1;
+  const int dx = static_cast<int>(rng.below(3)) - 1;
+  tensor::Tensor out{img.shape()};
+  for (std::size_t ch = 0; ch < c; ++ch)
+    for (std::size_t y = 0; y < h; ++y)
+      for (std::size_t x = 0; x < w; ++x) {
+        const int sy = static_cast<int>(y) - dy;
+        int sx = static_cast<int>(flip ? (w - 1 - x) : x) - dx;
+        if (sy < 0 || sy >= static_cast<int>(h) || sx < 0 ||
+            sx >= static_cast<int>(w)) {
+          out.at(ch, y, x) = 0.0f;
+        } else {
+          out.at(ch, y, x) = img.at(ch, static_cast<std::size_t>(sy),
+                                    static_cast<std::size_t>(sx));
+        }
+      }
+  return out;
+}
+
+tensor::Tensor fgsm_training_example(Model& model, const tensor::Tensor& input,
+                                     std::size_t label, float eps) {
+  const auto acts = model.forward_trace(input);
+  tensor::Tensor grad_logits{acts.back().shape()};
+  (void)cross_entropy_with_grad(acts.back().data(), label,
+                                grad_logits.data());
+  tensor::Tensor grad_in = model.backward(acts, grad_logits);
+  model.zero_grads();
+  tensor::Tensor adv = input;
+  for (std::size_t i = 0; i < adv.size(); ++i) {
+    const float g = grad_in.at(i);
+    const float step = eps * (g > 0.0f ? 1.0f : (g < 0.0f ? -1.0f : 0.0f));
+    adv.at(i) = std::min(1.0f, std::max(0.0f, adv.at(i) + step));
+  }
+  return adv;
+}
+
+std::vector<EpochStats> Trainer::fit(Model& model, const Dataset& ds) {
+  if (ds.samples.empty()) throw std::invalid_argument("Trainer::fit: empty dataset");
+  if (model.output_shape().rank() != 1)
+    throw std::invalid_argument("Trainer::fit: model must output logits");
+  const std::size_t n_classes = model.output_shape().size();
+
+  OptimizerState state;
+  state.velocity.reserve(model.layer_count());
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    state.velocity.emplace_back(model.layer(i).param_count(), 0.0f);
+    state.second.emplace_back(
+        cfg_.optimizer == Optimizer::kAdam ? model.layer(i).param_count() : 0,
+        0.0f);
+  }
+
+  std::vector<std::size_t> order(ds.samples.size());
+  std::iota(order.begin(), order.end(), 0);
+  util::Xoshiro256 rng{cfg_.shuffle_seed};
+
+  std::vector<EpochStats> history;
+  history.reserve(cfg_.epochs);
+  for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    // Fisher-Yates shuffle with our deterministic RNG.
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng.below(i)]);
+
+    double loss_sum = 0.0;
+    std::size_t correct = 0;
+    std::size_t batch_fill = 0;
+    model.zero_grads();
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      const Sample& s = ds.samples[order[k]];
+      if (s.label >= n_classes)
+        throw std::invalid_argument("Trainer::fit: label out of range");
+
+      tensor::Tensor input = s.input;
+      if (cfg_.augment) input = augment_image(input, rng);
+      if (cfg_.adversarial_eps > 0.0f && rng.uniform() < 0.5)
+        input = fgsm_training_example(model, input, s.label,
+                                      cfg_.adversarial_eps);
+
+      const auto acts = model.forward_trace(input);
+      const tensor::Tensor& logits = acts.back();
+      tensor::Tensor grad{logits.shape()};
+      loss_sum += cross_entropy_with_grad(logits.data(), s.label, grad.data());
+      if (tensor::argmax(logits.view()) == s.label) ++correct;
+      (void)model.backward(acts, grad);
+      ++batch_fill;
+
+      const bool last = (k + 1 == order.size());
+      if (batch_fill == cfg_.batch_size || last) {
+        apply_step(model, state, batch_fill);
+        model.zero_grads();
+        batch_fill = 0;
+      }
+    }
+    history.push_back(EpochStats{
+        loss_sum / static_cast<double>(order.size()),
+        static_cast<double>(correct) / static_cast<double>(order.size())});
+  }
+  return history;
+}
+
+void Trainer::apply_step(Model& model, OptimizerState& state,
+                         std::size_t batch_size) const {
+  const auto scale = 1.0 / static_cast<double>(batch_size);
+  // Optional global gradient clipping.
+  double norm_sq = 0.0;
+  for (std::size_t i = 0; i < model.layer_count(); ++i)
+    for (float g : model.layer(i).param_grads())
+      norm_sq += static_cast<double>(g) * g * scale * scale;
+  double clip_scale = 1.0;
+  if (cfg_.grad_clip > 0.0) {
+    const double norm = std::sqrt(norm_sq);
+    if (norm > cfg_.grad_clip) clip_scale = cfg_.grad_clip / norm;
+  }
+
+  ++state.step;
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    auto params = model.layer(i).params();
+    auto grads = model.layer(i).param_grads();
+    auto& vel = state.velocity[i];
+    for (std::size_t j = 0; j < params.size(); ++j) {
+      const double g = static_cast<double>(grads[j]) * scale * clip_scale;
+      if (cfg_.optimizer == Optimizer::kSgdMomentum) {
+        vel[j] = static_cast<float>(cfg_.momentum * vel[j] -
+                                    cfg_.learning_rate * g);
+        params[j] += vel[j];
+      } else {
+        auto& sec = state.second[i];
+        vel[j] = static_cast<float>(cfg_.adam_beta1 * vel[j] +
+                                    (1.0 - cfg_.adam_beta1) * g);
+        sec[j] = static_cast<float>(cfg_.adam_beta2 * sec[j] +
+                                    (1.0 - cfg_.adam_beta2) * g * g);
+        const double m_hat =
+            vel[j] / (1.0 - std::pow(cfg_.adam_beta1,
+                                     static_cast<double>(state.step)));
+        const double v_hat =
+            sec[j] / (1.0 - std::pow(cfg_.adam_beta2,
+                                     static_cast<double>(state.step)));
+        params[j] -= static_cast<float>(
+            cfg_.learning_rate * m_hat / (std::sqrt(v_hat) + cfg_.adam_eps));
+      }
+    }
+  }
+}
+
+double Trainer::evaluate_accuracy(const Model& model, const Dataset& ds) {
+  if (ds.samples.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const auto& s : ds.samples) {
+    const tensor::Tensor logits = model.forward(s.input);
+    if (tensor::argmax(logits.view()) == s.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(ds.samples.size());
+}
+
+double Trainer::evaluate_loss(const Model& model, const Dataset& ds) {
+  if (ds.samples.empty()) return 0.0;
+  double loss = 0.0;
+  std::vector<float> grad;
+  for (const auto& s : ds.samples) {
+    const tensor::Tensor logits = model.forward(s.input);
+    grad.assign(logits.size(), 0.0f);
+    loss += cross_entropy_with_grad(logits.data(), s.label, grad);
+  }
+  return loss / static_cast<double>(ds.samples.size());
+}
+
+void calibrate_batchnorm(Model& model, const Dataset& ds) {
+  for (std::size_t li = 0; li < model.layer_count(); ++li) {
+    auto* bn = dynamic_cast<BatchNorm*>(&model.layer(li));
+    if (bn == nullptr) continue;
+    const std::size_t c = bn->channels();
+    std::vector<double> sum(c, 0.0), sum_sq(c, 0.0);
+    std::size_t count_per_channel = 0;
+    for (const auto& s : ds.samples) {
+      // Run the prefix up to (not including) this BatchNorm.
+      tensor::Tensor cur = s.input;
+      for (std::size_t i = 0; i < li; ++i) {
+        tensor::Tensor next{model.activation_shape(i)};
+        if (!ok(model.layer(i).forward(cur.view(), next.view())))
+          throw std::runtime_error("calibrate_batchnorm: prefix failed");
+        cur = std::move(next);
+      }
+      const std::size_t per = cur.size() / c;
+      count_per_channel += per;
+      for (std::size_t ch = 0; ch < c; ++ch)
+        for (std::size_t i = 0; i < per; ++i) {
+          const double v = cur.data()[ch * per + i];
+          sum[ch] += v;
+          sum_sq[ch] += v * v;
+        }
+    }
+    if (count_per_channel == 0) continue;
+    std::vector<float> mean(c), var(c);
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const double m = sum[ch] / static_cast<double>(count_per_channel);
+      const double v =
+          sum_sq[ch] / static_cast<double>(count_per_channel) - m * m;
+      mean[ch] = static_cast<float>(m);
+      var[ch] = static_cast<float>(std::max(v, 1e-8));
+    }
+    bn->set_statistics(mean, var);
+  }
+}
+
+}  // namespace sx::dl

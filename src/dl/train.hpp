@@ -1,0 +1,89 @@
+// Offline reference training (SGD with momentum, cross-entropy loss).
+//
+// Training is an offline, non-FUSA activity: it may allocate and throw. Its
+// outputs — the trained parameters — are what gets frozen, hashed and
+// deployed into the StaticEngine.
+#pragma once
+
+#include <vector>
+
+#include "dl/dataset.hpp"
+#include "dl/model.hpp"
+
+namespace sx::dl {
+
+enum class Optimizer : std::uint8_t { kSgdMomentum, kAdam };
+
+struct TrainConfig {
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  std::size_t epochs = 10;
+  std::size_t batch_size = 16;
+  std::uint64_t shuffle_seed = 1;
+  /// Gradient-norm clip (0 disables).
+  double grad_clip = 5.0;
+  Optimizer optimizer = Optimizer::kSgdMomentum;
+  /// Adam moments (used when optimizer == kAdam).
+  double adam_beta1 = 0.9;
+  double adam_beta2 = 0.999;
+  double adam_eps = 1e-8;
+  /// FGSM adversarial training: with probability 1/2 each sample is
+  /// replaced by its eps-FGSM adversarial counterpart (0 disables).
+  float adversarial_eps = 0.0f;
+  /// On-the-fly augmentation for CHW image inputs: horizontal flips and
+  /// +-1 pixel shifts.
+  bool augment = false;
+};
+
+struct EpochStats {
+  double loss = 0.0;
+  double accuracy = 0.0;
+};
+
+/// Cross-entropy of softmax(logits) against a one-hot label; also writes the
+/// gradient dL/dlogits (softmax-CE fused gradient: p - onehot).
+double cross_entropy_with_grad(std::span<const float> logits,
+                               std::size_t label, std::span<float> grad);
+
+class Trainer {
+ public:
+  explicit Trainer(TrainConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Runs SGD on `model` over `ds`; returns per-epoch stats.
+  std::vector<EpochStats> fit(Model& model, const Dataset& ds);
+
+  /// Classification accuracy of `model` (argmax of logits) on `ds`.
+  static double evaluate_accuracy(const Model& model, const Dataset& ds);
+
+  /// Mean cross-entropy on `ds`.
+  static double evaluate_loss(const Model& model, const Dataset& ds);
+
+ private:
+  struct OptimizerState {
+    std::vector<std::vector<float>> velocity;  // SGD momentum / Adam m
+    std::vector<std::vector<float>> second;    // Adam v
+    std::uint64_t step = 0;
+  };
+
+  /// Applies one optimizer step from the accumulated gradients.
+  void apply_step(Model& model, OptimizerState& state,
+                  std::size_t batch_size) const;
+
+  TrainConfig cfg_;
+};
+
+/// Horizontal flip + integer shift augmentation for CHW images
+/// (deterministic given the RNG).
+tensor::Tensor augment_image(const tensor::Tensor& img,
+                             util::Xoshiro256& rng);
+
+/// In-place FGSM adversarial example used for adversarial training.
+tensor::Tensor fgsm_training_example(Model& model, const tensor::Tensor& input,
+                                     std::size_t label, float eps);
+
+/// Estimates per-channel activation statistics at a BatchNorm layer by
+/// running the model prefix over the dataset, then freezes them into the
+/// layer. Call once after training for each BatchNorm in the model.
+void calibrate_batchnorm(Model& model, const Dataset& ds);
+
+}  // namespace sx::dl

@@ -1,0 +1,161 @@
+#include "explain/advanced.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dl/engine.hpp"
+#include "util/rng.hpp"
+
+namespace sx::explain {
+namespace {
+
+tensor::Tensor onehot(const tensor::Shape& shape, std::size_t index) {
+  if (index >= shape.size())
+    throw std::invalid_argument("explain: target class out of range");
+  tensor::Tensor g{shape};
+  g.at(index) = 1.0f;
+  return g;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- SmoothGrad
+
+SmoothGrad::SmoothGrad(std::size_t samples, float noise_sigma,
+                       std::uint64_t seed)
+    : samples_(samples), sigma_(noise_sigma), seed_(seed) {
+  if (samples == 0) throw std::invalid_argument("SmoothGrad: zero samples");
+}
+
+tensor::Tensor SmoothGrad::attribute(dl::Model& model,
+                                     const tensor::Tensor& input,
+                                     std::size_t target_class) const {
+  util::Xoshiro256 rng{seed_};
+  tensor::Tensor acc{input.shape()};
+  tensor::Tensor noisy{input.shape()};
+  for (std::size_t s = 0; s < samples_; ++s) {
+    for (std::size_t i = 0; i < input.size(); ++i)
+      noisy.at(i) = input.data()[i] +
+                    static_cast<float>(rng.gaussian(0.0, sigma_));
+    const auto acts = model.forward_trace(noisy);
+    tensor::Tensor grad =
+        model.backward(acts, onehot(model.output_shape(), target_class));
+    model.zero_grads();
+    for (std::size_t i = 0; i < acc.size(); ++i)
+      acc.at(i) += std::fabs(grad.at(i)) / static_cast<float>(samples_);
+  }
+  return acc;
+}
+
+// ------------------------------------------------------------------ GradCam
+
+tensor::Tensor GradCam::attribute(dl::Model& model,
+                                  const tensor::Tensor& input,
+                                  std::size_t target_class) const {
+  // Find the last convolutional layer.
+  std::size_t conv = model.layer_count();
+  for (std::size_t i = model.layer_count(); i-- > 0;) {
+    if (model.layer(i).kind() == dl::LayerKind::kConv2d) {
+      conv = i;
+      break;
+    }
+  }
+  if (conv == model.layer_count())
+    throw std::invalid_argument("GradCam: model has no Conv2d layer");
+
+  const auto acts = model.forward_trace(input);
+  // Gradient w.r.t. the conv *output*, i.e. the input of layer conv+1.
+  tensor::Tensor grad = model.backward_to(
+      acts, onehot(model.output_shape(), target_class), conv + 1);
+  model.zero_grads();
+
+  const tensor::Tensor& feature = acts[conv + 1];  // conv output (C,H,W)
+  if (feature.shape().rank() != 3)
+    throw std::logic_error("GradCam: conv output is not CHW");
+  const std::size_t c = feature.shape()[0];
+  const std::size_t fh = feature.shape()[1];
+  const std::size_t fw = feature.shape()[2];
+
+  // Channel weights: global average of gradients.
+  std::vector<float> w(c, 0.0f);
+  const float inv = 1.0f / static_cast<float>(fh * fw);
+  for (std::size_t ch = 0; ch < c; ++ch)
+    for (std::size_t y = 0; y < fh; ++y)
+      for (std::size_t x = 0; x < fw; ++x)
+        w[ch] += grad.at(ch, y, x) * inv;
+
+  // CAM = ReLU(sum_c w_c A_c) at feature resolution.
+  tensor::Tensor cam{tensor::Shape::chw(1, fh, fw)};
+  for (std::size_t y = 0; y < fh; ++y)
+    for (std::size_t x = 0; x < fw; ++x) {
+      float v = 0.0f;
+      for (std::size_t ch = 0; ch < c; ++ch)
+        v += w[ch] * feature.at(ch, y, x);
+      cam.at(0, y, x) = v > 0.0f ? v : 0.0f;
+    }
+
+  // Nearest-neighbour upsample to the input resolution (per input channel,
+  // replicated — Grad-CAM maps are channel-agnostic).
+  if (input.shape().rank() != 3)
+    throw std::invalid_argument("GradCam: CHW input required");
+  const std::size_t ih = input.shape()[1];
+  const std::size_t iw = input.shape()[2];
+  tensor::Tensor out{input.shape()};
+  for (std::size_t ch = 0; ch < input.shape()[0]; ++ch)
+    for (std::size_t y = 0; y < ih; ++y)
+      for (std::size_t x = 0; x < iw; ++x)
+        out.at(ch, y, x) = cam.at(0, y * fh / ih, x * fw / iw);
+  return out;
+}
+
+// ------------------------------------------------------------ counterfactual
+
+Counterfactual find_counterfactual(dl::Model& model,
+                                   const tensor::Tensor& input,
+                                   std::size_t target_class,
+                                   CounterfactualConfig cfg) {
+  Counterfactual result;
+  result.target_class = target_class;
+  result.input = input;
+
+  tensor::Tensor current = input;
+  for (std::size_t it = 0; it < cfg.max_iterations; ++it) {
+    const auto acts = model.forward_trace(current);
+    const tensor::Tensor& logits = acts.back();
+    const auto probs = dl::softmax_copy(logits.data());
+    std::size_t pred = 0;
+    for (std::size_t i = 1; i < probs.size(); ++i)
+      if (probs[i] > probs[pred]) pred = i;
+    if (pred == target_class && probs[target_class] >= cfg.target_confidence) {
+      result.found = true;
+      result.iterations = it;
+      break;
+    }
+    // Ascend the target logit while staying near the original input.
+    tensor::Tensor grad =
+        model.backward(acts, onehot(model.output_shape(), target_class));
+    model.zero_grads();
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      const float proximity =
+          static_cast<float>(cfg.proximity_weight) *
+          (current.at(i) - input.data()[i]);
+      float v = current.at(i) +
+                static_cast<float>(cfg.step) * grad.at(i) -
+                static_cast<float>(cfg.step) * proximity;
+      v = std::min(cfg.clamp_hi, std::max(cfg.clamp_lo, v));
+      current.at(i) = v;
+    }
+  }
+  if (result.found) {
+    double d = 0.0;
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      const double diff = current.at(i) - input.data()[i];
+      d += diff * diff;
+    }
+    result.l2_distance = std::sqrt(d);
+    result.input = std::move(current);
+  }
+  return result;
+}
+
+}  // namespace sx::explain

@@ -1,0 +1,70 @@
+// Advanced explanation methods (pillar 1 extensions):
+//   - SmoothGrad: noise-averaged gradient saliency (stability booster);
+//   - Grad-CAM: class-activation mapping at a convolutional layer;
+//   - counterfactuals: the minimal input change that flips the decision —
+//     the "what would have to be different" explanation certification
+//     assessors ask for.
+#pragma once
+
+#include <optional>
+
+#include "explain/explainer.hpp"
+
+namespace sx::explain {
+
+/// SmoothGrad: mean of |gradient| over noisy copies of the input.
+class SmoothGrad final : public Explainer {
+ public:
+  explicit SmoothGrad(std::size_t samples = 16, float noise_sigma = 0.05f,
+                      std::uint64_t seed = 13);
+
+  std::string_view name() const noexcept override { return "smoothgrad"; }
+  tensor::Tensor attribute(dl::Model& model, const tensor::Tensor& input,
+                           std::size_t target_class) const override;
+
+ private:
+  std::size_t samples_;
+  float sigma_;
+  std::uint64_t seed_;
+};
+
+/// Grad-CAM at the last convolutional layer: channel importances are the
+/// spatially averaged gradients of the target logit w.r.t. the conv
+/// output; the map is ReLU(sum_c w_c A_c), nearest-neighbour upsampled to
+/// the input resolution. Requires a Conv2d layer in the model.
+class GradCam final : public Explainer {
+ public:
+  std::string_view name() const noexcept override { return "grad-cam"; }
+  tensor::Tensor attribute(dl::Model& model, const tensor::Tensor& input,
+                           std::size_t target_class) const override;
+};
+
+/// Result of a counterfactual search.
+struct Counterfactual {
+  tensor::Tensor input;          ///< the modified input
+  std::size_t target_class = 0;  ///< class it now receives
+  double l2_distance = 0.0;      ///< distance from the original
+  std::size_t iterations = 0;
+  bool found = false;
+};
+
+struct CounterfactualConfig {
+  std::size_t max_iterations = 300;
+  double step = 0.05;
+  /// Weight of the proximity (L2) penalty vs the class objective.
+  double proximity_weight = 0.1;
+  /// Keep pixel values inside [lo, hi] (the data domain).
+  float clamp_lo = 0.0f;
+  float clamp_hi = 1.0f;
+  /// Required confidence in the target class before stopping.
+  float target_confidence = 0.6f;
+};
+
+/// Gradient-descent search for the nearest input classified as
+/// `target_class`. Returns found = false if the search does not converge.
+Counterfactual find_counterfactual(dl::Model& model,
+                                   const tensor::Tensor& input,
+                                   std::size_t target_class,
+                                   CounterfactualConfig cfg = {});
+
+}  // namespace sx::explain

@@ -1,0 +1,229 @@
+#include "explain/explainer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dl/engine.hpp"
+#include "util/rng.hpp"
+
+namespace sx::explain {
+namespace {
+
+/// One-hot gradient at the logits for `target_class`.
+tensor::Tensor onehot_grad(const tensor::Shape& out_shape,
+                           std::size_t target) {
+  if (target >= out_shape.size())
+    throw std::invalid_argument("explain: target class out of range");
+  tensor::Tensor g{out_shape};
+  g.at(target) = 1.0f;
+  return g;
+}
+
+/// Gradient of logit[target] w.r.t. the input.
+tensor::Tensor input_gradient(dl::Model& model, const tensor::Tensor& input,
+                              std::size_t target) {
+  const auto acts = model.forward_trace(input);
+  tensor::Tensor grad_in =
+      model.backward(acts, onehot_grad(model.output_shape(), target));
+  model.zero_grads();  // parameter grads are a side effect we do not want
+  return grad_in;
+}
+
+float target_probability(const dl::Model& model, const tensor::Tensor& input,
+                         std::size_t target) {
+  const tensor::Tensor logits = model.forward(input);
+  const auto probs = dl::softmax_copy(logits.data());
+  return probs.at(target);
+}
+
+}  // namespace
+
+// ------------------------------------------------------- GradientSaliency
+
+tensor::Tensor GradientSaliency::attribute(dl::Model& model,
+                                           const tensor::Tensor& input,
+                                           std::size_t target_class) const {
+  tensor::Tensor g = input_gradient(model, input, target_class);
+  for (auto& v : g.data()) v = std::fabs(v);
+  return g;
+}
+
+// ---------------------------------------------------- IntegratedGradients
+
+IntegratedGradients::IntegratedGradients(std::size_t steps,
+                                         float baseline_value)
+    : steps_(steps), baseline_(baseline_value) {
+  if (steps == 0) throw std::invalid_argument("IntegratedGradients: 0 steps");
+}
+
+tensor::Tensor IntegratedGradients::attribute(dl::Model& model,
+                                              const tensor::Tensor& input,
+                                              std::size_t target_class) const {
+  tensor::Tensor avg_grad{input.shape()};
+  tensor::Tensor point{input.shape()};
+  for (std::size_t s = 0; s < steps_; ++s) {
+    // Midpoint rule on alpha in (0, 1).
+    const float alpha =
+        (static_cast<float>(s) + 0.5f) / static_cast<float>(steps_);
+    for (std::size_t i = 0; i < input.size(); ++i)
+      point.at(i) = baseline_ + alpha * (input.at(i) - baseline_);
+    const tensor::Tensor g = input_gradient(model, point, target_class);
+    for (std::size_t i = 0; i < input.size(); ++i)
+      avg_grad.at(i) += g.at(i) / static_cast<float>(steps_);
+  }
+  for (std::size_t i = 0; i < input.size(); ++i)
+    avg_grad.at(i) *= (input.at(i) - baseline_);
+  return avg_grad;
+}
+
+// --------------------------------------------------- OcclusionSensitivity
+
+OcclusionSensitivity::OcclusionSensitivity(std::size_t window,
+                                           std::size_t stride,
+                                           float baseline_value)
+    : window_(window), stride_(stride), baseline_(baseline_value) {
+  if (window == 0 || stride == 0)
+    throw std::invalid_argument("OcclusionSensitivity: zero window/stride");
+}
+
+tensor::Tensor OcclusionSensitivity::attribute(dl::Model& model,
+                                               const tensor::Tensor& input,
+                                               std::size_t target_class) const {
+  if (input.shape().rank() != 3)
+    throw std::invalid_argument("OcclusionSensitivity: CHW input required");
+  const std::size_t c = input.shape()[0];
+  const std::size_t h = input.shape()[1];
+  const std::size_t w = input.shape()[2];
+
+  const float p0 = target_probability(model, input, target_class);
+
+  tensor::Tensor attribution{input.shape()};
+  tensor::Tensor counts{input.shape()};
+  tensor::Tensor occluded = input;
+  for (std::size_t y0 = 0; y0 + window_ <= h; y0 += stride_) {
+    for (std::size_t x0 = 0; x0 + window_ <= w; x0 += stride_) {
+      // Occlude the window across all channels.
+      for (std::size_t ch = 0; ch < c; ++ch)
+        for (std::size_t y = y0; y < y0 + window_; ++y)
+          for (std::size_t x = x0; x < x0 + window_; ++x)
+            occluded.at(ch, y, x) = baseline_;
+      const float p = target_probability(model, occluded, target_class);
+      const float drop = p0 - p;  // large drop => window was important
+      for (std::size_t ch = 0; ch < c; ++ch)
+        for (std::size_t y = y0; y < y0 + window_; ++y)
+          for (std::size_t x = x0; x < x0 + window_; ++x) {
+            attribution.at(ch, y, x) += drop;
+            counts.at(ch, y, x) += 1.0f;
+            occluded.at(ch, y, x) = input.at(ch, y, x);  // restore
+          }
+    }
+  }
+  for (std::size_t i = 0; i < attribution.size(); ++i)
+    if (counts.at(i) > 0.0f) attribution.at(i) /= counts.at(i);
+  return attribution;
+}
+
+// ---------------------------------------------------------- LimeSurrogate
+
+namespace {
+
+/// Solves (A + lambda I) x = b in place by Gaussian elimination with partial
+/// pivoting. A is n x n row-major.
+std::vector<double> solve_ridge(std::vector<double> a, std::vector<double> b,
+                                std::size_t n, double lambda) {
+  for (std::size_t i = 0; i < n; ++i) a[i * n + i] += lambda;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::fabs(a[r * n + col]) > std::fabs(a[pivot * n + col])) pivot = r;
+    if (std::fabs(a[pivot * n + col]) < 1e-12)
+      throw std::runtime_error("lime: singular system");
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k)
+        std::swap(a[col * n + k], a[pivot * n + k]);
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r * n + col] / a[col * n + col];
+      for (std::size_t k = col; k < n; ++k) a[r * n + k] -= f * a[col * n + k];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= a[i * n + k] * x[k];
+    x[i] = acc / a[i * n + i];
+  }
+  return x;
+}
+
+}  // namespace
+
+LimeSurrogate::LimeSurrogate(std::size_t n_samples, std::size_t block,
+                             double ridge_lambda, std::uint64_t seed)
+    : n_samples_(n_samples), block_(block), lambda_(ridge_lambda), seed_(seed) {
+  if (n_samples == 0 || block == 0)
+    throw std::invalid_argument("LimeSurrogate: zero samples/block");
+}
+
+tensor::Tensor LimeSurrogate::attribute(dl::Model& model,
+                                        const tensor::Tensor& input,
+                                        std::size_t target_class) const {
+  if (input.shape().rank() != 3)
+    throw std::invalid_argument("LimeSurrogate: CHW input required");
+  const std::size_t c = input.shape()[0];
+  const std::size_t h = input.shape()[1];
+  const std::size_t w = input.shape()[2];
+  if (h % block_ != 0 || w % block_ != 0)
+    throw std::invalid_argument("LimeSurrogate: H, W must divide by block");
+  const std::size_t by = h / block_;
+  const std::size_t bx = w / block_;
+  const std::size_t n_feat = by * bx;
+
+  util::Xoshiro256 rng{seed_};
+  // Design matrix with intercept: columns [1, mask bits...].
+  const std::size_t dim = n_feat + 1;
+  std::vector<double> xtx(dim * dim, 0.0);
+  std::vector<double> xty(dim, 0.0);
+  std::vector<double> row(dim, 0.0);
+  tensor::Tensor masked{input.shape()};
+  for (std::size_t s = 0; s < n_samples_; ++s) {
+    row[0] = 1.0;
+    std::size_t kept = 0;
+    for (std::size_t f = 0; f < n_feat; ++f) {
+      const bool keep = rng.uniform() < 0.5;
+      row[f + 1] = keep ? 1.0 : 0.0;
+      kept += keep ? 1 : 0;
+    }
+    // Build masked input (blocks set to 0 where mask bit is off).
+    for (std::size_t ch = 0; ch < c; ++ch)
+      for (std::size_t y = 0; y < h; ++y)
+        for (std::size_t x = 0; x < w; ++x) {
+          const std::size_t f = (y / block_) * bx + (x / block_);
+          masked.at(ch, y, x) =
+              row[f + 1] > 0.5 ? input.at(ch, y, x) : 0.0f;
+        }
+    const double yv = target_probability(model, masked, target_class);
+    // Locality kernel: samples keeping more blocks are closer to x.
+    const double frac = static_cast<double>(kept) / static_cast<double>(n_feat);
+    const double wgt = std::exp(-(1.0 - frac) * (1.0 - frac) / 0.25);
+    for (std::size_t i = 0; i < dim; ++i) {
+      xty[i] += wgt * row[i] * yv;
+      for (std::size_t j = 0; j < dim; ++j)
+        xtx[i * dim + j] += wgt * row[i] * row[j];
+    }
+  }
+  const std::vector<double> beta = solve_ridge(xtx, xty, dim, lambda_);
+
+  tensor::Tensor attribution{input.shape()};
+  for (std::size_t ch = 0; ch < c; ++ch)
+    for (std::size_t y = 0; y < h; ++y)
+      for (std::size_t x = 0; x < w; ++x) {
+        const std::size_t f = (y / block_) * bx + (x / block_);
+        attribution.at(ch, y, x) = static_cast<float>(beta[f + 1]);
+      }
+  return attribution;
+}
+
+}  // namespace sx::explain

@@ -1,0 +1,98 @@
+// Explainability interfaces (pillar 1).
+//
+// An Explainer maps (model, input, target class) to an attribution tensor of
+// the input's shape: element (i) holds the estimated relevance of input
+// element (i) to the model's score for the target class. SAFEXPLAIN uses
+// these to justify, per inference, *why* a prediction was made — evidence
+// that feeds the traceability and safety-case subsystems.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "dl/model.hpp"
+
+namespace sx::explain {
+
+class Explainer {
+ public:
+  virtual ~Explainer() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Computes per-element attributions for `target_class`.
+  /// The model is non-const because gradient-based methods drive its
+  /// backward pass; parameter gradients are zeroed before returning.
+  virtual tensor::Tensor attribute(dl::Model& model,
+                                   const tensor::Tensor& input,
+                                   std::size_t target_class) const = 0;
+};
+
+/// |d logit_target / d input| — one backward pass.
+class GradientSaliency final : public Explainer {
+ public:
+  std::string_view name() const noexcept override { return "gradient-saliency"; }
+  tensor::Tensor attribute(dl::Model& model, const tensor::Tensor& input,
+                           std::size_t target_class) const override;
+};
+
+/// Integrated gradients along the straight path from a baseline input;
+/// satisfies completeness: sum(attributions) ~= f(x) - f(baseline).
+class IntegratedGradients final : public Explainer {
+ public:
+  explicit IntegratedGradients(std::size_t steps = 32,
+                               float baseline_value = 0.0f);
+
+  std::string_view name() const noexcept override {
+    return "integrated-gradients";
+  }
+  tensor::Tensor attribute(dl::Model& model, const tensor::Tensor& input,
+                           std::size_t target_class) const override;
+
+  std::size_t steps() const noexcept { return steps_; }
+
+ private:
+  std::size_t steps_;
+  float baseline_;
+};
+
+/// Occlusion sensitivity: drop in the target softmax probability when a
+/// window of the input is replaced by a baseline value. Black-box (works on
+/// any engine), expensive — the cost/fidelity trade-off of experiment E3.
+class OcclusionSensitivity final : public Explainer {
+ public:
+  explicit OcclusionSensitivity(std::size_t window = 4, std::size_t stride = 2,
+                                float baseline_value = 0.0f);
+
+  std::string_view name() const noexcept override {
+    return "occlusion-sensitivity";
+  }
+  tensor::Tensor attribute(dl::Model& model, const tensor::Tensor& input,
+                           std::size_t target_class) const override;
+
+ private:
+  std::size_t window_;
+  std::size_t stride_;
+  float baseline_;
+};
+
+/// LIME-style local surrogate: random block masks, weighted ridge regression
+/// of the target probability on mask bits; block weights are upsampled back
+/// to input resolution.
+class LimeSurrogate final : public Explainer {
+ public:
+  explicit LimeSurrogate(std::size_t n_samples = 200, std::size_t block = 4,
+                         double ridge_lambda = 1e-2, std::uint64_t seed = 7);
+
+  std::string_view name() const noexcept override { return "lime-surrogate"; }
+  tensor::Tensor attribute(dl::Model& model, const tensor::Tensor& input,
+                           std::size_t target_class) const override;
+
+ private:
+  std::size_t n_samples_;
+  std::size_t block_;
+  double lambda_;
+  std::uint64_t seed_;
+};
+
+}  // namespace sx::explain

@@ -1,0 +1,155 @@
+#include "explain/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+
+#include "dl/engine.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace sx::explain {
+namespace {
+
+float target_prob(const dl::Model& model, const tensor::Tensor& input,
+                  std::size_t target) {
+  const tensor::Tensor logits = model.forward(input);
+  return dl::softmax_copy(logits.data()).at(target);
+}
+
+}  // namespace
+
+double localization_gain(const tensor::Tensor& attribution,
+                         const dl::Region& region) {
+  if (attribution.shape().rank() != 3) return 0.0;
+  const std::size_t c = attribution.shape()[0];
+  const std::size_t h = attribution.shape()[1];
+  const std::size_t w = attribution.shape()[2];
+  double total = 0.0, inside = 0.0;
+  for (std::size_t ch = 0; ch < c; ++ch)
+    for (std::size_t y = 0; y < h; ++y)
+      for (std::size_t x = 0; x < w; ++x) {
+        const double a = std::fabs(attribution.at(ch, y, x));
+        total += a;
+        if (region.contains(y, x)) inside += a;
+      }
+  if (total <= 0.0) return 0.0;
+  const double area_fraction =
+      static_cast<double>(region.area()) / static_cast<double>(h * w);
+  if (area_fraction <= 0.0) return 0.0;
+  return (inside / total) / area_fraction;
+}
+
+bool pointing_hit(const tensor::Tensor& attribution,
+                  const dl::Region& region) {
+  if (attribution.shape().rank() != 3) return false;
+  const std::size_t h = attribution.shape()[1];
+  const std::size_t w = attribution.shape()[2];
+  const std::size_t c = attribution.shape()[0];
+  double best = -1.0;
+  std::size_t by = 0, bx = 0;
+  for (std::size_t ch = 0; ch < c; ++ch)
+    for (std::size_t y = 0; y < h; ++y)
+      for (std::size_t x = 0; x < w; ++x) {
+        const double a = std::fabs(attribution.at(ch, y, x));
+        if (a > best) {
+          best = a;
+          by = y;
+          bx = x;
+        }
+      }
+  return region.contains(by, bx);
+}
+
+double deletion_auc(dl::Model& model, const tensor::Tensor& input,
+                    std::size_t target_class,
+                    const tensor::Tensor& attribution, std::size_t steps,
+                    float baseline) {
+  const std::size_t n = input.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return std::fabs(attribution.at(a)) >
+                            std::fabs(attribution.at(b));
+                   });
+  tensor::Tensor cur = input;
+  double auc = target_prob(model, cur, target_class);
+  std::size_t removed = 0;
+  for (std::size_t s = 1; s <= steps; ++s) {
+    const std::size_t upto = n * s / steps;
+    for (; removed < upto; ++removed) cur.at(order[removed]) = baseline;
+    auc += target_prob(model, cur, target_class);
+  }
+  return auc / static_cast<double>(steps + 1);
+}
+
+double completeness_residual(dl::Model& model, const tensor::Tensor& input,
+                             std::size_t target_class,
+                             const tensor::Tensor& attribution,
+                             float baseline) {
+  tensor::Tensor base{input.shape()};
+  base.fill(baseline);
+  const double fx =
+      model.forward(input).at(target_class);
+  const double f0 = model.forward(base).at(target_class);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < attribution.size(); ++i)
+    sum += attribution.at(i);
+  return std::fabs(sum - (fx - f0));
+}
+
+double stability(const Explainer& explainer, dl::Model& model,
+                 const tensor::Tensor& input, std::size_t target_class,
+                 double noise_sigma, std::size_t n_probes,
+                 std::uint64_t seed) {
+  const tensor::Tensor ref = explainer.attribute(model, input, target_class);
+  std::vector<double> ref_v(ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) ref_v[i] = ref.at(i);
+
+  util::Xoshiro256 rng{seed};
+  double acc = 0.0;
+  for (std::size_t p = 0; p < n_probes; ++p) {
+    tensor::Tensor noisy = input;
+    for (auto& v : noisy.data())
+      v += static_cast<float>(rng.gaussian(0.0, noise_sigma));
+    const tensor::Tensor att = explainer.attribute(model, noisy, target_class);
+    std::vector<double> att_v(att.size());
+    for (std::size_t i = 0; i < att.size(); ++i) att_v[i] = att.at(i);
+    acc += util::correlation(ref_v, att_v);
+  }
+  return n_probes ? acc / static_cast<double>(n_probes) : 0.0;
+}
+
+ExplainerScore evaluate_explainer(const Explainer& explainer, dl::Model& model,
+                                  const dl::Dataset& ds,
+                                  std::size_t max_samples) {
+  ExplainerScore score;
+  score.name = std::string(explainer.name());
+  util::RunningStats gain, del_auc;
+  std::size_t hits = 0, total = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& s : ds.samples) {
+    if (!s.signal.has_value()) continue;
+    if (total >= max_samples) break;
+    const tensor::Tensor att = explainer.attribute(model, s.input, s.label);
+    gain.add(localization_gain(att, *s.signal));
+    del_auc.add(deletion_auc(model, s.input, s.label, att));
+    hits += pointing_hit(att, *s.signal) ? 1 : 0;
+    ++total;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  if (total > 0) {
+    score.mean_localization_gain = gain.mean();
+    score.pointing_accuracy =
+        static_cast<double>(hits) / static_cast<double>(total);
+    score.mean_deletion_auc = del_auc.mean();
+    score.runtime_ms_per_sample =
+        std::chrono::duration<double, std::milli>(t1 - t0).count() /
+        static_cast<double>(total);
+  }
+  return score;
+}
+
+}  // namespace sx::explain

@@ -1,0 +1,59 @@
+// Quantitative explanation-quality metrics (experiment E3).
+//
+// Because the synthetic datasets record where the class-defining signal was
+// planted, explanation fidelity is measurable: a faithful attribution should
+// concentrate on that region.
+#pragma once
+
+#include "dl/dataset.hpp"
+#include "dl/model.hpp"
+#include "explain/explainer.hpp"
+
+namespace sx::explain {
+
+/// Fraction of total |attribution| mass that falls inside `region`,
+/// normalized by the region's area fraction. 1.0 = no better than uniform;
+/// larger = localized on the signal.
+double localization_gain(const tensor::Tensor& attribution,
+                         const dl::Region& region);
+
+/// Pointing game: 1 if the argmax |attribution| pixel lies inside `region`.
+bool pointing_hit(const tensor::Tensor& attribution,
+                  const dl::Region& region);
+
+/// Deletion curve AUC: remove pixels in decreasing attribution order (to the
+/// baseline value) and average the target-class probability over the curve.
+/// Faithful attributions give a *low* AUC (probability collapses early).
+double deletion_auc(dl::Model& model, const tensor::Tensor& input,
+                    std::size_t target_class,
+                    const tensor::Tensor& attribution,
+                    std::size_t steps = 16, float baseline = 0.0f);
+
+/// Integrated-gradients completeness residual:
+/// |sum(attr) - (f(x) - f(baseline))| where f is the target logit.
+double completeness_residual(dl::Model& model, const tensor::Tensor& input,
+                             std::size_t target_class,
+                             const tensor::Tensor& attribution,
+                             float baseline = 0.0f);
+
+/// Attribution stability under input noise: mean Pearson correlation between
+/// the attribution of `input` and attributions of `n_probes` noisy copies.
+double stability(const Explainer& explainer, dl::Model& model,
+                 const tensor::Tensor& input, std::size_t target_class,
+                 double noise_sigma, std::size_t n_probes, std::uint64_t seed);
+
+struct ExplainerScore {
+  std::string name;
+  double mean_localization_gain = 0.0;
+  double pointing_accuracy = 0.0;
+  double mean_deletion_auc = 0.0;
+  double runtime_ms_per_sample = 0.0;
+};
+
+/// Evaluates an explainer over every sample of `ds` that has a signal
+/// region (skipping background-only classes).
+ExplainerScore evaluate_explainer(const Explainer& explainer, dl::Model& model,
+                                  const dl::Dataset& ds,
+                                  std::size_t max_samples = 64);
+
+}  // namespace sx::explain

@@ -1,0 +1,93 @@
+#include "platform/cache.hpp"
+
+#include <stdexcept>
+
+namespace sx::platform {
+
+const char* to_string(Placement p) noexcept {
+  return p == Placement::kModulo ? "modulo" : "random";
+}
+
+const char* to_string(Replacement r) noexcept {
+  return r == Replacement::kLru ? "lru" : "random";
+}
+
+Cache::Cache(CacheConfig cfg, std::uint64_t boot_seed)
+    : cfg_(cfg),
+      lines_(cfg.sets * cfg.ways),
+      rng_(boot_seed),
+      hash_seed_(util::SplitMix64{boot_seed ^ 0x5eedcafeULL}.next()) {
+  if (cfg.sets == 0 || cfg.ways == 0 || cfg.line_bytes == 0)
+    throw std::invalid_argument("Cache: zero geometry");
+  if ((cfg.sets & (cfg.sets - 1)) != 0)
+    throw std::invalid_argument("Cache: sets must be a power of two");
+}
+
+std::size_t Cache::set_index(std::uint64_t line_addr) const noexcept {
+  if (cfg_.placement == Placement::kModulo)
+    return static_cast<std::size_t>(line_addr) & (cfg_.sets - 1);
+  // Parametric hash (random placement): mix the line address with the boot
+  // seed; a different seed yields a different, but fixed-for-the-run,
+  // placement function.
+  std::uint64_t z = line_addr ^ hash_seed_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<std::size_t>(z) & (cfg_.sets - 1);
+}
+
+bool Cache::access(std::uint64_t addr) noexcept {
+  return access(addr, ~0ULL);
+}
+
+bool Cache::access(std::uint64_t addr, std::uint64_t way_mask) noexcept {
+  if (way_mask == 0) way_mask = ~0ULL;
+  ++clock_;
+  const std::uint64_t line_addr = addr / cfg_.line_bytes;
+  const std::size_t set = set_index(line_addr);
+  Line* base = lines_.data() + set * cfg_.ways;
+  // Hit path: lookups see every way regardless of partition.
+  for (std::size_t w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag == line_addr) {
+      base[w].lru_stamp = clock_;
+      ++hits_;
+      return true;
+    }
+  }
+  // Miss: find a victim among the ways this requester may allocate in.
+  ++misses_;
+  std::size_t victim = cfg_.ways;  // sentinel
+  std::size_t allowed_count = 0;
+  for (std::size_t w = 0; w < cfg_.ways; ++w) {
+    if (!(way_mask & (1ULL << w))) continue;
+    ++allowed_count;
+    if (!base[w].valid && victim == cfg_.ways) victim = w;
+  }
+  if (allowed_count == 0) return false;  // degenerate partition: bypass
+  if (victim == cfg_.ways) {
+    if (cfg_.replacement == Replacement::kRandom) {
+      std::size_t pick = static_cast<std::size_t>(rng_.below(allowed_count));
+      for (std::size_t w = 0; w < cfg_.ways; ++w) {
+        if (!(way_mask & (1ULL << w))) continue;
+        if (pick-- == 0) {
+          victim = w;
+          break;
+        }
+      }
+    } else {
+      for (std::size_t w = 0; w < cfg_.ways; ++w) {
+        if (!(way_mask & (1ULL << w))) continue;
+        if (victim == cfg_.ways || base[w].lru_stamp < base[victim].lru_stamp)
+          victim = w;
+      }
+    }
+  }
+  base[victim] = Line{line_addr, true, clock_};
+  return false;
+}
+
+void Cache::flush() noexcept {
+  for (auto& l : lines_) l.valid = false;
+}
+
+}  // namespace sx::platform

@@ -1,0 +1,80 @@
+// Set-associative cache model with deterministic *and* time-randomized
+// policies (pillar 4).
+//
+// MBPTA-friendly platforms (the project's approach, rooted in the
+// PROARTIS/PROXIMA line of work) replace deterministic cache placement and
+// replacement with randomized ones, so that execution times become
+// independent, identically distributed observations amenable to extreme
+// value theory. This model supports both worlds:
+//   - placement: modulo (deterministic) or parametric hash seeded per boot
+//     (random placement);
+//   - replacement: LRU (deterministic) or uniformly random victim.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sx::platform {
+
+enum class Placement : std::uint8_t { kModulo, kRandom };
+enum class Replacement : std::uint8_t { kLru, kRandom };
+
+const char* to_string(Placement p) noexcept;
+const char* to_string(Replacement r) noexcept;
+
+struct CacheConfig {
+  std::size_t line_bytes = 64;
+  std::size_t sets = 64;
+  std::size_t ways = 4;
+  Placement placement = Placement::kModulo;
+  Replacement replacement = Replacement::kLru;
+};
+
+/// One level of cache. `boot_seed` fixes the random-policy behaviour for a
+/// whole run (a new seed models a platform reboot — the unit of MBPTA
+/// observation).
+class Cache {
+ public:
+  Cache(CacheConfig cfg, std::uint64_t boot_seed);
+
+  /// Accesses one byte address; returns true on hit. Allocates on miss.
+  bool access(std::uint64_t addr) noexcept;
+
+  /// Access restricted to a subset of ways (bit i of `way_mask` = way i may
+  /// be allocated/evicted). Lookups still hit in any way — partitioning
+  /// constrains *allocation*, which is what way-partitioned shared caches
+  /// do. A zero mask is treated as all-ways.
+  bool access(std::uint64_t addr, std::uint64_t way_mask) noexcept;
+
+  void flush() noexcept;  ///< invalidate everything (cold start)
+
+  const CacheConfig& config() const noexcept { return cfg_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  double miss_rate() const noexcept {
+    const std::uint64_t t = hits_ + misses_;
+    return t ? static_cast<double>(misses_) / static_cast<double>(t) : 0.0;
+  }
+  void reset_stats() noexcept { hits_ = misses_ = 0; }
+
+ private:
+  std::size_t set_index(std::uint64_t line_addr) const noexcept;
+
+  struct Line {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    std::uint64_t lru_stamp = 0;
+  };
+
+  CacheConfig cfg_;
+  std::vector<Line> lines_;  // sets * ways
+  mutable util::Xoshiro256 rng_;
+  std::uint64_t hash_seed_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace sx::platform

@@ -1,0 +1,61 @@
+#include "platform/multicore.hpp"
+
+namespace sx::platform {
+
+RunResult execute_with_contention(const MulticoreConfig& cfg,
+                                  const AccessTrace& trace,
+                                  std::uint64_t boot_seed) {
+  Cache cache{cfg.cache, boot_seed};
+  util::Xoshiro256 co_rng{boot_seed ^ 0xc0c0c0c0ULL};
+
+  // Partition masks: task owns the low `task_ways`, co-runners the rest.
+  std::uint64_t task_mask = ~0ULL;
+  std::uint64_t co_mask = ~0ULL;
+  if (cfg.task_ways > 0 && cfg.task_ways < cfg.cache.ways) {
+    task_mask = (1ULL << cfg.task_ways) - 1;
+    co_mask = ((1ULL << cfg.cache.ways) - 1) & ~task_mask;
+  }
+
+  // Co-runner address space is disjoint from the task's (distinct tags)
+  // but maps onto the same sets.
+  constexpr std::uint64_t kCoBase = 0x8000'0000'0000ULL;
+
+  std::uint64_t cycles = 0;
+  std::uint64_t hits = 0, misses = 0;
+  for (const MemOp& op : trace) {
+    // Co-runner traffic between task accesses; their latency is not ours,
+    // but their bus occupancy shows up as interference on our misses.
+    for (std::size_t c = 0; c < cfg.co_runners * cfg.co_accesses_per_op;
+         ++c) {
+      const std::uint64_t co_addr =
+          kCoBase + co_rng.below(cfg.co_footprint_lines) *
+                        cfg.cache.line_bytes;
+      (void)cache.access(co_addr, co_mask);
+    }
+    cycles += op.compute_cycles;
+    if (cache.access(op.addr, task_mask)) {
+      ++hits;
+      cycles += cfg.timing.hit_cycles;
+    } else {
+      ++misses;
+      cycles += cfg.timing.miss_cycles;
+      cycles += cfg.co_runners * cfg.timing.interference_per_miss;
+    }
+  }
+  return RunResult{cycles, hits, misses};
+}
+
+std::vector<double> collect_contended_times(const MulticoreConfig& cfg,
+                                            const AccessTrace& trace,
+                                            std::size_t n_runs,
+                                            std::uint64_t campaign_seed) {
+  std::vector<double> times;
+  times.reserve(n_runs);
+  util::SplitMix64 seeder{campaign_seed};
+  for (std::size_t r = 0; r < n_runs; ++r)
+    times.push_back(static_cast<double>(
+        execute_with_contention(cfg, trace, seeder.next()).cycles));
+  return times;
+}
+
+}  // namespace sx::platform

@@ -1,0 +1,42 @@
+// Shared-cache multicore contention with optional way-partitioning
+// (pillar 4: "computing platform configurations to regain determinism").
+//
+// A critical task shares the last-level cache with co-runners that inject
+// accesses between the task's own. Two configurations are contrasted:
+//   - unpartitioned: co-runners may evict the task's lines -> execution
+//     time depends on co-runner behaviour (non-deterministic in practice);
+//   - way-partitioned: the task owns a fixed subset of ways, co-runners
+//     the rest -> co-runners cannot evict the task's lines, restoring
+//     per-task determinism on an otherwise shared cache.
+#pragma once
+
+#include "platform/sim.hpp"
+
+namespace sx::platform {
+
+struct MulticoreConfig {
+  CacheConfig cache{};
+  TimingModel timing{};
+  std::size_t co_runners = 3;
+  /// Co-runner accesses injected between two of the task's accesses.
+  std::size_t co_accesses_per_op = 2;
+  /// Ways reserved for the task (0 = unpartitioned, shared cache).
+  std::size_t task_ways = 0;
+  /// Footprint of each co-runner, in cache lines (drives conflict rate).
+  std::size_t co_footprint_lines = 4096;
+};
+
+/// Executes the task trace under cache contention. Co-runner behaviour is
+/// drawn from `boot_seed` (a different seed = a different co-runner
+/// schedule — the run-to-run variability source this model studies).
+RunResult execute_with_contention(const MulticoreConfig& cfg,
+                                  const AccessTrace& trace,
+                                  std::uint64_t boot_seed);
+
+/// Collects `n_runs` end-to-end times under contention, one boot each.
+std::vector<double> collect_contended_times(const MulticoreConfig& cfg,
+                                            const AccessTrace& trace,
+                                            std::size_t n_runs,
+                                            std::uint64_t campaign_seed);
+
+}  // namespace sx::platform

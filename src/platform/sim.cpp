@@ -1,0 +1,94 @@
+#include "platform/sim.hpp"
+
+namespace sx::platform {
+
+PlatformSim::PlatformSim(CacheConfig cache_cfg, TimingModel timing,
+                         std::uint64_t boot_seed)
+    : cache_(cache_cfg, boot_seed),
+      timing_(timing),
+      rng_(boot_seed ^ 0x1f2e3d4c5b6a7988ULL) {}
+
+RunResult PlatformSim::execute(const AccessTrace& trace) noexcept {
+  cache_.flush();
+  cache_.reset_stats();
+  std::uint64_t cycles = 0;
+  for (const MemOp& op : trace) {
+    cycles += op.compute_cycles;
+    const bool hit = cache_.access(op.addr);
+    if (hit) {
+      cycles += timing_.hit_cycles;
+    } else {
+      cycles += timing_.miss_cycles;
+      if (timing_.contending_cores > 0) {
+        const std::uint64_t worst = timing_.contending_cores *
+                                    timing_.interference_per_miss;
+        cycles += timing_.randomized_interference ? rng_.below(worst + 1)
+                                                  : worst;
+      }
+    }
+  }
+  return RunResult{cycles, cache_.hits(), cache_.misses()};
+}
+
+AccessTrace inference_trace(const dl::Model& model,
+                            std::uint64_t weight_base,
+                            std::uint64_t activation_base,
+                            std::size_t line_bytes) {
+  AccessTrace trace;
+  // Two activation buffers, ping-pong, like StaticEngine.
+  const std::uint64_t act_bytes = model.max_activation_size() * sizeof(float);
+  const std::uint64_t act0 = activation_base;
+  const std::uint64_t act1 = activation_base + ((act_bytes / line_bytes) + 2) *
+                                                   line_bytes;
+  std::uint64_t wbase = weight_base;
+  bool use_ping = true;
+
+  auto touch_range = [&](std::uint64_t base, std::uint64_t bytes,
+                         std::uint32_t compute_per_line) {
+    for (std::uint64_t off = 0; off < bytes; off += line_bytes)
+      trace.push_back(MemOp{base + off, compute_per_line});
+  };
+
+  std::uint64_t in_bytes = model.input_shape().size() * sizeof(float);
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    const dl::Layer& l = model.layer(i);
+    const std::uint64_t out_bytes =
+        model.activation_shape(i).size() * sizeof(float);
+    const std::uint64_t w_bytes = l.param_count() * sizeof(float);
+    // Rough MAC count per output line to space accesses with compute.
+    const std::uint64_t macs = l.param_count() > 0
+                                   ? l.param_count()
+                                   : model.activation_shape(i).size();
+    const std::uint64_t lines =
+        (w_bytes + in_bytes + out_bytes) / line_bytes + 1;
+    const auto compute_per_line =
+        static_cast<std::uint32_t>(std::max<std::uint64_t>(1, macs / lines));
+
+    const std::uint64_t in_buf = use_ping ? act0 : act1;
+    const std::uint64_t out_buf = use_ping ? act1 : act0;
+    if (w_bytes > 0) touch_range(wbase, w_bytes, compute_per_line);
+    touch_range(in_buf, in_bytes, compute_per_line);
+    touch_range(out_buf, out_bytes, 1);
+    wbase += ((w_bytes / line_bytes) + 2) * line_bytes;
+    in_bytes = out_bytes;
+    use_ping = !use_ping;
+  }
+  return trace;
+}
+
+std::vector<double> collect_execution_times(const CacheConfig& cache_cfg,
+                                            const TimingModel& timing,
+                                            const AccessTrace& trace,
+                                            std::size_t n_runs,
+                                            std::uint64_t campaign_seed) {
+  std::vector<double> times;
+  times.reserve(n_runs);
+  util::SplitMix64 seeder{campaign_seed};
+  for (std::size_t r = 0; r < n_runs; ++r) {
+    PlatformSim sim{cache_cfg, timing, seeder.next()};
+    times.push_back(static_cast<double>(sim.execute(trace).cycles));
+  }
+  return times;
+}
+
+}  // namespace sx::platform

@@ -1,0 +1,81 @@
+// Trace-driven platform timing simulator (pillar 4).
+//
+// Executes a memory-access trace against the cache model and a simple
+// in-order timing model, optionally under multicore interference. One call
+// to execute() models one end-to-end run (e.g. one DL inference) on one
+// platform boot; the returned cycle count is the MBPTA observation unit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dl/model.hpp"
+#include "platform/cache.hpp"
+
+namespace sx::platform {
+
+/// One step of a program trace: `compute_cycles` of core-local work followed
+/// by one memory access at `addr`.
+struct MemOp {
+  std::uint64_t addr = 0;
+  std::uint32_t compute_cycles = 1;
+};
+
+using AccessTrace = std::vector<MemOp>;
+
+struct TimingModel {
+  std::uint64_t hit_cycles = 1;
+  std::uint64_t miss_cycles = 40;
+  /// Extra cycles added to every miss per contending core (bus/DRAM
+  /// arbitration under multicore interference).
+  std::uint64_t interference_per_miss = 10;
+  std::size_t contending_cores = 0;
+  /// If true, interference per miss is uniformly distributed in
+  /// [0, cores * interference_per_miss] instead of the worst-case constant —
+  /// modelling co-runners whose requests collide only sometimes.
+  bool randomized_interference = false;
+};
+
+struct RunResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+class PlatformSim {
+ public:
+  /// `boot_seed` controls all randomized behaviour of this boot (random
+  /// placement hash, random replacement, interference jitter).
+  PlatformSim(CacheConfig cache_cfg, TimingModel timing,
+              std::uint64_t boot_seed);
+
+  /// Runs the trace from a cold cache; returns total cycles and cache stats.
+  RunResult execute(const AccessTrace& trace) noexcept;
+
+  const Cache& cache() const noexcept { return cache_; }
+
+ private:
+  Cache cache_;
+  TimingModel timing_;
+  util::Xoshiro256 rng_;
+};
+
+/// Builds a line-granular memory trace for one inference of `model`:
+/// weights stream in per layer, activations ping-pong between two buffers.
+/// `compute_cycles_per_op` spaces the accesses with core-local work derived
+/// from each layer's MAC count.
+AccessTrace inference_trace(const dl::Model& model,
+                            std::uint64_t weight_base = 0x1000'0000,
+                            std::uint64_t activation_base = 0x2000'0000,
+                            std::size_t line_bytes = 64);
+
+/// Collects `n_runs` end-to-end execution times of `trace`, one platform
+/// boot (fresh seed derived from `campaign_seed`) per run — the MBPTA
+/// measurement protocol.
+std::vector<double> collect_execution_times(const CacheConfig& cache_cfg,
+                                            const TimingModel& timing,
+                                            const AccessTrace& trace,
+                                            std::size_t n_runs,
+                                            std::uint64_t campaign_seed);
+
+}  // namespace sx::platform

@@ -1,0 +1,28 @@
+// Earliest-deadline-first scheduling (dynamic priorities).
+//
+// The fixed-priority scheduler models classic automotive/avionics RTOSes;
+// EDF is the optimal uniprocessor alternative: any implicit-deadline task
+// set with U <= 1 is schedulable. Experiment-wise it provides the
+// reference point "how much utilization does fixed-priority leave on the
+// table" for hosting DL tasks.
+#pragma once
+
+#include "rt/scheduler.hpp"
+#include "rt/task.hpp"
+
+namespace sx::rt {
+
+/// EDF schedulability for implicit-deadline periodic tasks: U <= 1.
+bool edf_schedulable(const TaskSet& ts) noexcept;
+
+/// Processor-demand test for constrained deadlines (D <= T): checks
+/// sum_i max(0, floor((t - D_i)/T_i) + 1) * C_i <= t at every absolute
+/// deadline t up to the hyperperiod-bounded testing interval.
+bool edf_schedulable_constrained(const TaskSet& ts,
+                                 std::uint64_t horizon = 1'000'000);
+
+/// Event-driven EDF simulation (preemptive, dynamic priorities).
+SimResult simulate_edf(const TaskSet& ts, const SimConfig& cfg,
+                       const ExecTimeFn& exec_time = nullptr);
+
+}  // namespace sx::rt

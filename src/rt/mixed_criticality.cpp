@@ -1,0 +1,233 @@
+#include "rt/mixed_criticality.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace sx::rt {
+
+void McTaskSet::add(McTask t) {
+  if (t.period == 0 || t.wcet_lo == 0)
+    throw std::invalid_argument("McTaskSet: zero period/wcet_lo");
+  if (t.deadline == 0) t.deadline = t.period;
+  if (t.high_criticality) {
+    if (t.wcet_hi < t.wcet_lo)
+      throw std::invalid_argument("McTaskSet: wcet_hi < wcet_lo");
+  } else {
+    t.wcet_hi = t.wcet_lo;  // LO tasks have a single budget
+  }
+  tasks.push_back(std::move(t));
+}
+
+void McTaskSet::assign_deadline_monotonic() noexcept {
+  std::vector<std::size_t> order(tasks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return tasks[a].deadline < tasks[b].deadline;
+                   });
+  int prio = static_cast<int>(tasks.size());
+  for (std::size_t idx : order) tasks[idx].priority = prio--;
+}
+
+double McTaskSet::utilization(Mode m) const noexcept {
+  double u = 0.0;
+  for (const auto& t : tasks) {
+    if (m == Mode::kHi && !t.high_criticality) continue;
+    const auto c = m == Mode::kHi ? t.wcet_hi : t.wcet_lo;
+    u += static_cast<double>(c) / static_cast<double>(t.period);
+  }
+  return u;
+}
+
+namespace {
+
+/// Generic fixed-point RTA over a filtered interference set.
+std::optional<std::uint64_t> fixed_point(
+    std::uint64_t own_c, std::uint64_t deadline,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& hp) {
+  std::uint64_t r = own_c;
+  for (int iter = 0; iter < 1000; ++iter) {
+    std::uint64_t next = own_c;
+    for (const auto& [period, c] : hp)
+      next += ((r + period - 1) / period) * c;
+    if (next == r) return r <= deadline ? std::optional(r) : std::nullopt;
+    r = next;
+    if (r > deadline) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+McRtaResult amc_rtb(const McTaskSet& ts) {
+  McRtaResult res;
+  const std::size_t n = ts.tasks.size();
+  res.lo.resize(n);
+  res.hi.resize(n);
+  res.transition.resize(n);
+  res.schedulable = true;
+
+  // LO mode: everyone, C(LO).
+  for (std::size_t i = 0; i < n; ++i) {
+    const McTask& ti = ts.tasks[i];
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> hp;
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i && ts.tasks[j].priority > ti.priority)
+        hp.emplace_back(ts.tasks[j].period, ts.tasks[j].wcet_lo);
+    res.lo[i] = fixed_point(ti.wcet_lo, ti.deadline, hp);
+    if (!res.lo[i]) res.schedulable = false;
+  }
+
+  // Steady HI mode and AMC-rtb transition: HI tasks only.
+  for (std::size_t i = 0; i < n; ++i) {
+    const McTask& ti = ts.tasks[i];
+    if (!ti.high_criticality) continue;
+    // Steady HI: interference from HI tasks at C(HI).
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> hp_hi;
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i && ts.tasks[j].priority > ti.priority &&
+          ts.tasks[j].high_criticality)
+        hp_hi.emplace_back(ts.tasks[j].period, ts.tasks[j].wcet_hi);
+    res.hi[i] = fixed_point(ti.wcet_hi, ti.deadline, hp_hi);
+    if (!res.hi[i]) res.schedulable = false;
+
+    // Transition (AMC-rtb): HI interference grows to C(HI); LO
+    // interference is frozen at what fits before the switch, bounded by
+    // the LO-mode response time R_i^LO.
+    if (!res.lo[i]) continue;
+    const std::uint64_t r_lo = *res.lo[i];
+    std::uint64_t r = ti.wcet_hi;
+    std::optional<std::uint64_t> out;
+    for (int iter = 0; iter < 1000; ++iter) {
+      std::uint64_t next = ti.wcet_hi;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i || ts.tasks[j].priority <= ti.priority) continue;
+        const McTask& tj = ts.tasks[j];
+        if (tj.high_criticality) {
+          next += ((r + tj.period - 1) / tj.period) * tj.wcet_hi;
+        } else {
+          next += ((r_lo + tj.period - 1) / tj.period) * tj.wcet_lo;
+        }
+      }
+      if (next == r) {
+        if (r <= ti.deadline) out = r;
+        break;
+      }
+      r = next;
+      if (r > ti.deadline) break;
+    }
+    res.transition[i] = out;
+    if (!out) res.schedulable = false;
+  }
+  return res;
+}
+
+namespace {
+
+struct McJob {
+  std::size_t task = 0;
+  std::uint64_t release = 0;
+  std::uint64_t abs_deadline = 0;
+  std::uint64_t actual = 0;    ///< total execution demand of this job
+  std::uint64_t executed = 0;  ///< progress so far
+};
+
+}  // namespace
+
+McSimResult simulate_mc(const McTaskSet& ts, const McSimConfig& cfg,
+                        const McExecFn& exec_time) {
+  if (ts.tasks.empty())
+    throw std::invalid_argument("simulate_mc: empty task set");
+  util::Xoshiro256 rng{cfg.seed};
+
+  McSimResult result;
+  Mode mode = Mode::kLo;
+  std::vector<std::uint64_t> next_release(ts.tasks.size(), 0);
+  std::vector<McJob> ready;
+  std::uint64_t now = 0;
+
+  auto release_due = [&](std::uint64_t t) {
+    for (std::size_t i = 0; i < ts.tasks.size(); ++i) {
+      const McTask& task = ts.tasks[i];
+      while (next_release[i] <= t) {
+        const bool admitted = mode == Mode::kLo || task.high_criticality;
+        if (admitted) {
+          const std::uint64_t actual =
+              exec_time ? exec_time(task, mode, rng) : task.wcet_lo;
+          ready.push_back(McJob{i, next_release[i],
+                                next_release[i] + task.deadline,
+                                std::max<std::uint64_t>(1, actual), 0});
+        } else {
+          ++result.lo_dropped;
+        }
+        if (task.high_criticality) ++result.hi_jobs;
+        else ++result.lo_jobs;
+        next_release[i] += task.period;
+      }
+    }
+  };
+
+  auto finish_job = [&](const McJob& job, std::uint64_t completion) {
+    const McTask& task = ts.tasks[job.task];
+    if (completion > job.abs_deadline) {
+      if (task.high_criticality) ++result.hi_misses;
+      else ++result.lo_misses;
+    }
+  };
+
+  release_due(0);
+  while (now < cfg.duration) {
+    std::uint64_t next_rel = std::numeric_limits<std::uint64_t>::max();
+    for (std::uint64_t r : next_release) next_rel = std::min(next_rel, r);
+
+    if (ready.empty()) {
+      if (mode == Mode::kHi && cfg.return_to_lo_on_idle) {
+        mode = Mode::kLo;  // idle instant: safe to resume LO service
+      }
+      if (next_rel >= cfg.duration) break;
+      now = next_rel;
+      release_due(now);
+      continue;
+    }
+
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < ready.size(); ++i)
+      if (ts.tasks[ready[i].task].priority >
+          ts.tasks[ready[best].task].priority)
+        best = i;
+    McJob& job = ready[best];
+    const McTask& task = ts.tasks[job.task];
+
+    std::uint64_t run_until = std::min(cfg.duration, next_rel);
+    run_until = std::min(run_until, now + (job.actual - job.executed));
+    // In LO mode, a HI job hitting its C(LO) budget triggers the switch.
+    if (mode == Mode::kLo && task.high_criticality &&
+        job.executed < task.wcet_lo)
+      run_until = std::min(run_until, now + (task.wcet_lo - job.executed));
+
+    const std::uint64_t ran = run_until - now;
+    job.executed += ran;
+    now = run_until;
+
+    if (job.executed >= job.actual) {
+      finish_job(job, now);
+      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best));
+    } else if (mode == Mode::kLo && task.high_criticality &&
+               job.executed >= task.wcet_lo) {
+      // Budget overrun detected: switch to HI mode, shed LO jobs.
+      mode = Mode::kHi;
+      ++result.mode_switches;
+      std::vector<McJob> survivors;
+      for (auto& j : ready) {
+        if (ts.tasks[j.task].high_criticality) survivors.push_back(j);
+        else ++result.lo_dropped;
+      }
+      ready = std::move(survivors);
+    }
+    release_due(now);
+  }
+  return result;
+}
+
+}  // namespace sx::rt

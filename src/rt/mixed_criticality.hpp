@@ -1,0 +1,83 @@
+// Mixed-criticality scheduling (Vestal model, AMC-rtb analysis).
+//
+// SAFEXPLAIN pipelines host functions of *varying criticality* on one
+// platform. The Vestal model gives each task two budgets: C(LO) — the
+// measured/pWCET budget used in normal operation — and C(HI) — the
+// conservative bound certification demands for high-criticality tasks.
+// The system runs in LO mode until some HI task overruns its C(LO); it
+// then switches to HI mode, dropping LO tasks so every HI task still
+// meets its deadline under C(HI).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sx::rt {
+
+enum class Mode : std::uint8_t { kLo, kHi };
+
+struct McTask {
+  std::string name;
+  std::uint64_t period = 0;
+  std::uint64_t deadline = 0;  ///< defaults to period
+  int priority = 0;
+  bool high_criticality = false;
+  std::uint64_t wcet_lo = 0;  ///< budget enforced in LO mode
+  std::uint64_t wcet_hi = 0;  ///< certified bound (HI tasks only; >= wcet_lo)
+};
+
+struct McTaskSet {
+  std::vector<McTask> tasks;
+
+  void add(McTask t);
+  /// Deadline-monotonic priorities across all tasks.
+  void assign_deadline_monotonic() noexcept;
+  double utilization(Mode m) const noexcept;
+};
+
+struct McRtaResult {
+  /// Response times per task in LO mode (all tasks, C(LO) budgets).
+  std::vector<std::optional<std::uint64_t>> lo;
+  /// Steady HI mode (HI tasks only, C(HI) budgets); nullopt for LO tasks.
+  std::vector<std::optional<std::uint64_t>> hi;
+  /// AMC-rtb mode-switch bound (HI tasks only).
+  std::vector<std::optional<std::uint64_t>> transition;
+  bool schedulable = false;
+};
+
+/// Adaptive Mixed Criticality, response-time bound flavour (Baruah/Burns/
+/// Davis): LO-mode RTA for everyone, plus a transition bound for HI tasks
+/// where LO interference is capped at the LO-mode response time.
+McRtaResult amc_rtb(const McTaskSet& ts);
+
+/// Samples the actual execution time of one job (called once per job).
+using McExecFn = std::function<std::uint64_t(const McTask&, Mode current_mode,
+                                             util::Xoshiro256& rng)>;
+
+struct McSimResult {
+  std::uint64_t hi_jobs = 0;
+  std::uint64_t hi_misses = 0;   ///< HI-task deadline misses (must be 0)
+  std::uint64_t lo_jobs = 0;
+  std::uint64_t lo_misses = 0;
+  std::uint64_t lo_dropped = 0;  ///< LO jobs discarded by mode switches
+  std::uint64_t mode_switches = 0;
+};
+
+struct McSimConfig {
+  std::uint64_t duration = 1'000'000;
+  std::uint64_t seed = 7;
+  /// Return to LO mode at the first instant the system idles in HI mode.
+  bool return_to_lo_on_idle = true;
+};
+
+/// Simulates AMC: a HI job executing past its C(LO) without completing
+/// triggers the switch; LO jobs are dropped in HI mode. `exec_time` may be
+/// null (every job takes exactly its LO budget — no switches occur).
+McSimResult simulate_mc(const McTaskSet& ts, const McSimConfig& cfg,
+                        const McExecFn& exec_time = nullptr);
+
+}  // namespace sx::rt

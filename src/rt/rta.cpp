@@ -1,0 +1,60 @@
+#include "rt/rta.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sx::rt {
+
+void TaskSet::assign_deadline_monotonic() noexcept {
+  // Rank by deadline: shortest deadline gets the largest priority value.
+  std::vector<std::size_t> order(tasks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return tasks[a].deadline < tasks[b].deadline;
+  });
+  int prio = static_cast<int>(tasks.size());
+  for (std::size_t idx : order) tasks[idx].priority = prio--;
+}
+
+RtaResult response_time_analysis(const TaskSet& ts) {
+  RtaResult result;
+  result.response_times.resize(ts.tasks.size());
+  result.schedulable = true;
+  for (std::size_t i = 0; i < ts.tasks.size(); ++i) {
+    const Task& ti = ts.tasks[i];
+    std::uint64_t r = ti.wcet;
+    bool converged = false;
+    // Fixed-point iteration; bail out once R exceeds the deadline.
+    for (int iter = 0; iter < 1000; ++iter) {
+      std::uint64_t next = ti.wcet;
+      for (std::size_t j = 0; j < ts.tasks.size(); ++j) {
+        if (j == i) continue;
+        const Task& tj = ts.tasks[j];
+        if (tj.priority <= ti.priority) continue;
+        next += ((r + tj.period - 1) / tj.period) * tj.wcet;
+      }
+      if (next == r) {
+        converged = true;
+        break;
+      }
+      r = next;
+      if (r > ti.deadline) break;
+    }
+    if (converged && r <= ti.deadline) {
+      result.response_times[i] = r;
+    } else {
+      result.response_times[i] = std::nullopt;
+      result.schedulable = false;
+    }
+  }
+  return result;
+}
+
+double rm_utilization_bound(std::size_t n) noexcept {
+  if (n == 0) return 0.0;
+  const double nn = static_cast<double>(n);
+  return nn * (std::pow(2.0, 1.0 / nn) - 1.0);
+}
+
+}  // namespace sx::rt

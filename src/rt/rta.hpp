@@ -1,0 +1,26 @@
+// Response-time analysis for fixed-priority preemptive scheduling
+// (Joseph & Pandya / Audsley). The static counterpart of the scheduler
+// simulation: experiment E9 checks that the two agree.
+#pragma once
+
+#include <optional>
+
+#include "rt/task.hpp"
+
+namespace sx::rt {
+
+struct RtaResult {
+  /// Worst-case response time per task (same order as the task set);
+  /// empty optional when the fixed-point iteration diverged past the
+  /// deadline (unschedulable task).
+  std::vector<std::optional<std::uint64_t>> response_times;
+  bool schedulable = false;
+};
+
+/// Exact RTA: R_i = C_i + sum_{j in hp(i)} ceil(R_i / T_j) * C_j.
+RtaResult response_time_analysis(const TaskSet& ts);
+
+/// Liu & Layland utilization bound for rate-monotonic scheduling of n tasks.
+double rm_utilization_bound(std::size_t n) noexcept;
+
+}  // namespace sx::rt

@@ -1,0 +1,125 @@
+#include "rt/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace sx::rt {
+namespace {
+
+struct Job {
+  std::size_t task = 0;
+  std::uint64_t release = 0;
+  std::uint64_t abs_deadline = 0;
+  std::uint64_t remaining = 0;
+  bool missed_marked = false;
+};
+
+}  // namespace
+
+SimResult simulate(const TaskSet& ts, const SimConfig& cfg,
+                   const ExecTimeFn& exec_time) {
+  if (ts.tasks.empty()) throw std::invalid_argument("simulate: empty task set");
+  util::Xoshiro256 rng{cfg.seed};
+
+  SimResult result;
+  result.per_task.resize(ts.tasks.size());
+  std::vector<double> response_sums(ts.tasks.size(), 0.0);
+
+  std::vector<std::uint64_t> next_release(ts.tasks.size(), 0);
+  std::vector<Job> ready;
+  std::uint64_t now = 0;
+
+  auto release_due = [&](std::uint64_t t) {
+    for (std::size_t i = 0; i < ts.tasks.size(); ++i) {
+      while (next_release[i] <= t) {
+        const std::uint64_t c =
+            exec_time ? exec_time(ts.tasks[i], rng) : ts.tasks[i].wcet;
+        ready.push_back(Job{i, next_release[i],
+                            next_release[i] + ts.tasks[i].deadline,
+                            std::max<std::uint64_t>(1, c), false});
+        ++result.per_task[i].jobs;
+        ++result.total_jobs;
+        next_release[i] += ts.tasks[i].period;
+      }
+    }
+  };
+
+  auto finish_job = [&](const Job& job, std::uint64_t completion,
+                        bool aborted) {
+    TaskStats& st = result.per_task[job.task];
+    const std::uint64_t response = completion - job.release;
+    st.max_response = std::max(st.max_response, response);
+    response_sums[job.task] += static_cast<double>(response);
+    if (aborted) {
+      ++st.aborted;
+      ++result.total_misses;
+    } else if (completion > job.abs_deadline) {
+      ++st.deadline_misses;
+      ++result.total_misses;
+    }
+  };
+
+  release_due(0);
+  while (now < cfg.duration) {
+    // Next release instant.
+    std::uint64_t next_rel = std::numeric_limits<std::uint64_t>::max();
+    for (std::uint64_t r : next_release) next_rel = std::min(next_rel, r);
+
+    if (ready.empty()) {
+      if (next_rel >= cfg.duration) break;
+      now = next_rel;
+      release_due(now);
+      continue;
+    }
+
+    // Highest-priority ready job (ties: earliest release).
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < ready.size(); ++i) {
+      const Job& a = ready[i];
+      const Job& b = ready[best];
+      if (ts.tasks[a.task].priority > ts.tasks[b.task].priority ||
+          (ts.tasks[a.task].priority == ts.tasks[b.task].priority &&
+           a.release < b.release))
+        best = i;
+    }
+    Job& job = ready[best];
+
+    std::uint64_t run_until = std::min(cfg.duration, now + job.remaining);
+    run_until = std::min(run_until, next_rel);
+    if (cfg.miss_policy == MissPolicy::kAbort)
+      run_until = std::min(run_until, std::max(job.abs_deadline, now));
+
+    const std::uint64_t ran = run_until - now;
+    job.remaining -= std::min(job.remaining, ran);
+    now = run_until;
+
+    if (cfg.miss_policy == MissPolicy::kAbort && now >= job.abs_deadline &&
+        job.remaining > 0) {
+      finish_job(job, now, /*aborted=*/true);
+      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best));
+    } else if (job.remaining == 0) {
+      finish_job(job, now, /*aborted=*/false);
+      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best));
+    }
+    release_due(now);
+  }
+
+  // Jobs still pending past their deadline at simulation end are misses —
+  // otherwise a starved task would look spuriously healthy.
+  for (const Job& job : ready) {
+    if (job.abs_deadline < now) {
+      ++result.per_task[job.task].deadline_misses;
+      ++result.total_misses;
+    }
+  }
+
+  for (std::size_t i = 0; i < ts.tasks.size(); ++i) {
+    TaskStats& st = result.per_task[i];
+    const std::uint64_t done = st.jobs;
+    st.mean_response = done ? response_sums[i] / static_cast<double>(done) : 0;
+  }
+  return result;
+}
+
+}  // namespace sx::rt

@@ -1,0 +1,62 @@
+// Event-driven fixed-priority preemptive scheduler simulation.
+//
+// Complements the static response-time analysis: jobs draw *actual*
+// execution times (e.g. sampled under a pWCET budget) and the simulation
+// records response times and deadline misses. A watchdog-style miss policy
+// can abort late jobs, modelling the fallback channel taking over.
+#pragma once
+
+#include <functional>
+
+#include "rt/task.hpp"
+#include "util/rng.hpp"
+
+namespace sx::rt {
+
+enum class MissPolicy : std::uint8_t {
+  kContinue,  ///< late jobs run to completion (misses recorded)
+  kAbort,     ///< watchdog aborts the job at its deadline (fail-stop)
+};
+
+/// Samples the actual execution time of one job of `task`.
+using ExecTimeFn =
+    std::function<std::uint64_t(const Task& task, util::Xoshiro256& rng)>;
+
+struct TaskStats {
+  std::uint64_t jobs = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t max_response = 0;
+  double mean_response = 0.0;
+
+  double miss_rate() const noexcept {
+    return jobs ? static_cast<double>(deadline_misses + aborted) /
+                      static_cast<double>(jobs)
+                : 0.0;
+  }
+};
+
+struct SimResult {
+  std::vector<TaskStats> per_task;
+  std::uint64_t total_jobs = 0;
+  std::uint64_t total_misses = 0;  ///< includes aborted jobs
+
+  double miss_rate() const noexcept {
+    return total_jobs ? static_cast<double>(total_misses) /
+                            static_cast<double>(total_jobs)
+                      : 0.0;
+  }
+};
+
+struct SimConfig {
+  std::uint64_t duration = 1'000'000;
+  MissPolicy miss_policy = MissPolicy::kContinue;
+  std::uint64_t seed = 42;
+};
+
+/// Simulates `ts` for cfg.duration time units. `exec_time` may be null, in
+/// which case every job takes exactly its WCET.
+SimResult simulate(const TaskSet& ts, const SimConfig& cfg,
+                   const ExecTimeFn& exec_time = nullptr);
+
+}  // namespace sx::rt

@@ -1,0 +1,48 @@
+// Periodic task model for the real-time substrate (pillar 4).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sx::rt {
+
+/// Implicit- or constrained-deadline periodic task. Time unit is abstract
+/// (cycles / microseconds) — consistent with the platform simulator.
+struct Task {
+  std::string name;
+  std::uint64_t period = 0;
+  std::uint64_t wcet = 0;      ///< budgeted execution time (e.g. pWCET)
+  std::uint64_t deadline = 0;  ///< relative; defaults to the period
+  int priority = 0;            ///< larger = higher priority
+
+  double utilization() const noexcept {
+    return period ? static_cast<double>(wcet) / static_cast<double>(period)
+                  : 0.0;
+  }
+};
+
+struct TaskSet {
+  std::vector<Task> tasks;
+
+  void add(Task t) {
+    if (t.period == 0 || t.wcet == 0)
+      throw std::invalid_argument("TaskSet: zero period/wcet");
+    if (t.deadline == 0) t.deadline = t.period;
+    if (t.deadline > t.period)
+      throw std::invalid_argument("TaskSet: deadline > period unsupported");
+    tasks.push_back(std::move(t));
+  }
+
+  double utilization() const noexcept {
+    double u = 0.0;
+    for (const auto& t : tasks) u += t.utilization();
+    return u;
+  }
+
+  /// Assigns deadline-monotonic priorities (shorter deadline = higher).
+  void assign_deadline_monotonic() noexcept;
+};
+
+}  // namespace sx::rt

@@ -1,0 +1,63 @@
+#include "safety/campaign.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace sx::safety {
+namespace {
+
+std::size_t argmax_of(std::span<const float> xs) noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < xs.size(); ++i)
+    if (xs[i] > xs[best]) best = i;
+  return best;
+}
+
+}  // namespace
+
+CampaignOutcome run_campaign(InferenceChannel& channel,
+                             const dl::Dataset& probes,
+                             const CampaignConfig& cfg) {
+  if (probes.samples.empty())
+    throw std::invalid_argument("run_campaign: no probes");
+
+  // Golden (fault-free) decisions; skip probes the channel already rejects.
+  std::vector<float> out(channel.output_size());
+  std::vector<const dl::Sample*> usable;
+  std::vector<std::size_t> golden;
+  for (const auto& s : probes.samples) {
+    const Status st = channel.infer(s.input.view(), out);
+    if (ok(st) && !channel.last_degraded()) {
+      usable.push_back(&s);
+      golden.push_back(argmax_of(out));
+    }
+  }
+  if (usable.empty())
+    throw std::runtime_error("run_campaign: channel rejects all probes");
+
+  FaultInjector injector{cfg.seed};
+  CampaignOutcome outcome;
+  std::size_t probe_cursor = 0;
+  for (std::size_t f = 0; f < cfg.n_faults; ++f) {
+    const FaultRecord rec =
+        injector.inject(channel.replica(0), cfg.fault_type);
+    for (std::size_t p = 0; p < cfg.probes_per_fault; ++p) {
+      const std::size_t idx = probe_cursor % usable.size();
+      ++probe_cursor;
+      const Status st = channel.infer(usable[idx]->input.view(), out);
+      if (!ok(st)) {
+        ++outcome.detected;
+      } else if (channel.last_degraded()) {
+        ++outcome.fallback;
+      } else if (argmax_of(out) == golden[idx]) {
+        ++outcome.correct;
+      } else {
+        ++outcome.sdc;
+      }
+    }
+    FaultInjector::restore(channel.replica(0), rec);
+  }
+  return outcome;
+}
+
+}  // namespace sx::safety

@@ -1,0 +1,55 @@
+// Fault-injection campaigns: quantify what each safety pattern buys (E5).
+#pragma once
+
+#include <cstdint>
+
+#include "dl/dataset.hpp"
+#include "safety/channel.hpp"
+#include "safety/fault.hpp"
+
+namespace sx::safety {
+
+struct CampaignConfig {
+  std::size_t n_faults = 100;        ///< independent fault trials
+  std::size_t probes_per_fault = 8;  ///< inputs evaluated under each fault
+  FaultType fault_type = FaultType::kBitFlip;
+  std::uint64_t seed = 1234;
+};
+
+/// Outcome classification per (fault, probe):
+///   correct   OK status, decision matches the fault-free decision
+///             (covers both benign faults and masked faults);
+///   detected  non-OK status (fail-stop — safe but unavailable);
+///   fallback  OK status via a degraded/fallback output (fail-operational);
+///   sdc       OK status but wrong decision — silent data corruption,
+///             the unsafe outcome.
+struct CampaignOutcome {
+  std::size_t correct = 0;
+  std::size_t detected = 0;
+  std::size_t fallback = 0;
+  std::size_t sdc = 0;
+
+  std::size_t total() const noexcept {
+    return correct + detected + fallback + sdc;
+  }
+  double sdc_rate() const noexcept {
+    return total() ? static_cast<double>(sdc) / static_cast<double>(total())
+                   : 0.0;
+  }
+  double safe_rate() const noexcept { return 1.0 - sdc_rate(); }
+  double availability() const noexcept {
+    return total() ? static_cast<double>(correct + fallback) /
+                         static_cast<double>(total())
+                   : 0.0;
+  }
+};
+
+/// Runs a fault-injection campaign against `channel`. Faults target replica
+/// 0's parameters; every fault is removed before the next trial. Probes are
+/// drawn round-robin from `probes` (only samples whose fault-free inference
+/// returns kOk participate).
+CampaignOutcome run_campaign(InferenceChannel& channel,
+                             const dl::Dataset& probes,
+                             const CampaignConfig& cfg);
+
+}  // namespace sx::safety

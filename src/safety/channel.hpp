@@ -1,0 +1,207 @@
+// The SAFEXPLAIN safety-pattern ladder (pillar 2).
+//
+// Each pattern wraps DL inference in an increasingly sophisticated
+// fault-detection/-tolerance architecture:
+//
+//   single        bare StaticEngine (QM / baseline)
+//   monitored     + envelope monitor (fail-stop on implausible outputs)
+//   dmr           duplication with comparison (fail-stop on divergence)
+//   tmr           triplication with median vote (fault masking)
+//   diverse-tmr   diverse triplication: float / int8 / float replicas with
+//                 argmax majority vote (common-cause defence)
+//   safety-bag    any channel + trust supervisor + rule-based fallback
+//                 (fail-operational: degrades instead of stopping)
+//
+// Channels own *copies* of the deployed model so that fault injection into
+// one replica models an SEU in that replica's weight memory.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dl/engine.hpp"
+#include "dl/quant.hpp"
+#include "safety/monitor.hpp"
+#include "supervise/supervisor.hpp"
+
+namespace sx::safety {
+
+class InferenceChannel {
+ public:
+  virtual ~InferenceChannel() = default;
+
+  virtual std::string_view pattern_name() const noexcept = 0;
+
+  /// Runs one inference; `out` must hold output_size() floats.
+  virtual Status infer(tensor::ConstTensorView in,
+                       std::span<float> out) noexcept = 0;
+
+  virtual std::size_t output_size() const noexcept = 0;
+
+  /// Number of model replicas (fault-injection targets).
+  virtual std::size_t replica_count() const noexcept { return 1; }
+  virtual dl::Model& replica(std::size_t i) = 0;
+
+  /// True if the previous infer() produced a fallback (degraded) output.
+  virtual bool last_degraded() const noexcept { return false; }
+};
+
+/// Bare engine, no protection.
+class SingleChannel final : public InferenceChannel {
+ public:
+  explicit SingleChannel(const dl::Model& model,
+                         dl::StaticEngineConfig cfg = {.check_numeric_faults =
+                                                           false});
+
+  std::string_view pattern_name() const noexcept override { return "single"; }
+  Status infer(tensor::ConstTensorView in,
+               std::span<float> out) noexcept override;
+  std::size_t output_size() const noexcept override {
+    return model_->output_shape().size();
+  }
+  dl::Model& replica(std::size_t) override { return *model_; }
+
+ private:
+  std::unique_ptr<dl::Model> model_;
+  std::unique_ptr<dl::StaticEngine> engine_;
+};
+
+/// Engine + envelope monitor (fail-stop).
+class MonitoredChannel final : public InferenceChannel {
+ public:
+  MonitoredChannel(const dl::Model& model, MonitorConfig cfg);
+
+  std::string_view pattern_name() const noexcept override {
+    return "monitored";
+  }
+  Status infer(tensor::ConstTensorView in,
+               std::span<float> out) noexcept override;
+  std::size_t output_size() const noexcept override {
+    return model_->output_shape().size();
+  }
+  dl::Model& replica(std::size_t) override { return *model_; }
+
+  const SafetyMonitor& monitor() const noexcept { return monitor_; }
+
+ private:
+  std::unique_ptr<dl::Model> model_;
+  std::unique_ptr<dl::StaticEngine> engine_;
+  SafetyMonitor monitor_;
+};
+
+/// Dual modular redundancy: two replicas, compare, fail-stop on divergence.
+class DmrChannel final : public InferenceChannel {
+ public:
+  DmrChannel(const dl::Model& model, float tolerance = 1e-5f);
+
+  std::string_view pattern_name() const noexcept override { return "dmr"; }
+  Status infer(tensor::ConstTensorView in,
+               std::span<float> out) noexcept override;
+  std::size_t output_size() const noexcept override {
+    return models_[0]->output_shape().size();
+  }
+  std::size_t replica_count() const noexcept override { return 2; }
+  dl::Model& replica(std::size_t i) override { return *models_.at(i); }
+
+  std::uint64_t divergences() const noexcept { return divergences_; }
+
+ private:
+  std::vector<std::unique_ptr<dl::Model>> models_;
+  std::vector<std::unique_ptr<dl::StaticEngine>> engines_;
+  std::vector<float> scratch_;
+  float tolerance_;
+  std::uint64_t divergences_ = 0;
+};
+
+/// Triple modular redundancy with element-wise median vote (fault masking).
+class TmrChannel final : public InferenceChannel {
+ public:
+  TmrChannel(const dl::Model& model, float tolerance = 1e-5f);
+
+  std::string_view pattern_name() const noexcept override { return "tmr"; }
+  Status infer(tensor::ConstTensorView in,
+               std::span<float> out) noexcept override;
+  std::size_t output_size() const noexcept override {
+    return models_[0]->output_shape().size();
+  }
+  std::size_t replica_count() const noexcept override { return 3; }
+  dl::Model& replica(std::size_t i) override { return *models_.at(i); }
+
+  /// Votes in which at least one replica disagreed (masked faults).
+  std::uint64_t masked_votes() const noexcept { return masked_; }
+
+ private:
+  std::vector<std::unique_ptr<dl::Model>> models_;
+  std::vector<std::unique_ptr<dl::StaticEngine>> engines_;
+  std::vector<float> scratch_;  // 3 * output buffers
+  float tolerance_;
+  std::uint64_t masked_ = 0;
+};
+
+/// Diverse redundancy: float replica, int8-quantized replica and a second
+/// float replica vote on the *argmax*; ties broken toward replica 0. Output
+/// logits come from the first float replica agreeing with the majority.
+class DiverseTmrChannel final : public InferenceChannel {
+ public:
+  DiverseTmrChannel(const dl::Model& model, const dl::Dataset& calibration);
+
+  std::string_view pattern_name() const noexcept override {
+    return "diverse-tmr";
+  }
+  Status infer(tensor::ConstTensorView in,
+               std::span<float> out) noexcept override;
+  std::size_t output_size() const noexcept override {
+    return models_[0]->output_shape().size();
+  }
+  /// Replicas 0 and 1 are the float models; the quantized replica is not
+  /// exposed for parameter-level injection.
+  std::size_t replica_count() const noexcept override { return 2; }
+  dl::Model& replica(std::size_t i) override { return *models_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<dl::Model>> models_;  // two float replicas
+  std::vector<std::unique_ptr<dl::StaticEngine>> engines_;
+  std::unique_ptr<dl::QuantizedModel> qmodel_;
+  std::vector<float> scratch_;
+  std::uint64_t masked_ = 0;
+};
+
+/// Fail-operational safety bag: primary channel + (optional) trust
+/// supervisor + deterministic fallback output (e.g. "assume obstacle").
+class SafetyBagChannel final : public InferenceChannel {
+ public:
+  /// `fallback_logits` is the conservative output substituted when the
+  /// primary fails or the supervisor rejects. `supervisor` may be null
+  /// (then only channel-status failures trigger the fallback); if given it
+  /// must already be fitted and threshold-calibrated.
+  SafetyBagChannel(std::unique_ptr<InferenceChannel> primary,
+                   const dl::Model* supervisor_model,
+                   const supervise::Supervisor* supervisor,
+                   std::vector<float> fallback_logits);
+
+  std::string_view pattern_name() const noexcept override {
+    return "safety-bag";
+  }
+  Status infer(tensor::ConstTensorView in,
+               std::span<float> out) noexcept override;
+  std::size_t output_size() const noexcept override {
+    return primary_->output_size();
+  }
+  std::size_t replica_count() const noexcept override {
+    return primary_->replica_count();
+  }
+  dl::Model& replica(std::size_t i) override { return primary_->replica(i); }
+  bool last_degraded() const noexcept override { return degraded_; }
+
+  std::uint64_t fallback_activations() const noexcept { return fallbacks_; }
+
+ private:
+  std::unique_ptr<InferenceChannel> primary_;
+  const dl::Model* supervisor_model_;
+  const supervise::Supervisor* supervisor_;
+  std::vector<float> fallback_;
+  bool degraded_ = false;
+  std::uint64_t fallbacks_ = 0;
+};
+
+}  // namespace sx::safety

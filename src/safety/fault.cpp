@@ -1,0 +1,87 @@
+#include "safety/fault.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace sx::safety {
+
+const char* to_string(FaultType t) noexcept {
+  switch (t) {
+    case FaultType::kBitFlip: return "bit-flip";
+    case FaultType::kStuckZero: return "stuck-zero";
+    case FaultType::kStuckLarge: return "stuck-large";
+  }
+  return "unknown";
+}
+
+float flip_bit(float v, int bit) noexcept {
+  std::uint32_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  u ^= (1u << (bit & 31));
+  float out = 0.0f;
+  std::memcpy(&out, &u, sizeof(out));
+  return out;
+}
+
+FaultRecord FaultInjector::inject(dl::Model& model, FaultType type) {
+  // Collect layers that actually hold parameters.
+  std::vector<std::size_t> param_layers;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    if (model.layer(i).param_count() > 0) {
+      param_layers.push_back(i);
+      total += model.layer(i).param_count();
+    }
+  }
+  if (total == 0) throw std::invalid_argument("FaultInjector: no parameters");
+
+  // Pick a parameter uniformly over all parameters.
+  std::size_t flat = rng_.below(total);
+  std::size_t layer = 0, index = 0;
+  for (std::size_t li : param_layers) {
+    const std::size_t n = model.layer(li).param_count();
+    if (flat < n) {
+      layer = li;
+      index = flat;
+      break;
+    }
+    flat -= n;
+  }
+  const int bit = static_cast<int>(rng_.below(32));
+  return inject_at(model, type, layer, index, bit);
+}
+
+FaultRecord FaultInjector::inject_at(dl::Model& model, FaultType type,
+                                     std::size_t layer,
+                                     std::size_t param_index, int bit) {
+  auto params = model.layer(layer).params();
+  if (param_index >= params.size())
+    throw std::invalid_argument("FaultInjector: param index out of range");
+  FaultRecord rec;
+  rec.type = type;
+  rec.layer = layer;
+  rec.param_index = param_index;
+  rec.bit = bit;
+  rec.before = params[param_index];
+  switch (type) {
+    case FaultType::kBitFlip:
+      rec.after = flip_bit(rec.before, bit);
+      break;
+    case FaultType::kStuckZero:
+      rec.after = 0.0f;
+      break;
+    case FaultType::kStuckLarge:
+      rec.after = rec.before >= 0.0f ? 1e6f : -1e6f;
+      break;
+  }
+  params[param_index] = rec.after;
+  return rec;
+}
+
+void FaultInjector::restore(dl::Model& model, const FaultRecord& rec) {
+  auto params = model.layer(rec.layer).params();
+  if (rec.param_index < params.size()) params[rec.param_index] = rec.before;
+}
+
+}  // namespace sx::safety

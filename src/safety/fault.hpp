@@ -1,0 +1,56 @@
+// Fault injection for dependability assessment (experiment E5).
+//
+// Models single-event upsets (SEU) in weight memory: a random bit of a
+// random parameter is flipped. Campaigns measure how much of the resulting
+// misbehaviour each safety pattern detects or masks.
+#pragma once
+
+#include <cstdint>
+
+#include "dl/model.hpp"
+#include "util/rng.hpp"
+
+namespace sx::safety {
+
+enum class FaultType : std::uint8_t {
+  kBitFlip,     ///< flip one bit of one float parameter
+  kStuckZero,   ///< parameter forced to 0
+  kStuckLarge,  ///< parameter forced to a large magnitude
+};
+
+const char* to_string(FaultType t) noexcept;
+
+struct FaultRecord {
+  FaultType type = FaultType::kBitFlip;
+  std::size_t layer = 0;
+  std::size_t param_index = 0;
+  int bit = 0;  // bit flipped (for kBitFlip)
+  float before = 0.0f;
+  float after = 0.0f;
+};
+
+/// Deterministic fault injector over model parameters.
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+  /// Injects one fault of `type` at a uniformly random parameter position.
+  /// Returns the record needed to undo it. Throws if the model has no
+  /// parameters.
+  FaultRecord inject(dl::Model& model, FaultType type);
+
+  /// Injects specifically into layer `layer` (used to target one replica).
+  FaultRecord inject_at(dl::Model& model, FaultType type, std::size_t layer,
+                        std::size_t param_index, int bit);
+
+  /// Restores the parameter recorded in `rec`.
+  static void restore(dl::Model& model, const FaultRecord& rec);
+
+ private:
+  util::Xoshiro256 rng_;
+};
+
+/// Flips bit `bit` (0..31) of a float value.
+float flip_bit(float v, int bit) noexcept;
+
+}  // namespace sx::safety

@@ -1,0 +1,52 @@
+#include "safety/integrity.hpp"
+
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace sx::safety {
+
+WeightIntegrityGuard::WeightIntegrityGuard(const dl::Model& golden) {
+  golden_params_.reserve(golden.layer_count());
+  fingerprints_.reserve(golden.layer_count());
+  for (std::size_t i = 0; i < golden.layer_count(); ++i) {
+    const auto p = golden.layer(i).params();
+    golden_params_.emplace_back(p.begin(), p.end());
+    fingerprints_.push_back(util::fnv1a(p));
+  }
+}
+
+Status WeightIntegrityGuard::verify(const dl::Model& deployed) const {
+  if (deployed.layer_count() != golden_params_.size())
+    return Status::kInvalidArgument;
+  for (std::size_t i = 0; i < deployed.layer_count(); ++i) {
+    if (util::fnv1a(deployed.layer(i).params()) != fingerprints_[i])
+      return Status::kIntegrityFault;
+  }
+  return Status::kOk;
+}
+
+Status WeightIntegrityGuard::scrub(dl::Model& deployed) {
+  ++scrubs_;
+  if (deployed.layer_count() != golden_params_.size())
+    return Status::kInvalidArgument;
+  bool corrupted = false;
+  for (std::size_t i = 0; i < deployed.layer_count(); ++i) {
+    auto params = deployed.layer(i).params();
+    if (util::fnv1a(std::span<const float>(params.data(), params.size())) ==
+        fingerprints_[i])
+      continue;
+    corrupted = true;
+    ++repaired_;
+    const auto& golden = golden_params_[i];
+    if (params.size() != golden.size()) return Status::kInvalidArgument;
+    for (std::size_t j = 0; j < params.size(); ++j) params[j] = golden[j];
+  }
+  if (corrupted) {
+    ++detections_;
+    return Status::kIntegrityFault;
+  }
+  return Status::kOk;
+}
+
+}  // namespace sx::safety

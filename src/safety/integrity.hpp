@@ -1,0 +1,42 @@
+// Weight-memory integrity guard (pillar 2 extension).
+//
+// Redundant execution is expensive; for SEUs in *weight memory* a much
+// cheaper pattern exists: keep a golden copy + per-layer fingerprints and
+// periodically scrub the deployed parameters, repairing any divergence.
+// This trades detection latency (faults are caught at the next scrub, not
+// the next inference) for near-zero steady-state cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dl/model.hpp"
+
+namespace sx::safety {
+
+class WeightIntegrityGuard {
+ public:
+  /// Snapshots `golden` (parameters + per-layer fingerprints).
+  explicit WeightIntegrityGuard(const dl::Model& golden);
+
+  /// Verifies every layer of `deployed` against the golden fingerprints;
+  /// repairs corrupted layers from the golden copy. Returns kOk if clean,
+  /// kIntegrityFault if corruption was found (and repaired).
+  Status scrub(dl::Model& deployed);
+
+  /// Verify only (no repair).
+  Status verify(const dl::Model& deployed) const;
+
+  std::uint64_t scrubs() const noexcept { return scrubs_; }
+  std::uint64_t detections() const noexcept { return detections_; }
+  std::uint64_t repaired_layers() const noexcept { return repaired_; }
+
+ private:
+  std::vector<std::vector<float>> golden_params_;
+  std::vector<std::uint64_t> fingerprints_;
+  std::uint64_t scrubs_ = 0;
+  std::uint64_t detections_ = 0;
+  std::uint64_t repaired_ = 0;
+};
+
+}  // namespace sx::safety

@@ -1,0 +1,64 @@
+#include "safety/monitor.hpp"
+
+#include <cmath>
+
+namespace sx::safety {
+
+Status SafetyMonitor::check_input(tensor::ConstTensorView input) noexcept {
+  ++checks_;
+  if (cfg_.check_finite && tensor::has_non_finite(input)) {
+    ++rejections_;
+    return Status::kNumericFault;
+  }
+  if (cfg_.check_input_range) {
+    for (float v : input.data) {
+      if (v < cfg_.input_min || v > cfg_.input_max) {
+        ++rejections_;
+        return Status::kOddViolation;
+      }
+    }
+  }
+  return Status::kOk;
+}
+
+Status SafetyMonitor::check_output(std::span<const float> logits) noexcept {
+  ++checks_;
+  if (logits.empty()) {
+    ++rejections_;
+    return Status::kInvalidArgument;
+  }
+  for (float v : logits) {
+    if (cfg_.check_finite && !std::isfinite(v)) {
+      ++rejections_;
+      return Status::kNumericFault;
+    }
+    if (v < cfg_.output_min || v > cfg_.output_max) {
+      ++rejections_;
+      return Status::kNumericFault;
+    }
+  }
+  if (cfg_.min_decision_margin > 0.0f && logits.size() >= 2) {
+    // Stable softmax of the top two logits is enough for the margin.
+    float top1 = -std::numeric_limits<float>::infinity();
+    float top2 = -std::numeric_limits<float>::infinity();
+    for (float v : logits) {
+      if (v > top1) {
+        top2 = top1;
+        top1 = v;
+      } else if (v > top2) {
+        top2 = v;
+      }
+    }
+    // p1 - p2 >= margin  <=>  (1 - e^(l2-l1)) / (1 + ...) ... use the exact
+    // two-class reduction as a conservative proxy over the full softmax.
+    const float d = std::exp(top2 - top1);
+    const float margin = (1.0f - d) / (1.0f + d);
+    if (margin < cfg_.min_decision_margin) {
+      ++rejections_;
+      return Status::kSupervisorReject;
+    }
+  }
+  return Status::kOk;
+}
+
+}  // namespace sx::safety

@@ -1,0 +1,53 @@
+// Runtime safety monitor (envelope checker).
+//
+// The simplest SAFEXPLAIN safety pattern: a deterministic, fully verifiable
+// checker wrapped around the (unverifiable) DL component. It enforces an
+// output envelope, numeric sanity, and a minimum decision margin — the
+// classic "monitor/actuator" FUSA architecture.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/ops.hpp"
+#include "util/status.hpp"
+
+namespace sx::safety {
+
+struct MonitorConfig {
+  /// Permitted range for raw model outputs (logits).
+  float output_min = -1e4f;
+  float output_max = 1e4f;
+  /// Reject NaN/Inf anywhere.
+  bool check_finite = true;
+  /// Minimum softmax margin between the top-1 and top-2 classes;
+  /// 0 disables the check.
+  float min_decision_margin = 0.0f;
+  /// Optional input range envelope (ODD-style); disabled by default.
+  bool check_input_range = false;
+  float input_min = 0.0f;
+  float input_max = 1.0f;
+};
+
+class SafetyMonitor {
+ public:
+  explicit SafetyMonitor(MonitorConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Pre-inference input check.
+  Status check_input(tensor::ConstTensorView input) noexcept;
+
+  /// Post-inference output check over raw logits.
+  Status check_output(std::span<const float> logits) noexcept;
+
+  const MonitorConfig& config() const noexcept { return cfg_; }
+
+  std::uint64_t checks() const noexcept { return checks_; }
+  std::uint64_t rejections() const noexcept { return rejections_; }
+
+ private:
+  MonitorConfig cfg_;
+  std::uint64_t checks_ = 0;
+  std::uint64_t rejections_ = 0;
+};
+
+}  // namespace sx::safety

@@ -1,0 +1,51 @@
+// Recovery-block pattern (pillar 2 extension).
+//
+// Classic software fault tolerance adapted to DL: run the primary model,
+// apply a deterministic *acceptance test* to its output; on rejection run
+// the (diverse) alternate and test again; only if both fail does the
+// channel fail-stop. Cheaper than continuous redundancy when rejections
+// are rare — the sequential counterpart of the DMR/TMR patterns.
+#pragma once
+
+#include "safety/channel.hpp"
+#include "safety/monitor.hpp"
+
+namespace sx::safety {
+
+class RecoveryBlockChannel final : public InferenceChannel {
+ public:
+  /// `primary` and `alternate` are model variants (e.g. different seeds or
+  /// float vs quantized surrogate retrained); `acceptance` defines the
+  /// deterministic acceptance test applied to each candidate output.
+  RecoveryBlockChannel(const dl::Model& primary, const dl::Model& alternate,
+                       MonitorConfig acceptance);
+
+  std::string_view pattern_name() const noexcept override {
+    return "recovery-block";
+  }
+  Status infer(tensor::ConstTensorView in,
+               std::span<float> out) noexcept override;
+  std::size_t output_size() const noexcept override {
+    return primary_->output_shape().size();
+  }
+  std::size_t replica_count() const noexcept override { return 2; }
+  dl::Model& replica(std::size_t i) override {
+    return i == 0 ? *primary_ : *alternate_;
+  }
+
+  /// Times the alternate was engaged.
+  std::uint64_t recoveries() const noexcept { return recoveries_; }
+  /// Times both blocks failed the acceptance test.
+  std::uint64_t double_failures() const noexcept { return double_failures_; }
+
+ private:
+  std::unique_ptr<dl::Model> primary_;
+  std::unique_ptr<dl::Model> alternate_;
+  std::unique_ptr<dl::StaticEngine> primary_engine_;
+  std::unique_ptr<dl::StaticEngine> alternate_engine_;
+  SafetyMonitor acceptance_;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t double_failures_ = 0;
+};
+
+}  // namespace sx::safety

@@ -1,0 +1,56 @@
+// Logical-time watchdog (pillar 4 meets pillar 2).
+//
+// Operates on logical time units (cycles in the platform simulator, or
+// microseconds in the RT scheduler) so that timing behaviour is fully
+// deterministic and testable.
+#pragma once
+
+#include <cstdint>
+
+#include "util/status.hpp"
+
+namespace sx::safety {
+
+class Watchdog {
+ public:
+  /// Arms the watchdog: the task must kick() before `budget` time units
+  /// elapse from `now`.
+  void arm(std::uint64_t now, std::uint64_t budget) noexcept {
+    deadline_ = now + budget;
+    armed_ = true;
+  }
+
+  void disarm() noexcept { armed_ = false; }
+
+  bool armed() const noexcept { return armed_; }
+  std::uint64_t deadline() const noexcept { return deadline_; }
+
+  /// Reports completion at `now`; returns kDeadlineMiss if late.
+  Status kick(std::uint64_t now) noexcept {
+    if (!armed_) return Status::kNotReady;
+    armed_ = false;
+    if (now > deadline_) {
+      ++misses_;
+      return Status::kDeadlineMiss;
+    }
+    ++kicks_;
+    return Status::kOk;
+  }
+
+  /// Polled check (e.g. by a supervisor task): has the deadline passed
+  /// without a kick?
+  bool expired(std::uint64_t now) const noexcept {
+    return armed_ && now > deadline_;
+  }
+
+  std::uint64_t kicks() const noexcept { return kicks_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  std::uint64_t deadline_ = 0;
+  bool armed_ = false;
+  std::uint64_t kicks_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace sx::safety

@@ -1,0 +1,177 @@
+#include "supervise/advanced.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dl/engine.hpp"
+#include "dl/train.hpp"
+#include "supervise/calibration.hpp"
+
+namespace sx::supervise {
+
+// --------------------------------------------------------------------- ODIN
+
+OdinSupervisor::OdinSupervisor(double temperature, float epsilon)
+    : temperature_(temperature), epsilon_(epsilon) {
+  if (temperature <= 0.0)
+    throw std::invalid_argument("OdinSupervisor: temperature <= 0");
+  if (epsilon < 0.0f)
+    throw std::invalid_argument("OdinSupervisor: negative epsilon");
+}
+
+void OdinSupervisor::fit(const dl::Model& model, const dl::Dataset&) {
+  model_ = std::make_unique<dl::Model>(model);
+}
+
+double OdinSupervisor::score(const dl::Model& model,
+                             const tensor::Tensor& input) const {
+  if (!model_) model_ = std::make_unique<dl::Model>(model);
+
+  // Gradient of the max tempered log-softmax w.r.t. the input.
+  const auto acts = model_->forward_trace(input);
+  const tensor::Tensor& logits = acts.back();
+  const auto p = tempered_softmax(logits.data(), temperature_);
+  std::size_t top = 0;
+  for (std::size_t i = 1; i < p.size(); ++i)
+    if (p[i] > p[top]) top = i;
+
+  // d log p_top / d logits = (onehot - p) / T.
+  tensor::Tensor grad_logits{logits.shape()};
+  for (std::size_t i = 0; i < p.size(); ++i)
+    grad_logits.at(i) = static_cast<float>(
+        ((i == top ? 1.0 : 0.0) - static_cast<double>(p[i])) / temperature_);
+  tensor::Tensor grad_in = model_->backward(acts, grad_logits);
+  model_->zero_grads();
+
+  // Step along sign(grad) to *raise* the top-class probability.
+  tensor::Tensor perturbed = input;
+  for (std::size_t i = 0; i < perturbed.size(); ++i) {
+    const float g = grad_in.at(i);
+    perturbed.at(i) += epsilon_ * (g > 0.0f ? 1.0f : (g < 0.0f ? -1.0f : 0.0f));
+  }
+
+  const tensor::Tensor out = model_->forward(perturbed);
+  const auto p2 = tempered_softmax(out.data(), temperature_);
+  double m = 0.0;
+  for (float v : p2) m = std::max(m, static_cast<double>(v));
+  return 1.0 - m;
+}
+
+// ----------------------------------------------------------------- ensemble
+
+EnsembleSupervisor::EnsembleSupervisor(std::size_t members, std::size_t epochs,
+                                       std::uint64_t seed)
+    : n_members_(members), epochs_(epochs), seed_(seed) {
+  if (members < 2)
+    throw std::invalid_argument("EnsembleSupervisor: need >= 2 members");
+}
+
+void EnsembleSupervisor::fit(const dl::Model& model,
+                             const dl::Dataset& id_data) {
+  if (id_data.samples.empty())
+    throw std::invalid_argument("EnsembleSupervisor::fit: empty data");
+  const std::size_t n_classes = model.output_shape().size();
+  members_.clear();
+  for (std::size_t k = 0; k < n_members_; ++k) {
+    dl::ModelBuilder b{id_data.input_shape};
+    if (id_data.input_shape.rank() > 1) b.flatten();
+    // Architectural diversity: each member gets a different width, so
+    // their extrapolation behaviour (where disagreement matters) differs.
+    b.dense(16 + 8 * (k % 3)).relu().dense(n_classes);
+    dl::Model member = b.build(seed_ + 101 * k);
+    dl::Trainer trainer{dl::TrainConfig{.learning_rate = 0.02,
+                                        .momentum = 0.9,
+                                        .epochs = epochs_,
+                                        .batch_size = 16,
+                                        .shuffle_seed = seed_ + 7 * k}};
+    trainer.fit(member, id_data);
+    members_.push_back(std::move(member));
+  }
+}
+
+double EnsembleSupervisor::score(const dl::Model&,
+                                 const tensor::Tensor& input) const {
+  if (members_.empty())
+    throw std::logic_error("EnsembleSupervisor::score before fit");
+  const std::size_t n_classes = members_[0].output_shape().size();
+  std::vector<double> mean_p(n_classes, 0.0);
+  std::vector<std::vector<float>> per_member;
+  per_member.reserve(members_.size());
+  for (const auto& m : members_) {
+    const tensor::Tensor logits = m.forward(input);
+    per_member.push_back(dl::softmax_copy(logits.data()));
+    for (std::size_t c = 0; c < n_classes; ++c)
+      mean_p[c] += per_member.back()[c] / static_cast<double>(members_.size());
+  }
+  // Predictive entropy of the mean.
+  double entropy = 0.0;
+  for (double p : mean_p)
+    if (p > 1e-12) entropy -= p * std::log(p);
+  // Mean across-member variance (epistemic spread).
+  double variance = 0.0;
+  for (std::size_t c = 0; c < n_classes; ++c) {
+    double v = 0.0;
+    for (const auto& p : per_member) {
+      const double d = p[c] - mean_p[c];
+      v += d * d;
+    }
+    variance += v / static_cast<double>(per_member.size());
+  }
+  return entropy + 10.0 * variance;
+}
+
+// ---------------------------------------------------------------------- kNN
+
+KnnSupervisor::KnnSupervisor(std::size_t k) : k_(k) {
+  if (k == 0) throw std::invalid_argument("KnnSupervisor: k == 0");
+}
+
+std::vector<double> KnnSupervisor::features_of(
+    const dl::Model& model, const tensor::Tensor& input) const {
+  const auto acts = model.forward_trace(input);
+  const tensor::Tensor& feat = acts.at(feature_layer_);
+  std::vector<double> out(feat.size());
+  for (std::size_t i = 0; i < feat.size(); ++i) out[i] = feat.at(i);
+  return out;
+}
+
+void KnnSupervisor::fit(const dl::Model& model, const dl::Dataset& id_data) {
+  if (id_data.samples.size() < k_)
+    throw std::invalid_argument("KnnSupervisor::fit: fewer samples than k");
+  std::size_t last_dense = model.layer_count();
+  for (std::size_t i = model.layer_count(); i-- > 0;)
+    if (model.layer(i).kind() == dl::LayerKind::kDense) {
+      last_dense = i;
+      break;
+    }
+  if (last_dense == model.layer_count())
+    throw std::invalid_argument("KnnSupervisor: model has no Dense layer");
+  feature_layer_ = last_dense;
+  bank_.clear();
+  bank_.reserve(id_data.samples.size());
+  for (const auto& s : id_data.samples)
+    bank_.push_back(features_of(model, s.input));
+  fitted_ = true;
+}
+
+double KnnSupervisor::score(const dl::Model& model,
+                            const tensor::Tensor& input) const {
+  if (!fitted_) throw std::logic_error("KnnSupervisor::score before fit");
+  const auto f = features_of(model, input);
+  std::vector<double> dists;
+  dists.reserve(bank_.size());
+  for (const auto& b : bank_) {
+    double d = 0.0;
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      const double diff = f[i] - b[i];
+      d += diff * diff;
+    }
+    dists.push_back(d);
+  }
+  std::nth_element(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(k_ - 1),
+                   dists.end());
+  return std::sqrt(dists[k_ - 1]);
+}
+
+}  // namespace sx::supervise

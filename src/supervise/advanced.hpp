@@ -1,0 +1,76 @@
+// Additional trust supervisors (pillar 1 extensions):
+//   - ODIN: temperature scaling + adversarial-style input preprocessing on
+//     top of max-softmax;
+//   - deep-ensemble disagreement: epistemic uncertainty from independently
+//     trained ensemble members;
+//   - kNN: distance to the k-th nearest in-distribution feature vector.
+#pragma once
+
+#include "supervise/supervisor.hpp"
+
+namespace sx::supervise {
+
+/// ODIN (Liang et al.): perturb the input a small step that *increases*
+/// the max softmax (in-distribution inputs respond more strongly), then
+/// score 1 - max tempered softmax. Keeps a private model copy because the
+/// gradient pass needs a mutable model.
+class OdinSupervisor final : public Supervisor {
+ public:
+  explicit OdinSupervisor(double temperature = 10.0, float epsilon = 0.004f);
+
+  std::string_view name() const noexcept override { return "odin"; }
+  void fit(const dl::Model& model, const dl::Dataset& id_data) override;
+  double score(const dl::Model& model,
+               const tensor::Tensor& input) const override;
+
+ private:
+  double temperature_;
+  float epsilon_;
+  mutable std::unique_ptr<dl::Model> model_;  // private mutable copy
+};
+
+/// Deep-ensemble disagreement: trains `members` small MLP heads with
+/// different seeds on the in-distribution data; score is the predictive
+/// entropy of the averaged softmax plus the variance across members.
+class EnsembleSupervisor final : public Supervisor {
+ public:
+  explicit EnsembleSupervisor(std::size_t members = 3,
+                              std::size_t epochs = 10,
+                              std::uint64_t seed = 41);
+
+  std::string_view name() const noexcept override { return "ensemble"; }
+  void fit(const dl::Model& model, const dl::Dataset& id_data) override;
+  double score(const dl::Model& model,
+               const tensor::Tensor& input) const override;
+
+  std::size_t member_count() const noexcept { return members_.size(); }
+
+ private:
+  std::size_t n_members_;
+  std::size_t epochs_;
+  std::uint64_t seed_;
+  std::vector<dl::Model> members_;
+};
+
+/// kNN on penultimate-layer features: score = Euclidean distance to the
+/// k-th nearest stored in-distribution feature vector.
+class KnnSupervisor final : public Supervisor {
+ public:
+  explicit KnnSupervisor(std::size_t k = 5);
+
+  std::string_view name() const noexcept override { return "knn"; }
+  void fit(const dl::Model& model, const dl::Dataset& id_data) override;
+  double score(const dl::Model& model,
+               const tensor::Tensor& input) const override;
+
+ private:
+  std::vector<double> features_of(const dl::Model& model,
+                                  const tensor::Tensor& input) const;
+
+  std::size_t k_;
+  std::size_t feature_layer_ = 0;
+  std::vector<std::vector<double>> bank_;
+  bool fitted_ = false;
+};
+
+}  // namespace sx::supervise

@@ -1,0 +1,96 @@
+#include "supervise/calibration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sx::supervise {
+
+std::vector<float> tempered_softmax(std::span<const float> logits,
+                                    double temperature) {
+  if (temperature <= 0.0)
+    throw std::invalid_argument("tempered_softmax: T <= 0");
+  std::vector<float> out(logits.size());
+  double m = -std::numeric_limits<double>::infinity();
+  for (float v : logits) m = std::max(m, static_cast<double>(v) / temperature);
+  double z = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const double e = std::exp(static_cast<double>(logits[i]) / temperature - m);
+    out[i] = static_cast<float>(e);
+    z += e;
+  }
+  for (auto& v : out) v = static_cast<float>(v / z);
+  return out;
+}
+
+double nll_at_temperature(const dl::Model& model, const dl::Dataset& ds,
+                          double temperature) {
+  if (ds.samples.empty())
+    throw std::invalid_argument("nll_at_temperature: empty dataset");
+  double nll = 0.0;
+  for (const auto& s : ds.samples) {
+    const tensor::Tensor logits = model.forward(s.input);
+    const auto p = tempered_softmax(logits.data(), temperature);
+    nll -= std::log(std::max(1e-12, static_cast<double>(p.at(s.label))));
+  }
+  return nll / static_cast<double>(ds.samples.size());
+}
+
+double fit_temperature(const dl::Model& model, const dl::Dataset& validation) {
+  // Golden-section search on log-temperature for robustness.
+  const double phi = 0.6180339887498949;
+  double lo = std::log(0.05), hi = std::log(20.0);
+  double x1 = hi - phi * (hi - lo);
+  double x2 = lo + phi * (hi - lo);
+  double f1 = nll_at_temperature(model, validation, std::exp(x1));
+  double f2 = nll_at_temperature(model, validation, std::exp(x2));
+  for (int iter = 0; iter < 40; ++iter) {
+    if (f1 < f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - phi * (hi - lo);
+      f1 = nll_at_temperature(model, validation, std::exp(x1));
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + phi * (hi - lo);
+      f2 = nll_at_temperature(model, validation, std::exp(x2));
+    }
+  }
+  return std::exp(0.5 * (lo + hi));
+}
+
+double expected_calibration_error(const dl::Model& model,
+                                  const dl::Dataset& ds, double temperature,
+                                  std::size_t bins) {
+  if (ds.samples.empty() || bins == 0)
+    throw std::invalid_argument("expected_calibration_error: bad inputs");
+  std::vector<double> conf_sum(bins, 0.0);
+  std::vector<double> acc_sum(bins, 0.0);
+  std::vector<std::size_t> count(bins, 0);
+  for (const auto& s : ds.samples) {
+    const tensor::Tensor logits = model.forward(s.input);
+    const auto p = tempered_softmax(logits.data(), temperature);
+    std::size_t pred = 0;
+    for (std::size_t i = 1; i < p.size(); ++i)
+      if (p[i] > p[pred]) pred = i;
+    const double conf = p[pred];
+    auto b = static_cast<std::size_t>(conf * static_cast<double>(bins));
+    if (b >= bins) b = bins - 1;
+    conf_sum[b] += conf;
+    acc_sum[b] += (pred == s.label) ? 1.0 : 0.0;
+    ++count[b];
+  }
+  double ece = 0.0;
+  const auto n = static_cast<double>(ds.samples.size());
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (count[b] == 0) continue;
+    const double avg_conf = conf_sum[b] / static_cast<double>(count[b]);
+    const double avg_acc = acc_sum[b] / static_cast<double>(count[b]);
+    ece += (static_cast<double>(count[b]) / n) * std::fabs(avg_conf - avg_acc);
+  }
+  return ece;
+}
+
+}  // namespace sx::supervise

@@ -1,0 +1,32 @@
+// Confidence calibration: temperature scaling and expected calibration error.
+//
+// A certified DL component must not only predict well — its confidence must
+// mean something. Temperature scaling post-processes logits so that softmax
+// probabilities match empirical frequencies; ECE quantifies the residual
+// mismatch (evidence for the safety case).
+#pragma once
+
+#include "dl/dataset.hpp"
+#include "dl/model.hpp"
+
+namespace sx::supervise {
+
+/// Expected calibration error with `bins` equal-width confidence bins.
+double expected_calibration_error(const dl::Model& model,
+                                  const dl::Dataset& ds,
+                                  double temperature = 1.0,
+                                  std::size_t bins = 10);
+
+/// Mean negative log-likelihood at a given temperature.
+double nll_at_temperature(const dl::Model& model, const dl::Dataset& ds,
+                          double temperature);
+
+/// Fits the softmax temperature by golden-section search on validation NLL.
+/// Returns the optimal temperature (search range [0.05, 20]).
+double fit_temperature(const dl::Model& model, const dl::Dataset& validation);
+
+/// Softmax of logits / T.
+std::vector<float> tempered_softmax(std::span<const float> logits,
+                                    double temperature);
+
+}  // namespace sx::supervise

@@ -1,0 +1,75 @@
+#include "supervise/conformal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dl/engine.hpp"
+
+namespace sx::supervise {
+
+ConformalClassifier::ConformalClassifier(const dl::Model& model,
+                                         const dl::Dataset& calibration,
+                                         double alpha)
+    : alpha_(alpha), quantile_(1.0) {
+  if (calibration.samples.empty())
+    throw std::invalid_argument("ConformalClassifier: empty calibration");
+  if (alpha <= 0.0 || alpha >= 1.0)
+    throw std::invalid_argument("ConformalClassifier: alpha out of (0,1)");
+  std::vector<double> scores;
+  scores.reserve(calibration.samples.size());
+  for (const auto& s : calibration.samples) {
+    const tensor::Tensor logits = model.forward(s.input);
+    const auto p = dl::softmax_copy(logits.data());
+    if (s.label >= p.size())
+      throw std::invalid_argument("ConformalClassifier: label range");
+    scores.push_back(1.0 - static_cast<double>(p[s.label]));
+  }
+  std::sort(scores.begin(), scores.end());
+  // Finite-sample corrected quantile: ceil((n+1)(1-alpha)) / n.
+  const auto n = static_cast<double>(scores.size());
+  const double level = std::ceil((n + 1.0) * (1.0 - alpha)) / n;
+  if (level >= 1.0) {
+    quantile_ = 1.0;  // not enough calibration data: degenerate full set
+  } else {
+    const auto idx = static_cast<std::size_t>(
+        std::min(n - 1.0, std::max(0.0, std::ceil(level * n) - 1.0)));
+    quantile_ = scores[idx];
+  }
+}
+
+std::vector<std::size_t> ConformalClassifier::prediction_set(
+    const dl::Model& model, const tensor::Tensor& input) const {
+  const tensor::Tensor logits = model.forward(input);
+  const auto p = dl::softmax_copy(logits.data());
+  std::vector<std::size_t> set;
+  for (std::size_t c = 0; c < p.size(); ++c)
+    if (1.0 - static_cast<double>(p[c]) <= quantile_) set.push_back(c);
+  if (set.empty()) {
+    // Guarantee non-empty sets: include the top class.
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < p.size(); ++c)
+      if (p[c] > p[best]) best = c;
+    set.push_back(best);
+  }
+  return set;
+}
+
+ConformalClassifier::CoverageReport ConformalClassifier::evaluate(
+    const dl::Model& model, const dl::Dataset& test) const {
+  if (test.samples.empty())
+    throw std::invalid_argument("ConformalClassifier::evaluate: empty test");
+  std::size_t covered = 0, singletons = 0, total_size = 0;
+  for (const auto& s : test.samples) {
+    const auto set = prediction_set(model, s.input);
+    total_size += set.size();
+    if (set.size() == 1) ++singletons;
+    if (std::find(set.begin(), set.end(), s.label) != set.end()) ++covered;
+  }
+  const auto n = static_cast<double>(test.samples.size());
+  return CoverageReport{static_cast<double>(covered) / n,
+                        static_cast<double>(total_size) / n,
+                        static_cast<double>(singletons) / n};
+}
+
+}  // namespace sx::supervise

@@ -1,0 +1,46 @@
+// Split conformal prediction for classification.
+//
+// Conformal prediction is the "strategy to reach (and prove) correct
+// operation" kind of guarantee the project asks for: with a held-out
+// calibration set of n exchangeable samples, the predicted *set* contains
+// the true class with probability >= 1 - alpha, distribution-free.
+#pragma once
+
+#include <vector>
+
+#include "dl/dataset.hpp"
+#include "dl/model.hpp"
+
+namespace sx::supervise {
+
+class ConformalClassifier {
+ public:
+  /// Calibrates the nonconformity quantile at miscoverage level `alpha`
+  /// using score s(x, y) = 1 - softmax_prob_y(x).
+  ConformalClassifier(const dl::Model& model, const dl::Dataset& calibration,
+                      double alpha);
+
+  /// Prediction set: all classes whose nonconformity is within the quantile.
+  std::vector<std::size_t> prediction_set(const dl::Model& model,
+                                          const tensor::Tensor& input) const;
+
+  double alpha() const noexcept { return alpha_; }
+  double quantile() const noexcept { return quantile_; }
+
+  struct CoverageReport {
+    double empirical_coverage = 0.0;
+    double mean_set_size = 0.0;
+    /// Fraction of samples with a singleton prediction set (actionable).
+    double singleton_fraction = 0.0;
+  };
+
+  /// Evaluates marginal coverage and set size on a test set.
+  CoverageReport evaluate(const dl::Model& model,
+                          const dl::Dataset& test) const;
+
+ private:
+  double alpha_;
+  double quantile_;
+};
+
+}  // namespace sx::supervise

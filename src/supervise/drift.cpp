@@ -1,0 +1,74 @@
+#include "supervise/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace sx::supervise {
+
+CusumDetector::CusumDetector(double reference_mean, double reference_std,
+                             double slack, double threshold)
+    : mean_(reference_mean),
+      std_(reference_std > 0.0 ? reference_std : 1e-9),
+      slack_(slack),
+      threshold_(threshold) {
+  if (slack < 0.0 || threshold <= 0.0)
+    throw std::invalid_argument("CusumDetector: bad slack/threshold");
+}
+
+CusumDetector CusumDetector::fit(std::span<const double> calibration_scores,
+                                 double slack, double threshold) {
+  if (calibration_scores.size() < 10)
+    throw std::invalid_argument("CusumDetector::fit: need >= 10 scores");
+  return CusumDetector(util::mean(calibration_scores),
+                       util::stddev(calibration_scores), slack, threshold);
+}
+
+bool CusumDetector::update(double score) noexcept {
+  const double z = (score - mean_) / std_;
+  s_ = std::max(0.0, s_ + z - slack_);
+  if (s_ > threshold_) alarmed_ = true;
+  return alarmed_;
+}
+
+WindowedKsDetector::WindowedKsDetector(std::vector<double> calibration_scores,
+                                       std::size_t window)
+    : calibration_(std::move(calibration_scores)), window_(window) {
+  if (calibration_.size() < 20)
+    throw std::invalid_argument("WindowedKsDetector: need >= 20 calibration");
+  if (window_ < 10)
+    throw std::invalid_argument("WindowedKsDetector: window too small");
+  std::sort(calibration_.begin(), calibration_.end());
+  // 1% two-sample KS critical value: 1.63 * sqrt((m+n)/(m*n)).
+  const double m = static_cast<double>(calibration_.size());
+  const double n = static_cast<double>(window_);
+  critical_ = 1.63 * std::sqrt((m + n) / (m * n));
+}
+
+bool WindowedKsDetector::update(double score) {
+  recent_.push_back(score);
+  if (recent_.size() > window_) recent_.pop_front();
+  if (recent_.size() < window_) return alarmed_;
+
+  // KS statistic between sorted window and sorted calibration.
+  std::vector<double> win(recent_.begin(), recent_.end());
+  std::sort(win.begin(), win.end());
+  double d = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < calibration_.size() && j < win.size()) {
+    const double x = std::min(calibration_[i], win[j]);
+    while (i < calibration_.size() && calibration_[i] <= x) ++i;
+    while (j < win.size() && win[j] <= x) ++j;
+    const double fa =
+        static_cast<double>(i) / static_cast<double>(calibration_.size());
+    const double fb = static_cast<double>(j) / static_cast<double>(win.size());
+    d = std::max(d, std::fabs(fa - fb));
+  }
+  last_ks_ = d;
+  if (d > critical_) alarmed_ = true;
+  return alarmed_;
+}
+
+}  // namespace sx::supervise

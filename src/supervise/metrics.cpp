@@ -1,0 +1,63 @@
+#include "supervise/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sx::supervise {
+
+double auroc(std::span<const double> negative,
+             std::span<const double> positive) {
+  if (negative.empty() || positive.empty())
+    throw std::invalid_argument("auroc: empty sample");
+  double wins = 0.0;
+  for (double p : positive)
+    for (double n : negative) {
+      if (p > n) wins += 1.0;
+      else if (p == n) wins += 0.5;
+    }
+  return wins /
+         (static_cast<double>(negative.size()) * static_cast<double>(positive.size()));
+}
+
+double fpr_at_tpr(std::span<const double> id_scores,
+                  std::span<const double> ood_scores, double tpr) {
+  if (id_scores.empty() || ood_scores.empty())
+    throw std::invalid_argument("fpr_at_tpr: empty sample");
+  std::vector<double> sorted(id_scores.begin(), id_scores.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto idx = static_cast<std::size_t>(
+      std::min<double>(tpr * static_cast<double>(sorted.size()),
+                       static_cast<double>(sorted.size() - 1)));
+  const double threshold = sorted[idx];
+  std::size_t accepted_ood = 0;
+  for (double s : ood_scores)
+    if (s <= threshold) ++accepted_ood;
+  return static_cast<double>(accepted_ood) /
+         static_cast<double>(ood_scores.size());
+}
+
+std::vector<double> collect_scores(const Supervisor& sup,
+                                   const dl::Model& model,
+                                   const dl::Dataset& ds) {
+  std::vector<double> out;
+  out.reserve(ds.samples.size());
+  for (const auto& s : ds.samples) out.push_back(sup.score(model, s.input));
+  return out;
+}
+
+DetectionResult evaluate_detection(const Supervisor& sup,
+                                   const dl::Model& model,
+                                   const dl::Dataset& id_data,
+                                   const dl::Dataset& ood_data,
+                                   std::string ood_name) {
+  const auto id_scores = collect_scores(sup, model, id_data);
+  const auto ood_scores = collect_scores(sup, model, ood_data);
+  DetectionResult r;
+  r.supervisor = std::string(sup.name());
+  r.ood_name = std::move(ood_name);
+  r.auroc = auroc(id_scores, ood_scores);
+  r.fpr_at_95tpr = fpr_at_tpr(id_scores, ood_scores, 0.95);
+  return r;
+}
+
+}  // namespace sx::supervise

@@ -1,0 +1,42 @@
+// Detection metrics for supervisor evaluation (experiment E4).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "supervise/supervisor.hpp"
+
+namespace sx::supervise {
+
+/// Area under the ROC curve for separating `positive` (anomalous, should
+/// score high) from `negative` (nominal) score samples. Rank-based
+/// (Mann-Whitney), ties get half credit.
+double auroc(std::span<const double> negative, std::span<const double> positive);
+
+/// False-positive rate on `positive`... no: FPR@95TPR in OOD convention —
+/// the fraction of anomalous samples accepted when the threshold is set so
+/// that 95% of nominal samples are accepted.
+double fpr_at_tpr(std::span<const double> id_scores,
+                  std::span<const double> ood_scores, double tpr = 0.95);
+
+struct DetectionResult {
+  std::string supervisor;
+  std::string ood_name;
+  double auroc = 0.0;
+  double fpr_at_95tpr = 0.0;
+};
+
+/// Scores every sample of both datasets with `sup` and reports AUROC and
+/// FPR@95TPR (the supervisor must already be fitted).
+DetectionResult evaluate_detection(const Supervisor& sup,
+                                   const dl::Model& model,
+                                   const dl::Dataset& id_data,
+                                   const dl::Dataset& ood_data,
+                                   std::string ood_name);
+
+/// Collects scores for a dataset.
+std::vector<double> collect_scores(const Supervisor& sup,
+                                   const dl::Model& model,
+                                   const dl::Dataset& ds);
+
+}  // namespace sx::supervise

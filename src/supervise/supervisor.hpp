@@ -1,0 +1,127 @@
+// Prediction-trust supervisors (pillar 1: "explain whether predictions can
+// be trusted").
+//
+// A Supervisor is a runtime component that scores each input/prediction pair
+// for trustworthiness; inputs scoring above a calibrated threshold are
+// rejected (Status::kSupervisorReject in the pipeline) and handed to the
+// fallback channel. The ladder of methods mirrors the out-of-distribution
+// detection literature the project builds on (max-softmax baseline, energy
+// scores, class-conditional Mahalanobis distances, autoencoder
+// reconstruction error).
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "dl/dataset.hpp"
+#include "dl/model.hpp"
+#include "util/linalg.hpp"
+
+namespace sx::supervise {
+
+class Supervisor {
+ public:
+  virtual ~Supervisor() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Learns whatever statistics the method needs from in-distribution data.
+  virtual void fit(const dl::Model& model, const dl::Dataset& id_data) = 0;
+
+  /// Anomaly score: higher = less trustworthy. Must be callable after fit().
+  virtual double score(const dl::Model& model,
+                       const tensor::Tensor& input) const = 0;
+
+  /// Sets the accept/reject threshold so that `target_tpr` of the given
+  /// in-distribution scores are accepted (e.g. 0.95).
+  void calibrate_threshold(std::vector<double> id_scores, double target_tpr);
+
+  double threshold() const noexcept { return threshold_; }
+  bool has_threshold() const noexcept { return has_threshold_; }
+
+  /// Accept/reject decision (requires a calibrated threshold).
+  bool accept(const dl::Model& model, const tensor::Tensor& input) const {
+    return score(model, input) <= threshold_;
+  }
+
+ private:
+  double threshold_ = 0.0;
+  bool has_threshold_ = false;
+};
+
+/// Baseline: score = 1 - max softmax probability.
+class MaxSoftmaxSupervisor final : public Supervisor {
+ public:
+  std::string_view name() const noexcept override { return "max-softmax"; }
+  void fit(const dl::Model&, const dl::Dataset&) override {}
+  double score(const dl::Model& model,
+               const tensor::Tensor& input) const override;
+};
+
+/// Energy score: -T * logsumexp(logits / T). Lower energy = in-distribution;
+/// we return the energy itself so higher = more anomalous.
+class EnergySupervisor final : public Supervisor {
+ public:
+  explicit EnergySupervisor(double temperature = 1.0);
+  std::string_view name() const noexcept override { return "energy"; }
+  void fit(const dl::Model&, const dl::Dataset&) override {}
+  double score(const dl::Model& model,
+               const tensor::Tensor& input) const override;
+
+ private:
+  double temperature_;
+};
+
+/// Class-conditional Gaussian with tied covariance on penultimate-layer
+/// features; score = min over classes of the Mahalanobis distance.
+class MahalanobisSupervisor final : public Supervisor {
+ public:
+  std::string_view name() const noexcept override { return "mahalanobis"; }
+  void fit(const dl::Model& model, const dl::Dataset& id_data) override;
+  double score(const dl::Model& model,
+               const tensor::Tensor& input) const override;
+
+  /// Index of the activation used as the feature vector (set by fit()).
+  std::size_t feature_layer() const noexcept { return feature_layer_; }
+
+ private:
+  std::vector<double> features_of(const dl::Model& model,
+                                  const tensor::Tensor& input) const;
+
+  std::size_t feature_layer_ = 0;
+  std::size_t feature_dim_ = 0;
+  std::vector<std::vector<double>> class_means_;
+  util::SquareMatrix cov_chol_{1};
+  bool fitted_ = false;
+};
+
+/// Input-space autoencoder; score = mean squared reconstruction error.
+/// The autoencoder is a small MLP trained (offline) on the same
+/// in-distribution data as the task model.
+class AutoencoderSupervisor final : public Supervisor {
+ public:
+  explicit AutoencoderSupervisor(std::size_t bottleneck = 16,
+                                 std::size_t epochs = 30,
+                                 double learning_rate = 0.05,
+                                 std::uint64_t seed = 99);
+
+  std::string_view name() const noexcept override { return "autoencoder"; }
+  void fit(const dl::Model& model, const dl::Dataset& id_data) override;
+  double score(const dl::Model& model,
+               const tensor::Tensor& input) const override;
+
+  const dl::Model* autoencoder() const noexcept { return ae_.get(); }
+
+ private:
+  std::size_t bottleneck_;
+  std::size_t epochs_;
+  double lr_;
+  std::uint64_t seed_;
+  std::unique_ptr<dl::Model> ae_;
+};
+
+/// All supervisors the framework ships, ready for evaluation (E4).
+std::vector<std::unique_ptr<Supervisor>> make_all_supervisors();
+
+}  // namespace sx::supervise

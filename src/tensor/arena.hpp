@@ -1,0 +1,57 @@
+// Static memory arena for the FUSA runtime path.
+//
+// Functional-safety standards (e.g. ISO 26262-6, DO-178C) effectively forbid
+// dynamic memory allocation during operation. The StaticEngine pre-plans all
+// activation buffers out of an Arena sized at configuration time; after
+// setup, inference performs zero heap allocations (asserted in tests).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "util/status.hpp"
+
+namespace sx::tensor {
+
+/// Bump allocator over a single contiguous float buffer.
+///
+/// Allocation is monotonic; reset() releases everything at once (between
+/// inferences). The high-water mark is tracked for certification evidence
+/// ("worst-case memory demand").
+class Arena {
+ public:
+  /// Creates an arena holding `capacity` floats. Allocates once, here,
+  /// at configuration time — never afterwards.
+  explicit Arena(std::size_t capacity)
+      : storage_(std::make_unique<float[]>(capacity)), capacity_(capacity) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocates `n` floats; returns an empty span when exhausted.
+  std::span<float> alloc(std::size_t n) noexcept {
+    if (used_ + n > capacity_) return {};
+    std::span<float> out{storage_.get() + used_, n};
+    used_ += n;
+    high_water_ = used_ > high_water_ ? used_ : high_water_;
+    return out;
+  }
+
+  /// Releases all allocations (buffers become invalid).
+  void reset() noexcept { used_ = 0; }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t used() const noexcept { return used_; }
+  std::size_t available() const noexcept { return capacity_ - used_; }
+  /// Worst-case demand observed since construction.
+  std::size_t high_water_mark() const noexcept { return high_water_; }
+
+ private:
+  std::unique_ptr<float[]> storage_;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace sx::tensor

@@ -1,0 +1,140 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace sx::tensor {
+namespace {
+
+bool shapes_match(ConstTensorView a, ConstTensorView b,
+                  const TensorView& out) noexcept {
+  return a.shape == b.shape && a.shape == out.shape && a.valid() &&
+         b.valid() && out.valid();
+}
+
+}  // namespace
+
+Status add(ConstTensorView a, ConstTensorView b, TensorView out) noexcept {
+  if (!shapes_match(a, b, out)) return Status::kShapeMismatch;
+  for (std::size_t i = 0; i < a.data.size(); ++i)
+    out.data[i] = a.data[i] + b.data[i];
+  return Status::kOk;
+}
+
+Status sub(ConstTensorView a, ConstTensorView b, TensorView out) noexcept {
+  if (!shapes_match(a, b, out)) return Status::kShapeMismatch;
+  for (std::size_t i = 0; i < a.data.size(); ++i)
+    out.data[i] = a.data[i] - b.data[i];
+  return Status::kOk;
+}
+
+Status mul(ConstTensorView a, ConstTensorView b, TensorView out) noexcept {
+  if (!shapes_match(a, b, out)) return Status::kShapeMismatch;
+  for (std::size_t i = 0; i < a.data.size(); ++i)
+    out.data[i] = a.data[i] * b.data[i];
+  return Status::kOk;
+}
+
+Status scale(ConstTensorView a, float s, TensorView out) noexcept {
+  if (a.shape != out.shape || !a.valid() || !out.valid())
+    return Status::kShapeMismatch;
+  for (std::size_t i = 0; i < a.data.size(); ++i) out.data[i] = a.data[i] * s;
+  return Status::kOk;
+}
+
+Status matvec(ConstTensorView w, ConstTensorView x, ConstTensorView b,
+              TensorView out) noexcept {
+  if (w.shape.rank() != 2 || !w.valid() || !x.valid() || !b.valid() ||
+      !out.valid())
+    return Status::kShapeMismatch;
+  const std::size_t rows = w.shape[0];
+  const std::size_t cols = w.shape[1];
+  if (x.shape.size() != cols || b.shape.size() != rows ||
+      out.shape.size() != rows)
+    return Status::kShapeMismatch;
+  for (std::size_t r = 0; r < rows; ++r) {
+    float acc = b.data[r];
+    const float* wr = w.data.data() + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) acc += wr[c] * x.data[c];
+    out.data[r] = acc;
+  }
+  return Status::kOk;
+}
+
+Status dot(ConstTensorView a, ConstTensorView b, float& out) noexcept {
+  out = 0.0f;
+  if (a.shape.size() != b.shape.size() || !a.valid() || !b.valid())
+    return Status::kShapeMismatch;
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.data.size(); ++i) acc += a.data[i] * b.data[i];
+  out = acc;
+  return Status::kOk;
+}
+
+float l2_norm(ConstTensorView a) noexcept {
+  float acc = 0.0f;
+  for (float v : a.data) acc += v * v;
+  return std::sqrt(acc);
+}
+
+float sum(ConstTensorView a) noexcept {
+  float acc = 0.0f;
+  for (float v : a.data) acc += v;
+  return acc;
+}
+
+float max_value(ConstTensorView a) noexcept {
+  float m = -std::numeric_limits<float>::infinity();
+  for (float v : a.data) m = v > m ? v : m;
+  return m;
+}
+
+std::size_t argmax(ConstTensorView a) noexcept {
+  std::size_t best = 0;
+  float m = -std::numeric_limits<float>::infinity();
+  for (std::size_t i = 0; i < a.data.size(); ++i) {
+    if (a.data[i] > m) {
+      m = a.data[i];
+      best = i;
+    }
+  }
+  return best;
+}
+
+Status softmax(ConstTensorView logits, TensorView out) noexcept {
+  if (logits.shape != out.shape || !logits.valid() || !out.valid())
+    return Status::kShapeMismatch;
+  if (logits.data.empty()) return Status::kInvalidArgument;
+  const float m = max_value(logits);
+  float z = 0.0f;
+  for (std::size_t i = 0; i < logits.data.size(); ++i) {
+    out.data[i] = std::exp(logits.data[i] - m);
+    z += out.data[i];
+  }
+  if (z <= 0.0f || !std::isfinite(z)) return Status::kNumericFault;
+  for (auto& v : out.data) v /= z;
+  return Status::kOk;
+}
+
+Status relu(ConstTensorView a, TensorView out) noexcept {
+  if (a.shape != out.shape || !a.valid() || !out.valid())
+    return Status::kShapeMismatch;
+  for (std::size_t i = 0; i < a.data.size(); ++i)
+    out.data[i] = a.data[i] > 0.0f ? a.data[i] : 0.0f;
+  return Status::kOk;
+}
+
+bool has_non_finite(ConstTensorView a) noexcept {
+  for (float v : a.data)
+    if (!std::isfinite(v)) return true;
+  return false;
+}
+
+Status copy(ConstTensorView src, TensorView dst) noexcept {
+  if (src.shape != dst.shape || !src.valid() || !dst.valid())
+    return Status::kShapeMismatch;
+  for (std::size_t i = 0; i < src.data.size(); ++i) dst.data[i] = src.data[i];
+  return Status::kOk;
+}
+
+}  // namespace sx::tensor

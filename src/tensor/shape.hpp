@@ -1,0 +1,95 @@
+// Tensor shapes with static rank capacity (no heap allocation).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+
+namespace sx::tensor {
+
+/// Shape of a tensor; rank 0 (scalar) up to 4 (N,C,H,W).
+///
+/// Stored inline so shapes can live on the FUSA runtime path without
+/// allocation. Dimensions are sizes (>= 1); rank-0 means scalar with one
+/// element.
+class Shape {
+ public:
+  static constexpr std::size_t kMaxRank = 4;
+
+  constexpr Shape() noexcept = default;
+
+  Shape(std::initializer_list<std::size_t> dims) {
+    if (dims.size() > kMaxRank)
+      throw std::invalid_argument("Shape: rank > kMaxRank");
+    rank_ = dims.size();
+    std::size_t i = 0;
+    for (std::size_t d : dims) {
+      if (d == 0) throw std::invalid_argument("Shape: zero dimension");
+      dims_[i++] = d;
+    }
+  }
+
+  static Shape scalar() noexcept { return Shape{}; }
+  static Shape vec(std::size_t n) { return Shape{n}; }
+  static Shape mat(std::size_t r, std::size_t c) { return Shape{r, c}; }
+  /// Channel-major image: C x H x W.
+  static Shape chw(std::size_t c, std::size_t h, std::size_t w) {
+    return Shape{c, h, w};
+  }
+
+  constexpr std::size_t rank() const noexcept { return rank_; }
+
+  constexpr std::size_t dim(std::size_t i) const noexcept {
+    return i < rank_ ? dims_[i] : 1;
+  }
+
+  constexpr std::size_t operator[](std::size_t i) const noexcept {
+    return dim(i);
+  }
+
+  /// Total number of elements.
+  constexpr std::size_t size() const noexcept {
+    std::size_t n = 1;
+    for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+    return n;
+  }
+
+  constexpr bool operator==(const Shape& o) const noexcept {
+    if (rank_ != o.rank_) return false;
+    for (std::size_t i = 0; i < rank_; ++i)
+      if (dims_[i] != o.dims_[i]) return false;
+    return true;
+  }
+  constexpr bool operator!=(const Shape& o) const noexcept {
+    return !(*this == o);
+  }
+
+  /// Row-major linear index for a rank-2 shape.
+  constexpr std::size_t index(std::size_t r, std::size_t c) const noexcept {
+    return r * dim(1) + c;
+  }
+
+  /// Row-major linear index for a rank-3 (C,H,W) shape.
+  constexpr std::size_t index(std::size_t c, std::size_t h,
+                              std::size_t w) const noexcept {
+    return (c * dim(1) + h) * dim(2) + w;
+  }
+
+  std::string to_string() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < rank_; ++i) {
+      if (i) s += "x";
+      s += std::to_string(dims_[i]);
+    }
+    s += "]";
+    return s;
+  }
+
+ private:
+  std::array<std::size_t, kMaxRank> dims_{1, 1, 1, 1};
+  std::size_t rank_ = 0;
+};
+
+}  // namespace sx::tensor

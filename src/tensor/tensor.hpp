@@ -1,0 +1,123 @@
+// Owning tensor (offline/training use) and non-owning view (runtime use).
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/shape.hpp"
+#include "util/rng.hpp"
+
+namespace sx::tensor {
+
+/// Non-owning tensor view: a float span with a shape. Used on the runtime
+/// path where the storage comes from an Arena.
+struct TensorView {
+  std::span<float> data;
+  Shape shape;
+
+  constexpr bool valid() const noexcept {
+    return data.size() == shape.size();
+  }
+
+  float& at(std::size_t i) noexcept { return data[i]; }
+  float at(std::size_t i) const noexcept { return data[i]; }
+  float& at(std::size_t r, std::size_t c) noexcept {
+    return data[shape.index(r, c)];
+  }
+  float at(std::size_t r, std::size_t c) const noexcept {
+    return data[shape.index(r, c)];
+  }
+  float& at(std::size_t ch, std::size_t h, std::size_t w) noexcept {
+    return data[shape.index(ch, h, w)];
+  }
+  float at(std::size_t ch, std::size_t h, std::size_t w) const noexcept {
+    return data[shape.index(ch, h, w)];
+  }
+};
+
+/// Read-only counterpart of TensorView.
+struct ConstTensorView {
+  std::span<const float> data;
+  Shape shape;
+
+  ConstTensorView() = default;
+  ConstTensorView(std::span<const float> d, Shape s) : data(d), shape(s) {}
+  /// Implicit widening from a mutable view.
+  ConstTensorView(const TensorView& v) : data(v.data), shape(v.shape) {}
+
+  constexpr bool valid() const noexcept {
+    return data.size() == shape.size();
+  }
+
+  float at(std::size_t i) const noexcept { return data[i]; }
+  float at(std::size_t r, std::size_t c) const noexcept {
+    return data[shape.index(r, c)];
+  }
+  float at(std::size_t ch, std::size_t h, std::size_t w) const noexcept {
+    return data[shape.index(ch, h, w)];
+  }
+};
+
+/// Owning tensor backed by a std::vector. Used offline: datasets, training,
+/// model parameters at build time.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(Shape shape) : shape_(shape), data_(shape.size(), 0.0f) {}
+
+  Tensor(Shape shape, std::vector<float> data)
+      : shape_(shape), data_(std::move(data)) {
+    if (data_.size() != shape_.size())
+      throw std::invalid_argument("Tensor: data size != shape size");
+  }
+
+  const Shape& shape() const noexcept { return shape_; }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  std::span<float> data() noexcept { return data_; }
+  std::span<const float> data() const noexcept { return data_; }
+
+  float& at(std::size_t i) { return data_.at(i); }
+  float at(std::size_t i) const { return data_.at(i); }
+  float& at(std::size_t r, std::size_t c) {
+    return data_[shape_.index(r, c)];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    return data_[shape_.index(r, c)];
+  }
+  float& at(std::size_t ch, std::size_t h, std::size_t w) {
+    return data_[shape_.index(ch, h, w)];
+  }
+  float at(std::size_t ch, std::size_t h, std::size_t w) const {
+    return data_[shape_.index(ch, h, w)];
+  }
+
+  TensorView view() noexcept { return {data_, shape_}; }
+  ConstTensorView view() const noexcept { return {data_, shape_}; }
+
+  void fill(float v) noexcept {
+    for (auto& x : data_) x = v;
+  }
+
+  /// He/Kaiming-style normal initialization (deterministic given the RNG).
+  void init_he(util::Xoshiro256& rng, std::size_t fan_in) {
+    const double std = std::sqrt(2.0 / static_cast<double>(fan_in ? fan_in : 1));
+    for (auto& x : data_) x = static_cast<float>(rng.gaussian(0.0, std));
+  }
+
+  void init_uniform(util::Xoshiro256& rng, float lo, float hi) {
+    for (auto& x : data_) x = static_cast<float>(rng.uniform(lo, hi));
+  }
+
+  bool operator==(const Tensor& o) const noexcept {
+    return shape_ == o.shape_ && data_ == o.data_;
+  }
+
+ private:
+  Shape shape_{};
+  std::vector<float> data_{};
+};
+
+}  // namespace sx::tensor

@@ -1,0 +1,100 @@
+#include "timing/evt.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace sx::timing {
+
+double GumbelFit::cdf(double x) const noexcept {
+  return std::exp(-std::exp(-(x - location) / scale));
+}
+
+double GumbelFit::quantile(double q) const noexcept {
+  return location - scale * std::log(-std::log(q));
+}
+
+std::vector<double> block_maxima(std::span<const double> xs,
+                                 std::size_t block_size) {
+  if (block_size == 0) throw std::invalid_argument("block_maxima: block 0");
+  std::vector<double> maxima;
+  maxima.reserve(xs.size() / block_size);
+  for (std::size_t b = 0; b + block_size <= xs.size(); b += block_size) {
+    double m = xs[b];
+    for (std::size_t i = 1; i < block_size; ++i)
+      m = std::max(m, xs[b + i]);
+    maxima.push_back(m);
+  }
+  return maxima;
+}
+
+GumbelFit fit_gumbel(std::span<const double> xs, std::size_t block_size) {
+  const std::vector<double> maxima = block_maxima(xs, block_size);
+  if (maxima.size() < 10)
+    throw std::invalid_argument("fit_gumbel: need >= 10 blocks");
+
+  // Method-of-moments start.
+  constexpr double kEulerGamma = 0.5772156649015329;
+  constexpr double kPi = 3.141592653589793;
+  const double m = util::mean(maxima);
+  const double sd = util::stddev(maxima);
+  double beta = sd > 0.0 ? sd * std::sqrt(6.0) / kPi : 1e-9;
+  double mu = m - kEulerGamma * beta;
+
+  // Newton refinement on the MLE equation for beta:
+  //   g(beta) = beta - mean(x) + sum(x e^{-x/b}) / sum(e^{-x/b}) = 0
+  for (int iter = 0; iter < 50 && beta > 0.0; ++iter) {
+    double sw = 0.0, swx = 0.0, swx2 = 0.0;
+    for (double x : maxima) {
+      const double w = std::exp(-x / beta);
+      sw += w;
+      swx += w * x;
+      swx2 += w * x * x;
+    }
+    if (sw <= 0.0) break;
+    const double r = swx / sw;
+    const double g = beta - m + r;
+    // dg/dbeta = 1 + d(r)/dbeta; d(r)/dbeta = (E_w[x^2] - r^2)/beta^2 * ... —
+    // use the standard derivative of the weighted mean wrt beta.
+    const double dr = (swx2 / sw - r * r) / (beta * beta);
+    const double dg = 1.0 + dr;
+    if (std::fabs(dg) < 1e-12) break;
+    const double step = g / dg;
+    const double next = beta - step;
+    if (!(next > 0.0) || !std::isfinite(next)) break;
+    beta = next;
+    if (std::fabs(step) < 1e-10 * std::max(1.0, beta)) break;
+  }
+  if (beta > 0.0) {
+    double sw = 0.0;
+    for (double x : maxima) sw += std::exp(-x / beta);
+    mu = -beta * std::log(sw / static_cast<double>(maxima.size()));
+  }
+
+  GumbelFit fit;
+  fit.location = mu;
+  fit.scale = std::max(beta, 1e-12);
+  fit.block_size = block_size;
+  fit.n_blocks = maxima.size();
+  return fit;
+}
+
+double pwcet(const GumbelFit& fit, double p_per_run) {
+  if (p_per_run <= 0.0 || p_per_run >= 1.0)
+    throw std::invalid_argument("pwcet: p out of (0,1)");
+  // Per-block exceedance = per-run exceedance * block size (union bound /
+  // first-order approximation, standard in MBPTA practice).
+  const double p_block =
+      std::min(0.5, p_per_run * static_cast<double>(fit.block_size));
+  return fit.quantile(1.0 - p_block);
+}
+
+std::vector<PwcetPoint> pwcet_curve(const GumbelFit& fit) {
+  std::vector<PwcetPoint> curve;
+  for (double p : {1e-3, 1e-6, 1e-9, 1e-12, 1e-15})
+    curve.push_back(PwcetPoint{p, pwcet(fit, p)});
+  return curve;
+}
+
+}  // namespace sx::timing

@@ -1,0 +1,47 @@
+// Extreme value theory for probabilistic WCET (MBPTA-EVT, pillar 4).
+//
+// Block maxima of i.i.d. execution times converge to a GEV distribution;
+// for light-tailed timing data the Gumbel family is the standard MBPTA
+// choice. The pWCET curve maps an exceedance probability per run to an
+// execution-time bound.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sx::timing {
+
+struct GumbelFit {
+  double location = 0.0;  ///< mu
+  double scale = 1.0;     ///< beta > 0
+  std::size_t block_size = 1;
+  std::size_t n_blocks = 0;
+
+  /// CDF of the fitted Gumbel at x.
+  double cdf(double x) const noexcept;
+  /// Quantile (inverse CDF) at probability q in (0,1).
+  double quantile(double q) const noexcept;
+};
+
+/// Block maxima of `xs` with blocks of `block_size` consecutive samples
+/// (trailing partial block dropped).
+std::vector<double> block_maxima(std::span<const double> xs,
+                                 std::size_t block_size);
+
+/// Fits a Gumbel distribution to block maxima by the method of moments,
+/// then refines by a few Newton steps on the maximum-likelihood equations.
+GumbelFit fit_gumbel(std::span<const double> xs, std::size_t block_size);
+
+/// pWCET: execution-time bound exceeded with probability <= p_per_run on a
+/// single run. Uses P(run > x) ~= (1 - F(x)) / B for the fitted block size.
+double pwcet(const GumbelFit& fit, double p_per_run);
+
+struct PwcetPoint {
+  double exceedance = 0.0;  ///< per-run probability
+  double bound = 0.0;       ///< execution-time bound
+};
+
+/// Standard pWCET curve at the exceedance probabilities MBPTA papers report.
+std::vector<PwcetPoint> pwcet_curve(const GumbelFit& fit);
+
+}  // namespace sx::timing

@@ -1,0 +1,89 @@
+#include "timing/iid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace sx::timing {
+
+double runs_test_z(std::span<const double> xs) {
+  if (xs.size() < 20)
+    throw std::invalid_argument("runs_test_z: need >= 20 samples");
+  const double med = util::median(xs);
+  // Classify above/below median, dropping exact ties.
+  std::vector<int> signs;
+  signs.reserve(xs.size());
+  for (double x : xs) {
+    if (x > med) signs.push_back(1);
+    else if (x < med) signs.push_back(-1);
+  }
+  if (signs.size() < 20) return 0.0;  // degenerate (near-constant sample)
+  std::size_t n_pos = 0, n_neg = 0, runs = 1;
+  for (std::size_t i = 0; i < signs.size(); ++i) {
+    if (signs[i] > 0) ++n_pos;
+    else ++n_neg;
+    if (i > 0 && signs[i] != signs[i - 1]) ++runs;
+  }
+  if (n_pos == 0 || n_neg == 0) return 0.0;
+  const double n1 = static_cast<double>(n_pos);
+  const double n2 = static_cast<double>(n_neg);
+  const double mean = 2.0 * n1 * n2 / (n1 + n2) + 1.0;
+  const double var = 2.0 * n1 * n2 * (2.0 * n1 * n2 - n1 - n2) /
+                     ((n1 + n2) * (n1 + n2) * (n1 + n2 - 1.0));
+  if (var <= 0.0) return 0.0;
+  return (static_cast<double>(runs) - mean) / std::sqrt(var);
+}
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+  if (xs.size() <= lag + 1)
+    throw std::invalid_argument("autocorrelation: sample too small");
+  const double m = util::mean(xs);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    den += (xs[i] - m) * (xs[i] - m);
+    if (i + lag < xs.size()) num += (xs[i] - m) * (xs[i + lag] - m);
+  }
+  if (den == 0.0) return 0.0;
+  return num / den;
+}
+
+double ks_two_sample(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty())
+    throw std::invalid_argument("ks_two_sample: empty sample");
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  double d = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    const double x = std::min(sa[i], sb[j]);
+    while (i < sa.size() && sa[i] <= x) ++i;
+    while (j < sb.size() && sb[j] <= x) ++j;
+    const double fa = static_cast<double>(i) / static_cast<double>(sa.size());
+    const double fb = static_cast<double>(j) / static_cast<double>(sb.size());
+    d = std::max(d, std::fabs(fa - fb));
+  }
+  return d;
+}
+
+IidVerdict check_iid(std::span<const double> xs) {
+  IidVerdict v;
+  v.runs_test_z = runs_test_z(xs);
+  v.runs_test_pass = std::fabs(v.runs_test_z) < 1.96;
+  v.lag1_autocorr = autocorrelation(xs, 1);
+  // 95% band for white noise: ~1.96/sqrt(n).
+  const double band = 1.96 / std::sqrt(static_cast<double>(xs.size()));
+  v.autocorr_pass = std::fabs(v.lag1_autocorr) < std::max(band, 0.05);
+  const std::size_t half = xs.size() / 2;
+  v.ks_statistic = ks_two_sample(xs.first(half), xs.subspan(half));
+  // 5% critical value for equal halves: 1.36 * sqrt(2/half).
+  const double crit = 1.36 * std::sqrt(2.0 / static_cast<double>(half));
+  v.ks_pass = v.ks_statistic < crit;
+  return v;
+}
+
+}  // namespace sx::timing

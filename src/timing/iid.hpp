@@ -1,0 +1,40 @@
+// Independence and identical-distribution tests (MBPTA applicability).
+//
+// MBPTA's statistical guarantees require the execution-time observations to
+// be independent and identically distributed. These are the standard checks
+// the literature applies before fitting EVT: the Wald-Wolfowitz runs test
+// for independence, lag-k autocorrelation, and a two-sample
+// Kolmogorov-Smirnov test between the two halves for identical
+// distribution.
+#pragma once
+
+#include <span>
+
+namespace sx::timing {
+
+struct IidVerdict {
+  double runs_test_z = 0.0;       ///< |z| < 1.96 passes at 5%
+  bool runs_test_pass = false;
+  double lag1_autocorr = 0.0;     ///< |rho| below threshold passes
+  bool autocorr_pass = false;
+  double ks_statistic = 0.0;      ///< two-sample KS between halves
+  bool ks_pass = false;
+
+  bool all_pass() const noexcept {
+    return runs_test_pass && autocorr_pass && ks_pass;
+  }
+};
+
+/// Wald-Wolfowitz runs test around the median; returns the z statistic.
+double runs_test_z(std::span<const double> xs);
+
+/// Lag-k sample autocorrelation.
+double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+/// Two-sample Kolmogorov-Smirnov statistic.
+double ks_two_sample(std::span<const double> a, std::span<const double> b);
+
+/// Runs the full battery at (approximately) the 5% level.
+IidVerdict check_iid(std::span<const double> xs);
+
+}  // namespace sx::timing

@@ -1,0 +1,49 @@
+#include "timing/mbpta.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace sx::timing {
+
+std::string MbptaReport::to_text() const {
+  std::ostringstream os;
+  os << "MBPTA report\n"
+     << "  observations: mean=" << mean << " hwm=" << observed_hwm
+     << " cv=" << cv << "\n"
+     << "  iid: runs-z=" << iid.runs_test_z
+     << (iid.runs_test_pass ? " (pass)" : " (FAIL)")
+     << " lag1=" << iid.lag1_autocorr
+     << (iid.autocorr_pass ? " (pass)" : " (FAIL)")
+     << " ks=" << iid.ks_statistic << (iid.ks_pass ? " (pass)" : " (FAIL)")
+     << "\n"
+     << "  admissible: " << (admissible ? "yes" : "NO") << "\n";
+  if (admissible) {
+    os << "  gumbel: mu=" << fit.location << " beta=" << fit.scale
+       << " blocks=" << fit.n_blocks << " (B=" << fit.block_size << ")\n"
+       << "  pWCET:\n";
+    for (const auto& p : curve)
+      os << "    P(exceed) <= " << p.exceedance << "  ->  " << p.bound
+         << " cycles\n";
+  }
+  return os.str();
+}
+
+MbptaReport analyze(std::span<const double> times, MbptaConfig cfg) {
+  if (times.size() < 200)
+    throw std::invalid_argument("mbpta::analyze: need >= 200 observations");
+  MbptaReport rep;
+  rep.mean = util::mean(times);
+  rep.observed_hwm = util::max_of(times);
+  rep.cv = util::coeff_of_variation(times);
+  rep.iid = check_iid(times);
+  rep.admissible = rep.iid.all_pass() || !cfg.require_iid;
+  if (rep.admissible) {
+    rep.fit = fit_gumbel(times, cfg.block_size);
+    rep.curve = pwcet_curve(rep.fit);
+  }
+  return rep;
+}
+
+}  // namespace sx::timing

@@ -1,0 +1,36 @@
+// MBPTA driver: from execution-time observations to a defensible pWCET.
+//
+// Pipeline: i.i.d. admissibility tests -> Gumbel fit on block maxima ->
+// pWCET curve -> sanity checks against the observed high-water mark.
+#pragma once
+
+#include <string>
+
+#include "timing/evt.hpp"
+#include "timing/iid.hpp"
+
+namespace sx::timing {
+
+struct MbptaConfig {
+  std::size_t block_size = 20;
+  /// Refuse to produce bounds when the i.i.d. battery fails.
+  bool require_iid = true;
+};
+
+struct MbptaReport {
+  IidVerdict iid;
+  bool admissible = false;  ///< observations usable for MBPTA
+  GumbelFit fit;
+  std::vector<PwcetPoint> curve;
+  double observed_hwm = 0.0;  ///< high-water mark of the sample
+  double mean = 0.0;
+  double cv = 0.0;  ///< coefficient of variation
+
+  std::string to_text() const;
+};
+
+/// Runs the full MBPTA pipeline on `times` (execution times in cycles).
+/// Throws std::invalid_argument when fewer than ~200 observations.
+MbptaReport analyze(std::span<const double> times, MbptaConfig cfg = {});
+
+}  // namespace sx::timing

@@ -1,0 +1,67 @@
+#include "timing/pot.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace sx::timing {
+
+double GpdFit::tail_probability(double x) const noexcept {
+  if (x < threshold) return exceedance_rate;  // model valid above u only
+  const double y = x - threshold;
+  if (std::fabs(shape) < 1e-9)
+    return exceedance_rate * std::exp(-y / scale);
+  const double base = 1.0 + shape * y / scale;
+  if (base <= 0.0) return 0.0;  // beyond the finite upper endpoint (xi < 0)
+  return exceedance_rate * std::pow(base, -1.0 / shape);
+}
+
+double GpdFit::quantile_at_exceedance(double p) const {
+  if (p <= 0.0 || p >= 1.0)
+    throw std::invalid_argument("GpdFit: p out of (0,1)");
+  if (p >= exceedance_rate) return threshold;  // below the modelled tail
+  const double ratio = exceedance_rate / p;
+  if (std::fabs(shape) < 1e-9)
+    return threshold + scale * std::log(ratio);
+  return threshold + scale / shape * (std::pow(ratio, shape) - 1.0);
+}
+
+GpdFit fit_gpd(std::span<const double> xs, double threshold_quantile) {
+  if (threshold_quantile <= 0.0 || threshold_quantile >= 1.0)
+    throw std::invalid_argument("fit_gpd: quantile out of (0,1)");
+  const double u = util::quantile(xs, threshold_quantile);
+  std::vector<double> exceedances;
+  for (double x : xs)
+    if (x > u) exceedances.push_back(x - u);
+  if (exceedances.size() < 20)
+    throw std::invalid_argument("fit_gpd: need >= 20 exceedances");
+
+  const double m = util::mean(exceedances);
+  const double v = util::variance(exceedances);
+  GpdFit fit;
+  fit.threshold = u;
+  fit.n_exceedances = exceedances.size();
+  fit.exceedance_rate =
+      static_cast<double>(exceedances.size()) / static_cast<double>(xs.size());
+  if (v <= 0.0) {
+    // Degenerate exceedances: treat as (nearly) deterministic tail.
+    fit.shape = -1.0;
+    fit.scale = std::max(m, 1e-12);
+    return fit;
+  }
+  // Method of moments: xi = (1 - m^2/v)/2, sigma = m (m^2/v + 1)/2.
+  const double r = m * m / v;
+  fit.shape = 0.5 * (1.0 - r);
+  fit.scale = 0.5 * m * (r + 1.0);
+  if (fit.scale <= 0.0) fit.scale = 1e-12;
+  return fit;
+}
+
+double pwcet_pot(const GpdFit& fit, double p_per_run) {
+  if (p_per_run <= 0.0 || p_per_run >= 1.0)
+    throw std::invalid_argument("pwcet_pot: p out of (0,1)");
+  return fit.quantile_at_exceedance(p_per_run);
+}
+
+}  // namespace sx::timing

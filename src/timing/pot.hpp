@@ -1,0 +1,37 @@
+// Peaks-over-threshold EVT (Generalized Pareto) — the alternative MBPTA
+// tail model to block-maxima/Gumbel. Exceedances over a high threshold
+// converge to a GPD; the fitted shape parameter xi additionally reports
+// the tail class (xi < 0 bounded, xi = 0 exponential, xi > 0 heavy — the
+// last is a red flag for timing safety claims).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sx::timing {
+
+struct GpdFit {
+  double threshold = 0.0;
+  double scale = 1.0;        ///< sigma > 0
+  double shape = 0.0;        ///< xi
+  double exceedance_rate = 0.0;  ///< fraction of samples above threshold
+  std::size_t n_exceedances = 0;
+
+  /// P(X > x) for x >= threshold, via the fitted tail.
+  double tail_probability(double x) const noexcept;
+  /// Quantile of the original variable at per-sample exceedance p.
+  double quantile_at_exceedance(double p) const;
+  /// Heavy-tail warning for safety argumentation.
+  bool heavy_tail(double xi_limit = 0.3) const noexcept {
+    return shape > xi_limit;
+  }
+};
+
+/// Fits a GPD to the exceedances of `xs` over the `threshold_quantile`
+/// empirical quantile (method of moments). Requires >= 20 exceedances.
+GpdFit fit_gpd(std::span<const double> xs, double threshold_quantile = 0.9);
+
+/// pWCET via the PoT model at per-run exceedance probability p.
+double pwcet_pot(const GpdFit& fit, double p_per_run);
+
+}  // namespace sx::timing

@@ -1,0 +1,57 @@
+#include "trace/audit.hpp"
+
+namespace sx::trace {
+
+util::Sha256Digest AuditLog::hash_entry(
+    const AuditEntry& e, const util::Sha256Digest& prev) noexcept {
+  util::Sha256 h;
+  h.update(std::span<const std::uint8_t>(prev.data(), prev.size()));
+  h.update(std::to_string(e.sequence));
+  h.update("|");
+  h.update(std::to_string(e.logical_time));
+  h.update("|");
+  h.update(e.actor);
+  h.update("|");
+  h.update(e.action);
+  h.update("|");
+  h.update(e.payload);
+  return h.finish();
+}
+
+const AuditEntry& AuditLog::append(std::uint64_t logical_time,
+                                   std::string actor, std::string action,
+                                   std::string payload) {
+  AuditEntry e;
+  e.sequence = entries_.size();
+  e.logical_time = logical_time;
+  e.actor = std::move(actor);
+  e.action = std::move(action);
+  e.payload = std::move(payload);
+  const util::Sha256Digest prev =
+      entries_.empty() ? util::Sha256Digest{} : entries_.back().chain_hash;
+  e.chain_hash = hash_entry(e, prev);
+  entries_.push_back(std::move(e));
+  return entries_.back();
+}
+
+Status AuditLog::verify() const noexcept {
+  util::Sha256Digest prev{};
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const AuditEntry& e = entries_[i];
+    if (e.sequence != i) return Status::kIntegrityFault;
+    if (hash_entry(e, prev) != e.chain_hash) return Status::kIntegrityFault;
+    prev = e.chain_hash;
+  }
+  return Status::kOk;
+}
+
+util::Sha256Digest AuditLog::head() const noexcept {
+  return entries_.empty() ? util::Sha256Digest{} : entries_.back().chain_hash;
+}
+
+void AuditLog::tamper_payload_for_test(std::size_t i,
+                                       std::string new_payload) {
+  entries_.at(i).payload = std::move(new_payload);
+}
+
+}  // namespace sx::trace

@@ -1,0 +1,52 @@
+// Hash-chained audit log: tamper-evident record of every safety-relevant
+// event (inference decisions, supervisor rejections, fault detections,
+// deployment actions). Verification replays the SHA-256 chain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/hash.hpp"
+#include "util/status.hpp"
+
+namespace sx::trace {
+
+struct AuditEntry {
+  std::uint64_t sequence = 0;
+  std::uint64_t logical_time = 0;
+  std::string actor;    ///< component emitting the event
+  std::string action;   ///< e.g. "inference", "reject", "deploy"
+  std::string payload;  ///< free-form details (decision, scores, hashes)
+  util::Sha256Digest chain_hash{};  ///< hash over entry + previous hash
+};
+
+class AuditLog {
+ public:
+  /// Appends an event; the chain hash is computed automatically.
+  const AuditEntry& append(std::uint64_t logical_time, std::string actor,
+                           std::string action, std::string payload);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  const AuditEntry& entry(std::size_t i) const { return entries_.at(i); }
+  const std::vector<AuditEntry>& entries() const noexcept { return entries_; }
+
+  /// Recomputes the whole chain; kIntegrityFault on any mismatch
+  /// (i.e. an entry was altered after being written).
+  Status verify() const noexcept;
+
+  /// Hash of the newest entry (anchor to publish externally).
+  util::Sha256Digest head() const noexcept;
+
+  /// DANGEROUS: test hook that mutates a stored entry to demonstrate that
+  /// verification catches tampering.
+  void tamper_payload_for_test(std::size_t i, std::string new_payload);
+
+ private:
+  static util::Sha256Digest hash_entry(const AuditEntry& e,
+                                       const util::Sha256Digest& prev) noexcept;
+
+  std::vector<AuditEntry> entries_;
+};
+
+}  // namespace sx::trace

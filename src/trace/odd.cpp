@@ -1,0 +1,82 @@
+#include "trace/odd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sx::trace {
+namespace {
+
+struct MeanStd {
+  float mean = 0.0f;
+  float stddev = 0.0f;
+};
+
+MeanStd mean_std(std::span<const float> xs) noexcept {
+  if (xs.empty()) return {};
+  double s = 0.0;
+  for (float v : xs) s += v;
+  const double m = s / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (float v : xs) ss += (v - m) * (v - m);
+  return {static_cast<float>(m),
+          static_cast<float>(std::sqrt(ss / static_cast<double>(xs.size())))};
+}
+
+}  // namespace
+
+OddGuard OddGuard::fit(const dl::Dataset& id_data, float margin) {
+  if (id_data.samples.empty())
+    throw std::invalid_argument("OddGuard::fit: empty dataset");
+  OddSpec s;
+  s.value_min = s.mean_min = s.stddev_min = std::numeric_limits<float>::max();
+  s.value_max = s.mean_max = s.stddev_max =
+      std::numeric_limits<float>::lowest();
+  for (const auto& sample : id_data.samples) {
+    const auto d = sample.input.data();
+    for (float v : d) {
+      s.value_min = std::min(s.value_min, v);
+      s.value_max = std::max(s.value_max, v);
+    }
+    const MeanStd ms = mean_std(d);
+    s.mean_min = std::min(s.mean_min, ms.mean);
+    s.mean_max = std::max(s.mean_max, ms.mean);
+    s.stddev_min = std::min(s.stddev_min, ms.stddev);
+    s.stddev_max = std::max(s.stddev_max, ms.stddev);
+  }
+  auto widen = [margin](float& lo, float& hi) {
+    const float w = (hi - lo) * margin;
+    lo -= w;
+    hi += w;
+  };
+  widen(s.value_min, s.value_max);
+  widen(s.mean_min, s.mean_max);
+  widen(s.stddev_min, s.stddev_max);
+  return OddGuard{s};
+}
+
+Status OddGuard::check(tensor::ConstTensorView input) noexcept {
+  ++checks_;
+  float vmin = std::numeric_limits<float>::max();
+  float vmax = std::numeric_limits<float>::lowest();
+  for (float v : input.data) {
+    if (!std::isfinite(v)) {
+      ++violations_;
+      return Status::kOddViolation;
+    }
+    vmin = std::min(vmin, v);
+    vmax = std::max(vmax, v);
+  }
+  const MeanStd ms = mean_std(input.data);
+  const bool inside = vmin >= spec_.value_min && vmax <= spec_.value_max &&
+                      ms.mean >= spec_.mean_min && ms.mean <= spec_.mean_max &&
+                      ms.stddev >= spec_.stddev_min &&
+                      ms.stddev <= spec_.stddev_max;
+  if (!inside) {
+    ++violations_;
+    return Status::kOddViolation;
+  }
+  return Status::kOk;
+}
+
+}  // namespace sx::trace

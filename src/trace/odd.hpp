@@ -1,0 +1,45 @@
+// Operational Design Domain (ODD) specification and runtime guard.
+//
+// The ODD captures, in checkable statistics, the input domain the DL
+// component was qualified for. At runtime, inputs outside the ODD are
+// rejected *before* inference — an input-side complement to the output-side
+// supervisors.
+#pragma once
+
+#include "dl/dataset.hpp"
+#include "tensor/tensor.hpp"
+#include "util/status.hpp"
+
+namespace sx::trace {
+
+struct OddSpec {
+  float value_min = 0.0f;   ///< element-wise value envelope
+  float value_max = 1.0f;
+  float mean_min = 0.0f;    ///< per-input mean envelope
+  float mean_max = 1.0f;
+  float stddev_min = 0.0f;  ///< per-input dispersion envelope
+  float stddev_max = 1.0f;
+};
+
+class OddGuard {
+ public:
+  explicit OddGuard(OddSpec spec) : spec_(spec) {}
+
+  /// Learns an ODD from in-distribution data, widening each envelope by
+  /// `margin` (relative widening of the observed range).
+  static OddGuard fit(const dl::Dataset& id_data, float margin = 0.25f);
+
+  /// kOk if `input` lies within the ODD; kOddViolation otherwise.
+  Status check(tensor::ConstTensorView input) noexcept;
+
+  const OddSpec& spec() const noexcept { return spec_; }
+  std::uint64_t checks() const noexcept { return checks_; }
+  std::uint64_t violations() const noexcept { return violations_; }
+
+ private:
+  OddSpec spec_;
+  std::uint64_t checks_ = 0;
+  std::uint64_t violations_ = 0;
+};
+
+}  // namespace sx::trace

@@ -1,0 +1,58 @@
+#include "trace/provenance.hpp"
+
+#include <sstream>
+
+namespace sx::trace {
+
+std::string dataset_fingerprint(const dl::Dataset& ds) {
+  util::Sha256 h;
+  h.update(std::to_string(ds.samples.size()));
+  h.update("|");
+  h.update(std::to_string(ds.num_classes));
+  for (const auto& s : ds.samples) {
+    h.update(std::to_string(s.label));
+    const auto d = s.input.data();
+    h.update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(d.data()),
+        d.size() * sizeof(float)));
+  }
+  return util::to_hex(h.finish());
+}
+
+std::string ModelCard::to_text() const {
+  std::ostringstream os;
+  os << "model-card:\n"
+     << "  name: " << name << "\n"
+     << "  version: " << version << "\n"
+     << "  model-hash: " << model_hash << "\n"
+     << "  training-dataset: " << training_dataset << "\n"
+     << "  training-config: " << training_config << "\n"
+     << "  validation-accuracy: " << validation_accuracy << "\n"
+     << "  intended-use: " << intended_use << "\n";
+  return os.str();
+}
+
+ModelCard make_model_card(std::string name, std::string version,
+                          const dl::Model& model,
+                          const dl::Dataset& training_data,
+                          std::string training_config,
+                          double validation_accuracy,
+                          std::string intended_use) {
+  ModelCard card;
+  card.name = std::move(name);
+  card.version = std::move(version);
+  card.model_hash = util::to_hex(model.provenance_hash());
+  card.training_dataset = dataset_fingerprint(training_data);
+  card.training_config = std::move(training_config);
+  card.validation_accuracy = validation_accuracy;
+  card.intended_use = std::move(intended_use);
+  return card;
+}
+
+Status verify_model_integrity(const ModelCard& card, const dl::Model& model) {
+  return util::to_hex(model.provenance_hash()) == card.model_hash
+             ? Status::kOk
+             : Status::kIntegrityFault;
+}
+
+}  // namespace sx::trace

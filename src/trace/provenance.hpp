@@ -1,0 +1,46 @@
+// Model and dataset provenance (pillar 1).
+//
+// A deployed DL component is identified by the SHA-256 of its architecture
+// and parameters; datasets by a content fingerprint. The ModelCard bundles
+// everything certification needs to reconstruct *what* was deployed and
+// *where it came from*.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dl/dataset.hpp"
+#include "dl/model.hpp"
+#include "util/hash.hpp"
+
+namespace sx::trace {
+
+/// Content fingerprint of a dataset (order-sensitive, bit-exact).
+std::string dataset_fingerprint(const dl::Dataset& ds);
+
+struct ModelCard {
+  std::string name;
+  std::string version;
+  std::string model_hash;        ///< hex SHA-256 of architecture + weights
+  std::string training_dataset;  ///< dataset fingerprint
+  std::string training_config;   ///< free-form description of hyper-params
+  double validation_accuracy = 0.0;
+  std::string intended_use;      ///< ODD / scope statement
+
+  /// Renders the card as a key: value block.
+  std::string to_text() const;
+};
+
+/// Builds a card for a trained model.
+ModelCard make_model_card(std::string name, std::string version,
+                          const dl::Model& model,
+                          const dl::Dataset& training_data,
+                          std::string training_config,
+                          double validation_accuracy,
+                          std::string intended_use);
+
+/// Verifies that `model` still matches the hash recorded in `card`
+/// (kIntegrityFault on mismatch) — the deployment-time integrity gate.
+Status verify_model_integrity(const ModelCard& card, const dl::Model& model);
+
+}  // namespace sx::trace

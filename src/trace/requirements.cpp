@@ -1,0 +1,102 @@
+#include "trace/requirements.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace sx::trace {
+
+std::string_view to_string(Criticality c) noexcept {
+  switch (c) {
+    case Criticality::kQM: return "QM";
+    case Criticality::kSil1: return "SIL1";
+    case Criticality::kSil2: return "SIL2";
+    case Criticality::kSil3: return "SIL3";
+    case Criticality::kSil4: return "SIL4";
+  }
+  return "?";
+}
+
+std::string_view to_string(ArtifactKind k) noexcept {
+  switch (k) {
+    case ArtifactKind::kModel: return "model";
+    case ArtifactKind::kDataset: return "dataset";
+    case ArtifactKind::kTest: return "test";
+    case ArtifactKind::kAnalysis: return "analysis";
+    case ArtifactKind::kComponent: return "component";
+  }
+  return "?";
+}
+
+void RequirementRegistry::add(Requirement req) {
+  if (req.id.empty())
+    throw std::invalid_argument("RequirementRegistry: empty id");
+  if (find(req.id) != nullptr)
+    throw std::invalid_argument("RequirementRegistry: duplicate id " + req.id);
+  requirements_.push_back(std::move(req));
+}
+
+void RequirementRegistry::link(std::string requirement_id, ArtifactKind kind,
+                               std::string artifact_id, std::string role) {
+  if (find(requirement_id) == nullptr)
+    throw std::invalid_argument("RequirementRegistry: unknown requirement " +
+                                requirement_id);
+  links_.push_back(TraceLink{std::move(requirement_id), kind,
+                             std::move(artifact_id), std::move(role)});
+}
+
+const Requirement* RequirementRegistry::find(std::string_view id) const noexcept {
+  const auto it = std::find_if(
+      requirements_.begin(), requirements_.end(),
+      [&](const Requirement& r) { return r.id == id; });
+  return it == requirements_.end() ? nullptr : &*it;
+}
+
+std::vector<TraceLink> RequirementRegistry::links_for(
+    std::string_view requirement_id) const {
+  std::vector<TraceLink> out;
+  for (const auto& l : links_)
+    if (l.requirement_id == requirement_id) out.push_back(l);
+  return out;
+}
+
+std::vector<std::string> RequirementRegistry::uncovered(
+    std::string_view role) const {
+  std::vector<std::string> out;
+  for (const auto& r : requirements_) {
+    const bool covered = std::any_of(
+        links_.begin(), links_.end(), [&](const TraceLink& l) {
+          return l.requirement_id == r.id && l.role == role;
+        });
+    if (!covered) out.push_back(r.id);
+  }
+  return out;
+}
+
+double RequirementRegistry::coverage(std::string_view role) const {
+  if (requirements_.empty()) return 1.0;
+  const auto gaps = uncovered(role);
+  return 1.0 - static_cast<double>(gaps.size()) /
+                   static_cast<double>(requirements_.size());
+}
+
+std::string RequirementRegistry::matrix() const {
+  std::ostringstream os;
+  os << "requirement\tcriticality\tlinks\n";
+  for (const auto& r : requirements_) {
+    os << r.id << '\t' << to_string(r.criticality) << '\t';
+    bool first = true;
+    for (const auto& l : links_) {
+      if (l.requirement_id != r.id) continue;
+      if (!first) os << "; ";
+      os << l.role << ":" << to_string(l.artifact_kind) << "/"
+         << l.artifact_id;
+      first = false;
+    }
+    if (first) os << "(none)";
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sx::trace

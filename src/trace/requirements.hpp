@@ -1,0 +1,80 @@
+// Requirement registry and trace links (pillar 1: end-to-end traceability).
+//
+// FUSA standards demand that every safety requirement be traceable to the
+// artifacts implementing and verifying it. This registry is the machine-
+// checkable core of that argument: requirements link to evidence artifacts
+// (models by provenance hash, datasets by fingerprint, tests and analyses by
+// id), and coverage queries expose untraced requirements.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sx::trace {
+
+/// Criticality levels, an ASIL/SIL-style ladder (QM = no safety claim).
+enum class Criticality : std::uint8_t { kQM = 0, kSil1, kSil2, kSil3, kSil4 };
+
+std::string_view to_string(Criticality c) noexcept;
+
+enum class ArtifactKind : std::uint8_t {
+  kModel,      ///< a trained model (identified by provenance hash)
+  kDataset,    ///< a dataset (identified by fingerprint)
+  kTest,       ///< a verification test
+  kAnalysis,   ///< a timing / robustness / coverage analysis
+  kComponent,  ///< a software component (pattern, supervisor, engine)
+};
+
+std::string_view to_string(ArtifactKind k) noexcept;
+
+struct Requirement {
+  std::string id;    ///< e.g. "REQ-PER-003"
+  std::string text;  ///< the normative statement
+  Criticality criticality = Criticality::kQM;
+};
+
+struct TraceLink {
+  std::string requirement_id;
+  ArtifactKind artifact_kind{};
+  std::string artifact_id;  ///< hash, fingerprint or symbolic name
+  std::string role;         ///< "implements", "verifies", "analyzes"
+};
+
+class RequirementRegistry {
+ public:
+  /// Adds a requirement; ids must be unique (throws on duplicate).
+  void add(Requirement req);
+
+  /// Links a requirement to an artifact; the requirement must exist.
+  void link(std::string requirement_id, ArtifactKind kind,
+            std::string artifact_id, std::string role);
+
+  const Requirement* find(std::string_view id) const noexcept;
+  std::size_t size() const noexcept { return requirements_.size(); }
+  const std::vector<Requirement>& requirements() const noexcept {
+    return requirements_;
+  }
+  const std::vector<TraceLink>& links() const noexcept { return links_; }
+
+  /// Links attached to one requirement.
+  std::vector<TraceLink> links_for(std::string_view requirement_id) const;
+
+  /// Requirements lacking a link with the given role ("verifies" gives the
+  /// classic verification-coverage gap list).
+  std::vector<std::string> uncovered(std::string_view role) const;
+
+  /// Fraction of requirements having at least one link with `role`.
+  double coverage(std::string_view role) const;
+
+  /// Tab-separated traceability matrix (requirement per row).
+  std::string matrix() const;
+
+ private:
+  std::vector<Requirement> requirements_;
+  std::vector<TraceLink> links_;
+};
+
+}  // namespace sx::trace

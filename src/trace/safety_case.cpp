@@ -1,0 +1,129 @@
+#include "trace/safety_case.hpp"
+
+#include <stdexcept>
+
+namespace sx::trace {
+namespace {
+
+const char* prefix(NodeKind k) {
+  switch (k) {
+    case NodeKind::kGoal: return "G";
+    case NodeKind::kStrategy: return "S";
+    case NodeKind::kSolution: return "Sn";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::size_t SafetyCase::set_root_goal(std::string id, std::string text) {
+  if (has_root_) throw std::logic_error("SafetyCase: root already set");
+  nodes_.push_back(
+      CaseNode{NodeKind::kGoal, std::move(id), std::move(text), {}});
+  has_root_ = true;
+  return 0;
+}
+
+std::size_t SafetyCase::add_node(std::size_t parent, NodeKind kind,
+                                 std::string id, std::string text) {
+  if (parent >= nodes_.size())
+    throw std::invalid_argument("SafetyCase: bad parent index");
+  if (nodes_[parent].kind == NodeKind::kSolution)
+    throw std::invalid_argument("SafetyCase: solutions are leaves");
+  nodes_.push_back(CaseNode{kind, std::move(id), std::move(text), {}});
+  nodes_[parent].children.push_back(nodes_.size() - 1);
+  return nodes_.size() - 1;
+}
+
+std::size_t SafetyCase::add_goal(std::size_t parent, std::string id,
+                                 std::string text) {
+  return add_node(parent, NodeKind::kGoal, std::move(id), std::move(text));
+}
+
+std::size_t SafetyCase::add_strategy(std::size_t parent, std::string id,
+                                     std::string text) {
+  return add_node(parent, NodeKind::kStrategy, std::move(id), std::move(text));
+}
+
+std::size_t SafetyCase::add_solution(std::size_t parent, std::string id,
+                                     std::string text) {
+  return add_node(parent, NodeKind::kSolution, std::move(id), std::move(text));
+}
+
+bool SafetyCase::has_solution_beneath(std::size_t idx) const {
+  const CaseNode& n = nodes_[idx];
+  if (n.kind == NodeKind::kSolution) return true;
+  for (std::size_t c : n.children)
+    if (has_solution_beneath(c)) return true;
+  return false;
+}
+
+bool SafetyCase::has_goal_beneath(std::size_t idx) const {
+  for (std::size_t c : nodes_[idx].children) {
+    if (nodes_[c].kind == NodeKind::kGoal) return true;
+    if (has_goal_beneath(c)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> SafetyCase::undischarged_goals() const {
+  // A goal discharges either through evidence beneath it or by delegating
+  // to sub-goals; only leaf goals (no goal descendants) must carry evidence
+  // themselves.
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const CaseNode& n = nodes_[i];
+    if (n.kind != NodeKind::kGoal) continue;
+    if (has_goal_beneath(i)) continue;
+    if (!has_solution_beneath(i)) out.push_back(n.id);
+  }
+  return out;
+}
+
+void SafetyCase::render(std::size_t idx, std::size_t depth,
+                        std::string& out) const {
+  const CaseNode& n = nodes_[idx];
+  out.append(2 * depth, ' ');
+  out += "[";
+  out += prefix(n.kind);
+  out += "] ";
+  out += n.id;
+  out += ": ";
+  out += n.text;
+  out += '\n';
+  for (std::size_t c : n.children) render(c, depth + 1, out);
+}
+
+std::string SafetyCase::to_text() const {
+  std::string out;
+  if (has_root_) render(0, 0, out);
+  return out;
+}
+
+std::string SafetyCase::to_dot() const {
+  std::string out = "digraph safety_case {\n  rankdir=TB;\n";
+  auto escape = [](const std::string& s) {
+    std::string r;
+    for (char c : s) {
+      if (c == '"' || c == '\\') r += '\\';
+      r += c;
+    }
+    return r;
+  };
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const CaseNode& n = nodes_[i];
+    const char* shape = n.kind == NodeKind::kGoal
+                            ? "box"
+                            : (n.kind == NodeKind::kStrategy ? "parallelogram"
+                                                             : "circle");
+    out += "  n" + std::to_string(i) + " [shape=" + shape + ", label=\"" +
+           escape(n.id) + "\\n" + escape(n.text) + "\"];\n";
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    for (std::size_t c : nodes_[i].children)
+      out += "  n" + std::to_string(i) + " -> n" + std::to_string(c) + ";\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace sx::trace

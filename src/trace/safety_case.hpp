@@ -1,0 +1,62 @@
+// GSN-style safety case (Goal Structuring Notation, simplified).
+//
+// Goals decompose via strategies into sub-goals; leaf goals are discharged
+// by solutions (evidence artifacts). The completeness check — every leaf
+// goal has at least one solution — is the machine-checkable core of "prove
+// correct operation in accordance to certification standards".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sx::trace {
+
+enum class NodeKind : std::uint8_t { kGoal, kStrategy, kSolution };
+
+struct CaseNode {
+  NodeKind kind = NodeKind::kGoal;
+  std::string id;
+  std::string text;
+  std::vector<std::size_t> children;  // indices into the node pool
+};
+
+class SafetyCase {
+ public:
+  /// Creates the root goal; returns its node index.
+  std::size_t set_root_goal(std::string id, std::string text);
+
+  std::size_t add_goal(std::size_t parent, std::string id, std::string text);
+  std::size_t add_strategy(std::size_t parent, std::string id,
+                           std::string text);
+  std::size_t add_solution(std::size_t parent, std::string id,
+                           std::string text);
+
+  std::size_t size() const noexcept { return nodes_.size(); }
+  const CaseNode& node(std::size_t i) const { return nodes_.at(i); }
+
+  /// Leaf goals (goals with no goal descendants) that carry no evidence —
+  /// the gaps an assessor would flag.
+  std::vector<std::string> undischarged_goals() const;
+
+  bool complete() const { return undischarged_goals().empty(); }
+
+  /// Indented text rendering of the argument tree.
+  std::string to_text() const;
+
+  /// Graphviz DOT rendering (GSN shapes: goals as boxes, strategies as
+  /// parallelograms, solutions as circles).
+  std::string to_dot() const;
+
+ private:
+  std::size_t add_node(std::size_t parent, NodeKind kind, std::string id,
+                       std::string text);
+  bool has_solution_beneath(std::size_t idx) const;
+  bool has_goal_beneath(std::size_t idx) const;
+  void render(std::size_t idx, std::size_t depth, std::string& out) const;
+
+  std::vector<CaseNode> nodes_;
+  bool has_root_ = false;
+};
+
+}  // namespace sx::trace

@@ -1,0 +1,54 @@
+// Cryptographic and non-cryptographic hashing for provenance and audit chains.
+//
+// SHA-256 is implemented from scratch (FIPS 180-4) so that certification
+// evidence (model hashes, hash-chained audit logs) does not depend on any
+// external library. FNV-1a is provided for cheap content fingerprints.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace sx::util {
+
+/// 256-bit digest.
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 (FIPS 180-4).
+class Sha256 {
+ public:
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(std::string_view text) noexcept;
+  /// Finalizes and returns the digest; the object must be reset() before reuse.
+  Sha256Digest finish() noexcept;
+
+  /// One-shot convenience.
+  static Sha256Digest of(std::string_view text) noexcept;
+  static Sha256Digest of(std::span<const std::uint8_t> data) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> h_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Lowercase hex encoding of a digest.
+std::string to_hex(const Sha256Digest& d);
+
+/// FNV-1a 64-bit — fast content fingerprint (not collision-resistant).
+std::uint64_t fnv1a(std::span<const std::uint8_t> data) noexcept;
+std::uint64_t fnv1a(std::string_view text) noexcept;
+
+/// Hash a span of floats byte-wise (bit-exact fingerprint of tensor data).
+std::uint64_t fnv1a(std::span<const float> data) noexcept;
+
+}  // namespace sx::util

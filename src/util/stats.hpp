@@ -1,0 +1,53 @@
+// Descriptive statistics used across timing analysis, supervisors and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sx::util {
+
+/// Running mean/variance accumulator (Welford). Allocation-free.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 when fewer than two samples).
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(std::span<const double> xs) noexcept;
+double variance(std::span<const double> xs) noexcept;  ///< unbiased
+double stddev(std::span<const double> xs) noexcept;
+double min_of(std::span<const double> xs) noexcept;
+double max_of(std::span<const double> xs) noexcept;
+
+/// q-quantile (0 <= q <= 1) by linear interpolation on a sorted copy.
+double quantile(std::span<const double> xs, double q);
+
+double median(std::span<const double> xs);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+/// Coefficient of variation: stddev / |mean| (0 for zero mean).
+double coeff_of_variation(std::span<const double> xs) noexcept;
+
+/// Equal-width histogram over [lo, hi] with `bins` buckets.
+std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
+                                   double hi, std::size_t bins);
+
+}  // namespace sx::util

@@ -1,0 +1,48 @@
+// Status codes for the FUSA runtime path.
+//
+// The operational (inference-time) code in SAFEXPLAIN never throws: faults are
+// reported through sx::Status so that every failure mode is an enumerable,
+// testable branch, as functional-safety practice requires.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sx {
+
+/// Outcome of a runtime operation on the safety-critical path.
+enum class Status : std::uint8_t {
+  kOk = 0,            ///< Operation completed normally.
+  kShapeMismatch,     ///< Tensor shapes incompatible with the operation.
+  kArenaExhausted,    ///< Static memory arena has no room left.
+  kNotReady,          ///< Component used before configuration finished.
+  kNumericFault,      ///< NaN/Inf or out-of-envelope value detected.
+  kRedundancyFault,   ///< Redundant channels disagree beyond tolerance.
+  kDeadlineMiss,      ///< Execution exceeded its timing budget.
+  kSupervisorReject,  ///< Supervisor flagged the prediction as untrustworthy.
+  kOddViolation,      ///< Input outside the operational design domain.
+  kInvalidArgument,   ///< Caller violated a documented precondition.
+  kIntegrityFault,    ///< Provenance / audit-chain verification failed.
+};
+
+/// Human-readable name for a status code (for logs and evidence reports).
+constexpr std::string_view to_string(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "OK";
+    case Status::kShapeMismatch: return "SHAPE_MISMATCH";
+    case Status::kArenaExhausted: return "ARENA_EXHAUSTED";
+    case Status::kNotReady: return "NOT_READY";
+    case Status::kNumericFault: return "NUMERIC_FAULT";
+    case Status::kRedundancyFault: return "REDUNDANCY_FAULT";
+    case Status::kDeadlineMiss: return "DEADLINE_MISS";
+    case Status::kSupervisorReject: return "SUPERVISOR_REJECT";
+    case Status::kOddViolation: return "ODD_VIOLATION";
+    case Status::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Status::kIntegrityFault: return "INTEGRITY_FAULT";
+  }
+  return "UNKNOWN";
+}
+
+constexpr bool ok(Status s) noexcept { return s == Status::kOk; }
+
+}  // namespace sx

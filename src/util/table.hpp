@@ -1,0 +1,41 @@
+// Console table / CSV rendering for the experiment benches.
+//
+// Every bench binary prints its results both as an aligned ASCII table (what
+// the paper's table would look like) and optionally as CSV for plotting.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sx::util {
+
+/// A simple column-aligned table builder.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with padded columns and a header rule.
+  std::string to_ascii() const;
+  /// Renders RFC-4180-ish CSV (cells containing commas are quoted).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting helpers for table cells.
+std::string fmt(double v, int precision = 3);
+std::string fmt_pct(double fraction, int precision = 1);  ///< 0.42 -> "42.0%"
+std::string fmt_sci(double v, int precision = 2);         ///< scientific
+
+}  // namespace sx::util

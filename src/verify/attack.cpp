@@ -1,0 +1,96 @@
+#include "verify/attack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dl/train.hpp"
+
+namespace sx::verify {
+namespace {
+
+/// dL/dinput for cross-entropy of softmax(logits) against `label`.
+tensor::Tensor loss_input_gradient(dl::Model& model,
+                                   const tensor::Tensor& input,
+                                   std::size_t label) {
+  const auto acts = model.forward_trace(input);
+  const tensor::Tensor& logits = acts.back();
+  tensor::Tensor grad_logits{logits.shape()};
+  (void)dl::cross_entropy_with_grad(logits.data(), label,
+                                    grad_logits.data());
+  tensor::Tensor grad_in = model.backward(acts, grad_logits);
+  model.zero_grads();
+  return grad_in;
+}
+
+std::size_t predict(const dl::Model& model, const tensor::Tensor& input) {
+  const tensor::Tensor logits = model.forward(input);
+  return tensor::argmax(logits.view());
+}
+
+}  // namespace
+
+tensor::Tensor fgsm(dl::Model& model, const tensor::Tensor& input,
+                    std::size_t label, float eps, float clamp_lo,
+                    float clamp_hi) {
+  if (eps < 0.0f) throw std::invalid_argument("fgsm: negative eps");
+  const tensor::Tensor grad = loss_input_gradient(model, input, label);
+  tensor::Tensor adv = input;
+  for (std::size_t i = 0; i < adv.size(); ++i) {
+    const float g = grad.at(i);
+    const float step = eps * (g > 0.0f ? 1.0f : (g < 0.0f ? -1.0f : 0.0f));
+    adv.at(i) = std::clamp(adv.at(i) + step, clamp_lo, clamp_hi);
+  }
+  return adv;
+}
+
+tensor::Tensor pgd(dl::Model& model, const tensor::Tensor& input,
+                   std::size_t label, float eps, std::size_t steps,
+                   float alpha, float clamp_lo, float clamp_hi) {
+  if (eps < 0.0f) throw std::invalid_argument("pgd: negative eps");
+  if (steps == 0) throw std::invalid_argument("pgd: zero steps");
+  if (alpha <= 0.0f) alpha = eps / 4.0f;
+  tensor::Tensor adv = input;
+  for (std::size_t s = 0; s < steps; ++s) {
+    const tensor::Tensor grad = loss_input_gradient(model, adv, label);
+    for (std::size_t i = 0; i < adv.size(); ++i) {
+      const float g = grad.at(i);
+      float v = adv.at(i) +
+                alpha * (g > 0.0f ? 1.0f : (g < 0.0f ? -1.0f : 0.0f));
+      // Project into the eps-ball around the original, then the domain.
+      v = std::clamp(v, input.at(i) - eps, input.at(i) + eps);
+      adv.at(i) = std::clamp(v, clamp_lo, clamp_hi);
+    }
+  }
+  return adv;
+}
+
+double robust_accuracy_fgsm(dl::Model& model, const dl::Dataset& ds,
+                            float eps, std::size_t max_samples) {
+  std::size_t surviving = 0, total = 0;
+  for (const auto& s : ds.samples) {
+    if (total >= max_samples) break;
+    ++total;
+    if (predict(model, s.input) != s.label) continue;
+    const tensor::Tensor adv = fgsm(model, s.input, s.label, eps);
+    surviving += predict(model, adv) == s.label ? 1 : 0;
+  }
+  return total ? static_cast<double>(surviving) / static_cast<double>(total)
+               : 0.0;
+}
+
+double robust_accuracy_pgd(dl::Model& model, const dl::Dataset& ds, float eps,
+                           std::size_t steps, std::size_t max_samples) {
+  std::size_t surviving = 0, total = 0;
+  for (const auto& s : ds.samples) {
+    if (total >= max_samples) break;
+    ++total;
+    if (predict(model, s.input) != s.label) continue;
+    const tensor::Tensor adv = pgd(model, s.input, s.label, eps, steps);
+    surviving += predict(model, adv) == s.label ? 1 : 0;
+  }
+  return total ? static_cast<double>(surviving) / static_cast<double>(total)
+               : 0.0;
+}
+
+}  // namespace sx::verify

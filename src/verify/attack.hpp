@@ -1,0 +1,35 @@
+// Adversarial attacks — the empirical counterpart of the IBP certificate.
+//
+// A certificate says "provably no adversarial example within eps"; an
+// attack says "here is one". Together they bracket the true robustness:
+// certified accuracy <= true robust accuracy <= attack-survival accuracy.
+#pragma once
+
+#include "dl/model.hpp"
+#include "dl/dataset.hpp"
+
+namespace sx::verify {
+
+/// Fast Gradient Sign Method: one signed-gradient step of size eps that
+/// maximizes the cross-entropy of the true label, clamped to the domain.
+tensor::Tensor fgsm(dl::Model& model, const tensor::Tensor& input,
+                    std::size_t label, float eps, float clamp_lo = 0.0f,
+                    float clamp_hi = 1.0f);
+
+/// Projected gradient descent: `steps` FGSM-like steps of size alpha,
+/// re-projected into the eps-ball after each step. Strictly stronger than
+/// single-step FGSM.
+tensor::Tensor pgd(dl::Model& model, const tensor::Tensor& input,
+                   std::size_t label, float eps, std::size_t steps = 10,
+                   float alpha = 0.0f /* default eps/4 */,
+                   float clamp_lo = 0.0f, float clamp_hi = 1.0f);
+
+/// Fraction of correctly-classified samples still classified correctly
+/// after the given attack ("empirical robust accuracy").
+double robust_accuracy_fgsm(dl::Model& model, const dl::Dataset& ds,
+                            float eps, std::size_t max_samples = 200);
+double robust_accuracy_pgd(dl::Model& model, const dl::Dataset& ds,
+                           float eps, std::size_t steps = 10,
+                           std::size_t max_samples = 200);
+
+}  // namespace sx::verify

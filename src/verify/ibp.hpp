@@ -1,0 +1,50 @@
+// Formal robustness verification via interval bound propagation (IBP).
+//
+// FUSA practice demands *verifiable* properties with pass/fail outcomes;
+// for DL components, local robustness — "no input within an eps-ball
+// changes the decision" — is exactly such a property. IBP propagates
+// sound element-wise intervals through every layer: affine layers split
+// weights by sign, monotone activations map the endpoints. The resulting
+// certificate is conservative (it may fail to certify robust points) but
+// never unsound (a certified point is provably robust).
+#pragma once
+
+#include "dl/dataset.hpp"
+#include "dl/model.hpp"
+
+namespace sx::verify {
+
+/// Element-wise lower/upper bounds on a tensor.
+struct IntervalTensor {
+  tensor::Tensor lo;
+  tensor::Tensor hi;
+
+  /// True iff lo <= hi element-wise (sanity invariant).
+  bool well_formed() const noexcept;
+};
+
+/// Propagates the eps-ball around `input` (clamped to [clamp_lo, clamp_hi])
+/// through `model`, returning sound bounds on the output logits.
+/// Supported layers: Dense, Conv2d, BatchNorm, ReLU, Sigmoid, Tanh,
+/// MaxPool2d, AvgPool2d, Flatten (throws std::invalid_argument on others).
+IntervalTensor ibp_bounds(const dl::Model& model, const tensor::Tensor& input,
+                          float eps, float clamp_lo = 0.0f,
+                          float clamp_hi = 1.0f);
+
+/// Pass/fail certificate: the lower bound of the `label` logit exceeds the
+/// upper bound of every other logit for all inputs in the eps-ball.
+bool certified_robust(const dl::Model& model, const tensor::Tensor& input,
+                      std::size_t label, float eps, float clamp_lo = 0.0f,
+                      float clamp_hi = 1.0f);
+
+/// Largest eps (within [0, eps_max], to `tolerance`) at which the point is
+/// still certified; 0 if not certified even at eps -> 0.
+float certified_radius(const dl::Model& model, const tensor::Tensor& input,
+                       std::size_t label, float eps_max = 0.5f,
+                       float tolerance = 1e-3f);
+
+/// Fraction of correctly-classified samples certified robust at eps.
+double certified_accuracy(const dl::Model& model, const dl::Dataset& ds,
+                          float eps, std::size_t max_samples = 200);
+
+}  // namespace sx::verify

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "test_helpers.hpp"
+
+namespace sx::core {
+namespace {
+
+const dl::Model& model() { return sx::testing::trained_mlp(); }
+const dl::Dataset& data() { return sx::testing::road_data(); }
+
+CertifiablePipeline make_pipeline(Criticality c) {
+  PipelineConfig cfg;
+  cfg.criticality = c;
+  cfg.timing_budget = 10'000;
+  return CertifiablePipeline{model(), data(), cfg};
+}
+
+TEST(Report, CompleteForWellFormedDeployment) {
+  CertifiablePipeline p = make_pipeline(Criticality::kSil2);
+  for (std::size_t i = 0; i < 5; ++i) (void)p.infer(data().samples[i].input, i);
+
+  trace::RequirementRegistry reg;
+  reg.add({"REQ-1", "classify road scenes", trace::Criticality::kSil2});
+  reg.link("REQ-1", trace::ArtifactKind::kModel,
+           p.model_card().model_hash, "implements");
+  reg.link("REQ-1", trace::ArtifactKind::kTest, "accuracy-suite", "verifies");
+
+  const auto report = make_certification_report(
+      p, &reg, {EvidenceItem{"fault campaign", "SDC rate: 0.0%"}});
+  EXPECT_TRUE(report.complete);
+  EXPECT_NE(report.text.find("EVIDENCE COMPLETE"), std::string::npos);
+  EXPECT_NE(report.text.find("SAFETY CASE"), std::string::npos);
+  EXPECT_NE(report.text.find("fault campaign"), std::string::npos);
+  EXPECT_NE(report.text.find("SIL2"), std::string::npos);
+}
+
+TEST(Report, FlagsUncoveredRequirements) {
+  CertifiablePipeline p = make_pipeline(Criticality::kSil1);
+  trace::RequirementRegistry reg;
+  reg.add({"REQ-1", "x", trace::Criticality::kSil1});  // no links at all
+  const auto report = make_certification_report(p, &reg, {});
+  EXPECT_FALSE(report.complete);
+  EXPECT_NE(report.text.find("EVIDENCE GAPS REMAIN"), std::string::npos);
+}
+
+TEST(Report, WorksWithoutRequirements) {
+  CertifiablePipeline p = make_pipeline(Criticality::kQM);
+  const auto report = make_certification_report(p, nullptr, {});
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.text.find("REQUIREMENT TRACEABILITY"), std::string::npos);
+}
+
+TEST(Report, ContainsOperationalCounters) {
+  CertifiablePipeline p = make_pipeline(Criticality::kQM);
+  for (std::size_t i = 0; i < 7; ++i) (void)p.infer(data().samples[i].input, i);
+  const auto report = make_certification_report(p, nullptr, {});
+  EXPECT_NE(report.text.find("decisions: 7"), std::string::npos);
+  EXPECT_NE(report.text.find("audit chain: VERIFIES"), std::string::npos);
+}
+
+TEST(Report, EveryCriticalityLevelRenders) {
+  for (const Criticality c : {Criticality::kQM, Criticality::kSil1,
+                              Criticality::kSil2, Criticality::kSil3,
+                              Criticality::kSil4}) {
+    CertifiablePipeline p = make_pipeline(c);
+    const auto report = make_certification_report(p, nullptr, {});
+    EXPECT_TRUE(report.complete) << trace::to_string(c);
+    EXPECT_NE(report.text.find(trace::to_string(c)), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace sx::core

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "core/criticality.hpp"
+#include "core/pipeline.hpp"
+#include "test_helpers.hpp"
+
+namespace sx::core {
+namespace {
+
+const dl::Model& model() { return sx::testing::trained_mlp(); }
+const dl::Dataset& data() { return sx::testing::road_data(); }
+
+// -------------------------------------------------------------- criticality
+
+TEST(Criticality, QmAcceptsAnything) {
+  PipelineSpec bare;
+  EXPECT_TRUE(check_admissible(bare, Criticality::kQM).admissible);
+}
+
+TEST(Criticality, HigherLevelsRejectBareChannel) {
+  PipelineSpec bare;
+  for (const Criticality c : {Criticality::kSil1, Criticality::kSil2,
+                              Criticality::kSil3, Criticality::kSil4}) {
+    const auto v = check_admissible(bare, c);
+    EXPECT_FALSE(v.admissible) << trace::to_string(c);
+    EXPECT_FALSE(v.missing.empty());
+  }
+}
+
+TEST(Criticality, RecommendedSpecIsAdmissibleAtItsLevel) {
+  for (const Criticality c : {Criticality::kQM, Criticality::kSil1,
+                              Criticality::kSil2, Criticality::kSil3,
+                              Criticality::kSil4}) {
+    EXPECT_TRUE(check_admissible(recommended_spec(c), c).admissible)
+        << trace::to_string(c);
+  }
+}
+
+TEST(Criticality, RecommendedSpecNotAdmissibleOneLevelUp) {
+  EXPECT_FALSE(check_admissible(recommended_spec(Criticality::kSil1),
+                                Criticality::kSil2)
+                   .admissible);
+  EXPECT_FALSE(check_admissible(recommended_spec(Criticality::kSil3),
+                                Criticality::kSil4)
+                   .admissible);
+}
+
+TEST(Criticality, PatternStrengthStrictlyIncreases) {
+  EXPECT_LT(pattern_strength(PatternKind::kSingle),
+            pattern_strength(PatternKind::kMonitored));
+  EXPECT_LT(pattern_strength(PatternKind::kMonitored),
+            pattern_strength(PatternKind::kDmr));
+  EXPECT_LT(pattern_strength(PatternKind::kDmr),
+            pattern_strength(PatternKind::kTmr));
+  EXPECT_LT(pattern_strength(PatternKind::kTmr),
+            pattern_strength(PatternKind::kDiverseTmr));
+}
+
+TEST(Criticality, ObligationsAccumulate) {
+  // Each level's obligations are a superset of the previous level's.
+  auto leq = [](const Obligations& a, const Obligations& b) {
+    return pattern_strength(a.min_pattern) <= pattern_strength(b.min_pattern) &&
+           a.supervisor <= b.supervisor && a.odd_guard <= b.odd_guard &&
+           a.safety_bag <= b.safety_bag &&
+           a.timing_budget <= b.timing_budget &&
+           a.explanations <= b.explanations;
+  };
+  EXPECT_TRUE(leq(obligations_for(Criticality::kQM),
+                  obligations_for(Criticality::kSil1)));
+  EXPECT_TRUE(leq(obligations_for(Criticality::kSil1),
+                  obligations_for(Criticality::kSil2)));
+  EXPECT_TRUE(leq(obligations_for(Criticality::kSil2),
+                  obligations_for(Criticality::kSil3)));
+  EXPECT_TRUE(leq(obligations_for(Criticality::kSil3),
+                  obligations_for(Criticality::kSil4)));
+}
+
+// ----------------------------------------------------------------- pipeline
+
+TEST(Pipeline, RejectsInadmissibleSpec) {
+  PipelineConfig cfg;
+  cfg.criticality = Criticality::kSil3;
+  cfg.spec = PipelineSpec{};  // bare
+  EXPECT_THROW(CertifiablePipeline(model(), data(), cfg),
+               std::invalid_argument);
+}
+
+TEST(Pipeline, QmDecidesNormally) {
+  PipelineConfig cfg;
+  cfg.criticality = Criticality::kQM;
+  CertifiablePipeline p{model(), data(), cfg};
+  const auto d = p.infer(data().samples[0].input);
+  EXPECT_EQ(d.status, Status::kOk);
+  EXPECT_LT(d.predicted_class, dl::kRoadSceneClasses);
+  EXPECT_GT(d.confidence, 0.0f);
+}
+
+TEST(Pipeline, Sil2RejectsOutOfOddInput) {
+  PipelineConfig cfg;
+  cfg.criticality = Criticality::kSil2;
+  CertifiablePipeline p{model(), data(), cfg};
+  tensor::Tensor extreme{data().input_shape};
+  extreme.fill(30.0f);
+  const auto d = p.infer(extreme);
+  EXPECT_EQ(d.status, Status::kOddViolation);
+  EXPECT_TRUE(d.degraded);
+  EXPECT_EQ(p.rejections(), 1u);
+}
+
+TEST(Pipeline, Sil3DeadlineMissTriggersFallback) {
+  PipelineConfig cfg;
+  cfg.criticality = Criticality::kSil3;
+  cfg.timing_budget = 1000;
+  cfg.fallback_class = 3;
+  CertifiablePipeline p{model(), data(), cfg};
+  const auto d =
+      p.infer(data().samples[0].input, /*logical_time=*/0, /*elapsed=*/5000);
+  EXPECT_EQ(d.status, Status::kDeadlineMiss);
+  EXPECT_TRUE(d.degraded);
+  EXPECT_EQ(d.predicted_class, 3u);
+}
+
+TEST(Pipeline, Sil3WithinBudgetDecides) {
+  PipelineConfig cfg;
+  cfg.criticality = Criticality::kSil3;
+  cfg.timing_budget = 1000;
+  CertifiablePipeline p{model(), data(), cfg};
+  const auto d =
+      p.infer(data().samples[0].input, /*logical_time=*/0, /*elapsed=*/500);
+  EXPECT_EQ(d.status, Status::kOk);
+}
+
+TEST(Pipeline, Sil3RequiresBudgetValue) {
+  PipelineConfig cfg;
+  cfg.criticality = Criticality::kSil3;
+  cfg.timing_budget = 0;
+  EXPECT_THROW(CertifiablePipeline(model(), data(), cfg),
+               std::invalid_argument);
+}
+
+TEST(Pipeline, AuditTrailGrowsAndVerifies) {
+  PipelineConfig cfg;
+  cfg.criticality = Criticality::kSil2;
+  CertifiablePipeline p{model(), data(), cfg};
+  for (std::size_t i = 0; i < 10; ++i)
+    (void)p.infer(data().samples[i].input, i);
+  EXPECT_EQ(p.audit().size(), 11u);  // deploy + 10 decisions
+  EXPECT_EQ(p.audit().verify(), Status::kOk);
+}
+
+TEST(Pipeline, IntegrityGatePasses) {
+  PipelineConfig cfg;
+  cfg.criticality = Criticality::kSil1;
+  CertifiablePipeline p{model(), data(), cfg};
+  EXPECT_EQ(p.verify_integrity(), Status::kOk);
+}
+
+TEST(Pipeline, ExplainProducesAttribution) {
+  PipelineConfig cfg;
+  cfg.criticality = Criticality::kSil1;
+  CertifiablePipeline p{model(), data(), cfg};
+  const auto att = p.explain(data().samples[1].input, 1);
+  EXPECT_EQ(att.shape(), data().input_shape);
+}
+
+TEST(Pipeline, QmHasNoExplainSupport) {
+  PipelineConfig cfg;
+  cfg.criticality = Criticality::kQM;
+  CertifiablePipeline p{model(), data(), cfg};
+  EXPECT_THROW(p.explain(data().samples[0].input, 0), std::logic_error);
+}
+
+TEST(Pipeline, SafetyCaseCompleteAtEveryLevel) {
+  for (const Criticality c : {Criticality::kQM, Criticality::kSil1,
+                              Criticality::kSil2, Criticality::kSil3,
+                              Criticality::kSil4}) {
+    PipelineConfig cfg;
+    cfg.criticality = c;
+    cfg.timing_budget = 10000;
+    CertifiablePipeline p{model(), data(), cfg};
+    const auto sc = p.build_safety_case();
+    EXPECT_TRUE(sc.complete()) << trace::to_string(c);
+    EXPECT_GT(sc.size(), 5u);
+  }
+}
+
+TEST(Pipeline, Sil4UsesDiverseRedundancy) {
+  PipelineConfig cfg;
+  cfg.criticality = Criticality::kSil4;
+  cfg.timing_budget = 10000;
+  CertifiablePipeline p{model(), data(), cfg};
+  EXPECT_EQ(p.spec().pattern, PatternKind::kDiverseTmr);
+  const auto d = p.infer(data().samples[0].input);
+  EXPECT_EQ(d.status, Status::kOk);
+}
+
+TEST(Pipeline, OodInputFallsBackAtSil3) {
+  PipelineConfig cfg;
+  cfg.criticality = Criticality::kSil3;
+  cfg.timing_budget = 10000;
+  cfg.fallback_class = 3;
+  CertifiablePipeline p{model(), data(), cfg};
+  const auto ood = dl::corrupt(data(), dl::Corruption::kUniformRandom, 8);
+  std::size_t degraded = 0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto d = p.infer(ood.samples[i].input, i);
+    degraded += d.degraded ? 1 : 0;
+  }
+  // ODD guard and/or supervisor should push nearly all to the fallback.
+  EXPECT_GT(degraded, 15u);
+}
+
+TEST(Pipeline, CountsDecisions) {
+  PipelineConfig cfg;
+  cfg.criticality = Criticality::kQM;
+  CertifiablePipeline p{model(), data(), cfg};
+  for (std::size_t i = 0; i < 7; ++i) (void)p.infer(data().samples[i].input);
+  EXPECT_EQ(p.decisions(), 7u);
+}
+
+// Property sweep: at every criticality level, in-distribution inputs flow
+// through the pipeline with OK status and high accuracy.
+class PipelineLevels : public ::testing::TestWithParam<Criticality> {};
+
+TEST_P(PipelineLevels, InDistributionFlowsThrough) {
+  PipelineConfig cfg;
+  cfg.criticality = GetParam();
+  cfg.timing_budget = 10000;
+  cfg.supervisor_tpr = 0.99;
+  CertifiablePipeline p{model(), data(), cfg};
+  std::size_t ok_count = 0, correct = 0;
+  const std::size_t n = 40;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto d = p.infer(data().samples[i].input, i, 100);
+    if (d.status == Status::kOk && !d.degraded) {
+      ++ok_count;
+      correct += (d.predicted_class == data().samples[i].label) ? 1 : 0;
+    }
+  }
+  EXPECT_GT(ok_count, n * 8 / 10);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(ok_count),
+            0.75);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, PipelineLevels,
+                         ::testing::Values(Criticality::kQM,
+                                           Criticality::kSil1,
+                                           Criticality::kSil2,
+                                           Criticality::kSil3,
+                                           Criticality::kSil4));
+
+}  // namespace
+}  // namespace sx::core

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "dl/dataset.hpp"
+#include "trace/provenance.hpp"
+
+namespace sx::dl {
+namespace {
+
+TEST(RoadScene, ShapeAndLabels) {
+  const Dataset ds = make_road_scene(40, 1);
+  EXPECT_EQ(ds.samples.size(), 40u);
+  EXPECT_EQ(ds.num_classes, kRoadSceneClasses);
+  EXPECT_EQ(ds.input_shape, tensor::Shape::chw(1, 16, 16));
+  for (const auto& s : ds.samples) {
+    EXPECT_LT(s.label, kRoadSceneClasses);
+    EXPECT_EQ(s.input.shape(), ds.input_shape);
+  }
+}
+
+TEST(RoadScene, BalancedClasses) {
+  const Dataset ds = make_road_scene(40, 1);
+  std::vector<std::size_t> counts(kRoadSceneClasses, 0);
+  for (const auto& s : ds.samples) ++counts[s.label];
+  for (auto c : counts) EXPECT_EQ(c, 10u);
+}
+
+TEST(RoadScene, ValuesInUnitRange) {
+  const Dataset ds = make_road_scene(20, 2);
+  for (const auto& s : ds.samples)
+    for (float v : s.input.data()) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.0f);
+    }
+}
+
+TEST(RoadScene, SignalRegionOnlyForForegroundClasses) {
+  const Dataset ds = make_road_scene(40, 3);
+  for (const auto& s : ds.samples) {
+    if (s.label == static_cast<std::size_t>(RoadSceneClass::kClearRoad)) {
+      EXPECT_FALSE(s.signal.has_value());
+    } else {
+      ASSERT_TRUE(s.signal.has_value());
+      EXPECT_GT(s.signal->area(), 0u);
+      EXPECT_LE(s.signal->y1, kRoadSceneSide);
+      EXPECT_LE(s.signal->x1, kRoadSceneSide);
+    }
+  }
+}
+
+TEST(RoadScene, SignalRegionIsBrighterThanBackground) {
+  const Dataset ds = make_road_scene(40, 4);
+  for (const auto& s : ds.samples) {
+    if (!s.signal) continue;
+    double inside = 0.0, outside = 0.0;
+    std::size_t n_in = 0, n_out = 0;
+    for (std::size_t y = 0; y < kRoadSceneSide; ++y)
+      for (std::size_t x = 0; x < kRoadSceneSide; ++x) {
+        if (s.signal->contains(y, x)) {
+          inside += s.input.at(0, y, x);
+          ++n_in;
+        } else {
+          outside += s.input.at(0, y, x);
+          ++n_out;
+        }
+      }
+    EXPECT_GT(inside / n_in, outside / n_out + 0.2);
+  }
+}
+
+TEST(RoadScene, DeterministicGeneration) {
+  const Dataset a = make_road_scene(10, 42);
+  const Dataset b = make_road_scene(10, 42);
+  EXPECT_EQ(trace::dataset_fingerprint(a), trace::dataset_fingerprint(b));
+  const Dataset c = make_road_scene(10, 43);
+  EXPECT_NE(trace::dataset_fingerprint(a), trace::dataset_fingerprint(c));
+}
+
+TEST(RailwayObstacle, BinaryBalanced) {
+  const Dataset ds = make_railway_obstacle(30, 1);
+  EXPECT_EQ(ds.num_classes, 2u);
+  std::size_t pos = 0;
+  for (const auto& s : ds.samples) {
+    EXPECT_LT(s.label, 2u);
+    pos += s.label;
+    if (s.label == 1) {
+      EXPECT_TRUE(s.signal.has_value());
+    }
+  }
+  EXPECT_EQ(pos, 15u);
+}
+
+TEST(SatelliteTelemetry, NominalHasNoAnomalies) {
+  const Dataset ds = make_satellite_telemetry(50, 1, 0.0);
+  for (const auto& s : ds.samples) EXPECT_EQ(s.label, 0u);
+  EXPECT_EQ(ds.input_shape, tensor::Shape::vec(kTelemetryDim));
+}
+
+TEST(SatelliteTelemetry, AnomalyFractionRoughlyRespected) {
+  const Dataset ds = make_satellite_telemetry(400, 2, 0.5);
+  std::size_t anomalies = 0;
+  for (const auto& s : ds.samples) anomalies += s.label;
+  EXPECT_GT(anomalies, 140u);
+  EXPECT_LT(anomalies, 260u);
+}
+
+TEST(Corruption, PreservesLabelsAndShape) {
+  const Dataset ds = make_road_scene(12, 5);
+  for (const Corruption c :
+       {Corruption::kGaussianNoise, Corruption::kInvert, Corruption::kFog,
+        Corruption::kUniformRandom}) {
+    const Dataset cor = corrupt(ds, c, 9);
+    ASSERT_EQ(cor.samples.size(), ds.samples.size());
+    for (std::size_t i = 0; i < ds.samples.size(); ++i) {
+      EXPECT_EQ(cor.samples[i].label, ds.samples[i].label);
+      EXPECT_EQ(cor.samples[i].input.shape(), ds.samples[i].input.shape());
+    }
+  }
+}
+
+TEST(Corruption, InvertIsExactComplement) {
+  const Dataset ds = make_road_scene(4, 5);
+  const Dataset inv = corrupt(ds, Corruption::kInvert, 0);
+  for (std::size_t i = 0; i < ds.samples.size(); ++i)
+    for (std::size_t k = 0; k < ds.samples[i].input.size(); ++k)
+      EXPECT_FLOAT_EQ(inv.samples[i].input.at(k),
+                      1.0f - ds.samples[i].input.at(k));
+}
+
+TEST(Corruption, ActuallyChangesData) {
+  const Dataset ds = make_road_scene(4, 5);
+  for (const Corruption c :
+       {Corruption::kGaussianNoise, Corruption::kFog,
+        Corruption::kUniformRandom}) {
+    const Dataset cor = corrupt(ds, c, 7);
+    EXPECT_NE(trace::dataset_fingerprint(cor), trace::dataset_fingerprint(ds))
+        << to_string(c);
+  }
+}
+
+TEST(Split, PartitionsWithoutLoss) {
+  const Dataset ds = make_road_scene(100, 6);
+  Dataset train, test;
+  split(ds, 0.8, train, test);
+  EXPECT_EQ(train.samples.size(), 80u);
+  EXPECT_EQ(test.samples.size(), 20u);
+  EXPECT_EQ(train.num_classes, ds.num_classes);
+}
+
+TEST(Split, RejectsDegenerateFraction) {
+  const Dataset ds = make_road_scene(10, 6);
+  Dataset a, b;
+  EXPECT_THROW(split(ds, 0.0, a, b), std::invalid_argument);
+  EXPECT_THROW(split(ds, 1.0, a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sx::dl

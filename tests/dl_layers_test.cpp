@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dl/layers.hpp"
+#include "util/rng.hpp"
+
+namespace sx::dl {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// Finite-difference check of layer->backward against layer->forward.
+/// Verifies both dL/dinput and dL/dparams for the scalar loss
+/// L = sum(weights_r * out) with random r.
+void gradient_check(Layer& layer, const Shape& in_shape, std::uint64_t seed,
+                    double tol = 2e-2) {
+  util::Xoshiro256 rng{seed};
+  Tensor input{in_shape};
+  input.init_uniform(rng, -1.0f, 1.0f);
+  const Shape out_shape = layer.output_shape(in_shape);
+  Tensor r{out_shape};
+  r.init_uniform(rng, -1.0f, 1.0f);
+
+  auto loss = [&](const Tensor& x) {
+    Tensor out{out_shape};
+    EXPECT_EQ(layer.forward(x.view(), out.view()), Status::kOk);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i)
+      acc += static_cast<double>(r.at(i)) * out.at(i);
+    return acc;
+  };
+
+  // Analytic gradients.
+  layer.zero_grads();
+  Tensor grad_in{in_shape};
+  ASSERT_EQ(layer.backward(input.view(), r.view(), grad_in.view()),
+            Status::kOk);
+
+  const double eps = 1e-3;
+  // Input gradient check (subsample for large tensors).
+  const std::size_t stride_in = std::max<std::size_t>(1, input.size() / 24);
+  for (std::size_t i = 0; i < input.size(); i += stride_in) {
+    const float saved = input.at(i);
+    input.at(i) = static_cast<float>(saved + eps);
+    const double lp = loss(input);
+    input.at(i) = static_cast<float>(saved - eps);
+    const double lm = loss(input);
+    input.at(i) = saved;
+    const double numeric = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(grad_in.at(i), numeric, tol)
+        << "input grad mismatch at " << i;
+  }
+
+  // Parameter gradient check.
+  auto params = layer.params();
+  auto grads = layer.param_grads();
+  const std::size_t stride_p = std::max<std::size_t>(1, params.size() / 24);
+  for (std::size_t i = 0; i < params.size(); i += stride_p) {
+    const float saved = params[i];
+    params[i] = static_cast<float>(saved + eps);
+    const double lp = loss(input);
+    params[i] = static_cast<float>(saved - eps);
+    const double lm = loss(input);
+    params[i] = saved;
+    const double numeric = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(grads[i], numeric, tol) << "param grad mismatch at " << i;
+  }
+}
+
+// ------------------------------------------------------------------- Dense
+
+TEST(Dense, ForwardKnownValues) {
+  Dense d{2, 2};
+  auto p = d.params();
+  // W = [[1,2],[3,4]], b = [0.5, -0.5]
+  p[0] = 1;
+  p[1] = 2;
+  p[2] = 3;
+  p[3] = 4;
+  p[4] = 0.5f;
+  p[5] = -0.5f;
+  Tensor in{Shape::vec(2), {1, 1}};
+  Tensor out{Shape::vec(2)};
+  ASSERT_EQ(d.forward(in.view(), out.view()), Status::kOk);
+  EXPECT_FLOAT_EQ(out.at(std::size_t{0}), 3.5f);
+  EXPECT_FLOAT_EQ(out.at(std::size_t{1}), 6.5f);
+}
+
+TEST(Dense, OutputShapeValidatesInput) {
+  Dense d{4, 2};
+  EXPECT_EQ(d.output_shape(Shape::vec(4)), Shape::vec(2));
+  EXPECT_EQ(d.output_shape(Shape::mat(2, 2)), Shape::vec(2));  // size matches
+  EXPECT_THROW(d.output_shape(Shape::vec(3)), std::invalid_argument);
+}
+
+TEST(Dense, GradientCheck) {
+  Dense d{5, 4};
+  util::Xoshiro256 rng{3};
+  d.init(rng);
+  gradient_check(d, Shape::vec(5), 101);
+}
+
+TEST(Dense, CloneIsDeep) {
+  Dense d{2, 2};
+  util::Xoshiro256 rng{4};
+  d.init(rng);
+  auto c = d.clone();
+  d.params()[0] += 1.0f;
+  EXPECT_NE(d.params()[0], c->params()[0]);
+}
+
+TEST(Dense, RejectsZeroDims) {
+  EXPECT_THROW(Dense(0, 3), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- Relu
+
+TEST(Relu, GradientCheck) {
+  Relu r;
+  gradient_check(r, Shape::vec(10), 7);
+}
+
+TEST(Relu, GradientBlocksNegatives) {
+  Relu r;
+  Tensor in{Shape::vec(2), {-1.0f, 1.0f}};
+  Tensor go{Shape::vec(2), {1.0f, 1.0f}};
+  Tensor gi{Shape::vec(2)};
+  ASSERT_EQ(r.backward(in.view(), go.view(), gi.view()), Status::kOk);
+  EXPECT_EQ(gi.at(std::size_t{0}), 0.0f);
+  EXPECT_EQ(gi.at(std::size_t{1}), 1.0f);
+}
+
+// ------------------------------------------------------------------ Conv2d
+
+TEST(Conv2d, OutputShapeArithmetic) {
+  Conv2d c{1, 4, 3, 1, 1};
+  EXPECT_EQ(c.output_shape(Shape::chw(1, 8, 8)), Shape::chw(4, 8, 8));
+  Conv2d s{1, 2, 3, 2, 0};
+  EXPECT_EQ(s.output_shape(Shape::chw(1, 7, 7)), Shape::chw(2, 3, 3));
+  EXPECT_THROW(c.output_shape(Shape::chw(2, 8, 8)), std::invalid_argument);
+  EXPECT_THROW(c.output_shape(Shape::vec(64)), std::invalid_argument);
+}
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  // 1x1 kernel with weight 1, bias 0: output == input.
+  Conv2d c{1, 1, 1};
+  c.params()[0] = 1.0f;
+  c.params()[1] = 0.0f;
+  Tensor in{Shape::chw(1, 3, 3)};
+  util::Xoshiro256 rng{5};
+  in.init_uniform(rng, -1, 1);
+  Tensor out{Shape::chw(1, 3, 3)};
+  ASSERT_EQ(c.forward(in.view(), out.view()), Status::kOk);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    EXPECT_FLOAT_EQ(out.at(i), in.at(i));
+}
+
+TEST(Conv2d, AveragingKernelKnownValue) {
+  // 3x3 kernel of 1/9 over a constant image = the constant.
+  Conv2d c{1, 1, 3, 1, 0};
+  for (int i = 0; i < 9; ++i) c.params()[static_cast<std::size_t>(i)] = 1.0f / 9.0f;
+  c.params()[9] = 0.0f;
+  Tensor in{Shape::chw(1, 5, 5)};
+  in.fill(2.0f);
+  Tensor out{Shape::chw(1, 3, 3)};
+  ASSERT_EQ(c.forward(in.view(), out.view()), Status::kOk);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_NEAR(out.at(i), 2.0f, 1e-6f);
+}
+
+TEST(Conv2d, PaddingContributesZeros) {
+  // Sum kernel with padding: corner output sees only 4 of 9 inputs.
+  Conv2d c{1, 1, 3, 1, 1};
+  for (int i = 0; i < 9; ++i) c.params()[static_cast<std::size_t>(i)] = 1.0f;
+  c.params()[9] = 0.0f;
+  Tensor in{Shape::chw(1, 3, 3)};
+  in.fill(1.0f);
+  Tensor out{Shape::chw(1, 3, 3)};
+  ASSERT_EQ(c.forward(in.view(), out.view()), Status::kOk);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 4.0f);  // corner
+  EXPECT_FLOAT_EQ(out.at(0, 1, 1), 9.0f);  // center
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1), 6.0f);  // edge
+}
+
+TEST(Conv2d, GradientCheck) {
+  Conv2d c{2, 3, 3, 1, 1};
+  util::Xoshiro256 rng{9};
+  c.init(rng);
+  gradient_check(c, Shape::chw(2, 5, 5), 202);
+}
+
+TEST(Conv2d, GradientCheckStride2) {
+  Conv2d c{1, 2, 3, 2, 0};
+  util::Xoshiro256 rng{10};
+  c.init(rng);
+  gradient_check(c, Shape::chw(1, 7, 7), 203);
+}
+
+// ----------------------------------------------------------------- pooling
+
+TEST(MaxPool2d, SelectsWindowMaximum) {
+  MaxPool2d p{2};
+  Tensor in{Shape::chw(1, 2, 2), {1, 5, 3, 2}};
+  Tensor out{Shape::chw(1, 1, 1)};
+  ASSERT_EQ(p.forward(in.view(), out.view()), Status::kOk);
+  EXPECT_FLOAT_EQ(out.at(std::size_t{0}), 5.0f);
+}
+
+TEST(MaxPool2d, ShapeRequiresDivisibility) {
+  MaxPool2d p{2};
+  EXPECT_THROW(p.output_shape(Shape::chw(1, 5, 4)), std::invalid_argument);
+  EXPECT_EQ(p.output_shape(Shape::chw(3, 4, 6)), Shape::chw(3, 2, 3));
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmax) {
+  MaxPool2d p{2};
+  Tensor in{Shape::chw(1, 2, 2), {1, 5, 3, 2}};
+  Tensor go{Shape::chw(1, 1, 1), {2.0f}};
+  Tensor gi{Shape::chw(1, 2, 2)};
+  ASSERT_EQ(p.backward(in.view(), go.view(), gi.view()), Status::kOk);
+  EXPECT_FLOAT_EQ(gi.at(std::size_t{1}), 2.0f);
+  EXPECT_FLOAT_EQ(gi.at(std::size_t{0}), 0.0f);
+}
+
+TEST(AvgPool2d, AveragesWindow) {
+  AvgPool2d p{2};
+  Tensor in{Shape::chw(1, 2, 2), {1, 5, 3, 3}};
+  Tensor out{Shape::chw(1, 1, 1)};
+  ASSERT_EQ(p.forward(in.view(), out.view()), Status::kOk);
+  EXPECT_FLOAT_EQ(out.at(std::size_t{0}), 3.0f);
+}
+
+TEST(AvgPool2d, GradientCheck) {
+  AvgPool2d p{2};
+  gradient_check(p, Shape::chw(2, 4, 4), 303);
+}
+
+// ----------------------------------------------------------------- Flatten
+
+TEST(Flatten, PreservesDataAndSize) {
+  Flatten f;
+  Tensor in{Shape::chw(2, 2, 2), {1, 2, 3, 4, 5, 6, 7, 8}};
+  Tensor out{Shape::vec(8)};
+  ASSERT_EQ(f.forward(in.view(), out.view()), Status::kOk);
+  EXPECT_FLOAT_EQ(out.at(std::size_t{5}), 6.0f);
+}
+
+// ----------------------------------------------------------------- Softmax
+
+TEST(Softmax, GradientCheck) {
+  Softmax s;
+  gradient_check(s, Shape::vec(6), 404, 1e-2);
+}
+
+TEST(Softmax, RequiresRank1) {
+  Softmax s;
+  EXPECT_THROW(s.output_shape(Shape::mat(2, 3)), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- BatchNorm
+
+TEST(BatchNorm, IdentityWithDefaultStats) {
+  BatchNorm bn{2};
+  Tensor in{Shape::chw(2, 1, 2), {1, 2, 3, 4}};
+  Tensor out{Shape::chw(2, 1, 2)};
+  ASSERT_EQ(bn.forward(in.view(), out.view()), Status::kOk);
+  // gamma=1, beta=0, mean=0, var=1 -> approximately identity.
+  for (std::size_t i = 0; i < in.size(); ++i)
+    EXPECT_NEAR(out.at(i), in.at(i), 1e-4f);
+}
+
+TEST(BatchNorm, NormalizesWithStatistics) {
+  BatchNorm bn{1};
+  const std::vector<float> mean{2.0f};
+  const std::vector<float> var{4.0f};
+  bn.set_statistics(mean, var);
+  Tensor in{Shape::vec(2), {2.0f, 4.0f}};
+  Tensor out{Shape::vec(2)};
+  ASSERT_EQ(bn.forward(in.view(), out.view()), Status::kOk);
+  EXPECT_NEAR(out.at(std::size_t{0}), 0.0f, 1e-4f);
+  EXPECT_NEAR(out.at(std::size_t{1}), 1.0f, 1e-3f);
+}
+
+TEST(BatchNorm, GradientCheck) {
+  BatchNorm bn{3};
+  const std::vector<float> mean{0.1f, -0.2f, 0.3f};
+  const std::vector<float> var{1.5f, 0.5f, 2.0f};
+  bn.set_statistics(mean, var);
+  gradient_check(bn, Shape::chw(3, 2, 2), 505);
+}
+
+TEST(BatchNorm, RejectsWrongChannelCount) {
+  BatchNorm bn{2};
+  EXPECT_THROW(bn.output_shape(Shape::chw(3, 2, 2)), std::invalid_argument);
+  const std::vector<float> one{0.0f};
+  EXPECT_THROW(bn.set_statistics(one, one), std::invalid_argument);
+}
+
+// Property sweep: every parametric layer's gradient check passes for
+// multiple random seeds.
+class DenseGradProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DenseGradProperty, Passes) {
+  Dense d{6, 3};
+  util::Xoshiro256 rng{GetParam()};
+  d.init(rng);
+  gradient_check(d, Shape::vec(6), GetParam() * 31 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DenseGradProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+class ConvGradProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConvGradProperty, Passes) {
+  Conv2d c{1, 2, 3, 1, 1};
+  util::Xoshiro256 rng{GetParam()};
+  c.init(rng);
+  gradient_check(c, Shape::chw(1, 4, 4), GetParam() * 17 + 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConvGradProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace sx::dl

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dl/engine.hpp"
+#include "dl/model.hpp"
+#include "dl/quant.hpp"
+#include "dl/train.hpp"
+#include "test_helpers.hpp"
+
+namespace sx::dl {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Model small_mlp(std::uint64_t seed = 1) {
+  ModelBuilder b{Shape::vec(4)};
+  b.dense(8).relu().dense(3);
+  return b.build(seed);
+}
+
+// ----------------------------------------------------------------- builder
+
+TEST(ModelBuilder, TracksShapesThroughLayers) {
+  ModelBuilder b{Shape::chw(1, 8, 8)};
+  b.conv2d(4, 3, 1, 1).relu().maxpool(2).flatten().dense(10);
+  Model m = b.build(1);
+  EXPECT_EQ(m.output_shape(), Shape::vec(10));
+  EXPECT_EQ(m.activation_shape(0), Shape::chw(4, 8, 8));
+  EXPECT_EQ(m.activation_shape(2), Shape::chw(4, 4, 4));
+}
+
+TEST(ModelBuilder, RejectsIncompatibleLayers) {
+  ModelBuilder b{Shape::vec(16)};
+  EXPECT_THROW(b.conv2d(2, 3), std::invalid_argument);  // vector input
+  ModelBuilder b2{Shape::chw(1, 5, 5)};
+  EXPECT_THROW(b2.maxpool(2), std::invalid_argument);  // 5 not divisible
+}
+
+TEST(ModelBuilder, SameSeedSameParameters) {
+  Model a = small_mlp(77);
+  Model b = small_mlp(77);
+  EXPECT_EQ(a.provenance_hash(), b.provenance_hash());
+  Model c = small_mlp(78);
+  EXPECT_NE(a.provenance_hash(), c.provenance_hash());
+}
+
+TEST(Model, RequiresAtLeastOneLayer) {
+  std::vector<std::unique_ptr<Layer>> none;
+  EXPECT_THROW(Model(Shape::vec(2), std::move(none)), std::invalid_argument);
+}
+
+TEST(Model, ParamCountSums) {
+  Model m = small_mlp();
+  EXPECT_EQ(m.param_count(), 4u * 8 + 8 + 8 * 3 + 3);
+}
+
+TEST(Model, MaxActivationSize) {
+  Model m = small_mlp();
+  EXPECT_EQ(m.max_activation_size(), 8u);
+}
+
+// ----------------------------------------------------------------- forward
+
+TEST(Model, ForwardRejectsWrongShape) {
+  Model m = small_mlp();
+  Tensor bad{Shape::vec(5)};
+  EXPECT_THROW(m.forward(bad), std::invalid_argument);
+}
+
+TEST(Model, ForwardTraceKeepsAllActivations) {
+  Model m = small_mlp();
+  Tensor in{Shape::vec(4), {1, 2, 3, 4}};
+  const auto acts = m.forward_trace(in);
+  ASSERT_EQ(acts.size(), m.layer_count() + 1);
+  EXPECT_EQ(acts.front().shape(), Shape::vec(4));
+  EXPECT_EQ(acts.back().shape(), Shape::vec(3));
+  // Final trace activation equals plain forward.
+  const Tensor out = m.forward(in);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_FLOAT_EQ(acts.back().at(i), out.at(i));
+}
+
+TEST(Model, CopyIsDeep) {
+  Model a = small_mlp();
+  Model b = a;
+  b.layer(0).params()[0] += 1.0f;
+  EXPECT_NE(a.provenance_hash(), b.provenance_hash());
+}
+
+TEST(Model, SummaryMentionsLayers) {
+  Model m = small_mlp();
+  const std::string s = m.summary();
+  EXPECT_NE(s.find("dense"), std::string::npos);
+  EXPECT_NE(s.find("relu"), std::string::npos);
+}
+
+// ----------------------------------------------------------- save / load
+
+TEST(ModelIo, RoundTripPreservesEverything) {
+  ModelBuilder b{Shape::chw(1, 8, 8)};
+  b.conv2d(2, 3, 1, 1).relu().maxpool(2).flatten().batchnorm().dense(5)
+      .relu().dense(3);
+  Model m = b.build(123);
+
+  std::stringstream ss;
+  m.save(ss);
+  Model loaded = Model::load(ss);
+  EXPECT_EQ(loaded.provenance_hash(), m.provenance_hash());
+
+  // Behaviour identical, bit for bit.
+  Tensor in{Shape::chw(1, 8, 8)};
+  util::Xoshiro256 rng{5};
+  in.init_uniform(rng, 0.0f, 1.0f);
+  const Tensor a = m.forward(in);
+  const Tensor c = loaded.forward(in);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.at(i), c.at(i));
+}
+
+TEST(ModelIo, RejectsGarbage) {
+  std::stringstream ss{"not a model"};
+  EXPECT_THROW(Model::load(ss), std::runtime_error);
+}
+
+TEST(ModelIo, RoundTripWithSoftmaxAndAvgPool) {
+  ModelBuilder b{Shape::chw(1, 4, 4)};
+  b.avgpool(2).flatten().dense(3).softmax();
+  Model m = b.build(9);
+  std::stringstream ss;
+  m.save(ss);
+  Model loaded = Model::load(ss);
+  EXPECT_EQ(loaded.provenance_hash(), m.provenance_hash());
+}
+
+// ---------------------------------------------------------------- training
+
+TEST(Loss, CrossEntropyMatchesHandComputation) {
+  const std::vector<float> logits{1.0f, 2.0f, 3.0f};
+  std::vector<float> grad(3);
+  const double loss = cross_entropy_with_grad(logits, 2, grad);
+  // softmax = e^{l - max} / sum; p2 = e^0 / (e^-2 + e^-1 + 1)
+  const double p2 = 1.0 / (std::exp(-2.0) + std::exp(-1.0) + 1.0);
+  EXPECT_NEAR(loss, -std::log(p2), 1e-6);
+  // Gradient sums to zero (softmax - onehot).
+  EXPECT_NEAR(grad[0] + grad[1] + grad[2], 0.0, 1e-6);
+  EXPECT_LT(grad[2], 0.0);
+}
+
+TEST(Loss, RejectsBadLabel) {
+  const std::vector<float> logits{1.0f, 2.0f};
+  std::vector<float> grad(2);
+  EXPECT_THROW(cross_entropy_with_grad(logits, 5, grad),
+               std::invalid_argument);
+}
+
+TEST(Trainer, LearnsLinearlySeparableToy) {
+  // Class 0: x0 > x1; class 1: otherwise.
+  Dataset ds;
+  ds.num_classes = 2;
+  ds.input_shape = Shape::vec(2);
+  util::Xoshiro256 rng{1};
+  for (int i = 0; i < 200; ++i) {
+    Sample s;
+    s.input = Tensor{Shape::vec(2)};
+    s.input.init_uniform(rng, -1.0f, 1.0f);
+    s.label = s.input.at(std::size_t{0}) > s.input.at(std::size_t{1}) ? 0 : 1;
+    ds.samples.push_back(std::move(s));
+  }
+  ModelBuilder b{Shape::vec(2)};
+  b.dense(8).relu().dense(2);
+  Model m = b.build(2);
+  Trainer trainer{TrainConfig{.learning_rate = 0.1, .epochs = 20,
+                              .batch_size = 8, .shuffle_seed = 4}};
+  const auto history = trainer.fit(m, ds);
+  EXPECT_GT(history.back().accuracy, 0.95);
+  EXPECT_LT(history.back().loss, history.front().loss);
+}
+
+TEST(Trainer, RoadSceneMlpReachesUsableAccuracy) {
+  const double acc =
+      Trainer::evaluate_accuracy(sx::testing::trained_mlp(),
+                                 sx::testing::road_data());
+  EXPECT_GT(acc, 0.8);
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+  auto make = [] {
+    ModelBuilder b{Shape::vec(4)};
+    b.dense(6).relu().dense(2);
+    Model m = b.build(3);
+    Dataset ds;
+    ds.num_classes = 2;
+    ds.input_shape = Shape::vec(4);
+    util::Xoshiro256 rng{8};
+    for (int i = 0; i < 64; ++i) {
+      Sample s;
+      s.input = Tensor{Shape::vec(4)};
+      s.input.init_uniform(rng, 0.0f, 1.0f);
+      s.label = static_cast<std::size_t>(i % 2);
+      ds.samples.push_back(std::move(s));
+    }
+    Trainer t{TrainConfig{.epochs = 3, .shuffle_seed = 5}};
+    t.fit(m, ds);
+    return m.provenance_hash();
+  };
+  EXPECT_EQ(make(), make());
+}
+
+TEST(Trainer, RejectsEmptyDataset) {
+  Model m = small_mlp();
+  Dataset empty;
+  Trainer t;
+  EXPECT_THROW(t.fit(m, empty), std::invalid_argument);
+}
+
+// ------------------------------------------------------ batchnorm folding
+
+TEST(FoldBatchNorm, FoldedModelMatchesOriginal) {
+  ModelBuilder b{Shape::chw(1, 8, 8)};
+  b.conv2d(3, 3, 1, 1).batchnorm().relu().flatten().dense(4);
+  Model m = b.build(21);
+  // Give the BatchNorm non-trivial statistics.
+  auto& bn = dynamic_cast<BatchNorm&>(m.layer(1));
+  const std::vector<float> mean{0.2f, -0.1f, 0.4f};
+  const std::vector<float> var{1.3f, 0.7f, 2.1f};
+  bn.set_statistics(mean, var);
+  auto gamma_beta = bn.params();
+  gamma_beta[0] = 1.2f;
+  gamma_beta[3] = 0.1f;  // beta of channel 0
+
+  const Model folded = fold_batchnorm(m);
+  EXPECT_EQ(folded.layer_count(), m.layer_count() - 1);
+
+  Tensor in{Shape::chw(1, 8, 8)};
+  util::Xoshiro256 rng{31};
+  in.init_uniform(rng, 0.0f, 1.0f);
+  const Tensor a = m.forward(in);
+  const Tensor c = folded.forward(in);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(a.at(i), c.at(i), 1e-4f);
+}
+
+TEST(FoldBatchNorm, RejectsLeadingBatchNorm) {
+  ModelBuilder b{Shape::chw(1, 4, 4)};
+  b.batchnorm().flatten().dense(2);
+  Model m = b.build(1);
+  EXPECT_THROW(fold_batchnorm(m), std::invalid_argument);
+}
+
+TEST(CalibrateBatchNorm, SetsDataStatistics) {
+  ModelBuilder b{Shape::vec(4)};
+  b.dense(6).batchnorm().relu().dense(2);
+  Model m = b.build(12);
+  Dataset ds;
+  ds.num_classes = 2;
+  ds.input_shape = Shape::vec(4);
+  util::Xoshiro256 rng{13};
+  for (int i = 0; i < 50; ++i) {
+    Sample s;
+    s.input = Tensor{Shape::vec(4)};
+    s.input.init_uniform(rng, 0.0f, 1.0f);
+    s.label = 0;
+    ds.samples.push_back(std::move(s));
+  }
+  calibrate_batchnorm(m, ds);
+  const auto& bn = dynamic_cast<const BatchNorm&>(m.layer(1));
+  // After calibration the running variance reflects the data, not 1.0.
+  EXPECT_NE(bn.running_var()[0], 1.0f);
+  // And forward still works.
+  EXPECT_NO_THROW(m.forward(ds.samples[0].input));
+}
+
+}  // namespace
+}  // namespace sx::dl

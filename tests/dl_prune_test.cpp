@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "dl/prune.hpp"
+#include "dl/quant.hpp"
+#include "dl/train.hpp"
+#include "test_helpers.hpp"
+#include "trace/safety_case.hpp"
+
+namespace sx::dl {
+namespace {
+
+TEST(Prune, SparsityMatchesRequestedFraction) {
+  Model m = sx::testing::trained_mlp();
+  const PruneReport rep = prune_by_magnitude(m, 0.5);
+  EXPECT_GT(rep.total_weights, 0u);
+  EXPECT_NEAR(rep.sparsity(), 0.5, 0.02);
+  EXPECT_NEAR(measured_sparsity(m), 0.5, 0.02);
+}
+
+TEST(Prune, ZeroFractionIsNoOp) {
+  Model m = sx::testing::trained_mlp();
+  const auto h = m.provenance_hash();
+  const PruneReport rep = prune_by_magnitude(m, 0.0);
+  EXPECT_EQ(rep.pruned_weights, 0u);
+  EXPECT_EQ(m.provenance_hash(), h);
+}
+
+TEST(Prune, FullFractionZeroesEverything) {
+  Model m = sx::testing::trained_mlp();
+  prune_by_magnitude(m, 1.0);
+  EXPECT_NEAR(measured_sparsity(m), 1.0, 1e-9);
+}
+
+TEST(Prune, ModerateSparsityPreservesAccuracy) {
+  Model m = sx::testing::trained_mlp();
+  const double before = Trainer::evaluate_accuracy(m, sx::testing::road_data());
+  prune_by_magnitude(m, 0.3);
+  const double after = Trainer::evaluate_accuracy(m, sx::testing::road_data());
+  EXPECT_GT(after, before - 0.1)
+      << "30% magnitude pruning should cost little accuracy";
+}
+
+TEST(Prune, AggressiveSparsityDegrades) {
+  Model m = sx::testing::trained_mlp();
+  prune_by_magnitude(m, 0.98);
+  const double after = Trainer::evaluate_accuracy(m, sx::testing::road_data());
+  EXPECT_LT(after, 0.9) << "98% pruning should visibly hurt";
+}
+
+TEST(Prune, RejectsBadFraction) {
+  Model m = sx::testing::trained_mlp();
+  EXPECT_THROW(prune_by_magnitude(m, -0.1), std::invalid_argument);
+  EXPECT_THROW(prune_by_magnitude(m, 1.1), std::invalid_argument);
+}
+
+TEST(Prune, WorksOnConvModels) {
+  Model m = sx::testing::trained_cnn();
+  const PruneReport rep = prune_by_magnitude(m, 0.4);
+  EXPECT_NEAR(rep.sparsity(), 0.4, 0.02);
+}
+
+TEST(Prune, ComposesWithQuantization) {
+  Model m = sx::testing::trained_mlp();
+  prune_by_magnitude(m, 0.3);
+  QuantizedModel qm = QuantizedModel::quantize(m, sx::testing::road_data());
+  const double qacc = qm.evaluate_accuracy(sx::testing::road_data());
+  EXPECT_GT(qacc, 0.7) << "pruned+quantized model should remain usable";
+}
+
+// -------------------------------------------------- safety case DOT export
+
+TEST(SafetyCaseDot, RendersValidDigraph) {
+  trace::SafetyCase sc;
+  const auto root = sc.set_root_goal("G0", "safe");
+  const auto s = sc.add_strategy(root, "S1", "by \"pillar\"");
+  sc.add_solution(s, "Sn1", "evidence");
+  const std::string dot = sc.to_dot();
+  EXPECT_NE(dot.find("digraph safety_case"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("shape=parallelogram"), std::string::npos);
+  EXPECT_NE(dot.find("shape=circle"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  // Quotes in labels are escaped.
+  EXPECT_NE(dot.find("\\\"pillar\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sx::dl

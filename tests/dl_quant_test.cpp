@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "dl/quant.hpp"
+#include "dl/train.hpp"
+#include "test_helpers.hpp"
+
+namespace sx::dl {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(QuantizeValue, RoundsAndClamps) {
+  EXPECT_EQ(quantize_value(0.0f, 0.1f), 0);
+  EXPECT_EQ(quantize_value(0.25f, 0.1f), 3);   // 2.5 rounds away from zero
+  EXPECT_EQ(quantize_value(-0.25f, 0.1f), -3);
+  EXPECT_EQ(quantize_value(100.0f, 0.1f), 127);
+  EXPECT_EQ(quantize_value(-100.0f, 0.1f), -127);
+}
+
+TEST(QuantizedModel, RequiresCalibrationData) {
+  const Model& m = sx::testing::trained_mlp();
+  Dataset empty;
+  EXPECT_THROW(QuantizedModel::quantize(m, empty), std::invalid_argument);
+}
+
+TEST(QuantizedModel, RejectsUnfoldedBatchNorm) {
+  ModelBuilder b{Shape::vec(4)};
+  b.dense(4).batchnorm().relu().dense(2);
+  Model m = b.build(1);
+  Dataset ds;
+  ds.num_classes = 2;
+  ds.input_shape = Shape::vec(4);
+  Sample s;
+  s.input = Tensor{Shape::vec(4), {0.1f, 0.2f, 0.3f, 0.4f}};
+  ds.samples.push_back(std::move(s));
+  EXPECT_THROW(QuantizedModel::quantize(m, ds), std::invalid_argument);
+}
+
+TEST(QuantizedModel, MlpAccuracyCloseToFloat) {
+  const Model& m = sx::testing::trained_mlp();
+  const auto& ds = sx::testing::road_data();
+  QuantizedModel qm = QuantizedModel::quantize(m, ds);
+  const double facc = Trainer::evaluate_accuracy(m, ds);
+  const double qacc = qm.evaluate_accuracy(ds);
+  EXPECT_GT(qacc, facc - 0.05) << "int8 lost more than 5% accuracy";
+}
+
+TEST(QuantizedModel, CnnAccuracyCloseToFloat) {
+  const Model& m = sx::testing::trained_cnn();
+  const auto& ds = sx::testing::road_data();
+  QuantizedModel qm = QuantizedModel::quantize(m, ds);
+  const double facc = Trainer::evaluate_accuracy(m, ds);
+  const double qacc = qm.evaluate_accuracy(ds);
+  EXPECT_GT(qacc, facc - 0.05);
+}
+
+TEST(QuantizedModel, PerChannelAtLeastAsAccurateAsPerTensor) {
+  const Model& m = sx::testing::trained_cnn();
+  const auto& ds = sx::testing::road_data();
+  QuantizedModel per_channel = QuantizedModel::quantize(
+      m, ds, QuantConfig{WeightGranularity::kPerChannel});
+  QuantizedModel per_tensor = QuantizedModel::quantize(
+      m, ds, QuantConfig{WeightGranularity::kPerTensor});
+  EXPECT_GE(per_channel.evaluate_accuracy(ds),
+            per_tensor.evaluate_accuracy(ds) - 0.02);
+}
+
+TEST(QuantizedModel, WeightFootprintShrinks) {
+  const Model& m = sx::testing::trained_mlp();
+  const auto& ds = sx::testing::road_data();
+  QuantizedModel qm = QuantizedModel::quantize(m, ds);
+  const std::size_t float_bytes = m.param_count() * sizeof(float);
+  EXPECT_LT(qm.weight_bytes(), float_bytes / 2);
+}
+
+TEST(QuantizedModel, RunIsDeterministic) {
+  const Model& m = sx::testing::trained_mlp();
+  const auto& ds = sx::testing::road_data();
+  QuantizedModel qm = QuantizedModel::quantize(m, ds);
+  std::vector<float> a(m.output_shape().size()), b(a.size());
+  ASSERT_EQ(qm.run(ds.samples[3].input.view(), a), Status::kOk);
+  ASSERT_EQ(qm.run(ds.samples[3].input.view(), b), Status::kOk);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(QuantizedModel, RejectsWrongInputShape) {
+  const Model& m = sx::testing::trained_mlp();
+  const auto& ds = sx::testing::road_data();
+  QuantizedModel qm = QuantizedModel::quantize(m, ds);
+  Tensor bad{Shape::vec(7)};
+  std::vector<float> out(m.output_shape().size());
+  EXPECT_EQ(qm.run(bad.view(), out), Status::kShapeMismatch);
+}
+
+TEST(QuantizedModel, LogitsCorrelateWithFloat) {
+  const Model& m = sx::testing::trained_mlp();
+  const auto& ds = sx::testing::road_data();
+  QuantizedModel qm = QuantizedModel::quantize(m, ds);
+  std::vector<float> q(m.output_shape().size());
+  std::size_t agree = 0;
+  const std::size_t n = 100;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tensor f = m.forward(ds.samples[i].input);
+    ASSERT_EQ(qm.run(ds.samples[i].input.view(), q), Status::kOk);
+    std::size_t fa = 0, qa = 0;
+    for (std::size_t k = 1; k < q.size(); ++k) {
+      if (f.at(k) > f.at(fa)) fa = k;
+      if (q[k] > q[qa]) qa = k;
+    }
+    agree += (fa == qa) ? 1 : 0;
+  }
+  EXPECT_GT(agree, n * 9 / 10) << "argmax agreement below 90%";
+}
+
+TEST(QuantizedModel, GranularityIsRecorded) {
+  const Model& m = sx::testing::trained_mlp();
+  const auto& ds = sx::testing::road_data();
+  QuantizedModel qm = QuantizedModel::quantize(
+      m, ds, QuantConfig{WeightGranularity::kPerTensor});
+  EXPECT_EQ(qm.granularity(), WeightGranularity::kPerTensor);
+  EXPECT_STREQ(to_string(qm.granularity()), "per-tensor");
+}
+
+TEST(QuantizedModel, AvgPoolModelWorks) {
+  ModelBuilder b{Shape::chw(1, 8, 8)};
+  b.conv2d(2, 3, 1, 1).relu().avgpool(2).flatten().dense(3);
+  Model m = b.build(44);
+  Dataset ds = make_road_scene(32, 5);
+  // Reshape dataset to 8x8 is not possible — build a matching toy dataset.
+  Dataset toy;
+  toy.num_classes = 3;
+  toy.input_shape = Shape::chw(1, 8, 8);
+  util::Xoshiro256 rng{6};
+  for (int i = 0; i < 16; ++i) {
+    Sample s;
+    s.input = Tensor{toy.input_shape};
+    s.input.init_uniform(rng, 0.0f, 1.0f);
+    s.label = static_cast<std::size_t>(i % 3);
+    toy.samples.push_back(std::move(s));
+  }
+  QuantizedModel qm = QuantizedModel::quantize(m, toy);
+  std::vector<float> out(3);
+  EXPECT_EQ(qm.run(toy.samples[0].input.view(), out), Status::kOk);
+}
+
+}  // namespace
+}  // namespace sx::dl

@@ -1,0 +1,200 @@
+// Tests for the trainer extensions (Adam, augmentation, adversarial
+// training) and the Sigmoid/Tanh layers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dl/layers.hpp"
+#include "dl/model.hpp"
+#include "dl/train.hpp"
+#include "test_helpers.hpp"
+#include "verify/attack.hpp"
+
+namespace sx::dl {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Dataset toy_dataset(std::size_t n, std::uint64_t seed) {
+  Dataset ds;
+  ds.num_classes = 2;
+  ds.input_shape = Shape::vec(4);
+  util::Xoshiro256 rng{seed};
+  for (std::size_t i = 0; i < n; ++i) {
+    Sample s;
+    s.input = Tensor{Shape::vec(4)};
+    s.input.init_uniform(rng, 0.0f, 1.0f);
+    s.label = (s.input.at(std::size_t{0}) + s.input.at(std::size_t{1}) >
+               s.input.at(std::size_t{2}) + s.input.at(std::size_t{3}))
+                  ? 0
+                  : 1;
+    ds.samples.push_back(std::move(s));
+  }
+  return ds;
+}
+
+// ----------------------------------------------------------- sigmoid/tanh
+
+TEST(Sigmoid, ForwardValues) {
+  Sigmoid s;
+  Tensor in{Shape::vec(3), {0.0f, 100.0f, -100.0f}};
+  Tensor out{Shape::vec(3)};
+  ASSERT_EQ(s.forward(in.view(), out.view()), Status::kOk);
+  EXPECT_NEAR(out.at(std::size_t{0}), 0.5f, 1e-6f);
+  EXPECT_NEAR(out.at(std::size_t{1}), 1.0f, 1e-6f);
+  EXPECT_NEAR(out.at(std::size_t{2}), 0.0f, 1e-6f);
+}
+
+TEST(Tanh, ForwardValues) {
+  Tanh t;
+  Tensor in{Shape::vec(2), {0.0f, 10.0f}};
+  Tensor out{Shape::vec(2)};
+  ASSERT_EQ(t.forward(in.view(), out.view()), Status::kOk);
+  EXPECT_NEAR(out.at(std::size_t{0}), 0.0f, 1e-6f);
+  EXPECT_NEAR(out.at(std::size_t{1}), 1.0f, 1e-4f);
+}
+
+TEST(SigmoidTanh, GradientFiniteDifference) {
+  for (const bool use_tanh : {false, true}) {
+    std::unique_ptr<Layer> layer;
+    if (use_tanh) layer = std::make_unique<Tanh>();
+    else layer = std::make_unique<Sigmoid>();
+    util::Xoshiro256 rng{7};
+    Tensor in{Shape::vec(6)};
+    in.init_uniform(rng, -2.0f, 2.0f);
+    Tensor go{Shape::vec(6)};
+    go.init_uniform(rng, -1.0f, 1.0f);
+    Tensor gi{Shape::vec(6)};
+    ASSERT_EQ(layer->backward(in.view(), go.view(), gi.view()), Status::kOk);
+    const double eps = 1e-3;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      Tensor out{Shape::vec(6)};
+      const float saved = in.at(i);
+      in.at(i) = static_cast<float>(saved + eps);
+      (void)layer->forward(in.view(), out.view());
+      double lp = 0.0;
+      for (std::size_t k = 0; k < 6; ++k) lp += go.at(k) * out.at(k);
+      in.at(i) = static_cast<float>(saved - eps);
+      (void)layer->forward(in.view(), out.view());
+      double lm = 0.0;
+      for (std::size_t k = 0; k < 6; ++k) lm += go.at(k) * out.at(k);
+      in.at(i) = saved;
+      EXPECT_NEAR(gi.at(i), (lp - lm) / (2 * eps), 1e-2);
+    }
+  }
+}
+
+TEST(SigmoidTanh, SerializationRoundTrip) {
+  ModelBuilder b{Shape::vec(4)};
+  b.dense(5).sigmoid().dense(5).tanh_().dense(2);
+  Model m = b.build(3);
+  std::stringstream ss;
+  m.save(ss);
+  Model loaded = Model::load(ss);
+  EXPECT_EQ(loaded.provenance_hash(), m.provenance_hash());
+}
+
+TEST(SigmoidTanh, TrainableInNetwork) {
+  const Dataset ds = toy_dataset(200, 1);
+  ModelBuilder b{Shape::vec(4)};
+  b.dense(8).tanh_().dense(2);
+  Model m = b.build(2);
+  Trainer t{TrainConfig{.learning_rate = 0.1, .epochs = 25,
+                        .batch_size = 8, .shuffle_seed = 3}};
+  const auto hist = t.fit(m, ds);
+  EXPECT_GT(hist.back().accuracy, 0.9);
+}
+
+// -------------------------------------------------------------------- Adam
+
+TEST(Adam, ConvergesOnToyTask) {
+  const Dataset ds = toy_dataset(200, 5);
+  ModelBuilder b{Shape::vec(4)};
+  b.dense(8).relu().dense(2);
+  Model m = b.build(6);
+  Trainer t{TrainConfig{.learning_rate = 0.01, .epochs = 20,
+                        .batch_size = 8, .shuffle_seed = 7,
+                        .optimizer = Optimizer::kAdam}};
+  const auto hist = t.fit(m, ds);
+  EXPECT_GT(hist.back().accuracy, 0.9);
+  EXPECT_LT(hist.back().loss, hist.front().loss);
+}
+
+TEST(Adam, DeterministicGivenSeeds) {
+  auto run = [] {
+    const Dataset ds = toy_dataset(100, 5);
+    ModelBuilder b{Shape::vec(4)};
+    b.dense(6).relu().dense(2);
+    Model m = b.build(6);
+    Trainer t{TrainConfig{.learning_rate = 0.01, .epochs = 5,
+                          .shuffle_seed = 7,
+                          .optimizer = Optimizer::kAdam}};
+    t.fit(m, ds);
+    return m.provenance_hash();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// ------------------------------------------------------------ augmentation
+
+TEST(Augment, PreservesShapeAndRange) {
+  util::Xoshiro256 rng{1};
+  const auto& img = sx::testing::road_data().samples[1].input;
+  for (int i = 0; i < 10; ++i) {
+    const Tensor aug = augment_image(img, rng);
+    EXPECT_EQ(aug.shape(), img.shape());
+    for (std::size_t k = 0; k < aug.size(); ++k) {
+      EXPECT_GE(aug.at(k), 0.0f);
+      EXPECT_LE(aug.at(k), 1.0f);
+    }
+  }
+}
+
+TEST(Augment, PassthroughForVectors) {
+  util::Xoshiro256 rng{1};
+  Tensor v{Shape::vec(8)};
+  v.init_uniform(rng, 0.0f, 1.0f);
+  const Tensor aug = augment_image(v, rng);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(aug.at(i), v.at(i));
+}
+
+TEST(Augment, TrainingStillConverges) {
+  const auto& ds = sx::testing::road_data();
+  ModelBuilder b{ds.input_shape};
+  b.flatten().dense(32).relu().dense(kRoadSceneClasses);
+  Model m = b.build(5);
+  Trainer t{TrainConfig{.learning_rate = 0.02, .epochs = 30,
+                        .batch_size = 16, .shuffle_seed = 3,
+                        .augment = true}};
+  t.fit(m, ds);
+  // Augmentation makes the training task harder for this small MLP; it
+  // must still reach clearly-above-chance accuracy on the clean data.
+  EXPECT_GT(Trainer::evaluate_accuracy(m, ds), 0.65);
+}
+
+// ---------------------------------------------------- adversarial training
+
+TEST(AdversarialTraining, ImprovesRobustAccuracy) {
+  const auto& ds = sx::testing::road_data();
+  auto train_model = [&](float adv_eps) {
+    ModelBuilder b{ds.input_shape};
+    b.flatten().dense(32).relu().dense(16).relu().dense(kRoadSceneClasses);
+    Model m = b.build(5);
+    Trainer t{TrainConfig{.learning_rate = 0.02, .epochs = 20,
+                          .batch_size = 16, .shuffle_seed = 3,
+                          .adversarial_eps = adv_eps}};
+    t.fit(m, ds);
+    return m;
+  };
+  Model plain = train_model(0.0f);
+  Model robust = train_model(0.05f);
+  const float eps = 0.05f;
+  const double acc_plain = verify::robust_accuracy_fgsm(plain, ds, eps, 80);
+  const double acc_robust = verify::robust_accuracy_fgsm(robust, ds, eps, 80);
+  EXPECT_GT(acc_robust, acc_plain)
+      << "adversarial training should improve FGSM robustness";
+}
+
+}  // namespace
+}  // namespace sx::dl

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "dl/engine.hpp"
+#include "explain/advanced.hpp"
+#include "explain/metrics.hpp"
+#include "test_helpers.hpp"
+
+namespace sx::explain {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+dl::Model& cnn() {
+  static dl::Model m = sx::testing::trained_cnn();
+  return m;
+}
+
+std::vector<const dl::Sample*> correct_signal_samples(std::size_t n) {
+  std::vector<const dl::Sample*> out;
+  for (const auto& s : sx::testing::road_data().samples) {
+    if (!s.signal) continue;
+    const Tensor logits = cnn().forward(s.input);
+    if (tensor::argmax(logits.view()) != s.label) continue;
+    out.push_back(&s);
+    if (out.size() >= n) break;
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- SmoothGrad
+
+TEST(SmoothGrad, MatchesInputShapeAndNonNegative) {
+  SmoothGrad sg{8, 0.05f, 3};
+  const auto samples = correct_signal_samples(1);
+  ASSERT_FALSE(samples.empty());
+  const Tensor att = sg.attribute(cnn(), samples[0]->input, samples[0]->label);
+  EXPECT_EQ(att.shape(), samples[0]->input.shape());
+  for (std::size_t i = 0; i < att.size(); ++i) EXPECT_GE(att.at(i), 0.0f);
+}
+
+TEST(SmoothGrad, LocalizesSignal) {
+  SmoothGrad sg{12, 0.05f, 3};
+  const auto samples = correct_signal_samples(4);
+  ASSERT_GE(samples.size(), 2u);
+  double gain = 0.0;
+  for (const auto* s : samples)
+    gain += localization_gain(sg.attribute(cnn(), s->input, s->label),
+                              *s->signal);
+  EXPECT_GT(gain / static_cast<double>(samples.size()), 1.3);
+}
+
+TEST(SmoothGrad, MoreStableThanPlainSaliencyUnderNoise) {
+  GradientSaliency plain;
+  SmoothGrad smooth{16, 0.05f, 3};
+  const auto samples = correct_signal_samples(2);
+  ASSERT_GE(samples.size(), 1u);
+  const double s_plain = stability(plain, cnn(), samples[0]->input,
+                                   samples[0]->label, 0.05, 4, 17);
+  const double s_smooth = stability(smooth, cnn(), samples[0]->input,
+                                    samples[0]->label, 0.05, 4, 17);
+  EXPECT_GE(s_smooth, s_plain - 0.1)
+      << "noise averaging should not reduce stability";
+}
+
+TEST(SmoothGrad, RejectsZeroSamples) {
+  EXPECT_THROW(SmoothGrad(0), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- GradCam
+
+TEST(GradCam, MatchesInputShapeAndNonNegative) {
+  GradCam gc;
+  const auto samples = correct_signal_samples(1);
+  ASSERT_FALSE(samples.empty());
+  const Tensor att = gc.attribute(cnn(), samples[0]->input, samples[0]->label);
+  EXPECT_EQ(att.shape(), samples[0]->input.shape());
+  for (std::size_t i = 0; i < att.size(); ++i) EXPECT_GE(att.at(i), 0.0f);
+}
+
+TEST(GradCam, LocalizesSignal) {
+  GradCam gc;
+  const auto samples = correct_signal_samples(6);
+  ASSERT_GE(samples.size(), 3u);
+  double gain = 0.0;
+  for (const auto* s : samples)
+    gain += localization_gain(gc.attribute(cnn(), s->input, s->label),
+                              *s->signal);
+  EXPECT_GT(gain / static_cast<double>(samples.size()), 1.2);
+}
+
+TEST(GradCam, RequiresConvLayer) {
+  GradCam gc;
+  dl::Model mlp = sx::testing::trained_mlp();
+  const auto& in = sx::testing::road_data().samples[0].input;
+  EXPECT_THROW(gc.attribute(mlp, in, 0), std::invalid_argument);
+}
+
+TEST(GradCam, LeavesParamGradsClean) {
+  GradCam gc;
+  const auto samples = correct_signal_samples(1);
+  ASSERT_FALSE(samples.empty());
+  (void)gc.attribute(cnn(), samples[0]->input, samples[0]->label);
+  for (std::size_t li = 0; li < cnn().layer_count(); ++li)
+    for (float v : cnn().layer(li).param_grads()) EXPECT_EQ(v, 0.0f);
+}
+
+// -------------------------------------------------------------- backward_to
+
+TEST(BackwardTo, StopAtZeroEqualsFullBackward) {
+  const auto samples = correct_signal_samples(1);
+  ASSERT_FALSE(samples.empty());
+  const auto acts = cnn().forward_trace(samples[0]->input);
+  Tensor g{cnn().output_shape()};
+  g.at(samples[0]->label) = 1.0f;
+  const Tensor full = cnn().backward(acts, g);
+  cnn().zero_grads();
+  const Tensor to0 = cnn().backward_to(acts, g, 0);
+  cnn().zero_grads();
+  ASSERT_EQ(full.shape(), to0.shape());
+  for (std::size_t i = 0; i < full.size(); ++i)
+    EXPECT_EQ(full.at(i), to0.at(i));
+}
+
+TEST(BackwardTo, RejectsOutOfRangeStop) {
+  const auto samples = correct_signal_samples(1);
+  ASSERT_FALSE(samples.empty());
+  const auto acts = cnn().forward_trace(samples[0]->input);
+  Tensor g{cnn().output_shape()};
+  EXPECT_THROW(cnn().backward_to(acts, g, cnn().layer_count()),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------- counterfactual
+
+TEST(Counterfactual, FlipsTheDecision) {
+  const auto samples = correct_signal_samples(3);
+  ASSERT_GE(samples.size(), 1u);
+  const auto* s = samples[0];
+  const std::size_t other = (s->label + 1) % dl::kRoadSceneClasses;
+  const Counterfactual cf = find_counterfactual(cnn(), s->input, other);
+  ASSERT_TRUE(cf.found);
+  const Tensor logits = cnn().forward(cf.input);
+  EXPECT_EQ(tensor::argmax(logits.view()), other);
+  EXPECT_GT(cf.l2_distance, 0.0);
+}
+
+TEST(Counterfactual, StaysInDataDomain) {
+  const auto samples = correct_signal_samples(1);
+  ASSERT_FALSE(samples.empty());
+  const std::size_t other = (samples[0]->label + 2) % dl::kRoadSceneClasses;
+  const Counterfactual cf = find_counterfactual(cnn(), samples[0]->input,
+                                                other);
+  if (!cf.found) GTEST_SKIP() << "did not converge for this class pair";
+  for (std::size_t i = 0; i < cf.input.size(); ++i) {
+    EXPECT_GE(cf.input.at(i), 0.0f);
+    EXPECT_LE(cf.input.at(i), 1.0f);
+  }
+}
+
+TEST(Counterfactual, TrivialWhenAlreadyTargetClass) {
+  const auto samples = correct_signal_samples(1);
+  ASSERT_FALSE(samples.empty());
+  CounterfactualConfig cfg;
+  cfg.target_confidence = 0.3f;  // likely already satisfied
+  const Counterfactual cf = find_counterfactual(
+      cnn(), samples[0]->input, samples[0]->label, cfg);
+  if (cf.found) {
+    EXPECT_EQ(cf.iterations, 0u);
+  }
+}
+
+TEST(Counterfactual, ReportsFailureOnImpossibleBudget) {
+  const auto samples = correct_signal_samples(1);
+  ASSERT_FALSE(samples.empty());
+  CounterfactualConfig cfg;
+  cfg.max_iterations = 1;  // no room to move
+  cfg.target_confidence = 0.99f;
+  const std::size_t other = (samples[0]->label + 1) % dl::kRoadSceneClasses;
+  const Counterfactual cf =
+      find_counterfactual(cnn(), samples[0]->input, other, cfg);
+  EXPECT_FALSE(cf.found);
+}
+
+}  // namespace
+}  // namespace sx::explain

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "explain/explainer.hpp"
+#include "explain/metrics.hpp"
+#include "test_helpers.hpp"
+
+namespace sx::explain {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+dl::Model& cnn() {
+  static dl::Model m = sx::testing::trained_cnn();
+  return m;
+}
+
+/// First sample of each foreground class with a recorded signal region.
+std::vector<const dl::Sample*> signal_samples(std::size_t n) {
+  std::vector<const dl::Sample*> out;
+  for (const auto& s : sx::testing::road_data().samples) {
+    if (!s.signal) continue;
+    // Only explain samples the model classifies correctly.
+    const Tensor logits = cnn().forward(s.input);
+    if (tensor::argmax(logits.view()) != s.label) continue;
+    out.push_back(&s);
+    if (out.size() >= n) break;
+  }
+  return out;
+}
+
+TEST(GradientSaliency, ShapeMatchesInput) {
+  GradientSaliency g;
+  const auto samples = signal_samples(1);
+  ASSERT_FALSE(samples.empty());
+  const Tensor att = g.attribute(cnn(), samples[0]->input, samples[0]->label);
+  EXPECT_EQ(att.shape(), samples[0]->input.shape());
+}
+
+TEST(GradientSaliency, NonNegativeByConstruction) {
+  GradientSaliency g;
+  const auto samples = signal_samples(1);
+  ASSERT_FALSE(samples.empty());
+  const Tensor att = g.attribute(cnn(), samples[0]->input, samples[0]->label);
+  for (std::size_t i = 0; i < att.size(); ++i) EXPECT_GE(att.at(i), 0.0f);
+}
+
+TEST(GradientSaliency, LeavesParamGradsClean) {
+  GradientSaliency g;
+  const auto samples = signal_samples(1);
+  ASSERT_FALSE(samples.empty());
+  (void)g.attribute(cnn(), samples[0]->input, samples[0]->label);
+  for (std::size_t li = 0; li < cnn().layer_count(); ++li)
+    for (float v : cnn().layer(li).param_grads()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(IntegratedGradients, CompletenessHolds) {
+  IntegratedGradients ig{64};
+  const auto samples = signal_samples(3);
+  for (const auto* s : samples) {
+    const Tensor att = ig.attribute(cnn(), s->input, s->label);
+    const double residual =
+        completeness_residual(cnn(), s->input, s->label, att);
+    // Residual should be small relative to the logit magnitude.
+    const double fx = std::fabs(cnn().forward(s->input).at(s->label)) + 1.0;
+    EXPECT_LT(residual, 0.1 * fx) << "completeness violated";
+  }
+}
+
+TEST(IntegratedGradients, RejectsZeroSteps) {
+  EXPECT_THROW(IntegratedGradients(0), std::invalid_argument);
+}
+
+TEST(OcclusionSensitivity, LocalizesPlantedSignal) {
+  OcclusionSensitivity occ{4, 2};
+  const auto samples = signal_samples(6);
+  ASSERT_GE(samples.size(), 3u);
+  double total_gain = 0.0;
+  for (const auto* s : samples) {
+    const Tensor att = occ.attribute(cnn(), s->input, s->label);
+    total_gain += localization_gain(att, *s->signal);
+  }
+  // Attribution concentrates on the signal much more than uniform (gain 1).
+  EXPECT_GT(total_gain / static_cast<double>(samples.size()), 1.5);
+}
+
+TEST(OcclusionSensitivity, RequiresImageInput) {
+  OcclusionSensitivity occ;
+  dl::ModelBuilder b{Shape::vec(8)};
+  b.dense(4).relu().dense(2);
+  dl::Model m = b.build(1);
+  Tensor in{Shape::vec(8)};
+  EXPECT_THROW(occ.attribute(m, in, 0), std::invalid_argument);
+}
+
+TEST(LimeSurrogate, LocalizesPlantedSignal) {
+  LimeSurrogate lime{150, 4, 1e-2, 7};
+  const auto samples = signal_samples(4);
+  ASSERT_GE(samples.size(), 2u);
+  double total_gain = 0.0;
+  for (const auto* s : samples) {
+    const Tensor att = lime.attribute(cnn(), s->input, s->label);
+    total_gain += localization_gain(att, *s->signal);
+  }
+  EXPECT_GT(total_gain / static_cast<double>(samples.size()), 1.2);
+}
+
+TEST(LimeSurrogate, DeterministicGivenSeed) {
+  LimeSurrogate lime{60, 4, 1e-2, 11};
+  const auto samples = signal_samples(1);
+  ASSERT_FALSE(samples.empty());
+  const Tensor a = lime.attribute(cnn(), samples[0]->input, samples[0]->label);
+  const Tensor b = lime.attribute(cnn(), samples[0]->input, samples[0]->label);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.at(i), b.at(i));
+}
+
+TEST(Metrics, LocalizationGainUniformIsOne) {
+  Tensor att{Shape::chw(1, 8, 8)};
+  att.fill(1.0f);
+  const dl::Region r{2, 2, 6, 6};
+  EXPECT_NEAR(localization_gain(att, r), 1.0, 1e-9);
+}
+
+TEST(Metrics, LocalizationGainConcentrated) {
+  Tensor att{Shape::chw(1, 8, 8)};
+  const dl::Region r{0, 0, 2, 2};
+  for (std::size_t y = 0; y < 2; ++y)
+    for (std::size_t x = 0; x < 2; ++x) att.at(0, y, x) = 1.0f;
+  // All mass inside region of area fraction 4/64 -> gain 16.
+  EXPECT_NEAR(localization_gain(att, r), 16.0, 1e-9);
+}
+
+TEST(Metrics, PointingGame) {
+  Tensor att{Shape::chw(1, 4, 4)};
+  att.at(0, 3, 3) = 5.0f;
+  EXPECT_TRUE(pointing_hit(att, dl::Region{3, 3, 4, 4}));
+  EXPECT_FALSE(pointing_hit(att, dl::Region{0, 0, 2, 2}));
+}
+
+TEST(Metrics, DeletionAucLowerForFaithfulAttribution) {
+  const auto samples = signal_samples(3);
+  ASSERT_GE(samples.size(), 2u);
+  GradientSaliency g;
+  double faithful = 0.0, random_auc = 0.0;
+  util::Xoshiro256 rng{17};
+  for (const auto* s : samples) {
+    const Tensor att = g.attribute(cnn(), s->input, s->label);
+    faithful += deletion_auc(cnn(), s->input, s->label, att);
+    Tensor rnd{att.shape()};
+    rnd.init_uniform(rng, 0.0f, 1.0f);
+    random_auc += deletion_auc(cnn(), s->input, s->label, rnd);
+  }
+  // Faithful attributions delete the important pixels first, so the target
+  // probability collapses earlier (lower AUC).
+  EXPECT_LT(faithful, random_auc + 0.05);
+}
+
+TEST(Metrics, EvaluateExplainerProducesScores) {
+  GradientSaliency g;
+  const auto score = evaluate_explainer(g, cnn(), sx::testing::road_data(), 12);
+  EXPECT_EQ(score.name, "gradient-saliency");
+  EXPECT_GT(score.mean_localization_gain, 0.0);
+  EXPECT_GE(score.pointing_accuracy, 0.0);
+  EXPECT_LE(score.pointing_accuracy, 1.0);
+  EXPECT_GT(score.runtime_ms_per_sample, 0.0);
+}
+
+TEST(Metrics, StabilityInUnitRange) {
+  GradientSaliency g;
+  const auto samples = signal_samples(1);
+  ASSERT_FALSE(samples.empty());
+  const double st =
+      stability(g, cnn(), samples[0]->input, samples[0]->label, 0.01, 3, 5);
+  EXPECT_GE(st, -1.0);
+  EXPECT_LE(st, 1.0);
+  EXPECT_GT(st, 0.3) << "saliency should be fairly stable to tiny noise";
+}
+
+// Property sweep: all four explainers beat the uniform baseline on
+// localization when averaged over a handful of samples.
+class ExplainerLadder : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExplainerLadder, BeatsUniformBaseline) {
+  std::unique_ptr<Explainer> ex;
+  switch (GetParam()) {
+    case 0: ex = std::make_unique<GradientSaliency>(); break;
+    case 1: ex = std::make_unique<IntegratedGradients>(16); break;
+    case 2: ex = std::make_unique<OcclusionSensitivity>(4, 2); break;
+    default: ex = std::make_unique<LimeSurrogate>(120, 4, 1e-2, 3); break;
+  }
+  const auto samples = signal_samples(5);
+  ASSERT_GE(samples.size(), 3u);
+  double gain = 0.0;
+  for (const auto* s : samples)
+    gain += localization_gain(ex->attribute(cnn(), s->input, s->label),
+                              *s->signal);
+  EXPECT_GT(gain / static_cast<double>(samples.size()), 1.1)
+      << ex->name() << " no better than uniform attribution";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, ExplainerLadder,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace sx::explain

@@ -1,0 +1,196 @@
+// End-to-end integration: the full SAFEXPLAIN lifecycle on the railway
+// workload (experiment E10's shape), crossing every subsystem boundary.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "dl/engine.hpp"
+#include "dl/train.hpp"
+#include "explain/metrics.hpp"
+#include "platform/sim.hpp"
+#include "rt/rta.hpp"
+#include "rt/scheduler.hpp"
+#include "safety/campaign.hpp"
+#include "supervise/conformal.hpp"
+#include "timing/mbpta.hpp"
+#include "trace/requirements.hpp"
+
+namespace sx {
+namespace {
+
+struct RailwayFixture : public ::testing::Test {
+  static dl::Dataset& train_data() {
+    static dl::Dataset ds = dl::make_railway_obstacle(300, 2);
+    return ds;
+  }
+  static dl::Dataset& test_data() {
+    static dl::Dataset ds = dl::make_railway_obstacle(100, 3);
+    return ds;
+  }
+  static dl::Model& model() {
+    static dl::Model m = [] {
+      dl::ModelBuilder b{train_data().input_shape};
+      b.flatten().dense(24).relu().dense(2);
+      dl::Model model = b.build(4);
+      dl::Trainer trainer{dl::TrainConfig{.learning_rate = 0.05,
+                                          .epochs = 10,
+                                          .batch_size = 16,
+                                          .shuffle_seed = 6}};
+      trainer.fit(model, train_data());
+      return model;
+    }();
+    return m;
+  }
+};
+
+TEST_F(RailwayFixture, ModelLearnsTheTask) {
+  EXPECT_GT(dl::Trainer::evaluate_accuracy(model(), test_data()), 0.85);
+}
+
+TEST_F(RailwayFixture, FullLifecycleProducesCompleteEvidence) {
+  // 1. Deploy a SIL3 pipeline with obstacle-assumed fallback (class 1).
+  core::PipelineConfig cfg;
+  cfg.criticality = trace::Criticality::kSil3;
+  cfg.timing_budget = 100000;
+  cfg.fallback_class = 1;
+  core::CertifiablePipeline pipeline{model(), train_data(), cfg};
+
+  // 2. Run a mission: nominal inputs must flow, corrupted inputs degrade.
+  std::size_t correct = 0, seen = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto d = pipeline.infer(test_data().samples[i].input, i, 100);
+    if (d.status == Status::kOk && !d.degraded) {
+      ++seen;
+      correct += d.predicted_class == test_data().samples[i].label ? 1 : 0;
+    }
+  }
+  ASSERT_GT(seen, 30u);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(seen), 0.8);
+
+  const auto fog = dl::corrupt(test_data(), dl::Corruption::kUniformRandom, 9);
+  std::size_t degraded = 0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto d = pipeline.infer(fog.samples[i].input, 100 + i, 100);
+    degraded += (d.degraded || !ok(d.status)) ? 1 : 0;
+  }
+  EXPECT_GT(degraded, 15u);
+
+  // 3. Evidence: audit chain verifies; safety case complete; provenance ok.
+  EXPECT_EQ(pipeline.audit().verify(), Status::kOk);
+  EXPECT_TRUE(pipeline.build_safety_case().complete());
+  EXPECT_EQ(pipeline.verify_integrity(), Status::kOk);
+}
+
+TEST_F(RailwayFixture, MissionCriticalNeverMissesObstacleUnderFallback) {
+  // The safety argument for the railway case: whenever the pipeline is
+  // unsure (degraded), it must claim "obstacle" (the conservative class).
+  core::PipelineConfig cfg;
+  cfg.criticality = trace::Criticality::kSil3;
+  cfg.timing_budget = 100000;
+  cfg.fallback_class = 1;
+  core::CertifiablePipeline pipeline{model(), train_data(), cfg};
+
+  const auto noisy =
+      dl::corrupt(test_data(), dl::Corruption::kGaussianNoise, 10, 2.0f);
+  std::size_t missed_obstacles = 0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    const auto d = pipeline.infer(noisy.samples[i].input, i, 100);
+    if (noisy.samples[i].label == 1 && d.predicted_class == 0 && !d.degraded &&
+        ok(d.status)) {
+      // A confidently wrong "all clear" on an obstacle — only acceptable if
+      // rare; count them.
+      ++missed_obstacles;
+    }
+  }
+  EXPECT_LT(missed_obstacles, 8u);
+}
+
+TEST_F(RailwayFixture, TimingPipelineFeedsSchedulableBudget) {
+  // Platform measurement -> MBPTA -> pWCET -> RT task budget -> RTA + sim.
+  const platform::AccessTrace trace = platform::inference_trace(model());
+  const platform::CacheConfig cache{.line_bytes = 64,
+                                    .sets = 64,
+                                    .ways = 4,
+                                    .placement = platform::Placement::kRandom,
+                                    .replacement =
+                                        platform::Replacement::kRandom};
+  const auto times = platform::collect_execution_times(
+      cache, platform::TimingModel{}, trace, 600, 77);
+  const auto report = timing::analyze(times);
+  ASSERT_TRUE(report.admissible) << report.to_text();
+  const double budget = timing::pwcet(report.fit, 1e-9);
+  EXPECT_GT(budget, report.observed_hwm);
+
+  // Build a task set where the DL task gets the pWCET as its budget.
+  rt::TaskSet ts;
+  const auto wcet = static_cast<std::uint64_t>(budget);
+  ts.add(rt::Task{.name = "dl-inference", .period = wcet * 3, .wcet = wcet});
+  ts.add(rt::Task{.name = "housekeeping", .period = wcet * 10,
+                  .wcet = wcet / 2});
+  ts.assign_deadline_monotonic();
+  ASSERT_TRUE(rt::response_time_analysis(ts).schedulable);
+
+  // Actual execution times are the measured distribution, always <= pWCET.
+  std::size_t cursor = 0;
+  const rt::ExecTimeFn sampler = [&](const rt::Task& task,
+                                     util::Xoshiro256&) -> std::uint64_t {
+    if (task.name != "dl-inference") return task.wcet;
+    const double t = times[cursor++ % times.size()];
+    return static_cast<std::uint64_t>(std::min(t, budget));
+  };
+  const rt::SimResult sim =
+      rt::simulate(ts, rt::SimConfig{.duration = wcet * 200}, sampler);
+  EXPECT_EQ(sim.total_misses, 0u);
+}
+
+TEST_F(RailwayFixture, FaultCampaignFeedsRequirementEvidence) {
+  // Run a small campaign and attach the result as analysis evidence.
+  safety::TmrChannel channel{model()};
+  dl::Dataset probes;
+  probes.num_classes = 2;
+  probes.input_shape = test_data().input_shape;
+  for (std::size_t i = 0; i < 8; ++i)
+    probes.samples.push_back(test_data().samples[i]);
+  const auto outcome = safety::run_campaign(
+      channel, probes,
+      safety::CampaignConfig{.n_faults = 40, .probes_per_fault = 4});
+  EXPECT_LT(outcome.sdc_rate(), 0.02);
+
+  trace::RequirementRegistry reg;
+  reg.add(trace::Requirement{"REQ-SAF-001",
+                             "Single weight-memory upsets shall not cause "
+                             "undetected wrong decisions",
+                             trace::Criticality::kSil3});
+  reg.link("REQ-SAF-001", trace::ArtifactKind::kAnalysis,
+           "fault-campaign-tmr", "verifies");
+  reg.link("REQ-SAF-001", trace::ArtifactKind::kComponent, "tmr-channel",
+           "implements");
+  EXPECT_DOUBLE_EQ(reg.coverage("verifies"), 1.0);
+  EXPECT_TRUE(reg.uncovered("verifies").empty());
+}
+
+TEST_F(RailwayFixture, ConformalGuaranteeOnRailway) {
+  dl::Dataset calib, test;
+  dl::split(test_data(), 0.5, calib, test);
+  const supervise::ConformalClassifier cc{model(), calib, 0.1};
+  const auto rep = cc.evaluate(model(), test);
+  EXPECT_GE(rep.empirical_coverage, 0.84);
+}
+
+TEST_F(RailwayFixture, ExplanationsFocusOnObstacle) {
+  explain::GradientSaliency saliency;
+  double gain = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : test_data().samples) {
+    if (!s.signal || s.label != 1) continue;
+    const auto logits = model().forward(s.input);
+    if (tensor::argmax(logits.view()) != 1) continue;
+    const auto att = saliency.attribute(model(), s.input, 1);
+    gain += explain::localization_gain(att, *s.signal);
+    if (++n >= 10) break;
+  }
+  ASSERT_GT(n, 3u);
+  EXPECT_GT(gain / static_cast<double>(n), 1.3);
+}
+
+}  // namespace
+}  // namespace sx

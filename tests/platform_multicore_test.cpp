@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "platform/multicore.hpp"
+#include "test_helpers.hpp"
+#include "util/stats.hpp"
+
+namespace sx::platform {
+namespace {
+
+CacheConfig det_cache() {
+  return CacheConfig{.line_bytes = 64,
+                     .sets = 64,
+                     .ways = 4,
+                     .placement = Placement::kModulo,
+                     .replacement = Replacement::kLru};
+}
+
+// ------------------------------------------------------ masked cache access
+
+TEST(PartitionedCache, HitWorksAcrossPartitions) {
+  Cache c{det_cache(), 1};
+  // Allocate in way set {0,1}; lookup with a different mask still hits.
+  EXPECT_FALSE(c.access(0x1000, 0b0011));
+  EXPECT_TRUE(c.access(0x1000, 0b1100));
+}
+
+TEST(PartitionedCache, AllocationRespectsMask) {
+  // 1 set, 4 ways. Partition: we own ways {0,1}; rival owns {2,3}.
+  CacheConfig cfg = det_cache();
+  cfg.sets = 1;
+  Cache c{cfg, 1};
+  // Fill our two ways.
+  c.access(0x000, 0b0011);
+  c.access(0x040, 0b0011);
+  // Rival floods its partition with many lines.
+  for (std::uint64_t i = 0; i < 32; ++i)
+    c.access(0x10000 + i * 64, 0b1100);
+  // Our lines survived the flood.
+  EXPECT_TRUE(c.access(0x000, 0b0011));
+  EXPECT_TRUE(c.access(0x040, 0b0011));
+}
+
+TEST(PartitionedCache, UnpartitionedFloodEvicts) {
+  CacheConfig cfg = det_cache();
+  cfg.sets = 1;
+  Cache c{cfg, 1};
+  c.access(0x000);
+  for (std::uint64_t i = 0; i < 32; ++i) c.access(0x10000 + i * 64);
+  EXPECT_FALSE(c.access(0x000));
+}
+
+TEST(PartitionedCache, ZeroMaskTreatedAsAllWays) {
+  Cache c{det_cache(), 1};
+  EXPECT_FALSE(c.access(0x2000, 0));
+  EXPECT_TRUE(c.access(0x2000, 0));
+}
+
+// -------------------------------------------------------------- contention
+
+TEST(Multicore, ContentionSlowsTheTask) {
+  const auto trace = inference_trace(sx::testing::trained_mlp());
+  MulticoreConfig quiet{.cache = det_cache(), .co_runners = 0};
+  MulticoreConfig busy{.cache = det_cache(), .co_runners = 3};
+  const auto t_quiet = execute_with_contention(quiet, trace, 1);
+  const auto t_busy = execute_with_contention(busy, trace, 1);
+  EXPECT_GT(t_busy.cycles, t_quiet.cycles);
+  EXPECT_GE(t_busy.misses, t_quiet.misses);
+}
+
+TEST(Multicore, UnpartitionedTimesVaryAcrossBoots) {
+  const auto trace = inference_trace(sx::testing::trained_mlp());
+  MulticoreConfig cfg{.cache = det_cache(), .co_runners = 3};
+  const auto times = collect_contended_times(cfg, trace, 30, 99);
+  EXPECT_GT(util::stddev(times), 0.0)
+      << "co-runner evictions must induce run-to-run variation";
+}
+
+TEST(Multicore, WayPartitioningRestoresDeterminism) {
+  const auto trace = inference_trace(sx::testing::trained_mlp());
+  MulticoreConfig cfg{.cache = det_cache(), .co_runners = 3, .task_ways = 2};
+  const auto times = collect_contended_times(cfg, trace, 30, 99);
+  EXPECT_EQ(util::min_of(times), util::max_of(times))
+      << "partitioned task must be isolated from co-runner evictions";
+}
+
+TEST(Multicore, PartitioningCostsCapacity) {
+  // With only part of the cache, the task may miss more than with all of
+  // it (capacity cost of isolation) — but never more than under a hostile
+  // co-runner flood.
+  const auto trace = inference_trace(sx::testing::trained_cnn());
+  MulticoreConfig alone{.cache = det_cache(), .co_runners = 0};
+  MulticoreConfig part{.cache = det_cache(), .co_runners = 3, .task_ways = 2};
+  const auto t_alone = execute_with_contention(alone, trace, 5);
+  const auto t_part = execute_with_contention(part, trace, 5);
+  EXPECT_GE(t_part.misses, t_alone.misses);
+}
+
+TEST(Multicore, PartitionedStillSeesBusInterference) {
+  const auto trace = inference_trace(sx::testing::trained_mlp());
+  MulticoreConfig solo{.cache = det_cache(), .co_runners = 0, .task_ways = 2};
+  MulticoreConfig part{.cache = det_cache(), .co_runners = 3, .task_ways = 2};
+  const auto t_solo = execute_with_contention(solo, trace, 7);
+  const auto t_part = execute_with_contention(part, trace, 7);
+  // Same cache behaviour, but misses pay the bus-interference premium.
+  EXPECT_GT(t_part.cycles, t_solo.cycles);
+}
+
+// Property sweep: partitioned determinism holds across partition sizes.
+class PartitionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PartitionSweep, DeterministicForAnyTaskWays) {
+  const auto trace = inference_trace(sx::testing::trained_mlp());
+  MulticoreConfig cfg{.cache = det_cache(), .co_runners = 2,
+                      .task_ways = GetParam()};
+  const auto times = collect_contended_times(cfg, trace, 10, 5);
+  EXPECT_EQ(util::min_of(times), util::max_of(times));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, PartitionSweep, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace sx::platform

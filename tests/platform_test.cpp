@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "platform/cache.hpp"
+#include "platform/sim.hpp"
+#include "test_helpers.hpp"
+#include "util/stats.hpp"
+
+namespace sx::platform {
+namespace {
+
+CacheConfig deterministic_cfg() {
+  return CacheConfig{.line_bytes = 64,
+                     .sets = 64,
+                     .ways = 4,
+                     .placement = Placement::kModulo,
+                     .replacement = Replacement::kLru};
+}
+
+CacheConfig random_cfg() {
+  return CacheConfig{.line_bytes = 64,
+                     .sets = 64,
+                     .ways = 4,
+                     .placement = Placement::kRandom,
+                     .replacement = Replacement::kRandom};
+}
+
+// ------------------------------------------------------------------- cache
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c{deterministic_cfg(), 1};
+  EXPECT_FALSE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1001));  // same line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, DistinctLinesMissSeparately) {
+  Cache c{deterministic_cfg(), 1};
+  EXPECT_FALSE(c.access(0x0));
+  EXPECT_FALSE(c.access(0x40));
+  EXPECT_TRUE(c.access(0x0));
+}
+
+TEST(Cache, LruEvictsOldest) {
+  // 1 set, 2 ways: A, B, C -> C evicts A.
+  CacheConfig cfg{.line_bytes = 64,
+                  .sets = 1,
+                  .ways = 2,
+                  .placement = Placement::kModulo,
+                  .replacement = Replacement::kLru};
+  Cache c{cfg, 1};
+  c.access(0x000);  // A miss
+  c.access(0x040);  // B miss
+  c.access(0x080);  // C miss, evict A
+  EXPECT_FALSE(c.access(0x000));  // A gone
+  EXPECT_TRUE(c.access(0x080));   // C resident
+}
+
+TEST(Cache, LruTouchRefreshes) {
+  CacheConfig cfg{.line_bytes = 64,
+                  .sets = 1,
+                  .ways = 2,
+                  .placement = Placement::kModulo,
+                  .replacement = Replacement::kLru};
+  Cache c{cfg, 1};
+  c.access(0x000);  // A
+  c.access(0x040);  // B
+  c.access(0x000);  // touch A -> B is LRU
+  c.access(0x080);  // C evicts B
+  EXPECT_TRUE(c.access(0x000));
+  EXPECT_FALSE(c.access(0x040));
+}
+
+TEST(Cache, FlushInvalidates) {
+  Cache c{deterministic_cfg(), 1};
+  c.access(0x100);
+  c.flush();
+  EXPECT_FALSE(c.access(0x100));
+}
+
+TEST(Cache, RejectsNonPowerOfTwoSets) {
+  CacheConfig cfg = deterministic_cfg();
+  cfg.sets = 48;
+  EXPECT_THROW(Cache(cfg, 1), std::invalid_argument);
+}
+
+TEST(Cache, RandomPlacementDependsOnBootSeed) {
+  // The same conflict-heavy access pattern should produce different miss
+  // counts under different boot seeds (different placement functions).
+  std::vector<std::uint64_t> misses;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Cache c{random_cfg(), seed};
+    // 128 lines striding by set count: pathological for modulo placement.
+    for (int rep = 0; rep < 4; ++rep)
+      for (std::uint64_t i = 0; i < 128; ++i)
+        c.access(i * 64 * 64);  // all map to set 0 under modulo
+    misses.push_back(c.misses());
+  }
+  // Not all seeds agree.
+  bool varies = false;
+  for (auto m : misses) varies |= (m != misses[0]);
+  EXPECT_TRUE(varies);
+}
+
+TEST(Cache, ModuloPlacementPathologicalConflicts) {
+  // Under modulo placement the strided pattern thrashes one set;
+  // random placement spreads it and must hit strictly more often.
+  auto run = [](const CacheConfig& cfg) {
+    Cache c{cfg, 7};
+    for (int rep = 0; rep < 4; ++rep)
+      for (std::uint64_t i = 0; i < 32; ++i) c.access(i * 64 * 64);
+    return c.hits();
+  };
+  const auto modulo_hits = run(deterministic_cfg());
+  const auto random_hits = run(random_cfg());
+  EXPECT_EQ(modulo_hits, 0u) << "strided pattern should thrash set 0";
+  EXPECT_GT(random_hits, 0u);
+}
+
+// --------------------------------------------------------------------- sim
+
+TEST(PlatformSim, CyclesAccountedExactly) {
+  // 2 ops, both missing: cycles = compute + 2 * miss.
+  TimingModel t{.hit_cycles = 1, .miss_cycles = 40,
+                .interference_per_miss = 0, .contending_cores = 0};
+  PlatformSim sim{deterministic_cfg(), t, 1};
+  const AccessTrace trace{{0x0, 3}, {0x40, 2}};
+  const RunResult r = sim.execute(trace);
+  EXPECT_EQ(r.misses, 2u);
+  EXPECT_EQ(r.cycles, 3u + 2u + 2u * 40u);
+}
+
+TEST(PlatformSim, HitsAreCheaper) {
+  TimingModel t{};
+  PlatformSim sim{deterministic_cfg(), t, 1};
+  const AccessTrace cold{{0x0, 1}};
+  const AccessTrace warm{{0x0, 1}, {0x0, 1}};
+  const auto r = sim.execute(warm);
+  EXPECT_EQ(r.hits, 1u);
+  EXPECT_EQ(r.misses, 1u);
+}
+
+TEST(PlatformSim, InterferenceAddsWorstCaseCycles) {
+  TimingModel base{.hit_cycles = 1, .miss_cycles = 40,
+                   .interference_per_miss = 10, .contending_cores = 0};
+  TimingModel contended = base;
+  contended.contending_cores = 3;
+  const AccessTrace trace{{0x0, 1}, {0x40, 1}, {0x80, 1}};
+  PlatformSim solo{deterministic_cfg(), base, 1};
+  PlatformSim busy{deterministic_cfg(), contended, 1};
+  const auto r0 = solo.execute(trace);
+  const auto r1 = busy.execute(trace);
+  EXPECT_EQ(r1.cycles, r0.cycles + 3u * 30u);
+}
+
+TEST(PlatformSim, DeterministicConfigZeroVariance) {
+  const auto& m = sx::testing::trained_mlp();
+  const AccessTrace trace = inference_trace(m);
+  const auto times = collect_execution_times(
+      deterministic_cfg(), TimingModel{}, trace, 50, 99);
+  EXPECT_EQ(util::min_of(times), util::max_of(times))
+      << "deterministic platform must be cycle-identical across boots";
+}
+
+TEST(PlatformSim, RandomConfigProducesDispersion) {
+  const auto& m = sx::testing::trained_mlp();
+  const AccessTrace trace = inference_trace(m);
+  const auto times =
+      collect_execution_times(random_cfg(), TimingModel{}, trace, 100, 99);
+  EXPECT_GT(util::stddev(times), 0.0);
+  EXPECT_GT(util::coeff_of_variation(times), 1e-6);
+}
+
+TEST(PlatformSim, RandomSlowerOnAverageIsBounded) {
+  // Random placement trades the pathological worst case for a distribution;
+  // its mean should be within a small factor of the deterministic time for
+  // the streaming DL trace.
+  const auto& m = sx::testing::trained_mlp();
+  const AccessTrace trace = inference_trace(m);
+  const auto det = collect_execution_times(deterministic_cfg(), TimingModel{},
+                                           trace, 10, 1);
+  const auto rnd =
+      collect_execution_times(random_cfg(), TimingModel{}, trace, 50, 1);
+  EXPECT_LT(util::mean(rnd), 1.5 * util::mean(det));
+  EXPECT_GT(util::mean(rnd), 0.7 * util::mean(det));
+}
+
+// ------------------------------------------------------------------- trace
+
+TEST(InferenceTrace, NonEmptyAndOrdered) {
+  const auto& m = sx::testing::trained_mlp();
+  const AccessTrace trace = inference_trace(m);
+  EXPECT_GT(trace.size(), 100u);
+  for (const auto& op : trace) EXPECT_GE(op.compute_cycles, 1u);
+}
+
+TEST(InferenceTrace, LargerModelLongerTrace) {
+  const auto& mlp = sx::testing::trained_mlp();
+  const auto& cnn = sx::testing::trained_cnn();
+  EXPECT_NE(inference_trace(mlp).size(), inference_trace(cnn).size());
+}
+
+TEST(InferenceTrace, DeterministicForSameModel) {
+  const auto& m = sx::testing::trained_mlp();
+  const AccessTrace a = inference_trace(m);
+  const AccessTrace b = inference_trace(m);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].addr, b[i].addr);
+    EXPECT_EQ(a[i].compute_cycles, b[i].compute_cycles);
+  }
+}
+
+// Property sweep: across cache geometries, the deterministic platform stays
+// cycle-identical across boots.
+class DeterminismSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(DeterminismSweep, ZeroVarianceAcrossBoots) {
+  CacheConfig cfg = deterministic_cfg();
+  cfg.sets = std::get<0>(GetParam());
+  cfg.ways = std::get<1>(GetParam());
+  const auto& m = sx::testing::trained_mlp();
+  const AccessTrace trace = inference_trace(m);
+  const auto times =
+      collect_execution_times(cfg, TimingModel{}, trace, 10, 2024);
+  EXPECT_EQ(util::min_of(times), util::max_of(times));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, DeterminismSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(16, 64, 256),
+                       ::testing::Values<std::size_t>(1, 2, 8)));
+
+}  // namespace
+}  // namespace sx::platform

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "rt/edf.hpp"
+#include "rt/rta.hpp"
+
+namespace sx::rt {
+namespace {
+
+TaskSet implicit_set(std::uint64_t c1, std::uint64_t c2, std::uint64_t c3) {
+  TaskSet ts;
+  ts.add(Task{.name = "a", .period = 50, .wcet = c1});
+  ts.add(Task{.name = "b", .period = 100, .wcet = c2});
+  ts.add(Task{.name = "c", .period = 200, .wcet = c3});
+  return ts;
+}
+
+TEST(EdfAnalysis, UtilizationBound) {
+  EXPECT_TRUE(edf_schedulable(implicit_set(25, 25, 50)));   // U = 1.0
+  EXPECT_FALSE(edf_schedulable(implicit_set(30, 25, 50)));  // U = 1.1
+}
+
+TEST(EdfAnalysis, ConstrainedDeadlineDemandTest) {
+  TaskSet ts;
+  ts.add(Task{.name = "a", .period = 100, .wcet = 30, .deadline = 50});
+  ts.add(Task{.name = "b", .period = 200, .wcet = 40, .deadline = 100});
+  EXPECT_TRUE(edf_schedulable_constrained(ts, 10000));
+  TaskSet bad;
+  bad.add(Task{.name = "a", .period = 100, .wcet = 60, .deadline = 60});
+  bad.add(Task{.name = "b", .period = 100, .wcet = 50, .deadline = 100});
+  EXPECT_FALSE(edf_schedulable_constrained(bad, 10000));
+}
+
+TEST(EdfSim, BeatsFixedPriorityOnNonHarmonicSet) {
+  // Classic separation: T=(5,7), C=(2,4), U = 0.971. EDF schedules it
+  // (U <= 1); rate-monotonic fixed priorities do not (R2 = 8 > 7).
+  TaskSet ts;
+  ts.add(Task{.name = "fast", .period = 5, .wcet = 2});
+  ts.add(Task{.name = "slow", .period = 7, .wcet = 4});
+  const SimResult edf = simulate_edf(ts, SimConfig{.duration = 35 * 100});
+  EXPECT_EQ(edf.total_misses, 0u);
+
+  ts.assign_deadline_monotonic();
+  ASSERT_FALSE(response_time_analysis(ts).schedulable);
+  const SimResult fp = simulate(ts, SimConfig{.duration = 35 * 100});
+  EXPECT_GT(fp.total_misses, 0u)
+      << "fixed-priority should miss where EDF does not";
+}
+
+TEST(EdfSim, FullUtilizationNoMisses) {
+  const TaskSet ts = implicit_set(25, 25, 50);  // U = 1.0
+  const SimResult edf = simulate_edf(ts, SimConfig{.duration = 200 * 50});
+  EXPECT_EQ(edf.total_misses, 0u);
+}
+
+TEST(EdfSim, OverloadMisses) {
+  const TaskSet ts = implicit_set(30, 30, 60);  // U = 1.2
+  const SimResult r = simulate_edf(ts, SimConfig{.duration = 100000});
+  EXPECT_GT(r.total_misses, 0u);
+}
+
+TEST(EdfSim, EarlierDeadlineRunsFirst) {
+  TaskSet ts;
+  ts.add(Task{.name = "tight", .period = 1000, .wcet = 10, .deadline = 20});
+  ts.add(Task{.name = "loose", .period = 1000, .wcet = 500,
+              .deadline = 1000});
+  const SimResult r = simulate_edf(ts, SimConfig{.duration = 1000});
+  EXPECT_EQ(r.per_task[0].max_response, 10u)
+      << "tight-deadline job must preempt/run first";
+}
+
+TEST(EdfSim, AbortPolicyCapsResponse) {
+  const TaskSet ts = implicit_set(30, 30, 60);
+  const SimResult r = simulate_edf(
+      ts, SimConfig{.duration = 100000, .miss_policy = MissPolicy::kAbort});
+  EXPECT_GT(r.total_misses, 0u);
+  for (const auto& st : r.per_task) EXPECT_GT(st.jobs, 0u);
+}
+
+TEST(EdfSim, MatchesExecTimeSampling) {
+  const TaskSet ts = implicit_set(25, 25, 50);
+  const ExecTimeFn sampler = [](const Task& t, util::Xoshiro256& rng) {
+    return 1 + rng.below(t.wcet);
+  };
+  const SimResult r =
+      simulate_edf(ts, SimConfig{.duration = 100000, .seed = 4}, sampler);
+  EXPECT_EQ(r.total_misses, 0u);
+}
+
+TEST(EdfSim, RejectsEmptySet) {
+  TaskSet empty;
+  EXPECT_THROW(simulate_edf(empty, SimConfig{}), std::invalid_argument);
+}
+
+// Property sweep: any implicit-deadline set with U <= 1 has no EDF misses.
+class EdfSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EdfSweep, UnderUnitUtilizationNoMisses) {
+  util::Xoshiro256 rng{GetParam()};
+  TaskSet ts;
+  double budget = 0.98;
+  for (int i = 0; i < 3; ++i) {
+    const std::uint64_t period = 30 + rng.below(300);
+    const double share = budget * rng.uniform(0.2, 0.4);
+    const auto wcet = static_cast<std::uint64_t>(
+        std::max(1.0, share * static_cast<double>(period)));
+    budget -= static_cast<double>(wcet) / static_cast<double>(period);
+    ts.add(Task{.name = "t" + std::to_string(i), .period = period,
+                .wcet = wcet});
+  }
+  ASSERT_LE(ts.utilization(), 1.0);
+  const SimResult r = simulate_edf(ts, SimConfig{.duration = 300000});
+  EXPECT_EQ(r.total_misses, 0u) << "U=" << ts.utilization();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdfSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace sx::rt

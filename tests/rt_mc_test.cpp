@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "rt/mixed_criticality.hpp"
+
+namespace sx::rt {
+namespace {
+
+/// Textbook-style AMC set: one HI task with a 2x certified budget, two LO
+/// tasks. Schedulable in LO mode; HI task survives the mode switch.
+McTaskSet demo_set() {
+  McTaskSet ts;
+  ts.add(McTask{.name = "dl-hi", .period = 100, .deadline = 0,
+                .priority = 0, .high_criticality = true, .wcet_lo = 20,
+                .wcet_hi = 40});
+  ts.add(McTask{.name = "video-lo", .period = 200, .deadline = 0,
+                .priority = 0, .high_criticality = false, .wcet_lo = 40,
+                .wcet_hi = 0});
+  ts.add(McTask{.name = "log-lo", .period = 400, .deadline = 0,
+                .priority = 0, .high_criticality = false, .wcet_lo = 40,
+                .wcet_hi = 0});
+  ts.assign_deadline_monotonic();
+  return ts;
+}
+
+// ----------------------------------------------------------------- task set
+
+TEST(McTaskSet, ValidatesBudgets) {
+  McTaskSet ts;
+  EXPECT_THROW(ts.add(McTask{.name = "x", .period = 10,
+                             .high_criticality = true, .wcet_lo = 5,
+                             .wcet_hi = 3}),
+               std::invalid_argument);
+  EXPECT_THROW(ts.add(McTask{.name = "x", .period = 0, .wcet_lo = 1}),
+               std::invalid_argument);
+}
+
+TEST(McTaskSet, LoTasksGetSingleBudget) {
+  McTaskSet ts;
+  ts.add(McTask{.name = "lo", .period = 10, .high_criticality = false,
+                .wcet_lo = 3, .wcet_hi = 99});
+  EXPECT_EQ(ts.tasks[0].wcet_hi, 3u);
+}
+
+TEST(McTaskSet, UtilizationPerMode) {
+  const McTaskSet ts = demo_set();
+  EXPECT_NEAR(ts.utilization(Mode::kLo), 0.2 + 0.2 + 0.1, 1e-12);
+  EXPECT_NEAR(ts.utilization(Mode::kHi), 0.4, 1e-12);
+}
+
+// --------------------------------------------------------------------- RTA
+
+TEST(AmcRtb, DemoSetSchedulable) {
+  const McTaskSet ts = demo_set();
+  const McRtaResult r = amc_rtb(ts);
+  EXPECT_TRUE(r.schedulable);
+  // Hand check: HI task has top priority (shortest deadline) -> R_LO = 20,
+  // steady HI = 40, transition = 40 (no higher-priority tasks at all).
+  EXPECT_EQ(r.lo[0].value(), 20u);
+  EXPECT_EQ(r.hi[0].value(), 40u);
+  EXPECT_EQ(r.transition[0].value(), 40u);
+  // LO tasks have LO-mode response times only.
+  EXPECT_TRUE(r.lo[1].has_value());
+  EXPECT_FALSE(r.hi[1].has_value());
+}
+
+TEST(AmcRtb, TransitionBoundDominatesWhenLoInterferes) {
+  // HI task at *lower* priority than a LO task: the transition bound must
+  // include the LO task's pre-switch interference.
+  McTaskSet ts;
+  ts.add(McTask{.name = "lo-fast", .period = 50, .deadline = 50,
+                .priority = 2, .high_criticality = false, .wcet_lo = 10});
+  ts.add(McTask{.name = "hi-slow", .period = 200, .deadline = 200,
+                .priority = 1, .high_criticality = true, .wcet_lo = 30,
+                .wcet_hi = 60});
+  const McRtaResult r = amc_rtb(ts);
+  ASSERT_TRUE(r.transition[1].has_value());
+  // Steady HI sees no interference (only HI tasks), transition does.
+  EXPECT_GT(*r.transition[1], *r.hi[1]);
+  EXPECT_TRUE(r.schedulable);
+}
+
+TEST(AmcRtb, OverloadedHiModeUnschedulable) {
+  McTaskSet ts;
+  ts.add(McTask{.name = "hi1", .period = 10, .deadline = 10, .priority = 2,
+                .high_criticality = true, .wcet_lo = 3, .wcet_hi = 7});
+  ts.add(McTask{.name = "hi2", .period = 10, .deadline = 10, .priority = 1,
+                .high_criticality = true, .wcet_lo = 3, .wcet_hi = 7});
+  const McRtaResult r = amc_rtb(ts);
+  EXPECT_FALSE(r.schedulable);
+}
+
+// --------------------------------------------------------------- simulation
+
+TEST(McSim, NoSwitchWhenWithinLoBudgets) {
+  const McTaskSet ts = demo_set();
+  const McSimResult r = simulate_mc(ts, McSimConfig{.duration = 100'000});
+  EXPECT_EQ(r.mode_switches, 0u);
+  EXPECT_EQ(r.hi_misses, 0u);
+  EXPECT_EQ(r.lo_misses, 0u);
+  EXPECT_EQ(r.lo_dropped, 0u);
+  EXPECT_GT(r.hi_jobs, 0u);
+}
+
+TEST(McSim, OverrunTriggersSwitchAndProtectsHi) {
+  const McTaskSet ts = demo_set();
+  // Every 5th HI job overruns to its HI budget.
+  std::size_t count = 0;
+  const McExecFn exec = [&count](const McTask& t, Mode,
+                                 util::Xoshiro256&) -> std::uint64_t {
+    if (!t.high_criticality) return t.wcet_lo;
+    return (++count % 5 == 0) ? t.wcet_hi : t.wcet_lo;
+  };
+  const McSimResult r =
+      simulate_mc(ts, McSimConfig{.duration = 200'000}, exec);
+  EXPECT_GT(r.mode_switches, 0u);
+  EXPECT_EQ(r.hi_misses, 0u) << "HI deadlines must hold across switches";
+  EXPECT_GT(r.lo_dropped, 0u) << "LO jobs must be shed in HI mode";
+}
+
+TEST(McSim, ReturnsToLoModeOnIdle) {
+  const McTaskSet ts = demo_set();
+  std::size_t count = 0;
+  const McExecFn exec = [&count](const McTask& t, Mode,
+                                 util::Xoshiro256&) -> std::uint64_t {
+    if (!t.high_criticality) return t.wcet_lo;
+    return (++count == 1) ? t.wcet_hi : t.wcet_lo;  // single early overrun
+  };
+  const McSimResult r =
+      simulate_mc(ts, McSimConfig{.duration = 200'000}, exec);
+  EXPECT_EQ(r.mode_switches, 1u);
+  // After returning to LO mode, LO jobs run again: far more LO jobs
+  // completed than were dropped.
+  EXPECT_GT(r.lo_jobs, 10 * r.lo_dropped);
+}
+
+TEST(McSim, NoReturnPolicyKeepsDroppingLo) {
+  const McTaskSet ts = demo_set();
+  std::size_t count = 0;
+  const McExecFn exec = [&count](const McTask& t, Mode,
+                                 util::Xoshiro256&) -> std::uint64_t {
+    if (!t.high_criticality) return t.wcet_lo;
+    return (++count == 1) ? t.wcet_hi : t.wcet_lo;
+  };
+  const McSimResult stay = simulate_mc(
+      ts, McSimConfig{.duration = 200'000, .return_to_lo_on_idle = false},
+      exec);
+  const McSimResult back = simulate_mc(
+      ts, McSimConfig{.duration = 200'000, .return_to_lo_on_idle = true},
+      exec);
+  EXPECT_GT(stay.lo_dropped, back.lo_dropped);
+}
+
+TEST(McSim, RejectsEmptySet) {
+  McTaskSet empty;
+  EXPECT_THROW(simulate_mc(empty, McSimConfig{}), std::invalid_argument);
+}
+
+// Property sweep: for AMC-schedulable random sets where HI tasks overrun
+// randomly, HI deadlines never break in simulation.
+class McSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(McSweep, HiAlwaysSafeWhenAmcSchedulable) {
+  util::Xoshiro256 rng{GetParam()};
+  McTaskSet ts;
+  ts.add(McTask{.name = "hi", .period = 80 + rng.below(40), .deadline = 0,
+                .priority = 0, .high_criticality = true,
+                .wcet_lo = 10 + rng.below(5),
+                .wcet_hi = 25 + rng.below(10)});
+  ts.add(McTask{.name = "lo1", .period = 150 + rng.below(100), .deadline = 0,
+                .priority = 0, .high_criticality = false,
+                .wcet_lo = 15 + rng.below(10)});
+  ts.add(McTask{.name = "lo2", .period = 300 + rng.below(200), .deadline = 0,
+                .priority = 0, .high_criticality = false,
+                .wcet_lo = 20 + rng.below(20)});
+  ts.assign_deadline_monotonic();
+  if (!amc_rtb(ts).schedulable) GTEST_SKIP() << "set not AMC-schedulable";
+
+  const McExecFn exec = [](const McTask& t, Mode,
+                           util::Xoshiro256& r) -> std::uint64_t {
+    if (!t.high_criticality) return t.wcet_lo;
+    return r.uniform() < 0.2 ? t.wcet_hi : t.wcet_lo;
+  };
+  const McSimResult r = simulate_mc(
+      ts, McSimConfig{.duration = 300'000, .seed = GetParam()}, exec);
+  EXPECT_EQ(r.hi_misses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, McSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace sx::rt

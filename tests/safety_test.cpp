@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include "safety/campaign.hpp"
+#include "safety/channel.hpp"
+#include "safety/fault.hpp"
+#include "safety/monitor.hpp"
+#include "safety/watchdog.hpp"
+#include "supervise/metrics.hpp"
+#include "test_helpers.hpp"
+
+namespace sx::safety {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+const dl::Model& model() { return sx::testing::trained_mlp(); }
+const dl::Dataset& data() { return sx::testing::road_data(); }
+
+// ----------------------------------------------------------------- monitor
+
+TEST(Monitor, AcceptsNormalOutput) {
+  SafetyMonitor mon{MonitorConfig{}};
+  const std::vector<float> logits{1.0f, -2.0f, 0.5f, 0.1f};
+  EXPECT_EQ(mon.check_output(logits), Status::kOk);
+  EXPECT_EQ(mon.rejections(), 0u);
+}
+
+TEST(Monitor, RejectsNaN) {
+  SafetyMonitor mon{MonitorConfig{}};
+  const std::vector<float> logits{1.0f,
+                                  std::numeric_limits<float>::quiet_NaN()};
+  EXPECT_EQ(mon.check_output(logits), Status::kNumericFault);
+  EXPECT_EQ(mon.rejections(), 1u);
+}
+
+TEST(Monitor, RejectsOutOfEnvelope) {
+  SafetyMonitor mon{MonitorConfig{.output_min = -10, .output_max = 10}};
+  const std::vector<float> logits{1.0f, 1e6f};
+  EXPECT_EQ(mon.check_output(logits), Status::kNumericFault);
+}
+
+TEST(Monitor, DecisionMarginRejectsAmbiguity) {
+  SafetyMonitor mon{MonitorConfig{.min_decision_margin = 0.2f}};
+  const std::vector<float> ambiguous{1.0f, 1.0f};
+  EXPECT_EQ(mon.check_output(ambiguous), Status::kSupervisorReject);
+  const std::vector<float> confident{5.0f, -5.0f};
+  EXPECT_EQ(mon.check_output(confident), Status::kOk);
+}
+
+TEST(Monitor, InputRangeCheck) {
+  SafetyMonitor mon{MonitorConfig{
+      .check_input_range = true, .input_min = 0.0f, .input_max = 1.0f}};
+  Tensor in{Shape::vec(3), {0.5f, 0.7f, 1.5f}};
+  EXPECT_EQ(mon.check_input(in.view()), Status::kOddViolation);
+}
+
+// ------------------------------------------------------------------ faults
+
+TEST(FaultInjector, BitFlipIsReversible) {
+  dl::Model m = model();
+  const auto hash_before = m.provenance_hash();
+  FaultInjector inj{9};
+  const FaultRecord rec = inj.inject(m, FaultType::kBitFlip);
+  EXPECT_NE(m.provenance_hash(), hash_before);
+  FaultInjector::restore(m, rec);
+  EXPECT_EQ(m.provenance_hash(), hash_before);
+}
+
+TEST(FaultInjector, FlipBitTwiceIsIdentity) {
+  const float v = 1.2345f;
+  for (int b = 0; b < 32; ++b) EXPECT_EQ(flip_bit(flip_bit(v, b), b), v);
+}
+
+TEST(FaultInjector, StuckFaultsSetExpectedValues) {
+  dl::Model m = model();
+  FaultInjector inj{4};
+  const FaultRecord z = inj.inject(m, FaultType::kStuckZero);
+  EXPECT_EQ(m.layer(z.layer).params()[z.param_index], 0.0f);
+  FaultInjector::restore(m, z);
+  const FaultRecord l = inj.inject(m, FaultType::kStuckLarge);
+  EXPECT_EQ(std::fabs(m.layer(l.layer).params()[l.param_index]), 1e6f);
+  FaultInjector::restore(m, l);
+}
+
+TEST(FaultInjector, TargetedInjection) {
+  dl::Model m = model();
+  FaultInjector inj{4};
+  const FaultRecord rec = inj.inject_at(m, FaultType::kBitFlip, 1, 3, 30);
+  EXPECT_EQ(rec.layer, 1u);
+  EXPECT_EQ(rec.param_index, 3u);
+  EXPECT_NE(rec.before, rec.after);
+  FaultInjector::restore(m, rec);
+}
+
+// ---------------------------------------------------------------- channels
+
+TEST(SingleChannel, MatchesModelForward) {
+  SingleChannel ch{model()};
+  std::vector<float> out(ch.output_size());
+  ASSERT_EQ(ch.infer(data().samples[0].input.view(), out), Status::kOk);
+  const Tensor ref = model().forward(data().samples[0].input);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], ref.at(i));
+}
+
+TEST(SingleChannel, ReplicaIsIndependentCopy) {
+  SingleChannel ch{model()};
+  ch.replica(0).layer(1).params()[0] += 100.0f;
+  // The original shared model is untouched.
+  SingleChannel fresh{model()};
+  std::vector<float> a(ch.output_size()), b(ch.output_size());
+  ASSERT_EQ(ch.infer(data().samples[0].input.view(), a), Status::kOk);
+  ASSERT_EQ(fresh.infer(data().samples[0].input.view(), b), Status::kOk);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) differs |= (a[i] != b[i]);
+  EXPECT_TRUE(differs);
+}
+
+TEST(DmrChannel, DetectsSingleReplicaCorruption) {
+  DmrChannel ch{model()};
+  // Large corruption in replica 0 only.
+  ch.replica(0).layer(1).params()[10] += 50.0f;
+  std::vector<float> out(ch.output_size());
+  std::size_t detected = 0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    if (ch.infer(data().samples[i].input.view(), out) ==
+        Status::kRedundancyFault)
+      ++detected;
+  }
+  EXPECT_GT(detected, 15u) << "DMR should flag nearly every inference";
+}
+
+TEST(DmrChannel, AgreesWhenHealthy) {
+  DmrChannel ch{model()};
+  std::vector<float> out(ch.output_size());
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_EQ(ch.infer(data().samples[i].input.view(), out), Status::kOk);
+  EXPECT_EQ(ch.divergences(), 0u);
+}
+
+TEST(TmrChannel, MasksSingleReplicaCorruption) {
+  TmrChannel ch{model()};
+  ch.replica(0).layer(1).params()[10] += 50.0f;
+  std::vector<float> out(ch.output_size());
+  SingleChannel golden{model()};
+  std::vector<float> ref(golden.output_size());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    ASSERT_EQ(golden.infer(data().samples[i].input.view(), ref), Status::kOk);
+    const Status st = ch.infer(data().samples[i].input.view(), out);
+    if (st == Status::kOk) {
+      std::size_t a = 0, b = 0;
+      for (std::size_t k = 1; k < out.size(); ++k) {
+        if (out[k] > out[a]) a = k;
+        if (ref[k] > ref[b]) b = k;
+      }
+      correct += (a == b) ? 1 : 0;
+    }
+  }
+  EXPECT_GT(correct, 18u) << "TMR should mask the faulty replica";
+  EXPECT_GT(ch.masked_votes(), 0u);
+}
+
+TEST(TmrChannel, SurvivesNaNReplica) {
+  TmrChannel ch{model()};
+  ch.replica(1).layer(1).params()[0] =
+      std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> out(ch.output_size());
+  EXPECT_EQ(ch.infer(data().samples[0].input.view(), out), Status::kOk);
+}
+
+TEST(TmrChannel, FailsWithTwoBadReplicas) {
+  TmrChannel ch{model()};
+  ch.replica(0).layer(1).params()[0] =
+      std::numeric_limits<float>::quiet_NaN();
+  ch.replica(1).layer(1).params()[0] =
+      std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> out(ch.output_size());
+  EXPECT_EQ(ch.infer(data().samples[0].input.view(), out),
+            Status::kRedundancyFault);
+}
+
+TEST(DiverseTmrChannel, HealthyMajorityAgreesWithFloat) {
+  DiverseTmrChannel ch{model(), data()};
+  SingleChannel golden{model()};
+  std::vector<float> out(ch.output_size()), ref(ch.output_size());
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    ASSERT_EQ(ch.infer(data().samples[i].input.view(), out), Status::kOk);
+    ASSERT_EQ(golden.infer(data().samples[i].input.view(), ref), Status::kOk);
+    std::size_t a = 0, b = 0;
+    for (std::size_t k = 1; k < out.size(); ++k) {
+      if (out[k] > out[a]) a = k;
+      if (ref[k] > ref[b]) b = k;
+    }
+    agree += (a == b) ? 1 : 0;
+  }
+  EXPECT_GT(agree, 27u);
+}
+
+TEST(SafetyBag, FallsBackOnPrimaryFailure) {
+  auto primary = std::make_unique<DmrChannel>(model());
+  primary->replica(0).layer(1).params()[10] += 50.0f;  // force divergence
+  std::vector<float> fallback(dl::kRoadSceneClasses, 0.0f);
+  fallback[3] = 10.0f;  // conservative: "obstacle"
+  SafetyBagChannel bag{std::move(primary), nullptr, nullptr, fallback};
+  std::vector<float> out(bag.output_size());
+  ASSERT_EQ(bag.infer(data().samples[0].input.view(), out), Status::kOk);
+  EXPECT_TRUE(bag.last_degraded());
+  EXPECT_EQ(bag.fallback_activations(), 1u);
+  std::size_t a = 0;
+  for (std::size_t k = 1; k < out.size(); ++k)
+    if (out[k] > out[a]) a = k;
+  EXPECT_EQ(a, 3u);
+}
+
+TEST(SafetyBag, SupervisorRejectTriggersFallback) {
+  supervise::AutoencoderSupervisor sup{16, 10, 0.05, 3};
+  sup.fit(model(), data());
+  sup.calibrate_threshold(supervise::collect_scores(sup, model(), data()),
+                          0.95);
+  auto primary = std::make_unique<SingleChannel>(model());
+  std::vector<float> fallback(dl::kRoadSceneClasses, 0.0f);
+  fallback[3] = 10.0f;
+  SafetyBagChannel bag{std::move(primary), &model(), &sup, fallback};
+  // Far-OOD input should be rejected by the supervisor.
+  const dl::Dataset ood =
+      dl::corrupt(data(), dl::Corruption::kUniformRandom, 3);
+  std::vector<float> out(bag.output_size());
+  std::size_t fallbacks = 0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    ASSERT_EQ(bag.infer(ood.samples[i].input.view(), out), Status::kOk);
+    fallbacks += bag.last_degraded() ? 1 : 0;
+  }
+  EXPECT_GT(fallbacks, 15u);
+}
+
+TEST(SafetyBag, ValidatesConstruction) {
+  std::vector<float> wrong_size(2, 0.0f);
+  EXPECT_THROW(SafetyBagChannel(std::make_unique<SingleChannel>(model()),
+                                nullptr, nullptr, wrong_size),
+               std::invalid_argument);
+  supervise::MahalanobisSupervisor sup;  // unfitted, no threshold
+  std::vector<float> fb(dl::kRoadSceneClasses, 0.0f);
+  EXPECT_THROW(SafetyBagChannel(std::make_unique<SingleChannel>(model()),
+                                &model(), &sup, fb),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- campaign
+
+TEST(Campaign, LadderSafetyIsMonotone) {
+  dl::Dataset probes;
+  probes.num_classes = data().num_classes;
+  probes.input_shape = data().input_shape;
+  for (std::size_t i = 0; i < 16; ++i)
+    probes.samples.push_back(data().samples[i]);
+
+  const CampaignConfig cfg{.n_faults = 60, .probes_per_fault = 4,
+                           .fault_type = FaultType::kBitFlip, .seed = 5};
+
+  SingleChannel bare{model()};
+  MonitoredChannel monitored{model(), MonitorConfig{.output_min = -50,
+                                                    .output_max = 50}};
+  DmrChannel dmr{model()};
+  TmrChannel tmr{model()};
+
+  const auto o_bare = run_campaign(bare, probes, cfg);
+  const auto o_mon = run_campaign(monitored, probes, cfg);
+  const auto o_dmr = run_campaign(dmr, probes, cfg);
+  const auto o_tmr = run_campaign(tmr, probes, cfg);
+
+  // The pattern ladder must not lose safety as sophistication grows.
+  EXPECT_LE(o_mon.sdc_rate(), o_bare.sdc_rate() + 1e-9);
+  EXPECT_LE(o_dmr.sdc_rate(), o_mon.sdc_rate() + 0.01);
+  EXPECT_LE(o_tmr.sdc_rate(), 0.01) << "TMR should essentially remove SDC";
+  // TMR keeps availability high (masking, not stopping).
+  EXPECT_GT(o_tmr.availability(), o_dmr.availability());
+}
+
+TEST(Campaign, OutcomeArithmetic) {
+  CampaignOutcome o;
+  o.correct = 70;
+  o.detected = 20;
+  o.fallback = 5;
+  o.sdc = 5;
+  EXPECT_EQ(o.total(), 100u);
+  EXPECT_DOUBLE_EQ(o.sdc_rate(), 0.05);
+  EXPECT_DOUBLE_EQ(o.safe_rate(), 0.95);
+  EXPECT_DOUBLE_EQ(o.availability(), 0.75);
+}
+
+TEST(Campaign, RejectsEmptyProbes) {
+  SingleChannel ch{model()};
+  dl::Dataset empty;
+  EXPECT_THROW(run_campaign(ch, empty, CampaignConfig{}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- watchdog
+
+TEST(Watchdog, KickBeforeDeadlineOk) {
+  Watchdog wd;
+  wd.arm(100, 50);
+  EXPECT_EQ(wd.kick(140), Status::kOk);
+  EXPECT_EQ(wd.kicks(), 1u);
+}
+
+TEST(Watchdog, LateKickIsMiss) {
+  Watchdog wd;
+  wd.arm(100, 50);
+  EXPECT_EQ(wd.kick(151), Status::kDeadlineMiss);
+  EXPECT_EQ(wd.misses(), 1u);
+}
+
+TEST(Watchdog, KickWithoutArmIsNotReady) {
+  Watchdog wd;
+  EXPECT_EQ(wd.kick(0), Status::kNotReady);
+}
+
+TEST(Watchdog, ExpiryPolling) {
+  Watchdog wd;
+  wd.arm(0, 10);
+  EXPECT_FALSE(wd.expired(10));
+  EXPECT_TRUE(wd.expired(11));
+  wd.disarm();
+  EXPECT_FALSE(wd.expired(100));
+}
+
+// Property sweep: every fault type is reversible at every targeted bit.
+class FaultReversibility : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultReversibility, InjectRestoreRoundTrip) {
+  dl::Model m = model();
+  const auto h = m.provenance_hash();
+  FaultInjector inj{static_cast<std::uint64_t>(GetParam())};
+  for (const FaultType t :
+       {FaultType::kBitFlip, FaultType::kStuckZero, FaultType::kStuckLarge}) {
+    const auto rec = inj.inject(m, t);
+    FaultInjector::restore(m, rec);
+    EXPECT_EQ(m.provenance_hash(), h) << to_string(t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultReversibility,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace sx::safety

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "supervise/drift.hpp"
+#include "util/rng.hpp"
+
+namespace sx::supervise {
+namespace {
+
+std::vector<double> gaussian_scores(std::size_t n, double mean, double std,
+                                    std::uint64_t seed) {
+  util::Xoshiro256 rng{seed};
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.gaussian(mean, std);
+  return out;
+}
+
+// ------------------------------------------------------------------- CUSUM
+
+TEST(Cusum, QuietOnInDistributionStream) {
+  const auto calib = gaussian_scores(200, 1.0, 0.2, 1);
+  CusumDetector det = CusumDetector::fit(calib);
+  util::Xoshiro256 rng{2};
+  for (int i = 0; i < 2000; ++i)
+    det.update(rng.gaussian(1.0, 0.2));
+  EXPECT_FALSE(det.alarmed()) << "statistic " << det.statistic();
+}
+
+TEST(Cusum, AlarmsQuicklyOnMeanShift) {
+  const auto calib = gaussian_scores(200, 1.0, 0.2, 3);
+  CusumDetector det = CusumDetector::fit(calib);
+  util::Xoshiro256 rng{4};
+  int steps = 0;
+  // Shift by +3 sigma: should alarm within a few dozen observations.
+  while (!det.alarmed() && steps < 200) {
+    det.update(rng.gaussian(1.6, 0.2));
+    ++steps;
+  }
+  EXPECT_TRUE(det.alarmed());
+  EXPECT_LT(steps, 50);
+}
+
+TEST(Cusum, SlowDriftEventuallyCaught) {
+  const auto calib = gaussian_scores(200, 1.0, 0.2, 5);
+  CusumDetector det = CusumDetector::fit(calib);
+  util::Xoshiro256 rng{6};
+  double mean = 1.0;
+  int steps = 0;
+  while (!det.alarmed() && steps < 5000) {
+    mean += 0.0005;  // creeping drift
+    det.update(rng.gaussian(mean, 0.2));
+    ++steps;
+  }
+  EXPECT_TRUE(det.alarmed());
+}
+
+TEST(Cusum, ResetClearsAlarm) {
+  CusumDetector det{0.0, 1.0, 0.5, 2.0};
+  for (int i = 0; i < 50; ++i) det.update(5.0);
+  ASSERT_TRUE(det.alarmed());
+  det.reset();
+  EXPECT_FALSE(det.alarmed());
+  EXPECT_EQ(det.statistic(), 0.0);
+}
+
+TEST(Cusum, ValidatesInputs) {
+  EXPECT_THROW(CusumDetector(0.0, 1.0, -1.0, 8.0), std::invalid_argument);
+  EXPECT_THROW(CusumDetector(0.0, 1.0, 0.5, 0.0), std::invalid_argument);
+  const std::vector<double> tiny{1.0, 2.0};
+  EXPECT_THROW(CusumDetector::fit(tiny), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- KS window
+
+TEST(KsWindow, QuietOnInDistributionStream) {
+  WindowedKsDetector det{gaussian_scores(300, 1.0, 0.2, 7), 50};
+  util::Xoshiro256 rng{8};
+  for (int i = 0; i < 1000; ++i) det.update(rng.gaussian(1.0, 0.2));
+  EXPECT_FALSE(det.alarmed()) << "ks " << det.last_statistic();
+}
+
+TEST(KsWindow, AlarmsOnDistributionChange) {
+  WindowedKsDetector det{gaussian_scores(300, 1.0, 0.2, 9), 50};
+  util::Xoshiro256 rng{10};
+  int steps = 0;
+  while (!det.alarmed() && steps < 500) {
+    det.update(rng.gaussian(2.0, 0.2));
+    ++steps;
+  }
+  EXPECT_TRUE(det.alarmed());
+  EXPECT_LE(steps, 100) << "should alarm within ~2 windows";
+}
+
+TEST(KsWindow, CatchesVarianceChangeWithSameMean) {
+  WindowedKsDetector det{gaussian_scores(400, 1.0, 0.1, 11), 60};
+  util::Xoshiro256 rng{12};
+  int steps = 0;
+  while (!det.alarmed() && steps < 1000) {
+    det.update(rng.gaussian(1.0, 0.6));  // same mean, inflated spread
+    ++steps;
+  }
+  EXPECT_TRUE(det.alarmed())
+      << "a mean-based detector would miss this; KS must not";
+}
+
+TEST(KsWindow, NeedsFullWindowBeforeTesting) {
+  WindowedKsDetector det{gaussian_scores(300, 1.0, 0.2, 13), 50};
+  for (int i = 0; i < 49; ++i) det.update(100.0);  // extreme, but < window
+  EXPECT_FALSE(det.alarmed());
+  det.update(100.0);  // 50th observation completes the window
+  EXPECT_TRUE(det.alarmed());
+}
+
+TEST(KsWindow, ValidatesInputs) {
+  EXPECT_THROW(WindowedKsDetector({1.0, 2.0}, 50), std::invalid_argument);
+  EXPECT_THROW(WindowedKsDetector(gaussian_scores(100, 0, 1, 1), 5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sx::supervise

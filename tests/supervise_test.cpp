@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "supervise/calibration.hpp"
+#include "util/stats.hpp"
+#include "supervise/conformal.hpp"
+#include "supervise/metrics.hpp"
+#include "supervise/supervisor.hpp"
+#include "test_helpers.hpp"
+
+namespace sx::supervise {
+namespace {
+
+const dl::Model& model() { return sx::testing::trained_mlp(); }
+
+const dl::Dataset& id_data() { return sx::testing::road_data(); }
+
+const dl::Dataset& ood_data() {
+  static const dl::Dataset ds =
+      dl::corrupt(id_data(), dl::Corruption::kUniformRandom, 77);
+  return ds;
+}
+
+// ----------------------------------------------------------------- metrics
+
+TEST(Auroc, PerfectSeparation) {
+  const std::vector<double> neg{0.1, 0.2, 0.3};
+  const std::vector<double> pos{0.9, 0.8, 0.7};
+  EXPECT_DOUBLE_EQ(auroc(neg, pos), 1.0);
+}
+
+TEST(Auroc, Chance) {
+  const std::vector<double> neg{0.1, 0.9};
+  const std::vector<double> pos{0.1, 0.9};
+  EXPECT_DOUBLE_EQ(auroc(neg, pos), 0.5);
+}
+
+TEST(Auroc, Inverted) {
+  const std::vector<double> neg{0.9, 0.8};
+  const std::vector<double> pos{0.1, 0.2};
+  EXPECT_DOUBLE_EQ(auroc(neg, pos), 0.0);
+}
+
+TEST(Auroc, RejectsEmpty) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(auroc({}, xs), std::invalid_argument);
+}
+
+TEST(FprAtTpr, PerfectDetectorHasZeroFpr) {
+  std::vector<double> id(100);
+  std::vector<double> ood(100);
+  for (int i = 0; i < 100; ++i) {
+    id[static_cast<std::size_t>(i)] = i * 0.01;        // 0 .. 0.99
+    ood[static_cast<std::size_t>(i)] = 10.0 + i;       // far above
+  }
+  EXPECT_DOUBLE_EQ(fpr_at_tpr(id, ood, 0.95), 0.0);
+}
+
+TEST(FprAtTpr, OverlappingScores) {
+  std::vector<double> id{0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+  std::vector<double> ood{0.85, 0.95, 1.05, 2.0};
+  const double fpr = fpr_at_tpr(id, ood, 0.95);
+  EXPECT_GT(fpr, 0.0);
+  EXPECT_LT(fpr, 1.0);
+}
+
+// -------------------------------------------------------------- supervisors
+
+TEST(MaxSoftmax, ScoreInUnitRange) {
+  MaxSoftmaxSupervisor sup;
+  for (std::size_t i = 0; i < 10; ++i) {
+    const double s = sup.score(model(), id_data().samples[i].input);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(Supervisors, AllSeparateFarOod) {
+  // Logit-based baselines are known to be overconfident on garbage inputs;
+  // they must still be better than chance. Feature-/input-based methods
+  // must separate far-OOD nearly perfectly (the E4 ladder).
+  for (auto& sup : make_all_supervisors()) {
+    sup->fit(model(), id_data());
+    const auto r =
+        evaluate_detection(*sup, model(), id_data(), ood_data(), "uniform");
+    const bool is_baseline =
+        sup->name() == "max-softmax" || sup->name() == "energy";
+    EXPECT_GT(r.auroc, is_baseline ? 0.6 : 0.9)
+        << sup->name() << " AUROC too low";
+  }
+}
+
+TEST(Supervisors, FeatureBasedBeatBaselineOnFog) {
+  const dl::Dataset fog = dl::corrupt(id_data(), dl::Corruption::kFog, 5);
+  MaxSoftmaxSupervisor baseline;
+  MahalanobisSupervisor maha;
+  maha.fit(model(), id_data());
+  const double auroc_base =
+      evaluate_detection(baseline, model(), id_data(), fog, "fog").auroc;
+  const double auroc_maha =
+      evaluate_detection(maha, model(), id_data(), fog, "fog").auroc;
+  EXPECT_GT(auroc_maha, auroc_base - 0.05)
+      << "Mahalanobis should not be materially worse than max-softmax";
+}
+
+TEST(Mahalanobis, ScoresIdLowerThanOod) {
+  MahalanobisSupervisor sup;
+  sup.fit(model(), id_data());
+  const auto id_scores = collect_scores(sup, model(), id_data());
+  const auto ood_scores = collect_scores(sup, model(), ood_data());
+  EXPECT_LT(util::mean(id_scores), util::mean(ood_scores));
+}
+
+TEST(Mahalanobis, RequiresFitBeforeScore) {
+  MahalanobisSupervisor sup;
+  EXPECT_THROW(sup.score(model(), id_data().samples[0].input),
+               std::logic_error);
+}
+
+TEST(Energy, TemperatureMustBePositive) {
+  EXPECT_THROW(EnergySupervisor(0.0), std::invalid_argument);
+}
+
+TEST(Autoencoder, ReconstructsIdBetterThanOod) {
+  AutoencoderSupervisor sup{16, 10, 0.05, 3};
+  sup.fit(model(), id_data());
+  const auto id_scores = collect_scores(sup, model(), id_data());
+  const auto ood_scores = collect_scores(sup, model(), ood_data());
+  EXPECT_LT(util::mean(id_scores), util::mean(ood_scores));
+}
+
+TEST(Threshold, CalibrationAcceptsTargetFraction) {
+  MaxSoftmaxSupervisor sup;
+  auto scores = collect_scores(sup, model(), id_data());
+  sup.calibrate_threshold(scores, 0.9);
+  ASSERT_TRUE(sup.has_threshold());
+  std::size_t accepted = 0;
+  for (const auto& s : id_data().samples)
+    accepted += sup.accept(model(), s.input) ? 1 : 0;
+  const double rate =
+      static_cast<double>(accepted) / static_cast<double>(id_data().size());
+  EXPECT_NEAR(rate, 0.9, 0.05);
+}
+
+TEST(Threshold, RejectsEmptyScores) {
+  MaxSoftmaxSupervisor sup;
+  EXPECT_THROW(sup.calibrate_threshold({}, 0.95), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- calibration
+
+TEST(TemperatureScaling, TemperedSoftmaxIsDistribution) {
+  const std::vector<float> logits{1.0f, -2.0f, 0.5f};
+  for (double t : {0.5, 1.0, 4.0}) {
+    const auto p = tempered_softmax(logits, t);
+    float s = 0.0f;
+    for (float v : p) s += v;
+    EXPECT_NEAR(s, 1.0f, 1e-5f);
+  }
+}
+
+TEST(TemperatureScaling, HighTemperatureFlattens) {
+  const std::vector<float> logits{3.0f, 0.0f};
+  const auto sharp = tempered_softmax(logits, 0.5);
+  const auto flat = tempered_softmax(logits, 10.0);
+  EXPECT_GT(sharp[0], flat[0]);
+  EXPECT_LT(flat[0], 0.7f);
+}
+
+TEST(TemperatureScaling, FittedTemperatureImprovesNll) {
+  const double t = fit_temperature(model(), id_data());
+  EXPECT_GT(t, 0.05);
+  EXPECT_LT(t, 20.0);
+  const double nll_fitted = nll_at_temperature(model(), id_data(), t);
+  const double nll_unit = nll_at_temperature(model(), id_data(), 1.0);
+  EXPECT_LE(nll_fitted, nll_unit + 1e-9);
+}
+
+TEST(Ece, InUnitRangeAndSensibleAtFittedTemperature) {
+  const double ece1 = expected_calibration_error(model(), id_data(), 1.0);
+  EXPECT_GE(ece1, 0.0);
+  EXPECT_LE(ece1, 1.0);
+}
+
+// ---------------------------------------------------------------- conformal
+
+TEST(Conformal, CoverageMeetsNominal) {
+  dl::Dataset calib, test;
+  dl::split(id_data(), 0.5, calib, test);
+  for (double alpha : {0.1, 0.05}) {
+    const ConformalClassifier cc{model(), calib, alpha};
+    const auto rep = cc.evaluate(model(), test);
+    EXPECT_GE(rep.empirical_coverage, 1.0 - alpha - 0.06)
+        << "coverage below nominal at alpha=" << alpha;
+    EXPECT_GE(rep.mean_set_size, 1.0);
+    EXPECT_LE(rep.mean_set_size,
+              static_cast<double>(dl::kRoadSceneClasses));
+  }
+}
+
+TEST(Conformal, SmallerAlphaGivesBiggerSets) {
+  dl::Dataset calib, test;
+  dl::split(id_data(), 0.5, calib, test);
+  const ConformalClassifier loose{model(), calib, 0.2};
+  const ConformalClassifier tight{model(), calib, 0.02};
+  EXPECT_LE(loose.evaluate(model(), test).mean_set_size,
+            tight.evaluate(model(), test).mean_set_size + 1e-9);
+}
+
+TEST(Conformal, PredictionSetNeverEmpty) {
+  dl::Dataset calib, test;
+  dl::split(id_data(), 0.5, calib, test);
+  const ConformalClassifier cc{model(), calib, 0.1};
+  for (std::size_t i = 0; i < 20; ++i)
+    EXPECT_FALSE(cc.prediction_set(model(), test.samples[i].input).empty());
+}
+
+TEST(Conformal, RejectsBadAlpha) {
+  EXPECT_THROW(ConformalClassifier(model(), id_data(), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(ConformalClassifier(model(), id_data(), 1.0),
+               std::invalid_argument);
+}
+
+// Property sweep: AUROC is invariant under monotone transforms of scores.
+class AurocInvariance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AurocInvariance, MonotoneTransformInvariant) {
+  util::Xoshiro256 rng{GetParam()};
+  std::vector<double> neg, pos;
+  for (int i = 0; i < 60; ++i) {
+    neg.push_back(rng.gaussian(0.0, 1.0));
+    pos.push_back(rng.gaussian(1.0, 1.0));
+  }
+  const double base = auroc(neg, pos);
+  auto transform = [](std::vector<double> v) {
+    for (auto& x : v) x = std::exp(0.5 * x) + 3.0;
+    return v;
+  };
+  EXPECT_NEAR(auroc(transform(neg), transform(pos)), base, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AurocInvariance,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace sx::supervise

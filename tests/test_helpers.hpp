@@ -1,0 +1,59 @@
+// Shared fixtures: small trained models and datasets, built once per test
+// binary (training is deterministic, so every binary sees identical models).
+#pragma once
+
+#include "dl/dataset.hpp"
+#include "dl/model.hpp"
+#include "dl/train.hpp"
+
+namespace sx::testing {
+
+/// RoadScene dataset, 400 samples (generation is cheap and deterministic).
+inline const dl::Dataset& road_data() {
+  static const dl::Dataset ds = dl::make_road_scene(400, /*seed=*/11);
+  return ds;
+}
+
+/// Small MLP trained on RoadScene to usable accuracy (> ~80%).
+inline const dl::Model& trained_mlp() {
+  static const dl::Model model = [] {
+    dl::ModelBuilder b{road_data().input_shape};
+    b.flatten().dense(32).relu().dense(16).relu().dense(
+        dl::kRoadSceneClasses);
+    dl::Model m = b.build(/*seed=*/5);
+    dl::Trainer trainer{dl::TrainConfig{.learning_rate = 0.02,
+                                        .momentum = 0.9,
+                                        .epochs = 30,
+                                        .batch_size = 16,
+                                        .shuffle_seed = 3}};
+    trainer.fit(m, road_data());
+    return m;
+  }();
+  return model;
+}
+
+/// Small CNN trained on RoadScene (used where spatial structure matters,
+/// e.g. explainability tests).
+inline const dl::Model& trained_cnn() {
+  static const dl::Model model = [] {
+    dl::ModelBuilder b{road_data().input_shape};
+    b.conv2d(4, 3, /*stride=*/1, /*padding=*/1)
+        .relu()
+        .maxpool(2)
+        .flatten()
+        .dense(24)
+        .relu()
+        .dense(dl::kRoadSceneClasses);
+    dl::Model m = b.build(/*seed=*/17);
+    dl::Trainer trainer{dl::TrainConfig{.learning_rate = 0.02,
+                                        .momentum = 0.9,
+                                        .epochs = 12,
+                                        .batch_size = 16,
+                                        .shuffle_seed = 23}};
+    trainer.fit(m, road_data());
+    return m;
+  }();
+  return model;
+}
+
+}  // namespace sx::testing

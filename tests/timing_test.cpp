@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "timing/evt.hpp"
+#include "timing/iid.hpp"
+#include "timing/mbpta.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace sx::timing {
+namespace {
+
+std::vector<double> iid_gaussian(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng{seed};
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.gaussian(1000.0, 25.0);
+  return xs;
+}
+
+std::vector<double> correlated_walk(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng{seed};
+  std::vector<double> xs(n);
+  double v = 1000.0;
+  for (auto& x : xs) {
+    v += rng.gaussian(0.0, 5.0);
+    x = v;
+  }
+  return xs;
+}
+
+/// Samples an exact Gumbel(mu, beta) via inverse transform.
+std::vector<double> gumbel_sample(std::size_t n, double mu, double beta,
+                                  std::uint64_t seed) {
+  util::Xoshiro256 rng{seed};
+  std::vector<double> xs(n);
+  for (auto& x : xs) {
+    double u = rng.uniform();
+    while (u <= 0.0) u = rng.uniform();
+    x = mu - beta * std::log(-std::log(u));
+  }
+  return xs;
+}
+
+// --------------------------------------------------------------------- iid
+
+TEST(Iid, RunsTestPassesOnIidData) {
+  const auto xs = iid_gaussian(1000, 1);
+  EXPECT_LT(std::fabs(runs_test_z(xs)), 1.96);
+}
+
+TEST(Iid, RunsTestFlagsRandomWalk) {
+  const auto xs = correlated_walk(1000, 2);
+  EXPECT_GT(std::fabs(runs_test_z(xs)), 1.96);
+}
+
+TEST(Iid, RunsTestNeedsEnoughData) {
+  const std::vector<double> tiny{1, 2, 3};
+  EXPECT_THROW(runs_test_z(tiny), std::invalid_argument);
+}
+
+TEST(Iid, AutocorrelationNearZeroForIid) {
+  const auto xs = iid_gaussian(2000, 3);
+  EXPECT_LT(std::fabs(autocorrelation(xs, 1)), 0.06);
+}
+
+TEST(Iid, AutocorrelationHighForWalk) {
+  const auto xs = correlated_walk(2000, 4);
+  EXPECT_GT(autocorrelation(xs, 1), 0.9);
+}
+
+TEST(Iid, KsZeroForIdenticalSamples) {
+  const auto xs = iid_gaussian(100, 5);
+  EXPECT_DOUBLE_EQ(ks_two_sample(xs, xs), 0.0);
+}
+
+TEST(Iid, KsLargeForShiftedSamples) {
+  const auto a = iid_gaussian(500, 6);
+  auto b = iid_gaussian(500, 7);
+  for (auto& x : b) x += 100.0;
+  EXPECT_GT(ks_two_sample(a, b), 0.9);
+}
+
+TEST(Iid, FullBatteryPassesIid) {
+  const auto verdict = check_iid(iid_gaussian(1000, 8));
+  EXPECT_TRUE(verdict.all_pass());
+}
+
+TEST(Iid, FullBatteryFailsWalk) {
+  const auto verdict = check_iid(correlated_walk(1000, 9));
+  EXPECT_FALSE(verdict.all_pass());
+}
+
+// --------------------------------------------------------------------- EVT
+
+TEST(Evt, BlockMaximaBasics) {
+  const std::vector<double> xs{1, 5, 2, 8, 3, 4, 9, 0};
+  const auto m = block_maxima(xs, 4);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(m[0], 8.0);
+  EXPECT_DOUBLE_EQ(m[1], 9.0);
+}
+
+TEST(Evt, BlockMaximaDropsPartialBlock) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_EQ(block_maxima(xs, 2).size(), 2u);
+}
+
+TEST(Evt, GumbelFitRecoversParameters) {
+  // Fit with block size 1 on exact Gumbel data: estimates should land near
+  // the true (mu, beta).
+  const double mu = 500.0, beta = 20.0;
+  const auto xs = gumbel_sample(20000, mu, beta, 10);
+  const GumbelFit fit = fit_gumbel(xs, 1);
+  EXPECT_NEAR(fit.location, mu, 2.0);
+  EXPECT_NEAR(fit.scale, beta, 2.0);
+}
+
+TEST(Evt, CdfQuantileInverse) {
+  GumbelFit fit;
+  fit.location = 100.0;
+  fit.scale = 10.0;
+  for (double q : {0.1, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(fit.cdf(fit.quantile(q)), q, 1e-9);
+  }
+}
+
+TEST(Evt, PwcetMonotoneInExceedance) {
+  const auto xs = gumbel_sample(5000, 1000.0, 30.0, 11);
+  const GumbelFit fit = fit_gumbel(xs, 20);
+  double prev = 0.0;
+  for (double p : {1e-3, 1e-6, 1e-9, 1e-12}) {
+    const double bound = pwcet(fit, p);
+    EXPECT_GT(bound, prev);
+    prev = bound;
+  }
+}
+
+TEST(Evt, PwcetUpperBoundsFreshSampleHwm) {
+  const auto train = gumbel_sample(5000, 1000.0, 30.0, 12);
+  const GumbelFit fit = fit_gumbel(train, 20);
+  const auto fresh = gumbel_sample(1000, 1000.0, 30.0, 13);
+  const double hwm = util::max_of(fresh);
+  // At 1e-6 per-run exceedance, the bound should clear a 1k-run HWM.
+  EXPECT_GT(pwcet(fit, 1e-6), hwm * 0.98);
+}
+
+TEST(Evt, PwcetRejectsBadProbability) {
+  GumbelFit fit;
+  EXPECT_THROW(pwcet(fit, 0.0), std::invalid_argument);
+  EXPECT_THROW(pwcet(fit, 1.0), std::invalid_argument);
+}
+
+TEST(Evt, FitNeedsEnoughBlocks) {
+  const auto xs = gumbel_sample(50, 0, 1, 14);
+  EXPECT_THROW(fit_gumbel(xs, 20), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- MBPTA
+
+TEST(Mbpta, AdmissibleOnIidData) {
+  const auto rep = analyze(iid_gaussian(2000, 15));
+  EXPECT_TRUE(rep.admissible);
+  ASSERT_EQ(rep.curve.size(), 5u);
+  // The pWCET at the loosest exceedance already clears the sample HWM's
+  // neighbourhood; tighter exceedances are larger still.
+  EXPECT_GT(rep.curve.back().bound, rep.curve.front().bound);
+}
+
+TEST(Mbpta, RefusesCorrelatedData) {
+  const auto rep = analyze(correlated_walk(2000, 16));
+  EXPECT_FALSE(rep.admissible);
+  EXPECT_TRUE(rep.curve.empty());
+}
+
+TEST(Mbpta, ForceModeFitsAnyway) {
+  const auto rep =
+      analyze(correlated_walk(2000, 17), MbptaConfig{.require_iid = false});
+  EXPECT_TRUE(rep.admissible);
+  EXPECT_FALSE(rep.curve.empty());
+}
+
+TEST(Mbpta, NeedsMinimumObservations) {
+  EXPECT_THROW(analyze(iid_gaussian(100, 18)), std::invalid_argument);
+}
+
+TEST(Mbpta, ReportTextMentionsVerdicts) {
+  const auto rep = analyze(iid_gaussian(2000, 19));
+  const std::string t = rep.to_text();
+  EXPECT_NE(t.find("pWCET"), std::string::npos);
+  EXPECT_NE(t.find("admissible: yes"), std::string::npos);
+}
+
+// Property sweep: the fitted pWCET at 1e-9 upper-bounds the training HWM
+// for a range of Gumbel shapes.
+class PwcetUpperBound
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(PwcetUpperBound, BoundsTrainingHwm) {
+  const double mu = std::get<0>(GetParam());
+  const double beta = std::get<1>(GetParam());
+  const auto xs = gumbel_sample(4000, mu, beta, 21);
+  const GumbelFit fit = fit_gumbel(xs, 20);
+  EXPECT_GE(pwcet(fit, 1e-9), util::max_of(xs));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PwcetUpperBound,
+    ::testing::Combine(::testing::Values(100.0, 10000.0),
+                       ::testing::Values(5.0, 50.0, 500.0)));
+
+}  // namespace
+}  // namespace sx::timing

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "trace/audit.hpp"
+#include "trace/odd.hpp"
+#include "trace/provenance.hpp"
+#include "trace/requirements.hpp"
+#include "trace/safety_case.hpp"
+
+namespace sx::trace {
+namespace {
+
+// -------------------------------------------------------------- requirements
+
+TEST(Requirements, AddAndFind) {
+  RequirementRegistry reg;
+  reg.add(Requirement{"REQ-1", "detect obstacles", Criticality::kSil3});
+  ASSERT_NE(reg.find("REQ-1"), nullptr);
+  EXPECT_EQ(reg.find("REQ-1")->criticality, Criticality::kSil3);
+  EXPECT_EQ(reg.find("REQ-2"), nullptr);
+}
+
+TEST(Requirements, RejectsDuplicatesAndEmptyIds) {
+  RequirementRegistry reg;
+  reg.add(Requirement{"REQ-1", "x", Criticality::kQM});
+  EXPECT_THROW(reg.add(Requirement{"REQ-1", "y", Criticality::kQM}),
+               std::invalid_argument);
+  EXPECT_THROW(reg.add(Requirement{"", "y", Criticality::kQM}),
+               std::invalid_argument);
+}
+
+TEST(Requirements, LinksRequireExistingRequirement) {
+  RequirementRegistry reg;
+  EXPECT_THROW(reg.link("REQ-404", ArtifactKind::kTest, "t1", "verifies"),
+               std::invalid_argument);
+}
+
+TEST(Requirements, CoverageAndGaps) {
+  RequirementRegistry reg;
+  reg.add(Requirement{"REQ-1", "a", Criticality::kSil2});
+  reg.add(Requirement{"REQ-2", "b", Criticality::kSil2});
+  reg.link("REQ-1", ArtifactKind::kTest, "test-a", "verifies");
+  EXPECT_DOUBLE_EQ(reg.coverage("verifies"), 0.5);
+  const auto gaps = reg.uncovered("verifies");
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0], "REQ-2");
+}
+
+TEST(Requirements, MatrixListsEverything) {
+  RequirementRegistry reg;
+  reg.add(Requirement{"REQ-1", "a", Criticality::kSil4});
+  reg.link("REQ-1", ArtifactKind::kModel, "deadbeef", "implements");
+  const std::string m = reg.matrix();
+  EXPECT_NE(m.find("REQ-1"), std::string::npos);
+  EXPECT_NE(m.find("SIL4"), std::string::npos);
+  EXPECT_NE(m.find("deadbeef"), std::string::npos);
+}
+
+TEST(Requirements, CriticalityNames) {
+  EXPECT_EQ(to_string(Criticality::kQM), "QM");
+  EXPECT_EQ(to_string(Criticality::kSil4), "SIL4");
+  EXPECT_EQ(to_string(ArtifactKind::kAnalysis), "analysis");
+}
+
+// -------------------------------------------------------------------- audit
+
+TEST(Audit, ChainVerifies) {
+  AuditLog log;
+  log.append(1, "engine", "inference", "class=2");
+  log.append(2, "supervisor", "reject", "score=9.3");
+  log.append(3, "watchdog", "kick", "ok");
+  EXPECT_EQ(log.verify(), Status::kOk);
+  EXPECT_EQ(log.size(), 3u);
+}
+
+TEST(Audit, TamperingIsDetected) {
+  AuditLog log;
+  log.append(1, "engine", "inference", "class=2");
+  log.append(2, "engine", "inference", "class=1");
+  log.tamper_payload_for_test(0, "class=3");
+  EXPECT_EQ(log.verify(), Status::kIntegrityFault);
+}
+
+TEST(Audit, HeadChangesWithEveryEntry) {
+  AuditLog log;
+  const auto h0 = log.head();
+  log.append(1, "a", "b", "c");
+  const auto h1 = log.head();
+  log.append(2, "a", "b", "c");
+  const auto h2 = log.head();
+  EXPECT_NE(h0, h1);
+  EXPECT_NE(h1, h2);
+}
+
+TEST(Audit, SequenceNumbersAreDense) {
+  AuditLog log;
+  for (int i = 0; i < 5; ++i) log.append(0, "x", "y", "z");
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(log.entry(i).sequence, i);
+}
+
+TEST(Audit, IdenticalPayloadsGetDistinctHashes) {
+  AuditLog log;
+  const auto& e1 = log.append(1, "a", "act", "same");
+  const auto& e2 = log.append(1, "a", "act", "same");
+  EXPECT_NE(e1.chain_hash, e2.chain_hash);  // chained, not content-only
+}
+
+// --------------------------------------------------------------- provenance
+
+TEST(Provenance, FingerprintSensitiveToData) {
+  const auto ds1 = dl::make_road_scene(10, 1);
+  auto ds2 = dl::make_road_scene(10, 1);
+  EXPECT_EQ(dataset_fingerprint(ds1), dataset_fingerprint(ds2));
+  ds2.samples[0].input.at(std::size_t{0}) += 0.001f;
+  EXPECT_NE(dataset_fingerprint(ds1), dataset_fingerprint(ds2));
+}
+
+TEST(Provenance, ModelCardRoundTrip) {
+  const auto& m = sx::testing::trained_mlp();
+  const auto card = make_model_card("perception", "1.2", m,
+                                    sx::testing::road_data(), "sgd", 0.9,
+                                    "roads");
+  EXPECT_EQ(verify_model_integrity(card, m), Status::kOk);
+  dl::Model tampered = m;
+  tampered.layer(1).params()[0] += 1.0f;
+  EXPECT_EQ(verify_model_integrity(card, tampered), Status::kIntegrityFault);
+}
+
+TEST(Provenance, CardTextContainsFields) {
+  const auto& m = sx::testing::trained_mlp();
+  const auto card = make_model_card("perception", "1.2", m,
+                                    sx::testing::road_data(), "sgd", 0.9,
+                                    "roads");
+  const std::string t = card.to_text();
+  EXPECT_NE(t.find("perception"), std::string::npos);
+  EXPECT_NE(t.find(card.model_hash), std::string::npos);
+}
+
+// -------------------------------------------------------------- safety case
+
+TEST(SafetyCase, CompleteWhenAllGoalsHaveEvidence) {
+  SafetyCase sc;
+  const auto root = sc.set_root_goal("G0", "system is safe");
+  const auto s = sc.add_strategy(root, "S1", "argue by pillar");
+  const auto g1 = sc.add_goal(s, "G1", "pillar one holds");
+  sc.add_solution(g1, "Sn1", "evidence");
+  EXPECT_TRUE(sc.complete());
+}
+
+TEST(SafetyCase, DetectsUndischargedGoal) {
+  SafetyCase sc;
+  const auto root = sc.set_root_goal("G0", "system is safe");
+  const auto s = sc.add_strategy(root, "S1", "argue by pillar");
+  sc.add_goal(s, "G1", "pillar one holds");  // no evidence
+  const auto gaps = sc.undischarged_goals();
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0], "G1");
+  EXPECT_FALSE(sc.complete());
+}
+
+TEST(SafetyCase, SolutionsAreLeaves) {
+  SafetyCase sc;
+  const auto root = sc.set_root_goal("G0", "x");
+  const auto sol = sc.add_solution(root, "Sn1", "evidence");
+  EXPECT_THROW(sc.add_goal(sol, "G1", "child of solution"),
+               std::invalid_argument);
+}
+
+TEST(SafetyCase, SingleRoot) {
+  SafetyCase sc;
+  sc.set_root_goal("G0", "x");
+  EXPECT_THROW(sc.set_root_goal("G1", "y"), std::logic_error);
+}
+
+TEST(SafetyCase, RendersIndentedTree) {
+  SafetyCase sc;
+  const auto root = sc.set_root_goal("G0", "top");
+  sc.add_solution(root, "Sn1", "proof");
+  const std::string t = sc.to_text();
+  EXPECT_NE(t.find("[G] G0"), std::string::npos);
+  EXPECT_NE(t.find("  [Sn] Sn1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------- ODD
+
+TEST(Odd, AcceptsInDistributionInputs) {
+  OddGuard guard = OddGuard::fit(sx::testing::road_data());
+  std::size_t violations = 0;
+  for (std::size_t i = 0; i < 50; ++i)
+    if (!ok(guard.check(sx::testing::road_data().samples[i].input.view())))
+      ++violations;
+  EXPECT_EQ(violations, 0u);
+}
+
+TEST(Odd, RejectsFarOutOfDomain) {
+  OddGuard guard = OddGuard::fit(sx::testing::road_data());
+  tensor::Tensor extreme{sx::testing::road_data().input_shape};
+  extreme.fill(25.0f);  // values way above the [0,1] training range
+  EXPECT_EQ(guard.check(extreme.view()), Status::kOddViolation);
+  EXPECT_EQ(guard.violations(), 1u);
+}
+
+TEST(Odd, RejectsNaN) {
+  OddGuard guard = OddGuard::fit(sx::testing::road_data());
+  tensor::Tensor bad = sx::testing::road_data().samples[0].input;
+  bad.at(std::size_t{0}) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(guard.check(bad.view()), Status::kOddViolation);
+}
+
+TEST(Odd, RejectsInvertedContrast) {
+  OddGuard guard = OddGuard::fit(sx::testing::road_data(), 0.05f);
+  // Uniform-random images have much higher per-image stddev than road
+  // scenes; the dispersion envelope should catch most.
+  const auto ood = dl::corrupt(sx::testing::road_data(),
+                               dl::Corruption::kUniformRandom, 3);
+  std::size_t violations = 0;
+  for (std::size_t i = 0; i < 50; ++i)
+    if (!ok(guard.check(ood.samples[i].input.view()))) ++violations;
+  EXPECT_GT(violations, 25u);
+}
+
+TEST(Odd, FitRejectsEmptyData) {
+  dl::Dataset empty;
+  EXPECT_THROW(OddGuard::fit(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sx::trace

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "dl/train.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+#include "verify/attack.hpp"
+#include "verify/ibp.hpp"
+
+namespace sx::verify {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+const dl::Model& mlp() { return sx::testing::trained_mlp(); }
+const dl::Dataset& data() { return sx::testing::road_data(); }
+
+// --------------------------------------------------------------------- IBP
+
+TEST(Ibp, ZeroEpsBracketsExactOutput) {
+  const Tensor& in = data().samples[0].input;
+  const IntervalTensor b = ibp_bounds(mlp(), in, 0.0f);
+  ASSERT_TRUE(b.well_formed());
+  const Tensor logits = mlp().forward(in);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    EXPECT_LE(b.lo.at(i), logits.at(i) + 1e-4f);
+    EXPECT_GE(b.hi.at(i), logits.at(i) - 1e-4f);
+  }
+}
+
+TEST(Ibp, BoundsAreSoundForSampledPerturbations) {
+  const float eps = 0.03f;
+  const Tensor& in = data().samples[1].input;
+  const IntervalTensor b = ibp_bounds(mlp(), in, eps);
+  util::Xoshiro256 rng{17};
+  for (int trial = 0; trial < 50; ++trial) {
+    Tensor perturbed = in;
+    for (std::size_t i = 0; i < perturbed.size(); ++i) {
+      const float delta =
+          static_cast<float>(rng.uniform(-eps, eps));
+      perturbed.at(i) =
+          std::min(1.0f, std::max(0.0f, perturbed.at(i) + delta));
+    }
+    const Tensor logits = mlp().forward(perturbed);
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+      EXPECT_GE(logits.at(i), b.lo.at(i) - 1e-4f) << "trial " << trial;
+      EXPECT_LE(logits.at(i), b.hi.at(i) + 1e-4f) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Ibp, BoundsWidenWithEps) {
+  const Tensor& in = data().samples[2].input;
+  const IntervalTensor tight = ibp_bounds(mlp(), in, 0.01f);
+  const IntervalTensor loose = ibp_bounds(mlp(), in, 0.05f);
+  for (std::size_t i = 0; i < tight.lo.size(); ++i) {
+    EXPECT_LE(loose.lo.at(i), tight.lo.at(i) + 1e-6f);
+    EXPECT_GE(loose.hi.at(i), tight.hi.at(i) - 1e-6f);
+  }
+}
+
+TEST(Ibp, WorksOnCnn) {
+  const dl::Model& cnn = sx::testing::trained_cnn();
+  const IntervalTensor b = ibp_bounds(cnn, data().samples[0].input, 0.01f);
+  EXPECT_TRUE(b.well_formed());
+  const Tensor logits = cnn.forward(data().samples[0].input);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    EXPECT_LE(b.lo.at(i), logits.at(i) + 1e-3f);
+    EXPECT_GE(b.hi.at(i), logits.at(i) - 1e-3f);
+  }
+}
+
+TEST(Ibp, HandlesSaturatingActivations) {
+  dl::ModelBuilder b{Shape::vec(4)};
+  b.dense(6).sigmoid().dense(6).tanh_().dense(2);
+  dl::Model m = b.build(5);
+  Tensor in{Shape::vec(4), {0.2f, 0.4f, 0.6f, 0.8f}};
+  const IntervalTensor bounds = ibp_bounds(m, in, 0.05f, -10.0f, 10.0f);
+  EXPECT_TRUE(bounds.well_formed());
+}
+
+TEST(Ibp, RejectsSoftmaxModels) {
+  dl::ModelBuilder b{Shape::vec(4)};
+  b.dense(3).softmax();
+  dl::Model m = b.build(1);
+  Tensor in{Shape::vec(4)};
+  EXPECT_THROW(ibp_bounds(m, in, 0.01f), std::invalid_argument);
+}
+
+TEST(Ibp, ValidatesInputs) {
+  Tensor wrong{Shape::vec(3)};
+  EXPECT_THROW(ibp_bounds(mlp(), wrong, 0.01f), std::invalid_argument);
+  const Tensor& in = data().samples[0].input;
+  EXPECT_THROW(ibp_bounds(mlp(), in, -1.0f), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- certification
+
+TEST(Certify, RobustAtZeroEpsWhenCorrect) {
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto& s = data().samples[i];
+    const Tensor logits = mlp().forward(s.input);
+    if (tensor::argmax(logits.view()) != s.label) continue;
+    EXPECT_TRUE(certified_robust(mlp(), s.input, s.label, 0.0f));
+  }
+}
+
+TEST(Certify, NotRobustAtHugeEps) {
+  const auto& s = data().samples[0];
+  EXPECT_FALSE(certified_robust(mlp(), s.input, s.label, 0.9f));
+}
+
+TEST(Certify, RadiusIsConsistentWithDecision) {
+  const auto& s = data().samples[1];
+  const Tensor logits = mlp().forward(s.input);
+  if (tensor::argmax(logits.view()) != s.label)
+    GTEST_SKIP() << "sample misclassified";
+  const float r = certified_radius(mlp(), s.input, s.label);
+  EXPECT_GE(r, 0.0f);
+  if (r > 1e-3f) {
+    EXPECT_TRUE(certified_robust(mlp(), s.input, s.label, r * 0.9f));
+    EXPECT_FALSE(certified_robust(mlp(), s.input, s.label,
+                                  std::min(0.5f, r * 1.2f + 1e-3f)));
+  }
+}
+
+TEST(Certify, CertifiedAccuracyDecreasesWithEps) {
+  const double a0 = certified_accuracy(mlp(), data(), 0.001f, 60);
+  const double a1 = certified_accuracy(mlp(), data(), 0.01f, 60);
+  const double a2 = certified_accuracy(mlp(), data(), 0.05f, 60);
+  EXPECT_GE(a0, a1);
+  EXPECT_GE(a1, a2);
+  EXPECT_GT(a0, 0.5) << "tiny-eps certification should mostly succeed";
+}
+
+// ------------------------------------------------------------------ attacks
+
+TEST(Fgsm, StaysInsideBall) {
+  dl::Model m = mlp();
+  const auto& s = data().samples[3];
+  const float eps = 0.05f;
+  const Tensor adv = fgsm(m, s.input, s.label, eps);
+  for (std::size_t i = 0; i < adv.size(); ++i) {
+    EXPECT_LE(std::abs(adv.at(i) - s.input.at(i)), eps + 1e-6f);
+    EXPECT_GE(adv.at(i), 0.0f);
+    EXPECT_LE(adv.at(i), 1.0f);
+  }
+}
+
+TEST(Fgsm, LargeEpsBreaksClassification) {
+  dl::Model m = mlp();
+  const double clean = dl::Trainer::evaluate_accuracy(m, data());
+  const double attacked = robust_accuracy_fgsm(m, data(), 0.2f, 80);
+  EXPECT_LT(attacked, clean - 0.1)
+      << "a 0.2-FGSM attack should hurt an undefended model";
+}
+
+TEST(Pgd, AtLeastAsStrongAsFgsm) {
+  dl::Model m = mlp();
+  const float eps = 0.08f;
+  const double fgsm_acc = robust_accuracy_fgsm(m, data(), eps, 60);
+  const double pgd_acc = robust_accuracy_pgd(m, data(), eps, 10, 60);
+  EXPECT_LE(pgd_acc, fgsm_acc + 0.05);
+}
+
+TEST(Pgd, StaysInsideBall) {
+  dl::Model m = mlp();
+  const auto& s = data().samples[4];
+  const float eps = 0.05f;
+  const Tensor adv = pgd(m, s.input, s.label, eps, 10);
+  for (std::size_t i = 0; i < adv.size(); ++i)
+    EXPECT_LE(std::abs(adv.at(i) - s.input.at(i)), eps + 1e-6f);
+}
+
+TEST(Attacks, ValidateArguments) {
+  dl::Model m = mlp();
+  const auto& s = data().samples[0];
+  EXPECT_THROW(fgsm(m, s.input, s.label, -0.1f), std::invalid_argument);
+  EXPECT_THROW(pgd(m, s.input, s.label, 0.1f, 0), std::invalid_argument);
+}
+
+// --------------------------------------------------- certificate soundness
+
+TEST(Soundness, CertifiedPointsSurviveAttacks) {
+  // The load-bearing property: a PGD attack within eps must never flip a
+  // point that IBP certified at eps.
+  dl::Model m = mlp();
+  // IBP is conservative on standard-trained nets; use a small radius where
+  // certificates exist.
+  const float eps = 0.002f;
+  std::size_t checked = 0;
+  for (const auto& s : data().samples) {
+    if (checked >= 20) break;
+    const Tensor logits = m.forward(s.input);
+    if (tensor::argmax(logits.view()) != s.label) continue;
+    if (!certified_robust(m, s.input, s.label, eps)) continue;
+    ++checked;
+    const Tensor adv = pgd(m, s.input, s.label, eps, 10);
+    const Tensor adv_logits = m.forward(adv);
+    EXPECT_EQ(tensor::argmax(adv_logits.view()), s.label)
+        << "attack broke a certified point — certificate unsound!";
+  }
+  EXPECT_GT(checked, 0u) << "no certifiable points found at eps=" << eps;
+}
+
+// Property sweep: soundness of the bounds across eps values.
+class IbpSound : public ::testing::TestWithParam<float> {};
+
+TEST_P(IbpSound, RandomPerturbationsWithinBounds) {
+  const float eps = GetParam();
+  const Tensor& in = data().samples[5].input;
+  const IntervalTensor b = ibp_bounds(mlp(), in, eps);
+  util::Xoshiro256 rng{99};
+  for (int t = 0; t < 20; ++t) {
+    Tensor p = in;
+    for (std::size_t i = 0; i < p.size(); ++i)
+      p.at(i) = std::min(
+          1.0f, std::max(0.0f, p.at(i) + static_cast<float>(
+                                             rng.uniform(-eps, eps))));
+    const Tensor logits = mlp().forward(p);
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+      EXPECT_GE(logits.at(i), b.lo.at(i) - 1e-4f);
+      EXPECT_LE(logits.at(i), b.hi.at(i) + 1e-4f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Eps, IbpSound,
+                         ::testing::Values(0.005f, 0.02f, 0.08f, 0.2f));
+
+}  // namespace
+}  // namespace sx::verify

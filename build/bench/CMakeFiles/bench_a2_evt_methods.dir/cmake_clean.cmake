@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_evt_methods.dir/bench_a2_evt_methods.cpp.o"
+  "CMakeFiles/bench_a2_evt_methods.dir/bench_a2_evt_methods.cpp.o.d"
+  "bench_a2_evt_methods"
+  "bench_a2_evt_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_evt_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

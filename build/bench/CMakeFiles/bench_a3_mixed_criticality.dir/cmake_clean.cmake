@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_mixed_criticality.dir/bench_a3_mixed_criticality.cpp.o"
+  "CMakeFiles/bench_a3_mixed_criticality.dir/bench_a3_mixed_criticality.cpp.o.d"
+  "bench_a3_mixed_criticality"
+  "bench_a3_mixed_criticality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_mixed_criticality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_advanced_patterns.dir/bench_a4_advanced_patterns.cpp.o"
+  "CMakeFiles/bench_a4_advanced_patterns.dir/bench_a4_advanced_patterns.cpp.o.d"
+  "bench_a4_advanced_patterns"
+  "bench_a4_advanced_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_advanced_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_a4_advanced_patterns.
+# This may be replaced when dependencies are built.

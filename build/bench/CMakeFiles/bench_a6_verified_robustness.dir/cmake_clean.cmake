@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a6_verified_robustness.dir/bench_a6_verified_robustness.cpp.o"
+  "CMakeFiles/bench_a6_verified_robustness.dir/bench_a6_verified_robustness.cpp.o.d"
+  "bench_a6_verified_robustness"
+  "bench_a6_verified_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_verified_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

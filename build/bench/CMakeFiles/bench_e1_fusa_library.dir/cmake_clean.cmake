@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_fusa_library.dir/bench_e1_fusa_library.cpp.o"
+  "CMakeFiles/bench_e1_fusa_library.dir/bench_e1_fusa_library.cpp.o.d"
+  "bench_e1_fusa_library"
+  "bench_e1_fusa_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_fusa_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_explainability.dir/bench_e3_explainability.cpp.o"
+  "CMakeFiles/bench_e3_explainability.dir/bench_e3_explainability.cpp.o.d"
+  "bench_e3_explainability"
+  "bench_e3_explainability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_explainability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_supervisors.dir/bench_e4_supervisors.cpp.o"
+  "CMakeFiles/bench_e4_supervisors.dir/bench_e4_supervisors.cpp.o.d"
+  "bench_e4_supervisors"
+  "bench_e4_supervisors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_supervisors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_safety_patterns.dir/bench_e5_safety_patterns.cpp.o"
+  "CMakeFiles/bench_e5_safety_patterns.dir/bench_e5_safety_patterns.cpp.o.d"
+  "bench_e5_safety_patterns"
+  "bench_e5_safety_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_safety_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_criticality.dir/bench_e6_criticality.cpp.o"
+  "CMakeFiles/bench_e6_criticality.dir/bench_e6_criticality.cpp.o.d"
+  "bench_e6_criticality"
+  "bench_e6_criticality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_criticality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

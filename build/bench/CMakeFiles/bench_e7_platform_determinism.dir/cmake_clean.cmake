@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_platform_determinism.dir/bench_e7_platform_determinism.cpp.o"
+  "CMakeFiles/bench_e7_platform_determinism.dir/bench_e7_platform_determinism.cpp.o.d"
+  "bench_e7_platform_determinism"
+  "bench_e7_platform_determinism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_platform_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

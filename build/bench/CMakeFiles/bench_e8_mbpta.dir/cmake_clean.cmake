@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_mbpta.dir/bench_e8_mbpta.cpp.o"
+  "CMakeFiles/bench_e8_mbpta.dir/bench_e8_mbpta.cpp.o.d"
+  "bench_e8_mbpta"
+  "bench_e8_mbpta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_mbpta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_scheduling.dir/bench_e9_scheduling.cpp.o"
+  "CMakeFiles/bench_e9_scheduling.dir/bench_e9_scheduling.cpp.o.d"
+  "bench_e9_scheduling"
+  "bench_e9_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automotive_perception.dir/automotive_perception.cpp.o"
+  "CMakeFiles/automotive_perception.dir/automotive_perception.cpp.o.d"
+  "automotive_perception"
+  "automotive_perception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automotive_perception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/railway_obstacle.dir/railway_obstacle.cpp.o"
+  "CMakeFiles/railway_obstacle.dir/railway_obstacle.cpp.o.d"
+  "railway_obstacle"
+  "railway_obstacle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/railway_obstacle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

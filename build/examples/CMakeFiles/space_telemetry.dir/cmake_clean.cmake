@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_telemetry.dir/space_telemetry.cpp.o"
+  "CMakeFiles/space_telemetry.dir/space_telemetry.cpp.o.d"
+  "space_telemetry"
+  "space_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_certification.dir/timing_certification.cpp.o"
+  "CMakeFiles/timing_certification.dir/timing_certification.cpp.o.d"
+  "timing_certification"
+  "timing_certification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_certification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sx_core.dir/criticality.cpp.o"
+  "CMakeFiles/sx_core.dir/criticality.cpp.o.d"
+  "CMakeFiles/sx_core.dir/pipeline.cpp.o"
+  "CMakeFiles/sx_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/sx_core.dir/report.cpp.o"
+  "CMakeFiles/sx_core.dir/report.cpp.o.d"
+  "libsx_core.a"
+  "libsx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dl/dataset.cpp" "src/dl/CMakeFiles/sx_dl.dir/dataset.cpp.o" "gcc" "src/dl/CMakeFiles/sx_dl.dir/dataset.cpp.o.d"
+  "/root/repo/src/dl/engine.cpp" "src/dl/CMakeFiles/sx_dl.dir/engine.cpp.o" "gcc" "src/dl/CMakeFiles/sx_dl.dir/engine.cpp.o.d"
+  "/root/repo/src/dl/layers.cpp" "src/dl/CMakeFiles/sx_dl.dir/layers.cpp.o" "gcc" "src/dl/CMakeFiles/sx_dl.dir/layers.cpp.o.d"
+  "/root/repo/src/dl/model.cpp" "src/dl/CMakeFiles/sx_dl.dir/model.cpp.o" "gcc" "src/dl/CMakeFiles/sx_dl.dir/model.cpp.o.d"
+  "/root/repo/src/dl/prune.cpp" "src/dl/CMakeFiles/sx_dl.dir/prune.cpp.o" "gcc" "src/dl/CMakeFiles/sx_dl.dir/prune.cpp.o.d"
+  "/root/repo/src/dl/quant.cpp" "src/dl/CMakeFiles/sx_dl.dir/quant.cpp.o" "gcc" "src/dl/CMakeFiles/sx_dl.dir/quant.cpp.o.d"
+  "/root/repo/src/dl/train.cpp" "src/dl/CMakeFiles/sx_dl.dir/train.cpp.o" "gcc" "src/dl/CMakeFiles/sx_dl.dir/train.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/sx_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sx_dl.dir/dataset.cpp.o"
+  "CMakeFiles/sx_dl.dir/dataset.cpp.o.d"
+  "CMakeFiles/sx_dl.dir/engine.cpp.o"
+  "CMakeFiles/sx_dl.dir/engine.cpp.o.d"
+  "CMakeFiles/sx_dl.dir/layers.cpp.o"
+  "CMakeFiles/sx_dl.dir/layers.cpp.o.d"
+  "CMakeFiles/sx_dl.dir/model.cpp.o"
+  "CMakeFiles/sx_dl.dir/model.cpp.o.d"
+  "CMakeFiles/sx_dl.dir/prune.cpp.o"
+  "CMakeFiles/sx_dl.dir/prune.cpp.o.d"
+  "CMakeFiles/sx_dl.dir/quant.cpp.o"
+  "CMakeFiles/sx_dl.dir/quant.cpp.o.d"
+  "CMakeFiles/sx_dl.dir/train.cpp.o"
+  "CMakeFiles/sx_dl.dir/train.cpp.o.d"
+  "libsx_dl.a"
+  "libsx_dl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sx_dl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

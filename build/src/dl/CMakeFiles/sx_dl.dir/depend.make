@@ -1,0 +1,2 @@
+# Empty dependencies file for sx_dl.
+# This may be replaced when dependencies are built.

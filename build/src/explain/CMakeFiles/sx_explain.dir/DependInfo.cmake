@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explain/advanced.cpp" "src/explain/CMakeFiles/sx_explain.dir/advanced.cpp.o" "gcc" "src/explain/CMakeFiles/sx_explain.dir/advanced.cpp.o.d"
+  "/root/repo/src/explain/explainer.cpp" "src/explain/CMakeFiles/sx_explain.dir/explainer.cpp.o" "gcc" "src/explain/CMakeFiles/sx_explain.dir/explainer.cpp.o.d"
+  "/root/repo/src/explain/metrics.cpp" "src/explain/CMakeFiles/sx_explain.dir/metrics.cpp.o" "gcc" "src/explain/CMakeFiles/sx_explain.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dl/CMakeFiles/sx_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sx_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sx_explain.dir/advanced.cpp.o"
+  "CMakeFiles/sx_explain.dir/advanced.cpp.o.d"
+  "CMakeFiles/sx_explain.dir/explainer.cpp.o"
+  "CMakeFiles/sx_explain.dir/explainer.cpp.o.d"
+  "CMakeFiles/sx_explain.dir/metrics.cpp.o"
+  "CMakeFiles/sx_explain.dir/metrics.cpp.o.d"
+  "libsx_explain.a"
+  "libsx_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sx_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/cache.cpp" "src/platform/CMakeFiles/sx_platform.dir/cache.cpp.o" "gcc" "src/platform/CMakeFiles/sx_platform.dir/cache.cpp.o.d"
+  "/root/repo/src/platform/multicore.cpp" "src/platform/CMakeFiles/sx_platform.dir/multicore.cpp.o" "gcc" "src/platform/CMakeFiles/sx_platform.dir/multicore.cpp.o.d"
+  "/root/repo/src/platform/sim.cpp" "src/platform/CMakeFiles/sx_platform.dir/sim.cpp.o" "gcc" "src/platform/CMakeFiles/sx_platform.dir/sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dl/CMakeFiles/sx_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sx_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

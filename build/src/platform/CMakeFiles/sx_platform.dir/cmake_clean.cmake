@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sx_platform.dir/cache.cpp.o"
+  "CMakeFiles/sx_platform.dir/cache.cpp.o.d"
+  "CMakeFiles/sx_platform.dir/multicore.cpp.o"
+  "CMakeFiles/sx_platform.dir/multicore.cpp.o.d"
+  "CMakeFiles/sx_platform.dir/sim.cpp.o"
+  "CMakeFiles/sx_platform.dir/sim.cpp.o.d"
+  "libsx_platform.a"
+  "libsx_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sx_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

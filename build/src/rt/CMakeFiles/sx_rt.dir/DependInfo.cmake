@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/edf.cpp" "src/rt/CMakeFiles/sx_rt.dir/edf.cpp.o" "gcc" "src/rt/CMakeFiles/sx_rt.dir/edf.cpp.o.d"
+  "/root/repo/src/rt/mixed_criticality.cpp" "src/rt/CMakeFiles/sx_rt.dir/mixed_criticality.cpp.o" "gcc" "src/rt/CMakeFiles/sx_rt.dir/mixed_criticality.cpp.o.d"
+  "/root/repo/src/rt/rta.cpp" "src/rt/CMakeFiles/sx_rt.dir/rta.cpp.o" "gcc" "src/rt/CMakeFiles/sx_rt.dir/rta.cpp.o.d"
+  "/root/repo/src/rt/scheduler.cpp" "src/rt/CMakeFiles/sx_rt.dir/scheduler.cpp.o" "gcc" "src/rt/CMakeFiles/sx_rt.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sx_rt.dir/edf.cpp.o"
+  "CMakeFiles/sx_rt.dir/edf.cpp.o.d"
+  "CMakeFiles/sx_rt.dir/mixed_criticality.cpp.o"
+  "CMakeFiles/sx_rt.dir/mixed_criticality.cpp.o.d"
+  "CMakeFiles/sx_rt.dir/rta.cpp.o"
+  "CMakeFiles/sx_rt.dir/rta.cpp.o.d"
+  "CMakeFiles/sx_rt.dir/scheduler.cpp.o"
+  "CMakeFiles/sx_rt.dir/scheduler.cpp.o.d"
+  "libsx_rt.a"
+  "libsx_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sx_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

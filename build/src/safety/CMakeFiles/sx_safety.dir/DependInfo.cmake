@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/safety/campaign.cpp" "src/safety/CMakeFiles/sx_safety.dir/campaign.cpp.o" "gcc" "src/safety/CMakeFiles/sx_safety.dir/campaign.cpp.o.d"
+  "/root/repo/src/safety/channel.cpp" "src/safety/CMakeFiles/sx_safety.dir/channel.cpp.o" "gcc" "src/safety/CMakeFiles/sx_safety.dir/channel.cpp.o.d"
+  "/root/repo/src/safety/deep_monitor.cpp" "src/safety/CMakeFiles/sx_safety.dir/deep_monitor.cpp.o" "gcc" "src/safety/CMakeFiles/sx_safety.dir/deep_monitor.cpp.o.d"
+  "/root/repo/src/safety/fault.cpp" "src/safety/CMakeFiles/sx_safety.dir/fault.cpp.o" "gcc" "src/safety/CMakeFiles/sx_safety.dir/fault.cpp.o.d"
+  "/root/repo/src/safety/integrity.cpp" "src/safety/CMakeFiles/sx_safety.dir/integrity.cpp.o" "gcc" "src/safety/CMakeFiles/sx_safety.dir/integrity.cpp.o.d"
+  "/root/repo/src/safety/monitor.cpp" "src/safety/CMakeFiles/sx_safety.dir/monitor.cpp.o" "gcc" "src/safety/CMakeFiles/sx_safety.dir/monitor.cpp.o.d"
+  "/root/repo/src/safety/recovery.cpp" "src/safety/CMakeFiles/sx_safety.dir/recovery.cpp.o" "gcc" "src/safety/CMakeFiles/sx_safety.dir/recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dl/CMakeFiles/sx_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/supervise/CMakeFiles/sx_supervise.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sx_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sx_safety.dir/campaign.cpp.o"
+  "CMakeFiles/sx_safety.dir/campaign.cpp.o.d"
+  "CMakeFiles/sx_safety.dir/channel.cpp.o"
+  "CMakeFiles/sx_safety.dir/channel.cpp.o.d"
+  "CMakeFiles/sx_safety.dir/deep_monitor.cpp.o"
+  "CMakeFiles/sx_safety.dir/deep_monitor.cpp.o.d"
+  "CMakeFiles/sx_safety.dir/fault.cpp.o"
+  "CMakeFiles/sx_safety.dir/fault.cpp.o.d"
+  "CMakeFiles/sx_safety.dir/integrity.cpp.o"
+  "CMakeFiles/sx_safety.dir/integrity.cpp.o.d"
+  "CMakeFiles/sx_safety.dir/monitor.cpp.o"
+  "CMakeFiles/sx_safety.dir/monitor.cpp.o.d"
+  "CMakeFiles/sx_safety.dir/recovery.cpp.o"
+  "CMakeFiles/sx_safety.dir/recovery.cpp.o.d"
+  "libsx_safety.a"
+  "libsx_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sx_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/supervise/advanced.cpp" "src/supervise/CMakeFiles/sx_supervise.dir/advanced.cpp.o" "gcc" "src/supervise/CMakeFiles/sx_supervise.dir/advanced.cpp.o.d"
+  "/root/repo/src/supervise/calibration.cpp" "src/supervise/CMakeFiles/sx_supervise.dir/calibration.cpp.o" "gcc" "src/supervise/CMakeFiles/sx_supervise.dir/calibration.cpp.o.d"
+  "/root/repo/src/supervise/conformal.cpp" "src/supervise/CMakeFiles/sx_supervise.dir/conformal.cpp.o" "gcc" "src/supervise/CMakeFiles/sx_supervise.dir/conformal.cpp.o.d"
+  "/root/repo/src/supervise/drift.cpp" "src/supervise/CMakeFiles/sx_supervise.dir/drift.cpp.o" "gcc" "src/supervise/CMakeFiles/sx_supervise.dir/drift.cpp.o.d"
+  "/root/repo/src/supervise/metrics.cpp" "src/supervise/CMakeFiles/sx_supervise.dir/metrics.cpp.o" "gcc" "src/supervise/CMakeFiles/sx_supervise.dir/metrics.cpp.o.d"
+  "/root/repo/src/supervise/supervisor.cpp" "src/supervise/CMakeFiles/sx_supervise.dir/supervisor.cpp.o" "gcc" "src/supervise/CMakeFiles/sx_supervise.dir/supervisor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dl/CMakeFiles/sx_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sx_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

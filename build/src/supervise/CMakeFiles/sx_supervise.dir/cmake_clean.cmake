@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sx_supervise.dir/advanced.cpp.o"
+  "CMakeFiles/sx_supervise.dir/advanced.cpp.o.d"
+  "CMakeFiles/sx_supervise.dir/calibration.cpp.o"
+  "CMakeFiles/sx_supervise.dir/calibration.cpp.o.d"
+  "CMakeFiles/sx_supervise.dir/conformal.cpp.o"
+  "CMakeFiles/sx_supervise.dir/conformal.cpp.o.d"
+  "CMakeFiles/sx_supervise.dir/drift.cpp.o"
+  "CMakeFiles/sx_supervise.dir/drift.cpp.o.d"
+  "CMakeFiles/sx_supervise.dir/metrics.cpp.o"
+  "CMakeFiles/sx_supervise.dir/metrics.cpp.o.d"
+  "CMakeFiles/sx_supervise.dir/supervisor.cpp.o"
+  "CMakeFiles/sx_supervise.dir/supervisor.cpp.o.d"
+  "libsx_supervise.a"
+  "libsx_supervise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sx_supervise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sx_tensor.dir/ops.cpp.o"
+  "CMakeFiles/sx_tensor.dir/ops.cpp.o.d"
+  "libsx_tensor.a"
+  "libsx_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sx_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

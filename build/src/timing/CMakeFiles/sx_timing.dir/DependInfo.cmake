@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/evt.cpp" "src/timing/CMakeFiles/sx_timing.dir/evt.cpp.o" "gcc" "src/timing/CMakeFiles/sx_timing.dir/evt.cpp.o.d"
+  "/root/repo/src/timing/iid.cpp" "src/timing/CMakeFiles/sx_timing.dir/iid.cpp.o" "gcc" "src/timing/CMakeFiles/sx_timing.dir/iid.cpp.o.d"
+  "/root/repo/src/timing/mbpta.cpp" "src/timing/CMakeFiles/sx_timing.dir/mbpta.cpp.o" "gcc" "src/timing/CMakeFiles/sx_timing.dir/mbpta.cpp.o.d"
+  "/root/repo/src/timing/pot.cpp" "src/timing/CMakeFiles/sx_timing.dir/pot.cpp.o" "gcc" "src/timing/CMakeFiles/sx_timing.dir/pot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

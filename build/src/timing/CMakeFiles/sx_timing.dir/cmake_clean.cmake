@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sx_timing.dir/evt.cpp.o"
+  "CMakeFiles/sx_timing.dir/evt.cpp.o.d"
+  "CMakeFiles/sx_timing.dir/iid.cpp.o"
+  "CMakeFiles/sx_timing.dir/iid.cpp.o.d"
+  "CMakeFiles/sx_timing.dir/mbpta.cpp.o"
+  "CMakeFiles/sx_timing.dir/mbpta.cpp.o.d"
+  "CMakeFiles/sx_timing.dir/pot.cpp.o"
+  "CMakeFiles/sx_timing.dir/pot.cpp.o.d"
+  "libsx_timing.a"
+  "libsx_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sx_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/audit.cpp" "src/trace/CMakeFiles/sx_trace.dir/audit.cpp.o" "gcc" "src/trace/CMakeFiles/sx_trace.dir/audit.cpp.o.d"
+  "/root/repo/src/trace/odd.cpp" "src/trace/CMakeFiles/sx_trace.dir/odd.cpp.o" "gcc" "src/trace/CMakeFiles/sx_trace.dir/odd.cpp.o.d"
+  "/root/repo/src/trace/provenance.cpp" "src/trace/CMakeFiles/sx_trace.dir/provenance.cpp.o" "gcc" "src/trace/CMakeFiles/sx_trace.dir/provenance.cpp.o.d"
+  "/root/repo/src/trace/requirements.cpp" "src/trace/CMakeFiles/sx_trace.dir/requirements.cpp.o" "gcc" "src/trace/CMakeFiles/sx_trace.dir/requirements.cpp.o.d"
+  "/root/repo/src/trace/safety_case.cpp" "src/trace/CMakeFiles/sx_trace.dir/safety_case.cpp.o" "gcc" "src/trace/CMakeFiles/sx_trace.dir/safety_case.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dl/CMakeFiles/sx_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sx_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sx_trace.dir/audit.cpp.o"
+  "CMakeFiles/sx_trace.dir/audit.cpp.o.d"
+  "CMakeFiles/sx_trace.dir/odd.cpp.o"
+  "CMakeFiles/sx_trace.dir/odd.cpp.o.d"
+  "CMakeFiles/sx_trace.dir/provenance.cpp.o"
+  "CMakeFiles/sx_trace.dir/provenance.cpp.o.d"
+  "CMakeFiles/sx_trace.dir/requirements.cpp.o"
+  "CMakeFiles/sx_trace.dir/requirements.cpp.o.d"
+  "CMakeFiles/sx_trace.dir/safety_case.cpp.o"
+  "CMakeFiles/sx_trace.dir/safety_case.cpp.o.d"
+  "libsx_trace.a"
+  "libsx_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sx_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sx_util.dir/hash.cpp.o"
+  "CMakeFiles/sx_util.dir/hash.cpp.o.d"
+  "CMakeFiles/sx_util.dir/linalg.cpp.o"
+  "CMakeFiles/sx_util.dir/linalg.cpp.o.d"
+  "CMakeFiles/sx_util.dir/stats.cpp.o"
+  "CMakeFiles/sx_util.dir/stats.cpp.o.d"
+  "CMakeFiles/sx_util.dir/table.cpp.o"
+  "CMakeFiles/sx_util.dir/table.cpp.o.d"
+  "libsx_util.a"
+  "libsx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

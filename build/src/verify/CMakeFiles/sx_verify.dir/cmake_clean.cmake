@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sx_verify.dir/attack.cpp.o"
+  "CMakeFiles/sx_verify.dir/attack.cpp.o.d"
+  "CMakeFiles/sx_verify.dir/ibp.cpp.o"
+  "CMakeFiles/sx_verify.dir/ibp.cpp.o.d"
+  "libsx_verify.a"
+  "libsx_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sx_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsx_verify.a"
+)

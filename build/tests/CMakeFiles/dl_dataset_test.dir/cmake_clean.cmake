@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_dataset_test.dir/dl_dataset_test.cpp.o"
+  "CMakeFiles/dl_dataset_test.dir/dl_dataset_test.cpp.o.d"
+  "dl_dataset_test"
+  "dl_dataset_test.pdb"
+  "dl_dataset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_engine_test.dir/dl_engine_test.cpp.o"
+  "CMakeFiles/dl_engine_test.dir/dl_engine_test.cpp.o.d"
+  "dl_engine_test"
+  "dl_engine_test.pdb"
+  "dl_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

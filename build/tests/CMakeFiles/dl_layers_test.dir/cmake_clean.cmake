@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_layers_test.dir/dl_layers_test.cpp.o"
+  "CMakeFiles/dl_layers_test.dir/dl_layers_test.cpp.o.d"
+  "dl_layers_test"
+  "dl_layers_test.pdb"
+  "dl_layers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_layers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_prune_test.dir/dl_prune_test.cpp.o"
+  "CMakeFiles/dl_prune_test.dir/dl_prune_test.cpp.o.d"
+  "dl_prune_test"
+  "dl_prune_test.pdb"
+  "dl_prune_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_prune_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

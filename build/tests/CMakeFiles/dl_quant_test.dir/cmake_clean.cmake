@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_quant_test.dir/dl_quant_test.cpp.o"
+  "CMakeFiles/dl_quant_test.dir/dl_quant_test.cpp.o.d"
+  "dl_quant_test"
+  "dl_quant_test.pdb"
+  "dl_quant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_quant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

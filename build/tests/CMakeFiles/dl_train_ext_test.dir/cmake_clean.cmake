@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_train_ext_test.dir/dl_train_ext_test.cpp.o"
+  "CMakeFiles/dl_train_ext_test.dir/dl_train_ext_test.cpp.o.d"
+  "dl_train_ext_test"
+  "dl_train_ext_test.pdb"
+  "dl_train_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_train_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

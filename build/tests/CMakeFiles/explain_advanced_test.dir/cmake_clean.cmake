@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_advanced_test.dir/explain_advanced_test.cpp.o"
+  "CMakeFiles/explain_advanced_test.dir/explain_advanced_test.cpp.o.d"
+  "explain_advanced_test"
+  "explain_advanced_test.pdb"
+  "explain_advanced_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_advanced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_edf_test.dir/rt_edf_test.cpp.o"
+  "CMakeFiles/rt_edf_test.dir/rt_edf_test.cpp.o.d"
+  "rt_edf_test"
+  "rt_edf_test.pdb"
+  "rt_edf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_edf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

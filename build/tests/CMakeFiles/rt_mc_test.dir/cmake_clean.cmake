@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_mc_test.dir/rt_mc_test.cpp.o"
+  "CMakeFiles/rt_mc_test.dir/rt_mc_test.cpp.o.d"
+  "rt_mc_test"
+  "rt_mc_test.pdb"
+  "rt_mc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_mc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

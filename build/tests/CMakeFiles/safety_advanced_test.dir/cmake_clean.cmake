@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safety_advanced_test.dir/safety_advanced_test.cpp.o"
+  "CMakeFiles/safety_advanced_test.dir/safety_advanced_test.cpp.o.d"
+  "safety_advanced_test"
+  "safety_advanced_test.pdb"
+  "safety_advanced_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safety_advanced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

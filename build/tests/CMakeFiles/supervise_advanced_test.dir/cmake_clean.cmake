@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supervise_advanced_test.dir/supervise_advanced_test.cpp.o"
+  "CMakeFiles/supervise_advanced_test.dir/supervise_advanced_test.cpp.o.d"
+  "supervise_advanced_test"
+  "supervise_advanced_test.pdb"
+  "supervise_advanced_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supervise_advanced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/supervise_drift_test.cpp" "tests/CMakeFiles/supervise_drift_test.dir/supervise_drift_test.cpp.o" "gcc" "tests/CMakeFiles/supervise_drift_test.dir/supervise_drift_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dl/CMakeFiles/sx_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/explain/CMakeFiles/sx_explain.dir/DependInfo.cmake"
+  "/root/repo/build/src/supervise/CMakeFiles/sx_supervise.dir/DependInfo.cmake"
+  "/root/repo/build/src/safety/CMakeFiles/sx_safety.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/sx_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/sx_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/sx_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/sx_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sx_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supervise_drift_test.dir/supervise_drift_test.cpp.o"
+  "CMakeFiles/supervise_drift_test.dir/supervise_drift_test.cpp.o.d"
+  "supervise_drift_test"
+  "supervise_drift_test.pdb"
+  "supervise_drift_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supervise_drift_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

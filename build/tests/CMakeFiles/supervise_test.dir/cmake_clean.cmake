@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supervise_test.dir/supervise_test.cpp.o"
+  "CMakeFiles/supervise_test.dir/supervise_test.cpp.o.d"
+  "supervise_test"
+  "supervise_test.pdb"
+  "supervise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supervise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

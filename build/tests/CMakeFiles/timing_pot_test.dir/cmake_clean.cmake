@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_pot_test.dir/timing_pot_test.cpp.o"
+  "CMakeFiles/timing_pot_test.dir/timing_pot_test.cpp.o.d"
+  "timing_pot_test"
+  "timing_pot_test.pdb"
+  "timing_pot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_pot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,6 +1,8 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <span>
 #include <sstream>
 #include <stdexcept>
 
@@ -48,6 +50,13 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
 
   model_ = std::make_unique<dl::Model>(model);
   const std::size_t n_out = model_->output_shape().size();
+
+  // Deterministic batch executor: pool and per-worker arenas are planned
+  // here, at deploy time — infer_batch() spawns nothing and allocates
+  // nothing on the inference path itself.
+  if (cfg_.batch_workers > 0)
+    batch_ = std::make_unique<dl::BatchRunner>(
+        *model_, dl::BatchRunnerConfig{.workers = cfg_.batch_workers});
 
   // Fallback logits: explicit, or one-hot on the conservative class.
   fallback_ = cfg_.fallback_logits;
@@ -191,6 +200,112 @@ Decision CertifiablePipeline::infer(const tensor::Tensor& input,
       audit_.append(logical_time, "channel", "decision", payload.str())
           .sequence;
   return d;
+}
+
+std::vector<Decision> CertifiablePipeline::infer_batch(
+    const std::vector<tensor::Tensor>& inputs, std::uint64_t logical_time) {
+  if (!batch_)
+    throw std::logic_error(
+        "CertifiablePipeline::infer_batch: deploy with cfg.batch_workers > "
+        "0 to enable the batch path");
+  std::vector<Decision> decisions(inputs.size());
+  if (inputs.empty()) return decisions;
+
+  const std::size_t in_size = model_->input_shape().size();
+  const std::size_t n_out = model_->output_shape().size();
+
+  // Stage the batch contiguously and take ODD verdicts up front, so the
+  // evidence trail preserves the single-item ordering (guard first).
+  std::vector<float> staged(inputs.size() * in_size);
+  std::vector<float> logits(inputs.size() * n_out);
+  std::vector<Status> engine_status(inputs.size(), Status::kOk);
+  std::vector<Status> guard_status(inputs.size(), Status::kOk);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (inputs[i].shape() != model_->input_shape())
+      throw std::invalid_argument(
+          "CertifiablePipeline::infer_batch: input shape mismatch");
+    if (odd_) guard_status[i] = odd_->check(inputs[i].view());
+    const auto src = inputs[i].data();
+    std::copy(src.begin(), src.end(), staged.begin() + i * in_size);
+  }
+
+  // Parallel dispatch over the static pool, chunked to the pre-planned
+  // batch capacity. Every item (even a guard-rejected one) goes through
+  // the engine so per-worker counters depend only on the batch size.
+  for (std::size_t base = 0; base < inputs.size();
+       base += batch_->max_batch()) {
+    const std::size_t n =
+        std::min(batch_->max_batch(), inputs.size() - base);
+    const Status st = batch_->run(
+        std::span<const float>(staged).subspan(base * in_size, n * in_size),
+        std::span<float>(logits).subspan(base * n_out, n * n_out),
+        std::span<Status>(engine_status).subspan(base, n));
+    if (!ok(st))
+      throw std::logic_error("CertifiablePipeline::infer_batch: dispatch " +
+                             std::string(to_string(st)));
+  }
+
+  // Per-item decision, supervision, drift tracking and audit, serially in
+  // batch-index order — the audit chain is identical for every worker
+  // count because nothing here depends on the parallel schedule.
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    Decision& d = decisions[i];
+    ++decisions_;
+
+    if (odd_ && !ok(guard_status[i])) {
+      ++rejections_;
+      d.status = guard_status[i];
+      d.degraded = true;
+      d.predicted_class = cfg_.fallback_class;
+      d.audit_sequence =
+          audit_.append(logical_time, "odd-guard", "reject",
+                        "batch_index=" + std::to_string(i) + " status=" +
+                            std::string(to_string(d.status)))
+              .sequence;
+      continue;
+    }
+
+    if (!ok(engine_status[i])) {
+      ++rejections_;
+      d.status = engine_status[i];
+      d.degraded = true;
+      d.predicted_class = cfg_.fallback_class;
+      d.audit_sequence =
+          audit_.append(logical_time, "batch-engine", "fail-stop",
+                        "batch_index=" + std::to_string(i) + " status=" +
+                            std::string(to_string(d.status)))
+              .sequence;
+      continue;
+    }
+
+    const std::span<const float> item_logits(logits.data() + i * n_out,
+                                             n_out);
+    const auto probs = dl::softmax_copy(item_logits);
+    d.status = Status::kOk;
+    d.predicted_class = 0;
+    for (std::size_t k = 1; k < probs.size(); ++k)
+      if (probs[k] > probs[d.predicted_class]) d.predicted_class = k;
+    d.confidence = probs[d.predicted_class];
+    if (supervisor_) {
+      d.supervisor_score = supervisor_->score(*model_, inputs[i]);
+      if (drift_) {
+        const bool was_alarmed = drift_->alarmed();
+        drift_->update(std::log1p(std::max(0.0, d.supervisor_score)));
+        if (!was_alarmed && drift_->alarmed())
+          audit_.append(logical_time, "drift-detector", "alarm",
+                        "cusum=" + std::to_string(drift_->statistic()));
+      }
+    }
+
+    std::ostringstream payload;
+    payload << "batch_index=" << i << " class=" << d.predicted_class
+            << " conf=" << d.confidence << " sup=" << d.supervisor_score;
+    d.audit_sequence =
+        audit_.append(logical_time, "batch-engine", "decision",
+                      payload.str())
+            .sequence;
+  }
+  return decisions;
 }
 
 tensor::Tensor CertifiablePipeline::explain(const tensor::Tensor& input,

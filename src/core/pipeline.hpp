@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "core/criticality.hpp"
+#include "dl/batch.hpp"
 #include "dl/dataset.hpp"
 #include "explain/explainer.hpp"
 #include "safety/channel.hpp"
@@ -37,6 +38,9 @@ struct PipelineConfig {
   /// Supervisor acceptance rate on in-distribution data.
   double supervisor_tpr = 0.95;
   std::uint64_t seed = 2024;
+  /// Workers for the deterministic batch path (0 disables infer_batch()).
+  /// The pool and its per-worker arenas are planned here, at deploy time.
+  std::size_t batch_workers = 0;
 };
 
 /// Per-inference outcome with its evidence trail.
@@ -62,6 +66,18 @@ class CertifiablePipeline {
   /// units (0 when no timing budget is configured).
   Decision infer(const tensor::Tensor& input, std::uint64_t logical_time = 0,
                  std::uint64_t elapsed = 0);
+
+  /// Runs one decision per input through the deterministic batch executor
+  /// (requires cfg.batch_workers > 0; throws std::logic_error otherwise).
+  /// Raw inference is fanned out over the static worker pool with a static
+  /// partition, so decisions, counters and the audit trail are identical
+  /// for every worker count; ODD guarding, supervision, drift tracking and
+  /// audit logging run serially in batch-index order. The batch path uses
+  /// the monitored static engine directly — pattern redundancy and timing
+  /// budgets currently apply only to the single-item infer() path.
+  std::vector<Decision> infer_batch(
+      const std::vector<tensor::Tensor>& inputs,
+      std::uint64_t logical_time = 0);
 
   /// On-demand explanation for the latest decision's input.
   tensor::Tensor explain(const tensor::Tensor& input,
@@ -90,10 +106,17 @@ class CertifiablePipeline {
     return drift_ && drift_->alarmed();
   }
 
+  /// Batch executor (null unless cfg.batch_workers > 0) — exposes the
+  /// per-worker observability counters for certification evidence.
+  const dl::BatchRunner* batch_runner() const noexcept {
+    return batch_.get();
+  }
+
  private:
   PipelineConfig cfg_;
   PipelineSpec spec_;
   std::unique_ptr<dl::Model> model_;  // deployed copy
+  std::unique_ptr<dl::BatchRunner> batch_;
   std::unique_ptr<safety::InferenceChannel> channel_;
   std::unique_ptr<supervise::Supervisor> supervisor_;
   std::unique_ptr<supervise::CusumDetector> drift_;

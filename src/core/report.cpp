@@ -1,7 +1,9 @@
 #include "core/report.hpp"
 
+#include <iomanip>
 #include <sstream>
 
+#include "dl/batch.hpp"
 #include "util/hash.hpp"
 
 namespace sx::core {
@@ -85,6 +87,31 @@ CertificationReport make_certification_report(
      << "\n";
   report.text = os.str();
   return report;
+}
+
+EvidenceItem make_batch_runner_evidence(const dl::BatchRunner& runner) {
+  std::ostringstream os;
+  os << "workers: " << runner.workers()
+     << " (static pool, spawned at configuration time)\n"
+     << "partition: static round-robin (item i -> worker i % "
+     << runner.workers() << ") => outputs, counters and fault order are\n"
+     << "  schedule-independent; per-item memory comes from per-worker "
+        "arenas planned up front\n"
+     << "batches dispatched: " << runner.batch_count() << "\n"
+     << "items: " << runner.item_count() << " (" << runner.run_count()
+     << " ok, " << runner.numeric_fault_count() << " numeric faults)\n"
+     << "wall time: " << std::fixed << std::setprecision(1)
+     << runner.total_wall_micros() << " us, worker busy time: "
+     << runner.total_busy_micros() << " us\n";
+  for (std::size_t w = 0; w < runner.workers(); ++w) {
+    const dl::BatchWorkerStats s = runner.worker_stats(w);
+    os << "  worker " << w << ": batches=" << s.batches
+       << " items=" << s.items << " ok=" << s.runs << " faults=" << s.faults
+       << " arena=" << s.arena_high_water_mark << "/" << s.arena_capacity
+       << " floats, busy=" << std::setprecision(1) << s.busy_micros
+       << " us\n";
+  }
+  return EvidenceItem{"Deterministic batch execution", os.str()};
 }
 
 }  // namespace sx::core

@@ -14,6 +14,10 @@
 #include "core/pipeline.hpp"
 #include "trace/requirements.hpp"
 
+namespace sx::dl {
+class BatchRunner;
+}
+
 namespace sx::core {
 
 /// One externally produced piece of evidence (a campaign result, an MBPTA
@@ -34,5 +38,10 @@ CertificationReport make_certification_report(
     const CertifiablePipeline& pipeline,
     const trace::RequirementRegistry* requirements,
     const std::vector<EvidenceItem>& evidence);
+
+/// Evidence for the deterministic batch executor: aggregate and per-worker
+/// counters (batches, items, faults, arena plan, busy time) plus the static
+/// partition argument. Attach to make_certification_report's evidence list.
+EvidenceItem make_batch_runner_evidence(const dl::BatchRunner& runner);
 
 }  // namespace sx::core

@@ -1,0 +1,155 @@
+#include "dl/batch.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace sx::dl {
+namespace {
+
+double micros_between(std::chrono::steady_clock::time_point t0,
+                      std::chrono::steady_clock::time_point t1) noexcept {
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+}  // namespace
+
+BatchRunner::BatchRunner(const Model& model, BatchRunnerConfig cfg)
+    : model_(&model),
+      cfg_(cfg),
+      in_size_(model.input_shape().size()),
+      out_size_(model.output_shape().size()) {
+  if (cfg_.workers == 0)
+    throw std::invalid_argument("BatchRunner: workers must be >= 1");
+  if (cfg_.max_batch == 0)
+    throw std::invalid_argument("BatchRunner: max_batch must be >= 1");
+
+  fault_log_.reserve(cfg_.max_batch);
+
+  // Plan every arena before any thread exists: all allocation happens here,
+  // at configuration time.
+  pool_.resize(cfg_.workers);
+  const StaticEngineConfig engine_cfg{
+      .check_numeric_faults = cfg_.check_numeric_faults,
+      .arena_slack = cfg_.arena_slack};
+  for (auto& w : pool_)
+    w.engine = std::make_unique<StaticEngine>(model, engine_cfg);
+  for (std::size_t i = 0; i < pool_.size(); ++i)
+    pool_[i].thread = std::thread(&BatchRunner::worker_main, this, i);
+}
+
+BatchRunner::~BatchRunner() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : pool_)
+    if (w.thread.joinable()) w.thread.join();
+}
+
+Status BatchRunner::run(std::span<const float> inputs,
+                        std::span<float> outputs,
+                        std::span<Status> statuses) noexcept {
+  const std::size_t count = statuses.size();
+  if (count > cfg_.max_batch) return Status::kInvalidArgument;
+  if (inputs.size() != count * in_size_ ||
+      outputs.size() != count * out_size_)
+    return Status::kShapeMismatch;
+  fault_log_.clear();
+  if (count == 0) return Status::kOk;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = Job{inputs.data(), outputs.data(), statuses.data(), count};
+    done_ = 0;
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return done_ == pool_.size(); });
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  // Rebuild the fault log from the per-item statuses, in batch-index order:
+  // trivially identical across worker counts and thread schedules.
+  for (std::size_t i = 0; i < count; ++i)
+    if (!ok(statuses[i]))
+      fault_log_.push_back(BatchFaultEvent{i, statuses[i]});
+
+  ++batches_;
+  items_ += count;
+  last_micros_ = micros_between(t0, t1);
+  total_micros_ += last_micros_;
+  return Status::kOk;
+}
+
+void BatchRunner::worker_main(std::size_t w) noexcept {
+  std::uint64_t seen_epoch = 0;
+  const std::size_t stride = pool_.size();
+  Worker& me = pool_[w];
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    // Static round-robin partition: this worker always owns items
+    // w, w+stride, w+2*stride, ... in increasing order.
+    for (std::size_t i = w; i < job.count; i += stride) {
+      const tensor::ConstTensorView in{
+          std::span<const float>(job.inputs + i * in_size_, in_size_),
+          model_->input_shape()};
+      const std::span<float> out{job.outputs + i * out_size_, out_size_};
+      job.statuses[i] = me.engine->run(in, out);
+      ++me.items;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    me.busy_micros += micros_between(t0, t1);
+    ++me.batches;
+
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (++done_ == pool_.size()) cv_done_.notify_one();
+    }
+  }
+}
+
+std::uint64_t BatchRunner::run_count() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& w : pool_) n += w.engine->run_count();
+  return n;
+}
+
+std::uint64_t BatchRunner::numeric_fault_count() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& w : pool_) n += w.engine->numeric_fault_count();
+  return n;
+}
+
+BatchWorkerStats BatchRunner::worker_stats(std::size_t w) const {
+  const Worker& src = pool_.at(w);
+  BatchWorkerStats s;
+  s.batches = src.batches;
+  s.items = src.items;
+  s.runs = src.engine->run_count();
+  s.faults = src.engine->numeric_fault_count();
+  s.busy_micros = src.busy_micros;
+  s.arena_high_water_mark = src.engine->arena_high_water_mark();
+  s.arena_capacity = src.engine->arena_capacity();
+  return s;
+}
+
+double BatchRunner::total_busy_micros() const noexcept {
+  double t = 0.0;
+  for (const auto& w : pool_) t += w.busy_micros;
+  return t;
+}
+
+}  // namespace sx::dl

@@ -1,0 +1,154 @@
+// Deterministic parallel batch inference.
+//
+// BatchRunner turns the per-call StaticEngine into a traffic-serving batch
+// executor while keeping every FUSA property the single-call engine has:
+//
+//   - a *static worker pool*: threads are spawned once at configuration
+//     time; run() never creates a thread;
+//   - one pre-planned tensor::Arena per worker (each worker owns a private
+//     StaticEngine), so the hot path performs zero heap allocations;
+//   - a *static round-robin partition*: item i is always executed by worker
+//     i % workers, in increasing i order within each worker.  Which thread
+//     runs first is irrelevant: every item is computed by the same kernel
+//     sequence on the same operands, so outputs are bitwise identical, and
+//     per-worker counters (run_count, numeric_fault_count, arena high-water
+//     marks) depend only on the partition, never on the interleaving;
+//   - fault reporting is rebuilt from the per-item status array in batch
+//     index order after the barrier, so the fault log is ordering-identical
+//     across worker counts and schedules.
+//
+// This is the first step from a per-call library toward a batch-serving
+// inference runtime (ROADMAP: scale via batching without losing the
+// certification argument).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "dl/engine.hpp"
+
+namespace sx::dl {
+
+struct BatchRunnerConfig {
+  /// Worker threads (and private engines/arenas). Must be >= 1.
+  std::size_t workers = 1;
+  /// Forwarded to every worker's StaticEngine.
+  bool check_numeric_faults = true;
+  std::size_t arena_slack = 0;
+  /// Largest batch run() accepts; fault-log storage is reserved from this
+  /// at configuration time so run() never allocates.
+  std::size_t max_batch = 4096;
+};
+
+/// One faulted item of the last batch, attributed to its batch index.
+struct BatchFaultEvent {
+  std::size_t batch_index = 0;
+  Status status = Status::kOk;
+};
+
+/// Deterministic per-worker observability counters.
+struct BatchWorkerStats {
+  std::uint64_t batches = 0;  ///< dispatches this worker participated in
+  std::uint64_t items = 0;    ///< items attempted (ok or faulted)
+  std::uint64_t runs = 0;     ///< successful inferences (engine run_count)
+  std::uint64_t faults = 0;   ///< numeric faults (engine fault count)
+  double busy_micros = 0.0;   ///< wall time inside the work loop
+  std::size_t arena_high_water_mark = 0;
+  std::size_t arena_capacity = 0;
+};
+
+/// Parallel batch executor over a fixed model (see file comment).
+class BatchRunner {
+ public:
+  /// Spawns the worker pool and plans one arena per worker. Throws on an
+  /// invalid configuration (configuration-time API). The model must
+  /// outlive the runner.
+  explicit BatchRunner(const Model& model, BatchRunnerConfig cfg = {});
+  ~BatchRunner();
+
+  BatchRunner(const BatchRunner&) = delete;
+  BatchRunner& operator=(const BatchRunner&) = delete;
+
+  /// Runs `statuses.size()` items. `inputs` holds the items back-to-back
+  /// (count * input_size() floats); `outputs` receives count *
+  /// output_size() floats; statuses[i] is the per-item engine status.
+  /// Returns kOk when the batch was *executed* (individual items may still
+  /// fault — inspect `statuses` / fault_log()). No heap allocation, no
+  /// thread creation.
+  Status run(std::span<const float> inputs, std::span<float> outputs,
+             std::span<Status> statuses) noexcept;
+
+  std::size_t workers() const noexcept { return pool_.size(); }
+  std::size_t input_size() const noexcept { return in_size_; }
+  std::size_t output_size() const noexcept { return out_size_; }
+  std::size_t max_batch() const noexcept { return cfg_.max_batch; }
+
+  /// Batches dispatched through run().
+  std::uint64_t batch_count() const noexcept { return batches_; }
+  /// Total items attempted across all batches.
+  std::uint64_t item_count() const noexcept { return items_; }
+  /// Sum of per-worker successful inferences (== StaticEngine semantics).
+  std::uint64_t run_count() const noexcept;
+  /// Sum of per-worker numeric-fault counts.
+  std::uint64_t numeric_fault_count() const noexcept;
+
+  /// Faulted items of the most recent batch, ascending batch index.
+  std::span<const BatchFaultEvent> fault_log() const noexcept {
+    return fault_log_;
+  }
+
+  /// Deterministic snapshot of worker `w` (partition-dependent only).
+  BatchWorkerStats worker_stats(std::size_t w) const;
+
+  /// Wall-clock time of the most recent run() and total across runs (µs).
+  double last_batch_micros() const noexcept { return last_micros_; }
+  double total_wall_micros() const noexcept { return total_micros_; }
+  /// Aggregate busy time across workers (approximates CPU time).
+  double total_busy_micros() const noexcept;
+
+ private:
+  struct Worker {
+    std::unique_ptr<StaticEngine> engine;
+    std::thread thread;
+    std::uint64_t batches = 0;
+    std::uint64_t items = 0;
+    double busy_micros = 0.0;
+  };
+
+  /// Work descriptor for one dispatched batch (immutable during an epoch).
+  struct Job {
+    const float* inputs = nullptr;
+    float* outputs = nullptr;
+    Status* statuses = nullptr;
+    std::size_t count = 0;
+  };
+
+  void worker_main(std::size_t w) noexcept;
+
+  const Model* model_;
+  BatchRunnerConfig cfg_;
+  std::size_t in_size_ = 0;
+  std::size_t out_size_ = 0;
+
+  std::vector<Worker> pool_;
+  std::vector<BatchFaultEvent> fault_log_;  // reserved to max_batch
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  Job job_{};
+  std::uint64_t epoch_ = 0;
+  std::size_t done_ = 0;
+  bool stop_ = false;
+
+  std::uint64_t batches_ = 0;
+  std::uint64_t items_ = 0;
+  double last_micros_ = 0.0;
+  double total_micros_ = 0.0;
+};
+
+}  // namespace sx::dl

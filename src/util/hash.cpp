@@ -77,6 +77,7 @@ void Sha256::process_block(const std::uint8_t* p) noexcept {
 }
 
 void Sha256::update(std::span<const std::uint8_t> data) noexcept {
+  if (data.empty()) return;  // memcpy from a null span is UB even for n=0
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

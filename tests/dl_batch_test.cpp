@@ -1,0 +1,225 @@
+// BatchRunner unit tests: bitwise agreement with StaticEngine, deterministic
+// per-worker counters, pre-planned arenas (the "no allocation / no thread
+// spawn inside run()" evidence), argument validation and pipeline wiring.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "dl/batch.hpp"
+#include "test_helpers.hpp"
+#include "util/hash.hpp"
+
+namespace sx::dl {
+namespace {
+
+using tensor::Tensor;
+
+/// Flattens samples [first, first+count) into one contiguous input buffer.
+std::vector<float> stage_inputs(std::size_t first, std::size_t count) {
+  const auto& ds = sx::testing::road_data();
+  const std::size_t in_size = ds.input_shape.size();
+  std::vector<float> flat(count * in_size);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto src = ds.samples[first + i].input.data();
+    std::copy(src.begin(), src.end(), flat.begin() + i * in_size);
+  }
+  return flat;
+}
+
+TEST(BatchRunner, MatchesStaticEngineBitExactly) {
+  const Model& m = sx::testing::trained_mlp();
+  const std::size_t n = 24;
+  const std::size_t out_size = m.output_shape().size();
+  const auto flat = stage_inputs(0, n);
+
+  StaticEngine serial{m};
+  std::vector<float> ref(n * out_size);
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(serial.run(sx::testing::road_data().samples[i].input.view(),
+                         std::span<float>(ref).subspan(i * out_size,
+                                                       out_size)),
+              Status::kOk);
+
+  for (const std::size_t workers : {1u, 2u, 4u, 7u}) {
+    BatchRunner runner{m, BatchRunnerConfig{.workers = workers}};
+    std::vector<float> out(n * out_size, -1.0f);
+    std::vector<Status> st(n, Status::kInvalidArgument);
+    ASSERT_EQ(runner.run(flat, out, st), Status::kOk);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(st[i], Status::kOk) << "item " << i;
+    EXPECT_EQ(out, ref) << workers << " workers";
+  }
+}
+
+TEST(BatchRunner, CountersAreScheduleIndependent) {
+  const Model& m = sx::testing::trained_mlp();
+  const std::size_t n = 21;  // not a multiple of the worker count
+  const auto flat = stage_inputs(0, n);
+  std::vector<float> out(n * m.output_shape().size());
+  std::vector<Status> st(n);
+
+  // Per-worker item counts follow only from the static partition.
+  BatchRunner runner{m, BatchRunnerConfig{.workers = 4}};
+  for (int rep = 0; rep < 3; ++rep)
+    ASSERT_EQ(runner.run(flat, out, st), Status::kOk);
+  EXPECT_EQ(runner.batch_count(), 3u);
+  EXPECT_EQ(runner.item_count(), 3u * n);
+  EXPECT_EQ(runner.run_count(), 3u * n);
+  EXPECT_EQ(runner.numeric_fault_count(), 0u);
+  const std::uint64_t expected_items[] = {18, 15, 15, 15};  // ceil splits
+  for (std::size_t w = 0; w < 4; ++w) {
+    const BatchWorkerStats s = runner.worker_stats(w);
+    EXPECT_EQ(s.items, expected_items[w]) << "worker " << w;
+    EXPECT_EQ(s.runs, expected_items[w]) << "worker " << w;
+    EXPECT_EQ(s.batches, 3u);
+    EXPECT_EQ(s.faults, 0u);
+  }
+}
+
+TEST(BatchRunner, ArenasArePlannedUpFront) {
+  // The certification argument for "no allocation inside run()": every
+  // worker's arena is sized at configuration time and the high-water mark
+  // never exceeds that plan, batch after batch.
+  const Model& m = sx::testing::trained_cnn();
+  BatchRunner runner{m, BatchRunnerConfig{.workers = 3}};
+  const std::size_t planned = 2 * m.max_activation_size();
+  for (std::size_t w = 0; w < runner.workers(); ++w)
+    EXPECT_EQ(runner.worker_stats(w).arena_capacity, planned);
+
+  const std::size_t n = 9;
+  const auto flat = stage_inputs(0, n);
+  std::vector<float> out(n * m.output_shape().size());
+  std::vector<Status> st(n);
+  for (int rep = 0; rep < 5; ++rep) {
+    ASSERT_EQ(runner.run(flat, out, st), Status::kOk);
+    for (std::size_t w = 0; w < runner.workers(); ++w) {
+      const BatchWorkerStats s = runner.worker_stats(w);
+      EXPECT_EQ(s.arena_high_water_mark, planned);
+      EXPECT_EQ(s.arena_capacity, planned);  // capacity never regrows
+    }
+  }
+}
+
+TEST(BatchRunner, ValidatesArguments) {
+  const Model& m = sx::testing::trained_mlp();
+  EXPECT_THROW(BatchRunner(m, BatchRunnerConfig{.workers = 0}),
+               std::invalid_argument);
+  EXPECT_THROW((BatchRunner(m, BatchRunnerConfig{.workers = 1,
+                                                 .max_batch = 0})),
+               std::invalid_argument);
+
+  BatchRunner runner{m, BatchRunnerConfig{.workers = 2, .max_batch = 8}};
+  std::vector<float> in(3 * runner.input_size());
+  std::vector<float> out(3 * runner.output_size());
+  std::vector<Status> st(3);
+  EXPECT_EQ(runner.run(std::span<const float>(in).first(5), out, st),
+            Status::kShapeMismatch);
+  EXPECT_EQ(runner.run(in, std::span<float>(out).first(2), st),
+            Status::kShapeMismatch);
+  std::vector<Status> too_many(9);
+  std::vector<float> in9(9 * runner.input_size());
+  std::vector<float> out9(9 * runner.output_size());
+  EXPECT_EQ(runner.run(in9, out9, too_many), Status::kInvalidArgument);
+
+  // Empty batch is a no-op.
+  EXPECT_EQ(runner.run({}, {}, {}), Status::kOk);
+  EXPECT_EQ(runner.batch_count(), 0u);
+}
+
+TEST(BatchRunner, MoreWorkersThanItems) {
+  const Model& m = sx::testing::trained_mlp();
+  BatchRunner runner{m, BatchRunnerConfig{.workers = 8}};
+  const std::size_t n = 3;
+  const auto flat = stage_inputs(0, n);
+  std::vector<float> out(n * m.output_shape().size());
+  std::vector<Status> st(n);
+  ASSERT_EQ(runner.run(flat, out, st), Status::kOk);
+  EXPECT_EQ(runner.run_count(), n);
+  for (std::size_t w = n; w < 8; ++w) {
+    EXPECT_EQ(runner.worker_stats(w).items, 0u);
+    // Idle workers still participated in the dispatch barrier.
+    EXPECT_EQ(runner.worker_stats(w).batches, 1u);
+  }
+}
+
+TEST(BatchRunner, EvidenceReportsCounters) {
+  const Model& m = sx::testing::trained_mlp();
+  BatchRunner runner{m, BatchRunnerConfig{.workers = 2}};
+  const std::size_t n = 6;
+  const auto flat = stage_inputs(0, n);
+  std::vector<float> out(n * m.output_shape().size());
+  std::vector<Status> st(n);
+  ASSERT_EQ(runner.run(flat, out, st), Status::kOk);
+  const core::EvidenceItem item = core::make_batch_runner_evidence(runner);
+  EXPECT_EQ(item.title, "Deterministic batch execution");
+  EXPECT_NE(item.body.find("items: 6 (6 ok, 0 numeric faults)"),
+            std::string::npos)
+      << item.body;
+  EXPECT_NE(item.body.find("worker 1:"), std::string::npos);
+}
+
+TEST(CertifiablePipeline, BatchPathIsDisabledByDefault) {
+  core::PipelineConfig cfg;
+  cfg.criticality = trace::Criticality::kQM;
+  core::CertifiablePipeline p{sx::testing::trained_mlp(),
+                              sx::testing::road_data(), cfg};
+  EXPECT_EQ(p.batch_runner(), nullptr);
+  EXPECT_THROW(p.infer_batch({sx::testing::road_data().samples[0].input}),
+               std::logic_error);
+}
+
+TEST(CertifiablePipeline, BatchDecisionsIdenticalAcrossWorkerCounts) {
+  const auto& ds = sx::testing::road_data();
+  std::vector<Tensor> burst;
+  for (std::size_t i = 0; i < 16; ++i) burst.push_back(ds.samples[i].input);
+
+  std::vector<std::size_t> ref_classes;
+  std::string ref_audit_head;
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    core::PipelineConfig cfg;
+    cfg.criticality = trace::Criticality::kSil2;
+    cfg.batch_workers = workers;
+    core::CertifiablePipeline p{sx::testing::trained_mlp(), ds, cfg};
+    const auto decisions = p.infer_batch(burst, /*logical_time=*/1);
+    ASSERT_EQ(decisions.size(), burst.size());
+    std::vector<std::size_t> classes;
+    for (const auto& d : decisions) {
+      EXPECT_EQ(d.status, Status::kOk);
+      classes.push_back(d.predicted_class);
+    }
+    ASSERT_EQ(p.batch_runner()->item_count(), burst.size());
+    const std::string head = util::to_hex(p.audit().head());
+    if (ref_classes.empty()) {
+      ref_classes = classes;
+      ref_audit_head = head;
+    } else {
+      EXPECT_EQ(classes, ref_classes) << workers << " workers";
+      // The whole evidence trail — not just the outputs — is identical.
+      EXPECT_EQ(head, ref_audit_head) << workers << " workers";
+    }
+  }
+}
+
+TEST(CertifiablePipeline, BatchAgreesWithSerialInference) {
+  const auto& ds = sx::testing::road_data();
+  core::PipelineConfig cfg;
+  cfg.criticality = trace::Criticality::kQM;
+  cfg.batch_workers = 2;
+  core::CertifiablePipeline p{sx::testing::trained_mlp(), ds, cfg};
+
+  std::vector<Tensor> burst;
+  for (std::size_t i = 0; i < 10; ++i) burst.push_back(ds.samples[i].input);
+  const auto decisions = p.infer_batch(burst);
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    const Tensor ref = sx::testing::trained_mlp().forward(burst[i]);
+    std::size_t cls = 0;
+    for (std::size_t k = 1; k < ref.size(); ++k)
+      if (ref.at(k) > ref.at(cls)) cls = k;
+    EXPECT_EQ(decisions[i].predicted_class, cls) << "item " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sx::dl

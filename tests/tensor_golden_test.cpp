@@ -1,0 +1,212 @@
+// Golden-vector kernel tests: matvec, softmax, l2_norm and argmax pinned
+// against hand-computed vectors and a naive double-precision reference.
+// Kernel refactors (vectorization, blocking, fused paths) must reproduce
+// these exact results or fail loudly — numeric drift in a certified DL
+// library is a silent-safety defect, not an optimization detail.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace sx::tensor {
+namespace {
+
+// ---------------------------------------------------------------- matvec
+
+TEST(MatvecGolden, HandComputedVectors) {
+  // w = [[1 2 3], [4 5 6]], x = [1 1 1], b = [0.5 -0.5]
+  Tensor w{Shape::mat(2, 3), {1, 2, 3, 4, 5, 6}};
+  Tensor x{Shape::vec(3), {1, 1, 1}};
+  Tensor b{Shape::vec(2), {0.5f, -0.5f}};
+  Tensor out{Shape::vec(2)};
+  ASSERT_EQ(matvec(w.view(), x.view(), b.view(), out.view()), Status::kOk);
+  EXPECT_EQ(out.at(std::size_t{0}), 6.5f);
+  EXPECT_EQ(out.at(std::size_t{1}), 14.5f);
+
+  // Identity weights reproduce the input; zero bias.
+  Tensor id{Shape::mat(3, 3), {1, 0, 0, 0, 1, 0, 0, 0, 1}};
+  Tensor v{Shape::vec(3), {-1.25f, 0.0f, 7.5f}};
+  Tensor zb{Shape::vec(3), {0, 0, 0}};
+  Tensor idout{Shape::vec(3)};
+  ASSERT_EQ(matvec(id.view(), v.view(), zb.view(), idout.view()),
+            Status::kOk);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(idout.at(i), v.at(i));
+
+  // Signs and cancellation: w = [[1 -1]], x = [3 3], b = [2] -> [2].
+  Tensor wc{Shape::mat(1, 2), {1, -1}};
+  Tensor xc{Shape::vec(2), {3, 3}};
+  Tensor bc{Shape::vec(1), {2}};
+  Tensor oc{Shape::vec(1)};
+  ASSERT_EQ(matvec(wc.view(), xc.view(), bc.view(), oc.view()), Status::kOk);
+  EXPECT_EQ(oc.at(std::size_t{0}), 2.0f);
+}
+
+TEST(MatvecGolden, MatchesDoubleReference) {
+  util::Xoshiro256 rng{404};
+  const std::size_t rows = 8, cols = 16;
+  Tensor w{Shape::mat(rows, cols)};
+  Tensor x{Shape::vec(cols)};
+  Tensor b{Shape::vec(rows)};
+  w.init_uniform(rng, -1.0f, 1.0f);
+  x.init_uniform(rng, -1.0f, 1.0f);
+  b.init_uniform(rng, -1.0f, 1.0f);
+  Tensor out{Shape::vec(rows)};
+  ASSERT_EQ(matvec(w.view(), x.view(), b.view(), out.view()), Status::kOk);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double acc = static_cast<double>(b.at(r));
+    for (std::size_t c = 0; c < cols; ++c)
+      acc += static_cast<double>(w.at(r, c)) * static_cast<double>(x.at(c));
+    // float32 accumulation over 16 terms stays within a tight envelope of
+    // the float64 reference.
+    EXPECT_NEAR(out.at(r), acc, 1e-4) << "row " << r;
+  }
+}
+
+TEST(MatvecGolden, RejectsShapeMismatch) {
+  Tensor w{Shape::mat(2, 3)};
+  Tensor x{Shape::vec(4)};  // wrong
+  Tensor b{Shape::vec(2)};
+  Tensor out{Shape::vec(2)};
+  EXPECT_EQ(matvec(w.view(), x.view(), b.view(), out.view()),
+            Status::kShapeMismatch);
+}
+
+// ---------------------------------------------------------------- softmax
+
+std::vector<double> softmax_f64(const std::vector<float>& logits) {
+  double m = -std::numeric_limits<double>::infinity();
+  for (float v : logits) m = std::max(m, static_cast<double>(v));
+  std::vector<double> out(logits.size());
+  double z = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(static_cast<double>(logits[i]) - m);
+    z += out[i];
+  }
+  for (auto& v : out) v /= z;
+  return out;
+}
+
+void expect_softmax_matches_reference(const std::vector<float>& logits) {
+  Tensor in{Shape::vec(logits.size()), logits};
+  Tensor out{Shape::vec(logits.size())};
+  ASSERT_EQ(softmax(in.view(), out.view()), Status::kOk);
+  const auto ref = softmax_f64(logits);
+  float s = 0.0f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    EXPECT_NEAR(out.at(i), ref[i], 1e-6) << "logit " << i;
+    EXPECT_TRUE(std::isfinite(out.at(i)));
+    s += out.at(i);
+  }
+  EXPECT_NEAR(s, 1.0f, 1e-5f);
+}
+
+TEST(SoftmaxGolden, HandComputedVectors) {
+  // exp({0, ln2, ln4}) = {1, 2, 4} -> {1/7, 2/7, 4/7}.
+  Tensor in{Shape::vec(3),
+            {0.0f, std::log(2.0f), std::log(4.0f)}};
+  Tensor out{Shape::vec(3)};
+  ASSERT_EQ(softmax(in.view(), out.view()), Status::kOk);
+  EXPECT_NEAR(out.at(std::size_t{0}), 1.0 / 7.0, 1e-6);
+  EXPECT_NEAR(out.at(std::size_t{1}), 2.0 / 7.0, 1e-6);
+  EXPECT_NEAR(out.at(std::size_t{2}), 4.0 / 7.0, 1e-6);
+
+  // All-equal logits: exactly uniform (exp(0) = 1 is exact in float).
+  Tensor eq{Shape::vec(4), {5.0f, 5.0f, 5.0f, 5.0f}};
+  Tensor eqo{Shape::vec(4)};
+  ASSERT_EQ(softmax(eq.view(), eqo.view()), Status::kOk);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(eqo.at(i), 0.25f);
+}
+
+TEST(SoftmaxGolden, LargeLogitsDoNotOverflow) {
+  // Naive exp() would overflow float at ~88; the max-subtraction trick
+  // must keep these finite and exact relative to the f64 reference.
+  expect_softmax_matches_reference({1000.0f, 999.0f, 998.0f});
+  expect_softmax_matches_reference({3.0e38f, 0.0f});
+  expect_softmax_matches_reference({88.0f, 89.0f, 90.0f});
+}
+
+TEST(SoftmaxGolden, VeryNegativeLogitsDoNotUnderflowToNaN) {
+  expect_softmax_matches_reference({-1000.0f, -1001.0f, -1002.0f});
+  expect_softmax_matches_reference({-3.0e38f, 0.0f});
+  // One dominant logit: probability mass collapses onto it.
+  Tensor in{Shape::vec(3), {0.0f, -200.0f, -200.0f}};
+  Tensor out{Shape::vec(3)};
+  ASSERT_EQ(softmax(in.view(), out.view()), Status::kOk);
+  EXPECT_EQ(out.at(std::size_t{0}), 1.0f);
+  EXPECT_EQ(out.at(std::size_t{1}), 0.0f);
+}
+
+TEST(SoftmaxGolden, DuplicateMaxSplitsMassEqually) {
+  Tensor in{Shape::vec(3), {3.0f, 1.0f, 3.0f}};
+  Tensor out{Shape::vec(3)};
+  ASSERT_EQ(softmax(in.view(), out.view()), Status::kOk);
+  EXPECT_EQ(out.at(std::size_t{0}), out.at(std::size_t{2}));
+  EXPECT_GT(out.at(std::size_t{0}), out.at(std::size_t{1}));
+  expect_softmax_matches_reference({3.0f, 1.0f, 3.0f});
+}
+
+// ---------------------------------------------------------------- l2_norm
+
+TEST(L2NormGolden, HandComputedVectors) {
+  Tensor t34{Shape::vec(2), {3.0f, 4.0f}};
+  EXPECT_EQ(l2_norm(t34.view()), 5.0f);
+
+  Tensor zeros{Shape::vec(4)};
+  EXPECT_EQ(l2_norm(zeros.view()), 0.0f);
+
+  Tensor ones{Shape::vec(9), std::vector<float>(9, 1.0f)};
+  EXPECT_EQ(l2_norm(ones.view()), 3.0f);
+
+  // Sign-invariant.
+  Tensor neg{Shape::vec(2), {-3.0f, -4.0f}};
+  EXPECT_EQ(l2_norm(neg.view()), 5.0f);
+}
+
+TEST(L2NormGolden, MatchesDoubleReference) {
+  util::Xoshiro256 rng{77};
+  Tensor t{Shape::vec(64)};
+  t.init_uniform(rng, -2.0f, 2.0f);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i)
+    acc += static_cast<double>(t.at(i)) * static_cast<double>(t.at(i));
+  EXPECT_NEAR(l2_norm(t.view()), std::sqrt(acc), 1e-3);
+}
+
+// ----------------------------------------------------------------- argmax
+
+TEST(ArgmaxGolden, HandComputedVectors) {
+  Tensor t{Shape::vec(4), {0.5f, 2.0f, -1.0f, 1.0f}};
+  EXPECT_EQ(argmax(t.view()), 1u);
+
+  Tensor single{Shape::vec(1), {-42.0f}};
+  EXPECT_EQ(argmax(single.view()), 0u);
+
+  Tensor allneg{Shape::vec(3), {-5.0f, -2.0f, -9.0f}};
+  EXPECT_EQ(argmax(allneg.view()), 1u);
+
+  // Ties resolve to the first maximum — the deterministic contract
+  // decision paths (fallback class selection) rely on.
+  Tensor tie{Shape::vec(4), {7.0f, 3.0f, 7.0f, 7.0f}};
+  EXPECT_EQ(argmax(tie.view()), 0u);
+}
+
+TEST(ArgmaxGolden, MatchesDoubleReference) {
+  util::Xoshiro256 rng{123};
+  for (int rep = 0; rep < 20; ++rep) {
+    Tensor t{Shape::vec(32)};
+    t.init_uniform(rng, -10.0f, 10.0f);
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < t.size(); ++i)
+      if (static_cast<double>(t.at(i)) > static_cast<double>(t.at(best)))
+        best = i;
+    EXPECT_EQ(argmax(t.view()), best) << "rep " << rep;
+  }
+}
+
+}  // namespace
+}  // namespace sx::tensor

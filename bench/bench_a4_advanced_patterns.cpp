@@ -52,8 +52,9 @@ int run_experiment() {
                          std::size_t replicas) {
     const auto o = safety::run_campaign(ch, probes, cfg);
     const auto total = static_cast<double>(o.total());
-    table.add_row({name, util::fmt_pct(o.correct / total),
-                   util::fmt_pct(o.detected / total),
+    table.add_row({name,
+                   util::fmt_pct(static_cast<double>(o.correct) / total),
+                   util::fmt_pct(static_cast<double>(o.detected) / total),
                    util::fmt_pct(o.sdc_rate()),
                    util::fmt_pct(o.safe_rate()), std::to_string(replicas)});
     return o;

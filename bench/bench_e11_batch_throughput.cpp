@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
   }
   const std::uint64_t ref_hash =
       util::fnv1a(std::span<const float>(outputs));
-  const double serial_rate = items / serial_us * 1e6;
+  const double serial_rate = static_cast<double>(items) / serial_us * 1e6;
   table.add_row({"serial StaticEngine", util::fmt(serial_rate, 0), "1.00x",
                  "0", hex64(ref_hash)});
 
@@ -101,7 +101,7 @@ int main(int argc, char** argv) {
     const std::uint64_t h = util::fnv1a(std::span<const float>(outputs));
     bit_exact = bit_exact && h == ref_hash &&
                 runner.numeric_fault_count() == 0;
-    const double rate = items / best_us * 1e6;
+    const double rate = static_cast<double>(items) / best_us * 1e6;
     if (workers == 4) speedup_at_4 = serial_us / best_us;
     table.add_row({"batch x" + std::to_string(workers),
                    util::fmt(rate, 0),

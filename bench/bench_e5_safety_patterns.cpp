@@ -73,9 +73,10 @@ int run_experiment() {
         [&] { (void)c.channel->infer(ds.samples[0].input.view(), out); }, 300);
     const auto total = static_cast<double>(outcome.total());
     table.add_row(
-        {c.name, util::fmt_pct(outcome.correct / total),
-         util::fmt_pct(outcome.detected / total),
-         util::fmt_pct(outcome.fallback / total),
+        {c.name,
+         util::fmt_pct(static_cast<double>(outcome.correct) / total),
+         util::fmt_pct(static_cast<double>(outcome.detected) / total),
+         util::fmt_pct(static_cast<double>(outcome.fallback) / total),
          util::fmt_pct(outcome.sdc_rate()), util::fmt_pct(outcome.safe_rate()),
          util::fmt(us / base_us, 2) + "x"});
     sdc_rates.push_back(outcome.sdc_rate());

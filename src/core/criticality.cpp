@@ -46,6 +46,7 @@ Obligations obligations_for(Criticality c) noexcept {
       o.safety_bag = true;
       o.timing_budget = true;
       o.explanations = true;
+      o.static_verification = true;
       break;
     case Criticality::kSil4:
       o.min_pattern = PatternKind::kDiverseTmr;
@@ -54,6 +55,7 @@ Obligations obligations_for(Criticality c) noexcept {
       o.safety_bag = true;
       o.timing_budget = true;
       o.explanations = true;
+      o.static_verification = true;
       break;
   }
   return o;
@@ -76,6 +78,8 @@ AdmissibilityVerdict check_admissible(const PipelineSpec& spec,
     v.missing.push_back("pWCET-backed timing budget required");
   if (o.explanations && !spec.has_explanations)
     v.missing.push_back("per-decision explanation evidence required");
+  if (o.static_verification && !spec.has_static_verification)
+    v.missing.push_back("static pre-flight verification required");
   v.admissible = v.missing.empty();
   return v;
 }
@@ -89,6 +93,7 @@ PipelineSpec recommended_spec(Criticality c) noexcept {
   s.has_safety_bag = o.safety_bag;
   s.has_timing_budget = o.timing_budget;
   s.has_explanations = o.explanations;
+  s.has_static_verification = o.static_verification;
   return s;
 }
 

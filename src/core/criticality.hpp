@@ -34,6 +34,10 @@ struct PipelineSpec {
   bool has_safety_bag = false;     ///< fail-operational fallback (pillar 2)
   bool has_timing_budget = false;  ///< pWCET-backed deadline (pillar 4)
   bool has_explanations = false;   ///< per-decision attribution evidence
+  /// Pre-flight abstract-interpretation gate (pillar 3): the model must be
+  /// statically proven bounded / NaN-free / arena-consistent before any
+  /// inference is allowed to run.
+  bool has_static_verification = false;
 };
 
 /// Obligations a criticality level imposes.
@@ -44,6 +48,7 @@ struct Obligations {
   bool safety_bag = false;
   bool timing_budget = false;
   bool explanations = false;
+  bool static_verification = false;
 };
 
 /// The framework's admissibility matrix.

@@ -69,9 +69,32 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
     throw std::invalid_argument("CertifiablePipeline: fallback logit size");
   }
 
+  if (spec_.has_timing_budget && cfg_.timing_budget == 0)
+    throw std::invalid_argument(
+        "CertifiablePipeline: spec demands a timing budget but none given");
+
+  if (spec_.has_odd_guard)
+    odd_ = std::make_unique<trace::OddGuard>(trace::OddGuard::fit(calibration));
+
+  // Pre-flight static verification gate (pillar 3): prove from the
+  // parameters and the qualified input domain alone that the model is
+  // bounded, NaN-free and that the engine's arena plan matches the
+  // shape-derived demand. A failing model is never fitted or executed —
+  // the pipeline deploys in refuse-only mode and the verdict lands in the
+  // audit chain below.
+  if (spec_.has_static_verification) {
+    const trace::OddSpec odd_spec =
+        odd_ ? odd_->spec() : trace::OddSpec{};
+    verify_ = std::make_unique<verify::VerificationEvidence>(
+        verify::verify_model(*model_, odd_spec));
+    verify_refused_ = !verify_->verdict.passed();
+  }
+
   // Supervisor (fit + threshold on calibration data) plus a stream-level
-  // CUSUM drift detector on the log-transformed score stream.
-  if (spec_.has_supervisor) {
+  // CUSUM drift detector on the log-transformed score stream. Skipped in
+  // refuse-only mode: fitting would execute the very model the static
+  // gate just rejected.
+  if (spec_.has_supervisor && !verify_refused_) {
     supervisor_ = std::make_unique<supervise::MahalanobisSupervisor>();
     supervisor_->fit(*model_, calibration);
     const auto scores =
@@ -85,24 +108,19 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
   }
 
   // Inference channel, optionally wrapped in a safety bag.
-  auto inner = make_channel(spec_.pattern, *model_, calibration);
-  if (spec_.has_safety_bag) {
-    channel_ = std::make_unique<safety::SafetyBagChannel>(
-        std::move(inner), supervisor_ ? model_.get() : nullptr,
-        supervisor_.get(), fallback_);
-  } else {
-    channel_ = std::move(inner);
+  if (!verify_refused_) {
+    auto inner = make_channel(spec_.pattern, *model_, calibration);
+    if (spec_.has_safety_bag) {
+      channel_ = std::make_unique<safety::SafetyBagChannel>(
+          std::move(inner), supervisor_ ? model_.get() : nullptr,
+          supervisor_.get(), fallback_);
+    } else {
+      channel_ = std::move(inner);
+    }
   }
-
-  if (spec_.has_odd_guard)
-    odd_ = std::make_unique<trace::OddGuard>(trace::OddGuard::fit(calibration));
 
   if (spec_.has_explanations)
     explainer_ = std::make_unique<explain::GradientSaliency>();
-
-  if (spec_.has_timing_budget && cfg_.timing_budget == 0)
-    throw std::invalid_argument(
-        "CertifiablePipeline: spec demands a timing budget but none given");
 
   card_ = trace::make_model_card(
       "safexplain-pipeline", "1.0", *model_, calibration,
@@ -117,6 +135,10 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
                     " criticality=" +
                     std::string(trace::to_string(cfg_.criticality)) +
                     " pattern=" + to_string(spec_.pattern));
+  if (verify_)
+    audit_.append(0, "static-verify",
+                  verify_refused_ ? "refuse-model" : "pass",
+                  verify_->verdict_line());
 }
 
 Decision CertifiablePipeline::infer(const tensor::Tensor& input,
@@ -124,6 +146,19 @@ Decision CertifiablePipeline::infer(const tensor::Tensor& input,
                                     std::uint64_t elapsed) {
   Decision d;
   ++decisions_;
+
+  // 0. Pre-flight gate verdict: a statically refused model never runs.
+  if (verify_refused_) {
+    ++rejections_;
+    d.status = Status::kVerificationFailed;
+    d.degraded = true;
+    d.predicted_class = cfg_.fallback_class;
+    d.audit_sequence =
+        audit_.append(logical_time, "static-verify", "refuse",
+                      "status=" + std::string(to_string(d.status)))
+            .sequence;
+    return d;
+  }
 
   // 1. ODD guard.
   if (odd_) {
@@ -210,6 +245,23 @@ std::vector<Decision> CertifiablePipeline::infer_batch(
         "0 to enable the batch path");
   std::vector<Decision> decisions(inputs.size());
   if (inputs.empty()) return decisions;
+
+  if (verify_refused_) {
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      Decision& d = decisions[i];
+      ++decisions_;
+      ++rejections_;
+      d.status = Status::kVerificationFailed;
+      d.degraded = true;
+      d.predicted_class = cfg_.fallback_class;
+      d.audit_sequence =
+          audit_.append(logical_time, "static-verify", "refuse",
+                        "batch_index=" + std::to_string(i) + " status=" +
+                            std::string(to_string(d.status)))
+              .sequence;
+    }
+    return decisions;
+  }
 
   const std::size_t in_size = model_->input_shape().size();
   const std::size_t n_out = model_->output_shape().size();
@@ -313,6 +365,9 @@ tensor::Tensor CertifiablePipeline::explain(const tensor::Tensor& input,
   if (!explainer_)
     throw std::logic_error(
         "CertifiablePipeline::explain: spec has no explanation support");
+  if (verify_refused_)
+    throw std::logic_error(
+        "CertifiablePipeline::explain: model refused by static verification");
   return explainer_->attribute(*model_, input, target_class);
 }
 
@@ -360,6 +415,10 @@ trace::SafetyCase CertifiablePipeline::build_safety_case() const {
   sc.add_solution(g3, "Sn3.1",
                   "static-arena engine: no allocation, no exceptions on the "
                   "operational path");
+  if (verify_)
+    sc.add_solution(g3, "Sn3.2",
+                    "pre-flight abstract interpretation: " +
+                        verify_->verdict_line());
 
   // Pillar 4: real time.
   const auto g4 =

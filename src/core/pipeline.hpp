@@ -22,6 +22,7 @@
 #include "trace/odd.hpp"
 #include "trace/provenance.hpp"
 #include "trace/safety_case.hpp"
+#include "verify/range.hpp"
 
 namespace sx::core {
 
@@ -112,6 +113,17 @@ class CertifiablePipeline {
     return batch_.get();
   }
 
+  /// Evidence of the pre-flight static verification pass (null when the
+  /// spec does not demand one, i.e. below SIL3).
+  const verify::VerificationEvidence* static_verification() const noexcept {
+    return verify_.get();
+  }
+
+  /// True when the pre-flight gate refused the model: the pipeline is
+  /// deployed in refuse-only mode and every infer() degrades to fallback
+  /// without running the DL component.
+  bool verification_refused() const noexcept { return verify_refused_; }
+
  private:
   PipelineConfig cfg_;
   PipelineSpec spec_;
@@ -122,6 +134,8 @@ class CertifiablePipeline {
   std::unique_ptr<supervise::CusumDetector> drift_;
   std::unique_ptr<trace::OddGuard> odd_;
   std::unique_ptr<explain::Explainer> explainer_;
+  std::unique_ptr<verify::VerificationEvidence> verify_;
+  bool verify_refused_ = false;
   safety::Watchdog watchdog_;
   trace::AuditLog audit_;
   trace::ModelCard card_;

@@ -48,7 +48,13 @@ CertificationReport make_certification_report(
      << pipeline.audit().size() << " entries, head "
      << util::to_hex(pipeline.audit().head()).substr(0, 16) << "...)\n"
      << "  model integrity: "
-     << (ok(pipeline.verify_integrity()) ? "PASS" : "FAIL") << "\n\n";
+     << (ok(pipeline.verify_integrity()) ? "PASS" : "FAIL") << "\n";
+  if (const auto* sv = pipeline.static_verification()) {
+    os << "  static verification: "
+       << (sv->verdict.passed() ? "PASS" : "FAIL (model refused pre-flight)")
+       << "\n";
+  }
+  os << "\n";
 
   const trace::SafetyCase sc = pipeline.build_safety_case();
   os << "4. SAFETY CASE (GSN)\n" << sc.to_text();
@@ -112,6 +118,12 @@ EvidenceItem make_batch_runner_evidence(const dl::BatchRunner& runner) {
        << " us\n";
   }
   return EvidenceItem{"Deterministic batch execution", os.str()};
+}
+
+EvidenceItem make_static_verification_evidence(
+    const verify::VerificationEvidence& evidence) {
+  return EvidenceItem{"Static verification (abstract interpretation)",
+                      evidence.to_text()};
 }
 
 }  // namespace sx::core

@@ -13,6 +13,7 @@
 
 #include "core/pipeline.hpp"
 #include "trace/requirements.hpp"
+#include "verify/range.hpp"
 
 namespace sx::dl {
 class BatchRunner;
@@ -43,5 +44,11 @@ CertificationReport make_certification_report(
 /// counters (batches, items, faults, arena plan, busy time) plus the static
 /// partition argument. Attach to make_certification_report's evidence list.
 EvidenceItem make_batch_runner_evidence(const dl::BatchRunner& runner);
+
+/// Evidence for the static verification pass: verdict, arena re-check and
+/// per-layer output intervals (plus int8 saturation margins when present).
+/// Attach to make_certification_report's evidence list.
+EvidenceItem make_static_verification_evidence(
+    const verify::VerificationEvidence& evidence);
 
 }  // namespace sx::core

@@ -200,7 +200,7 @@ Dataset corrupt(const Dataset& ds, Corruption c, std::uint64_t seed,
       case Corruption::kGaussianNoise:
         for (auto& v : data)
           v = clamp01(v + static_cast<float>(
-                              rng.gaussian(0.0, 0.35 * severity)));
+                              rng.gaussian(0.0, 0.35 * static_cast<double>(severity))));
         break;
       case Corruption::kInvert:
         for (auto& v : data) v = 1.0f - v;

@@ -57,6 +57,16 @@ class QuantizedModel {
 
   WeightGranularity granularity() const noexcept { return cfg_.granularity; }
 
+  /// Number of quantized layers; indices align with the (folded) float
+  /// model the quantization was produced from.
+  std::size_t layer_count() const noexcept { return layers_.size(); }
+
+  /// Calibrated activation scale after layer i; scale * 127 is the largest
+  /// magnitude int8 can represent there. Exposed so the static verifier can
+  /// compare against abstract-interpretation activation bounds.
+  float activation_scale(std::size_t i) const { return layers_.at(i).out_scale; }
+  float input_scale() const noexcept { return input_scale_; }
+
  private:
   struct QLayer {
     LayerKind kind{};

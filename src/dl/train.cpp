@@ -137,7 +137,8 @@ void Trainer::apply_step(Model& model, OptimizerState& state,
   double norm_sq = 0.0;
   for (std::size_t i = 0; i < model.layer_count(); ++i)
     for (float g : model.layer(i).param_grads())
-      norm_sq += static_cast<double>(g) * g * scale * scale;
+      norm_sq += static_cast<double>(g) * static_cast<double>(g) * scale *
+                 scale;
   double clip_scale = 1.0;
   if (cfg_.grad_clip > 0.0) {
     const double norm = std::sqrt(norm_sq);
@@ -152,21 +153,24 @@ void Trainer::apply_step(Model& model, OptimizerState& state,
     for (std::size_t j = 0; j < params.size(); ++j) {
       const double g = static_cast<double>(grads[j]) * scale * clip_scale;
       if (cfg_.optimizer == Optimizer::kSgdMomentum) {
-        vel[j] = static_cast<float>(cfg_.momentum * vel[j] -
-                                    cfg_.learning_rate * g);
+        vel[j] =
+            static_cast<float>(cfg_.momentum * static_cast<double>(vel[j]) -
+                               cfg_.learning_rate * g);
         params[j] += vel[j];
       } else {
         auto& sec = state.second[i];
-        vel[j] = static_cast<float>(cfg_.adam_beta1 * vel[j] +
-                                    (1.0 - cfg_.adam_beta1) * g);
-        sec[j] = static_cast<float>(cfg_.adam_beta2 * sec[j] +
-                                    (1.0 - cfg_.adam_beta2) * g * g);
+        vel[j] = static_cast<float>(
+            cfg_.adam_beta1 * static_cast<double>(vel[j]) +
+            (1.0 - cfg_.adam_beta1) * g);
+        sec[j] = static_cast<float>(
+            cfg_.adam_beta2 * static_cast<double>(sec[j]) +
+            (1.0 - cfg_.adam_beta2) * g * g);
         const double m_hat =
-            vel[j] / (1.0 - std::pow(cfg_.adam_beta1,
-                                     static_cast<double>(state.step)));
+            static_cast<double>(vel[j]) /
+            (1.0 - std::pow(cfg_.adam_beta1, static_cast<double>(state.step)));
         const double v_hat =
-            sec[j] / (1.0 - std::pow(cfg_.adam_beta2,
-                                     static_cast<double>(state.step)));
+            static_cast<double>(sec[j]) /
+            (1.0 - std::pow(cfg_.adam_beta2, static_cast<double>(state.step)));
         params[j] -= static_cast<float>(
             cfg_.learning_rate * m_hat / (std::sqrt(v_hat) + cfg_.adam_eps));
       }

@@ -80,7 +80,7 @@ double deletion_auc(dl::Model& model, const tensor::Tensor& input,
   for (std::size_t s = 1; s <= steps; ++s) {
     const std::size_t upto = n * s / steps;
     for (; removed < upto; ++removed) cur.at(order[removed]) = baseline;
-    auc += target_prob(model, cur, target_class);
+    auc += static_cast<double>(target_prob(model, cur, target_class));
   }
   return auc / static_cast<double>(steps + 1);
 }
@@ -96,7 +96,7 @@ double completeness_residual(dl::Model& model, const tensor::Tensor& input,
   const double f0 = model.forward(base).at(target_class);
   double sum = 0.0;
   for (std::size_t i = 0; i < attribution.size(); ++i)
-    sum += attribution.at(i);
+    sum += static_cast<double>(attribution.at(i));
   return std::fabs(sum - (fx - f0));
 }
 

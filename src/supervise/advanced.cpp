@@ -102,7 +102,8 @@ double EnsembleSupervisor::score(const dl::Model&,
     const tensor::Tensor logits = m.forward(input);
     per_member.push_back(dl::softmax_copy(logits.data()));
     for (std::size_t c = 0; c < n_classes; ++c)
-      mean_p[c] += per_member.back()[c] / static_cast<double>(members_.size());
+      mean_p[c] += static_cast<double>(per_member.back()[c]) /
+                   static_cast<double>(members_.size());
   }
   // Predictive entropy of the mean.
   double entropy = 0.0;
@@ -113,7 +114,7 @@ double EnsembleSupervisor::score(const dl::Model&,
   for (std::size_t c = 0; c < n_classes; ++c) {
     double v = 0.0;
     for (const auto& p : per_member) {
-      const double d = p[c] - mean_p[c];
+      const double d = static_cast<double>(p[c]) - mean_p[c];
       v += d * d;
     }
     variance += v / static_cast<double>(per_member.size());

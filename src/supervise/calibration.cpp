@@ -18,7 +18,7 @@ std::vector<float> tempered_softmax(std::span<const float> logits,
     out[i] = static_cast<float>(e);
     z += e;
   }
-  for (auto& v : out) v = static_cast<float>(v / z);
+  for (auto& v : out) v = static_cast<float>(static_cast<double>(v) / z);
   return out;
 }
 

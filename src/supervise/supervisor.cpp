@@ -199,7 +199,8 @@ double AutoencoderSupervisor::score(const dl::Model& /*model*/,
   const tensor::Tensor recon = ae_->forward(input);
   double mse = 0.0;
   for (std::size_t i = 0; i < input.size(); ++i) {
-    const double d = static_cast<double>(recon.at(i)) - input.data()[i];
+    const double d =
+        static_cast<double>(recon.at(i)) - static_cast<double>(input.data()[i]);
     mse += d * d;
   }
   return mse / static_cast<double>(input.size());

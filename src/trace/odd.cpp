@@ -15,10 +15,13 @@ struct MeanStd {
 MeanStd mean_std(std::span<const float> xs) noexcept {
   if (xs.empty()) return {};
   double s = 0.0;
-  for (float v : xs) s += v;
+  for (float v : xs) s += static_cast<double>(v);
   const double m = s / static_cast<double>(xs.size());
   double ss = 0.0;
-  for (float v : xs) ss += (v - m) * (v - m);
+  for (float v : xs) {
+    const double d = static_cast<double>(v) - m;
+    ss += d * d;
+  }
   return {static_cast<float>(m),
           static_cast<float>(std::sqrt(ss / static_cast<double>(xs.size())))};
 }

@@ -1,6 +1,8 @@
 #include "trace/safety_case.hpp"
 
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace sx::trace {
 namespace {
@@ -50,18 +52,29 @@ std::size_t SafetyCase::add_solution(std::size_t parent, std::string id,
   return add_node(parent, NodeKind::kSolution, std::move(id), std::move(text));
 }
 
+// The subtree walks below use an explicit work list instead of call
+// recursion: stack demand is one vector bounded by the node count, and the
+// traversal terminates because children always carry larger indices than
+// their parent (nodes are append-only).
 bool SafetyCase::has_solution_beneath(std::size_t idx) const {
-  const CaseNode& n = nodes_[idx];
-  if (n.kind == NodeKind::kSolution) return true;
-  for (std::size_t c : n.children)
-    if (has_solution_beneath(c)) return true;
+  std::vector<std::size_t> work{idx};
+  while (!work.empty()) {
+    const CaseNode& n = nodes_[work.back()];
+    work.pop_back();
+    if (n.kind == NodeKind::kSolution) return true;
+    work.insert(work.end(), n.children.begin(), n.children.end());
+  }
   return false;
 }
 
 bool SafetyCase::has_goal_beneath(std::size_t idx) const {
-  for (std::size_t c : nodes_[idx].children) {
-    if (nodes_[c].kind == NodeKind::kGoal) return true;
-    if (has_goal_beneath(c)) return true;
+  std::vector<std::size_t> work(nodes_[idx].children.begin(),
+                                nodes_[idx].children.end());
+  while (!work.empty()) {
+    const CaseNode& n = nodes_[work.back()];
+    work.pop_back();
+    if (n.kind == NodeKind::kGoal) return true;
+    work.insert(work.end(), n.children.begin(), n.children.end());
   }
   return false;
 }
@@ -82,16 +95,24 @@ std::vector<std::string> SafetyCase::undischarged_goals() const {
 
 void SafetyCase::render(std::size_t idx, std::size_t depth,
                         std::string& out) const {
-  const CaseNode& n = nodes_[idx];
-  out.append(2 * depth, ' ');
-  out += "[";
-  out += prefix(n.kind);
-  out += "] ";
-  out += n.id;
-  out += ": ";
-  out += n.text;
-  out += '\n';
-  for (std::size_t c : n.children) render(c, depth + 1, out);
+  // Pre-order walk via explicit (node, depth) stack; children pushed in
+  // reverse so the leftmost child is rendered first.
+  std::vector<std::pair<std::size_t, std::size_t>> work{{idx, depth}};
+  while (!work.empty()) {
+    const auto [cur, d] = work.back();
+    work.pop_back();
+    const CaseNode& n = nodes_[cur];
+    out.append(2 * d, ' ');
+    out += "[";
+    out += prefix(n.kind);
+    out += "] ";
+    out += n.id;
+    out += ": ";
+    out += n.text;
+    out += '\n';
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it)
+      work.emplace_back(*it, d + 1);
+  }
 }
 
 std::string SafetyCase::to_text() const {

@@ -23,6 +23,7 @@ enum class Status : std::uint8_t {
   kOddViolation,      ///< Input outside the operational design domain.
   kInvalidArgument,   ///< Caller violated a documented precondition.
   kIntegrityFault,    ///< Provenance / audit-chain verification failed.
+  kVerificationFailed,  ///< Static pre-flight verification refused the model.
 };
 
 /// Human-readable name for a status code (for logs and evidence reports).
@@ -39,6 +40,7 @@ constexpr std::string_view to_string(Status s) noexcept {
     case Status::kOddViolation: return "ODD_VIOLATION";
     case Status::kInvalidArgument: return "INVALID_ARGUMENT";
     case Status::kIntegrityFault: return "INTEGRITY_FAULT";
+    case Status::kVerificationFailed: return "VERIFICATION_FAILED";
   }
   return "UNKNOWN";
 }

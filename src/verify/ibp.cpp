@@ -5,144 +5,10 @@
 #include <stdexcept>
 
 namespace sx::verify {
-namespace {
-
-using dl::LayerKind;
-using tensor::Shape;
-using tensor::Tensor;
-
-IntervalTensor affine_dense(const dl::Dense& d, const IntervalTensor& in) {
-  const std::size_t rows = d.out_dim();
-  const std::size_t cols = d.in_dim();
-  IntervalTensor out{Tensor{Shape::vec(rows)}, Tensor{Shape::vec(rows)}};
-  const auto w = d.weights();
-  const auto b = d.bias();
-  for (std::size_t r = 0; r < rows; ++r) {
-    double lo = b[r], hi = b[r];
-    for (std::size_t c = 0; c < cols; ++c) {
-      const float wv = w[r * cols + c];
-      if (wv >= 0.0f) {
-        lo += static_cast<double>(wv) * in.lo.at(c);
-        hi += static_cast<double>(wv) * in.hi.at(c);
-      } else {
-        lo += static_cast<double>(wv) * in.hi.at(c);
-        hi += static_cast<double>(wv) * in.lo.at(c);
-      }
-    }
-    out.lo.at(r) = static_cast<float>(lo);
-    out.hi.at(r) = static_cast<float>(hi);
-  }
-  return out;
-}
-
-IntervalTensor affine_conv(const dl::Conv2d& conv, const IntervalTensor& in,
-                           const Shape& out_shape) {
-  IntervalTensor out{Tensor{out_shape}, Tensor{out_shape}};
-  const auto w = conv.weights();
-  const auto b = conv.bias();
-  const std::size_t in_c = conv.in_channels();
-  const std::size_t k = conv.kernel();
-  const std::size_t stride = conv.stride();
-  const std::size_t pad = conv.padding();
-  const std::size_t h = in.lo.shape()[1], wd = in.lo.shape()[2];
-  const std::size_t oc_n = out_shape[0], oh = out_shape[1], ow = out_shape[2];
-  for (std::size_t oc = 0; oc < oc_n; ++oc) {
-    for (std::size_t oy = 0; oy < oh; ++oy) {
-      for (std::size_t ox = 0; ox < ow; ++ox) {
-        double lo = b[oc], hi = b[oc];
-        for (std::size_t ic = 0; ic < in_c; ++ic) {
-          const std::size_t base = ((oc * in_c + ic) * k) * k;
-          for (std::size_t ky = 0; ky < k; ++ky) {
-            const std::ptrdiff_t iy =
-                static_cast<std::ptrdiff_t>(oy * stride + ky) -
-                static_cast<std::ptrdiff_t>(pad);
-            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
-            for (std::size_t kx = 0; kx < k; ++kx) {
-              const std::ptrdiff_t ix =
-                  static_cast<std::ptrdiff_t>(ox * stride + kx) -
-                  static_cast<std::ptrdiff_t>(pad);
-              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(wd)) continue;
-              const float wv = w[base + ky * k + kx];
-              const auto uy = static_cast<std::size_t>(iy);
-              const auto ux = static_cast<std::size_t>(ix);
-              if (wv >= 0.0f) {
-                lo += static_cast<double>(wv) * in.lo.at(ic, uy, ux);
-                hi += static_cast<double>(wv) * in.hi.at(ic, uy, ux);
-              } else {
-                lo += static_cast<double>(wv) * in.hi.at(ic, uy, ux);
-                hi += static_cast<double>(wv) * in.lo.at(ic, uy, ux);
-              }
-            }
-          }
-        }
-        out.lo.at(oc, oy, ox) = static_cast<float>(lo);
-        out.hi.at(oc, oy, ox) = static_cast<float>(hi);
-      }
-    }
-  }
-  return out;
-}
-
-/// Applies a monotone element-wise function to both endpoints.
-template <typename Fn>
-IntervalTensor monotone(const IntervalTensor& in, const Shape& out_shape,
-                        Fn&& fn) {
-  IntervalTensor out{Tensor{out_shape}, Tensor{out_shape}};
-  for (std::size_t i = 0; i < in.lo.size(); ++i) {
-    out.lo.at(i) = fn(in.lo.at(i));
-    out.hi.at(i) = fn(in.hi.at(i));
-  }
-  return out;
-}
-
-/// MaxPool/AvgPool: run the concrete pooling kernel on both endpoint
-/// tensors (pooling is monotone in every input element).
-IntervalTensor pooled(const dl::Layer& layer, const IntervalTensor& in,
-                      const Shape& out_shape) {
-  IntervalTensor out{Tensor{out_shape}, Tensor{out_shape}};
-  if (!ok(layer.forward(in.lo.view(), out.lo.view())) ||
-      !ok(layer.forward(in.hi.view(), out.hi.view())))
-    throw std::runtime_error("ibp: pooling forward failed");
-  return out;
-}
-
-IntervalTensor batchnorm_interval(const dl::BatchNorm& bn,
-                                  const IntervalTensor& in,
-                                  const Shape& out_shape) {
-  // Per-channel affine y = g x + c with g possibly negative.
-  IntervalTensor out{Tensor{out_shape}, Tensor{out_shape}};
-  const std::size_t channels = bn.channels();
-  const auto gamma = bn.params().first(channels);
-  const auto beta = bn.params().subspan(channels);
-  const auto mean = bn.running_mean();
-  const auto var = bn.running_var();
-  const std::size_t per = in.lo.size() / channels;
-  for (std::size_t ch = 0; ch < channels; ++ch) {
-    const float g =
-        gamma[ch] / std::sqrt(var[ch] + bn.epsilon());
-    const float c = beta[ch] - mean[ch] * g;
-    for (std::size_t i = 0; i < per; ++i) {
-      const std::size_t idx = ch * per + i;
-      const float a = g * in.lo.at(idx) + c;
-      const float b = g * in.hi.at(idx) + c;
-      out.lo.at(idx) = std::min(a, b);
-      out.hi.at(idx) = std::max(a, b);
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
-bool IntervalTensor::well_formed() const noexcept {
-  if (lo.shape() != hi.shape()) return false;
-  for (std::size_t i = 0; i < lo.size(); ++i)
-    if (!(lo.at(i) <= hi.at(i))) return false;
-  return true;
-}
 
 IntervalTensor ibp_bounds(const dl::Model& model, const tensor::Tensor& input,
                           float eps, float clamp_lo, float clamp_hi) {
+  using tensor::Tensor;
   if (input.shape() != model.input_shape())
     throw std::invalid_argument("ibp_bounds: input shape mismatch");
   if (eps < 0.0f) throw std::invalid_argument("ibp_bounds: negative eps");
@@ -155,48 +21,14 @@ IntervalTensor ibp_bounds(const dl::Model& model, const tensor::Tensor& input,
 
   for (std::size_t li = 0; li < model.layer_count(); ++li) {
     const dl::Layer& layer = model.layer(li);
-    const Shape& out_shape = model.activation_shape(li);
-    switch (layer.kind()) {
-      case LayerKind::kDense:
-        cur = affine_dense(static_cast<const dl::Dense&>(layer), cur);
-        break;
-      case LayerKind::kConv2d:
-        cur = affine_conv(static_cast<const dl::Conv2d&>(layer), cur,
-                          out_shape);
-        break;
-      case LayerKind::kBatchNorm:
-        cur = batchnorm_interval(static_cast<const dl::BatchNorm&>(layer),
-                                 cur, out_shape);
-        break;
-      case LayerKind::kRelu:
-        cur = monotone(cur, out_shape,
-                       [](float v) { return v > 0.0f ? v : 0.0f; });
-        break;
-      case LayerKind::kSigmoid:
-        cur = monotone(cur, out_shape, [](float v) {
-          return 1.0f / (1.0f + std::exp(-v));
-        });
-        break;
-      case LayerKind::kTanh:
-        cur = monotone(cur, out_shape, [](float v) { return std::tanh(v); });
-        break;
-      case LayerKind::kFlatten: {
-        IntervalTensor next{Tensor{out_shape}, Tensor{out_shape}};
-        for (std::size_t i = 0; i < cur.lo.size(); ++i) {
-          next.lo.at(i) = cur.lo.at(i);
-          next.hi.at(i) = cur.hi.at(i);
-        }
-        cur = std::move(next);
-        break;
-      }
-      case LayerKind::kMaxPool2d:
-      case LayerKind::kAvgPool2d:
-        cur = pooled(layer, cur, out_shape);
-        break;
-      case LayerKind::kSoftmax:
-        throw std::invalid_argument(
-            "ibp_bounds: verify logits-producing models (drop Softmax)");
-    }
+    // Robustness certificates compare logit bounds, so the certified model
+    // must end in logits: a Softmax head would silently weaken the margin
+    // comparison. (The range analysis in verify/range.hpp does propagate
+    // through Softmax for output-envelope evidence.)
+    if (layer.kind() == dl::LayerKind::kSoftmax)
+      throw std::invalid_argument(
+          "ibp_bounds: verify logits-producing models (drop Softmax)");
+    cur = propagate_interval(layer, cur, model.activation_shape(li));
   }
   return cur;
 }

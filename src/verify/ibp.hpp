@@ -11,17 +11,9 @@
 
 #include "dl/dataset.hpp"
 #include "dl/model.hpp"
+#include "verify/interval.hpp"
 
 namespace sx::verify {
-
-/// Element-wise lower/upper bounds on a tensor.
-struct IntervalTensor {
-  tensor::Tensor lo;
-  tensor::Tensor hi;
-
-  /// True iff lo <= hi element-wise (sanity invariant).
-  bool well_formed() const noexcept;
-};
 
 /// Propagates the eps-ball around `input` (clamped to [clamp_lo, clamp_hi])
 /// through `model`, returning sound bounds on the output logits.

@@ -1,0 +1,31 @@
+// Shared interval-arithmetic core of the verification subsystem.
+//
+// One sound element-wise interval transfer function per LayerKind; both the
+// robustness certifier (ibp) and the static range analysis (range) propagate
+// through this code, so a soundness fix in one place fixes every client.
+// Affine layers split weights by sign, monotone activations map endpoints,
+// Softmax uses the classic per-element bound
+//   exp(lo_i) / (exp(lo_i) + sum_{j != i} exp(hi_j))  <=  out_i.
+#pragma once
+
+#include "dl/model.hpp"
+
+namespace sx::verify {
+
+/// Element-wise lower/upper bounds on a tensor.
+struct IntervalTensor {
+  tensor::Tensor lo;
+  tensor::Tensor hi;
+
+  /// True iff lo <= hi element-wise (sanity invariant; false on NaN).
+  bool well_formed() const noexcept;
+};
+
+/// Sound interval transfer through one layer: every concrete output of
+/// layer.forward() on an input inside `in` lies inside the returned
+/// interval. Handles every LayerKind, including Softmax.
+IntervalTensor propagate_interval(const dl::Layer& layer,
+                                  const IntervalTensor& in,
+                                  const tensor::Shape& out_shape);
+
+}  // namespace sx::verify

@@ -1,0 +1,213 @@
+#include "verify/range.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace sx::verify {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+bool all_finite(std::span<const float> xs) noexcept {
+  for (float v : xs)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+/// NaN sources that exist before any propagation: non-finite parameters or
+/// frozen statistics, and BatchNorm channels whose variance + epsilon is not
+/// strictly positive (sqrt of a non-positive number on the forward path).
+bool params_nan_safe(const dl::Model& model) {
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    const dl::Layer& l = model.layer(i);
+    if (!all_finite(l.params())) return false;
+    if (l.kind() == dl::LayerKind::kBatchNorm) {
+      const auto& bn = static_cast<const dl::BatchNorm&>(l);
+      if (!all_finite(bn.running_mean()) || !all_finite(bn.running_var()))
+        return false;
+      for (const float v : bn.running_var())
+        if (!(v + bn.epsilon() > 0.0f)) return false;
+    }
+  }
+  return true;
+}
+
+LayerRangeSummary summarize(std::size_t index, dl::LayerKind kind,
+                            const IntervalTensor& iv) {
+  LayerRangeSummary s;
+  s.index = index;
+  s.kind = kind;
+  s.min_lo = iv.lo.at(0);
+  s.max_hi = iv.hi.at(0);
+  s.max_width = 0.0f;
+  for (std::size_t i = 0; i < iv.lo.size(); ++i) {
+    const float lo = iv.lo.at(i), hi = iv.hi.at(i);
+    s.min_lo = std::min(s.min_lo, lo);
+    s.max_hi = std::max(s.max_hi, hi);
+    s.max_width = std::max(s.max_width, hi - lo);
+    if (!std::isfinite(lo) || !std::isfinite(hi)) s.finite = false;
+  }
+  return s;
+}
+
+float interval_absmax(const IntervalTensor& iv) noexcept {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < iv.lo.size(); ++i)
+    m = std::max(m, std::max(std::fabs(iv.lo.at(i)), std::fabs(iv.hi.at(i))));
+  return m;
+}
+
+}  // namespace
+
+std::string VerificationEvidence::verdict_line() const {
+  std::ostringstream os;
+  os << (verdict.passed() ? "PASS" : "FAIL")
+     << " bounded=" << (verdict.output_bounded ? 1 : 0)
+     << " nan_free=" << (verdict.nan_free ? 1 : 0)
+     << " arena=" << (verdict.arena_consistent ? 1 : 0) << " output=["
+     << output_lo << "," << output_hi << "]";
+  return os.str();
+}
+
+std::string VerificationEvidence::to_text() const {
+  std::ostringstream os;
+  os << "verdict: " << verdict_line() << "\n"
+     << "arena plan: required=" << arena.required_floats
+     << " floats (shape-derived), planned=" << arena.planned_floats
+     << " floats => " << (arena.consistent ? "CONSISTENT" : "MISMATCH")
+     << "\n"
+     << "per-layer output intervals (ODD-bounded abstract interpretation):\n";
+  os << std::setprecision(4);
+  for (const auto& l : layers) {
+    os << "  layer " << l.index << " " << dl::to_string(l.kind) << ": ["
+       << l.min_lo << ", " << l.max_hi << "] width<=" << l.max_width
+       << (l.finite ? "" : "  ** NON-FINITE **") << "\n";
+  }
+  if (!quant.empty()) {
+    os << "int8 saturation margins (static bound vs scale*127):\n";
+    for (const auto& q : quant) {
+      os << "  layer " << q.layer << " " << dl::to_string(q.kind)
+         << ": |act|<=" << q.static_absmax << " representable<="
+         << q.representable_absmax
+         << (q.saturation_possible ? "  saturation POSSIBLE"
+                                   : "  headroom OK")
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+IntervalTensor odd_input_interval(const tensor::Shape& input_shape,
+                                  const trace::OddSpec& odd) {
+  if (!(odd.value_min <= odd.value_max))
+    throw std::invalid_argument("odd_input_interval: empty value envelope");
+  IntervalTensor iv{Tensor{input_shape}, Tensor{input_shape}};
+  iv.lo.fill(odd.value_min);
+  iv.hi.fill(odd.value_max);
+  return iv;
+}
+
+std::vector<IntervalTensor> analyze_ranges(const dl::Model& model,
+                                           const IntervalTensor& input) {
+  if (input.lo.shape() != model.input_shape() ||
+      input.hi.shape() != model.input_shape())
+    throw std::invalid_argument("analyze_ranges: input shape mismatch");
+  std::vector<IntervalTensor> out;
+  out.reserve(model.layer_count() + 1);
+  out.push_back(IntervalTensor{input.lo, input.hi});
+  for (std::size_t i = 0; i < model.layer_count(); ++i)
+    out.push_back(propagate_interval(model.layer(i), out.back(),
+                                     model.activation_shape(i)));
+  return out;
+}
+
+std::size_t static_arena_demand(const dl::Model& model,
+                                const dl::StaticEngineConfig& cfg) {
+  // Re-derive every activation size from the layers' own shape rules; the
+  // engine ping-pongs two buffers each sized for the largest activation,
+  // and the input itself occupies the first buffer.
+  Shape shape = model.input_shape();
+  std::size_t max_activation = shape.size();
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    shape = model.layer(i).output_shape(shape);
+    max_activation = std::max(max_activation, shape.size());
+  }
+  return 2 * max_activation + cfg.arena_slack;
+}
+
+VerificationEvidence verify_model(const dl::Model& model,
+                                  const trace::OddSpec& odd,
+                                  std::size_t planned_arena_floats,
+                                  const dl::StaticEngineConfig& cfg) {
+  VerificationEvidence ev;
+
+  ev.arena.required_floats = static_arena_demand(model, cfg);
+  ev.arena.planned_floats = planned_arena_floats;
+  ev.arena.consistent =
+      ev.arena.planned_floats == ev.arena.required_floats;
+  ev.verdict.arena_consistent = ev.arena.consistent;
+
+  ev.verdict.nan_free = params_nan_safe(model);
+
+  const auto ranges =
+      analyze_ranges(model, odd_input_interval(model.input_shape(), odd));
+  ev.layers.reserve(model.layer_count());
+  bool bounded = true;
+  bool propagated_clean = true;
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    LayerRangeSummary s =
+        summarize(i, model.layer(i).kind(), ranges[i + 1]);
+    bounded = bounded && s.finite;
+    propagated_clean = propagated_clean && ranges[i + 1].well_formed();
+    ev.layers.push_back(s);
+  }
+  ev.verdict.output_bounded = bounded;
+  // A malformed interval (lo > hi, or NaN) anywhere means the abstract
+  // state lost soundness — treat it as NaN-reachable, never as a pass.
+  ev.verdict.nan_free = ev.verdict.nan_free && propagated_clean;
+
+  const IntervalTensor& out = ranges.back();
+  ev.output_lo = out.lo.at(0);
+  ev.output_hi = out.hi.at(0);
+  for (std::size_t i = 0; i < out.lo.size(); ++i) {
+    ev.output_lo = std::min(ev.output_lo, out.lo.at(i));
+    ev.output_hi = std::max(ev.output_hi, out.hi.at(i));
+  }
+  return ev;
+}
+
+VerificationEvidence verify_model(const dl::Model& model,
+                                  const trace::OddSpec& odd,
+                                  const dl::StaticEngineConfig& cfg) {
+  const dl::StaticEngine probe{model, cfg};
+  return verify_model(model, odd, probe.arena_capacity(), cfg);
+}
+
+std::vector<QuantSaturationCheck> check_quant_saturation(
+    const dl::Model& model, const dl::QuantizedModel& quantized,
+    const trace::OddSpec& odd) {
+  if (model.layer_count() != quantized.layer_count())
+    throw std::invalid_argument(
+        "check_quant_saturation: layer count mismatch (pass the folded "
+        "float model the quantized model was produced from)");
+  const auto ranges =
+      analyze_ranges(model, odd_input_interval(model.input_shape(), odd));
+  std::vector<QuantSaturationCheck> checks;
+  checks.reserve(model.layer_count());
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    QuantSaturationCheck q;
+    q.layer = i;
+    q.kind = model.layer(i).kind();
+    q.static_absmax = interval_absmax(ranges[i + 1]);
+    q.representable_absmax = quantized.activation_scale(i) * 127.0f;
+    q.saturation_possible = q.static_absmax > q.representable_absmax;
+    checks.push_back(q);
+  }
+  return checks;
+}
+
+}  // namespace sx::verify

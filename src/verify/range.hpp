@@ -1,0 +1,116 @@
+// Static verification of DL models by abstract interpretation.
+//
+// Certification practice (pillars 1 and 3) wants *pre-execution* evidence
+// about the network itself, not only runtime monitors: before a model is
+// allowed to run, we prove from its parameters and the qualified input
+// domain (the ODD) that
+//   - every layer's output interval is finite (no Inf reachable),
+//   - no NaN is reachable (parameters finite, BatchNorm divisors positive),
+//   - the static engine's arena plan matches the demand re-derived from
+//     layer shapes alone (an independent check of the memory bound), and
+//   - int8 quantization scales leave headroom against the statically
+//     bounded activation magnitudes (saturation margin evidence).
+// The result is a machine-readable VerificationEvidence that the
+// CertifiablePipeline consumes as a pre-flight gate at high criticality and
+// that core/report renders into the certification report.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dl/engine.hpp"
+#include "dl/model.hpp"
+#include "dl/quant.hpp"
+#include "trace/odd.hpp"
+#include "verify/interval.hpp"
+
+namespace sx::verify {
+
+/// Summary of the element-wise interval after one layer.
+struct LayerRangeSummary {
+  std::size_t index = 0;
+  dl::LayerKind kind{};
+  float min_lo = 0.0f;     ///< smallest lower bound over elements
+  float max_hi = 0.0f;     ///< largest upper bound over elements
+  float max_width = 0.0f;  ///< widest element interval
+  bool finite = true;      ///< all bounds finite (no NaN/Inf)
+};
+
+/// Independent re-verification of the static engine's arena plan.
+struct ArenaCheck {
+  std::size_t required_floats = 0;  ///< demand re-derived from shapes alone
+  std::size_t planned_floats = 0;   ///< capacity the engine actually planned
+  bool consistent = false;          ///< planned == required
+};
+
+/// Saturation margin of one quantized layer against the static bound.
+struct QuantSaturationCheck {
+  std::size_t layer = 0;
+  dl::LayerKind kind{};
+  float static_absmax = 0.0f;      ///< |activation| bound from the analysis
+  float representable_absmax = 0.0f;  ///< scale * 127 (int8 full range)
+  bool saturation_possible = false;   ///< static bound exceeds representable
+};
+
+struct StaticVerdict {
+  bool output_bounded = false;    ///< every layer interval finite
+  bool nan_free = false;          ///< no NaN reachable from ODD inputs
+  bool arena_consistent = false;  ///< plan matches shape-derived demand
+
+  bool passed() const noexcept {
+    return output_bounded && nan_free && arena_consistent;
+  }
+};
+
+/// Machine-readable result of the whole static verification pass.
+struct VerificationEvidence {
+  StaticVerdict verdict;
+  std::vector<LayerRangeSummary> layers;
+  ArenaCheck arena;
+  std::vector<QuantSaturationCheck> quant;  ///< empty unless requested
+  float output_lo = 0.0f;  ///< envelope of the final output interval
+  float output_hi = 0.0f;
+
+  /// One-line verdict for audit payloads.
+  std::string verdict_line() const;
+  /// Full per-layer table for the certification report.
+  std::string to_text() const;
+};
+
+/// The ODD value envelope as an element-wise input interval.
+IntervalTensor odd_input_interval(const tensor::Shape& input_shape,
+                                  const trace::OddSpec& odd);
+
+/// Layer-by-layer range analysis: result[0] is the input interval,
+/// result[i + 1] the sound interval after layer i. Throws
+/// std::invalid_argument on an input shape mismatch.
+std::vector<IntervalTensor> analyze_ranges(const dl::Model& model,
+                                           const IntervalTensor& input);
+
+/// Arena demand (floats) of StaticEngine's ping-pong plan, re-derived from
+/// layer output shapes alone — deliberately not using the engine's own
+/// Model::max_activation_size() bookkeeping.
+std::size_t static_arena_demand(const dl::Model& model,
+                                const dl::StaticEngineConfig& cfg = {});
+
+/// Runs the full pass against a claimed arena capacity (in floats).
+VerificationEvidence verify_model(const dl::Model& model,
+                                  const trace::OddSpec& odd,
+                                  std::size_t planned_arena_floats,
+                                  const dl::StaticEngineConfig& cfg = {});
+
+/// Convenience overload: plans a probe StaticEngine and checks its actual
+/// capacity against the shape-derived demand.
+VerificationEvidence verify_model(const dl::Model& model,
+                                  const trace::OddSpec& odd,
+                                  const dl::StaticEngineConfig& cfg = {});
+
+/// Saturation margins of a quantized deployment: `model` must be the float
+/// model the QuantizedModel was produced from (BatchNorm already folded, so
+/// layer indices align; throws std::invalid_argument otherwise).
+std::vector<QuantSaturationCheck> check_quant_saturation(
+    const dl::Model& model, const dl::QuantizedModel& quantized,
+    const trace::OddSpec& odd);
+
+}  // namespace sx::verify

@@ -56,14 +56,15 @@ TEST(RoadScene, SignalRegionIsBrighterThanBackground) {
     for (std::size_t y = 0; y < kRoadSceneSide; ++y)
       for (std::size_t x = 0; x < kRoadSceneSide; ++x) {
         if (s.signal->contains(y, x)) {
-          inside += s.input.at(0, y, x);
+          inside += static_cast<double>(s.input.at(0, y, x));
           ++n_in;
         } else {
-          outside += s.input.at(0, y, x);
+          outside += static_cast<double>(s.input.at(0, y, x));
           ++n_out;
         }
       }
-    EXPECT_GT(inside / n_in, outside / n_out + 0.2);
+    EXPECT_GT(inside / static_cast<double>(n_in),
+              outside / static_cast<double>(n_out) + 0.2);
   }
 }
 

@@ -28,7 +28,7 @@ void gradient_check(Layer& layer, const Shape& in_shape, std::uint64_t seed,
     EXPECT_EQ(layer.forward(x.view(), out.view()), Status::kOk);
     double acc = 0.0;
     for (std::size_t i = 0; i < out.size(); ++i)
-      acc += static_cast<double>(r.at(i)) * out.at(i);
+      acc += static_cast<double>(r.at(i)) * static_cast<double>(out.at(i));
     return acc;
   };
 
@@ -43,9 +43,9 @@ void gradient_check(Layer& layer, const Shape& in_shape, std::uint64_t seed,
   const std::size_t stride_in = std::max<std::size_t>(1, input.size() / 24);
   for (std::size_t i = 0; i < input.size(); i += stride_in) {
     const float saved = input.at(i);
-    input.at(i) = static_cast<float>(saved + eps);
+    input.at(i) = static_cast<float>(static_cast<double>(saved) + eps);
     const double lp = loss(input);
-    input.at(i) = static_cast<float>(saved - eps);
+    input.at(i) = static_cast<float>(static_cast<double>(saved) - eps);
     const double lm = loss(input);
     input.at(i) = saved;
     const double numeric = (lp - lm) / (2 * eps);
@@ -59,9 +59,9 @@ void gradient_check(Layer& layer, const Shape& in_shape, std::uint64_t seed,
   const std::size_t stride_p = std::max<std::size_t>(1, params.size() / 24);
   for (std::size_t i = 0; i < params.size(); i += stride_p) {
     const float saved = params[i];
-    params[i] = static_cast<float>(saved + eps);
+    params[i] = static_cast<float>(static_cast<double>(saved) + eps);
     const double lp = loss(input);
-    params[i] = static_cast<float>(saved - eps);
+    params[i] = static_cast<float>(static_cast<double>(saved) - eps);
     const double lm = loss(input);
     params[i] = saved;
     const double numeric = (lp - lm) / (2 * eps);

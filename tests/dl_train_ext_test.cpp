@@ -71,14 +71,16 @@ TEST(SigmoidTanh, GradientFiniteDifference) {
     for (std::size_t i = 0; i < in.size(); ++i) {
       Tensor out{Shape::vec(6)};
       const float saved = in.at(i);
-      in.at(i) = static_cast<float>(saved + eps);
+      in.at(i) = static_cast<float>(static_cast<double>(saved) + eps);
       (void)layer->forward(in.view(), out.view());
       double lp = 0.0;
-      for (std::size_t k = 0; k < 6; ++k) lp += go.at(k) * out.at(k);
-      in.at(i) = static_cast<float>(saved - eps);
+      for (std::size_t k = 0; k < 6; ++k)
+        lp += static_cast<double>(go.at(k)) * static_cast<double>(out.at(k));
+      in.at(i) = static_cast<float>(static_cast<double>(saved) - eps);
       (void)layer->forward(in.view(), out.view());
       double lm = 0.0;
-      for (std::size_t k = 0; k < 6; ++k) lm += go.at(k) * out.at(k);
+      for (std::size_t k = 0; k < 6; ++k)
+        lm += static_cast<double>(go.at(k)) * static_cast<double>(out.at(k));
       in.at(i) = saved;
       EXPECT_NEAR(gi.at(i), (lp - lm) / (2 * eps), 1e-2);
     }

@@ -62,7 +62,9 @@ TEST(IntegratedGradients, CompletenessHolds) {
     const double residual =
         completeness_residual(cnn(), s->input, s->label, att);
     // Residual should be small relative to the logit magnitude.
-    const double fx = std::fabs(cnn().forward(s->input).at(s->label)) + 1.0;
+    const double fx =
+        std::fabs(static_cast<double>(cnn().forward(s->input).at(s->label))) +
+        1.0;
     EXPECT_LT(residual, 0.1 * fx) << "completeness violated";
   }
 }

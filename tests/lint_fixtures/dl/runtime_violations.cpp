@@ -1,0 +1,54 @@
+// Seeded FUSA-violation fixture for sxlint. NEVER compiled or linked —
+// only scanned by the `sxlint_seeded_fixture` CTest entry, which expects
+// the linter to exit non-zero on this file. The `dl/` directory component
+// makes it count as a runtime path.
+//
+// Each violation below exercises one rule; keep them in sync with the rule
+// table in tools/sxlint.cpp.
+#include <cstring>
+#include <iostream>  // banned-include: stream IO in a runtime directory
+
+namespace fixture {
+
+// banned-call: heap via libc instead of tensor::Arena.
+float* grab_buffer(unsigned n) {
+  float* p = static_cast<float*>(malloc(n * sizeof(float)));
+  return p;
+}
+
+// banned-call: unseeded libc randomness.
+int noisy_threshold() { return rand() % 7; }
+
+// console-io: operational logging through global streams.
+void log_decision(int cls) { std::cout << "decided " << cls << "\n"; }
+
+// heap-expr: raw new/delete ownership on the runtime path.
+int* make_counter() { return new int(0); }
+void drop_counter(int* c) { delete c; }
+
+// throw-in-noexcept: would std::terminate on the operational path.
+int checked_index(int i) noexcept {
+  if (i < 0) throw i;
+  return i;
+}
+
+// recursion: direct self-recursion with no bound marker.
+unsigned long fact(unsigned long n) { return n < 2 ? 1 : n * fact(n - 1); }
+
+// A waived finding: the marker must suppress this one (it contributes to
+// the "waived" counter, not the findings list).
+unsigned depth_bounded(unsigned n) {
+  if (n == 0) return 0;
+  return 1 + depth_bounded(n / 2);  // sxlint: allow(recursion)
+}
+
+// Not findings: deleted special members and comments that merely mention
+// new/delete/malloc must stay silent.
+struct NoCopy {
+  NoCopy() = default;
+  NoCopy(const NoCopy&) = delete;             // not a heap-expr
+  NoCopy& operator=(const NoCopy&) = delete;  // not a heap-expr
+};
+const char* kDoc = "call malloc(3) and rand() here";  // string literal only
+
+}  // namespace fixture

@@ -101,9 +101,11 @@ TEST(Audit, SequenceNumbersAreDense) {
 
 TEST(Audit, IdenticalPayloadsGetDistinctHashes) {
   AuditLog log;
-  const auto& e1 = log.append(1, "a", "act", "same");
-  const auto& e2 = log.append(1, "a", "act", "same");
-  EXPECT_NE(e1.chain_hash, e2.chain_hash);  // chained, not content-only
+  // Copy: the second append may reallocate the entry vector, so a reference
+  // returned by the first would dangle.
+  const auto h1 = log.append(1, "a", "act", "same").chain_hash;
+  const auto h2 = log.append(1, "a", "act", "same").chain_hash;
+  EXPECT_NE(h1, h2);  // chained, not content-only
 }
 
 // --------------------------------------------------------------- provenance

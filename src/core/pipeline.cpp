@@ -51,12 +51,40 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
   model_ = std::make_unique<dl::Model>(model);
   const std::size_t n_out = model_->output_shape().size();
 
+  // Telemetry: registry, flight recorder and every metric name are fixed
+  // here, at deploy time, before any component that binds counters exists
+  // — so the exposition layout is identical for every batch_workers
+  // setting and no registration ever happens on an inference path.
+  if (cfg_.enable_telemetry) {
+    obs_ = std::make_unique<obs::Registry>(cfg_.telemetry_config);
+    fdr_ =
+        std::make_unique<obs::FlightRecorder>(cfg_.flight_recorder_capacity);
+    c_decisions_ = obs_->counter("sx_decisions_total");
+    c_odd_rej_ = obs_->counter("sx_odd_rejections_total");
+    c_sup_rej_ = obs_->counter("sx_supervisor_rejections_total");
+    c_fallback_ = obs_->counter("sx_fallback_activations_total");
+    c_wd_overruns_ = obs_->counter("sx_watchdog_overruns_total");
+    c_fault_det_ = obs_->counter("sx_fault_detections_total");
+    c_verify_refusals_ = obs_->counter("sx_verification_refusals_total");
+    c_drift_alarms_ = obs_->counter("sx_drift_alarms_total");
+    g_budget_ = obs_->gauge("sx_timing_budget");
+    g_sup_threshold_ = obs_->gauge("sx_supervisor_threshold");
+    g_drift_cusum_ = obs_->gauge("sx_drift_cusum");
+    h_odd_ = obs_->histogram("sx_stage_odd_guard_cycles");
+    h_infer_ = obs_->histogram("sx_stage_inference_cycles");
+    h_sup_ = obs_->histogram("sx_stage_supervisor_cycles");
+    h_decision_ = obs_->histogram("sx_decision_cycles");
+    watchdog_.bind_telemetry(obs_.get(), c_wd_overruns_);
+    obs_->set(g_budget_, static_cast<double>(cfg_.timing_budget));
+  }
+
   // Deterministic batch executor: pool and per-worker arenas are planned
   // here, at deploy time — infer_batch() spawns nothing and allocates
   // nothing on the inference path itself.
   if (cfg_.batch_workers > 0)
     batch_ = std::make_unique<dl::BatchRunner>(
-        *model_, dl::BatchRunnerConfig{.workers = cfg_.batch_workers});
+        *model_, dl::BatchRunnerConfig{.workers = cfg_.batch_workers,
+                                       .registry = obs_.get()});
 
   // Fallback logits: explicit, or one-hot on the conservative class.
   fallback_ = cfg_.fallback_logits;
@@ -105,6 +133,10 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
       log_scores[i] = std::log1p(std::max(0.0, scores[i]));
     drift_ = std::make_unique<supervise::CusumDetector>(
         supervise::CusumDetector::fit(log_scores, 0.5, 10.0));
+    if (obs_) {
+      supervisor_->bind_telemetry(obs_.get(), c_sup_rej_);
+      obs_->set(g_sup_threshold_, supervisor_->threshold());
+    }
   }
 
   // Inference channel, optionally wrapped in a safety bag.
@@ -117,6 +149,7 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
     } else {
       channel_ = std::move(inner);
     }
+    if (obs_) channel_->bind_telemetry(*obs_);
   }
 
   if (spec_.has_explanations)
@@ -141,15 +174,26 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
                   verify_->verdict_line());
 }
 
+void CertifiablePipeline::obs_finish_decision(const Decision& d,
+                                              std::uint64_t t0) noexcept {
+  if (!obs_) return;
+  const std::uint64_t t1 = obs_->now();
+  obs_->observe(h_decision_, t1 >= t0 ? t1 - t0 : 0);
+  obs_span(obs::Stage::kDecision, d.status, d.degraded, t0, t1);
+}
+
 Decision CertifiablePipeline::infer(const tensor::Tensor& input,
                                     std::uint64_t logical_time,
                                     std::uint64_t elapsed) {
   Decision d;
   ++decisions_;
+  const std::uint64_t t_dec = obs_ ? obs_->now() : 0;
+  obs_count(c_decisions_);
 
   // 0. Pre-flight gate verdict: a statically refused model never runs.
   if (verify_refused_) {
     ++rejections_;
+    obs_count(c_verify_refusals_);
     d.status = Status::kVerificationFailed;
     d.degraded = true;
     d.predicted_class = cfg_.fallback_class;
@@ -157,14 +201,23 @@ Decision CertifiablePipeline::infer(const tensor::Tensor& input,
         audit_.append(logical_time, "static-verify", "refuse",
                       "status=" + std::string(to_string(d.status)))
             .sequence;
+    obs_span(obs::Stage::kStaticVerify, d.status, true, t_dec, t_dec);
+    obs_finish_decision(d, t_dec);
     return d;
   }
 
   // 1. ODD guard.
   if (odd_) {
+    const std::uint64_t t0 = obs_ ? obs_->now() : 0;
     const Status st = odd_->check(input.view());
+    if (obs_) {
+      const std::uint64_t t1 = obs_->now();
+      obs_->observe(h_odd_, t1 >= t0 ? t1 - t0 : 0);
+      obs_span(obs::Stage::kOddGuard, st, !ok(st), t0, t1);
+    }
     if (!ok(st)) {
       ++rejections_;
+      obs_count(c_odd_rej_);
       d.status = st;
       d.degraded = true;
       d.predicted_class = cfg_.fallback_class;
@@ -172,14 +225,20 @@ Decision CertifiablePipeline::infer(const tensor::Tensor& input,
           audit_.append(logical_time, "odd-guard", "reject",
                         "status=" + std::string(to_string(st)))
               .sequence;
+      obs_finish_decision(d, t_dec);
       return d;
     }
   }
 
-  // 2. Timing budget (watchdog over the measured execution time).
+  // 2. Timing budget (watchdog over the measured execution time). The
+  // overrun counter increments inside kick() via the watchdog's binding.
   if (spec_.has_timing_budget) {
     watchdog_.arm(logical_time, cfg_.timing_budget);
     const Status wd = watchdog_.kick(logical_time + elapsed);
+    if (obs_) {
+      const std::uint64_t t1 = obs_->now();
+      obs_span(obs::Stage::kWatchdog, wd, !ok(wd), t1, t1);
+    }
     if (!ok(wd)) {
       ++rejections_;
       d.status = Status::kDeadlineMiss;
@@ -190,25 +249,42 @@ Decision CertifiablePipeline::infer(const tensor::Tensor& input,
                         "elapsed=" + std::to_string(elapsed) + " budget=" +
                             std::to_string(cfg_.timing_budget))
               .sequence;
+      obs_finish_decision(d, t_dec);
       return d;
     }
   }
 
   // 3. Channel inference (includes pattern redundancy and the safety bag).
+  const std::uint64_t t_inf = obs_ ? obs_->now() : 0;
   const Status st = channel_->infer(input.view(), out_buf_);
+  if (obs_) {
+    const std::uint64_t t1 = obs_->now();
+    obs_->observe(h_infer_, t1 >= t_inf ? t1 - t_inf : 0);
+    obs_span(obs::Stage::kInference, st, channel_->last_degraded(), t_inf,
+             t1);
+  }
   d.status = st;
   if (!ok(st)) {
     ++rejections_;
+    obs_count(c_fault_det_);
     d.degraded = true;
     d.predicted_class = cfg_.fallback_class;
     d.audit_sequence =
         audit_.append(logical_time, "channel", "fail-stop",
                       "status=" + std::string(to_string(st)))
             .sequence;
+    obs_finish_decision(d, t_dec);
     return d;
   }
   d.degraded = channel_->last_degraded();
-  if (d.degraded) ++fallbacks_;
+  if (d.degraded) {
+    ++fallbacks_;
+    obs_count(c_fallback_);
+    if (obs_) {
+      const std::uint64_t t1 = obs_->now();
+      obs_span(obs::Stage::kFallback, Status::kOk, true, t1, t1);
+    }
+  }
 
   // 4. Decision + confidence.
   const auto probs = dl::softmax_copy(out_buf_);
@@ -217,13 +293,22 @@ Decision CertifiablePipeline::infer(const tensor::Tensor& input,
     if (probs[i] > probs[d.predicted_class]) d.predicted_class = i;
   d.confidence = probs[d.predicted_class];
   if (supervisor_) {
+    const std::uint64_t t_sup = obs_ ? obs_->now() : 0;
     d.supervisor_score = supervisor_->score(*model_, input);
     if (drift_) {
       const bool was_alarmed = drift_->alarmed();
       drift_->update(std::log1p(std::max(0.0, d.supervisor_score)));
-      if (!was_alarmed && drift_->alarmed())
+      if (obs_) obs_->set(g_drift_cusum_, drift_->statistic());
+      if (!was_alarmed && drift_->alarmed()) {
+        obs_count(c_drift_alarms_);
         audit_.append(logical_time, "drift-detector", "alarm",
                       "cusum=" + std::to_string(drift_->statistic()));
+      }
+    }
+    if (obs_) {
+      const std::uint64_t t1 = obs_->now();
+      obs_->observe(h_sup_, t1 >= t_sup ? t1 - t_sup : 0);
+      obs_span(obs::Stage::kSupervisor, Status::kOk, false, t_sup, t1);
     }
   }
 
@@ -234,6 +319,7 @@ Decision CertifiablePipeline::infer(const tensor::Tensor& input,
   d.audit_sequence =
       audit_.append(logical_time, "channel", "decision", payload.str())
           .sequence;
+  obs_finish_decision(d, t_dec);
   return d;
 }
 
@@ -251,6 +337,8 @@ std::vector<Decision> CertifiablePipeline::infer_batch(
       Decision& d = decisions[i];
       ++decisions_;
       ++rejections_;
+      obs_count(c_decisions_);
+      obs_count(c_verify_refusals_);
       d.status = Status::kVerificationFailed;
       d.degraded = true;
       d.predicted_class = cfg_.fallback_class;
@@ -259,6 +347,11 @@ std::vector<Decision> CertifiablePipeline::infer_batch(
                         "batch_index=" + std::to_string(i) + " status=" +
                             std::string(to_string(d.status)))
               .sequence;
+      if (obs_) {
+        const std::uint64_t t = obs_->now();
+        obs_span(obs::Stage::kStaticVerify, d.status, true, t, t);
+        obs_finish_decision(d, t);
+      }
     }
     return decisions;
   }
@@ -267,16 +360,30 @@ std::vector<Decision> CertifiablePipeline::infer_batch(
   const std::size_t n_out = model_->output_shape().size();
 
   // Stage the batch contiguously and take ODD verdicts up front, so the
-  // evidence trail preserves the single-item ordering (guard first).
+  // evidence trail preserves the single-item ordering (guard first). Guard
+  // checks run serially in batch-index order, so their histogram
+  // observations are schedule-free; span timestamps are staged per item
+  // and recorded in the decision loop under the decision's ordinal.
   std::vector<float> staged(inputs.size() * in_size);
   std::vector<float> logits(inputs.size() * n_out);
   std::vector<Status> engine_status(inputs.size(), Status::kOk);
   std::vector<Status> guard_status(inputs.size(), Status::kOk);
+  std::vector<std::uint64_t> guard_t0(inputs.size(), 0);
+  std::vector<std::uint64_t> guard_t1(inputs.size(), 0);
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     if (inputs[i].shape() != model_->input_shape())
       throw std::invalid_argument(
           "CertifiablePipeline::infer_batch: input shape mismatch");
-    if (odd_) guard_status[i] = odd_->check(inputs[i].view());
+    if (odd_) {
+      guard_t0[i] = obs_ ? obs_->now() : 0;
+      guard_status[i] = odd_->check(inputs[i].view());
+      if (obs_) {
+        guard_t1[i] = obs_->now();
+        obs_->observe(h_odd_,
+                      guard_t1[i] >= guard_t0[i] ? guard_t1[i] - guard_t0[i]
+                                                 : 0);
+      }
+    }
     const auto src = inputs[i].data();
     std::copy(src.begin(), src.end(), staged.begin() + i * in_size);
   }
@@ -284,6 +391,12 @@ std::vector<Decision> CertifiablePipeline::infer_batch(
   // Parallel dispatch over the static pool, chunked to the pre-planned
   // batch capacity. Every item (even a guard-rejected one) goes through
   // the engine so per-worker counters depend only on the batch size.
+  // Per-item inference time is measured inside the workers into the
+  // batch-indexed `item_elapsed` array whenever the watchdog or telemetry
+  // consumes it — both consume it serially, in batch-index order.
+  const bool want_elapsed = obs_ != nullptr || spec_.has_timing_budget;
+  std::vector<std::uint64_t> item_elapsed(
+      want_elapsed ? inputs.size() : std::size_t{0}, 0);
   for (std::size_t base = 0; base < inputs.size();
        base += batch_->max_batch()) {
     const std::size_t n =
@@ -291,7 +404,9 @@ std::vector<Decision> CertifiablePipeline::infer_batch(
     const Status st = batch_->run(
         std::span<const float>(staged).subspan(base * in_size, n * in_size),
         std::span<float>(logits).subspan(base * n_out, n * n_out),
-        std::span<Status>(engine_status).subspan(base, n));
+        std::span<Status>(engine_status).subspan(base, n),
+        want_elapsed ? std::span<std::uint64_t>(item_elapsed).subspan(base, n)
+                     : std::span<std::uint64_t>{});
     if (!ok(st))
       throw std::logic_error("CertifiablePipeline::infer_batch: dispatch " +
                              std::string(to_string(st)));
@@ -303,9 +418,16 @@ std::vector<Decision> CertifiablePipeline::infer_batch(
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     Decision& d = decisions[i];
     ++decisions_;
+    const std::uint64_t t_dec = obs_ ? obs_->now() : 0;
+    obs_count(c_decisions_);
+    if (odd_) {
+      obs_span(obs::Stage::kOddGuard, guard_status[i], !ok(guard_status[i]),
+               guard_t0[i], guard_t1[i]);
+    }
 
     if (odd_ && !ok(guard_status[i])) {
       ++rejections_;
+      obs_count(c_odd_rej_);
       d.status = guard_status[i];
       d.degraded = true;
       d.predicted_class = cfg_.fallback_class;
@@ -314,11 +436,48 @@ std::vector<Decision> CertifiablePipeline::infer_batch(
                         "batch_index=" + std::to_string(i) + " status=" +
                             std::string(to_string(d.status)))
               .sequence;
+      obs_finish_decision(d, t_dec);
       continue;
+    }
+
+    // Timing budget: watchdog parity with the single-item path. The batch
+    // path feeds the watchdog the *measured* per-item inference time (in
+    // telemetry clock units), checked serially in batch-index order so the
+    // overrun counter and audit trail stay schedule-free. The overrun
+    // counter increments inside kick() via the watchdog's binding.
+    if (spec_.has_timing_budget) {
+      watchdog_.arm(logical_time, cfg_.timing_budget);
+      const Status wd = watchdog_.kick(logical_time + item_elapsed[i]);
+      if (obs_) {
+        const std::uint64_t t1 = obs_->now();
+        obs_span(obs::Stage::kWatchdog, wd, !ok(wd), t1, t1);
+      }
+      if (!ok(wd)) {
+        ++rejections_;
+        d.status = Status::kDeadlineMiss;
+        d.degraded = true;
+        d.predicted_class = cfg_.fallback_class;
+        d.audit_sequence =
+            audit_.append(logical_time, "watchdog", "deadline-miss",
+                          "batch_index=" + std::to_string(i) + " elapsed=" +
+                              std::to_string(item_elapsed[i]) + " budget=" +
+                              std::to_string(cfg_.timing_budget))
+                .sequence;
+        obs_finish_decision(d, t_dec);
+        continue;
+      }
+    }
+
+    if (obs_) {
+      const std::uint64_t t1 = obs_->now();
+      obs_->observe(h_infer_, item_elapsed[i]);
+      obs_span(obs::Stage::kInference, engine_status[i],
+               !ok(engine_status[i]), t1, t1 + item_elapsed[i]);
     }
 
     if (!ok(engine_status[i])) {
       ++rejections_;
+      obs_count(c_fault_det_);
       d.status = engine_status[i];
       d.degraded = true;
       d.predicted_class = cfg_.fallback_class;
@@ -327,6 +486,7 @@ std::vector<Decision> CertifiablePipeline::infer_batch(
                         "batch_index=" + std::to_string(i) + " status=" +
                             std::string(to_string(d.status)))
               .sequence;
+      obs_finish_decision(d, t_dec);
       continue;
     }
 
@@ -339,13 +499,22 @@ std::vector<Decision> CertifiablePipeline::infer_batch(
       if (probs[k] > probs[d.predicted_class]) d.predicted_class = k;
     d.confidence = probs[d.predicted_class];
     if (supervisor_) {
+      const std::uint64_t t_sup = obs_ ? obs_->now() : 0;
       d.supervisor_score = supervisor_->score(*model_, inputs[i]);
       if (drift_) {
         const bool was_alarmed = drift_->alarmed();
         drift_->update(std::log1p(std::max(0.0, d.supervisor_score)));
-        if (!was_alarmed && drift_->alarmed())
+        if (obs_) obs_->set(g_drift_cusum_, drift_->statistic());
+        if (!was_alarmed && drift_->alarmed()) {
+          obs_count(c_drift_alarms_);
           audit_.append(logical_time, "drift-detector", "alarm",
                         "cusum=" + std::to_string(drift_->statistic()));
+        }
+      }
+      if (obs_) {
+        const std::uint64_t t1 = obs_->now();
+        obs_->observe(h_sup_, t1 >= t_sup ? t1 - t_sup : 0);
+        obs_span(obs::Stage::kSupervisor, Status::kOk, false, t_sup, t1);
       }
     }
 
@@ -356,6 +525,7 @@ std::vector<Decision> CertifiablePipeline::infer_batch(
         audit_.append(logical_time, "batch-engine", "decision",
                       payload.str())
             .sequence;
+    obs_finish_decision(d, t_dec);
   }
   return decisions;
 }

@@ -14,6 +14,8 @@
 #include "dl/batch.hpp"
 #include "dl/dataset.hpp"
 #include "explain/explainer.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/registry.hpp"
 #include "safety/channel.hpp"
 #include "safety/watchdog.hpp"
 #include "supervise/drift.hpp"
@@ -42,6 +44,14 @@ struct PipelineConfig {
   /// Workers for the deterministic batch path (0 disables infer_batch()).
   /// The pool and its per-worker arenas are planned here, at deploy time.
   std::size_t batch_workers = 0;
+  /// Telemetry: when enabled, an obs::Registry (counters + per-stage
+  /// latency histograms) and an obs::FlightRecorder (stage-trail ring) are
+  /// allocated at deploy time and populated on every decision. All metric
+  /// values are deterministic across batch_workers settings; histogram
+  /// contents additionally require a deterministic telemetry_config.clock.
+  bool enable_telemetry = true;
+  obs::RegistryConfig telemetry_config;
+  std::size_t flight_recorder_capacity = 256;
 };
 
 /// Per-inference outcome with its evidence trail.
@@ -113,6 +123,17 @@ class CertifiablePipeline {
     return batch_.get();
   }
 
+  /// Telemetry registry (null when cfg.enable_telemetry is false). The
+  /// non-const overload exists so callers can drain_samples() the stage
+  /// histograms into timing::analyze().
+  const obs::Registry* telemetry() const noexcept { return obs_.get(); }
+  obs::Registry* telemetry() noexcept { return obs_.get(); }
+
+  /// Flight recorder (null when cfg.enable_telemetry is false).
+  const obs::FlightRecorder* flight_recorder() const noexcept {
+    return fdr_.get();
+  }
+
   /// Evidence of the pre-flight static verification pass (null when the
   /// spec does not demand one, i.e. below SIL3).
   const verify::VerificationEvidence* static_verification() const noexcept {
@@ -125,9 +146,26 @@ class CertifiablePipeline {
   bool verification_refused() const noexcept { return verify_refused_; }
 
  private:
+  /// Counts `id` (no-op when telemetry is off).
+  void obs_count(obs::CounterId id) noexcept {
+    if (obs_) obs_->add(id);
+  }
+  /// Records a stage span for the current decision ordinal.
+  void obs_span(obs::Stage stage, Status st, bool degraded, std::uint64_t t0,
+                std::uint64_t t1) noexcept {
+    if (fdr_)
+      fdr_->record(obs::StageSpan{decisions_, stage, st, degraded, t0, t1});
+  }
+  /// Closes a decision: whole-decision histogram + summary span.
+  void obs_finish_decision(const Decision& d, std::uint64_t t0) noexcept;
+
   PipelineConfig cfg_;
   PipelineSpec spec_;
   std::unique_ptr<dl::Model> model_;  // deployed copy
+  // Telemetry must outlive (and be registered before) every component that
+  // binds counters into it — the batch pool in particular.
+  std::unique_ptr<obs::Registry> obs_;
+  std::unique_ptr<obs::FlightRecorder> fdr_;
   std::unique_ptr<dl::BatchRunner> batch_;
   std::unique_ptr<safety::InferenceChannel> channel_;
   std::unique_ptr<supervise::Supervisor> supervisor_;
@@ -144,6 +182,22 @@ class CertifiablePipeline {
   std::uint64_t decisions_ = 0;
   std::uint64_t rejections_ = 0;
   std::uint64_t fallbacks_ = 0;
+
+  obs::CounterId c_decisions_{};
+  obs::CounterId c_odd_rej_{};
+  obs::CounterId c_sup_rej_{};
+  obs::CounterId c_fallback_{};
+  obs::CounterId c_wd_overruns_{};
+  obs::CounterId c_fault_det_{};
+  obs::CounterId c_verify_refusals_{};
+  obs::CounterId c_drift_alarms_{};
+  obs::GaugeId g_budget_{};
+  obs::GaugeId g_sup_threshold_{};
+  obs::GaugeId g_drift_cusum_{};
+  obs::HistogramId h_odd_{};
+  obs::HistogramId h_infer_{};
+  obs::HistogramId h_sup_{};
+  obs::HistogramId h_decision_{};
 };
 
 }  // namespace sx::core

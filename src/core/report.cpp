@@ -84,6 +84,11 @@ CertificationReport make_certification_report(
     os << "\n";
   }
 
+  if (pipeline.telemetry() != nullptr) {
+    os << "7. OBSERVABILITY\n"
+       << make_observability_evidence(pipeline).body << "\n";
+  }
+
   CertificationReport report;
   report.complete =
       verdict.admissible && gaps.empty() && requirements_ok &&
@@ -124,6 +129,30 @@ EvidenceItem make_static_verification_evidence(
     const verify::VerificationEvidence& evidence) {
   return EvidenceItem{"Static verification (abstract interpretation)",
                       evidence.to_text()};
+}
+
+EvidenceItem make_observability_evidence(const CertifiablePipeline& pipeline) {
+  std::ostringstream os;
+  const obs::Registry* reg = pipeline.telemetry();
+  const obs::FlightRecorder* fdr = pipeline.flight_recorder();
+  if (reg == nullptr) {
+    os << "telemetry disabled at deployment\n";
+    return EvidenceItem{"Observability (telemetry snapshot)", os.str()};
+  }
+  os << "static metrics registry: " << reg->counters() << " counters, "
+     << reg->gauges() << " gauges, " << reg->histograms()
+     << " histograms; all slots allocated at deploy time ("
+     << reg->dropped_registrations() << " registrations dropped)\n"
+     << "merged counter values are sums over static shard order => bitwise\n"
+     << "  identical for every batch_workers setting\n";
+  // The marker pair lets tools/sxmetrics recover the exposition from a
+  // serialized report without parsing the surrounding prose.
+  os << "# BEGIN SX_METRICS\n" << expose_text(*reg) << "# END SX_METRICS\n";
+  if (fdr != nullptr) {
+    os << "# BEGIN SX_FLIGHT_TRAIL\n"
+       << fdr->to_text() << "# END SX_FLIGHT_TRAIL\n";
+  }
+  return EvidenceItem{"Observability (telemetry snapshot)", os.str()};
 }
 
 }  // namespace sx::core

@@ -51,4 +51,11 @@ EvidenceItem make_batch_runner_evidence(const dl::BatchRunner& runner);
 EvidenceItem make_static_verification_evidence(
     const verify::VerificationEvidence& evidence);
 
+/// Telemetry snapshot of a deployed pipeline: the Prometheus-style metric
+/// exposition (between `# BEGIN SX_METRICS` / `# END SX_METRICS` markers,
+/// recoverable offline by tools/sxmetrics) and the flight-recorder stage
+/// trail (between `# BEGIN SX_FLIGHT_TRAIL` / `# END SX_FLIGHT_TRAIL`).
+/// Included automatically as report section 7 when telemetry is enabled.
+EvidenceItem make_observability_evidence(const CertifiablePipeline& pipeline);
+
 }  // namespace sx::core

@@ -25,6 +25,14 @@ BatchRunner::BatchRunner(const Model& model, BatchRunnerConfig cfg)
 
   fault_log_.reserve(cfg_.max_batch);
 
+  // Telemetry binding happens here, at configuration time, so no worker
+  // ever touches the registry's registration path.
+  if (cfg_.registry != nullptr) {
+    items_id_ = cfg_.registry->counter("sx_batch_items_total");
+    faults_id_ = cfg_.registry->counter("sx_batch_numeric_faults_total");
+    clock_ = cfg_.registry->config().clock;
+  }
+
   // Plan every arena before any thread exists: all allocation happens here,
   // at configuration time.
   pool_.resize(cfg_.workers);
@@ -50,18 +58,28 @@ BatchRunner::~BatchRunner() {
 Status BatchRunner::run(std::span<const float> inputs,
                         std::span<float> outputs,
                         std::span<Status> statuses) noexcept {
+  return run(inputs, outputs, statuses, std::span<std::uint64_t>{});
+}
+
+Status BatchRunner::run(std::span<const float> inputs,
+                        std::span<float> outputs,
+                        std::span<Status> statuses,
+                        std::span<std::uint64_t> elapsed) noexcept {
   const std::size_t count = statuses.size();
   if (count > cfg_.max_batch) return Status::kInvalidArgument;
   if (inputs.size() != count * in_size_ ||
       outputs.size() != count * out_size_)
     return Status::kShapeMismatch;
+  if (!elapsed.empty() && elapsed.size() != count)
+    return Status::kInvalidArgument;
   fault_log_.clear();
   if (count == 0) return Status::kOk;
 
   const auto t0 = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lk(mu_);
-    job_ = Job{inputs.data(), outputs.data(), statuses.data(), count};
+    job_ = Job{inputs.data(), outputs.data(), statuses.data(),
+               elapsed.empty() ? nullptr : elapsed.data(), count};
     done_ = 0;
     ++epoch_;
   }
@@ -102,13 +120,27 @@ void BatchRunner::worker_main(std::size_t w) noexcept {
     const auto t0 = std::chrono::steady_clock::now();
     // Static round-robin partition: this worker always owns items
     // w, w+stride, w+2*stride, ... in increasing order.
+    obs::Registry* const obs = cfg_.registry;
     for (std::size_t i = w; i < job.count; i += stride) {
       const tensor::ConstTensorView in{
           std::span<const float>(job.inputs + i * in_size_, in_size_),
           model_->input_shape()};
       const std::span<float> out{job.outputs + i * out_size_, out_size_};
-      job.statuses[i] = me.engine->run(in, out);
+      if (job.elapsed != nullptr) {
+        // Per-item timing lands in the batch-indexed slot; the caller
+        // consumes it serially, so histogram order is schedule-free.
+        const std::uint64_t c0 = clock_();
+        job.statuses[i] = me.engine->run(in, out);
+        const std::uint64_t c1 = clock_();
+        job.elapsed[i] = c1 >= c0 ? c1 - c0 : 0;
+      } else {
+        job.statuses[i] = me.engine->run(in, out);
+      }
       ++me.items;
+      if (obs != nullptr) {
+        obs->add(items_id_, 1, w);
+        if (!ok(job.statuses[i])) obs->add(faults_id_, 1, w);
+      }
     }
     const auto t1 = std::chrono::steady_clock::now();
     me.busy_micros += micros_between(t0, t1);

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "dl/engine.hpp"
+#include "obs/registry.hpp"
 
 namespace sx::dl {
 
@@ -42,6 +43,13 @@ struct BatchRunnerConfig {
   /// Largest batch run() accepts; fault-log storage is reserved from this
   /// at configuration time so run() never allocates.
   std::size_t max_batch = 4096;
+  /// Optional telemetry sink. When set, the runner registers
+  /// sx_batch_items_total / sx_batch_numeric_faults_total at configuration
+  /// time and workers increment their own shard (shard == worker index),
+  /// so the merged totals depend only on the static partition. The
+  /// registry's clock also times per-item inference when the caller asks
+  /// for it (see run()). Must outlive the runner.
+  obs::Registry* registry = nullptr;
 };
 
 /// One faulted item of the last batch, attributed to its batch index.
@@ -81,6 +89,14 @@ class BatchRunner {
   /// thread creation.
   Status run(std::span<const float> inputs, std::span<float> outputs,
              std::span<Status> statuses) noexcept;
+
+  /// Same, additionally measuring each item's inference time with the
+  /// telemetry clock into `elapsed[i]` (clock units; indexed by batch
+  /// index, so the array's contents are schedule-independent whenever the
+  /// clock is deterministic). `elapsed` must hold statuses.size() slots.
+  Status run(std::span<const float> inputs, std::span<float> outputs,
+             std::span<Status> statuses,
+             std::span<std::uint64_t> elapsed) noexcept;
 
   std::size_t workers() const noexcept { return pool_.size(); }
   std::size_t input_size() const noexcept { return in_size_; }
@@ -124,6 +140,7 @@ class BatchRunner {
     const float* inputs = nullptr;
     float* outputs = nullptr;
     Status* statuses = nullptr;
+    std::uint64_t* elapsed = nullptr;  ///< per-item clock units (optional)
     std::size_t count = 0;
   };
 
@@ -149,6 +166,10 @@ class BatchRunner {
   std::uint64_t items_ = 0;
   double last_micros_ = 0.0;
   double total_micros_ = 0.0;
+
+  obs::ClockFn clock_ = &obs::default_clock;
+  obs::CounterId items_id_{};
+  obs::CounterId faults_id_{};
 };
 
 }  // namespace sx::dl

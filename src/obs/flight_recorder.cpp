@@ -1,0 +1,59 @@
+#include "obs/flight_recorder.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace sx::obs {
+
+const char* to_string(Stage s) noexcept {
+  switch (s) {
+    case Stage::kStaticVerify: return "static-verify";
+    case Stage::kOddGuard: return "odd-guard";
+    case Stage::kWatchdog: return "watchdog";
+    case Stage::kInference: return "inference";
+    case Stage::kSupervisor: return "supervisor";
+    case Stage::kFallback: return "fallback";
+    case Stage::kDecision: return "decision";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity) {
+  if (capacity == 0)
+    throw std::invalid_argument("obs::FlightRecorder: capacity must be >= 1");
+  ring_.assign(capacity, StageSpan{});
+}
+
+void FlightRecorder::record(const StageSpan& span) noexcept {
+  ring_[head_] = span;
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+  ++total_;
+}
+
+std::size_t FlightRecorder::snapshot(std::span<StageSpan> out) const noexcept {
+  const std::size_t n = out.size() < size_ ? out.size() : size_;
+  const std::size_t cap = ring_.size();
+  const std::size_t start = (head_ + cap - size_) % cap;
+  for (std::size_t k = 0; k < n; ++k)
+    out[k] = ring_[(start + k) % cap];
+  return n;
+}
+
+std::string FlightRecorder::to_text() const {
+  std::ostringstream os;
+  os << "flight recorder: " << size_ << " of " << total_
+     << " spans retained (capacity " << ring_.size() << ")\n";
+  const std::size_t cap = ring_.size();
+  const std::size_t start = (head_ + cap - size_) % cap;
+  for (std::size_t k = 0; k < size_; ++k) {
+    const StageSpan& s = ring_[(start + k) % cap];
+    os << "  decision=" << s.decision << " stage=" << to_string(s.stage)
+       << " status=" << sx::to_string(s.status)
+       << " degraded=" << (s.degraded ? 1 : 0) << " t=[" << s.t_start << ","
+       << s.t_end << ") dur=" << (s.t_end - s.t_start) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sx::obs

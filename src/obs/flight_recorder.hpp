@@ -1,0 +1,76 @@
+// Flight recorder: bounded, statically-sized evidence ring of stage spans.
+//
+// Captures the stage-by-stage trail of the last N pipeline decisions (stage
+// id, start/end logical time, status, degraded flag) so that when an
+// assessor — or an incident investigation — asks "what exactly did the
+// runtime do around decision k?", the answer is recorded evidence, not a
+// reconstruction. The ring is allocated once at deploy time; record() is
+// noexcept, allocation-free and overwrites the oldest span when full
+// (total_recorded() keeps the lifetime count so truncation is itself
+// evident). Snapshots render into the certification report as the
+// observability evidence section.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace sx::obs {
+
+/// Pipeline stages a span can belong to (matches CertifiablePipeline's
+/// runtime stack order).
+enum class Stage : std::uint8_t {
+  kStaticVerify,  ///< pre-flight gate verdict applied to a decision
+  kOddGuard,
+  kWatchdog,
+  kInference,  ///< safety-pattern channel / batch engine
+  kSupervisor,
+  kFallback,
+  kDecision,  ///< whole-decision summary span
+};
+
+const char* to_string(Stage s) noexcept;
+
+/// One recorded stage execution.
+struct StageSpan {
+  std::uint64_t decision = 0;  ///< pipeline decision ordinal (1-based)
+  Stage stage = Stage::kDecision;
+  Status status = Status::kOk;
+  bool degraded = false;
+  std::uint64_t t_start = 0;  ///< logical time (telemetry clock units)
+  std::uint64_t t_end = 0;
+};
+
+/// Bounded span ring; see file comment.
+class FlightRecorder {
+ public:
+  /// The ring (capacity spans) is allocated here, at deploy time.
+  explicit FlightRecorder(std::size_t capacity = 256);
+
+  /// Records one span, overwriting the oldest when the ring is full.
+  void record(const StageSpan& span) noexcept;
+
+  std::size_t capacity() const noexcept { return ring_.size(); }
+  /// Spans currently retained (<= capacity()).
+  std::size_t size() const noexcept { return size_; }
+  /// Spans recorded over the recorder's lifetime (evidence of truncation).
+  std::uint64_t total_recorded() const noexcept { return total_; }
+
+  /// Copies up to out.size() retained spans, oldest first; returns the
+  /// number copied. Does not consume the ring.
+  std::size_t snapshot(std::span<StageSpan> out) const noexcept;
+
+  /// Renders the retained trail, oldest first, one span per line.
+  std::string to_text() const;
+
+ private:
+  std::vector<StageSpan> ring_;
+  std::size_t head_ = 0;  ///< next write position
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace sx::obs

@@ -70,6 +70,7 @@ Status DmrChannel::infer(tensor::ConstTensorView in,
     const float d = std::fabs(out[i] - scratch_[i]);
     if (!(d <= tolerance_)) {  // catches NaN too
       ++divergences_;
+      if (obs_ != nullptr) obs_->add(divergences_id_);
       return Status::kRedundancyFault;
     }
   }
@@ -104,6 +105,7 @@ Status TmrChannel::infer(tensor::ConstTensorView in,
   if (failures >= 2) return Status::kRedundancyFault;
   if (failures == 1) {
     ++masked_;
+    if (obs_ != nullptr) obs_->add(masked_id_);
     std::span<float> alive1 = ok(s0) ? r0 : r1;
     std::span<float> alive2 = ok(s2) ? r2 : r1;
     // Cross-check the two survivors before trusting them.
@@ -122,7 +124,10 @@ Status TmrChannel::infer(tensor::ConstTensorView in,
         std::fabs(r0[i] - r2[i]) > tolerance_)
       disagreement = true;
   }
-  if (disagreement) ++masked_;
+  if (disagreement) {
+    ++masked_;
+    if (obs_ != nullptr) obs_->add(masked_id_);
+  }
   return Status::kOk;
 }
 
@@ -160,7 +165,10 @@ Status DiverseTmrChannel::infer(tensor::ConstTensorView in,
   if (a0 == a1 || a0 == aq) majority = a0;
   else if (a1 == aq) majority = a1;
   if (majority == n) return Status::kRedundancyFault;
-  if (a0 != a1 || a1 != aq) ++masked_;
+  if (a0 != a1 || a1 != aq) {
+    ++masked_;
+    if (obs_ != nullptr) obs_->add(masked_id_);
+  }
 
   // Emit logits from a float replica that voted with the majority.
   if (ok(s0) && a0 == majority) return Status::kOk;  // already in `out`

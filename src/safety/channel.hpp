@@ -21,6 +21,7 @@
 
 #include "dl/engine.hpp"
 #include "dl/quant.hpp"
+#include "obs/registry.hpp"
 #include "safety/monitor.hpp"
 #include "supervise/supervisor.hpp"
 
@@ -44,6 +45,11 @@ class InferenceChannel {
 
   /// True if the previous infer() produced a fallback (degraded) output.
   virtual bool last_degraded() const noexcept { return false; }
+
+  /// Registers and binds this pattern's telemetry counters (configuration
+  /// time; no-op by default). Wrapper channels forward to their inner
+  /// channel. The registry must outlive the channel.
+  virtual void bind_telemetry(obs::Registry& registry) { (void)registry; }
 };
 
 /// Bare engine, no protection.
@@ -83,6 +89,11 @@ class MonitoredChannel final : public InferenceChannel {
 
   const SafetyMonitor& monitor() const noexcept { return monitor_; }
 
+  void bind_telemetry(obs::Registry& registry) override {
+    monitor_.bind_telemetry(&registry,
+                            registry.counter("sx_monitor_rejections_total"));
+  }
+
  private:
   std::unique_ptr<dl::Model> model_;
   std::unique_ptr<dl::StaticEngine> engine_;
@@ -105,12 +116,19 @@ class DmrChannel final : public InferenceChannel {
 
   std::uint64_t divergences() const noexcept { return divergences_; }
 
+  void bind_telemetry(obs::Registry& registry) override {
+    obs_ = &registry;
+    divergences_id_ = registry.counter("sx_dmr_divergences_total");
+  }
+
  private:
   std::vector<std::unique_ptr<dl::Model>> models_;
   std::vector<std::unique_ptr<dl::StaticEngine>> engines_;
   std::vector<float> scratch_;
   float tolerance_;
   std::uint64_t divergences_ = 0;
+  obs::Registry* obs_ = nullptr;
+  obs::CounterId divergences_id_{};
 };
 
 /// Triple modular redundancy with element-wise median vote (fault masking).
@@ -130,12 +148,19 @@ class TmrChannel final : public InferenceChannel {
   /// Votes in which at least one replica disagreed (masked faults).
   std::uint64_t masked_votes() const noexcept { return masked_; }
 
+  void bind_telemetry(obs::Registry& registry) override {
+    obs_ = &registry;
+    masked_id_ = registry.counter("sx_tmr_masked_votes_total");
+  }
+
  private:
   std::vector<std::unique_ptr<dl::Model>> models_;
   std::vector<std::unique_ptr<dl::StaticEngine>> engines_;
   std::vector<float> scratch_;  // 3 * output buffers
   float tolerance_;
   std::uint64_t masked_ = 0;
+  obs::Registry* obs_ = nullptr;
+  obs::CounterId masked_id_{};
 };
 
 /// Diverse redundancy: float replica, int8-quantized replica and a second
@@ -158,12 +183,19 @@ class DiverseTmrChannel final : public InferenceChannel {
   std::size_t replica_count() const noexcept override { return 2; }
   dl::Model& replica(std::size_t i) override { return *models_.at(i); }
 
+  void bind_telemetry(obs::Registry& registry) override {
+    obs_ = &registry;
+    masked_id_ = registry.counter("sx_diverse_masked_votes_total");
+  }
+
  private:
   std::vector<std::unique_ptr<dl::Model>> models_;  // two float replicas
   std::vector<std::unique_ptr<dl::StaticEngine>> engines_;
   std::unique_ptr<dl::QuantizedModel> qmodel_;
   std::vector<float> scratch_;
   std::uint64_t masked_ = 0;
+  obs::Registry* obs_ = nullptr;
+  obs::CounterId masked_id_{};
 };
 
 /// Fail-operational safety bag: primary channel + (optional) trust
@@ -194,6 +226,10 @@ class SafetyBagChannel final : public InferenceChannel {
   bool last_degraded() const noexcept override { return degraded_; }
 
   std::uint64_t fallback_activations() const noexcept { return fallbacks_; }
+
+  void bind_telemetry(obs::Registry& registry) override {
+    primary_->bind_telemetry(registry);
+  }
 
  private:
   std::unique_ptr<InferenceChannel> primary_;

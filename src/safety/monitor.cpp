@@ -7,13 +7,13 @@ namespace sx::safety {
 Status SafetyMonitor::check_input(tensor::ConstTensorView input) noexcept {
   ++checks_;
   if (cfg_.check_finite && tensor::has_non_finite(input)) {
-    ++rejections_;
+    note_rejection();
     return Status::kNumericFault;
   }
   if (cfg_.check_input_range) {
     for (float v : input.data) {
       if (v < cfg_.input_min || v > cfg_.input_max) {
-        ++rejections_;
+        note_rejection();
         return Status::kOddViolation;
       }
     }
@@ -24,16 +24,16 @@ Status SafetyMonitor::check_input(tensor::ConstTensorView input) noexcept {
 Status SafetyMonitor::check_output(std::span<const float> logits) noexcept {
   ++checks_;
   if (logits.empty()) {
-    ++rejections_;
+    note_rejection();
     return Status::kInvalidArgument;
   }
   for (float v : logits) {
     if (cfg_.check_finite && !std::isfinite(v)) {
-      ++rejections_;
+      note_rejection();
       return Status::kNumericFault;
     }
     if (v < cfg_.output_min || v > cfg_.output_max) {
-      ++rejections_;
+      note_rejection();
       return Status::kNumericFault;
     }
   }
@@ -54,7 +54,7 @@ Status SafetyMonitor::check_output(std::span<const float> logits) noexcept {
     const float d = std::exp(top2 - top1);
     const float margin = (1.0f - d) / (1.0f + d);
     if (margin < cfg_.min_decision_margin) {
-      ++rejections_;
+      note_rejection();
       return Status::kSupervisorReject;
     }
   }

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <span>
 
+#include "obs/registry.hpp"
 #include "tensor/ops.hpp"
 #include "util/status.hpp"
 
@@ -41,13 +42,28 @@ class SafetyMonitor {
 
   const MonitorConfig& config() const noexcept { return cfg_; }
 
+  /// Binds a rejection counter (configuration time): every envelope
+  /// rejection also increments `rejections` in `registry`.
+  void bind_telemetry(obs::Registry* registry,
+                      obs::CounterId rejections) noexcept {
+    obs_ = registry;
+    rejections_id_ = rejections;
+  }
+
   std::uint64_t checks() const noexcept { return checks_; }
   std::uint64_t rejections() const noexcept { return rejections_; }
 
  private:
+  void note_rejection() noexcept {
+    ++rejections_;
+    if (obs_ != nullptr) obs_->add(rejections_id_);
+  }
+
   MonitorConfig cfg_;
   std::uint64_t checks_ = 0;
   std::uint64_t rejections_ = 0;
+  obs::Registry* obs_ = nullptr;
+  obs::CounterId rejections_id_{};
 };
 
 }  // namespace sx::safety

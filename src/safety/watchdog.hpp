@@ -7,12 +7,22 @@
 
 #include <cstdint>
 
+#include "obs/registry.hpp"
 #include "util/status.hpp"
 
 namespace sx::safety {
 
 class Watchdog {
  public:
+  /// Binds an overrun counter (configuration time): every deadline miss
+  /// reported by kick() also increments `overruns` in `registry`. Pass a
+  /// null registry to unbind.
+  void bind_telemetry(obs::Registry* registry,
+                      obs::CounterId overruns) noexcept {
+    obs_ = registry;
+    overruns_id_ = overruns;
+  }
+
   /// Arms the watchdog: the task must kick() before `budget` time units
   /// elapse from `now`.
   void arm(std::uint64_t now, std::uint64_t budget) noexcept {
@@ -31,6 +41,7 @@ class Watchdog {
     armed_ = false;
     if (now > deadline_) {
       ++misses_;
+      if (obs_ != nullptr) obs_->add(overruns_id_);
       return Status::kDeadlineMiss;
     }
     ++kicks_;
@@ -51,6 +62,8 @@ class Watchdog {
   bool armed_ = false;
   std::uint64_t kicks_ = 0;
   std::uint64_t misses_ = 0;
+  obs::Registry* obs_ = nullptr;
+  obs::CounterId overruns_id_{};
 };
 
 }  // namespace sx::safety

@@ -16,6 +16,7 @@
 
 #include "dl/dataset.hpp"
 #include "dl/model.hpp"
+#include "obs/registry.hpp"
 #include "util/linalg.hpp"
 
 namespace sx::supervise {
@@ -42,12 +43,24 @@ class Supervisor {
 
   /// Accept/reject decision (requires a calibrated threshold).
   bool accept(const dl::Model& model, const tensor::Tensor& input) const {
-    return score(model, input) <= threshold_;
+    const bool accepted = score(model, input) <= threshold_;
+    if (!accepted && obs_ != nullptr) obs_->add(rejections_id_);
+    return accepted;
+  }
+
+  /// Binds a rejection counter (configuration time): every accept()
+  /// returning false also increments `rejections` in `registry`.
+  void bind_telemetry(obs::Registry* registry,
+                      obs::CounterId rejections) noexcept {
+    obs_ = registry;
+    rejections_id_ = rejections;
   }
 
  private:
   double threshold_ = 0.0;
   bool has_threshold_ = false;
+  obs::Registry* obs_ = nullptr;
+  obs::CounterId rejections_id_{};
 };
 
 /// Baseline: score = 1 - max softmax probability.

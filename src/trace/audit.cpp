@@ -49,9 +49,4 @@ util::Sha256Digest AuditLog::head() const noexcept {
   return entries_.empty() ? util::Sha256Digest{} : entries_.back().chain_hash;
 }
 
-void AuditLog::tamper_payload_for_test(std::size_t i,
-                                       std::string new_payload) {
-  entries_.at(i).payload = std::move(new_payload);
-}
-
 }  // namespace sx::trace

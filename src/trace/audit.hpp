@@ -38,9 +38,15 @@ class AuditLog {
   /// Hash of the newest entry (anchor to publish externally).
   util::Sha256Digest head() const noexcept;
 
+#if defined(SX_ENABLE_TEST_HOOKS)
   /// DANGEROUS: test hook that mutates a stored entry to demonstrate that
-  /// verification catches tampering.
-  void tamper_payload_for_test(std::size_t i, std::string new_payload);
+  /// verification catches tampering. Compiled only into test binaries
+  /// (SX_ENABLE_TEST_HOOKS); production deployments have no mutation path
+  /// into the chain.
+  void tamper_payload_for_test(std::size_t i, std::string new_payload) {
+    entries_.at(i).payload = std::move(new_payload);
+  }
+#endif
 
  private:
   static util::Sha256Digest hash_entry(const AuditEntry& e,

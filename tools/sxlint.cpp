@@ -10,8 +10,9 @@
 //                      owns all memory via arenas and all randomness via
 //                      seeded Xoshiro256.
 //   banned-include     <iostream>/<cstdio>/<stdio.h> in runtime directories
-//                      (dl/, safety/, rt/, core/): global stream objects
-//                      drag in static-init order hazards and buffered IO.
+//                      (dl/, safety/, rt/, core/, obs/): global stream
+//                      objects drag in static-init order hazards and
+//                      buffered IO.
 //   console-io         std::cout/std::cerr/printf/... in runtime dirs.
 //   heap-expr          raw `new` / `delete` expressions in runtime dirs;
 //                      configuration-time ownership goes through
@@ -68,7 +69,8 @@ constexpr AllowEntry kAllowlist[] = {
     {"", "", ""},  // sentinel so the table compiles when empty
 };
 
-const std::set<std::string> kRuntimeDirs = {"dl", "safety", "rt", "core"};
+const std::set<std::string> kRuntimeDirs = {"dl", "safety", "rt", "core",
+                                            "obs"};
 
 const std::set<std::string> kBannedCalls = {
     "malloc", "calloc", "realloc", "free",   "alloca",

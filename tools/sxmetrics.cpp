@@ -1,0 +1,123 @@
+// sxmetrics — offline telemetry-snapshot extractor.
+//
+// A deployed CertifiablePipeline embeds its metrics exposition and
+// flight-recorder stage trail in the certification report between marker
+// pairs (see core::make_observability_evidence):
+//
+//   # BEGIN SX_METRICS ... # END SX_METRICS          Prometheus text format
+//   # BEGIN SX_FLIGHT_TRAIL ... # END SX_FLIGHT_TRAIL  stage-span trail
+//
+// sxmetrics recovers either block from a serialized report file (or stdin)
+// so a scrape pipeline, diff tool or assessor can consume the snapshot
+// without parsing the surrounding prose:
+//
+//   sxmetrics report.txt              # print the metrics exposition
+//   sxmetrics --flight report.txt    # print the flight-recorder trail
+//   sxmetrics --summary report.txt   # one line per metric family
+//
+// Exit status: 0 on success, 1 when the requested block is missing,
+// 2 on usage/IO errors. Host tool: iostream/filesystem are fine here.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// Returns the text between the marker lines, or an empty string (and
+/// found=false) when the pair is absent or malformed.
+std::string extract_block(const std::string& text, const std::string& begin,
+                          const std::string& end, bool& found) {
+  found = false;
+  const std::size_t b = text.find(begin);
+  if (b == std::string::npos) return {};
+  const std::size_t body = text.find('\n', b);
+  if (body == std::string::npos) return {};
+  const std::size_t e = text.find(end, body + 1);
+  if (e == std::string::npos) return {};
+  found = true;
+  return text.substr(body + 1, e - body - 1);
+}
+
+/// One line per metric family: `<type> <name> = <value|count>` — counters
+/// and gauges show their value, histograms their _count.
+std::string summarize(const std::string& exposition) {
+  std::ostringstream out;
+  std::istringstream in(exposition);
+  std::string line;
+  std::string pending_type;  // from the preceding # TYPE line
+  std::string pending_name;
+  while (std::getline(in, line)) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      fields >> pending_name >> pending_type;
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos) continue;
+    const std::string series = line.substr(0, sp);
+    const std::string value = line.substr(sp + 1);
+    if (pending_type == "histogram") {
+      if (series == pending_name + "_count")
+        out << "histogram " << pending_name << " count=" << value << "\n";
+      continue;
+    }
+    if (series == pending_name)
+      out << pending_type << " " << pending_name << " = " << value << "\n";
+  }
+  return out.str();
+}
+
+int usage() {
+  std::cerr << "usage: sxmetrics [--flight|--summary] [report-file|-]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool flight = false;
+  bool summary = false;
+  std::string path = "-";
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (const auto& a : args) {
+    if (a == "--flight") {
+      flight = true;
+    } else if (a == "--summary") {
+      summary = true;
+    } else if (!a.empty() && a[0] == '-' && a != "-") {
+      return usage();
+    } else {
+      path = a;
+    }
+  }
+  if (flight && summary) return usage();
+
+  std::ostringstream buf;
+  if (path == "-") {
+    buf << std::cin.rdbuf();
+  } else {
+    std::ifstream f(path);
+    if (!f) {
+      std::cerr << "sxmetrics: cannot open " << path << "\n";
+      return 2;
+    }
+    buf << f.rdbuf();
+  }
+
+  const std::string begin =
+      flight ? "# BEGIN SX_FLIGHT_TRAIL" : "# BEGIN SX_METRICS";
+  const std::string end = flight ? "# END SX_FLIGHT_TRAIL" : "# END SX_METRICS";
+  bool found = false;
+  const std::string block = extract_block(buf.str(), begin, end, found);
+  if (!found) {
+    std::cerr << "sxmetrics: no " << begin.substr(8)
+              << " block in input (telemetry disabled, or not a "
+                 "certification report)\n";
+    return 1;
+  }
+  std::cout << (summary ? summarize(block) : block);
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include "explain/explainer.hpp"
 #include "safety/channel.hpp"
 #include "safety/deep_monitor.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "trace/audit.hpp"
 #include "verify/ibp.hpp"
@@ -32,6 +33,158 @@ void BM_Matvec(benchmark::State& state) {
                           static_cast<std::int64_t>(n * n));
 }
 BENCHMARK(BM_Matvec)->Arg(32)->Arg(128)->Arg(512);
+
+// Planned-kernel counterparts at the same sizes as BM_Matvec, so the E14
+// speedup targets are read off the same table. Bitwise identity between
+// all three is asserted in tensor_kernels_test; here we only time.
+void BM_MatvecBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  tensor::Tensor w{tensor::Shape::mat(n, n)};
+  tensor::Tensor x{tensor::Shape::vec(n)};
+  tensor::Tensor b{tensor::Shape::vec(n)};
+  tensor::Tensor out{tensor::Shape::vec(n)};
+  util::Xoshiro256 rng{1};
+  w.init_uniform(rng, -1, 1);
+  x.init_uniform(rng, -1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::kernels::matvec_blocked(
+        w.data().data(), b.data().data(), n, n, x.data().data(),
+        out.data().data(), tensor::kernels::Epilogue::kNone, false));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_MatvecBlocked)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_MatvecPacked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  tensor::Tensor w{tensor::Shape::mat(n, n)};
+  tensor::Tensor x{tensor::Shape::vec(n)};
+  tensor::Tensor b{tensor::Shape::vec(n)};
+  tensor::Tensor out{tensor::Shape::vec(n)};
+  util::Xoshiro256 rng{1};
+  w.init_uniform(rng, -1, 1);
+  x.init_uniform(rng, -1, 1);
+  std::vector<float> panel(tensor::kernels::dense_panel_floats(n, n));
+  tensor::kernels::pack_dense_panel(w.data().data(), n, n, panel.data());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::kernels::matvec_packed(
+        panel.data(), b.data().data(), n, n, x.data().data(),
+        out.data().data(), tensor::kernels::Epilogue::kNone, false));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_MatvecPacked)->Arg(32)->Arg(128)->Arg(512);
+
+// Dense + ReLU as two reference passes vs one fused-epilogue kernel sweep.
+void BM_MatvecThenRelu(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  tensor::Tensor w{tensor::Shape::mat(n, n)};
+  tensor::Tensor x{tensor::Shape::vec(n)};
+  tensor::Tensor b{tensor::Shape::vec(n)};
+  tensor::Tensor pre{tensor::Shape::vec(n)};
+  tensor::Tensor out{tensor::Shape::vec(n)};
+  util::Xoshiro256 rng{1};
+  w.init_uniform(rng, -1, 1);
+  x.init_uniform(rng, -1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tensor::matvec(w.view(), x.view(), b.view(), pre.view()));
+    benchmark::DoNotOptimize(tensor::relu(pre.view(), out.view()));
+  }
+}
+BENCHMARK(BM_MatvecThenRelu)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_MatvecFusedRelu(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  tensor::Tensor w{tensor::Shape::mat(n, n)};
+  tensor::Tensor x{tensor::Shape::vec(n)};
+  tensor::Tensor b{tensor::Shape::vec(n)};
+  tensor::Tensor out{tensor::Shape::vec(n)};
+  util::Xoshiro256 rng{1};
+  w.init_uniform(rng, -1, 1);
+  x.init_uniform(rng, -1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::kernels::matvec_blocked(
+        w.data().data(), b.data().data(), n, n, x.data().data(),
+        out.data().data(), tensor::kernels::Epilogue::kRelu, false));
+  }
+}
+BENCHMARK(BM_MatvecFusedRelu)->Arg(32)->Arg(128)->Arg(512);
+
+// Conv2d reference loop vs the planned gather + blocked-GEMM lowering,
+// square c-channel input, 3x3 kernel, pad 1 (the CNN fixture's geometry).
+void BM_Conv2dReference(benchmark::State& state) {
+  const auto hw = static_cast<std::size_t>(state.range(0));
+  dl::Conv2d layer{3, 8, 3, 1, 1};
+  util::Xoshiro256 rng{9};
+  layer.init(rng);
+  tensor::Tensor in{tensor::Shape::chw(3, hw, hw)};
+  in.init_uniform(rng, -1, 1);
+  tensor::Tensor out{layer.output_shape(in.shape())};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(layer.forward(in.view(), out.view()));
+}
+BENCHMARK(BM_Conv2dReference)->Arg(16)->Arg(32);
+
+void BM_Conv2dIm2col(benchmark::State& state) {
+  namespace k = tensor::kernels;
+  const auto hw = static_cast<std::size_t>(state.range(0));
+  dl::Conv2d layer{3, 8, 3, 1, 1};
+  util::Xoshiro256 rng{9};
+  layer.init(rng);
+  tensor::Tensor in{tensor::Shape::chw(3, hw, hw)};
+  in.init_uniform(rng, -1, 1);
+  tensor::Tensor out{layer.output_shape(in.shape())};
+
+  const k::Conv2dGeom g{.in_c = 3, .in_h = hw, .in_w = hw, .out_c = 8,
+                        .k = 3, .stride = 1, .pad = 1};
+  const std::size_t entries = k::im2col_entries(g);
+  std::vector<std::uint32_t> pix_off(g.opix() + 1), in_idx(entries),
+      w_ofs(entries);
+  k::build_im2col_tables(g, pix_off.data(), in_idx.data(), w_ofs.data());
+  const k::ConvTables t{.out_c = 8, .patch = g.patch(), .opix = g.opix(),
+                        .pix_off = pix_off.data(), .in_idx = in_idx.data(),
+                        .w_ofs = w_ofs.data()};
+  std::vector<float> col(entries);
+  for (auto _ : state) {
+    k::im2col_gather(in.data().data(), in_idx.data(), entries, col.data());
+    benchmark::DoNotOptimize(k::conv2d_im2col(
+        layer.weights().data(), layer.bias().data(), t, col.data(),
+        out.data().data(), k::Epilogue::kNone, false));
+  }
+}
+BENCHMARK(BM_Conv2dIm2col)->Arg(16)->Arg(32);
+
+void BM_Conv2dIm2colFusedRelu(benchmark::State& state) {
+  namespace k = tensor::kernels;
+  const auto hw = static_cast<std::size_t>(state.range(0));
+  dl::Conv2d layer{3, 8, 3, 1, 1};
+  util::Xoshiro256 rng{9};
+  layer.init(rng);
+  tensor::Tensor in{tensor::Shape::chw(3, hw, hw)};
+  in.init_uniform(rng, -1, 1);
+  tensor::Tensor out{layer.output_shape(in.shape())};
+
+  const k::Conv2dGeom g{.in_c = 3, .in_h = hw, .in_w = hw, .out_c = 8,
+                        .k = 3, .stride = 1, .pad = 1};
+  const std::size_t entries = k::im2col_entries(g);
+  std::vector<std::uint32_t> pix_off(g.opix() + 1), in_idx(entries),
+      w_ofs(entries);
+  k::build_im2col_tables(g, pix_off.data(), in_idx.data(), w_ofs.data());
+  const k::ConvTables t{.out_c = 8, .patch = g.patch(), .opix = g.opix(),
+                        .pix_off = pix_off.data(), .in_idx = in_idx.data(),
+                        .w_ofs = w_ofs.data()};
+  std::vector<float> col(entries);
+  for (auto _ : state) {
+    k::im2col_gather(in.data().data(), in_idx.data(), entries, col.data());
+    benchmark::DoNotOptimize(k::conv2d_im2col(
+        layer.weights().data(), layer.bias().data(), t, col.data(),
+        out.data().data(), k::Epilogue::kRelu, false));
+  }
+}
+BENCHMARK(BM_Conv2dIm2colFusedRelu)->Arg(16)->Arg(32);
 
 void BM_Softmax(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

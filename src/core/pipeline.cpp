@@ -123,8 +123,24 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
   // refuse-only mode: fitting would execute the very model the static
   // gate just rejected.
   if (spec_.has_supervisor && !verify_refused_) {
-    supervisor_ = std::make_unique<supervise::MahalanobisSupervisor>();
+    auto mahal = std::make_unique<supervise::MahalanobisSupervisor>();
+    mahal_ = mahal.get();
+    supervisor_ = std::move(mahal);
     supervisor_->fit(*model_, calibration);
+    // Per-decision feature extraction goes through a tap-capable static
+    // engine (planned kernels, buffers preallocated here) instead of
+    // Model::forward_trace's per-layer heap tensors. Bitwise identical:
+    // the planned engine reproduces the reference activations exactly.
+    // Fault policing stays off to match forward_trace, which does not
+    // screen activations either.
+    dl::StaticEngineConfig sup_cfg;
+    sup_cfg.check_numeric_faults = false;
+    auto sup_eng = std::make_unique<dl::StaticEngine>(*model_, sup_cfg);
+    if (sup_eng->can_tap(mahal_->feature_layer())) {
+      sup_engine_ = std::move(sup_eng);
+      sup_feat_.assign(mahal_->feature_dim(), 0.0f);
+      sup_logits_.assign(n_out, 0.0f);
+    }
     const auto scores =
         supervise::collect_scores(*supervisor_, *model_, calibration);
     supervisor_->calibrate_threshold(scores, cfg_.supervisor_tpr);
@@ -172,6 +188,15 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
     audit_.append(0, "static-verify",
                   verify_refused_ ? "refuse-model" : "pass",
                   verify_->verdict_line());
+}
+
+double CertifiablePipeline::supervisor_score(const tensor::Tensor& input) {
+  if (sup_engine_ != nullptr) {
+    const Status st = sup_engine_->run_tapped(
+        input.view(), sup_logits_, mahal_->feature_layer(), sup_feat_);
+    if (ok(st)) return mahal_->score_from_features(sup_feat_);
+  }
+  return supervisor_->score(*model_, input);
 }
 
 void CertifiablePipeline::obs_finish_decision(const Decision& d,
@@ -294,7 +319,7 @@ Decision CertifiablePipeline::infer(const tensor::Tensor& input,
   d.confidence = probs[d.predicted_class];
   if (supervisor_) {
     const std::uint64_t t_sup = obs_ ? obs_->now() : 0;
-    d.supervisor_score = supervisor_->score(*model_, input);
+    d.supervisor_score = supervisor_score(input);
     if (drift_) {
       const bool was_alarmed = drift_->alarmed();
       drift_->update(std::log1p(std::max(0.0, d.supervisor_score)));
@@ -500,7 +525,7 @@ std::vector<Decision> CertifiablePipeline::infer_batch(
     d.confidence = probs[d.predicted_class];
     if (supervisor_) {
       const std::uint64_t t_sup = obs_ ? obs_->now() : 0;
-      d.supervisor_score = supervisor_->score(*model_, inputs[i]);
+      d.supervisor_score = supervisor_score(inputs[i]);
       if (drift_) {
         const bool was_alarmed = drift_->alarmed();
         drift_->update(std::log1p(std::max(0.0, d.supervisor_score)));

@@ -159,6 +159,11 @@ class CertifiablePipeline {
   /// Closes a decision: whole-decision histogram + summary span.
   void obs_finish_decision(const Decision& d, std::uint64_t t0) noexcept;
 
+  /// Per-decision supervisor score: features tapped from the planned
+  /// engine run when possible, Model::forward_trace otherwise. Bitwise
+  /// identical either way.
+  double supervisor_score(const tensor::Tensor& input);
+
   PipelineConfig cfg_;
   PipelineSpec spec_;
   std::unique_ptr<dl::Model> model_;  // deployed copy
@@ -169,6 +174,13 @@ class CertifiablePipeline {
   std::unique_ptr<dl::BatchRunner> batch_;
   std::unique_ptr<safety::InferenceChannel> channel_;
   std::unique_ptr<supervise::Supervisor> supervisor_;
+  supervise::MahalanobisSupervisor* mahal_ = nullptr;  // concrete view
+  // Tap-capable engine + preallocated buffers feeding the supervisor its
+  // per-decision features without a second allocation-heavy forward pass
+  // (null when the feature layer is not tappable under the resolved plan).
+  std::unique_ptr<dl::StaticEngine> sup_engine_;
+  std::vector<float> sup_feat_;
+  std::vector<float> sup_logits_;
   std::unique_ptr<supervise::CusumDetector> drift_;
   std::unique_ptr<trace::OddGuard> odd_;
   std::unique_ptr<explain::Explainer> explainer_;

@@ -122,7 +122,30 @@ EvidenceItem make_batch_runner_evidence(const dl::BatchRunner& runner) {
        << " floats, busy=" << std::setprecision(1) << s.busy_micros
        << " us\n";
   }
+  if (const dl::KernelPlan* plan = runner.kernel_plan(); plan != nullptr) {
+    os << "kernel plan (shared read-only across workers): "
+       << plan->summary() << "\n";
+  } else {
+    os << "kernel plan: reference loops (SX_KERNEL_REFERENCE or explicit "
+          "kReference)\n";
+  }
   return EvidenceItem{"Deterministic batch execution", os.str()};
+}
+
+EvidenceItem make_kernel_plan_evidence(const dl::KernelPlan& plan) {
+  std::ostringstream os;
+  os << plan.summary() << "\n"
+     << "layout decisions (weight panels, im2col index tables, scratch "
+        "sizing) are made\n"
+     << "  once at deploy time; the inference path performs zero heap "
+        "allocations and\n"
+     << "  executes each output's accumulation in the reference kernel "
+        "order, so planned\n"
+     << "  and reference engines are bitwise identical "
+        "(tensor_kernels_test, E14)\n"
+     << "escape hatch: SX_KERNEL_REFERENCE forces the reference loops for "
+        "differential audit\n";
+  return EvidenceItem{"Deploy-time kernel plan", os.str()};
 }
 
 EvidenceItem make_static_verification_evidence(

@@ -17,6 +17,7 @@
 
 namespace sx::dl {
 class BatchRunner;
+class KernelPlan;
 }
 
 namespace sx::core {
@@ -44,6 +45,13 @@ CertificationReport make_certification_report(
 /// counters (batches, items, faults, arena plan, busy time) plus the static
 /// partition argument. Attach to make_certification_report's evidence list.
 EvidenceItem make_batch_runner_evidence(const dl::BatchRunner& runner);
+
+/// Evidence for a deploy-time kernel plan: resolved mode, per-layer step
+/// list (blocked/packed Dense, im2col Conv2d, fused epilogues, reference
+/// fallbacks), deploy-time table/panel footprints and the arena-resident
+/// scratch demand — the "all layout decisions made before operation"
+/// argument. Attach to make_certification_report's evidence list.
+EvidenceItem make_kernel_plan_evidence(const dl::KernelPlan& plan);
 
 /// Evidence for the static verification pass: verdict, arena re-check and
 /// per-layer output intervals (plus int8 saturation margins when present).

@@ -34,13 +34,22 @@ BatchRunner::BatchRunner(const Model& model, BatchRunnerConfig cfg)
   }
 
   // Plan every arena before any thread exists: all allocation happens here,
-  // at configuration time.
+  // at configuration time. One KernelPlan is built once and shared
+  // read-only by every worker engine (index tables and weight panels are
+  // immutable on the hot path); each worker's im2col scratch stays in its
+  // own arena, so workers never share a mutable buffer.
   pool_.resize(cfg_.workers);
   const StaticEngineConfig engine_cfg{
       .check_numeric_faults = cfg_.check_numeric_faults,
-      .arena_slack = cfg_.arena_slack};
+      .arena_slack = cfg_.arena_slack,
+      .kernels = cfg_.kernels};
+  const KernelMode mode = resolve_kernel_mode(cfg_.kernels);
+  if (mode != KernelMode::kReference)
+    plan_ = std::make_unique<KernelPlan>(model, mode);
   for (auto& w : pool_)
-    w.engine = std::make_unique<StaticEngine>(model, engine_cfg);
+    w.engine = plan_ != nullptr
+                   ? std::make_unique<StaticEngine>(model, *plan_, engine_cfg)
+                   : std::make_unique<StaticEngine>(model, engine_cfg);
   for (std::size_t i = 0; i < pool_.size(); ++i)
     pool_[i].thread = std::thread(&BatchRunner::worker_main, this, i);
 }

@@ -43,6 +43,9 @@ struct BatchRunnerConfig {
   /// Largest batch run() accepts; fault-log storage is reserved from this
   /// at configuration time so run() never allocates.
   std::size_t max_batch = 4096;
+  /// Hot-path kernel selection, forwarded to the shared KernelPlan (one
+  /// plan serves every worker; see dl/plan.hpp).
+  KernelMode kernels = KernelMode::kAuto;
   /// Optional telemetry sink. When set, the runner registers
   /// sx_batch_items_total / sx_batch_numeric_faults_total at configuration
   /// time and workers increment their own shard (shard == worker index),
@@ -120,6 +123,10 @@ class BatchRunner {
   /// Deterministic snapshot of worker `w` (partition-dependent only).
   BatchWorkerStats worker_stats(std::size_t w) const;
 
+  /// The kernel plan shared by every worker engine (nullptr when the
+  /// resolved mode is kReference).
+  const KernelPlan* kernel_plan() const noexcept { return plan_.get(); }
+
   /// Wall-clock time of the most recent run() and total across runs (µs).
   double last_batch_micros() const noexcept { return last_micros_; }
   double total_wall_micros() const noexcept { return total_micros_; }
@@ -151,6 +158,9 @@ class BatchRunner {
   std::size_t in_size_ = 0;
   std::size_t out_size_ = 0;
 
+  // Declared before pool_: worker engines hold references into the plan,
+  // so it must outlive them (members destroy in reverse order).
+  std::unique_ptr<KernelPlan> plan_;
   std::vector<Worker> pool_;
   std::vector<BatchFaultEvent> fault_log_;  // reserved to max_batch
 

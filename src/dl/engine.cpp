@@ -4,41 +4,195 @@
 
 namespace sx::dl {
 
+namespace {
+
+namespace k = tensor::kernels;
+
+/// Builds the engine-private plan, or null when the resolved mode is
+/// kReference (configuration time; reads SX_KERNEL_REFERENCE via
+/// resolve_kernel_mode).
+std::unique_ptr<KernelPlan> make_owned_plan(const Model& model,
+                                            const StaticEngineConfig& cfg) {
+  const KernelMode mode = resolve_kernel_mode(cfg.kernels);
+  if (mode == KernelMode::kReference) return nullptr;
+  return std::make_unique<KernelPlan>(model, mode);
+}
+
+std::size_t planned_capacity(const Model& model, const KernelPlan* plan,
+                             const StaticEngineConfig& cfg) {
+  return 2 * model.max_activation_size() +
+         (plan != nullptr ? plan->scratch_floats() : 0) + cfg.arena_slack;
+}
+
+}  // namespace
+
 StaticEngine::StaticEngine(const Model& model, StaticEngineConfig cfg)
     : model_(&model),
       cfg_(cfg),
-      arena_(2 * model.max_activation_size() + cfg.arena_slack) {}
+      owned_plan_(make_owned_plan(model, cfg)),
+      plan_(owned_plan_.get()),
+      arena_(planned_capacity(model, owned_plan_.get(), cfg)) {
+  const std::size_t buf = model.max_activation_size();
+  ping_ = arena_.alloc(buf);
+  pong_ = arena_.alloc(buf);
+  if (plan_ != nullptr) scratch_ = arena_.alloc(plan_->scratch_floats());
+}
+
+StaticEngine::StaticEngine(const Model& model, const KernelPlan& plan,
+                           StaticEngineConfig cfg)
+    : model_(&model),
+      cfg_(cfg),
+      plan_(&plan),
+      arena_(planned_capacity(model, &plan, cfg)) {
+  const std::size_t buf = model.max_activation_size();
+  ping_ = arena_.alloc(buf);
+  pong_ = arena_.alloc(buf);
+  scratch_ = arena_.alloc(plan.scratch_floats());
+}
 
 Status StaticEngine::run(tensor::ConstTensorView input,
                          std::span<float> output) noexcept {
+  return run_impl(input, output, kNoTap, {});
+}
+
+bool StaticEngine::can_tap(std::size_t tap_layer) const noexcept {
+  if (tap_layer >= model_->layer_count()) return false;
+  if (plan_ == nullptr) return true;  // reference materializes every layer
+  for (const KernelStep& s : plan_->steps())
+    if (s.first_layer == tap_layer) return true;
+  return false;  // activation fused into the preceding step's epilogue
+}
+
+Status StaticEngine::run_tapped(tensor::ConstTensorView input,
+                                std::span<float> output,
+                                std::size_t tap_layer,
+                                std::span<float> tap) noexcept {
+  if (!can_tap(tap_layer)) return Status::kShapeMismatch;
+  const std::size_t want =
+      tap_layer == 0 ? model_->input_shape().size()
+                     : model_->activation_shape(tap_layer - 1).size();
+  if (tap.size() != want) return Status::kShapeMismatch;
+  return run_impl(input, output, tap_layer, tap);
+}
+
+Status StaticEngine::run_impl(tensor::ConstTensorView input,
+                              std::span<float> output, std::size_t tap_layer,
+                              std::span<float> tap) noexcept {
   if (input.shape != model_->input_shape() || !input.valid())
     return Status::kShapeMismatch;
   if (output.size() != model_->output_shape().size())
     return Status::kShapeMismatch;
-
-  arena_.reset();
-  // Ping-pong between two arena buffers; each is big enough for any layer.
-  const std::size_t buf_size = model_->max_activation_size();
-  std::span<float> ping = arena_.alloc(buf_size);
-  std::span<float> pong = arena_.alloc(buf_size);
-  if (ping.empty() || pong.empty()) return Status::kArenaExhausted;
+  if (ping_.empty() || pong_.empty()) return Status::kArenaExhausted;
 
   if (cfg_.check_numeric_faults && tensor::has_non_finite(input)) {
     ++faults_;
     return Status::kNumericFault;
   }
 
+  return plan_ != nullptr ? run_planned(input, output, tap_layer, tap)
+                          : run_reference(input, output, tap_layer, tap);
+}
+
+Status StaticEngine::run_reference(tensor::ConstTensorView input,
+                                   std::span<float> output,
+                                   std::size_t tap_layer,
+                                   std::span<float> tap) noexcept {
+  // Ping-pong between two arena buffers; each is big enough for any layer.
   tensor::ConstTensorView cur = input;
   bool use_ping = true;
   for (std::size_t i = 0; i < model_->layer_count(); ++i) {
+    // `cur` at the top of iteration i is forward_trace()'s activations[i].
+    if (i == tap_layer)
+      for (std::size_t j = 0; j < tap.size(); ++j) tap[j] = cur.data[j];
     const Shape& out_shape = model_->activation_shape(i);
-    std::span<float> dst = use_ping ? ping : pong;
+    std::span<float> dst = use_ping ? ping_ : pong_;
     tensor::TensorView out{dst.first(out_shape.size()), out_shape};
     const Status st = model_->layer(i).forward(cur, out);
     if (!ok(st)) return st;
     if (cfg_.check_numeric_faults && tensor::has_non_finite(out)) {
       ++faults_;
       return Status::kNumericFault;
+    }
+    cur = out;
+    use_ping = !use_ping;
+  }
+
+  for (std::size_t i = 0; i < output.size(); ++i) output[i] = cur.data[i];
+  ++runs_;
+  return Status::kOk;
+}
+
+Status StaticEngine::run_planned(tensor::ConstTensorView input,
+                                 std::span<float> output,
+                                 std::size_t tap_layer,
+                                 std::span<float> tap) noexcept {
+  // Same ping-pong discipline as the reference loop, one plan step at a
+  // time (a step covers a layer plus an optionally fused activation).
+  //
+  // Fault semantics match the reference engine exactly: a fused kernel
+  // screens every pre-activation value with the has_non_finite predicate
+  // (the reference path would have caught a non-finite value in the dense/
+  // conv output before applying the activation), and the step's final
+  // output is scanned afterwards just as every reference layer output is.
+  tensor::ConstTensorView cur = input;
+  bool use_ping = true;
+  for (const KernelStep& s : plan_->steps()) {
+    // `cur` entering the step that starts at layer L carries exactly the
+    // bits of forward_trace()'s activations[L] (identity steps re-view the
+    // same buffer; Flatten's reference forward copies bits verbatim).
+    if (s.first_layer == tap_layer)
+      for (std::size_t j = 0; j < tap.size(); ++j) tap[j] = cur.data[j];
+    const Shape& out_shape =
+        model_->activation_shape(s.first_layer + s.layer_span - 1);
+    std::span<float> dst = use_ping ? ping_ : pong_;
+    tensor::TensorView out{dst.first(out_shape.size()), out_shape};
+    const bool fused = s.epilogue != k::Epilogue::kNone;
+    const bool pre_check = cfg_.check_numeric_faults && fused;
+    bool pre_ok = true;
+    switch (s.kind) {
+      case KernelStep::Kind::kDense:
+        pre_ok = s.panel != nullptr
+                     ? k::matvec_packed(s.panel, s.bias, s.rows, s.cols,
+                                        cur.data.data(), out.data.data(),
+                                        s.epilogue, pre_check)
+                     : k::matvec_blocked(s.weights, s.bias, s.rows, s.cols,
+                                         cur.data.data(), out.data.data(),
+                                         s.epilogue, pre_check);
+        break;
+      case KernelStep::Kind::kConv2d:
+        k::im2col_gather(cur.data.data(), s.conv.in_idx, s.scratch,
+                         scratch_.data());
+        pre_ok = s.panel != nullptr
+                     ? k::conv2d_im2col_packed(s.panel, s.weights, s.bias,
+                                               s.conv, scratch_.data(),
+                                               out.data.data(), s.epilogue,
+                                               pre_check)
+                     : k::conv2d_im2col(s.weights, s.bias, s.conv,
+                                        scratch_.data(), out.data.data(),
+                                        s.epilogue, pre_check);
+        break;
+      case KernelStep::Kind::kIdentity:
+        // Flatten: same bits under the flattened shape; skip the copy and
+        // the redundant re-scan of bits that were already screened as the
+        // previous step's output (or as the engine input).
+        cur = tensor::ConstTensorView{cur.data, out_shape};
+        continue;
+      case KernelStep::Kind::kReference: {
+        const Status st = model_->layer(s.first_layer).forward(cur, out);
+        if (!ok(st)) return st;
+        break;
+      }
+    }
+    if (cfg_.check_numeric_faults) {
+      // Fused steps were screened on the pre-activation values and the
+      // epilogues map finite inputs to finite outputs (relu/tanh are
+      // bounded by their input; sigmoid's exp may overflow to +Inf but
+      // 1/(1+Inf) is 0), so their post-scan is provably redundant.
+      const bool fault = pre_check ? !pre_ok : tensor::has_non_finite(out);
+      if (fault) {
+        ++faults_;
+        return Status::kNumericFault;
+      }
     }
     cur = out;
     use_ping = !use_ping;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "dl/model.hpp"
+#include "dl/plan.hpp"
 #include "tensor/arena.hpp"
 
 namespace sx::dl {
@@ -22,13 +23,26 @@ struct StaticEngineConfig {
   bool check_numeric_faults = true;
   /// Extra arena headroom (floats) on top of the planned demand.
   std::size_t arena_slack = 0;
+  /// Hot-path kernel selection (see dl/plan.hpp). kAuto resolves to the
+  /// planned blocked kernels unless SX_KERNEL_REFERENCE is set in the
+  /// environment at construction time.
+  KernelMode kernels = KernelMode::kAuto;
 };
 
 /// Allocation-free, deterministic inference over a fixed model.
 class StaticEngine {
  public:
-  /// Plans buffers for `model`. The model must outlive the engine.
+  /// Plans buffers (and, unless the resolved kernel mode is kReference,
+  /// a private KernelPlan) for `model`. The model must outlive the engine.
   explicit StaticEngine(const Model& model, StaticEngineConfig cfg = {});
+
+  /// Shares a prebuilt KernelPlan (e.g. one plan across BatchRunner
+  /// workers; tables/panels are read-only on the hot path while im2col
+  /// scratch stays in this engine's private arena). `cfg.kernels` is
+  /// ignored — the plan's mode governs. Plan and model must outlive the
+  /// engine and the plan must have been built for this model.
+  StaticEngine(const Model& model, const KernelPlan& plan,
+               StaticEngineConfig cfg = {});
 
   StaticEngine(const StaticEngine&) = delete;
   StaticEngine& operator=(const StaticEngine&) = delete;
@@ -37,6 +51,21 @@ class StaticEngine {
   /// must have exactly output_shape().size() elements. No allocation.
   Status run(tensor::ConstTensorView input,
              std::span<float> output) noexcept;
+
+  /// Runs inference and additionally copies the activation feeding layer
+  /// `tap_layer` into `tap` — bitwise identical to
+  /// Model::forward_trace(input)[tap_layer], at zero allocations. `tap`
+  /// must hold exactly that activation's element count and `tap_layer`
+  /// must satisfy can_tap(). Lets runtime supervisors read intermediate
+  /// features without a second, allocation-heavy forward pass.
+  Status run_tapped(tensor::ConstTensorView input, std::span<float> output,
+                    std::size_t tap_layer, std::span<float> tap) noexcept;
+
+  /// True if run_tapped can capture the activation feeding `tap_layer`.
+  /// Reference engines materialize every activation; a planned engine only
+  /// materializes step boundaries, so the input of an activation fused
+  /// into the preceding kernel's epilogue is not tappable.
+  bool can_tap(std::size_t tap_layer) const noexcept;
 
   const Shape& input_shape() const noexcept { return model_->input_shape(); }
   const Shape& output_shape() const noexcept { return model_->output_shape(); }
@@ -52,10 +81,35 @@ class StaticEngine {
   /// Number of runs rejected due to numeric faults.
   std::uint64_t numeric_fault_count() const noexcept { return faults_; }
 
+  /// The kernel plan in effect (nullptr when running reference loops).
+  const KernelPlan* kernel_plan() const noexcept { return plan_; }
+  /// Resolved mode: the shared/owned plan's mode, or kReference.
+  KernelMode kernel_mode() const noexcept {
+    return plan_ ? plan_->mode() : KernelMode::kReference;
+  }
+
  private:
+  /// Sentinel tap_layer meaning "no tap" on the shared run paths.
+  static constexpr std::size_t kNoTap = ~std::size_t{0};
+
+  Status run_impl(tensor::ConstTensorView input, std::span<float> output,
+                  std::size_t tap_layer, std::span<float> tap) noexcept;
+  Status run_reference(tensor::ConstTensorView input, std::span<float> output,
+                       std::size_t tap_layer, std::span<float> tap) noexcept;
+  Status run_planned(tensor::ConstTensorView input, std::span<float> output,
+                     std::size_t tap_layer, std::span<float> tap) noexcept;
+
   const Model* model_;
   StaticEngineConfig cfg_;
+  std::unique_ptr<KernelPlan> owned_plan_;  ///< null when shared or reference
+  const KernelPlan* plan_ = nullptr;
   tensor::Arena arena_;
+  // Buffers are carved out of the arena once, here at configuration time;
+  // run() touches the arena only through these spans (zero hot-path
+  // bookkeeping, high-water mark == capacity by construction).
+  std::span<float> ping_{};
+  std::span<float> pong_{};
+  std::span<float> scratch_{};  ///< im2col column (planned mode only)
   std::uint64_t runs_ = 0;
   std::uint64_t faults_ = 0;
 };

@@ -47,11 +47,16 @@ Status Dense::forward(ConstTensorView in, TensorView out) const noexcept {
     return Status::kShapeMismatch;
   const float* w = params_.data();
   const float* b = params_.data() + out_dim_ * in_dim_;
-  for (std::size_t r = 0; r < out_dim_; ++r) {
+  // Hoisted base pointers (local-pointer aliasing contract); the advancing
+  // row pointer replaces the per-row r * in_dim_ recomputation. Same
+  // accumulation order as before => bitwise identical.
+  const float* px = in.data.data();
+  float* po = out.data.data();
+  const float* wr = w;
+  for (std::size_t r = 0; r < out_dim_; ++r, wr += in_dim_) {
     float acc = b[r];
-    const float* wr = w + r * in_dim_;
-    for (std::size_t c = 0; c < in_dim_; ++c) acc += wr[c] * in.data[c];
-    out.data[r] = acc;
+    for (std::size_t c = 0; c < in_dim_; ++c) acc += wr[c] * px[c];
+    po[r] = acc;
   }
   return Status::kOk;
 }
@@ -185,31 +190,41 @@ Status Conv2d::forward(ConstTensorView in, TensorView out) const noexcept {
       ow != (w + 2 * pad_ - k_) / stride_ + 1)
     return Status::kShapeMismatch;
 
+  // Base pointers and per-row pointers are hoisted into locals (the
+  // local-pointer form of a restrict contract: no alias is re-derived via
+  // .at()'s shape arithmetic inside the loops). The tap visit order and
+  // padding-skip conditions are exactly the original ones, so every
+  // output's accumulation is bitwise identical.
   const float* wt = params_.data();
   const float* bias = params_.data() + out_c_ * in_c_ * k_ * k_;
+  const float* in_base = in.data.data();
+  float* out_base = out.data.data();
+  const std::size_t in_ch = h * w;  // floats per input channel
   for (std::size_t oc = 0; oc < out_c_; ++oc) {
+    float* orow = out_base + oc * oh * ow;
     for (std::size_t oy = 0; oy < oh; ++oy) {
       for (std::size_t ox = 0; ox < ow; ++ox) {
         float acc = bias[oc];
         for (std::size_t ic = 0; ic < in_c_; ++ic) {
           const float* wk = wt + ((oc * in_c_ + ic) * k_) * k_;
+          const float* ich = in_base + ic * in_ch;
           for (std::size_t ky = 0; ky < k_; ++ky) {
             const std::ptrdiff_t iy =
                 static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
                 static_cast<std::ptrdiff_t>(pad_);
             if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+            const float* irow = ich + static_cast<std::size_t>(iy) * w;
+            const float* wrow = wk + ky * k_;
             for (std::size_t kx = 0; kx < k_; ++kx) {
               const std::ptrdiff_t ix =
                   static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
                   static_cast<std::ptrdiff_t>(pad_);
               if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
-              acc += wk[ky * k_ + kx] *
-                     in.at(ic, static_cast<std::size_t>(iy),
-                           static_cast<std::size_t>(ix));
+              acc += wrow[kx] * irow[static_cast<std::size_t>(ix)];
             }
           }
         }
-        out.at(oc, oy, ox) = acc;
+        orow[oy * ow + ox] = acc;
       }
     }
   }

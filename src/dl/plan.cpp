@@ -1,0 +1,196 @@
+#include "dl/plan.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace sx::dl {
+
+namespace k = tensor::kernels;
+
+KernelMode resolve_kernel_mode(KernelMode requested) noexcept {
+  if (requested != KernelMode::kAuto) return requested;
+  // Escape hatch for differential testing and certification audits: a set,
+  // non-"0" SX_KERNEL_REFERENCE forces the original per-layer loops.
+  // Resolved at configuration time only; the hot path never reads the
+  // environment.
+  const char* env = std::getenv("SX_KERNEL_REFERENCE");
+  const bool forced =
+      env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+  return forced ? KernelMode::kReference : KernelMode::kBlocked;
+}
+
+const char* kernel_mode_name(KernelMode mode) noexcept {
+  switch (mode) {
+    case KernelMode::kAuto: return "auto";
+    case KernelMode::kReference: return "reference";
+    case KernelMode::kBlocked: return "blocked";
+    case KernelMode::kPacked: return "packed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+k::Epilogue fusable_epilogue(LayerKind kind) noexcept {
+  switch (kind) {
+    case LayerKind::kRelu: return k::Epilogue::kRelu;
+    case LayerKind::kSigmoid: return k::Epilogue::kSigmoid;
+    case LayerKind::kTanh: return k::Epilogue::kTanh;
+    default: return k::Epilogue::kNone;
+  }
+}
+
+/// Static geometry of conv layer i (input shape = activation before it).
+k::Conv2dGeom conv_geom(const Model& m, std::size_t i, const Conv2d& c) {
+  const Shape& in = i == 0 ? m.input_shape() : m.activation_shape(i - 1);
+  k::Conv2dGeom g;
+  g.in_c = c.in_channels();
+  g.in_h = in.dim(1);
+  g.in_w = in.dim(2);
+  g.out_c = c.out_channels();
+  g.k = c.kernel();
+  g.stride = c.stride();
+  g.pad = c.padding();
+  return g;
+}
+
+}  // namespace
+
+KernelPlan::KernelPlan(const Model& model, KernelMode mode)
+    : model_(&model), mode_(mode) {
+  const std::size_t n = model.layer_count();
+
+  // Pass 1: size the deploy-time storage from the static shapes alone.
+  std::size_t table_u32 = 0;  // pix_off arrays + in_idx + w_ofs
+  for (std::size_t i = 0; i < n; ++i) {
+    const Layer& layer = model.layer(i);
+    if (layer.kind() == LayerKind::kConv2d) {
+      const auto& c = static_cast<const Conv2d&>(layer);
+      const k::Conv2dGeom g = conv_geom(model, i, c);
+      const std::size_t entries = k::im2col_entries(g);
+      table_u32 += (g.opix() + 1) + 2 * entries;
+      table_entries_ += entries;
+      scratch_floats_ = scratch_floats_ > entries ? scratch_floats_ : entries;
+      if (mode_ == KernelMode::kPacked)
+        panel_floats_ += k::conv_panel_floats(g.out_c, g.patch());
+    } else if (mode_ == KernelMode::kPacked &&
+               layer.kind() == LayerKind::kDense) {
+      const auto& d = static_cast<const Dense&>(layer);
+      panel_floats_ += k::dense_panel_floats(d.out_dim(), d.in_dim());
+    }
+  }
+
+  // Configuration-time storage, allocated exactly once per deployment;
+  // the hot path only ever reads it.
+  steps_ = std::make_unique<KernelStep[]>(n);  // sxlint: allow(hot-path-alloc) deploy-time plan storage
+  if (table_u32 != 0)
+    tables_ = std::make_unique<std::uint32_t[]>(table_u32);  // sxlint: allow(hot-path-alloc) deploy-time im2col tables
+  if (panel_floats_ != 0)
+    panels_ = std::make_unique<float[]>(panel_floats_);  // sxlint: allow(hot-path-alloc) deploy-time weight panels
+
+  // Pass 2: build steps, tables and panels.
+  std::size_t tu = 0, pf = 0;
+  for (std::size_t i = 0; i < n;) {
+    KernelStep& s = steps_[step_count_++];
+    s.first_layer = i;
+    const Layer& layer = model.layer(i);
+    const k::Epilogue next_ep =
+        i + 1 < n ? fusable_epilogue(model.layer(i + 1).kind())
+                  : k::Epilogue::kNone;
+
+    if (layer.kind() == LayerKind::kDense) {
+      const auto& d = static_cast<const Dense&>(layer);
+      s.kind = KernelStep::Kind::kDense;
+      s.rows = d.out_dim();
+      s.cols = d.in_dim();
+      s.weights = d.weights().data();
+      s.bias = d.bias().data();
+      if (mode_ == KernelMode::kPacked) {
+        float* panel = panels_.get() + pf;
+        k::pack_dense_panel(s.weights, s.rows, s.cols, panel);
+        s.panel = panel;
+        pf += k::dense_panel_floats(s.rows, s.cols);
+      }
+      s.epilogue = next_ep;
+      ++planned_dense_;
+    } else if (layer.kind() == LayerKind::kConv2d) {
+      const auto& c = static_cast<const Conv2d&>(layer);
+      const k::Conv2dGeom g = conv_geom(model, i, c);
+      const std::size_t entries = k::im2col_entries(g);
+      std::uint32_t* pix_off = tables_.get() + tu;
+      std::uint32_t* in_idx = pix_off + (g.opix() + 1);
+      std::uint32_t* w_ofs = in_idx + entries;
+      k::build_im2col_tables(g, pix_off, in_idx, w_ofs);
+      tu += (g.opix() + 1) + 2 * entries;
+      s.kind = KernelStep::Kind::kConv2d;
+      s.conv = k::ConvTables{.out_c = g.out_c,
+                             .patch = g.patch(),
+                             .opix = g.opix(),
+                             .pix_off = pix_off,
+                             .in_idx = in_idx,
+                             .w_ofs = w_ofs};
+      s.weights = c.weights().data();
+      s.bias = c.bias().data();
+      s.scratch = entries;
+      if (mode_ == KernelMode::kPacked) {
+        const std::size_t pfl = k::conv_panel_floats(g.out_c, g.patch());
+        if (pfl != 0) {
+          float* panel = panels_.get() + pf;
+          k::pack_conv_panel(s.weights, g.out_c, g.patch(), panel);
+          s.panel = panel;
+          pf += pfl;
+        }
+      }
+      s.epilogue = next_ep;
+      ++planned_conv_;
+    } else if (layer.kind() == LayerKind::kFlatten) {
+      // Flatten::forward is a verbatim copy; the planned engine re-views
+      // the live buffer under the flattened shape instead (same bits, one
+      // less full-tensor copy and scan per inference).
+      s.kind = KernelStep::Kind::kIdentity;
+      ++identity_;
+      ++i;
+      continue;
+    } else {
+      s.kind = KernelStep::Kind::kReference;
+      ++reference_;
+      ++i;
+      continue;
+    }
+    if (s.epilogue != k::Epilogue::kNone) {
+      s.layer_span = 2;
+      ++fused_;
+      i += 2;
+    } else {
+      ++i;
+    }
+  }
+}
+
+void KernelPlan::repack() noexcept {
+  if (mode_ != KernelMode::kPacked) return;
+  for (std::size_t i = 0; i < step_count_; ++i) {
+    KernelStep& s = steps_[i];
+    if (s.panel == nullptr) continue;
+    if (s.kind == KernelStep::Kind::kDense)
+      k::pack_dense_panel(s.weights, s.rows, s.cols,
+                          const_cast<float*>(s.panel));
+    else if (s.kind == KernelStep::Kind::kConv2d)
+      k::pack_conv_panel(s.weights, s.conv.out_c, s.conv.patch,
+                         const_cast<float*>(s.panel));
+  }
+}
+
+std::string KernelPlan::summary() const {
+  std::ostringstream os;
+  os << "mode=" << kernel_mode_name(mode_) << " steps=" << step_count_ << "/"
+     << model_->layer_count() << " layers (dense=" << planned_dense_
+     << " conv=" << planned_conv_ << " fused-act=" << fused_
+     << " identity=" << identity_ << " reference=" << reference_
+     << "), im2col entries=" << table_entries_
+     << ", scratch=" << scratch_floats_ << " floats, panels=" << panel_floats_
+     << " floats";
+  return os.str();
+}
+
+}  // namespace sx::dl

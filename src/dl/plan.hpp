@@ -1,0 +1,148 @@
+// Deploy-time kernel plans (pillar 3: FUSA-compliant DL libraries).
+//
+// A KernelPlan is built exactly once per deployed model, at configuration
+// time. It decides, from the static shapes alone, how every layer will
+// execute on the hot path:
+//
+//   - Dense layers run the register-blocked matvec kernels from
+//     tensor/kernels.hpp; in kPacked mode their weights are additionally
+//     repacked into cache-line-aligned row-blocked panels owned by the
+//     plan (a deploy-time snapshot — see the staleness contract below);
+//   - Conv2d layers are lowered to gather + blocked GEMM through ragged
+//     im2col index tables precomputed here; the only runtime scratch they
+//     need (the gathered column) is sized by scratch_floats() and drawn
+//     from each engine's pre-planned arena, so the hot path still performs
+//     zero allocations;
+//   - a Dense/Conv2d immediately followed by ReLU/Sigmoid/Tanh is fused
+//     into one step with the activation applied in the kernel epilogue;
+//   - every other layer becomes a kReference step and executes its
+//     unmodified Layer::forward.
+//
+// All planned kernels preserve the reference per-output accumulation
+// order, so a planned engine is bitwise identical to a reference engine
+// (tensor_kernels_test proves this differentially; tensor_golden_test's
+// pinned vectors stay valid).
+//
+// Staleness contract: kBlocked (the kAuto default) reads layer parameters
+// live on every run, so in-place weight mutation — e.g. the SEU campaigns
+// in safety/campaign.cpp injecting into a model behind a long-lived
+// engine — is observed exactly as the reference path observes it. kPacked
+// snapshots Dense weights into row-blocked panels and full
+// kConvLanes-channel groups of Conv2d weights into tap-major lane panels
+// for unit-stride access; callers that mutate weights afterwards must
+// call repack(). The out_c % kConvLanes tail channels of a packed conv,
+// and all conv weights in kBlocked mode, are always read live.
+//
+// One plan is immutable after construction (repack() aside) and safe to
+// share read-only across BatchRunner workers; the per-inference im2col
+// scratch lives in each worker's own arena.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "dl/model.hpp"
+#include "tensor/kernels.hpp"
+
+namespace sx::dl {
+
+/// Hot-path kernel selection, resolved once at engine construction.
+enum class KernelMode : std::uint8_t {
+  kAuto,       ///< kBlocked unless the SX_KERNEL_REFERENCE env var forces
+               ///< the reference loops (differential-testing escape hatch)
+  kReference,  ///< original per-layer reference loops, no plan
+  kBlocked,    ///< planned kernels over live layer parameters
+  kPacked,     ///< kBlocked + Dense weights snapshotted into aligned panels
+};
+
+/// Applies the SX_KERNEL_REFERENCE escape hatch to kAuto (reads the
+/// environment; call at configuration time only, never on the hot path).
+KernelMode resolve_kernel_mode(KernelMode requested) noexcept;
+
+const char* kernel_mode_name(KernelMode mode) noexcept;
+
+/// One executable step of a plan: one layer, or a layer fused with its
+/// following activation. Pointer members alias the model's live parameter
+/// storage (or the plan's own tables/panels) and stay valid for the
+/// model's lifetime.
+struct KernelStep {
+  /// kIdentity marks a layer whose forward is a verbatim bit copy
+  /// (Flatten): the planned engine re-views the current buffer under the
+  /// new shape instead of copying — bitwise identical by definition.
+  enum class Kind : std::uint8_t { kReference, kDense, kConv2d, kIdentity };
+
+  Kind kind = Kind::kReference;
+  std::size_t first_layer = 0;  ///< model layer index this step starts at
+  std::size_t layer_span = 1;   ///< 2 when a following activation is fused
+  tensor::kernels::Epilogue epilogue = tensor::kernels::Epilogue::kNone;
+
+  // kDense / kConv2d
+  std::size_t rows = 0, cols = 0;  ///< Dense dims
+  const float* weights = nullptr;  ///< live natural-layout weights
+  const float* panel = nullptr;    ///< packed panel (kPacked), else null
+  const float* bias = nullptr;
+
+  // kConv2d
+  tensor::kernels::ConvTables conv{};  ///< tables owned by the plan
+  std::size_t scratch = 0;  ///< im2col column floats this step gathers
+};
+
+/// Deploy-time execution plan for one model. Immutable after construction
+/// except repack(); shareable read-only across workers.
+class KernelPlan {
+ public:
+  /// `mode` must be kBlocked or kPacked (resolve kAuto first); the model
+  /// must outlive the plan.
+  KernelPlan(const Model& model, KernelMode mode);
+
+  KernelPlan(const KernelPlan&) = delete;
+  KernelPlan& operator=(const KernelPlan&) = delete;
+
+  KernelMode mode() const noexcept { return mode_; }
+  std::span<const KernelStep> steps() const noexcept {
+    return {steps_.get(), step_count_};
+  }
+
+  /// Per-inference scratch demand in floats (max ragged im2col column
+  /// over all conv steps) — added to every engine's arena plan.
+  std::size_t scratch_floats() const noexcept { return scratch_floats_; }
+
+  /// Deploy-time storage footprint of the packed Dense and Conv2d panels
+  /// (floats; zero in kBlocked mode).
+  std::size_t panel_floats() const noexcept { return panel_floats_; }
+  /// Total precomputed im2col gather entries across all conv steps.
+  std::size_t table_entries() const noexcept { return table_entries_; }
+
+  std::size_t planned_dense() const noexcept { return planned_dense_; }
+  std::size_t planned_conv() const noexcept { return planned_conv_; }
+  std::size_t fused_activations() const noexcept { return fused_; }
+  std::size_t reference_steps() const noexcept { return reference_; }
+  std::size_t identity_steps() const noexcept { return identity_; }
+
+  /// Re-snapshots Dense and Conv2d weights into the packed panels
+  /// (kPacked only; no-op in kBlocked mode). For callers that mutate
+  /// weights in place after deployment.
+  void repack() noexcept;
+
+  /// One-line evidence summary for core/report.
+  std::string summary() const;
+
+ private:
+  const Model* model_;
+  KernelMode mode_;
+  std::unique_ptr<KernelStep[]> steps_;
+  std::size_t step_count_ = 0;
+  std::unique_ptr<std::uint32_t[]> tables_;  ///< pix_off + in_idx + w_ofs
+  std::unique_ptr<float[]> panels_;
+  std::size_t scratch_floats_ = 0;
+  std::size_t panel_floats_ = 0;
+  std::size_t table_entries_ = 0;
+  std::size_t planned_dense_ = 0;
+  std::size_t planned_conv_ = 0;
+  std::size_t fused_ = 0;
+  std::size_t reference_ = 0;
+  std::size_t identity_ = 0;
+};
+
+}  // namespace sx::dl

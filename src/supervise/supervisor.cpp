@@ -130,6 +130,24 @@ void MahalanobisSupervisor::fit(const dl::Model& model,
   fitted_ = true;
 }
 
+double MahalanobisSupervisor::score_from_features(
+    std::span<const float> features) const {
+  if (!fitted_)
+    throw std::logic_error(
+        "MahalanobisSupervisor::score_from_features before fit");
+  if (features.size() != feature_dim_)
+    throw std::invalid_argument(
+        "MahalanobisSupervisor::score_from_features: feature width");
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<double> diff(feature_dim_);
+  for (const auto& mu : class_means_) {
+    for (std::size_t d = 0; d < feature_dim_; ++d)
+      diff[d] = static_cast<double>(features[d]) - mu[d];
+    best = std::min(best, util::mahalanobis_sq(cov_chol_, diff));
+  }
+  return best;
+}
+
 double MahalanobisSupervisor::score(const dl::Model& model,
                                     const tensor::Tensor& input) const {
   if (!fitted_)

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -97,6 +98,14 @@ class MahalanobisSupervisor final : public Supervisor {
 
   /// Index of the activation used as the feature vector (set by fit()).
   std::size_t feature_layer() const noexcept { return feature_layer_; }
+  /// Width of that feature vector (set by fit()).
+  std::size_t feature_dim() const noexcept { return feature_dim_; }
+
+  /// Scores a feature vector captured externally — e.g. tapped from a
+  /// StaticEngine::run_tapped at feature_layer() — instead of re-running
+  /// the model through Model::forward_trace. Widening float -> double is
+  /// exact, so this is bitwise identical to score() on the same input.
+  double score_from_features(std::span<const float> features) const;
 
  private:
   std::vector<double> features_of(const dl::Model& model,

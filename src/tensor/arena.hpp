@@ -24,7 +24,8 @@ class Arena {
   /// Creates an arena holding `capacity` floats. Allocates once, here,
   /// at configuration time — never afterwards.
   explicit Arena(std::size_t capacity)
-      : storage_(std::make_unique<float[]>(capacity)), capacity_(capacity) {}
+      : storage_(std::make_unique<float[]>(capacity)),  // sxlint: allow(hot-path-alloc) the one configuration-time allocation the arena exists to own
+        capacity_(capacity) {}
 
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;

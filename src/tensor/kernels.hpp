@@ -1,0 +1,187 @@
+// Deploy-time-planned numeric kernels: register-blocked matvec/GEMM and a
+// ragged-im2col Conv2d lowering with fused bias+activation epilogues.
+//
+// Every kernel here preserves the *per-output accumulation order* of the
+// reference loops in tensor/ops.cpp and dl/layers.cpp: each output element
+// is produced by the same sequence of multiply-adds on the same operands,
+// so optimized and reference paths are bitwise identical and the golden
+// vectors pinned in tensor_golden_test stay valid. The speedups come from
+// order-preserving transformations only:
+//
+//   - row blocking: kRowBlock independent accumulation chains per sweep
+//     break the single serial FMA/add dependency chain of the reference
+//     loop (ILP), and the input vector is streamed once per block instead
+//     of once per row;
+//   - deploy-time im2col index tables: all Conv2d bounds checks and index
+//     arithmetic move to configuration time; the hot path is one flat
+//     gather plus a dense blocked GEMM.  The tables are *ragged*
+//     (padding taps are omitted, exactly as the reference loop skips
+//     them) rather than zero-filled, so even non-finite weights multiply
+//     precisely the operands the reference path multiplies;
+//   - fused epilogues: bias (already fused in the reference Dense/Conv2d)
+//     plus an optional ReLU/Sigmoid/Tanh applied in the GEMM tail, saving
+//     one full tensor traversal per fused layer.  The epilogue expression
+//     is character-identical to the corresponding Layer::forward body.
+//
+// All functions are allocation-free and operate on caller-provided
+// buffers; table *construction* fills caller-owned storage whose size is
+// returned by the corresponding *_floats()/*_entries() planner so that
+// dl::KernelPlan can place everything in deploy-time storage and the
+// engine arena. (This file is covered by sxlint's hot-path-alloc rule.)
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace sx::tensor::kernels {
+
+/// Output rows (Dense) per register-blocked sweep. 8 independent
+/// accumulator chains are enough to cover scalar FP add latency on
+/// current cores without spilling.
+inline constexpr std::size_t kRowBlock = 8;
+
+/// Output channels (Conv2d GEMM) per register-blocked sweep. Eight chains
+/// read the gathered im2col column once per sweep (the deployed perception
+/// CNNs are 8-channel), at the same register budget as the Dense kernel.
+inline constexpr std::size_t kOcBlock = 8;
+
+/// Panel alignment in floats: 16 floats == one 64-byte cache line.
+inline constexpr std::size_t kAlignFloats = 16;
+
+constexpr std::size_t align_up(std::size_t n) noexcept {
+  return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+
+/// Fused activation applied in the kernel tail. Expressions match the
+/// corresponding Layer::forward bodies bit for bit (including NaN
+/// behaviour: relu(NaN) == 0.0f exactly as `v > 0 ? v : 0` yields).
+enum class Epilogue : std::uint8_t { kNone, kRelu, kSigmoid, kTanh };
+
+inline float apply_epilogue(float v, Epilogue ep) noexcept {
+  switch (ep) {
+    case Epilogue::kNone: return v;
+    case Epilogue::kRelu: return v > 0.0f ? v : 0.0f;
+    case Epilogue::kSigmoid: return 1.0f / (1.0f + std::exp(-v));
+    case Epilogue::kTanh: return std::tanh(v);
+  }
+  return v;
+}
+
+// --------------------------------------------------------------- Dense
+
+/// y = W x + b with kRowBlock-way register blocking over the live
+/// row-major weight matrix (rows x cols). When `check` is set, the
+/// pre-activation value of every output is screened with the same
+/// predicate the engine's per-layer scan uses; returns false iff a
+/// non-finite pre-activation was seen (the caller maps that to
+/// Status::kNumericFault exactly where the reference path would).
+bool matvec_blocked(const float* w, const float* bias, std::size_t rows,
+                    std::size_t cols, const float* x, float* out,
+                    Epilogue ep, bool check) noexcept;
+
+/// Floats needed for the cache-line-aligned row-blocked panel of a
+/// rows x cols Dense weight matrix (every block starts 64-byte aligned).
+std::size_t dense_panel_floats(std::size_t rows, std::size_t cols) noexcept;
+
+/// Repacks the row-major weight matrix into the panel layout: full blocks
+/// of kRowBlock rows interleaved column-major-within-block
+/// (panel[c * 8 + r]), the tail block interleaved at its own row count.
+/// `panel` must hold dense_panel_floats() floats; alignment padding is
+/// zero-filled.
+void pack_dense_panel(const float* w, std::size_t rows, std::size_t cols,
+                      float* panel) noexcept;
+
+/// matvec_blocked over a packed panel (weights snapshot; see
+/// dl::KernelPlan for the staleness contract).
+bool matvec_packed(const float* panel, const float* bias, std::size_t rows,
+                   std::size_t cols, const float* x, float* out,
+                   Epilogue ep, bool check) noexcept;
+
+// --------------------------------------------------------------- Conv2d
+
+/// Static Conv2d geometry (CHW layout, square kernel, symmetric padding).
+struct Conv2dGeom {
+  std::size_t in_c = 0, in_h = 0, in_w = 0;
+  std::size_t out_c = 0, k = 0, stride = 1, pad = 0;
+
+  std::size_t out_h() const noexcept {
+    return (in_h + 2 * pad - k) / stride + 1;
+  }
+  std::size_t out_w() const noexcept {
+    return (in_w + 2 * pad - k) / stride + 1;
+  }
+  std::size_t opix() const noexcept { return out_h() * out_w(); }
+  /// Full patch length (taps per output pixel when nothing is clipped).
+  std::size_t patch() const noexcept { return in_c * k * k; }
+};
+
+/// Total ragged im2col entries: sum over output pixels of the *valid* tap
+/// count (padding-clipped taps are omitted, matching the reference skip).
+/// This is both the index-table length and the per-inference scratch
+/// demand in floats.
+std::size_t im2col_entries(const Conv2dGeom& g) noexcept;
+
+/// Fills the deploy-time gather tables. For output pixel p the entries
+/// [pix_off[p], pix_off[p+1]) list, in the reference accumulation order
+/// (ic ascending, then valid ky, then valid kx):
+///   in_idx[e]  linear index into the CHW input,
+///   w_ofs[e]   weight offset inside one output-channel slab
+///              (ic * k * k + ky * k + kx).
+/// `pix_off` must hold opix()+1 entries; `in_idx`/`w_ofs` must hold
+/// im2col_entries() each. Interior pixels carry the full patch with
+/// w_ofs == 0..patch-1, which conv2d_im2col detects and runs without
+/// indirection.
+void build_im2col_tables(const Conv2dGeom& g, std::uint32_t* pix_off,
+                         std::uint32_t* in_idx,
+                         std::uint32_t* w_ofs) noexcept;
+
+/// The hot-path gather: col[e] = in[in_idx[e]] for e in [0, entries).
+/// One flat, branch-free loop (ragged layout keeps padding out entirely).
+void im2col_gather(const float* in, const std::uint32_t* in_idx,
+                   std::size_t entries, float* col) noexcept;
+
+/// Pointer view of one planned Conv2d lowering (tables owned elsewhere).
+struct ConvTables {
+  std::size_t out_c = 0;
+  std::size_t patch = 0;  ///< full tap count per pixel
+  std::size_t opix = 0;
+  const std::uint32_t* pix_off = nullptr;  ///< opix + 1 entries
+  const std::uint32_t* in_idx = nullptr;   ///< gather indices
+  const std::uint32_t* w_ofs = nullptr;    ///< weight offsets per entry
+};
+
+/// out[oc * opix + p] = bias[oc] + sum over the pixel's taps, kOcBlock
+/// output channels per sweep sharing one gathered column. `wt` is the
+/// live Conv2d weight tensor (out_c x patch, the natural layout), `col`
+/// the gathered ragged im2col buffer. Same check/epilogue contract as
+/// matvec_blocked.
+bool conv2d_im2col(const float* wt, const float* bias, const ConvTables& t,
+                   const float* col, float* out, Epilogue ep,
+                   bool check) noexcept;
+
+/// Output channels per SIMD lane group of a packed Conv2d panel.
+inline constexpr std::size_t kConvLanes = 4;
+
+/// Floats needed for the tap-major lane panel of an out_c x patch Conv2d
+/// weight tensor: full kConvLanes-channel groups only (each group starts
+/// 64-byte aligned); the out_c % kConvLanes tail channels keep reading
+/// the live weights.
+std::size_t conv_panel_floats(std::size_t out_c,
+                              std::size_t patch) noexcept;
+
+/// Repacks the natural out_c x patch weight layout into lane groups:
+/// group g, tap j holds weights of channels g*kConvLanes .. +3 at
+/// panel[g * align_up(patch * kConvLanes) + j * kConvLanes + i].
+void pack_conv_panel(const float* wt, std::size_t out_c, std::size_t patch,
+                     float* panel) noexcept;
+
+/// conv2d_im2col over a packed lane panel (weights snapshot; see
+/// dl::KernelPlan for the staleness contract). `wt` must still point at
+/// the live weights — the out_c % kConvLanes tail channels use it.
+bool conv2d_im2col_packed(const float* panel, const float* wt,
+                          const float* bias, const ConvTables& t,
+                          const float* col, float* out, Epilogue ep,
+                          bool check) noexcept;
+
+}  // namespace sx::tensor::kernels

@@ -14,31 +14,48 @@ bool shapes_match(ConstTensorView a, ConstTensorView b,
 
 }  // namespace
 
+// Element-wise loops hoist the trip count and raw base pointers into
+// locals: distinct local pointers are the closest standard-C++ equivalent
+// of `restrict` (the compiler can see no alias is re-derived inside the
+// loop body), and none of it changes evaluation order, so outputs stay
+// bitwise identical.
 Status add(ConstTensorView a, ConstTensorView b, TensorView out) noexcept {
   if (!shapes_match(a, b, out)) return Status::kShapeMismatch;
-  for (std::size_t i = 0; i < a.data.size(); ++i)
-    out.data[i] = a.data[i] + b.data[i];
+  const std::size_t n = a.data.size();
+  const float* pa = a.data.data();
+  const float* pb = b.data.data();
+  float* po = out.data.data();
+  for (std::size_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
   return Status::kOk;
 }
 
 Status sub(ConstTensorView a, ConstTensorView b, TensorView out) noexcept {
   if (!shapes_match(a, b, out)) return Status::kShapeMismatch;
-  for (std::size_t i = 0; i < a.data.size(); ++i)
-    out.data[i] = a.data[i] - b.data[i];
+  const std::size_t n = a.data.size();
+  const float* pa = a.data.data();
+  const float* pb = b.data.data();
+  float* po = out.data.data();
+  for (std::size_t i = 0; i < n; ++i) po[i] = pa[i] - pb[i];
   return Status::kOk;
 }
 
 Status mul(ConstTensorView a, ConstTensorView b, TensorView out) noexcept {
   if (!shapes_match(a, b, out)) return Status::kShapeMismatch;
-  for (std::size_t i = 0; i < a.data.size(); ++i)
-    out.data[i] = a.data[i] * b.data[i];
+  const std::size_t n = a.data.size();
+  const float* pa = a.data.data();
+  const float* pb = b.data.data();
+  float* po = out.data.data();
+  for (std::size_t i = 0; i < n; ++i) po[i] = pa[i] * pb[i];
   return Status::kOk;
 }
 
 Status scale(ConstTensorView a, float s, TensorView out) noexcept {
   if (a.shape != out.shape || !a.valid() || !out.valid())
     return Status::kShapeMismatch;
-  for (std::size_t i = 0; i < a.data.size(); ++i) out.data[i] = a.data[i] * s;
+  const std::size_t n = a.data.size();
+  const float* pa = a.data.data();
+  float* po = out.data.data();
+  for (std::size_t i = 0; i < n; ++i) po[i] = pa[i] * s;
   return Status::kOk;
 }
 
@@ -52,11 +69,17 @@ Status matvec(ConstTensorView w, ConstTensorView x, ConstTensorView b,
   if (x.shape.size() != cols || b.shape.size() != rows ||
       out.shape.size() != rows)
     return Status::kShapeMismatch;
-  for (std::size_t r = 0; r < rows; ++r) {
-    float acc = b.data[r];
-    const float* wr = w.data.data() + r * cols;
-    for (std::size_t c = 0; c < cols; ++c) acc += wr[c] * x.data[c];
-    out.data[r] = acc;
+  // Base pointers hoisted once (local-pointer aliasing contract as above);
+  // the row pointer advances instead of being recomputed from r * cols.
+  // Accumulation order per output row is unchanged => bitwise identical.
+  const float* wr = w.data.data();
+  const float* px = x.data.data();
+  const float* pb = b.data.data();
+  float* po = out.data.data();
+  for (std::size_t r = 0; r < rows; ++r, wr += cols) {
+    float acc = pb[r];
+    for (std::size_t c = 0; c < cols; ++c) acc += wr[c] * px[c];
+    po[r] = acc;
   }
   return Status::kOk;
 }
@@ -119,8 +142,10 @@ Status softmax(ConstTensorView logits, TensorView out) noexcept {
 Status relu(ConstTensorView a, TensorView out) noexcept {
   if (a.shape != out.shape || !a.valid() || !out.valid())
     return Status::kShapeMismatch;
-  for (std::size_t i = 0; i < a.data.size(); ++i)
-    out.data[i] = a.data[i] > 0.0f ? a.data[i] : 0.0f;
+  const std::size_t n = a.data.size();
+  const float* pa = a.data.data();
+  float* po = out.data.data();
+  for (std::size_t i = 0; i < n; ++i) po[i] = pa[i] > 0.0f ? pa[i] : 0.0f;
   return Status::kOk;
 }
 
@@ -133,7 +158,10 @@ bool has_non_finite(ConstTensorView a) noexcept {
 Status copy(ConstTensorView src, TensorView dst) noexcept {
   if (src.shape != dst.shape || !src.valid() || !dst.valid())
     return Status::kShapeMismatch;
-  for (std::size_t i = 0; i < src.data.size(); ++i) dst.data[i] = src.data[i];
+  const std::size_t n = src.data.size();
+  const float* ps = src.data.data();
+  float* pd = dst.data.data();
+  for (std::size_t i = 0; i < n; ++i) pd[i] = ps[i];
   return Status::kOk;
 }
 

@@ -125,18 +125,70 @@ std::vector<IntervalTensor> analyze_ranges(const dl::Model& model,
   return out;
 }
 
+namespace {
+
+/// Kernel-plan scratch demand re-derived from shapes alone: the engine's
+/// planned Conv2d lowering gathers one ragged im2col column per conv
+/// layer (one float per *valid* tap — padding-clipped taps are omitted),
+/// and engines size their scratch buffer for the largest column. This
+/// deliberately re-counts valid taps with its own geometry walk instead of
+/// consulting tensor::kernels::im2col_entries or the KernelPlan.
+std::size_t kernel_scratch_demand(const dl::Model& model,
+                                  const dl::StaticEngineConfig& cfg) {
+  if (dl::resolve_kernel_mode(cfg.kernels) == dl::KernelMode::kReference)
+    return 0;
+  Shape shape = model.input_shape();
+  std::size_t scratch = 0;
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    if (model.layer(i).kind() == dl::LayerKind::kConv2d) {
+      const auto& c = static_cast<const dl::Conv2d&>(model.layer(i));
+      const std::size_t h = shape.dim(1), w = shape.dim(2);
+      const std::size_t k = c.kernel(), s = c.stride(), p = c.padding();
+      const std::size_t oh = (h + 2 * p - k) / s + 1;
+      const std::size_t ow = (w + 2 * p - k) / s + 1;
+      std::size_t entries = 0;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          std::size_t taps = 0;
+          for (std::size_t ky = 0; ky < k; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * s + ky) -
+                static_cast<std::ptrdiff_t>(p);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+            for (std::size_t kx = 0; kx < k; ++kx) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * s + kx) -
+                  static_cast<std::ptrdiff_t>(p);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+              ++taps;
+            }
+          }
+          entries += c.in_channels() * taps;
+        }
+      }
+      scratch = std::max(scratch, entries);
+    }
+    shape = model.layer(i).output_shape(shape);
+  }
+  return scratch;
+}
+
+}  // namespace
+
 std::size_t static_arena_demand(const dl::Model& model,
                                 const dl::StaticEngineConfig& cfg) {
   // Re-derive every activation size from the layers' own shape rules; the
   // engine ping-pongs two buffers each sized for the largest activation,
-  // and the input itself occupies the first buffer.
+  // the input itself occupies the first buffer, and (in a planned kernel
+  // mode) the im2col scratch column rides in the same arena.
   Shape shape = model.input_shape();
   std::size_t max_activation = shape.size();
   for (std::size_t i = 0; i < model.layer_count(); ++i) {
     shape = model.layer(i).output_shape(shape);
     max_activation = std::max(max_activation, shape.size());
   }
-  return 2 * max_activation + cfg.arena_slack;
+  return 2 * max_activation + kernel_scratch_demand(model, cfg) +
+         cfg.arena_slack;
 }
 
 VerificationEvidence verify_model(const dl::Model& model,

@@ -88,9 +88,13 @@ IntervalTensor odd_input_interval(const tensor::Shape& input_shape,
 std::vector<IntervalTensor> analyze_ranges(const dl::Model& model,
                                            const IntervalTensor& input);
 
-/// Arena demand (floats) of StaticEngine's ping-pong plan, re-derived from
-/// layer output shapes alone — deliberately not using the engine's own
-/// Model::max_activation_size() bookkeeping.
+/// Arena demand (floats) of StaticEngine's plan — two ping-pong buffers
+/// plus, when the resolved kernel mode is a planned one, the ragged
+/// im2col scratch column of the largest Conv2d — re-derived from layer
+/// output shapes alone, deliberately not using the engine's own
+/// Model::max_activation_size() or KernelPlan bookkeeping. Honors the
+/// same cfg.kernels / SX_KERNEL_REFERENCE resolution as the engine so
+/// the ArenaCheck equality holds in either mode.
 std::size_t static_arena_demand(const dl::Model& model,
                                 const dl::StaticEngineConfig& cfg = {});
 

@@ -1,0 +1,43 @@
+// Seeded FUSA-violation fixture for sxlint's hot-path-alloc rule. NEVER
+// compiled or linked — only scanned by the `sxlint_seeded_fixture` CTest
+// entry. The `tensor/` directory component makes every file here count as a
+// kernel hot path, where dynamic allocation and container growth are
+// forbidden outside the deploy-time plan.
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+// hot-path-alloc: container growth on the kernel path.
+void accumulate(std::vector<float>& out, float v) {
+  out.push_back(v);
+  out.emplace_back(v * 2.0f);
+}
+
+// hot-path-alloc: resizing scratch per call instead of using the arena.
+void make_scratch(std::vector<float>& scratch, unsigned n) {
+  scratch.resize(n);
+  scratch.reserve(n * 2);
+}
+
+// hot-path-alloc: smart-pointer factories allocate on the heap.
+std::unique_ptr<float[]> grab(unsigned n) {
+  return std::make_unique<float[]>(n);
+}
+std::shared_ptr<int> grab_shared() { return std::make_shared<int>(0); }
+
+// hot-path-alloc (and heap-expr): raw new on the kernel path.
+float* raw_grab(unsigned n) { return new float[n]; }
+
+// A waived finding: the marker must suppress this one (it contributes to
+// the "waived" counter, not the findings list).
+std::unique_ptr<int> deploy_time_slot() {
+  return std::make_unique<int>(0);  // sxlint: allow(hot-path-alloc)
+}
+
+// Not findings: identifiers that merely contain a banned name, and string
+// literals mentioning growth calls, must stay silent.
+void resize_noop() {}
+const char* kDoc = "never call resize() or push_back() here";
+
+}  // namespace fixture

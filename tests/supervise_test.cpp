@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+
+#include "dl/engine.hpp"
 #include "supervise/calibration.hpp"
 #include "util/stats.hpp"
 #include "supervise/conformal.hpp"
@@ -108,6 +112,30 @@ TEST(Mahalanobis, ScoresIdLowerThanOod) {
   const auto id_scores = collect_scores(sup, model(), id_data());
   const auto ood_scores = collect_scores(sup, model(), ood_data());
   EXPECT_LT(util::mean(id_scores), util::mean(ood_scores));
+}
+
+TEST(Mahalanobis, ScoreFromTappedFeaturesIsBitwiseIdentical) {
+  // The pipeline feeds the supervisor features tapped from a planned
+  // StaticEngine run instead of re-running Model::forward_trace; the two
+  // scores must agree to the last bit (float -> double widening is exact
+  // and the Mahalanobis arithmetic is shared).
+  MahalanobisSupervisor sup;
+  sup.fit(model(), id_data());
+  dl::StaticEngine engine{model(), {.check_numeric_faults = false}};
+  ASSERT_TRUE(engine.can_tap(sup.feature_layer()));
+  std::vector<float> feat(sup.feature_dim());
+  std::vector<float> logits(model().output_shape().size());
+  for (std::size_t i = 0; i < 8; ++i) {
+    const tensor::Tensor& in = id_data().samples[i].input;
+    ASSERT_EQ(engine.run_tapped(in.view(), logits, sup.feature_layer(), feat),
+              Status::kOk);
+    const double tapped = sup.score_from_features(feat);
+    const double traced = sup.score(model(), in);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(tapped),
+              std::bit_cast<std::uint64_t>(traced));
+  }
+  std::vector<float> wrong(sup.feature_dim() + 1);
+  EXPECT_THROW(sup.score_from_features(wrong), std::invalid_argument);
 }
 
 TEST(Mahalanobis, RequiresFitBeforeScore) {

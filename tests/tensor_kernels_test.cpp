@@ -1,0 +1,557 @@
+// Differential tests for the deploy-time kernel plans (PR: blocked
+// matvec/GEMM, ragged-im2col Conv2d, fused epilogues).
+//
+// The load-bearing property is *bitwise* identity with the reference
+// loops in tensor/ops.cpp and dl/layers.cpp — not approximate closeness:
+// the golden vectors, the audit-trail hashes and the cross-worker
+// determinism evidence all assume every engine produces the same bits.
+// Every comparison here is on the float bit patterns.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "core/report.hpp"
+#include "dl/batch.hpp"
+#include "dl/engine.hpp"
+#include "dl/layers.hpp"
+#include "dl/model.hpp"
+#include "dl/plan.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/ops.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+#include "verify/range.hpp"
+
+namespace sx::tensor::kernels {
+namespace {
+
+using dl::KernelMode;
+using dl::KernelPlan;
+using dl::Model;
+using dl::StaticEngine;
+using dl::StaticEngineConfig;
+using sx::Status;
+
+/// Bitwise float equality (distinguishes -0.0f from 0.0f and compares NaN
+/// payloads — exactly the identity the determinism evidence claims).
+::testing::AssertionResult BitEqual(const std::vector<float>& a,
+                                    const std::vector<float>& b) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure()
+           << "size " << a.size() << " != " << b.size();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint32_t>(a[i]) !=
+        std::bit_cast<std::uint32_t>(b[i]))
+      return ::testing::AssertionFailure()
+             << "element " << i << ": " << a[i] << " vs " << b[i]
+             << " (bits 0x" << std::hex << std::bit_cast<std::uint32_t>(a[i])
+             << " vs 0x" << std::bit_cast<std::uint32_t>(b[i]) << ")";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+std::vector<float> random_vec(std::size_t n, util::Xoshiro256& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.5, 1.5));
+  return v;
+}
+
+// ------------------------------------------------------------- Dense
+
+/// Reference y = W x + b via tensor::matvec, then the epilogue through the
+/// actual activation Layer::forward (not apply_epilogue, so the test is
+/// independent of the kernel header).
+std::vector<float> dense_reference(const std::vector<float>& w,
+                                   const std::vector<float>& b,
+                                   std::size_t rows, std::size_t cols,
+                                   const std::vector<float>& x,
+                                   Epilogue ep) {
+  std::vector<float> pre(rows);
+  EXPECT_EQ(matvec({w, Shape::mat(rows, cols)}, {x, Shape::vec(cols)},
+                   {b, Shape::vec(rows)},
+                   TensorView{pre, Shape::vec(rows)}),
+            Status::kOk);
+  if (ep == Epilogue::kNone) return pre;
+  std::vector<float> post(rows);
+  const TensorView out{post, Shape::vec(rows)};
+  const ConstTensorView in{pre, Shape::vec(rows)};
+  switch (ep) {
+    case Epilogue::kRelu: EXPECT_EQ(dl::Relu{}.forward(in, out), Status::kOk); break;
+    case Epilogue::kSigmoid: EXPECT_EQ(dl::Sigmoid{}.forward(in, out), Status::kOk); break;
+    case Epilogue::kTanh: EXPECT_EQ(dl::Tanh{}.forward(in, out), Status::kOk); break;
+    case Epilogue::kNone: break;
+  }
+  return post;
+}
+
+TEST(MatvecBlocked, BitwiseEqualsReferenceAcrossOddShapes) {
+  util::Xoshiro256 rng{2024};
+  // Deliberately awkward sizes: below / at / above the 8-row block, primes,
+  // and the benchmark sizes.
+  const std::size_t sizes[] = {1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 31, 33, 64, 100};
+  for (std::size_t rows : sizes) {
+    for (std::size_t cols : {std::size_t{1}, std::size_t{3}, std::size_t{17},
+                             std::size_t{32}, std::size_t{53}}) {
+      const auto w = random_vec(rows * cols, rng);
+      const auto b = random_vec(rows, rng);
+      const auto x = random_vec(cols, rng);
+      const auto ref = dense_reference(w, b, rows, cols, x, Epilogue::kNone);
+
+      std::vector<float> out(rows, -7.0f);
+      EXPECT_TRUE(matvec_blocked(w.data(), b.data(), rows, cols, x.data(),
+                                 out.data(), Epilogue::kNone, true));
+      EXPECT_TRUE(BitEqual(out, ref)) << rows << "x" << cols << " blocked";
+
+      std::vector<float> panel(dense_panel_floats(rows, cols), -1.0f);
+      pack_dense_panel(w.data(), rows, cols, panel.data());
+      std::vector<float> out2(rows, -7.0f);
+      EXPECT_TRUE(matvec_packed(panel.data(), b.data(), rows, cols, x.data(),
+                                out2.data(), Epilogue::kNone, true));
+      EXPECT_TRUE(BitEqual(out2, ref)) << rows << "x" << cols << " packed";
+    }
+  }
+}
+
+TEST(MatvecBlocked, FusedEpiloguesMatchActivationLayers) {
+  util::Xoshiro256 rng{7};
+  for (std::size_t rows : {std::size_t{5}, std::size_t{8}, std::size_t{19},
+                           std::size_t{40}}) {
+    const std::size_t cols = 23;
+    const auto w = random_vec(rows * cols, rng);
+    const auto b = random_vec(rows, rng);
+    const auto x = random_vec(cols, rng);
+    for (Epilogue ep : {Epilogue::kRelu, Epilogue::kSigmoid, Epilogue::kTanh}) {
+      const auto ref = dense_reference(w, b, rows, cols, x, ep);
+      std::vector<float> out(rows);
+      EXPECT_TRUE(matvec_blocked(w.data(), b.data(), rows, cols, x.data(),
+                                 out.data(), ep, true));
+      EXPECT_TRUE(BitEqual(out, ref)) << "rows=" << rows << " ep="
+                                      << static_cast<int>(ep);
+
+      std::vector<float> panel(dense_panel_floats(rows, cols));
+      pack_dense_panel(w.data(), rows, cols, panel.data());
+      std::vector<float> out2(rows);
+      EXPECT_TRUE(matvec_packed(panel.data(), b.data(), rows, cols, x.data(),
+                                out2.data(), ep, true));
+      EXPECT_TRUE(BitEqual(out2, ref)) << "packed rows=" << rows;
+    }
+  }
+}
+
+TEST(MatvecBlocked, CheckFlagsNonFinitePreActivation) {
+  // relu(NaN) == 0 and sigmoid(+Inf) == 1 would silently mask a corrupted
+  // accumulation; the kernels must report the fault the reference engine's
+  // per-layer scan would have caught before the activation.
+  const std::size_t rows = 9, cols = 4;
+  util::Xoshiro256 rng{3};
+  auto w = random_vec(rows * cols, rng);
+  const auto b = random_vec(rows, rng);
+  const auto x = random_vec(cols, rng);
+  w[5 * cols + 2] = std::numeric_limits<float>::quiet_NaN();
+
+  std::vector<float> out(rows);
+  EXPECT_FALSE(matvec_blocked(w.data(), b.data(), rows, cols, x.data(),
+                              out.data(), Epilogue::kRelu, true));
+  // Unchecked mode still computes (campaign analyses run with checks off).
+  EXPECT_TRUE(matvec_blocked(w.data(), b.data(), rows, cols, x.data(),
+                             out.data(), Epilogue::kNone, false));
+  EXPECT_TRUE(std::isnan(out[5]));
+
+  std::vector<float> panel(dense_panel_floats(rows, cols));
+  pack_dense_panel(w.data(), rows, cols, panel.data());
+  EXPECT_FALSE(matvec_packed(panel.data(), b.data(), rows, cols, x.data(),
+                             out.data(), Epilogue::kRelu, true));
+}
+
+TEST(DensePanel, LayoutIsAlignedAndExhaustive) {
+  // Panel planner invariants the packer and kernel rely on: cache-line
+  // granularity, and every weight present exactly once in block order.
+  EXPECT_EQ(dense_panel_floats(8, 16) % kAlignFloats, 0u);
+  EXPECT_EQ(dense_panel_floats(1, 1), kAlignFloats);  // one padded line
+
+  const std::size_t rows = 11, cols = 3;  // one full block + 3-row tail
+  util::Xoshiro256 rng{41};
+  const auto w = random_vec(rows * cols, rng);
+  std::vector<float> panel(dense_panel_floats(rows, cols), 99.0f);
+  pack_dense_panel(w.data(), rows, cols, panel.data());
+
+  // Full block: panel[c * kRowBlock + r] == w[r * cols + c].
+  for (std::size_t r = 0; r < kRowBlock; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      EXPECT_EQ(panel[c * kRowBlock + r], w[r * cols + c]);
+  // Tail block of 3 rows, interleaved at its own row count.
+  const std::size_t tail_base = align_up(kRowBlock * cols);
+  for (std::size_t r = 0; r < rows - kRowBlock; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      EXPECT_EQ(panel[tail_base + c * (rows - kRowBlock) + r],
+                w[(kRowBlock + r) * cols + c]);
+}
+
+// ------------------------------------------------------------- Conv2d
+
+TEST(Conv2dIm2col, BitwiseEqualsReferenceAcrossGeometries) {
+  util::Xoshiro256 rng{11};
+  for (std::size_t in_c : {1u, 2u, 3u}) {
+    for (std::size_t k : {1u, 2u, 3u}) {
+      for (std::size_t stride : {1u, 2u}) {
+        for (std::size_t pad : {0u, 1u, 2u}) {
+         // 4 = one full lane group; 6 = one group + 2 tail channels that
+         // the packed kernel must read from the live weights.
+         for (std::size_t out_c : {4u, 6u}) {
+          const std::size_t in_h = 7, in_w = 5;  // odd, non-square
+          if (in_h + 2 * pad < k) continue;
+
+          dl::Conv2d layer{in_c, out_c, k, stride, pad};
+          layer.init(rng);
+          Tensor in{Shape::chw(in_c, in_h, in_w)};
+          in.init_uniform(rng, -1.0f, 1.0f);
+          const Shape out_shape =
+              layer.output_shape(Shape::chw(in_c, in_h, in_w));
+          std::vector<float> ref(out_shape.size());
+          ASSERT_EQ(layer.forward(in.view(),
+                                  TensorView{ref, out_shape}),
+                    Status::kOk);
+
+          Conv2dGeom g{.in_c = in_c, .in_h = in_h, .in_w = in_w,
+                       .out_c = out_c, .k = k, .stride = stride, .pad = pad};
+          ASSERT_EQ(g.opix(), out_shape.dim(1) * out_shape.dim(2));
+          const std::size_t entries = im2col_entries(g);
+          std::vector<std::uint32_t> pix_off(g.opix() + 1), in_idx(entries),
+              w_ofs(entries);
+          build_im2col_tables(g, pix_off.data(), in_idx.data(), w_ofs.data());
+          EXPECT_EQ(pix_off.front(), 0u);
+          EXPECT_EQ(pix_off.back(), entries);
+
+          std::vector<float> col(entries);
+          im2col_gather(in.data().data(), in_idx.data(), entries, col.data());
+          const ConvTables t{.out_c = out_c, .patch = g.patch(),
+                             .opix = g.opix(), .pix_off = pix_off.data(),
+                             .in_idx = in_idx.data(), .w_ofs = w_ofs.data()};
+          std::vector<float> out(out_shape.size(), -7.0f);
+          EXPECT_TRUE(conv2d_im2col(layer.weights().data(),
+                                    layer.bias().data(), t, col.data(),
+                                    out.data(), Epilogue::kNone, true));
+          EXPECT_TRUE(BitEqual(out, ref))
+              << "in_c=" << in_c << " k=" << k << " stride=" << stride
+              << " pad=" << pad << " out_c=" << out_c;
+
+          std::vector<float> panel(conv_panel_floats(out_c, g.patch()));
+          ASSERT_FALSE(panel.empty());
+          pack_conv_panel(layer.weights().data(), out_c, g.patch(),
+                          panel.data());
+          std::vector<float> packed(out_shape.size(), -7.0f);
+          EXPECT_TRUE(conv2d_im2col_packed(
+              panel.data(), layer.weights().data(), layer.bias().data(), t,
+              col.data(), packed.data(), Epilogue::kNone, true));
+          EXPECT_TRUE(BitEqual(packed, ref))
+              << "packed in_c=" << in_c << " k=" << k << " stride=" << stride
+              << " pad=" << pad << " out_c=" << out_c;
+         }
+        }
+      }
+    }
+  }
+}
+
+TEST(Conv2dIm2col, InteriorPixelsCarryFullIdentityPatch) {
+  // The contiguous-weight fast path triggers exactly when a pixel's valid
+  // taps are the whole patch in natural order; with pad=1,k=3 the interior
+  // of a 5x5 image must all be fast-path, the border ragged.
+  const Conv2dGeom g{.in_c = 2, .in_h = 5, .in_w = 5, .out_c = 1, .k = 3,
+                     .stride = 1, .pad = 1};
+  const std::size_t entries = im2col_entries(g);
+  std::vector<std::uint32_t> pix_off(g.opix() + 1), in_idx(entries),
+      w_ofs(entries);
+  build_im2col_tables(g, pix_off.data(), in_idx.data(), w_ofs.data());
+
+  std::size_t full = 0;
+  for (std::size_t p = 0; p < g.opix(); ++p) {
+    const std::size_t taps = pix_off[p + 1] - pix_off[p];
+    const std::size_t oy = p / 5, ox = p % 5;
+    const bool interior = oy >= 1 && oy <= 3 && ox >= 1 && ox <= 3;
+    EXPECT_EQ(taps == g.patch(), interior) << "pixel " << p;
+    if (taps == g.patch()) {
+      ++full;
+      for (std::size_t e = 0; e < taps; ++e)
+        EXPECT_EQ(w_ofs[pix_off[p] + e], e);
+    }
+  }
+  EXPECT_EQ(full, 9u);  // 3x3 interior
+  // Corner pixel 0 keeps only the 2x2 in-bounds window per channel.
+  EXPECT_EQ(pix_off[1] - pix_off[0], 2u * 2u * 2u);
+}
+
+// --------------------------------------------------- engine-level parity
+
+std::vector<float> run_engine(StaticEngine& e, ConstTensorView in,
+                              Status expect = Status::kOk) {
+  std::vector<float> out(e.output_shape().size(),
+                         std::numeric_limits<float>::quiet_NaN());
+  EXPECT_EQ(e.run(in, out), expect);
+  return out;
+}
+
+TEST(KernelPlanEngine, AllModesBitwiseIdenticalOnTrainedModels) {
+  const auto& ds = sx::testing::road_data();
+  for (const Model* m : {&sx::testing::trained_mlp(),
+                         &sx::testing::trained_cnn()}) {
+    StaticEngine ref{*m, {.kernels = KernelMode::kReference}};
+    StaticEngine blocked{*m, {.kernels = KernelMode::kBlocked}};
+    StaticEngine packed{*m, {.kernels = KernelMode::kPacked}};
+    ASSERT_EQ(ref.kernel_plan(), nullptr);
+    ASSERT_NE(blocked.kernel_plan(), nullptr);
+    for (std::size_t i = 0; i < 32; ++i) {
+      const auto in = ds.samples[i].input.view();
+      const auto a = run_engine(ref, in);
+      EXPECT_TRUE(BitEqual(run_engine(blocked, in), a)) << "sample " << i;
+      EXPECT_TRUE(BitEqual(run_engine(packed, in), a)) << "sample " << i;
+    }
+  }
+}
+
+TEST(KernelPlanEngine, FusedSigmoidTanhPipelineBitwiseIdentical) {
+  // Covers the epilogues the trained fixtures don't exercise, plus an
+  // unfusable trailing softmax (reference step inside a planned engine).
+  dl::ModelBuilder b{Shape::chw(2, 9, 7)};
+  b.conv2d(3, 3, /*stride=*/1, /*padding=*/1)
+      .tanh_()
+      .flatten()
+      .dense(21)
+      .sigmoid()
+      .dense(6)
+      .softmax();
+  const Model m = b.build(/*seed=*/99);
+
+  const KernelPlan plan{m, KernelMode::kBlocked};
+  EXPECT_EQ(plan.planned_conv(), 1u);
+  EXPECT_EQ(plan.planned_dense(), 2u);
+  EXPECT_EQ(plan.fused_activations(), 2u);  // tanh + sigmoid
+  EXPECT_EQ(plan.identity_steps(), 1u);     // flatten becomes a re-view
+  EXPECT_EQ(plan.reference_steps(), 1u);    // softmax
+  EXPECT_GT(plan.scratch_floats(), 0u);
+
+  StaticEngine ref{m, {.kernels = KernelMode::kReference}};
+  StaticEngine planned{m, plan};
+  util::Xoshiro256 rng{5};
+  Tensor in{m.input_shape()};
+  for (int rep = 0; rep < 16; ++rep) {
+    in.init_uniform(rng, -2.0f, 2.0f);
+    EXPECT_TRUE(BitEqual(run_engine(planned, in.view()),
+                         run_engine(ref, in.view())));
+  }
+}
+
+TEST(KernelPlanEngine, NumericFaultParityWithFusedActivations) {
+  // A NaN weight upstream of a fused ReLU: relu would squash the NaN to 0,
+  // so the planned engine must fault on the pre-activation value exactly
+  // like the reference engine faults on the dense output scan.
+  Model m = sx::testing::trained_mlp();  // deep copy, safe to corrupt
+  auto& dense = static_cast<dl::Dense&>(m.layer(1));  // flatten, dense, relu…
+  ASSERT_EQ(dense.kind(), dl::LayerKind::kDense);
+  dense.weights()[3] = std::numeric_limits<float>::quiet_NaN();
+
+  const auto in = sx::testing::road_data().samples[0].input.view();
+  StaticEngine ref{m, {.kernels = KernelMode::kReference}};
+  StaticEngine blocked{m, {.kernels = KernelMode::kBlocked}};
+  StaticEngine packed{m, {.kernels = KernelMode::kPacked}};
+  run_engine(ref, in, Status::kNumericFault);
+  run_engine(blocked, in, Status::kNumericFault);
+  run_engine(packed, in, Status::kNumericFault);
+  EXPECT_EQ(ref.numeric_fault_count(), 1u);
+  EXPECT_EQ(blocked.numeric_fault_count(), 1u);
+  EXPECT_EQ(packed.numeric_fault_count(), 1u);
+
+  // With checks off, all engines agree bit for bit on the corrupted output
+  // (the campaign path compares raw propagation).
+  StaticEngine ref_nc{m, {.check_numeric_faults = false,
+                          .kernels = KernelMode::kReference}};
+  StaticEngine blk_nc{m, {.check_numeric_faults = false,
+                          .kernels = KernelMode::kBlocked}};
+  EXPECT_TRUE(BitEqual(run_engine(blk_nc, in), run_engine(ref_nc, in)));
+}
+
+TEST(KernelPlanEngine, BlockedModeObservesLiveWeightMutation) {
+  // The SEU campaigns mutate weights behind a long-lived engine; kBlocked
+  // (the default) must observe the mutation exactly as reference does,
+  // while kPacked holds its deploy-time snapshot until repack().
+  Model m = sx::testing::trained_mlp();
+  StaticEngine ref{m, {.kernels = KernelMode::kReference}};
+  StaticEngine blocked{m, {.kernels = KernelMode::kBlocked}};
+  KernelPlan packed_plan{m, KernelMode::kPacked};
+  StaticEngine packed{m, packed_plan};
+
+  const auto in = sx::testing::road_data().samples[2].input.view();
+  const auto before = run_engine(ref, in);
+  ASSERT_TRUE(BitEqual(run_engine(packed, in), before));
+
+  auto& dense = static_cast<dl::Dense&>(m.layer(1));
+  dense.weights()[0] += 0.25f;
+  const auto after = run_engine(ref, in);
+  ASSERT_FALSE(BitEqual(after, before));
+
+  EXPECT_TRUE(BitEqual(run_engine(blocked, in), after));  // live view
+  EXPECT_TRUE(BitEqual(run_engine(packed, in), before));  // stale snapshot
+  packed_plan.repack();
+  EXPECT_TRUE(BitEqual(run_engine(packed, in), after));   // resynced
+}
+
+TEST(KernelPlanEngine, ArenaDemandMatchesIndependentDerivation) {
+  // verify/range re-derives the arena demand from shapes alone; the engine
+  // capacity (and its by-construction high-water mark) must match in every
+  // kernel mode, keeping the static verifier's ArenaCheck sound.
+  for (const Model* m : {&sx::testing::trained_mlp(),
+                         &sx::testing::trained_cnn()}) {
+    for (KernelMode mode : {KernelMode::kReference, KernelMode::kBlocked,
+                            KernelMode::kPacked}) {
+      const StaticEngineConfig cfg{.kernels = mode};
+      StaticEngine e{*m, cfg};
+      EXPECT_EQ(verify::static_arena_demand(*m, cfg), e.arena_capacity())
+          << dl::kernel_mode_name(mode);
+      EXPECT_EQ(e.arena_high_water_mark(), e.arena_capacity())
+          << "buffers are carved once at construction";
+    }
+  }
+  // Conv scratch is real: the CNN's planned demand strictly exceeds the
+  // reference ping-pong demand.
+  EXPECT_GT(verify::static_arena_demand(
+                sx::testing::trained_cnn(),
+                StaticEngineConfig{.kernels = KernelMode::kBlocked}),
+            verify::static_arena_demand(
+                sx::testing::trained_cnn(),
+                StaticEngineConfig{.kernels = KernelMode::kReference}));
+}
+
+TEST(KernelPlanEngine, ReferenceEscapeHatchEnvVar) {
+  ASSERT_EQ(unsetenv("SX_KERNEL_REFERENCE"), 0);
+  EXPECT_EQ(dl::resolve_kernel_mode(KernelMode::kAuto), KernelMode::kBlocked);
+  ASSERT_EQ(setenv("SX_KERNEL_REFERENCE", "1", 1), 0);
+  EXPECT_EQ(dl::resolve_kernel_mode(KernelMode::kAuto),
+            KernelMode::kReference);
+  // Explicit modes are never overridden; "0" and empty do not force.
+  EXPECT_EQ(dl::resolve_kernel_mode(KernelMode::kPacked), KernelMode::kPacked);
+  ASSERT_EQ(setenv("SX_KERNEL_REFERENCE", "0", 1), 0);
+  EXPECT_EQ(dl::resolve_kernel_mode(KernelMode::kAuto), KernelMode::kBlocked);
+  ASSERT_EQ(setenv("SX_KERNEL_REFERENCE", "", 1), 0);
+  EXPECT_EQ(dl::resolve_kernel_mode(KernelMode::kAuto), KernelMode::kBlocked);
+
+  ASSERT_EQ(setenv("SX_KERNEL_REFERENCE", "1", 1), 0);
+  const Model& m = sx::testing::trained_mlp();
+  StaticEngine forced{m};  // kAuto resolves at construction
+  EXPECT_EQ(forced.kernel_mode(), KernelMode::kReference);
+  EXPECT_EQ(forced.kernel_plan(), nullptr);
+  ASSERT_EQ(unsetenv("SX_KERNEL_REFERENCE"), 0);
+  StaticEngine normal{m};
+  EXPECT_EQ(normal.kernel_mode(), KernelMode::kBlocked);
+}
+
+TEST(KernelPlanBatch, WorkerCountsBitwiseIdenticalToReference) {
+  const Model& m = sx::testing::trained_cnn();
+  const auto& ds = sx::testing::road_data();
+  const std::size_t n = 16;
+  const std::size_t out_size = m.output_shape().size();
+
+  StaticEngine ref{m, {.kernels = KernelMode::kReference}};
+  std::vector<float> expected(n * out_size);
+  std::vector<float> flat(n * m.input_shape().size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = ds.samples[i].input.data();
+    std::copy(src.begin(), src.end(),
+              flat.begin() + i * m.input_shape().size());
+    ASSERT_EQ(ref.run(ds.samples[i].input.view(),
+                      std::span<float>(expected).subspan(i * out_size,
+                                                         out_size)),
+              Status::kOk);
+  }
+
+  for (KernelMode mode : {KernelMode::kBlocked, KernelMode::kPacked}) {
+    for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+      dl::BatchRunner runner{m, dl::BatchRunnerConfig{.workers = workers,
+                                                      .kernels = mode}};
+      ASSERT_NE(runner.kernel_plan(), nullptr);
+      EXPECT_EQ(runner.kernel_plan()->mode(), mode);
+      std::vector<float> out(n * out_size, -1.0f);
+      std::vector<Status> st(n, Status::kInvalidArgument);
+      ASSERT_EQ(runner.run(flat, out, st), Status::kOk);
+      for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(st[i], Status::kOk);
+      EXPECT_TRUE(BitEqual(out, expected))
+          << dl::kernel_mode_name(mode) << " x " << workers << " workers";
+    }
+  }
+}
+
+TEST(KernelPlanEngine, CanTapReflectsStepBoundaries) {
+  // trained_cnn: conv(0) relu(1) maxpool(2) flatten(3) dense(4) relu(5)
+  // dense(6). Planned mode fuses 0+1 and 4+5, so the fused activations'
+  // inputs (layers 1 and 5) are never materialized.
+  const Model& m = sx::testing::trained_cnn();
+  StaticEngine ref{m, {.kernels = KernelMode::kReference}};
+  StaticEngine blocked{m, {.kernels = KernelMode::kBlocked}};
+  for (std::size_t l = 0; l < m.layer_count(); ++l)
+    EXPECT_TRUE(ref.can_tap(l)) << l;
+  EXPECT_FALSE(ref.can_tap(m.layer_count()));
+  for (std::size_t l : {0u, 2u, 3u, 4u, 6u}) EXPECT_TRUE(blocked.can_tap(l)) << l;
+  for (std::size_t l : {1u, 5u}) EXPECT_FALSE(blocked.can_tap(l)) << l;
+  EXPECT_FALSE(blocked.can_tap(m.layer_count()));
+}
+
+TEST(KernelPlanEngine, TappedRunMatchesForwardTraceBitwise) {
+  // run_tapped must reproduce forward_trace's activations exactly — this
+  // is what lets the pipeline's supervisor read its feature layer from
+  // the planned engine instead of a second allocation-heavy forward.
+  const auto& ds = sx::testing::road_data();
+  for (const Model* m : {&sx::testing::trained_mlp(),
+                         &sx::testing::trained_cnn()}) {
+    for (const KernelMode mode : {KernelMode::kReference,
+                                  KernelMode::kBlocked,
+                                  KernelMode::kPacked}) {
+      StaticEngine e{*m, {.kernels = mode}};
+      for (std::size_t s = 0; s < 4; ++s) {
+        const Tensor& in = ds.samples[s].input;
+        const auto acts = m->forward_trace(in);
+        const auto expect = run_engine(e, in.view());
+        for (std::size_t l = 0; l < m->layer_count(); ++l) {
+          if (!e.can_tap(l)) continue;
+          std::vector<float> tap(acts[l].size(), -7.0f);
+          std::vector<float> out(m->output_shape().size());
+          ASSERT_EQ(e.run_tapped(in.view(), out, l, tap), Status::kOk);
+          EXPECT_TRUE(BitEqual(out, expect)) << "layer " << l;
+          const auto ref = acts[l].data();
+          EXPECT_TRUE(
+              BitEqual(tap, std::vector<float>(ref.begin(), ref.end())))
+              << dl::kernel_mode_name(mode) << " layer " << l;
+        }
+        // Wrong tap width and untappable layers are shape errors.
+        std::vector<float> out(m->output_shape().size());
+        std::vector<float> bad(acts[0].size() + 1);
+        EXPECT_EQ(e.run_tapped(in.view(), out, 0, bad),
+                  Status::kShapeMismatch);
+        EXPECT_EQ(e.run_tapped(in.view(), out, m->layer_count(),
+                               std::span<float>{}),
+                  Status::kShapeMismatch);
+      }
+    }
+  }
+}
+
+TEST(KernelPlanEvidence, SummaryAndReportLines) {
+  const KernelPlan plan{sx::testing::trained_cnn(), KernelMode::kPacked};
+  const std::string s = plan.summary();
+  EXPECT_NE(s.find("mode=packed"), std::string::npos) << s;
+  EXPECT_NE(s.find("dense=2"), std::string::npos) << s;
+  EXPECT_NE(s.find("conv=1"), std::string::npos) << s;
+  EXPECT_GT(plan.panel_floats(), 0u);
+  EXPECT_GT(plan.table_entries(), 0u);
+
+  const core::EvidenceItem item = core::make_kernel_plan_evidence(plan);
+  EXPECT_EQ(item.title, "Deploy-time kernel plan");
+  EXPECT_NE(item.body.find(s), std::string::npos) << item.body;
+  EXPECT_NE(item.body.find("SX_KERNEL_REFERENCE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sx::tensor::kernels

@@ -25,6 +25,14 @@
 //   recursion          direct self-recursion without an explicit
 //                      `// sxlint: allow(recursion)` bound marker —
 //                      unbounded stack demand is unverifiable.
+//   hot-path-alloc     dynamic allocation in the hot-kernel files
+//                      (src/tensor/** and src/dl/plan.*): container
+//                      growth calls (push_back/resize/reserve/...),
+//                      make_unique/make_shared, and raw `new`. The kernel
+//                      plan's contract is that every byte is owned at
+//                      deploy time; the few legitimate configuration-time
+//                      allocations (the arena's backing store, the plan's
+//                      tables/panels) carry reviewed inline waivers.
 //
 // Waivers: an inline `// sxlint: allow(<rule>)` on the offending line, or a
 // per-directory entry in kAllowlist below. Both are part of the reviewed
@@ -82,6 +90,13 @@ const std::set<std::string> kConsoleCalls = {"printf", "fprintf", "sprintf",
 
 const std::set<std::string> kBannedIncludes = {"iostream", "cstdio",
                                                "stdio.h"};
+
+// Container growth / ownership-taking calls that mean dynamic allocation
+// when they appear in a hot-kernel file.
+const std::set<std::string> kHotAllocCalls = {
+    "push_back", "emplace_back", "resize",      "reserve",
+    "insert",    "emplace",      "assign",      "shrink_to_fit",
+    "make_unique", "make_shared"};
 
 bool ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
@@ -185,6 +200,18 @@ bool is_runtime_path(const fs::path& p) {
   for (const auto& part : p)
     if (kRuntimeDirs.count(part.string()) != 0) return true;
   return false;
+}
+
+/// Hot-kernel files under the zero-allocation contract: everything in a
+/// tensor/ directory, plus the kernel plan (dl/plan.*).
+bool is_hot_path(const fs::path& p) {
+  bool in_dl = false;
+  for (const auto& part : p) {
+    const std::string s = part.string();
+    if (s == "tensor") return true;
+    if (s == "dl") in_dl = true;
+  }
+  return in_dl && p.stem().string() == "plan";
 }
 
 bool allowlisted(const std::string& file, const std::string& rule) {
@@ -300,6 +327,7 @@ class Linter {
     const StrippedSource s = strip(raw);
     const std::string file = path.generic_string();
     const bool runtime = is_runtime_path(path);
+    const bool hot = is_hot_path(path);
     ++files_;
 
     check_includes(file, raw, s, runtime);
@@ -307,6 +335,7 @@ class Linter {
     check_heap_exprs(file, s, runtime);
     check_noexcept_throw(file, s);
     check_recursion(file, s);
+    if (hot) check_hot_allocs(file, s);
   }
 
   void report(std::ostream& os) const {
@@ -420,6 +449,33 @@ class Linter {
           add(file, s, pos, "heap-expr",
               "raw `delete` expression in a runtime directory",
               "let std::unique_ptr / tensor::Arena own the lifetime");
+      }
+      pos = end;
+    }
+  }
+
+  void check_hot_allocs(const std::string& file, const StrippedSource& s) {
+    const std::string& t = s.text;
+    std::string ident;
+    std::size_t pos = 0;
+    while ((pos = next_ident(t, pos, &ident)) != std::string::npos) {
+      const std::size_t end = pos + ident.size();
+      const std::size_t after = skip_ws(t, end);
+      // make_unique<T>(...) / container.resize(...): a call (possibly
+      // through a template argument list) means allocation may happen.
+      const bool called =
+          after < t.size() && (t[after] == '(' || t[after] == '<');
+      if (called && kHotAllocCalls.count(ident) != 0) {
+        add(file, s, pos, "hot-path-alloc",
+            "dynamic allocation ('" + ident + "') in a hot-kernel file",
+            "size it at deploy time into plan-owned storage or the engine "
+            "arena; waive genuine configuration-time allocations inline");
+      } else if (ident == "new" && after < t.size() &&
+                 (ident_char(t[after]) || t[after] == '(')) {
+        add(file, s, pos, "hot-path-alloc",
+            "raw `new` expression in a hot-kernel file",
+            "own deploy-time memory via a waived make_unique; "
+            "inference-path memory via tensor::Arena");
       }
       pos = end;
     }

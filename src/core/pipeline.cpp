@@ -10,6 +10,15 @@
 #include "supervise/metrics.hpp"
 
 namespace sx::core {
+
+const char* to_string(BackendKind b) noexcept {
+  switch (b) {
+    case BackendKind::kFloat32: return "float32";
+    case BackendKind::kInt8: return "int8";
+  }
+  return "unknown";
+}
+
 namespace {
 
 std::unique_ptr<safety::InferenceChannel> make_channel(
@@ -47,9 +56,26 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
   }
   if (calibration.samples.empty())
     throw std::invalid_argument("CertifiablePipeline: empty calibration set");
+  if (cfg_.backend == BackendKind::kInt8 &&
+      spec_.pattern != PatternKind::kSingle &&
+      spec_.pattern != PatternKind::kMonitored)
+    throw std::invalid_argument(
+        "CertifiablePipeline: the int8 backend reaches the 'monitored' "
+        "pattern rung; DMR and above need float replicas");
 
   model_ = std::make_unique<dl::Model>(model);
   const std::size_t n_out = model_->output_shape().size();
+
+  // kInt8 backend: fold BatchNorm and quantize against the calibration
+  // set, here at deploy time (quantization is calibration, not service —
+  // a model the static gate later refuses still never serves traffic).
+  // Both the folded twin and the quantized model outlive the batch pool
+  // and the channel, which hold references into them.
+  if (cfg_.backend == BackendKind::kInt8) {
+    folded_ = std::make_unique<dl::Model>(dl::fold_batchnorm(*model_));
+    quant_ = std::make_unique<dl::QuantizedModel>(dl::QuantizedModel::quantize(
+        *folded_, calibration, dl::QuantConfig{cfg_.quant_granularity}));
+  }
 
   // Telemetry: registry, flight recorder and every metric name are fixed
   // here, at deploy time, before any component that binds counters exists
@@ -76,15 +102,31 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
     h_decision_ = obs_->histogram("sx_decision_cycles");
     watchdog_.bind_telemetry(obs_.get(), c_wd_overruns_);
     obs_->set(g_budget_, static_cast<double>(cfg_.timing_budget));
+    if (quant_) {
+      c_quant_sats_ = obs_->counter("sx_quant_saturations_total");
+      g_quant_bytes_ = obs_->gauge("sx_quant_weight_bytes");
+      h_qinfer_ = obs_->histogram("sx_stage_quant_inference_cycles");
+      obs_->set(g_quant_bytes_,
+                static_cast<double>(quant_->weight_bytes()));
+    }
   }
 
   // Deterministic batch executor: pool and per-worker arenas are planned
   // here, at deploy time — infer_batch() spawns nothing and allocates
-  // nothing on the inference path itself.
-  if (cfg_.batch_workers > 0)
-    batch_ = std::make_unique<dl::BatchRunner>(
-        *model_, dl::BatchRunnerConfig{.workers = cfg_.batch_workers,
-                                       .registry = obs_.get()});
+  // nothing on the inference path itself. Under the int8 backend the pool
+  // runs quantized per-worker engines sharing one QuantKernelPlan.
+  if (cfg_.batch_workers > 0) {
+    dl::BatchRunnerConfig bcfg;
+    bcfg.workers = cfg_.batch_workers;
+    bcfg.registry = obs_.get();
+    if (quant_) {
+      bcfg.arena_slack = cfg_.quant_engine.arena_slack;
+      bcfg.kernels = cfg_.quant_engine.kernels;
+      batch_ = std::make_unique<dl::BatchRunner>(*quant_, bcfg);
+    } else {
+      batch_ = std::make_unique<dl::BatchRunner>(*model_, bcfg);
+    }
+  }
 
   // Fallback logits: explicit, or one-hot on the conservative class.
   fallback_ = cfg_.fallback_logits;
@@ -115,6 +157,20 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
         odd_ ? odd_->spec() : trace::OddSpec{};
     verify_ = std::make_unique<verify::VerificationEvidence>(
         verify::verify_model(*model_, odd_spec));
+    // Int8 deployment evidence: static saturation margins per layer (the
+    // runtime clip counters are cross-checked against these — see
+    // quant_saturation_cross_check) and an independent re-derivation of
+    // the quantized engine's byte-arena demand. An inconsistent byte
+    // arena refuses the deployment exactly like a float arena mismatch.
+    if (quant_) {
+      verify_->quant =
+          verify::check_quant_saturation(*folded_, *quant_, odd_spec);
+      verify_->quant_arena =
+          verify::check_quant_arena(*quant_, cfg_.quant_engine);
+      verify_->quant_checked = true;
+      if (!verify_->quant_arena.consistent)
+        verify_->verdict.arena_consistent = false;
+    }
     verify_refused_ = !verify_->verdict.passed();
   }
 
@@ -157,7 +213,20 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
 
   // Inference channel, optionally wrapped in a safety bag.
   if (!verify_refused_) {
-    auto inner = make_channel(spec_.pattern, *model_, calibration);
+    std::unique_ptr<safety::InferenceChannel> inner;
+    if (quant_) {
+      // Int8 rung of the pattern ladder: bare engine at kSingle, envelope
+      // monitor at kMonitored. The folded float twin is the channel's
+      // fault-injection replica.
+      const safety::MonitorConfig mon{};
+      auto qc = std::make_unique<safety::QuantChannel>(
+          *folded_, *quant_, cfg_.quant_engine,
+          spec_.pattern == PatternKind::kMonitored ? &mon : nullptr);
+      qchannel_ = qc.get();
+      inner = std::move(qc);
+    } else {
+      inner = make_channel(spec_.pattern, *model_, calibration);
+    }
     if (spec_.has_safety_bag) {
       channel_ = std::make_unique<safety::SafetyBagChannel>(
           std::move(inner), supervisor_ ? model_.get() : nullptr,
@@ -174,7 +243,8 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
   card_ = trace::make_model_card(
       "safexplain-pipeline", "1.0", *model_, calibration,
       "criticality=" + std::string(trace::to_string(cfg_.criticality)) +
-          " pattern=" + to_string(spec_.pattern),
+          " pattern=" + to_string(spec_.pattern) +
+          " backend=" + to_string(cfg_.backend),
       /*validation_accuracy=*/0.0,
       "inputs within fitted ODD; see safety case");
 
@@ -183,11 +253,37 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
                 "model=" + card_.model_hash +
                     " criticality=" +
                     std::string(trace::to_string(cfg_.criticality)) +
-                    " pattern=" + to_string(spec_.pattern));
+                    " pattern=" + to_string(spec_.pattern) +
+                    " backend=" + to_string(cfg_.backend));
   if (verify_)
     audit_.append(0, "static-verify",
                   verify_refused_ ? "refuse-model" : "pass",
                   verify_->verdict_line());
+  if (qchannel_ != nullptr && qchannel_->kernel_plan() != nullptr)
+    audit_.append(0, "quant-plan", "deploy",
+                  qchannel_->kernel_plan()->summary());
+}
+
+std::uint64_t CertifiablePipeline::quant_saturation_total() const noexcept {
+  std::uint64_t n = 0;
+  if (qchannel_ != nullptr) n += qchannel_->saturation_total();
+  if (batch_ && batch_->quantized()) n += batch_->saturation_count();
+  return n;
+}
+
+verify::SaturationCrossCheck
+CertifiablePipeline::quant_saturation_cross_check() const {
+  if (!quant_ || !verify_ || verify_->quant.empty())
+    throw std::logic_error(
+        "quant_saturation_cross_check: deploy with backend=kInt8 and a "
+        "spec demanding static verification");
+  std::vector<std::uint64_t> measured(quant_->layer_count(), 0);
+  if (qchannel_ != nullptr) {
+    const auto cs = qchannel_->engine().saturation_counts();
+    for (std::size_t i = 0; i < cs.size(); ++i) measured[i] += cs[i];
+  }
+  if (batch_ && batch_->quantized()) batch_->saturation_counts_into(measured);
+  return verify::cross_check_saturation(verify_->quant, measured);
 }
 
 double CertifiablePipeline::supervisor_score(const tensor::Tensor& input) {
@@ -285,6 +381,8 @@ Decision CertifiablePipeline::infer(const tensor::Tensor& input,
   if (obs_) {
     const std::uint64_t t1 = obs_->now();
     obs_->observe(h_infer_, t1 >= t_inf ? t1 - t_inf : 0);
+    if (qchannel_ != nullptr)
+      obs_->observe(h_qinfer_, t1 >= t_inf ? t1 - t_inf : 0);
     obs_span(obs::Stage::kInference, st, channel_->last_degraded(), t_inf,
              t1);
   }
@@ -437,6 +535,16 @@ std::vector<Decision> CertifiablePipeline::infer_batch(
                              std::string(to_string(st)));
   }
 
+  // Quantized pool: push the clips this dispatch added, so the telemetry
+  // counter mirrors the pool's deterministic total.
+  if (obs_ && batch_->quantized()) {
+    const std::uint64_t total = batch_->saturation_count();
+    if (total > reported_batch_sats_) {
+      obs_->add(c_quant_sats_, total - reported_batch_sats_);
+      reported_batch_sats_ = total;
+    }
+  }
+
   // Per-item decision, supervision, drift tracking and audit, serially in
   // batch-index order — the audit chain is identical for every worker
   // count because nothing here depends on the parallel schedule.
@@ -496,6 +604,7 @@ std::vector<Decision> CertifiablePipeline::infer_batch(
     if (obs_) {
       const std::uint64_t t1 = obs_->now();
       obs_->observe(h_infer_, item_elapsed[i]);
+      if (batch_->quantized()) obs_->observe(h_qinfer_, item_elapsed[i]);
       obs_span(obs::Stage::kInference, engine_status[i],
                !ok(engine_status[i]), t1, t1 + item_elapsed[i]);
     }

@@ -28,8 +28,29 @@
 
 namespace sx::core {
 
+/// Deployment backend for the inference channel (pillar 3).
+///
+/// kFloat32 serves the planned float StaticEngine stack. kInt8 folds
+/// BatchNorm, quantizes the model against the calibration set and serves
+/// traffic through the planned int8 engine (safety::QuantChannel, wrapped
+/// in the safety bag when the spec demands one); infer_batch() dispatches
+/// to quantized per-worker engines sharing one QuantKernelPlan. The int8
+/// ladder currently reaches the "monitored" rung, so kInt8 is admissible
+/// up to SIL2; stronger patterns (DMR and above) need float replicas and
+/// reject the backend at deploy time.
+enum class BackendKind : std::uint8_t { kFloat32, kInt8 };
+
+const char* to_string(BackendKind b) noexcept;
+
 struct PipelineConfig {
   Criticality criticality = Criticality::kQM;
+  /// Inference backend (see BackendKind).
+  BackendKind backend = BackendKind::kFloat32;
+  /// Weight-scale granularity of the kInt8 backend.
+  dl::WeightGranularity quant_granularity = dl::WeightGranularity::kPerChannel;
+  /// Engine knobs of the kInt8 backend (kernel mode, arena slack) —
+  /// forwarded to the channel engine and the quantized batch pool.
+  dl::QuantEngineConfig quant_engine;
   /// When unset, the spec recommended for `criticality` is used.
   std::optional<PipelineSpec> spec;
   /// Conservative logits substituted by the safety bag. Empty = one-hot on
@@ -145,6 +166,28 @@ class CertifiablePipeline {
   /// without running the DL component.
   bool verification_refused() const noexcept { return verify_refused_; }
 
+  BackendKind backend() const noexcept { return cfg_.backend; }
+
+  /// The deployed quantized model (null unless backend() == kInt8).
+  const dl::QuantizedModel* quantized_model() const noexcept {
+    return quant_.get();
+  }
+  /// The int8 inference channel (null unless backend() == kInt8 and the
+  /// pipeline deployed; points inside channel_ / the safety bag).
+  const safety::QuantChannel* quant_channel() const noexcept {
+    return qchannel_;
+  }
+  /// Requantization clips observed so far across the int8 channel and the
+  /// quantized batch pool (0 for the float backend). Deterministic:
+  /// depends only on the served inputs.
+  std::uint64_t quant_saturation_total() const noexcept;
+
+  /// Cross-checks the static saturation-margin verdicts (computed at
+  /// deploy time into static_verification()->quant) against the measured
+  /// runtime clip counters of the int8 channel. Throws std::logic_error
+  /// unless the pipeline deployed with kInt8 and static verification.
+  verify::SaturationCrossCheck quant_saturation_cross_check() const;
+
  private:
   /// Counts `id` (no-op when telemetry is off).
   void obs_count(obs::CounterId id) noexcept {
@@ -167,12 +210,19 @@ class CertifiablePipeline {
   PipelineConfig cfg_;
   PipelineSpec spec_;
   std::unique_ptr<dl::Model> model_;  // deployed copy
+  // kInt8 backend: the BatchNorm-folded float twin (layer indices align
+  // with the quantized model — verification and fault injection need it)
+  // and the quantized deployment itself. Declared before batch_/channel_,
+  // which hold references into them.
+  std::unique_ptr<dl::Model> folded_;
+  std::unique_ptr<dl::QuantizedModel> quant_;
   // Telemetry must outlive (and be registered before) every component that
   // binds counters into it — the batch pool in particular.
   std::unique_ptr<obs::Registry> obs_;
   std::unique_ptr<obs::FlightRecorder> fdr_;
   std::unique_ptr<dl::BatchRunner> batch_;
   std::unique_ptr<safety::InferenceChannel> channel_;
+  safety::QuantChannel* qchannel_ = nullptr;  // view into channel_ (kInt8)
   std::unique_ptr<supervise::Supervisor> supervisor_;
   supervise::MahalanobisSupervisor* mahal_ = nullptr;  // concrete view
   // Tap-capable engine + preallocated buffers feeding the supervisor its
@@ -210,6 +260,11 @@ class CertifiablePipeline {
   obs::HistogramId h_infer_{};
   obs::HistogramId h_sup_{};
   obs::HistogramId h_decision_{};
+  // kInt8 backend telemetry.
+  obs::CounterId c_quant_sats_{};
+  obs::GaugeId g_quant_bytes_{};
+  obs::HistogramId h_qinfer_{};
+  std::uint64_t reported_batch_sats_ = 0;  // batch clips already pushed
 };
 
 }  // namespace sx::core

@@ -125,11 +125,76 @@ EvidenceItem make_batch_runner_evidence(const dl::BatchRunner& runner) {
   if (const dl::KernelPlan* plan = runner.kernel_plan(); plan != nullptr) {
     os << "kernel plan (shared read-only across workers): "
        << plan->summary() << "\n";
+  } else if (const dl::QuantKernelPlan* qp = runner.quant_kernel_plan();
+             qp != nullptr) {
+    os << "int8 kernel plan (shared read-only across workers): "
+       << qp->summary() << "\n"
+       << "requantization clips: " << runner.saturation_count()
+       << " (sum over static shard order => schedule-independent)\n";
+  } else if (runner.quantized()) {
+    os << "int8 kernel plan: reference loops (SX_KERNEL_REFERENCE or "
+          "explicit kReference); requantization clips: "
+       << runner.saturation_count() << "\n";
   } else {
     os << "kernel plan: reference loops (SX_KERNEL_REFERENCE or explicit "
           "kReference)\n";
   }
   return EvidenceItem{"Deterministic batch execution", os.str()};
+}
+
+EvidenceItem make_quant_backend_evidence(const CertifiablePipeline& pipeline) {
+  if (pipeline.backend() != BackendKind::kInt8)
+    throw std::logic_error(
+        "make_quant_backend_evidence: pipeline deployed with float backend");
+  const dl::QuantizedModel* qm = pipeline.quantized_model();
+  const safety::QuantChannel* qc = pipeline.quant_channel();
+  std::ostringstream os;
+  os << "backend: int8 (BatchNorm folded, quantized against the "
+        "calibration set at deploy time)\n"
+     << "granularity: "
+     << (qm->granularity() == dl::WeightGranularity::kPerChannel
+             ? "per-channel weight scales"
+             : "per-tensor weight scales")
+     << ", weight footprint: " << qm->weight_bytes() << " bytes\n";
+  if (qc != nullptr) {
+    if (const dl::QuantKernelPlan* plan = qc->kernel_plan();
+        plan != nullptr) {
+      os << "kernel plan: " << plan->summary() << "\n"
+         << "  panels, im2col tables and scratch are planned at deploy "
+            "time; the int8 hot\n"
+         << "  path is noexcept, allocation-free, and accumulates each "
+            "output in the\n"
+         << "  reference order => planned and reference runs are bitwise "
+            "identical\n";
+    } else {
+      os << "kernel plan: reference loops (SX_KERNEL_REFERENCE or explicit "
+            "kReference)\n";
+    }
+    os << "channel arena: " << qc->engine().arena_high_water_mark() << "/"
+       << qc->engine().arena_capacity() << " bytes, pattern: "
+       << qc->pattern_name() << "\n";
+  }
+  os << "requantization clips observed: " << pipeline.quant_saturation_total()
+     << " (channel + batch pool, deterministic in the served inputs)\n";
+  if (const auto* sv = pipeline.static_verification();
+      sv != nullptr && sv->quant_checked) {
+    os << "byte-arena re-check: required=" << sv->quant_arena.required_bytes
+       << " planned=" << sv->quant_arena.planned_bytes << " => "
+       << (sv->quant_arena.consistent ? "CONSISTENT" : "MISMATCH") << "\n";
+    if (!sv->quant.empty()) {
+      const verify::SaturationCrossCheck xc =
+          pipeline.quant_saturation_cross_check();
+      os << "saturation cross-check: " << xc.layers_checked << " layers ("
+         << xc.statically_safe << " statically safe, " << xc.flagged
+         << " flagged), measured clips: " << xc.measured_total
+         << ", violations: " << xc.violations << " => "
+         << (xc.consistent ? "CONSISTENT" : "VIOLATED") << "\n"
+         << "  (a statically-safe layer must never clip at runtime; a "
+            "flagged layer that\n"
+         << "  never clipped is expected conservatism)\n";
+    }
+  }
+  return EvidenceItem{"Int8 backend (quantized kernel plans)", os.str()};
 }
 
 EvidenceItem make_kernel_plan_evidence(const dl::KernelPlan& plan) {

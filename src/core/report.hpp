@@ -53,6 +53,14 @@ EvidenceItem make_batch_runner_evidence(const dl::BatchRunner& runner);
 /// argument. Attach to make_certification_report's evidence list.
 EvidenceItem make_kernel_plan_evidence(const dl::KernelPlan& plan);
 
+/// Evidence for the int8 deployment (pillar 3): quantization granularity
+/// and footprint, the deploy-time quantized kernel plan, the independent
+/// byte-arena re-check, runtime requantization-clip counters, and — when
+/// the spec demanded static verification — the cross-check of the static
+/// saturation-margin verdicts against the measured counters. Throws
+/// std::logic_error unless pipeline.backend() == BackendKind::kInt8.
+EvidenceItem make_quant_backend_evidence(const CertifiablePipeline& pipeline);
+
 /// Evidence for the static verification pass: verdict, arena re-check and
 /// per-layer output intervals (plus int8 saturation margins when present).
 /// Attach to make_certification_report's evidence list.

@@ -16,6 +16,7 @@ double micros_between(std::chrono::steady_clock::time_point t0,
 BatchRunner::BatchRunner(const Model& model, BatchRunnerConfig cfg)
     : model_(&model),
       cfg_(cfg),
+      in_shape_(model.input_shape()),
       in_size_(model.input_shape().size()),
       out_size_(model.output_shape().size()) {
   if (cfg_.workers == 0)
@@ -50,6 +51,45 @@ BatchRunner::BatchRunner(const Model& model, BatchRunnerConfig cfg)
     w.engine = plan_ != nullptr
                    ? std::make_unique<StaticEngine>(model, *plan_, engine_cfg)
                    : std::make_unique<StaticEngine>(model, engine_cfg);
+  for (std::size_t i = 0; i < pool_.size(); ++i)
+    pool_[i].thread = std::thread(&BatchRunner::worker_main, this, i);
+}
+
+BatchRunner::BatchRunner(const QuantizedModel& model, BatchRunnerConfig cfg)
+    : qmodel_(&model),
+      cfg_(cfg),
+      in_shape_(model.input_shape()),
+      in_size_(model.input_shape().size()),
+      out_size_(model.output_shape().size()) {
+  if (cfg_.workers == 0)
+    throw std::invalid_argument("BatchRunner: workers must be >= 1");
+  if (cfg_.max_batch == 0)
+    throw std::invalid_argument("BatchRunner: max_batch must be >= 1");
+  if (model.layer_count() == 0)
+    throw std::invalid_argument("BatchRunner: quantized model is empty");
+
+  fault_log_.reserve(cfg_.max_batch);
+
+  if (cfg_.registry != nullptr) {
+    items_id_ = cfg_.registry->counter("sx_batch_items_total");
+    faults_id_ = cfg_.registry->counter("sx_batch_numeric_faults_total");
+    clock_ = cfg_.registry->config().clock;
+  }
+
+  // Same discipline as the float pool: one shared read-only
+  // QuantKernelPlan, one private QuantEngine (byte arena + saturation
+  // counters) per worker. check_numeric_faults is meaningless for int8
+  // and intentionally not forwarded.
+  pool_.resize(cfg_.workers);
+  const QuantEngineConfig engine_cfg{.arena_slack = cfg_.arena_slack,
+                                     .kernels = cfg_.kernels};
+  const KernelMode mode = resolve_kernel_mode(cfg_.kernels);
+  if (mode != KernelMode::kReference)
+    qplan_ = std::make_unique<QuantKernelPlan>(model, mode);
+  for (auto& w : pool_)
+    w.qengine = qplan_ != nullptr
+                    ? std::make_unique<QuantEngine>(model, *qplan_, engine_cfg)
+                    : std::make_unique<QuantEngine>(model, engine_cfg);
   for (std::size_t i = 0; i < pool_.size(); ++i)
     pool_[i].thread = std::thread(&BatchRunner::worker_main, this, i);
 }
@@ -133,17 +173,19 @@ void BatchRunner::worker_main(std::size_t w) noexcept {
     for (std::size_t i = w; i < job.count; i += stride) {
       const tensor::ConstTensorView in{
           std::span<const float>(job.inputs + i * in_size_, in_size_),
-          model_->input_shape()};
+          in_shape_};
       const std::span<float> out{job.outputs + i * out_size_, out_size_};
       if (job.elapsed != nullptr) {
         // Per-item timing lands in the batch-indexed slot; the caller
         // consumes it serially, so histogram order is schedule-free.
         const std::uint64_t c0 = clock_();
-        job.statuses[i] = me.engine->run(in, out);
+        job.statuses[i] = me.qengine != nullptr ? me.qengine->run(in, out)
+                                                : me.engine->run(in, out);
         const std::uint64_t c1 = clock_();
         job.elapsed[i] = c1 >= c0 ? c1 - c0 : 0;
       } else {
-        job.statuses[i] = me.engine->run(in, out);
+        job.statuses[i] = me.qengine != nullptr ? me.qengine->run(in, out)
+                                                : me.engine->run(in, out);
       }
       ++me.items;
       if (obs != nullptr) {
@@ -164,14 +206,34 @@ void BatchRunner::worker_main(std::size_t w) noexcept {
 
 std::uint64_t BatchRunner::run_count() const noexcept {
   std::uint64_t n = 0;
-  for (const auto& w : pool_) n += w.engine->run_count();
+  for (const auto& w : pool_)
+    n += w.qengine != nullptr ? w.qengine->run_count()
+                              : w.engine->run_count();
   return n;
 }
 
 std::uint64_t BatchRunner::numeric_fault_count() const noexcept {
   std::uint64_t n = 0;
-  for (const auto& w : pool_) n += w.engine->numeric_fault_count();
+  for (const auto& w : pool_)
+    if (w.engine != nullptr) n += w.engine->numeric_fault_count();
+  return n;  // int8 workers cannot raise numeric faults
+}
+
+std::uint64_t BatchRunner::saturation_count() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& w : pool_)
+    if (w.qengine != nullptr) n += w.qengine->saturation_total();
   return n;
+}
+
+void BatchRunner::saturation_counts_into(
+    std::span<std::uint64_t> acc) const noexcept {
+  for (const auto& w : pool_) {
+    if (w.qengine == nullptr) continue;
+    const auto cs = w.qengine->saturation_counts();
+    const std::size_t n = cs.size() < acc.size() ? cs.size() : acc.size();
+    for (std::size_t i = 0; i < n; ++i) acc[i] += cs[i];
+  }
 }
 
 BatchWorkerStats BatchRunner::worker_stats(std::size_t w) const {
@@ -179,11 +241,18 @@ BatchWorkerStats BatchRunner::worker_stats(std::size_t w) const {
   BatchWorkerStats s;
   s.batches = src.batches;
   s.items = src.items;
-  s.runs = src.engine->run_count();
-  s.faults = src.engine->numeric_fault_count();
+  if (src.qengine != nullptr) {
+    s.runs = src.qengine->run_count();
+    s.faults = 0;  // int8 workers cannot raise numeric faults
+    s.arena_high_water_mark = src.qengine->arena_high_water_mark();
+    s.arena_capacity = src.qengine->arena_capacity();
+  } else {
+    s.runs = src.engine->run_count();
+    s.faults = src.engine->numeric_fault_count();
+    s.arena_high_water_mark = src.engine->arena_high_water_mark();
+    s.arena_capacity = src.engine->arena_capacity();
+  }
   s.busy_micros = src.busy_micros;
-  s.arena_high_water_mark = src.engine->arena_high_water_mark();
-  s.arena_capacity = src.engine->arena_capacity();
   return s;
 }
 

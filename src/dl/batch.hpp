@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "dl/engine.hpp"
+#include "dl/qplan.hpp"
 #include "obs/registry.hpp"
 
 namespace sx::dl {
@@ -79,6 +80,13 @@ class BatchRunner {
   /// invalid configuration (configuration-time API). The model must
   /// outlive the runner.
   explicit BatchRunner(const Model& model, BatchRunnerConfig cfg = {});
+  /// Quantized variant: every worker owns a private QuantEngine sharing
+  /// one QuantKernelPlan, with the same static round-robin partition — so
+  /// outputs *and* per-layer saturation counters are bitwise identical
+  /// across worker counts and schedules. The quantized model must outlive
+  /// the runner. (check_numeric_faults is ignored: int8 arithmetic cannot
+  /// produce a NaN/Inf.)
+  explicit BatchRunner(const QuantizedModel& model, BatchRunnerConfig cfg = {});
   ~BatchRunner();
 
   BatchRunner(const BatchRunner&) = delete;
@@ -124,8 +132,24 @@ class BatchRunner {
   BatchWorkerStats worker_stats(std::size_t w) const;
 
   /// The kernel plan shared by every worker engine (nullptr when the
-  /// resolved mode is kReference).
+  /// resolved mode is kReference or the runner is quantized).
   const KernelPlan* kernel_plan() const noexcept { return plan_.get(); }
+
+  /// True when built over a QuantizedModel (int8 worker engines).
+  bool quantized() const noexcept { return qmodel_ != nullptr; }
+  /// The quantized kernel plan shared by every worker engine (nullptr when
+  /// the runner is float or the resolved mode is kReference).
+  const QuantKernelPlan* quant_kernel_plan() const noexcept {
+    return qplan_.get();
+  }
+  /// Total requantization clips across all workers (quantized runners
+  /// only; 0 otherwise). Depends only on the inputs and the static
+  /// partition, never on the schedule.
+  std::uint64_t saturation_count() const noexcept;
+  /// Adds each quantized layer's clip count (summed across workers) into
+  /// `acc[layer]`; slots past the model's layer count are left untouched.
+  /// No-op for float runners.
+  void saturation_counts_into(std::span<std::uint64_t> acc) const noexcept;
 
   /// Wall-clock time of the most recent run() and total across runs (µs).
   double last_batch_micros() const noexcept { return last_micros_; }
@@ -135,7 +159,8 @@ class BatchRunner {
 
  private:
   struct Worker {
-    std::unique_ptr<StaticEngine> engine;
+    std::unique_ptr<StaticEngine> engine;   ///< float runners
+    std::unique_ptr<QuantEngine> qengine;   ///< quantized runners
     std::thread thread;
     std::uint64_t batches = 0;
     std::uint64_t items = 0;
@@ -153,14 +178,17 @@ class BatchRunner {
 
   void worker_main(std::size_t w) noexcept;
 
-  const Model* model_;
+  const Model* model_ = nullptr;            ///< float runners
+  const QuantizedModel* qmodel_ = nullptr;  ///< quantized runners
   BatchRunnerConfig cfg_;
+  Shape in_shape_{};
   std::size_t in_size_ = 0;
   std::size_t out_size_ = 0;
 
   // Declared before pool_: worker engines hold references into the plan,
   // so it must outlive them (members destroy in reverse order).
   std::unique_ptr<KernelPlan> plan_;
+  std::unique_ptr<QuantKernelPlan> qplan_;
   std::vector<Worker> pool_;
   std::vector<BatchFaultEvent> fault_log_;  // reserved to max_batch
 

@@ -1,0 +1,326 @@
+#include "dl/qplan.hpp"
+
+#include <sstream>
+
+namespace sx::dl {
+
+namespace k = tensor::kernels;
+namespace qk = tensor::qkernels;
+
+namespace {
+
+/// Static geometry of quantized conv layer i (input shape = activation
+/// before it). Identical to the float plan's conv_geom — the geometry and
+/// index tables are element-type-agnostic.
+k::Conv2dGeom qconv_geom(const QuantizedModel& m, std::size_t i,
+                         const QuantizedModel::QLayerView& v) {
+  const Shape& in = i == 0 ? m.input_shape() : m.activation_shape(i - 1);
+  k::Conv2dGeom g;
+  g.in_c = v.in_c;
+  g.in_h = in.dim(1);
+  g.in_w = in.dim(2);
+  g.out_c = v.out_c;
+  g.k = v.k;
+  g.stride = v.stride;
+  g.pad = v.pad;
+  return g;
+}
+
+}  // namespace
+
+QuantKernelPlan::QuantKernelPlan(const QuantizedModel& model, KernelMode mode)
+    : model_(&model), mode_(mode) {
+  const std::size_t n = model.layer_count();
+
+  // Pass 1: size the deploy-time storage from the static shapes alone.
+  std::size_t table_u32 = 0;  // pix_off arrays + in_idx + w_ofs
+  for (std::size_t i = 0; i < n; ++i) {
+    const QuantizedModel::QLayerView v = model.layer_view(i);
+    if (v.kind == LayerKind::kConv2d) {
+      const k::Conv2dGeom g = qconv_geom(model, i, v);
+      const std::size_t entries = k::im2col_entries(g);
+      table_u32 += (g.opix() + 1) + 2 * entries;
+      table_entries_ += entries;
+      scratch_bytes_ = scratch_bytes_ > entries ? scratch_bytes_ : entries;
+      if (mode_ == KernelMode::kPacked)
+        panel_bytes_ += qk::qconv_panel_bytes(g.out_c, g.patch());
+    } else if (mode_ == KernelMode::kPacked && v.kind == LayerKind::kDense) {
+      panel_bytes_ += qk::qdense_panel_bytes(v.out_dim, v.in_dim);
+    }
+  }
+
+  // Configuration-time storage, allocated exactly once per deployment;
+  // the hot path only ever reads it.
+  steps_ = std::make_unique<QuantKernelStep[]>(n);  // sxlint: allow(hot-path-alloc) deploy-time plan storage
+  if (table_u32 != 0)
+    tables_ = std::make_unique<std::uint32_t[]>(table_u32);  // sxlint: allow(hot-path-alloc) deploy-time im2col tables
+  if (panel_bytes_ != 0)
+    panels_ = std::make_unique<std::int8_t[]>(panel_bytes_);  // sxlint: allow(hot-path-alloc) deploy-time weight panels
+
+  // Pass 2: build steps, tables and panels.
+  std::size_t tu = 0, pb = 0;
+  for (std::size_t i = 0; i < n;) {
+    QuantKernelStep& s = steps_[step_count_++];
+    s.first_layer = i;
+    const QuantizedModel::QLayerView v = model.layer_view(i);
+    // The int8 path only ever fuses ReLU: quantize() admits no other
+    // activation, and int8 ReLU after the requantize clamp is exact.
+    const bool relu_next =
+        i + 1 < n && model.layer_view(i + 1).kind == LayerKind::kRelu;
+    const float in_scale =
+        i == 0 ? model.input_scale() : model.activation_scale(i - 1);
+
+    if (v.kind == LayerKind::kDense) {
+      s.kind = QuantKernelStep::Kind::kDense;
+      s.rows = v.out_dim;
+      s.cols = v.in_dim;
+      s.weights = v.weights.data();
+      s.rq = qk::Requant{.w_scales = v.w_scales.data(),
+                         .per_channel = v.w_scales.size() > 1,
+                         .bias = v.bias.data(),
+                         .in_scale = in_scale,
+                         .out_scale = v.out_scale,
+                         .relu = relu_next};
+      if (mode_ == KernelMode::kPacked) {
+        std::int8_t* panel = panels_.get() + pb;
+        qk::pack_qdense_panel(s.weights, s.rows, s.cols, panel);
+        s.panel = panel;
+        pb += qk::qdense_panel_bytes(s.rows, s.cols);
+      }
+      ++planned_dense_;
+    } else if (v.kind == LayerKind::kConv2d) {
+      const k::Conv2dGeom g = qconv_geom(model, i, v);
+      const std::size_t entries = k::im2col_entries(g);
+      std::uint32_t* pix_off = tables_.get() + tu;
+      std::uint32_t* in_idx = pix_off + (g.opix() + 1);
+      std::uint32_t* w_ofs = in_idx + entries;
+      k::build_im2col_tables(g, pix_off, in_idx, w_ofs);
+      tu += (g.opix() + 1) + 2 * entries;
+      s.kind = QuantKernelStep::Kind::kConv2d;
+      s.conv = k::ConvTables{.out_c = g.out_c,
+                             .patch = g.patch(),
+                             .opix = g.opix(),
+                             .pix_off = pix_off,
+                             .in_idx = in_idx,
+                             .w_ofs = w_ofs};
+      s.weights = v.weights.data();
+      s.rq = qk::Requant{.w_scales = v.w_scales.data(),
+                         .per_channel = v.w_scales.size() > 1,
+                         .bias = v.bias.data(),
+                         .in_scale = in_scale,
+                         .out_scale = v.out_scale,
+                         .relu = relu_next};
+      s.scratch = entries;
+      if (mode_ == KernelMode::kPacked) {
+        const std::size_t pbl = qk::qconv_panel_bytes(g.out_c, g.patch());
+        if (pbl != 0) {
+          std::int8_t* panel = panels_.get() + pb;
+          qk::pack_qconv_panel(s.weights, g.out_c, g.patch(), panel);
+          s.panel = panel;
+          pb += pbl;
+        }
+      }
+      ++planned_conv_;
+    } else if (v.kind == LayerKind::kFlatten) {
+      // The reference copies the bytes verbatim; the planned engine keeps
+      // the buffer and re-views it (same bits, one less pass).
+      s.kind = QuantKernelStep::Kind::kIdentity;
+      ++identity_;
+      ++i;
+      continue;
+    } else {
+      s.kind = QuantKernelStep::Kind::kReference;
+      ++reference_;
+      ++i;
+      continue;
+    }
+    if (relu_next) {
+      s.layer_span = 2;
+      ++fused_;
+      i += 2;
+    } else {
+      ++i;
+    }
+  }
+}
+
+void QuantKernelPlan::repack() noexcept {
+  if (mode_ != KernelMode::kPacked) return;
+  for (std::size_t i = 0; i < step_count_; ++i) {
+    QuantKernelStep& s = steps_[i];
+    if (s.panel == nullptr) continue;
+    if (s.kind == QuantKernelStep::Kind::kDense)
+      qk::pack_qdense_panel(s.weights, s.rows, s.cols,
+                            const_cast<std::int8_t*>(s.panel));
+    else if (s.kind == QuantKernelStep::Kind::kConv2d)
+      qk::pack_qconv_panel(s.weights, s.conv.out_c, s.conv.patch,
+                           const_cast<std::int8_t*>(s.panel));
+  }
+}
+
+std::string QuantKernelPlan::summary() const {
+  std::ostringstream os;
+  os << "mode=" << kernel_mode_name(mode_) << " steps=" << step_count_ << "/"
+     << model_->layer_count() << " layers (dense=" << planned_dense_
+     << " conv=" << planned_conv_ << " fused-relu=" << fused_
+     << " identity=" << identity_ << " reference=" << reference_
+     << "), im2col entries=" << table_entries_
+     << ", scratch=" << scratch_bytes_ << " bytes, panels=" << panel_bytes_
+     << " bytes";
+  return os.str();
+}
+
+namespace {
+
+std::unique_ptr<QuantKernelPlan> make_owned_qplan(const QuantizedModel& model,
+                                                  KernelMode resolved) {
+  if (resolved == KernelMode::kReference) return nullptr;
+  return std::make_unique<QuantKernelPlan>(model, resolved);  // sxlint: allow(hot-path-alloc) deploy-time plan construction
+}
+
+/// Largest activation in bytes (int8: one byte per element), input
+/// included — both ping-pong buffers must fit any of them.
+std::size_t max_activation_bytes(const QuantizedModel& m) {
+  std::size_t mx = m.input_shape().size();
+  for (std::size_t i = 0; i < m.layer_count(); ++i) {
+    const std::size_t s = m.activation_shape(i).size();
+    mx = mx > s ? mx : s;
+  }
+  return mx;
+}
+
+std::size_t planned_capacity(const QuantizedModel& m,
+                             const QuantKernelPlan* plan,
+                             const QuantEngineConfig& cfg) {
+  const std::size_t scratch = plan != nullptr ? plan->scratch_bytes() : 0;
+  return 2 * max_activation_bytes(m) + scratch + cfg.arena_slack;
+}
+
+}  // namespace
+
+QuantEngine::QuantEngine(const QuantizedModel& model, QuantEngineConfig cfg)
+    : model_(&model),
+      cfg_(cfg),
+      owned_plan_(make_owned_qplan(model, resolve_kernel_mode(cfg.kernels))),
+      plan_(owned_plan_.get()),
+      arena_(planned_capacity(model, owned_plan_.get(), cfg)) {
+  init();
+}
+
+QuantEngine::QuantEngine(const QuantizedModel& model,
+                         const QuantKernelPlan& plan, QuantEngineConfig cfg)
+    : model_(&model),
+      cfg_(cfg),
+      plan_(&plan),
+      arena_(planned_capacity(model, &plan, cfg)) {
+  init();
+}
+
+void QuantEngine::init() {
+  // Configuration time: cache every static size and scale so the noexcept
+  // hot path never touches a throwing accessor, then carve the byte arena.
+  layer_count_ = model_->layer_count();
+  in_size_ = model_->input_shape().size();
+  in_scale_ = model_->input_scale();
+  if (layer_count_ != 0) {
+    out_size_ = model_->output_shape().size();
+    final_scale_ = model_->activation_scale(layer_count_ - 1);
+  }
+  act_sizes_ = std::make_unique<std::size_t[]>(layer_count_);  // sxlint: allow(hot-path-alloc) configuration-time size cache
+  sat_counts_ = std::make_unique<std::uint64_t[]>(layer_count_);  // sxlint: allow(hot-path-alloc) configuration-time counters (value-initialized to zero)
+  for (std::size_t i = 0; i < layer_count_; ++i)
+    act_sizes_[i] = model_->activation_shape(i).size();
+
+  const std::size_t mx = max_activation_bytes(*model_);
+  ping_ = arena_.alloc(mx);
+  pong_ = arena_.alloc(mx);
+  const std::size_t sb = plan_ != nullptr ? plan_->scratch_bytes() : 0;
+  if (sb != 0) scratch_ = arena_.alloc(sb);
+}
+
+Status QuantEngine::run(tensor::ConstTensorView input,
+                        std::span<float> output) noexcept {
+  if (layer_count_ == 0) return Status::kNotReady;
+  if (input.shape != model_->input_shape() || !input.valid())
+    return Status::kShapeMismatch;
+  if (output.size() != out_size_) return Status::kShapeMismatch;
+  if (ping_.empty() || pong_.empty()) return Status::kArenaExhausted;
+
+  // Quantize the input exactly as the reference run() does (clips at the
+  // input are uncounted there too, so the counters stay comparable).
+  for (std::size_t i = 0; i < in_size_; ++i)
+    ping_[i] = quantize_value(input.data[i], in_scale_);
+
+  return plan_ != nullptr ? run_planned(output) : run_reference(output);
+}
+
+Status QuantEngine::run_reference(std::span<float> output) noexcept {
+  // Ping-pong between the two arena buffers, one reference layer at a
+  // time — byte-for-byte the loop inside QuantizedModel::run.
+  const std::int8_t* cur = ping_.data();
+  bool dst_ping = false;  // the input occupies ping_; first output -> pong_
+  for (std::size_t i = 0; i < layer_count_; ++i) {
+    std::int8_t* dst = dst_ping ? ping_.data() : pong_.data();
+    const std::size_t in_sz = i == 0 ? in_size_ : act_sizes_[i - 1];
+    const Status st = model_->apply_layer(
+        i, {cur, in_sz}, {dst, act_sizes_[i]}, &sat_counts_[i]);
+    if (!ok(st)) return st;
+    cur = dst;
+    dst_ping = !dst_ping;
+  }
+  for (std::size_t i = 0; i < out_size_; ++i)
+    output[i] = static_cast<float>(cur[i]) * final_scale_;
+  ++runs_;
+  return Status::kOk;
+}
+
+Status QuantEngine::run_planned(std::span<float> output) noexcept {
+  const std::int8_t* cur = ping_.data();
+  bool dst_ping = false;  // the input occupies ping_; first output -> pong_
+  for (const QuantKernelStep& s : plan_->steps()) {
+    if (s.kind == QuantKernelStep::Kind::kIdentity) {
+      // Flatten: same bytes under a flattened shape — keep the buffer.
+      continue;
+    }
+    std::int8_t* dst = dst_ping ? ping_.data() : pong_.data();
+    std::uint64_t* sat = &sat_counts_[s.first_layer];
+    switch (s.kind) {
+      case QuantKernelStep::Kind::kDense:
+        if (s.panel != nullptr)
+          tensor::qkernels::qmatvec_packed(s.panel, s.rows, s.cols, cur,
+                                           s.rq, dst, sat);
+        else
+          tensor::qkernels::qmatvec_blocked(s.weights, s.rows, s.cols, cur,
+                                            s.rq, dst, sat);
+        break;
+      case QuantKernelStep::Kind::kConv2d:
+        tensor::qkernels::im2col_gather_i8(cur, s.conv.in_idx, s.scratch,
+                                           scratch_.data());
+        if (s.panel != nullptr)
+          tensor::qkernels::qconv2d_im2col_packed(
+              s.panel, s.weights, s.conv, scratch_.data(), s.rq, dst, sat);
+        else
+          tensor::qkernels::qconv2d_im2col(s.weights, s.conv, scratch_.data(),
+                                           s.rq, dst, sat);
+        break;
+      case QuantKernelStep::Kind::kReference: {
+        const std::size_t i = s.first_layer;
+        const std::size_t in_sz = i == 0 ? in_size_ : act_sizes_[i - 1];
+        const Status st = model_->apply_layer(i, {cur, in_sz},
+                                              {dst, act_sizes_[i]}, sat);
+        if (!ok(st)) return st;
+        break;
+      }
+      case QuantKernelStep::Kind::kIdentity:
+        break;  // handled above
+    }
+    cur = dst;
+    dst_ping = !dst_ping;
+  }
+  for (std::size_t i = 0; i < out_size_; ++i)
+    output[i] = static_cast<float>(cur[i]) * final_scale_;
+  ++runs_;
+  return Status::kOk;
+}
+
+}  // namespace sx::dl

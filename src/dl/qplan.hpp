@@ -1,0 +1,211 @@
+// Deploy-time kernel plans for the int8 quantized path (pillar 3).
+//
+// QuantKernelPlan is the quantized sibling of dl::KernelPlan: built exactly
+// once per deployed QuantizedModel, at configuration time, it decides from
+// the static shapes alone how every quantized layer executes on the hot
+// path:
+//
+//   - Dense layers run the register-blocked int8 matvec kernels from
+//     tensor/qkernels.hpp; in kPacked mode their weights are additionally
+//     snapshotted into cache-line-aligned row-blocked panels owned by the
+//     plan;
+//   - Conv2d layers are lowered to int8 gather + blocked GEMM through the
+//     same ragged im2col index tables the float plan uses (the tables are
+//     element-type-agnostic); the gathered int8 column is the only runtime
+//     scratch, sized by scratch_bytes() and drawn from the engine's
+//     pre-planned byte arena;
+//   - a Dense/Conv2d immediately followed by the int8 ReLU is fused into
+//     one step: the requantize epilogue applies `q > 0 ? q : 0` on the
+//     just-quantized value, exactly what the separate reference layer
+//     computes;
+//   - Flatten becomes a kIdentity re-view (verbatim bit copy in the
+//     reference); pooling layers become kReference steps executed through
+//     QuantizedModel::apply_layer.
+//
+// All planned kernels preserve the reference per-output int32 accumulation
+// order and finish with the reference requantization expression, so a
+// planned QuantEngine is bitwise identical to QuantizedModel::run —
+// including the per-layer saturation counters (dl_quant_kernels_test
+// proves both differentially).
+//
+// Staleness contract: kBlocked (the kAuto default) reads the quantized
+// weights live on every run. kPacked snapshots Dense rows and full
+// kQConvLanes-channel conv groups into panels; callers that mutate the
+// quantized weights afterwards must call repack(). KernelMode and the
+// SX_KERNEL_REFERENCE escape hatch are shared with the float plan
+// (dl/plan.hpp).
+//
+// One plan is immutable after construction (repack() aside) and safe to
+// share read-only across BatchRunner workers; each worker's im2col scratch
+// and saturation counters live in its own engine.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "dl/plan.hpp"
+#include "dl/quant.hpp"
+#include "tensor/arena.hpp"
+#include "tensor/qkernels.hpp"
+
+namespace sx::dl {
+
+/// One executable step of a quantized plan: one layer, or a Dense/Conv2d
+/// fused with its following int8 ReLU. Pointer members alias the
+/// QuantizedModel's live parameter storage (or the plan's own
+/// tables/panels) and stay valid for the model's lifetime.
+struct QuantKernelStep {
+  /// kIdentity marks Flatten (verbatim bit copy in the reference): the
+  /// planned engine re-views the current int8 buffer instead of copying.
+  enum class Kind : std::uint8_t { kReference, kDense, kConv2d, kIdentity };
+
+  Kind kind = Kind::kReference;
+  std::size_t first_layer = 0;  ///< model layer index this step starts at
+  std::size_t layer_span = 1;   ///< 2 when the following ReLU is fused
+
+  // kDense / kConv2d
+  std::size_t rows = 0, cols = 0;       ///< Dense dims
+  const std::int8_t* weights = nullptr; ///< live natural-layout weights
+  const std::int8_t* panel = nullptr;   ///< packed panel (kPacked), or null
+  tensor::qkernels::Requant rq{};       ///< fused requantize(+ReLU) params
+
+  // kConv2d
+  tensor::kernels::ConvTables conv{};  ///< tables owned by the plan
+  std::size_t scratch = 0;  ///< im2col column bytes this step gathers
+};
+
+/// Deploy-time execution plan for one quantized model. Immutable after
+/// construction except repack(); shareable read-only across workers.
+class QuantKernelPlan {
+ public:
+  /// `mode` must be kBlocked or kPacked (resolve kAuto first); the model
+  /// must outlive the plan.
+  QuantKernelPlan(const QuantizedModel& model, KernelMode mode);
+
+  QuantKernelPlan(const QuantKernelPlan&) = delete;
+  QuantKernelPlan& operator=(const QuantKernelPlan&) = delete;
+
+  KernelMode mode() const noexcept { return mode_; }
+  std::span<const QuantKernelStep> steps() const noexcept {
+    return {steps_.get(), step_count_};
+  }
+
+  /// Per-inference scratch demand in bytes (max ragged im2col column over
+  /// all conv steps) — added to every engine's byte-arena plan.
+  std::size_t scratch_bytes() const noexcept { return scratch_bytes_; }
+
+  /// Deploy-time footprint of the packed panels (bytes; 0 in kBlocked).
+  std::size_t panel_bytes() const noexcept { return panel_bytes_; }
+  /// Total precomputed im2col gather entries across all conv steps.
+  std::size_t table_entries() const noexcept { return table_entries_; }
+
+  std::size_t planned_dense() const noexcept { return planned_dense_; }
+  std::size_t planned_conv() const noexcept { return planned_conv_; }
+  std::size_t fused_relus() const noexcept { return fused_; }
+  std::size_t reference_steps() const noexcept { return reference_; }
+  std::size_t identity_steps() const noexcept { return identity_; }
+
+  /// Re-snapshots the quantized weights into the packed panels (kPacked
+  /// only; no-op in kBlocked mode).
+  void repack() noexcept;
+
+  /// One-line evidence summary for core/report.
+  std::string summary() const;
+
+ private:
+  const QuantizedModel* model_;
+  KernelMode mode_;
+  std::unique_ptr<QuantKernelStep[]> steps_;
+  std::size_t step_count_ = 0;
+  std::unique_ptr<std::uint32_t[]> tables_;  ///< pix_off + in_idx + w_ofs
+  std::unique_ptr<std::int8_t[]> panels_;
+  std::size_t scratch_bytes_ = 0;
+  std::size_t panel_bytes_ = 0;
+  std::size_t table_entries_ = 0;
+  std::size_t planned_dense_ = 0;
+  std::size_t planned_conv_ = 0;
+  std::size_t fused_ = 0;
+  std::size_t reference_ = 0;
+  std::size_t identity_ = 0;
+};
+
+struct QuantEngineConfig {
+  /// Extra byte-arena capacity beyond the planned demand.
+  std::size_t arena_slack = 0;
+  /// Hot-path kernel selection (kAuto honors SX_KERNEL_REFERENCE).
+  KernelMode kernels = KernelMode::kAuto;
+};
+
+/// Planned int8 inference engine: the quantized sibling of StaticEngine.
+/// All activation ping-pong buffers and the im2col scratch are carved from
+/// one pre-planned ByteArena at construction; run() is noexcept and
+/// performs zero heap allocations. Outputs are bitwise identical to
+/// QuantizedModel::run for every kernel mode.
+class QuantEngine {
+ public:
+  /// Builds an engine-private plan (or none when the resolved mode is
+  /// kReference). The model must outlive the engine.
+  explicit QuantEngine(const QuantizedModel& model,
+                       QuantEngineConfig cfg = {});
+  /// Shares an externally owned plan (one plan, many workers). `plan` and
+  /// the model must outlive the engine.
+  QuantEngine(const QuantizedModel& model, const QuantKernelPlan& plan,
+              QuantEngineConfig cfg = {});
+
+  QuantEngine(const QuantEngine&) = delete;
+  QuantEngine& operator=(const QuantEngine&) = delete;
+
+  /// Int8 inference; output is dequantized float logits.
+  Status run(tensor::ConstTensorView input,
+             std::span<float> output) noexcept;
+
+  std::uint64_t run_count() const noexcept { return runs_; }
+
+  /// Cumulative requantization clips per layer across every run() —
+  /// bitwise identical to the reference model's counters on the same
+  /// inputs (fused-ReLU clips are attributed to the producing layer, where
+  /// the reference also counts them; the ReLU layer itself never clips).
+  std::span<const std::uint64_t> saturation_counts() const noexcept {
+    return {sat_counts_.get(), layer_count_};
+  }
+  std::uint64_t saturation_total() const noexcept {
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < layer_count_; ++i) n += sat_counts_[i];
+    return n;
+  }
+
+  /// The plan driving this engine (nullptr in reference mode).
+  const QuantKernelPlan* plan() const noexcept { return plan_; }
+
+  std::size_t arena_capacity() const noexcept { return arena_.capacity(); }
+  std::size_t arena_high_water_mark() const noexcept {
+    return arena_.high_water_mark();
+  }
+
+ private:
+  void init();
+  Status run_planned(std::span<float> output) noexcept;
+  Status run_reference(std::span<float> output) noexcept;
+
+  const QuantizedModel* model_;
+  QuantEngineConfig cfg_;
+  std::unique_ptr<QuantKernelPlan> owned_plan_;
+  const QuantKernelPlan* plan_;
+  tensor::ByteArena arena_;
+  std::span<std::int8_t> ping_;
+  std::span<std::int8_t> pong_;
+  std::span<std::int8_t> scratch_;
+  // Static sizes cached at construction so the noexcept hot path never
+  // touches a throwing accessor.
+  std::size_t layer_count_ = 0;
+  std::size_t in_size_ = 0;
+  std::size_t out_size_ = 0;
+  float in_scale_ = 1.0f;
+  float final_scale_ = 1.0f;
+  std::unique_ptr<std::size_t[]> act_sizes_;  ///< size after each layer
+  std::unique_ptr<std::uint64_t[]> sat_counts_;
+  std::uint64_t runs_ = 0;
+};
+
+}  // namespace sx::dl

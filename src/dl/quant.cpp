@@ -1,7 +1,10 @@
 #include "dl/quant.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+
+#include "tensor/qkernels.hpp"
 
 namespace sx::dl {
 namespace {
@@ -32,12 +35,40 @@ const char* to_string(WeightGranularity g) noexcept {
   return g == WeightGranularity::kPerTensor ? "per-tensor" : "per-channel";
 }
 
+std::int32_t quantize_bias_i32(float bias, float w_scale, float in_scale,
+                               bool* saturated) noexcept {
+  if (saturated != nullptr) *saturated = false;
+  // Widen the scale product through double: w_scale * in_scale can
+  // underflow float for small per-channel scales, which would turn the
+  // quotient into Inf and the int conversion below into UB.
+  const double scale =
+      static_cast<double>(w_scale) * static_cast<double>(in_scale);
+  if (!(scale > 0.0) || !std::isfinite(bias)) {
+    if (saturated != nullptr) *saturated = true;
+    return 0;
+  }
+  const double q = static_cast<double>(bias) / scale;
+  const double r = q >= 0.0 ? q + 0.5 : q - 0.5;  // round half away
+  // Clamp bounds expressed exactly in double (int32 limits are exact).
+  constexpr double kLo = -2147483648.0;
+  constexpr double kHi = 2147483647.0;
+  if (r > kHi) {
+    if (saturated != nullptr) *saturated = true;
+    return std::numeric_limits<std::int32_t>::max();
+  }
+  if (r < kLo) {
+    if (saturated != nullptr) *saturated = true;
+    return std::numeric_limits<std::int32_t>::min();
+  }
+  return static_cast<std::int32_t>(r);
+}
+
 Model fold_batchnorm(const Model& model) {
   std::vector<std::unique_ptr<Layer>> layers;
   for (std::size_t i = 0; i < model.layer_count(); ++i) {
     const Layer& l = model.layer(i);
     if (l.kind() != LayerKind::kBatchNorm) {
-      layers.push_back(l.clone());
+      layers.push_back(l.clone());  // sxlint: allow(hot-path-alloc) deploy-time fold
       continue;
     }
     const auto& bn = static_cast<const BatchNorm&>(l);
@@ -114,10 +145,11 @@ QuantizedModel QuantizedModel::quantize(const Model& model,
         q.in_dim = d.in_dim();
         q.out_dim = d.out_dim();
         const auto w = d.weights();
-        q.weights.resize(w.size());
-        q.bias.assign(d.bias().begin(), d.bias().end());
+        q.weights.resize(w.size());  // sxlint: allow(hot-path-alloc) quantize-time
+        q.bias.assign(  // sxlint: allow(hot-path-alloc) quantize-time
+            d.bias().begin(), d.bias().end());
         if (cfg.granularity == WeightGranularity::kPerChannel) {
-          q.w_scales.resize(q.out_dim);
+          q.w_scales.resize(q.out_dim);  // sxlint: allow(hot-path-alloc) quantize-time
           for (std::size_t r = 0; r < q.out_dim; ++r) {
             const auto row = w.subspan(r * q.in_dim, q.in_dim);
             q.w_scales[r] = scale_for(absmax(row));
@@ -141,10 +173,11 @@ QuantizedModel QuantizedModel::quantize(const Model& model,
         q.pad = c.padding();
         const auto w = c.weights();
         const std::size_t per_oc = q.in_c * q.k * q.k;
-        q.weights.resize(w.size());
-        q.bias.assign(c.bias().begin(), c.bias().end());
+        q.weights.resize(w.size());  // sxlint: allow(hot-path-alloc) quantize-time
+        q.bias.assign(  // sxlint: allow(hot-path-alloc) quantize-time
+            c.bias().begin(), c.bias().end());
         if (cfg.granularity == WeightGranularity::kPerChannel) {
-          q.w_scales.resize(q.out_c);
+          q.w_scales.resize(q.out_c);  // sxlint: allow(hot-path-alloc) quantize-time
           for (std::size_t oc = 0; oc < q.out_c; ++oc) {
             const auto blk = w.subspan(oc * per_oc, per_oc);
             q.w_scales[oc] = scale_for(absmax(blk));
@@ -183,20 +216,72 @@ QuantizedModel QuantizedModel::quantize(const Model& model,
             "quantize: saturating activations are not int8-supported; use "
             "ReLU in deployed models");
     }
+    // Bias representability audit (deployment evidence): an integer-only
+    // requantizer would need bias at the accumulator scale w_scale *
+    // in_scale; count the channels where that int32 quantization clamps.
+    // The runtime epilogue below keeps bias in float, so this never
+    // corrupts a value here — it flags what a fixed-point port would lose.
+    if (q.kind == LayerKind::kDense || q.kind == LayerKind::kConv2d) {
+      for (std::size_t ch = 0; ch < q.bias.size(); ++ch) {
+        bool clipped = false;
+        const float ws = q.w_scales.size() > 1 ? q.w_scales[ch] : q.w_scales[0];
+        (void)quantize_bias_i32(q.bias[ch], ws, prev_scale, &clipped);
+        if (clipped) ++qm.bias_saturations_;
+      }
+    }
     prev_scale = q.out_scale;
-    qm.layers_.push_back(std::move(q));
-    qm.shapes_.push_back(model.activation_shape(i));
+    qm.layers_.push_back(std::move(q));  // sxlint: allow(hot-path-alloc) quantize-time
+    qm.shapes_.push_back(  // sxlint: allow(hot-path-alloc) quantize-time
+        model.activation_shape(i));
   }
 
-  qm.ping_.assign(model.max_activation_size(), 0);
-  qm.pong_.assign(model.max_activation_size(), 0);
+  // Ping-pong buffers and counters are the whole runtime footprint,
+  // owned here once; QuantizedModel::run never allocates after this.
+  qm.ping_.assign(  // sxlint: allow(hot-path-alloc) quantize-time
+      model.max_activation_size(), 0);
+  qm.pong_.assign(  // sxlint: allow(hot-path-alloc) quantize-time
+      model.max_activation_size(), 0);
+  qm.sat_counts_.assign(  // sxlint: allow(hot-path-alloc) quantize-time
+      qm.layers_.size(), 0);
   return qm;
+}
+
+QuantizedModel::QLayerView QuantizedModel::layer_view(std::size_t i) const {
+  const QLayer& l = layers_.at(i);
+  QLayerView v;
+  v.kind = l.kind;
+  v.weights = l.weights;
+  v.w_scales = l.w_scales;
+  v.bias = l.bias;
+  v.in_c = l.in_c;
+  v.out_c = l.out_c;
+  v.k = l.k;
+  v.stride = l.stride;
+  v.pad = l.pad;
+  v.in_dim = l.in_dim;
+  v.out_dim = l.out_dim;
+  v.window = l.window;
+  v.out_scale = l.out_scale;
+  return v;
+}
+
+Status QuantizedModel::apply_layer(std::size_t i,
+                                   std::span<const std::int8_t> in,
+                                   std::span<std::int8_t> out,
+                                   std::uint64_t* sat) const noexcept {
+  if (i >= layers_.size()) return Status::kInvalidArgument;
+  const Shape& in_shape = i == 0 ? input_shape_ : shapes_[i - 1];
+  const float in_scale = i == 0 ? input_scale_ : layers_[i - 1].out_scale;
+  if (in.size() != in_shape.size() || out.size() != shapes_[i].size())
+    return Status::kShapeMismatch;
+  return run_layer(layers_[i], in_shape, in, in_scale, shapes_[i], out, sat);
 }
 
 Status QuantizedModel::run_layer(const QLayer& l, const Shape& in_shape,
                                  std::span<const std::int8_t> in,
                                  float in_scale, const Shape& out_shape,
-                                 std::span<std::int8_t> out) const noexcept {
+                                 std::span<std::int8_t> out,
+                                 std::uint64_t* sat) const noexcept {
   switch (l.kind) {
     case LayerKind::kDense: {
       if (in_shape.size() != l.in_dim || out_shape.size() != l.out_dim)
@@ -209,7 +294,7 @@ Status QuantizedModel::run_layer(const QLayer& l, const Shape& in_shape,
                  static_cast<std::int32_t>(in[c]);
         const float ws = l.w_scales.size() > 1 ? l.w_scales[r] : l.w_scales[0];
         const float v = static_cast<float>(acc) * ws * in_scale + l.bias[r];
-        out[r] = quantize_value(v, l.out_scale);
+        out[r] = tensor::qkernels::quantize_sat(v, l.out_scale, sat);
       }
       return Status::kOk;
     }
@@ -248,7 +333,8 @@ Status QuantizedModel::run_layer(const QLayer& l, const Shape& in_shape,
             }
             const float v =
                 static_cast<float>(acc) * ws * in_scale + l.bias[oc];
-            out[(oc * oh + oy) * ow + ox] = quantize_value(v, l.out_scale);
+            out[(oc * oh + oy) * ow + ox] =
+                tensor::qkernels::quantize_sat(v, l.out_scale, sat);
           }
         }
       }
@@ -262,6 +348,11 @@ Status QuantizedModel::run_layer(const QLayer& l, const Shape& in_shape,
       for (std::size_t i = 0; i < in_shape.size(); ++i) out[i] = in[i];
       return Status::kOk;
     case LayerKind::kMaxPool2d: {
+      // Rank check: Shape::operator[] is total (out-of-range reads 1), so
+      // without this a rank-1 input would silently pool garbage instead of
+      // failing — the noexcept contract demands a Status, not UB.
+      if (in_shape.rank() != 3 || out_shape.rank() != 3 || l.window == 0)
+        return Status::kShapeMismatch;
       const std::size_t c = in_shape[0], oh = out_shape[1], ow = out_shape[2];
       const std::size_t h = in_shape[1], wd = in_shape[2];
       for (std::size_t ch = 0; ch < c; ++ch)
@@ -279,6 +370,10 @@ Status QuantizedModel::run_layer(const QLayer& l, const Shape& in_shape,
       return Status::kOk;
     }
     case LayerKind::kAvgPool2d: {
+      // Same rank/window guard as MaxPool2d; window == 0 would also divide
+      // by zero below.
+      if (in_shape.rank() != 3 || out_shape.rank() != 3 || l.window == 0)
+        return Status::kShapeMismatch;
       const std::size_t c = in_shape[0], oh = out_shape[1], ow = out_shape[2];
       const std::size_t h = in_shape[1], wd = in_shape[2];
       const auto div = static_cast<std::int32_t>(l.window * l.window);
@@ -304,6 +399,10 @@ Status QuantizedModel::run_layer(const QLayer& l, const Shape& in_shape,
 
 Status QuantizedModel::run(tensor::ConstTensorView input,
                            std::span<float> output) noexcept {
+  // A default-constructed (never-quantized) model has no layers:
+  // shapes_.back() below would be UB, not a throw — guard it into a
+  // Status like every other operational failure of this noexcept path.
+  if (layers_.empty()) return Status::kNotReady;
   if (input.shape != input_shape_ || !input.valid())
     return Status::kShapeMismatch;
   if (output.size() != shapes_.back().size()) return Status::kShapeMismatch;
@@ -321,7 +420,8 @@ Status QuantizedModel::run(tensor::ConstTensorView input,
     const Status st = run_layer(
         layers_[i], in_shape,
         std::span<const std::int8_t>(src.data(), in_shape.size()), in_scale,
-        shapes_[i], std::span<std::int8_t>(dst.data(), shapes_[i].size()));
+        shapes_[i], std::span<std::int8_t>(dst.data(), shapes_[i].size()),
+        &sat_counts_[i]);
     if (!ok(st)) return st;
     in_scale = layers_[i].out_scale;
     in_shape = shapes_[i];

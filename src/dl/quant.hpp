@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dl/dataset.hpp"
@@ -42,7 +43,10 @@ class QuantizedModel {
                                  const Dataset& calibration,
                                  QuantConfig cfg = {});
 
-  /// Int8 inference; output is dequantized float logits. No allocation.
+  /// Int8 inference; output is dequantized float logits. No allocation,
+  /// no exceptions: every operational failure (shape mismatch, unfitted
+  /// model) is a returned Status. Per-layer requantization clips are
+  /// counted into saturation_counts().
   Status run(tensor::ConstTensorView input,
              std::span<float> output) noexcept;
 
@@ -67,6 +71,54 @@ class QuantizedModel {
   float activation_scale(std::size_t i) const { return layers_.at(i).out_scale; }
   float input_scale() const noexcept { return input_scale_; }
 
+  /// Shape after layer i (configuration-time API; throws on a bad index).
+  const Shape& activation_shape(std::size_t i) const { return shapes_.at(i); }
+
+  /// Read-only view of one quantized layer's parameters and geometry —
+  /// what dl::QuantKernelPlan lowers into planned kernels. Spans alias the
+  /// model's live storage and stay valid for the model's lifetime.
+  struct QLayerView {
+    LayerKind kind{};
+    std::span<const std::int8_t> weights;
+    std::span<const float> w_scales;  ///< per output channel, or one entry
+    std::span<const float> bias;
+    std::size_t in_c = 0, out_c = 0, k = 0, stride = 0, pad = 0;  // conv
+    std::size_t in_dim = 0, out_dim = 0;                          // dense
+    std::size_t window = 0;                                       // pooling
+    float out_scale = 1.0f;
+  };
+  /// Configuration-time API; throws on a bad index.
+  QLayerView layer_view(std::size_t i) const;
+
+  /// Runs one layer standalone: `in`/`out` must be sized to the layer's
+  /// input/output shapes. Used by the planned engine's reference steps
+  /// (pooling layers). noexcept, allocation-free; requantization clips are
+  /// counted into `*sat` when non-null.
+  Status apply_layer(std::size_t i, std::span<const std::int8_t> in,
+                     std::span<std::int8_t> out,
+                     std::uint64_t* sat) const noexcept;
+
+  /// Cumulative requantization clips per layer across every run() —
+  /// deterministic (input-dependent only), cross-checked against
+  /// verify::check_quant_saturation's static margins.
+  std::span<const std::uint64_t> saturation_counts() const noexcept {
+    return sat_counts_;
+  }
+  std::uint64_t saturation_total() const noexcept {
+    std::uint64_t n = 0;
+    for (const std::uint64_t c : sat_counts_) n += c;
+    return n;
+  }
+
+  /// Channels whose float bias is not representable in the int32
+  /// accumulator at scale w_scale * in_scale (audited with
+  /// quantize_bias_i32 at quantize() time). The runtime epilogue keeps
+  /// bias in float, so a non-zero count is *evidence* for integer-only
+  /// targets, not a value error here.
+  std::uint64_t bias_saturation_count() const noexcept {
+    return bias_saturations_;
+  }
+
  private:
   struct QLayer {
     LayerKind kind{};
@@ -84,8 +136,8 @@ class QuantizedModel {
 
   Status run_layer(const QLayer& l, const Shape& in_shape,
                    std::span<const std::int8_t> in, float in_scale,
-                   const Shape& out_shape,
-                   std::span<std::int8_t> out) const noexcept;
+                   const Shape& out_shape, std::span<std::int8_t> out,
+                   std::uint64_t* sat) const noexcept;
 
   Shape input_shape_{};
   float input_scale_ = 1.0f;
@@ -95,6 +147,9 @@ class QuantizedModel {
   // Ping-pong int8 activation buffers (sized at quantize() time).
   std::vector<std::int8_t> ping_;
   std::vector<std::int8_t> pong_;
+  // Cumulative requantization clips per layer (sized at quantize() time).
+  std::vector<std::uint64_t> sat_counts_;
+  std::uint64_t bias_saturations_ = 0;
 };
 
 /// Quantizes a single float to int8 with the given scale.
@@ -104,5 +159,18 @@ inline std::int8_t quantize_value(float v, float scale) noexcept {
   const int i = static_cast<int>(r);
   return static_cast<std::int8_t>(i > 127 ? 127 : (i < -127 ? -127 : i));
 }
+
+/// Quantizes a float bias to the int32 accumulator scale w_scale *
+/// in_scale, the representation an integer-only requantizer would need.
+/// Deterministic rule: widen through double (so the quotient itself cannot
+/// overflow), round half away from zero — the same rule quantize_value
+/// uses — then clamp to the int32 range; a degenerate scale (<= 0) or
+/// non-finite bias deterministically maps to 0. `*saturated` (when
+/// non-null) reports whether clamping or the degenerate rule fired: such a
+/// channel's bias is NOT representable at this scale, which is why the
+/// runtime epilogue keeps bias in float (see QuantizedModel::run_layer)
+/// and why quantize() records the count as deployment evidence.
+std::int32_t quantize_bias_i32(float bias, float w_scale, float in_scale,
+                               bool* saturated = nullptr) noexcept;
 
 }  // namespace sx::dl

@@ -32,8 +32,12 @@ CampaignOutcome run_campaign(InferenceChannel& channel,
       golden.push_back(argmax_of(out));
     }
   }
-  if (usable.empty())
-    throw std::runtime_error("run_campaign: channel rejects all probes");
+  // A channel that refuses every probe (e.g. a monitor whose envelope
+  // rejects the whole dataset) is a valid — if useless — campaign subject:
+  // there is nothing to measure, so report the well-defined empty outcome
+  // (all counters zero; the rate accessors already guard total() == 0)
+  // instead of throwing. Only an empty probe *dataset* is a caller error.
+  if (usable.empty()) return CampaignOutcome{};
 
   FaultInjector injector{cfg.seed};
   CampaignOutcome outcome;

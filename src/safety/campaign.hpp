@@ -47,7 +47,10 @@ struct CampaignOutcome {
 /// Runs a fault-injection campaign against `channel`. Faults target replica
 /// 0's parameters; every fault is removed before the next trial. Probes are
 /// drawn round-robin from `probes` (only samples whose fault-free inference
-/// returns kOk participate).
+/// returns kOk without degradation participate). Throws only on an empty
+/// probe dataset (a configuration error); a channel that refuses every
+/// probe yields the well-defined empty outcome (total() == 0, all rates
+/// defined by the accessors' zero guards).
 CampaignOutcome run_campaign(InferenceChannel& channel,
                              const dl::Dataset& probes,
                              const CampaignConfig& cfg);

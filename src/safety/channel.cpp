@@ -180,6 +180,38 @@ Status DiverseTmrChannel::infer(tensor::ConstTensorView in,
   return Status::kOk;
 }
 
+// ------------------------------------------------------------- QuantChannel
+
+QuantChannel::QuantChannel(const dl::Model& model,
+                           const dl::QuantizedModel& quantized,
+                           dl::QuantEngineConfig cfg,
+                           const MonitorConfig* monitor)
+    : model_(std::make_unique<dl::Model>(model)),
+      qmodel_(std::make_unique<dl::QuantizedModel>(quantized)),
+      engine_(std::make_unique<dl::QuantEngine>(*qmodel_, cfg)) {
+  if (monitor != nullptr) monitor_ = std::make_unique<SafetyMonitor>(*monitor);
+}
+
+Status QuantChannel::infer(tensor::ConstTensorView in,
+                           std::span<float> out) noexcept {
+  if (monitor_) {
+    const Status pre = monitor_->check_input(in);
+    if (!ok(pre)) return pre;
+  }
+  Status st = engine_->run(in, out);
+  if (ok(st) && monitor_) st = monitor_->check_output(out);
+  if (obs_ != nullptr) {
+    // Push only the clips this inference added: the counter stays an
+    // exact mirror of the engine's deterministic total.
+    const std::uint64_t total = engine_->saturation_total();
+    if (total > reported_sats_) {
+      obs_->add(sat_id_, total - reported_sats_);
+      reported_sats_ = total;
+    }
+  }
+  return st;
+}
+
 // --------------------------------------------------------- SafetyBagChannel
 
 SafetyBagChannel::SafetyBagChannel(std::unique_ptr<InferenceChannel> primary,

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "dl/engine.hpp"
+#include "dl/qplan.hpp"
 #include "dl/quant.hpp"
 #include "obs/registry.hpp"
 #include "safety/monitor.hpp"
@@ -196,6 +197,61 @@ class DiverseTmrChannel final : public InferenceChannel {
   std::uint64_t masked_ = 0;
   obs::Registry* obs_ = nullptr;
   obs::CounterId masked_id_{};
+};
+
+/// Planned int8 inference as a safety channel: the quantized deployment
+/// backend of the pipeline (BackendKind::kInt8). Wraps a private
+/// dl::QuantEngine over an owned copy of the quantized model; the float
+/// twin the quantization was produced from is retained as replica(0) so
+/// parameter-level fault injection keeps working against this pattern.
+class QuantChannel final : public InferenceChannel {
+ public:
+  /// `model` is the (folded) float twin kept for replica()-based fault
+  /// injection; `quantized` is the deployed int8 model. The channel owns
+  /// copies of both. A non-null `monitor` adds the envelope monitor of the
+  /// "monitored" pattern around the int8 engine (fail-stop on implausible
+  /// inputs/outputs) — the int8 ladder rung required above QM.
+  QuantChannel(const dl::Model& model, const dl::QuantizedModel& quantized,
+               dl::QuantEngineConfig cfg = {},
+               const MonitorConfig* monitor = nullptr);
+
+  std::string_view pattern_name() const noexcept override {
+    return monitor_ ? "int8-monitored" : "int8-single";
+  }
+  Status infer(tensor::ConstTensorView in,
+               std::span<float> out) noexcept override;
+  std::size_t output_size() const noexcept override {
+    return qmodel_->output_shape().size();
+  }
+  dl::Model& replica(std::size_t) override { return *model_; }
+
+  const dl::QuantizedModel& quantized() const noexcept { return *qmodel_; }
+  const dl::QuantEngine& engine() const noexcept { return *engine_; }
+  /// The deploy-time plan driving the engine (nullptr in reference mode).
+  const dl::QuantKernelPlan* kernel_plan() const noexcept {
+    return engine_->plan();
+  }
+  /// Cumulative requantization clips across every infer().
+  std::uint64_t saturation_total() const noexcept {
+    return engine_->saturation_total();
+  }
+
+  void bind_telemetry(obs::Registry& registry) override {
+    obs_ = &registry;
+    sat_id_ = registry.counter("sx_quant_saturations_total");
+    if (monitor_)
+      monitor_->bind_telemetry(
+          &registry, registry.counter("sx_monitor_rejections_total"));
+  }
+
+ private:
+  std::unique_ptr<dl::Model> model_;  // float twin, fault-injection target
+  std::unique_ptr<dl::QuantizedModel> qmodel_;
+  std::unique_ptr<dl::QuantEngine> engine_;
+  std::unique_ptr<SafetyMonitor> monitor_;  // null for the bare rung
+  obs::Registry* obs_ = nullptr;
+  obs::CounterId sat_id_{};
+  std::uint64_t reported_sats_ = 0;  // saturations already pushed to obs
 };
 
 /// Fail-operational safety bag: primary channel + (optional) trust

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 
@@ -50,6 +51,42 @@ class Arena {
 
  private:
   std::unique_ptr<float[]> storage_;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+/// Bump allocator over a single contiguous int8 buffer — the quantized
+/// engine's analog of Arena (activation ping-pong and im2col scratch of the
+/// int8 path are bytes, not floats). Same discipline: one allocation at
+/// configuration time, monotonic alloc, high-water mark as evidence.
+class ByteArena {
+ public:
+  explicit ByteArena(std::size_t capacity)
+      : storage_(std::make_unique<std::int8_t[]>(capacity)),  // sxlint: allow(hot-path-alloc) the one configuration-time allocation the arena exists to own
+        capacity_(capacity) {}
+
+  ByteArena(const ByteArena&) = delete;
+  ByteArena& operator=(const ByteArena&) = delete;
+
+  /// Allocates `n` bytes; returns an empty span when exhausted.
+  std::span<std::int8_t> alloc(std::size_t n) noexcept {
+    if (used_ + n > capacity_) return {};
+    std::span<std::int8_t> out{storage_.get() + used_, n};
+    used_ += n;
+    high_water_ = used_ > high_water_ ? used_ : high_water_;
+    return out;
+  }
+
+  void reset() noexcept { used_ = 0; }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t used() const noexcept { return used_; }
+  std::size_t available() const noexcept { return capacity_ - used_; }
+  std::size_t high_water_mark() const noexcept { return high_water_; }
+
+ private:
+  std::unique_ptr<std::int8_t[]> storage_;
   std::size_t capacity_ = 0;
   std::size_t used_ = 0;
   std::size_t high_water_ = 0;

@@ -1,0 +1,169 @@
+// Deploy-time-planned int8 kernels: register-blocked int8 x int8 -> int32
+// matvec/GEMM and the ragged-im2col Conv2d lowering with fused
+// requantize(+ReLU) epilogues (pillar 3: the quantized deployment path).
+//
+// Every kernel preserves the *per-output accumulation order* of the
+// reference loops in dl/quant.cpp: each output element accumulates the same
+// int8 products in the same sequence into one int32 chain, and is finished
+// by a requantization expression character-identical to the reference
+// epilogue — so planned and reference QuantizedModel runs are bitwise
+// identical (dl_quant_kernels_test proves this differentially). Because
+// int32 accumulation of in-range products is exact, order preservation here
+// is about keeping the overflow envelope identical to the audited reference
+// loop, not about rounding.
+//
+//   - row blocking: kRowBlock independent int32 accumulation chains per
+//     sweep break the serial dependency chain of the reference loop (ILP)
+//     and stream the quantized input vector once per block;
+//   - deploy-time im2col: the dtype-agnostic geometry and index tables of
+//     tensor/kernels.hpp (Conv2dGeom, build_im2col_tables, ConvTables) are
+//     reused verbatim — only the gather and the GEMM change element type;
+//   - fused requantize epilogue: float(acc) * w_scale * in_scale + bias,
+//     quantized at the layer's activation scale; an immediately following
+//     int8 ReLU (out = q > 0 ? q : 0) folds into the same store. Both
+//     expressions match dl/quant.cpp bit for bit;
+//   - saturation counters: every requantization that clips to +/-127 is
+//     counted through the caller's counter, giving the runtime measurement
+//     that verify/range's static saturation-margin verdicts are
+//     cross-checked against.
+//
+// All functions are allocation-free and operate on caller-provided buffers;
+// panel sizes come from the *_bytes() planners so dl::QuantKernelPlan can
+// place everything in deploy-time storage and the engine's byte arena.
+// (This file is covered by sxlint's hot-path-alloc rule.)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/kernels.hpp"
+
+namespace sx::tensor::qkernels {
+
+/// Output rows (Dense) and output channels (Conv2d GEMM) per
+/// register-blocked sweep — eight independent int32 chains, mirroring the
+/// float kernels' geometry so the same models block the same way.
+inline constexpr std::size_t kRowBlock = 8;
+inline constexpr std::size_t kOcBlock = 8;
+
+/// Panel alignment: 64 bytes == one cache line.
+inline constexpr std::size_t kAlignBytes = 64;
+
+constexpr std::size_t align_up_bytes(std::size_t n) noexcept {
+  return (n + kAlignBytes - 1) / kAlignBytes * kAlignBytes;
+}
+
+/// Quantizes one float at `scale`, counting the clip into `*sat` when the
+/// rounded magnitude exceeds 127. Value-identical to dl::quantize_value —
+/// the expression is the reference round-half-away + clamp verbatim, with
+/// the clip made observable for the saturation cross-check.
+inline std::int8_t quantize_sat(float v, float scale,
+                                std::uint64_t* sat) noexcept {
+  const float q = v / scale;
+  const float r = q >= 0.0f ? q + 0.5f : q - 0.5f;  // round half away
+  const int i = static_cast<int>(r);
+  if (i > 127 || i < -127) {
+    if (sat != nullptr) ++*sat;
+    return static_cast<std::int8_t>(i > 127 ? 127 : -127);
+  }
+  return static_cast<std::int8_t>(i);
+}
+
+/// Fused requantization parameters of one planned int8 layer. Pointer
+/// members alias the QuantizedModel's live parameter storage.
+struct Requant {
+  const float* w_scales = nullptr;  ///< per output channel, or one entry
+  bool per_channel = false;         ///< w_scales has one entry per channel
+  const float* bias = nullptr;      ///< float bias (the reference epilogue
+                                    ///< keeps bias in float — see quant.cpp)
+  float in_scale = 1.0f;            ///< activation scale entering the layer
+  float out_scale = 1.0f;           ///< activation scale after the layer
+  bool relu = false;                ///< fused following int8 ReLU layer
+};
+
+/// Finishes one int32 accumulator for output channel `ch`: the reference
+/// requantize expression, the optional fused ReLU, and the saturation
+/// count. Bitwise identical to dl/quant.cpp's epilogue composed with its
+/// ReLU layer (ReLU on int8 never re-quantizes, so fusing it after the
+/// clamp is exact).
+inline std::int8_t requantize(std::int32_t acc, std::size_t ch,
+                              const Requant& rq, std::uint64_t* sat) noexcept {
+  const float ws = rq.per_channel ? rq.w_scales[ch] : rq.w_scales[0];
+  const float v =
+      static_cast<float>(acc) * ws * rq.in_scale + rq.bias[ch];
+  const std::int8_t q = quantize_sat(v, rq.out_scale, sat);
+  return rq.relu ? (q > 0 ? q : std::int8_t{0}) : q;
+}
+
+// --------------------------------------------------------------- Dense
+
+/// out = requant(W x) with kRowBlock-way register blocking over the live
+/// row-major int8 weight matrix (rows x cols). Each output row accumulates
+/// its columns in strict ascending order into one int32 chain, exactly as
+/// the reference Dense loop does.
+void qmatvec_blocked(const std::int8_t* w, std::size_t rows,
+                     std::size_t cols, const std::int8_t* x,
+                     const Requant& rq, std::int8_t* out,
+                     std::uint64_t* sat) noexcept;
+
+/// Bytes needed for the cache-line-aligned row-blocked panel of a
+/// rows x cols int8 weight matrix (every block starts 64-byte aligned).
+std::size_t qdense_panel_bytes(std::size_t rows, std::size_t cols) noexcept;
+
+/// Repacks the row-major int8 weights into the panel layout: full blocks
+/// of kRowBlock rows interleaved column-major-within-block
+/// (panel[c * 8 + r]), the tail block interleaved at its own row count.
+/// `panel` must hold qdense_panel_bytes() bytes; padding is zero-filled.
+void pack_qdense_panel(const std::int8_t* w, std::size_t rows,
+                       std::size_t cols, std::int8_t* panel) noexcept;
+
+/// qmatvec_blocked over a packed panel (weights snapshot; see
+/// dl::QuantKernelPlan for the staleness contract).
+void qmatvec_packed(const std::int8_t* panel, std::size_t rows,
+                    std::size_t cols, const std::int8_t* x,
+                    const Requant& rq, std::int8_t* out,
+                    std::uint64_t* sat) noexcept;
+
+// --------------------------------------------------------------- Conv2d
+
+/// The int8 hot-path gather: col[e] = in[in_idx[e]] over the ragged
+/// deploy-time table built by kernels::build_im2col_tables (the index
+/// tables are element-type-agnostic; only the gather changes dtype).
+void im2col_gather_i8(const std::int8_t* in, const std::uint32_t* in_idx,
+                      std::size_t entries, std::int8_t* col) noexcept;
+
+/// out[oc * opix + p] = requant over the pixel's taps, kOcBlock output
+/// channels per sweep sharing one gathered int8 column. `wt` is the live
+/// int8 Conv2d weight tensor (out_c x patch, natural layout); the tables
+/// are shared with the float path.
+void qconv2d_im2col(const std::int8_t* wt,
+                    const kernels::ConvTables& t, const std::int8_t* col,
+                    const Requant& rq, std::int8_t* out,
+                    std::uint64_t* sat) noexcept;
+
+/// Output channels per lane group of a packed int8 Conv2d panel. Eight
+/// int8 lanes fill the same 8 bytes a single float pair would — tap-major
+/// groups keep the panel stream unit-stride.
+inline constexpr std::size_t kQConvLanes = 8;
+
+/// Bytes needed for the tap-major lane panel of an out_c x patch int8
+/// Conv2d weight tensor: full kQConvLanes-channel groups only (each group
+/// starts 64-byte aligned); the out_c % kQConvLanes tail channels keep
+/// reading the live weights.
+std::size_t qconv_panel_bytes(std::size_t out_c, std::size_t patch) noexcept;
+
+/// Repacks the natural out_c x patch int8 layout into lane groups:
+/// group g, tap j holds weights of channels g*kQConvLanes .. +7 at
+/// panel[g * align_up_bytes(patch * kQConvLanes) + j * kQConvLanes + i].
+void pack_qconv_panel(const std::int8_t* wt, std::size_t out_c,
+                      std::size_t patch, std::int8_t* panel) noexcept;
+
+/// qconv2d_im2col over a packed lane panel (weights snapshot; see
+/// dl::QuantKernelPlan for the staleness contract). `wt` must still point
+/// at the live weights — the out_c % kQConvLanes tail channels use it.
+void qconv2d_im2col_packed(const std::int8_t* panel, const std::int8_t* wt,
+                           const kernels::ConvTables& t,
+                           const std::int8_t* col, const Requant& rq,
+                           std::int8_t* out, std::uint64_t* sat) noexcept;
+
+}  // namespace sx::tensor::qkernels

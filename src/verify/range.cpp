@@ -98,6 +98,12 @@ std::string VerificationEvidence::to_text() const {
          << "\n";
     }
   }
+  if (quant_checked) {
+    os << "int8 arena plan: required=" << quant_arena.required_bytes
+       << " bytes (shape-derived), planned=" << quant_arena.planned_bytes
+       << " bytes => "
+       << (quant_arena.consistent ? "CONSISTENT" : "MISMATCH") << "\n";
+  }
   return os.str();
 }
 
@@ -260,6 +266,85 @@ std::vector<QuantSaturationCheck> check_quant_saturation(
     checks.push_back(q);
   }
   return checks;
+}
+
+std::size_t quant_arena_demand(const dl::QuantizedModel& quantized,
+                               const dl::QuantEngineConfig& cfg) {
+  // Re-derive every activation size (int8: one byte per element) from the
+  // stored shapes, and the im2col scratch column from each Conv2d's
+  // geometry by counting valid taps directly — the same independent walk
+  // static_arena_demand does for the float engine, never consulting
+  // QuantKernelPlan's bookkeeping.
+  std::size_t max_activation = quantized.input_shape().size();
+  std::size_t scratch = 0;
+  const bool planned =
+      dl::resolve_kernel_mode(cfg.kernels) != dl::KernelMode::kReference;
+  for (std::size_t i = 0; i < quantized.layer_count(); ++i) {
+    max_activation =
+        std::max(max_activation, quantized.activation_shape(i).size());
+    if (!planned) continue;
+    const dl::QuantizedModel::QLayerView v = quantized.layer_view(i);
+    if (v.kind != dl::LayerKind::kConv2d) continue;
+    const Shape& in =
+        i == 0 ? quantized.input_shape() : quantized.activation_shape(i - 1);
+    const std::size_t h = in.dim(1), w = in.dim(2);
+    const std::size_t k = v.k, s = v.stride, p = v.pad;
+    const std::size_t oh = (h + 2 * p - k) / s + 1;
+    const std::size_t ow = (w + 2 * p - k) / s + 1;
+    std::size_t entries = 0;
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        std::size_t taps = 0;
+        for (std::size_t ky = 0; ky < k; ++ky) {
+          const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy * s + ky) -
+                                    static_cast<std::ptrdiff_t>(p);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+          for (std::size_t kx = 0; kx < k; ++kx) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * s + kx) -
+                static_cast<std::ptrdiff_t>(p);
+            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+            ++taps;
+          }
+        }
+        entries += v.in_c * taps;
+      }
+    }
+    scratch = std::max(scratch, entries);
+  }
+  return 2 * max_activation + scratch + cfg.arena_slack;
+}
+
+QuantArenaCheck check_quant_arena(const dl::QuantizedModel& quantized,
+                                  const dl::QuantEngineConfig& cfg) {
+  QuantArenaCheck c;
+  c.required_bytes = quant_arena_demand(quantized, cfg);
+  const dl::QuantEngine probe{quantized, cfg};
+  c.planned_bytes = probe.arena_capacity();
+  c.consistent = c.planned_bytes == c.required_bytes;
+  return c;
+}
+
+SaturationCrossCheck cross_check_saturation(
+    const std::vector<QuantSaturationCheck>& checks,
+    std::span<const std::uint64_t> measured) {
+  if (checks.size() != measured.size())
+    throw std::invalid_argument(
+        "cross_check_saturation: checks and measured counters must cover "
+        "the same layers");
+  SaturationCrossCheck x;
+  x.layers_checked = checks.size();
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    x.measured_total += measured[i];
+    if (checks[i].saturation_possible) {
+      ++x.flagged;
+    } else {
+      ++x.statically_safe;
+      if (measured[i] != 0) ++x.violations;
+    }
+  }
+  x.consistent = x.violations == 0;
+  return x;
 }
 
 }  // namespace sx::verify

@@ -16,11 +16,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "dl/engine.hpp"
 #include "dl/model.hpp"
+#include "dl/qplan.hpp"
 #include "dl/quant.hpp"
 #include "trace/odd.hpp"
 #include "verify/interval.hpp"
@@ -42,6 +45,13 @@ struct ArenaCheck {
   std::size_t required_floats = 0;  ///< demand re-derived from shapes alone
   std::size_t planned_floats = 0;   ///< capacity the engine actually planned
   bool consistent = false;          ///< planned == required
+};
+
+/// Independent re-verification of the quantized engine's byte-arena plan.
+struct QuantArenaCheck {
+  std::size_t required_bytes = 0;  ///< demand re-derived from shapes alone
+  std::size_t planned_bytes = 0;   ///< capacity the engine actually planned
+  bool consistent = false;         ///< planned == required
 };
 
 /// Saturation margin of one quantized layer against the static bound.
@@ -69,6 +79,8 @@ struct VerificationEvidence {
   std::vector<LayerRangeSummary> layers;
   ArenaCheck arena;
   std::vector<QuantSaturationCheck> quant;  ///< empty unless requested
+  QuantArenaCheck quant_arena;  ///< meaningful iff quant_checked
+  bool quant_checked = false;   ///< int8 deployment evidence attached
   float output_lo = 0.0f;  ///< envelope of the final output interval
   float output_hi = 0.0f;
 
@@ -116,5 +128,41 @@ VerificationEvidence verify_model(const dl::Model& model,
 std::vector<QuantSaturationCheck> check_quant_saturation(
     const dl::Model& model, const dl::QuantizedModel& quantized,
     const trace::OddSpec& odd);
+
+/// Byte-arena demand of dl::QuantEngine's plan — two int8 ping-pong
+/// buffers plus (in a planned kernel mode) the ragged im2col byte column
+/// of the largest Conv2d — re-derived from the quantized layers' shapes
+/// alone, deliberately not using QuantKernelPlan's own scratch_bytes()
+/// bookkeeping. Honors the same cfg.kernels / SX_KERNEL_REFERENCE
+/// resolution as the engine so the equality holds in either mode.
+std::size_t quant_arena_demand(const dl::QuantizedModel& quantized,
+                               const dl::QuantEngineConfig& cfg = {});
+
+/// Plans a probe QuantEngine and checks its actual byte capacity against
+/// the shape-derived demand.
+QuantArenaCheck check_quant_arena(const dl::QuantizedModel& quantized,
+                                  const dl::QuantEngineConfig& cfg = {});
+
+/// Cross-check of the static saturation-margin verdicts against measured
+/// per-layer requantization-clip counters (QuantizedModel /
+/// QuantEngine::saturation_counts()). Soundness direction: a layer the
+/// analysis calls statically safe (saturation_possible == false) must
+/// never have clipped at runtime — a violation means the static bound or
+/// the scale bookkeeping is wrong. The converse (a flagged layer that
+/// never clipped) is expected conservatism, not an error.
+struct SaturationCrossCheck {
+  std::size_t layers_checked = 0;
+  std::size_t statically_safe = 0;    ///< layers with no saturation possible
+  std::size_t flagged = 0;            ///< layers the analysis flagged
+  std::uint64_t measured_total = 0;   ///< sum of the measured counters
+  std::size_t violations = 0;  ///< statically safe layers that clipped
+  bool consistent = false;     ///< violations == 0
+};
+
+/// `checks` from check_quant_saturation, `measured` indexed by the same
+/// layer order; throws std::invalid_argument on a length mismatch.
+SaturationCrossCheck cross_check_saturation(
+    const std::vector<QuantSaturationCheck>& checks,
+    std::span<const std::uint64_t> measured);
 
 }  // namespace sx::verify

@@ -59,6 +59,38 @@ TEST(Report, ContainsOperationalCounters) {
   EXPECT_NE(report.text.find("audit chain: VERIFIES"), std::string::npos);
 }
 
+TEST(Report, QuantBackendEvidenceRenders) {
+  PipelineConfig cfg;
+  cfg.criticality = Criticality::kSil2;
+  cfg.backend = BackendKind::kInt8;
+  PipelineSpec spec = recommended_spec(Criticality::kSil2);
+  spec.has_static_verification = true;
+  cfg.spec = spec;
+  cfg.batch_workers = 2;
+  CertifiablePipeline p{model(), data(), cfg};
+  for (std::size_t i = 0; i < 6; ++i) (void)p.infer(data().samples[i].input, i);
+
+  const EvidenceItem ev = make_quant_backend_evidence(p);
+  EXPECT_NE(ev.body.find("backend: int8"), std::string::npos);
+  EXPECT_NE(ev.body.find("per-channel weight scales"), std::string::npos);
+  EXPECT_NE(ev.body.find("mode="), std::string::npos);
+  EXPECT_NE(ev.body.find("byte-arena re-check"), std::string::npos);
+  EXPECT_NE(ev.body.find("CONSISTENT"), std::string::npos);
+  EXPECT_NE(ev.body.find("saturation cross-check"), std::string::npos);
+
+  const auto batch_ev = make_batch_runner_evidence(*p.batch_runner());
+  EXPECT_NE(batch_ev.body.find("int8 kernel plan"), std::string::npos);
+
+  const auto report = make_certification_report(p, nullptr, {ev, batch_ev});
+  EXPECT_TRUE(report.complete);
+  EXPECT_NE(report.text.find("backend=int8"), std::string::npos);
+}
+
+TEST(Report, QuantBackendEvidenceRejectsFloatPipeline) {
+  CertifiablePipeline p = make_pipeline(Criticality::kQM);
+  EXPECT_THROW(make_quant_backend_evidence(p), std::logic_error);
+}
+
 TEST(Report, EveryCriticalityLevelRenders) {
   for (const Criticality c : {Criticality::kQM, Criticality::kSil1,
                               Criticality::kSil2, Criticality::kSil3,

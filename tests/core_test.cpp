@@ -249,5 +249,140 @@ INSTANTIATE_TEST_SUITE_P(AllLevels, PipelineLevels,
                                            Criticality::kSil3,
                                            Criticality::kSil4));
 
+// ------------------------------------------------------------ int8 backend
+
+TEST(PipelineInt8, Sil2EndToEndDecides) {
+  PipelineConfig cfg;
+  cfg.criticality = Criticality::kSil2;
+  cfg.backend = BackendKind::kInt8;
+  CertifiablePipeline p{model(), data(), cfg};
+
+  EXPECT_EQ(p.backend(), BackendKind::kInt8);
+  EXPECT_STREQ(to_string(p.backend()), "int8");
+  ASSERT_NE(p.quantized_model(), nullptr);
+  ASSERT_NE(p.quant_channel(), nullptr);
+  // SIL2's recommended pattern is kMonitored: the int8 channel must carry
+  // its own runtime monitor to stay admissible.
+  EXPECT_EQ(p.quant_channel()->pattern_name(), "int8-monitored");
+
+  std::size_t ok_count = 0, correct = 0;
+  const std::size_t n = 40;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto d = p.infer(data().samples[i].input, i);
+    if (d.status == Status::kOk && !d.degraded) {
+      ++ok_count;
+      correct += (d.predicted_class == data().samples[i].label) ? 1 : 0;
+    }
+  }
+  EXPECT_GT(ok_count, n * 7 / 10);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(ok_count),
+            0.7);
+  EXPECT_EQ(ok(p.audit().verify()), true);
+
+  // Deployment evidence: the audit trail records the backend and the
+  // quantized kernel plan.
+  bool saw_backend = false, saw_plan = false;
+  for (const auto& e : p.audit().entries()) {
+    if (e.action == "deploy" && e.payload.find("backend=int8") !=
+                                    std::string::npos)
+      saw_backend = true;
+    if (e.actor == "quant-plan") saw_plan = true;
+  }
+  EXPECT_TRUE(saw_backend);
+  EXPECT_TRUE(saw_plan);
+}
+
+TEST(PipelineInt8, RejectsCriticalityAboveMonitoredRung) {
+  PipelineConfig cfg;
+  cfg.criticality = Criticality::kSil3;  // demands DMR: float replicas
+  cfg.backend = BackendKind::kInt8;
+  cfg.timing_budget = 1000;
+  EXPECT_THROW(CertifiablePipeline(model(), data(), cfg),
+               std::invalid_argument);
+}
+
+TEST(PipelineInt8, FloatBackendHasNoQuantState) {
+  PipelineConfig cfg;
+  cfg.criticality = Criticality::kSil2;
+  CertifiablePipeline p{model(), data(), cfg};
+  EXPECT_EQ(p.backend(), BackendKind::kFloat32);
+  EXPECT_EQ(p.quantized_model(), nullptr);
+  EXPECT_EQ(p.quant_channel(), nullptr);
+  EXPECT_EQ(p.quant_saturation_total(), 0u);
+  EXPECT_THROW(p.quant_saturation_cross_check(), std::logic_error);
+}
+
+TEST(PipelineInt8, BatchPathIsQuantizedAndDecides) {
+  PipelineConfig cfg;
+  cfg.criticality = Criticality::kSil2;
+  cfg.backend = BackendKind::kInt8;
+  cfg.batch_workers = 4;
+  CertifiablePipeline p{model(), data(), cfg};
+  ASSERT_NE(p.batch_runner(), nullptr);
+  EXPECT_TRUE(p.batch_runner()->quantized());
+
+  std::vector<tensor::Tensor> inputs;
+  for (std::size_t i = 0; i < 9; ++i)
+    inputs.push_back(data().samples[i].input);
+  const auto decisions = p.infer_batch(inputs);
+  ASSERT_EQ(decisions.size(), inputs.size());
+  std::size_t ok_count = 0;
+  for (const auto& d : decisions)
+    if (d.status == Status::kOk && !d.degraded) ++ok_count;
+  EXPECT_GT(ok_count, 5u);
+
+  // Single-item decisions must match the batch path bit for bit: both run
+  // the same planned int8 engine stack.
+  PipelineConfig scfg = cfg;
+  scfg.batch_workers = 0;
+  CertifiablePipeline serial{model(), data(), scfg};
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto d = serial.infer(inputs[i], i);
+    EXPECT_EQ(d.status, decisions[i].status) << "item " << i;
+    EXPECT_EQ(d.predicted_class, decisions[i].predicted_class) << "item " << i;
+    EXPECT_EQ(d.confidence, decisions[i].confidence) << "item " << i;
+  }
+}
+
+TEST(PipelineInt8, StaticVerificationCrossChecksSaturation) {
+  PipelineConfig cfg;
+  cfg.criticality = Criticality::kSil2;
+  cfg.backend = BackendKind::kInt8;
+  PipelineSpec spec = recommended_spec(Criticality::kSil2);
+  spec.has_static_verification = true;  // stricter than SIL2 demands
+  cfg.spec = spec;
+  CertifiablePipeline p{model(), data(), cfg};
+
+  const auto* sv = p.static_verification();
+  ASSERT_NE(sv, nullptr);
+  EXPECT_TRUE(sv->quant_checked);
+  EXPECT_FALSE(sv->quant.empty());
+  EXPECT_TRUE(sv->quant_arena.consistent)
+      << "independent byte-arena demand diverges from the engine plan";
+  EXPECT_FALSE(p.verification_refused());
+  EXPECT_NE(sv->to_text().find("int8 arena plan"), std::string::npos);
+
+  for (std::size_t i = 0; i < 30; ++i) (void)p.infer(data().samples[i].input, i);
+  const verify::SaturationCrossCheck xc = p.quant_saturation_cross_check();
+  EXPECT_EQ(xc.layers_checked, p.quantized_model()->layer_count());
+  EXPECT_TRUE(xc.consistent)
+      << "a statically-safe layer clipped at runtime: " << xc.violations
+      << " violations";
+  EXPECT_EQ(xc.measured_total, p.quant_saturation_total());
+}
+
+TEST(PipelineInt8, TelemetryExposesQuantMetrics) {
+  PipelineConfig cfg;
+  cfg.criticality = Criticality::kSil2;
+  cfg.backend = BackendKind::kInt8;
+  CertifiablePipeline p{model(), data(), cfg};
+  ASSERT_NE(p.telemetry(), nullptr);
+  for (std::size_t i = 0; i < 10; ++i) (void)p.infer(data().samples[i].input, i);
+  const std::string metrics = obs::expose_text(*p.telemetry());
+  EXPECT_NE(metrics.find("sx_quant_saturations_total"), std::string::npos);
+  EXPECT_NE(metrics.find("sx_quant_weight_bytes"), std::string::npos);
+  EXPECT_NE(metrics.find("sx_stage_quant_inference_cycles"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sx::core

@@ -1,0 +1,356 @@
+// Differential and golden tests for the planned int8 execution stack
+// (dl/qplan): the planned QuantEngine must be *bitwise identical* to the
+// reference QuantizedModel::run — dequantized logits AND per-layer
+// saturation counters — at every kernel rung (reference, blocked, packed),
+// for every weight granularity, across awkward shapes (tail dims off the
+// 8-lane blocks, strides, padding), and through the quantized BatchRunner
+// for every worker count. A golden-vector file pins one quantized CNN's
+// logits against drift.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dl/batch.hpp"
+#include "dl/qplan.hpp"
+#include "dl/quant.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace sx::dl {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Dataset toy_dataset(const Shape& input_shape, std::size_t n,
+                    std::uint64_t seed, std::size_t classes = 3) {
+  Dataset ds;
+  ds.num_classes = classes;
+  ds.input_shape = input_shape;
+  util::Xoshiro256 rng{seed};
+  for (std::size_t i = 0; i < n; ++i) {
+    Sample s;
+    s.input = Tensor{input_shape};
+    // Wide range on purpose: requantization must clip on some samples so
+    // the saturation-counter parity check is non-vacuous.
+    s.input.init_uniform(rng, -2.0f, 2.0f);
+    s.label = i % classes;
+    ds.samples.push_back(std::move(s));
+  }
+  return ds;
+}
+
+struct Arch {
+  const char* name;
+  Shape input;
+  Model model;
+};
+
+// Shapes chosen to exercise every planner branch: dims that are not a
+// multiple of the 8-lane blocks (tail handling), stride > 1, zero and
+// non-zero padding, fused and unfused ReLU, pooling reference steps, and
+// an exact-multiple control.
+std::vector<Arch> sweep_archs() {
+  std::vector<Arch> as;
+  {
+    ModelBuilder b{Shape::vec(13)};
+    b.dense(17).relu().dense(9).relu().dense(5);
+    as.push_back({"mlp-tails", Shape::vec(13), b.build(101)});
+  }
+  {
+    ModelBuilder b{Shape::vec(16)};
+    b.dense(8).relu().dense(8);
+    as.push_back({"mlp-exact8", Shape::vec(16), b.build(102)});
+  }
+  {
+    ModelBuilder b{Shape::chw(3, 9, 9)};
+    b.conv2d(5, 3, /*stride=*/1, /*padding=*/1)
+        .relu()
+        .maxpool(3)
+        .flatten()
+        .dense(7);
+    as.push_back({"cnn-pad1-pool", Shape::chw(3, 9, 9), b.build(103)});
+  }
+  {
+    ModelBuilder b{Shape::chw(2, 11, 11)};
+    b.conv2d(9, 3, /*stride=*/2, /*padding=*/0)
+        .relu()
+        .conv2d(4, 3, /*stride=*/1, /*padding=*/1)
+        .flatten()
+        .dense(6);
+    as.push_back({"cnn-stride2-nopad", Shape::chw(2, 11, 11), b.build(104)});
+  }
+  {
+    ModelBuilder b{Shape::chw(1, 8, 8)};
+    b.conv2d(2, 3, /*stride=*/1, /*padding=*/1)
+        .relu()
+        .avgpool(2)
+        .flatten()
+        .dense(3);
+    as.push_back({"cnn-avgpool", Shape::chw(1, 8, 8), b.build(105)});
+  }
+  return as;
+}
+
+bool bits_equal(float a, float b) {
+  std::uint32_t ua, ub;
+  std::memcpy(&ua, &a, sizeof ua);
+  std::memcpy(&ub, &b, sizeof ub);
+  return ua == ub;
+}
+
+// Reference vs planned engine on the same inputs: logits and per-layer
+// counters must match bit for bit.
+void expect_engine_matches_reference(const Arch& a, WeightGranularity gran,
+                                     KernelMode mode) {
+  SCOPED_TRACE(std::string(a.name) + " gran=" +
+               std::string(to_string(gran)) +
+               " mode=" + std::string(kernel_mode_name(mode)));
+  const Dataset cal = toy_dataset(a.input, 12, 900 + a.input.size());
+  const QuantizedModel qm =
+      QuantizedModel::quantize(a.model, cal, QuantConfig{gran});
+  QuantizedModel ref = qm;  // counters accumulate in the copy
+  QuantEngine eng{qm, QuantEngineConfig{.kernels = mode}};
+
+  const std::size_t n_out = qm.output_shape().size();
+  std::vector<float> r(n_out), p(n_out);
+  util::Xoshiro256 rng{77};
+  for (int it = 0; it < 8; ++it) {
+    Tensor in{a.input};
+    in.init_uniform(rng, -2.5f, 2.5f);
+    ASSERT_EQ(ref.run(in.view(), r), Status::kOk);
+    ASSERT_EQ(eng.run(in.view(), p), Status::kOk);
+    for (std::size_t i = 0; i < n_out; ++i)
+      ASSERT_TRUE(bits_equal(r[i], p[i]))
+          << "logit " << i << ": ref=" << r[i] << " planned=" << p[i];
+  }
+  const auto rc = ref.saturation_counts();
+  const auto pc = eng.saturation_counts();
+  ASSERT_EQ(rc.size(), pc.size());
+  for (std::size_t i = 0; i < rc.size(); ++i)
+    EXPECT_EQ(rc[i], pc[i]) << "saturation counter of layer " << i;
+  EXPECT_GT(ref.saturation_total() + eng.run_count(), 0u);
+  EXPECT_LE(eng.arena_high_water_mark(), eng.arena_capacity());
+}
+
+TEST(QuantKernelPlan, DifferentialSweepBitwiseIdentity) {
+  for (const Arch& a : sweep_archs())
+    for (WeightGranularity g :
+         {WeightGranularity::kPerChannel, WeightGranularity::kPerTensor})
+      for (KernelMode m : {KernelMode::kReference, KernelMode::kBlocked,
+                           KernelMode::kPacked})
+        expect_engine_matches_reference(a, g, m);
+}
+
+TEST(QuantKernelPlan, SweepClipsSomewhere) {
+  // The sweep above is only meaningful if requantization actually clips on
+  // these inputs; prove at least one architecture saturates.
+  std::uint64_t clips = 0;
+  for (const Arch& a : sweep_archs()) {
+    const Dataset cal = toy_dataset(a.input, 12, 900 + a.input.size());
+    QuantizedModel qm = QuantizedModel::quantize(a.model, cal);
+    std::vector<float> out(qm.output_shape().size());
+    util::Xoshiro256 rng{77};
+    for (int it = 0; it < 8; ++it) {
+      Tensor in{a.input};
+      in.init_uniform(rng, -2.5f, 2.5f);
+      ASSERT_EQ(qm.run(in.view(), out), Status::kOk);
+    }
+    clips += qm.saturation_total();
+  }
+  EXPECT_GT(clips, 0u) << "sweep inputs never saturate; widen their range";
+}
+
+TEST(QuantKernelPlan, PlanShapeMatchesArchitecture) {
+  ModelBuilder b{Shape::chw(3, 9, 9)};
+  b.conv2d(5, 3, 1, 1).relu().maxpool(3).flatten().dense(7);
+  const Model m = b.build(103);
+  const Dataset cal = toy_dataset(Shape::chw(3, 9, 9), 8, 41);
+  const QuantizedModel qm = QuantizedModel::quantize(m, cal);
+
+  const QuantKernelPlan plan{qm, KernelMode::kPacked};
+  EXPECT_EQ(plan.mode(), KernelMode::kPacked);
+  EXPECT_EQ(plan.planned_conv(), 1u);
+  EXPECT_EQ(plan.planned_dense(), 1u);
+  EXPECT_EQ(plan.fused_relus(), 1u);   // conv+relu fuse
+  EXPECT_EQ(plan.identity_steps(), 1u);  // flatten
+  EXPECT_EQ(plan.reference_steps(), 1u);  // maxpool
+  EXPECT_GT(plan.panel_bytes(), 0u);
+  EXPECT_GT(plan.table_entries(), 0u);
+  EXPECT_GT(plan.scratch_bytes(), 0u);
+  EXPECT_NE(plan.summary().find("mode=packed"), std::string::npos);
+
+  const QuantKernelPlan blocked{qm, KernelMode::kBlocked};
+  EXPECT_EQ(blocked.panel_bytes(), 0u);
+}
+
+TEST(QuantKernelPlan, RepackKeepsOutputsIdentical) {
+  ModelBuilder b{Shape::vec(13)};
+  b.dense(17).relu().dense(5);
+  const Model m = b.build(9);
+  const Dataset cal = toy_dataset(Shape::vec(13), 8, 43);
+  const QuantizedModel qm = QuantizedModel::quantize(m, cal);
+  QuantEngine eng{qm, QuantEngineConfig{.kernels = KernelMode::kPacked}};
+  ASSERT_NE(eng.plan(), nullptr);
+
+  Tensor in{Shape::vec(13)};
+  util::Xoshiro256 rng{5};
+  in.init_uniform(rng, -1.0f, 1.0f);
+  std::vector<float> before(5), after(5);
+  ASSERT_EQ(eng.run(in.view(), before), Status::kOk);
+  const_cast<QuantKernelPlan*>(eng.plan())->repack();
+  ASSERT_EQ(eng.run(in.view(), after), Status::kOk);
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_TRUE(bits_equal(before[i], after[i]));
+}
+
+TEST(QuantKernelPlan, SharedPlanAcrossEngines) {
+  const Model& m = sx::testing::trained_cnn();
+  const auto& ds = sx::testing::road_data();
+  const QuantizedModel qm = QuantizedModel::quantize(m, ds);
+  const QuantKernelPlan plan{qm, KernelMode::kBlocked};
+  QuantEngine e1{qm, plan};
+  QuantEngine e2{qm, plan};
+  std::vector<float> a(qm.output_shape().size()), b(a.size());
+  ASSERT_EQ(e1.run(ds.samples[0].input.view(), a), Status::kOk);
+  ASSERT_EQ(e2.run(ds.samples[0].input.view(), b), Status::kOk);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(bits_equal(a[i], b[i]));
+}
+
+TEST(QuantEngine, RejectsWrongShapes) {
+  const Model& m = sx::testing::trained_mlp();
+  const auto& ds = sx::testing::road_data();
+  const QuantizedModel qm = QuantizedModel::quantize(m, ds);
+  QuantEngine eng{qm};
+  std::vector<float> out(qm.output_shape().size());
+  Tensor bad{Shape::vec(7)};
+  EXPECT_EQ(eng.run(bad.view(), out), Status::kShapeMismatch);
+  std::vector<float> short_out(1);
+  EXPECT_EQ(eng.run(ds.samples[0].input.view(), short_out),
+            Status::kShapeMismatch);
+  EXPECT_EQ(eng.run_count(), 0u);
+}
+
+// ------------------------------------------------------- batch executor
+
+// Quantized batch dispatch: outputs, statuses and the per-layer clip
+// counters must be bitwise identical for every worker count, and identical
+// to the serial reference model.
+TEST(QuantBatch, ScheduleIndependentAcrossWorkerCounts) {
+  const Model& m = sx::testing::trained_cnn();
+  const auto& ds = sx::testing::road_data();
+  const QuantizedModel qm = QuantizedModel::quantize(m, ds);
+
+  const std::size_t count = 13;  // odd on purpose: ragged partition tails
+  const std::size_t in_size = qm.input_shape().size();
+  const std::size_t out_size = qm.output_shape().size();
+  std::vector<float> inputs(count * in_size);
+  for (std::size_t i = 0; i < count; ++i)
+    for (std::size_t j = 0; j < in_size; ++j)
+      inputs[i * in_size + j] = ds.samples[i].input.data()[j];
+
+  // Serial reference.
+  QuantizedModel ref = qm;
+  std::vector<float> ref_out(count * out_size);
+  for (std::size_t i = 0; i < count; ++i) {
+    tensor::ConstTensorView v{
+        std::span<const float>(inputs).subspan(i * in_size, in_size),
+        qm.input_shape()};
+    ASSERT_EQ(ref.run(v, std::span<float>(ref_out).subspan(i * out_size,
+                                                           out_size)),
+              Status::kOk);
+  }
+
+  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    BatchRunner runner{qm, BatchRunnerConfig{.workers = workers}};
+    ASSERT_TRUE(runner.quantized());
+    std::vector<float> outputs(count * out_size, -1.0f);
+    std::vector<Status> statuses(count, Status::kNotReady);
+    ASSERT_EQ(runner.run(inputs, outputs, statuses), Status::kOk);
+    for (std::size_t i = 0; i < count; ++i)
+      ASSERT_EQ(statuses[i], Status::kOk) << "item " << i;
+    for (std::size_t i = 0; i < outputs.size(); ++i)
+      ASSERT_TRUE(bits_equal(outputs[i], ref_out[i]))
+          << "output " << i << " diverges at workers=" << workers;
+    EXPECT_EQ(runner.saturation_count(), ref.saturation_total());
+    std::vector<std::uint64_t> per_layer(qm.layer_count(), 0);
+    runner.saturation_counts_into(per_layer);
+    const auto rc = ref.saturation_counts();
+    for (std::size_t i = 0; i < per_layer.size(); ++i)
+      EXPECT_EQ(per_layer[i], rc[i]) << "layer " << i;
+    EXPECT_EQ(runner.numeric_fault_count(), 0u);
+  }
+}
+
+TEST(QuantBatch, ReferenceModeHasNoPlanButSameBits) {
+  const Model& m = sx::testing::trained_mlp();
+  const auto& ds = sx::testing::road_data();
+  const QuantizedModel qm = QuantizedModel::quantize(m, ds);
+  const std::size_t in_size = qm.input_shape().size();
+  const std::size_t out_size = qm.output_shape().size();
+  const std::size_t count = 6;
+  std::vector<float> inputs(count * in_size);
+  for (std::size_t i = 0; i < count; ++i)
+    for (std::size_t j = 0; j < in_size; ++j)
+      inputs[i * in_size + j] = ds.samples[i].input.data()[j];
+  std::vector<Status> statuses(count);
+
+  BatchRunner planned{qm, BatchRunnerConfig{.workers = 2}};
+  BatchRunner reference{
+      qm, BatchRunnerConfig{.workers = 2, .kernels = KernelMode::kReference}};
+  EXPECT_NE(planned.quant_kernel_plan(), nullptr);
+  EXPECT_EQ(reference.quant_kernel_plan(), nullptr);
+  EXPECT_EQ(planned.kernel_plan(), nullptr);  // float plan stays absent
+
+  std::vector<float> a(count * out_size), b(count * out_size);
+  ASSERT_EQ(planned.run(inputs, a, statuses), Status::kOk);
+  ASSERT_EQ(reference.run(inputs, b, statuses), Status::kOk);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_TRUE(bits_equal(a[i], b[i]));
+  EXPECT_EQ(planned.saturation_count(), reference.saturation_count());
+}
+
+// ------------------------------------------------------- golden vectors
+
+// Pinned logits of one quantized CNN (seeded untrained weights, toy
+// calibration, four seeded inputs), stored as exact hex floats. Any change
+// to the int8 numerics — kernels, epilogue, scale bookkeeping — trips this
+// even if reference and planned paths drift together.
+TEST(QuantGolden, CnnLogitsMatchGoldenFile) {
+  ModelBuilder b{Shape::chw(3, 9, 9)};
+  b.conv2d(5, 3, 1, 1).relu().maxpool(3).flatten().dense(7);
+  const Model m = b.build(103);
+  const Dataset cal = toy_dataset(Shape::chw(3, 9, 9), 12, 900 + 3 * 9 * 9);
+  const QuantizedModel qm = QuantizedModel::quantize(m, cal);
+
+  std::FILE* f = std::fopen(SX_TEST_DATA_DIR "/quant_cnn_golden.txt", "r");
+  ASSERT_NE(f, nullptr) << "golden file missing";
+  QuantEngine eng{qm, QuantEngineConfig{.kernels = KernelMode::kPacked}};
+  QuantizedModel ref = qm;
+  std::vector<float> planned(7), reference(7);
+  util::Xoshiro256 rng{2024};
+  for (int vec = 0; vec < 4; ++vec) {
+    Tensor in{Shape::chw(3, 9, 9)};
+    in.init_uniform(rng, -2.0f, 2.0f);
+    ASSERT_EQ(eng.run(in.view(), planned), Status::kOk);
+    ASSERT_EQ(ref.run(in.view(), reference), Status::kOk);
+    for (std::size_t i = 0; i < 7; ++i) {
+      float expected = 0.0f;
+      ASSERT_EQ(std::fscanf(f, "%a", &expected), 1)
+          << "golden file truncated at vector " << vec << " logit " << i;
+      EXPECT_TRUE(bits_equal(planned[i], expected))
+          << "planned logit " << i << " of vector " << vec << ": got "
+          << planned[i] << " expected " << expected;
+      EXPECT_TRUE(bits_equal(reference[i], expected))
+          << "reference logit " << i << " of vector " << vec;
+    }
+  }
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace sx::dl

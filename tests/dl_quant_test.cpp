@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "dl/quant.hpp"
 #include "dl/train.hpp"
 #include "test_helpers.hpp"
@@ -142,6 +145,109 @@ TEST(QuantizedModel, AvgPoolModelWorks) {
   QuantizedModel qm = QuantizedModel::quantize(m, toy);
   std::vector<float> out(3);
   EXPECT_EQ(qm.run(toy.samples[0].input.view(), out), Status::kOk);
+}
+
+TEST(QuantizedModel, RejectsWrongOutputSize) {
+  // Regression for the noexcept-audit: an undersized output span used to
+  // reach the dequantize loop and write past the caller's buffer.
+  const Model& m = sx::testing::trained_mlp();
+  const auto& ds = sx::testing::road_data();
+  QuantizedModel qm = QuantizedModel::quantize(m, ds);
+  std::vector<float> short_out(1);
+  EXPECT_EQ(qm.run(ds.samples[0].input.view(), short_out),
+            Status::kShapeMismatch);
+  std::vector<float> long_out(m.output_shape().size() + 3);
+  EXPECT_EQ(qm.run(ds.samples[0].input.view(), long_out),
+            Status::kShapeMismatch);
+}
+
+TEST(QuantizedModel, ApplyLayerGuardsIndexAndSpans) {
+  const Model& m = sx::testing::trained_mlp();
+  const auto& ds = sx::testing::road_data();
+  QuantizedModel qm = QuantizedModel::quantize(m, ds);
+  std::vector<std::int8_t> in(qm.input_shape().size());
+  std::vector<std::int8_t> out(qm.activation_shape(0).size());
+  EXPECT_EQ(qm.apply_layer(qm.layer_count() + 5, in, out, nullptr),
+            Status::kInvalidArgument);
+  std::vector<std::int8_t> short_in(1);
+  EXPECT_EQ(qm.apply_layer(0, short_in, out, nullptr),
+            Status::kShapeMismatch);
+  std::vector<std::int8_t> short_out(1);
+  EXPECT_EQ(qm.apply_layer(0, in, short_out, nullptr),
+            Status::kShapeMismatch);
+}
+
+TEST(QuantizeBiasI32, RoundsHalfAwayFromZero) {
+  // scale = 1.0: quotient == bias.
+  EXPECT_EQ(quantize_bias_i32(2.5f, 1.0f, 1.0f), 3);
+  EXPECT_EQ(quantize_bias_i32(-2.5f, 1.0f, 1.0f), -3);
+  EXPECT_EQ(quantize_bias_i32(0.0f, 1.0f, 1.0f), 0);
+  bool sat = true;
+  EXPECT_EQ(quantize_bias_i32(10.0f, 0.5f, 0.5f, &sat), 40);
+  EXPECT_FALSE(sat);
+}
+
+TEST(QuantizeBiasI32, ClampsToInt32AndReportsSaturation) {
+  bool sat = false;
+  EXPECT_EQ(quantize_bias_i32(1e20f, 1.0f, 1.0f, &sat),
+            std::numeric_limits<std::int32_t>::max());
+  EXPECT_TRUE(sat);
+  sat = false;
+  EXPECT_EQ(quantize_bias_i32(-1e20f, 1.0f, 1.0f, &sat),
+            std::numeric_limits<std::int32_t>::min());
+  EXPECT_TRUE(sat);
+}
+
+TEST(QuantizeBiasI32, TinyPerChannelScalesDoNotOverflow) {
+  // w_scale * in_scale underflows *float* here; the double widening must
+  // keep the quotient finite and the result a deterministic clamp, not UB.
+  bool sat = false;
+  const float tiny = 1e-30f;
+  EXPECT_EQ(quantize_bias_i32(1.0f, tiny, tiny, &sat),
+            std::numeric_limits<std::int32_t>::max());
+  EXPECT_TRUE(sat);
+}
+
+TEST(QuantizeBiasI32, DegenerateScaleAndNonFiniteBiasMapToZero) {
+  bool sat = false;
+  EXPECT_EQ(quantize_bias_i32(5.0f, 0.0f, 1.0f, &sat), 0);
+  EXPECT_TRUE(sat);
+  sat = false;
+  EXPECT_EQ(quantize_bias_i32(5.0f, -1.0f, 1.0f, &sat), 0);
+  EXPECT_TRUE(sat);
+  sat = false;
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(quantize_bias_i32(inf, 1.0f, 1.0f, &sat), 0);
+  EXPECT_TRUE(sat);
+  sat = false;
+  EXPECT_EQ(quantize_bias_i32(std::nanf(""), 1.0f, 1.0f, &sat), 0);
+  EXPECT_TRUE(sat);
+}
+
+TEST(QuantizedModel, BiasSaturationAuditCountsUnrepresentableChannels) {
+  // Tiny weights force a tiny per-channel w_scale; a large bias is then
+  // unrepresentable in the int32 accumulator at scale w_scale * in_scale.
+  ModelBuilder b{Shape::vec(4)};
+  b.dense(2);
+  Model m = b.build(7);
+  auto& d = static_cast<Dense&>(m.layer(0));
+  for (auto& w : d.weights()) w = 1e-6f;
+  d.bias()[0] = 50.0f;  // 50 / (w_scale * in_scale) >> int32 max
+  d.bias()[1] = 0.0f;   // representable: must not count
+
+  Dataset ds;
+  ds.num_classes = 2;
+  ds.input_shape = Shape::vec(4);
+  Sample s;
+  s.input = Tensor{Shape::vec(4), {0.5f, -0.5f, 1.0f, -1.0f}};
+  ds.samples.push_back(std::move(s));
+
+  QuantizedModel qm = QuantizedModel::quantize(m, ds);
+  EXPECT_EQ(qm.bias_saturation_count(), 1u);
+
+  const Model& sane = sx::testing::trained_mlp();
+  QuantizedModel qsane = QuantizedModel::quantize(sane, sx::testing::road_data());
+  EXPECT_EQ(qsane.bias_saturation_count(), 0u);
 }
 
 }  // namespace

@@ -297,6 +297,33 @@ TEST(Campaign, RejectsEmptyProbes) {
                std::invalid_argument);
 }
 
+TEST(Campaign, AlwaysRefusingChannelYieldsEmptyOutcome) {
+  // Regression: a channel whose fault-free pass rejects every probe (here
+  // an input-range monitor no RoadScene sample satisfies) used to throw
+  // from run_campaign mid-analysis. Zero usable probes is a legitimate
+  // measurement — the outcome must be the well-defined empty one.
+  MonitoredChannel ch{model(),
+                      MonitorConfig{.check_input_range = true,
+                                    .input_min = 100.0f,
+                                    .input_max = 101.0f}};
+  dl::Dataset probes;
+  probes.num_classes = data().num_classes;
+  probes.input_shape = data().input_shape;
+  for (std::size_t i = 0; i < 8; ++i)
+    probes.samples.push_back(data().samples[i]);
+
+  const auto o = run_campaign(ch, probes, CampaignConfig{.n_faults = 10});
+  EXPECT_EQ(o.total(), 0u);
+  EXPECT_EQ(o.correct, 0u);
+  EXPECT_EQ(o.detected, 0u);
+  EXPECT_EQ(o.fallback, 0u);
+  EXPECT_EQ(o.sdc, 0u);
+  // The rate accessors stay defined on the empty outcome.
+  EXPECT_DOUBLE_EQ(o.sdc_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(o.safe_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(o.availability(), 0.0);
+}
+
 // ---------------------------------------------------------------- watchdog
 
 TEST(Watchdog, KickBeforeDeadlineOk) {

@@ -203,7 +203,9 @@ bool is_runtime_path(const fs::path& p) {
 }
 
 /// Hot-kernel files under the zero-allocation contract: everything in a
-/// tensor/ directory, plus the kernel plan (dl/plan.*).
+/// tensor/ directory, plus the kernel plans (dl/plan.*, dl/qplan.*) and the
+/// quantized runtime (dl/quant.*) — its run()/apply_layer() hot path shares
+/// the same "every byte owned at deploy time" contract.
 bool is_hot_path(const fs::path& p) {
   bool in_dl = false;
   for (const auto& part : p) {
@@ -211,7 +213,9 @@ bool is_hot_path(const fs::path& p) {
     if (s == "tensor") return true;
     if (s == "dl") in_dl = true;
   }
-  return in_dl && p.stem().string() == "plan";
+  if (!in_dl) return false;
+  const std::string stem = p.stem().string();
+  return stem == "plan" || stem == "qplan" || stem == "quant";
 }
 
 bool allowlisted(const std::string& file, const std::string& rule) {

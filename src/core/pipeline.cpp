@@ -216,8 +216,8 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
     std::unique_ptr<safety::InferenceChannel> inner;
     if (quant_) {
       // Int8 rung of the pattern ladder: bare engine at kSingle, envelope
-      // monitor at kMonitored. The folded float twin is the channel's
-      // fault-injection replica.
+      // monitor at kMonitored. Campaign faults land in the deployed int8
+      // weight store (QuantChannel::inject_fault), not the float twin.
       const safety::MonitorConfig mon{};
       auto qc = std::make_unique<safety::QuantChannel>(
           *folded_, *quant_, cfg_.quant_engine,

@@ -86,7 +86,7 @@ KernelPlan::KernelPlan(const Model& model, KernelMode mode)
   if (table_u32 != 0)
     tables_ = std::make_unique<std::uint32_t[]>(table_u32);  // sxlint: allow(hot-path-alloc) deploy-time im2col tables
   if (panel_floats_ != 0)
-    panels_ = std::make_unique<float[]>(panel_floats_);  // sxlint: allow(hot-path-alloc) deploy-time weight panels
+    panels_ = tensor::make_aligned_storage<float>(panel_floats_);
 
   // Pass 2: build steps, tables and panels.
   std::size_t tu = 0, pf = 0;

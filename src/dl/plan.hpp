@@ -43,6 +43,7 @@
 #include <string>
 
 #include "dl/model.hpp"
+#include "tensor/arena.hpp"
 #include "tensor/kernels.hpp"
 
 namespace sx::dl {
@@ -134,7 +135,7 @@ class KernelPlan {
   std::unique_ptr<KernelStep[]> steps_;
   std::size_t step_count_ = 0;
   std::unique_ptr<std::uint32_t[]> tables_;  ///< pix_off + in_idx + w_ofs
-  std::unique_ptr<float[]> panels_;
+  tensor::AlignedStorage<float> panels_;  ///< cache-line-aligned base
   std::size_t scratch_floats_ = 0;
   std::size_t panel_floats_ = 0;
   std::size_t table_entries_ = 0;

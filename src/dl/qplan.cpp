@@ -55,7 +55,7 @@ QuantKernelPlan::QuantKernelPlan(const QuantizedModel& model, KernelMode mode)
   if (table_u32 != 0)
     tables_ = std::make_unique<std::uint32_t[]>(table_u32);  // sxlint: allow(hot-path-alloc) deploy-time im2col tables
   if (panel_bytes_ != 0)
-    panels_ = std::make_unique<std::int8_t[]>(panel_bytes_);  // sxlint: allow(hot-path-alloc) deploy-time weight panels
+    panels_ = tensor::make_aligned_storage<std::int8_t>(panel_bytes_);
 
   // Pass 2: build steps, tables and panels.
   std::size_t tu = 0, pb = 0;

@@ -119,7 +119,7 @@ class QuantKernelPlan {
   std::unique_ptr<QuantKernelStep[]> steps_;
   std::size_t step_count_ = 0;
   std::unique_ptr<std::uint32_t[]> tables_;  ///< pix_off + in_idx + w_ofs
-  std::unique_ptr<std::int8_t[]> panels_;
+  tensor::AlignedStorage<std::int8_t> panels_;  ///< cache-line-aligned base
   std::size_t scratch_bytes_ = 0;
   std::size_t panel_bytes_ = 0;
   std::size_t table_entries_ = 0;
@@ -177,6 +177,15 @@ class QuantEngine {
 
   /// The plan driving this engine (nullptr in reference mode).
   const QuantKernelPlan* plan() const noexcept { return plan_; }
+
+  /// Re-snapshots the engine-private plan's packed weight panels after a
+  /// deliberate mutation of the quantized weights (fault injection). No-op
+  /// for blocked/reference plans, which read the live weights anyway. A
+  /// *shared* plan is left untouched — its owner must coordinate repack()
+  /// across every engine it serves.
+  void repack() noexcept {
+    if (owned_plan_ != nullptr) owned_plan_->repack();
+  }
 
   std::size_t arena_capacity() const noexcept { return arena_.capacity(); }
   std::size_t arena_high_water_mark() const noexcept {

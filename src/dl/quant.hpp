@@ -90,6 +90,15 @@ class QuantizedModel {
   /// Configuration-time API; throws on a bad index.
   QLayerView layer_view(std::size_t i) const;
 
+  /// Mutable view of layer i's int8 weights — the deployed parameter
+  /// memory a fault-injection campaign perturbs (empty for layers without
+  /// parameters). Campaign/configuration-time API; throws on a bad index.
+  /// Mutating weights under a kPacked QuantKernelPlan requires repack()
+  /// afterwards so panel snapshots see the new bits.
+  std::span<std::int8_t> mutable_weights(std::size_t i) {
+    return layers_.at(i).weights;
+  }
+
   /// Runs one layer standalone: `in`/`out` must be sized to the layer's
   /// input/output shapes. Used by the planned engine's reference steps
   /// (pooling layers). noexcept, allocation-free; requantization clips are
@@ -152,12 +161,17 @@ class QuantizedModel {
   std::uint64_t bias_saturations_ = 0;
 };
 
-/// Quantizes a single float to int8 with the given scale.
+/// Quantizes a single float to int8 with the given scale. Clamps in float
+/// before the integer conversion — casting a float past the int range is
+/// UB — with thresholds that preserve the unguarded expression's value for
+/// every input it handled (see tensor::qkernels::quantize_sat, which must
+/// stay value-identical to this).
 inline std::int8_t quantize_value(float v, float scale) noexcept {
   const float q = v / scale;
   const float r = q >= 0.0f ? q + 0.5f : q - 0.5f;  // round half away
-  const int i = static_cast<int>(r);
-  return static_cast<std::int8_t>(i > 127 ? 127 : (i < -127 ? -127 : i));
+  if (!(r < 128.0f)) return std::int8_t{127};  // r >= 128, or NaN
+  if (r <= -128.0f) return std::int8_t{-127};
+  return static_cast<std::int8_t>(static_cast<int>(r));
 }
 
 /// Quantizes a float bias to the int32 accumulator scale w_scale *

@@ -35,16 +35,20 @@ CampaignOutcome run_campaign(InferenceChannel& channel,
   // A channel that refuses every probe (e.g. a monitor whose envelope
   // rejects the whole dataset) is a valid — if useless — campaign subject:
   // there is nothing to measure, so report the well-defined empty outcome
-  // (all counters zero; the rate accessors already guard total() == 0)
-  // instead of throwing. Only an empty probe *dataset* is a caller error.
+  // instead of throwing. The rate accessors are conservative on it
+  // (measured() false, safe_rate 0), so no deployment gate passes off the
+  // back of zero measurements. Only an empty probe *dataset* is a caller
+  // error.
   if (usable.empty()) return CampaignOutcome{};
 
   FaultInjector injector{cfg.seed};
   CampaignOutcome outcome;
   std::size_t probe_cursor = 0;
   for (std::size_t f = 0; f < cfg.n_faults; ++f) {
-    const FaultRecord rec =
-        injector.inject(channel.replica(0), cfg.fault_type);
+    // The channel decides where the fault lands so it hits the parameter
+    // memory its inference path actually reads (float weights for the
+    // float patterns, the int8 store for QuantChannel).
+    const FaultRecord rec = channel.inject_fault(injector, 0, cfg.fault_type);
     for (std::size_t p = 0; p < cfg.probes_per_fault; ++p) {
       const std::size_t idx = probe_cursor % usable.size();
       ++probe_cursor;
@@ -59,7 +63,7 @@ CampaignOutcome run_campaign(InferenceChannel& channel,
         ++outcome.sdc;
       }
     }
-    FaultInjector::restore(channel.replica(0), rec);
+    channel.undo_fault(0, rec);
   }
   return outcome;
 }

@@ -32,25 +32,34 @@ struct CampaignOutcome {
   std::size_t total() const noexcept {
     return correct + detected + fallback + sdc;
   }
+  /// True once at least one (fault, probe) trial was classified. Every
+  /// rate accessor is *conservative* on an unmeasured outcome — sdc_rate
+  /// 1, safe_rate 0, availability 0 — so a deployment gate of the form
+  /// `safe_rate() >= x` or `sdc_rate() <= y` can never pass vacuously on
+  /// a campaign that measured nothing.
+  bool measured() const noexcept { return total() > 0; }
   double sdc_rate() const noexcept {
-    return total() ? static_cast<double>(sdc) / static_cast<double>(total())
-                   : 0.0;
+    return measured()
+               ? static_cast<double>(sdc) / static_cast<double>(total())
+               : 1.0;
   }
   double safe_rate() const noexcept { return 1.0 - sdc_rate(); }
   double availability() const noexcept {
-    return total() ? static_cast<double>(correct + fallback) /
-                         static_cast<double>(total())
-                   : 0.0;
+    return measured() ? static_cast<double>(correct + fallback) /
+                            static_cast<double>(total())
+                      : 0.0;
   }
 };
 
-/// Runs a fault-injection campaign against `channel`. Faults target replica
-/// 0's parameters; every fault is removed before the next trial. Probes are
-/// drawn round-robin from `probes` (only samples whose fault-free inference
-/// returns kOk without degradation participate). Throws only on an empty
-/// probe dataset (a configuration error); a channel that refuses every
-/// probe yields the well-defined empty outcome (total() == 0, all rates
-/// defined by the accessors' zero guards).
+/// Runs a fault-injection campaign against `channel`. Faults are injected
+/// through InferenceChannel::inject_fault so they land in the parameter
+/// memory replica 0's inference actually reads (float weights, or the int8
+/// store for quantized channels); every fault is removed before the next
+/// trial. Probes are drawn round-robin from `probes` (only samples whose
+/// fault-free inference returns kOk without degradation participate).
+/// Throws only on an empty probe dataset (a configuration error); a
+/// channel that refuses every probe yields the well-defined empty outcome
+/// (total() == 0, measured() false, conservative rates).
 CampaignOutcome run_campaign(InferenceChannel& channel,
                              const dl::Dataset& probes,
                              const CampaignConfig& cfg);

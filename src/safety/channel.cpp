@@ -192,6 +192,21 @@ QuantChannel::QuantChannel(const dl::Model& model,
   if (monitor != nullptr) monitor_ = std::make_unique<SafetyMonitor>(*monitor);
 }
 
+FaultRecord QuantChannel::inject_fault(FaultInjector& injector, std::size_t,
+                                       FaultType type) {
+  // An SEU in this channel hits the deployed int8 weight memory — the
+  // float twin is never read by the engine, so injecting there would
+  // leave every trial on the golden path.
+  const FaultRecord rec = injector.inject(*qmodel_, type);
+  engine_->repack();  // packed panels must snapshot the faulted bits
+  return rec;
+}
+
+void QuantChannel::undo_fault(std::size_t, const FaultRecord& rec) {
+  FaultInjector::restore(*qmodel_, rec);
+  engine_->repack();
+}
+
 Status QuantChannel::infer(tensor::ConstTensorView in,
                            std::span<float> out) noexcept {
   if (monitor_) {

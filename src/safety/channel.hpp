@@ -23,6 +23,7 @@
 #include "dl/qplan.hpp"
 #include "dl/quant.hpp"
 #include "obs/registry.hpp"
+#include "safety/fault.hpp"
 #include "safety/monitor.hpp"
 #include "supervise/supervisor.hpp"
 
@@ -43,6 +44,21 @@ class InferenceChannel {
   /// Number of model replicas (fault-injection targets).
   virtual std::size_t replica_count() const noexcept { return 1; }
   virtual dl::Model& replica(std::size_t i) = 0;
+
+  /// Injects one fault into replica `i`'s *deployed* parameter memory and
+  /// returns the record for undo_fault(). The default targets the float
+  /// parameters of replica(i); a channel whose inference reads a different
+  /// representation (e.g. QuantChannel's int8 weight store) overrides both
+  /// hooks so campaigns mutate memory the inference path actually reads —
+  /// faults into an unread twin would measure nothing.
+  virtual FaultRecord inject_fault(FaultInjector& injector, std::size_t i,
+                                   FaultType type) {
+    return injector.inject(replica(i), type);
+  }
+  /// Removes the fault recorded by inject_fault().
+  virtual void undo_fault(std::size_t i, const FaultRecord& rec) {
+    FaultInjector::restore(replica(i), rec);
+  }
 
   /// True if the previous infer() produced a fallback (degraded) output.
   virtual bool last_degraded() const noexcept { return false; }
@@ -201,13 +217,16 @@ class DiverseTmrChannel final : public InferenceChannel {
 
 /// Planned int8 inference as a safety channel: the quantized deployment
 /// backend of the pipeline (BackendKind::kInt8). Wraps a private
-/// dl::QuantEngine over an owned copy of the quantized model; the float
-/// twin the quantization was produced from is retained as replica(0) so
-/// parameter-level fault injection keeps working against this pattern.
+/// dl::QuantEngine over an owned copy of the quantized model. Fault
+/// injection targets the deployed int8 weight store (inject_fault
+/// override), not the float twin — the engine never reads the twin, so
+/// faults there would be invisible and a campaign would report vacuous
+/// 100% masking. The float twin is retained as replica(0) only for
+/// structural introspection (layer geometry, replica_count bookkeeping).
 class QuantChannel final : public InferenceChannel {
  public:
-  /// `model` is the (folded) float twin kept for replica()-based fault
-  /// injection; `quantized` is the deployed int8 model. The channel owns
+  /// `model` is the (folded) float twin the quantization was produced
+  /// from; `quantized` is the deployed int8 model. The channel owns
   /// copies of both. A non-null `monitor` adds the envelope monitor of the
   /// "monitored" pattern around the int8 engine (fail-stop on implausible
   /// inputs/outputs) — the int8 ladder rung required above QM.
@@ -223,7 +242,15 @@ class QuantChannel final : public InferenceChannel {
   std::size_t output_size() const noexcept override {
     return qmodel_->output_shape().size();
   }
+  /// The float twin (introspection only — NOT the fault-injection target;
+  /// see inject_fault).
   dl::Model& replica(std::size_t) override { return *model_; }
+
+  /// Injects into the deployed int8 weights and re-snapshots any packed
+  /// panels, so the planned engine computes with the faulted bits.
+  FaultRecord inject_fault(FaultInjector& injector, std::size_t i,
+                           FaultType type) override;
+  void undo_fault(std::size_t i, const FaultRecord& rec) override;
 
   const dl::QuantizedModel& quantized() const noexcept { return *qmodel_; }
   const dl::QuantEngine& engine() const noexcept { return *engine_; }
@@ -279,6 +306,15 @@ class SafetyBagChannel final : public InferenceChannel {
     return primary_->replica_count();
   }
   dl::Model& replica(std::size_t i) override { return primary_->replica(i); }
+  /// Forwarded so a wrapped channel's own injection surface (e.g. a
+  /// QuantChannel primary's int8 weights) stays effective under the bag.
+  FaultRecord inject_fault(FaultInjector& injector, std::size_t i,
+                           FaultType type) override {
+    return primary_->inject_fault(injector, i, type);
+  }
+  void undo_fault(std::size_t i, const FaultRecord& rec) override {
+    primary_->undo_fault(i, rec);
+  }
   bool last_degraded() const noexcept override { return degraded_; }
 
   std::uint64_t fallback_activations() const noexcept { return fallbacks_; }

@@ -84,4 +84,78 @@ void FaultInjector::restore(dl::Model& model, const FaultRecord& rec) {
   if (rec.param_index < params.size()) params[rec.param_index] = rec.before;
 }
 
+std::int8_t flip_bit_i8(std::int8_t v, int bit) noexcept {
+  return static_cast<std::int8_t>(static_cast<std::uint8_t>(v) ^
+                                  (1u << (bit & 7)));
+}
+
+FaultRecord FaultInjector::inject(dl::QuantizedModel& model, FaultType type) {
+  // Same uniform draw as the float overload, over the int8 weight store.
+  std::vector<std::size_t> param_layers;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    const std::size_t n = model.mutable_weights(i).size();
+    if (n > 0) {
+      param_layers.push_back(i);
+      total += n;
+    }
+  }
+  if (total == 0)
+    throw std::invalid_argument("FaultInjector: no quantized weights");
+
+  std::size_t flat = rng_.below(total);
+  std::size_t layer = 0, index = 0;
+  for (std::size_t li : param_layers) {
+    const std::size_t n = model.mutable_weights(li).size();
+    if (flat < n) {
+      layer = li;
+      index = flat;
+      break;
+    }
+    flat -= n;
+  }
+  const int bit = static_cast<int>(rng_.below(8));
+  return inject_at(model, type, layer, index, bit);
+}
+
+FaultRecord FaultInjector::inject_at(dl::QuantizedModel& model,
+                                     FaultType type, std::size_t layer,
+                                     std::size_t param_index, int bit) {
+  auto weights = model.mutable_weights(layer);
+  if (param_index >= weights.size())
+    throw std::invalid_argument("FaultInjector: param index out of range");
+  FaultRecord rec;
+  rec.type = type;
+  rec.layer = layer;
+  rec.param_index = param_index;
+  rec.bit = bit;
+  rec.quantized = true;
+  const std::int8_t before = weights[param_index];
+  std::int8_t after = before;
+  switch (type) {
+    case FaultType::kBitFlip:
+      after = flip_bit_i8(before, bit);
+      break;
+    case FaultType::kStuckZero:
+      after = 0;
+      break;
+    case FaultType::kStuckLarge:
+      // Largest int8 magnitude, keeping the parameter's sign (zero goes
+      // positive) — the analog of the float overload's +/-1e6.
+      after = before >= 0 ? std::int8_t{127} : std::int8_t{-127};
+      break;
+  }
+  weights[param_index] = after;
+  rec.before = static_cast<float>(before);
+  rec.after = static_cast<float>(after);
+  return rec;
+}
+
+void FaultInjector::restore(dl::QuantizedModel& model,
+                            const FaultRecord& rec) {
+  auto weights = model.mutable_weights(rec.layer);
+  if (rec.param_index < weights.size())
+    weights[rec.param_index] = static_cast<std::int8_t>(rec.before);
+}
+
 }  // namespace sx::safety

@@ -9,11 +9,44 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <span>
+#include <type_traits>
 
 #include "util/status.hpp"
 
 namespace sx::tensor {
+
+/// Alignment of panel and arena backing storage: 64 bytes == one cache
+/// line. The kernel panel planners round block offsets up to cache-line
+/// multiples; that only yields truly aligned blocks when the base pointer
+/// itself is cache-line aligned — plain new[]/make_unique guarantees only
+/// fundamental alignment (typically 16 bytes).
+inline constexpr std::size_t kStorageAlignBytes = 64;
+
+namespace detail {
+struct AlignedArrayDelete {
+  template <typename T>
+  void operator()(T* p) const noexcept {
+    ::operator delete[](static_cast<void*>(p),
+                        std::align_val_t{kStorageAlignBytes});
+  }
+};
+}  // namespace detail
+
+/// Owning cache-line-aligned array storage (value-initialized).
+template <typename T>
+using AlignedStorage = std::unique_ptr<T[], detail::AlignedArrayDelete>;
+
+/// Allocates `n` value-initialized elements at kStorageAlignBytes
+/// alignment. Configuration-time only, like every other allocation here.
+template <typename T>
+AlignedStorage<T> make_aligned_storage(std::size_t n) {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "AlignedArrayDelete deallocates without destroying");
+  return AlignedStorage<T>(
+      new (std::align_val_t{kStorageAlignBytes}) T[n]());  // sxlint: allow(hot-path-alloc) the one configuration-time allocation behind every aligned panel/arena
+}
 
 /// Bump allocator over a single contiguous float buffer.
 ///
@@ -62,8 +95,11 @@ class Arena {
 /// configuration time, monotonic alloc, high-water mark as evidence.
 class ByteArena {
  public:
+  /// The backing storage is cache-line aligned, so the arena's first
+  /// carve-out (and any later one whose cumulative offset is a multiple of
+  /// kStorageAlignBytes) starts on a cache line.
   explicit ByteArena(std::size_t capacity)
-      : storage_(std::make_unique<std::int8_t[]>(capacity)),  // sxlint: allow(hot-path-alloc) the one configuration-time allocation the arena exists to own
+      : storage_(make_aligned_storage<std::int8_t>(capacity)),
         capacity_(capacity) {}
 
   ByteArena(const ByteArena&) = delete;
@@ -86,7 +122,7 @@ class ByteArena {
   std::size_t high_water_mark() const noexcept { return high_water_; }
 
  private:
-  std::unique_ptr<std::int8_t[]> storage_;
+  AlignedStorage<std::int8_t> storage_;
   std::size_t capacity_ = 0;
   std::size_t used_ = 0;
   std::size_t high_water_ = 0;

@@ -61,12 +61,21 @@ inline std::int8_t quantize_sat(float v, float scale,
                                 std::uint64_t* sat) noexcept {
   const float q = v / scale;
   const float r = q >= 0.0f ? q + 0.5f : q - 0.5f;  // round half away
-  const int i = static_cast<int>(r);
-  if (i > 127 || i < -127) {
+  // Clip in float, *before* the integer conversion: casting a float past
+  // the int range is UB, and a degenerate scale or extreme accumulator
+  // reaches it. The thresholds keep the reference semantics exactly —
+  // trunc(r) exceeds +/-127 iff r >= 128 or r <= -128 — so every value the
+  // unguarded cast handled keeps its bit pattern and saturation count
+  // (NaN, previously UB, deterministically clips positive).
+  if (!(r < 128.0f)) {
     if (sat != nullptr) ++*sat;
-    return static_cast<std::int8_t>(i > 127 ? 127 : -127);
+    return std::int8_t{127};
   }
-  return static_cast<std::int8_t>(i);
+  if (r <= -128.0f) {
+    if (sat != nullptr) ++*sat;
+    return std::int8_t{-127};
+  }
+  return static_cast<std::int8_t>(static_cast<int>(r));
 }
 
 /// Fused requantization parameters of one planned int8 layer. Pointer

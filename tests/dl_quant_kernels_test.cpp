@@ -8,6 +8,7 @@
 // logits against drift.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -205,6 +206,53 @@ TEST(QuantKernelPlan, RepackKeepsOutputsIdentical) {
   ASSERT_EQ(eng.run(in.view(), after), Status::kOk);
   for (std::size_t i = 0; i < before.size(); ++i)
     EXPECT_TRUE(bits_equal(before[i], after[i]));
+}
+
+TEST(QuantKernelPlan, PackedPanelsAreCacheLineAligned) {
+  // The panel planners round every block offset up to 64-byte multiples;
+  // that only delivers the documented cache-line alignment when the panel
+  // base itself is 64-byte aligned (plain new[] guarantees ~16).
+  for (const Arch& a : sweep_archs()) {
+    const Dataset cal = toy_dataset(a.input, 8, 1300 + a.input.size());
+    const QuantizedModel qm = QuantizedModel::quantize(a.model, cal);
+    const QuantKernelPlan plan{qm, KernelMode::kPacked};
+    for (const QuantKernelStep& s : plan.steps()) {
+      if (s.panel == nullptr) continue;
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(s.panel) %
+                    tensor::qkernels::kAlignBytes,
+                0u)
+          << a.name << " step at layer " << s.first_layer;
+    }
+  }
+}
+
+TEST(QKernels, QuantizeSatClampsExtremeMagnitudes) {
+  // Regression: the requantize epilogue cast v/scale to int unguarded —
+  // UB once a degenerate scale or extreme accumulator pushed the rounded
+  // quotient past the int range. It must saturate (and count) instead.
+  namespace qk = tensor::qkernels;
+  std::uint64_t sat = 0;
+  EXPECT_EQ(qk::quantize_sat(1e30f, 1e-30f, &sat), 127);
+  EXPECT_EQ(sat, 1u);
+  EXPECT_EQ(qk::quantize_sat(-1e30f, 1e-30f, &sat), -127);
+  EXPECT_EQ(sat, 2u);
+
+  // The guarded clip keeps the reference thresholds exactly: trunc(q+0.5)
+  // leaves the int8 range at |q| = 127.5, not before.
+  sat = 0;
+  EXPECT_EQ(qk::quantize_sat(127.4f, 1.0f, &sat), 127);
+  EXPECT_EQ(qk::quantize_sat(-127.4f, 1.0f, &sat), -127);
+  EXPECT_EQ(sat, 0u);
+  EXPECT_EQ(qk::quantize_sat(127.5f, 1.0f, &sat), 127);
+  EXPECT_EQ(qk::quantize_sat(-127.5f, 1.0f, &sat), -127);
+  EXPECT_EQ(sat, 2u);
+
+  // quantize_value must stay value-identical (it shares the epilogue
+  // contract but never counts).
+  for (float v : {0.0f, 0.4999f, -0.5f, 13.7f, 127.4f, 127.5f, -127.4f,
+                  -127.5f, 1e30f, -1e30f})
+    EXPECT_EQ(quantize_value(v, 1e-3f), qk::quantize_sat(v, 1e-3f, nullptr))
+        << "v=" << v;
 }
 
 TEST(QuantKernelPlan, SharedPlanAcrossEngines) {

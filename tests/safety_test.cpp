@@ -285,6 +285,7 @@ TEST(Campaign, OutcomeArithmetic) {
   o.fallback = 5;
   o.sdc = 5;
   EXPECT_EQ(o.total(), 100u);
+  EXPECT_TRUE(o.measured());
   EXPECT_DOUBLE_EQ(o.sdc_rate(), 0.05);
   EXPECT_DOUBLE_EQ(o.safe_rate(), 0.95);
   EXPECT_DOUBLE_EQ(o.availability(), 0.75);
@@ -318,10 +319,116 @@ TEST(Campaign, AlwaysRefusingChannelYieldsEmptyOutcome) {
   EXPECT_EQ(o.detected, 0u);
   EXPECT_EQ(o.fallback, 0u);
   EXPECT_EQ(o.sdc, 0u);
-  // The rate accessors stay defined on the empty outcome.
-  EXPECT_DOUBLE_EQ(o.sdc_rate(), 0.0);
-  EXPECT_DOUBLE_EQ(o.safe_rate(), 1.0);
+  // The rate accessors stay defined on the empty outcome — and
+  // *conservative*: a campaign that measured nothing must not satisfy a
+  // `safe_rate() >= x` / `sdc_rate() <= y` deployment gate vacuously.
+  EXPECT_FALSE(o.measured());
+  EXPECT_DOUBLE_EQ(o.sdc_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(o.safe_rate(), 0.0);
   EXPECT_DOUBLE_EQ(o.availability(), 0.0);
+}
+
+// Fixture bits for the int8-channel campaigns: one quantized twin of the
+// shared MLP, calibrated on the shared dataset.
+const dl::QuantizedModel& quantized_model() {
+  static const dl::QuantizedModel qm =
+      dl::QuantizedModel::quantize(model(), data());
+  return qm;
+}
+
+TEST(Campaign, QuantChannelInjectionHitsDeployedWeights) {
+  // Regression: campaign faults used to land in the float twin, which the
+  // int8 engine never reads — every trial reproduced the golden output and
+  // a campaign against the deployed int8 backend reported vacuous 100%
+  // masking. Injection must perturb what the engine actually computes, and
+  // undo must restore it bitwise. Packed mode exercises the repack path
+  // (panel snapshots of the faulted bits), the strictest variant.
+  QuantChannel ch{model(), quantized_model(),
+                  dl::QuantEngineConfig{.kernels = dl::KernelMode::kPacked}};
+  const auto in = data().samples[0].input.view();
+  std::vector<float> golden(ch.output_size()), out(ch.output_size());
+  ASSERT_EQ(ch.infer(in, golden), Status::kOk);
+
+  FaultInjector injector{99};
+  std::size_t perturbed = 0;
+  for (int trial = 0; trial < 24; ++trial) {
+    const FaultRecord rec =
+        ch.inject_fault(injector, 0, FaultType::kStuckLarge);
+    EXPECT_TRUE(rec.quantized);
+    ASSERT_EQ(ch.infer(in, out), Status::kOk);
+    for (std::size_t i = 0; i < out.size(); ++i)
+      if (out[i] != golden[i]) {
+        ++perturbed;
+        break;
+      }
+    ch.undo_fault(0, rec);
+    ASSERT_EQ(ch.infer(in, out), Status::kOk);
+    for (std::size_t i = 0; i < out.size(); ++i)
+      EXPECT_EQ(out[i], golden[i]) << "undo_fault must restore bitwise";
+  }
+  EXPECT_GT(perturbed, 0u)
+      << "no injected int8 fault ever reached the deployed engine";
+}
+
+TEST(Campaign, QuantChannelCampaignMeasuresRealFaults) {
+  QuantChannel ch{model(), quantized_model()};
+  std::vector<float> out(ch.output_size());
+  const auto decide = [&](const Tensor& x) {
+    EXPECT_EQ(ch.infer(x.view(), out), Status::kOk);
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < out.size(); ++i)
+      if (out[i] > out[best]) best = i;
+    return best;
+  };
+  const auto blend = [](const Tensor& a, const Tensor& b, float t) {
+    Tensor mix{a.shape()};
+    for (std::size_t i = 0; i < mix.size(); ++i)
+      mix.at(i) = (1.0f - t) * a.at(i) + t * b.at(i);
+    return mix;
+  };
+  const auto first_of = [&](std::size_t lbl) -> const dl::Sample& {
+    for (const auto& s : data().samples)
+      if (s.label == lbl) return s;
+    return data().samples[0];
+  };
+
+  // The trained MLP is so confident on clean samples that random single-bit
+  // weight faults essentially never flip an argmax decision (a prior
+  // version of this test observed 1 SDC in 9600 trials). Probe instead at
+  // synthesized decision boundaries: for each adjacent class pair, binary
+  // search the blend of two samples until the channel's top-2 logits tie.
+  // There, any fault on the active path flips the decision, so a campaign
+  // whose injections really land in the deployed int8 weights must record
+  // SDCs for every seed — while the float-twin bug still reports zero.
+  dl::Dataset probes;
+  probes.num_classes = data().num_classes;
+  probes.input_shape = data().input_shape;
+  for (std::size_t c = 0; c < data().num_classes; ++c) {
+    const auto& a = first_of(c);
+    const auto& b = first_of((c + 1) % data().num_classes);
+    const std::size_t da = decide(a.input);
+    if (da == decide(b.input)) continue;
+    float lo = 0.0f, hi = 1.0f;
+    for (int it = 0; it < 40; ++it) {
+      const float mid = 0.5f * (lo + hi);
+      (decide(blend(a.input, b.input, mid)) == da ? lo : hi) = mid;
+    }
+    probes.samples.push_back(
+        dl::Sample{blend(a.input, b.input, lo), da, std::nullopt});
+  }
+  ASSERT_GE(probes.samples.size(), 2u);
+
+  const auto o = run_campaign(
+      ch, probes,
+      CampaignConfig{.n_faults = 60, .probes_per_fault = 4,
+                     .fault_type = FaultType::kBitFlip, .seed = 21});
+  EXPECT_TRUE(o.measured());
+  EXPECT_EQ(o.total(), 240u);
+  // This is exactly the assertion the float-twin bug made impossible
+  // (everything landed in `correct`). A 40-seed sweep of this config
+  // records 6-18 SDCs per campaign, so any positive count is stable.
+  EXPECT_GT(o.sdc, 0u);
+  EXPECT_LT(o.correct, o.total());
 }
 
 // ---------------------------------------------------------------- watchdog

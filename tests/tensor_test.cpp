@@ -99,6 +99,16 @@ TEST(Arena, DisjointAllocations) {
   EXPECT_EQ(s1[9], 1.0f);  // no overlap
 }
 
+TEST(ByteArena, BackingStoreIsCacheLineAligned) {
+  // The panel/arena layout math rounds offsets to 64-byte multiples; the
+  // base must actually sit on a cache line for that to mean anything.
+  ByteArena a{256};
+  const auto s = a.alloc(64);
+  ASSERT_FALSE(s.empty());
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(s.data()) % kStorageAlignBytes,
+            0u);
+}
+
 // ------------------------------------------------------------------ Tensor
 
 TEST(Tensor, ConstructZeroed) {

@@ -22,13 +22,18 @@ const char* to_string(BackendKind b) noexcept {
 namespace {
 
 std::unique_ptr<safety::InferenceChannel> make_channel(
-    PatternKind p, const dl::Model& model, const dl::Dataset& calibration) {
+    PatternKind p, const dl::Model& model, const dl::Dataset& calibration,
+    dl::KernelMode kernels) {
   switch (p) {
     case PatternKind::kSingle:
-      return std::make_unique<safety::SingleChannel>(model);
+      return std::make_unique<safety::SingleChannel>(
+          model, dl::StaticEngineConfig{.check_numeric_faults = false,
+                                        .kernels = kernels});
     case PatternKind::kMonitored:
       return std::make_unique<safety::MonitoredChannel>(
-          model, safety::MonitorConfig{});
+          model, safety::MonitorConfig{},
+          dl::StaticEngineConfig{.check_numeric_faults = true,
+                                 .kernels = kernels});
     case PatternKind::kDmr:
       return std::make_unique<safety::DmrChannel>(model);
     case PatternKind::kTmr:
@@ -124,6 +129,7 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
       bcfg.kernels = cfg_.quant_engine.kernels;
       batch_ = std::make_unique<dl::BatchRunner>(*quant_, bcfg);
     } else {
+      bcfg.kernels = cfg_.kernel_mode;
       batch_ = std::make_unique<dl::BatchRunner>(*model_, bcfg);
     }
   }
@@ -155,8 +161,10 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
   if (spec_.has_static_verification) {
     const trace::OddSpec odd_spec =
         odd_ ? odd_->spec() : trace::OddSpec{};
+    dl::StaticEngineConfig vcfg;
+    vcfg.kernels = cfg_.kernel_mode;
     verify_ = std::make_unique<verify::VerificationEvidence>(
-        verify::verify_model(*model_, odd_spec));
+        verify::verify_model(*model_, odd_spec, vcfg));
     // Int8 deployment evidence: static saturation margins per layer (the
     // runtime clip counters are cross-checked against these — see
     // quant_saturation_cross_check) and an independent re-derivation of
@@ -191,6 +199,7 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
     // screen activations either.
     dl::StaticEngineConfig sup_cfg;
     sup_cfg.check_numeric_faults = false;
+    sup_cfg.kernels = cfg_.kernel_mode;
     auto sup_eng = std::make_unique<dl::StaticEngine>(*model_, sup_cfg);
     if (sup_eng->can_tap(mahal_->feature_layer())) {
       sup_engine_ = std::move(sup_eng);
@@ -225,7 +234,8 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
       qchannel_ = qc.get();
       inner = std::move(qc);
     } else {
-      inner = make_channel(spec_.pattern, *model_, calibration);
+      inner =
+          make_channel(spec_.pattern, *model_, calibration, cfg_.kernel_mode);
     }
     if (spec_.has_safety_bag) {
       channel_ = std::make_unique<safety::SafetyBagChannel>(

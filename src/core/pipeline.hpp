@@ -51,6 +51,13 @@ struct PipelineConfig {
   /// Engine knobs of the kInt8 backend (kernel mode, arena slack) —
   /// forwarded to the channel engine and the quantized batch pool.
   dl::QuantEngineConfig quant_engine;
+  /// Hot-path kernel selection of the kFloat32 backend: forwarded to the
+  /// single/monitored channel engines, the float batch pool, the
+  /// supervisor's tap engine and the static-verification arena check.
+  /// Every mode is bitwise identical by construction — the scenario
+  /// sweeper crosses this axis to *prove* it per deployment. Redundant
+  /// patterns (DMR and above) keep kAuto for their replicas.
+  dl::KernelMode kernel_mode = dl::KernelMode::kAuto;
   /// When unset, the spec recommended for `criticality` is used.
   std::optional<PipelineSpec> spec;
   /// Conservative logits substituted by the safety bag. Empty = one-hot on
@@ -176,6 +183,14 @@ class CertifiablePipeline {
   /// pipeline deployed; points inside channel_ / the safety bag).
   const safety::QuantChannel* quant_channel() const noexcept {
     return qchannel_;
+  }
+  /// The deployed inference channel — safety bag included when the spec
+  /// demands one; null in refuse-only mode. Exposed so fault-injection
+  /// campaigns (safety::run_campaign, the scenario sweeper) exercise the
+  /// *deployed* channel instead of rebuilding a structural twin.
+  safety::InferenceChannel* channel() noexcept { return channel_.get(); }
+  const safety::InferenceChannel* channel() const noexcept {
+    return channel_.get();
   }
   /// Requantization clips observed so far across the int8 channel and the
   /// quantized batch pool (0 for the float backend). Deterministic:

@@ -219,6 +219,19 @@ EvidenceItem make_static_verification_evidence(
                       evidence.to_text()};
 }
 
+EvidenceItem make_scenario_evidence(std::string_view summary,
+                                    std::string_view scenario_json) {
+  std::ostringstream os;
+  os << summary;
+  if (!summary.empty() && summary.back() != '\n') os << '\n';
+  // The marker pair lets tools/sxmetrics --scenario recover the cell
+  // matrix from a serialized report without parsing the surrounding prose.
+  os << "# BEGIN SX_SCENARIO_JSON\n" << scenario_json;
+  if (!scenario_json.empty() && scenario_json.back() != '\n') os << '\n';
+  os << "# END SX_SCENARIO_JSON\n";
+  return EvidenceItem{"Scenario sweep (cell evidence matrix)", os.str()};
+}
+
 EvidenceItem make_observability_evidence(const CertifiablePipeline& pipeline) {
   std::ostringstream os;
   const obs::Registry* reg = pipeline.telemetry();

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/pipeline.hpp"
@@ -66,6 +67,15 @@ EvidenceItem make_quant_backend_evidence(const CertifiablePipeline& pipeline);
 /// Attach to make_certification_report's evidence list.
 EvidenceItem make_static_verification_evidence(
     const verify::VerificationEvidence& evidence);
+
+/// Evidence wrapping a scenario-sweep report (see scenario/scenario.hpp):
+/// a human-readable summary followed by the machine-checkable JSON between
+/// `# BEGIN SX_SCENARIO_JSON` / `# END SX_SCENARIO_JSON` markers, so
+/// tools/sxmetrics --scenario can recover the cell matrix from a serialized
+/// certification report. Takes the pre-rendered strings (not the report
+/// struct) to keep sx_core free of a dependency on sx_scenario.
+EvidenceItem make_scenario_evidence(std::string_view summary,
+                                    std::string_view scenario_json);
 
 /// Telemetry snapshot of a deployed pipeline: the Prometheus-style metric
 /// exposition (between `# BEGIN SX_METRICS` / `# END SX_METRICS` markers,

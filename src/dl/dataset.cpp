@@ -135,6 +135,59 @@ Dataset make_railway_obstacle(std::size_t n, std::uint64_t seed,
   return ds;
 }
 
+Dataset make_digits(std::size_t n, std::uint64_t seed, float noise_sigma) {
+  // Seven-segment encodings, one bit per segment:
+  //   bit0 top, bit1 top-left, bit2 top-right, bit3 middle,
+  //   bit4 bottom-left, bit5 bottom-right, bit6 bottom.
+  static constexpr unsigned kSegments[kDigitClasses] = {
+      0b1110111,  // 0
+      0b0100100,  // 1
+      0b1011101,  // 2
+      0b1101101,  // 3
+      0b0101110,  // 4
+      0b1101011,  // 5
+      0b1111011,  // 6
+      0b0100101,  // 7
+      0b1111111,  // 8
+      0b1101111,  // 9
+  };
+  constexpr std::size_t kGlyphH = 5, kGlyphW = 3;
+  Dataset ds;
+  ds.num_classes = kDigitClasses;
+  ds.input_shape = Shape::chw(1, kDigitSide, kDigitSide);
+  ds.samples.reserve(n);
+  util::Xoshiro256 rng{seed};
+  for (std::size_t i = 0; i < n; ++i) {
+    Sample s;
+    s.input = Tensor{ds.input_shape};
+    s.label = i % kDigitClasses;
+    const float base = 0.08f + static_cast<float>(rng.uniform()) * 0.06f;
+    paint_background(s.input, rng, base, noise_sigma);
+    const std::size_t y0 = rng.below(kDigitSide - kGlyphH + 1);
+    const std::size_t x0 = rng.below(kDigitSide - kGlyphW + 1);
+    const float stroke = 0.70f + static_cast<float>(rng.uniform()) * 0.25f;
+    const unsigned seg = kSegments[s.label];
+    auto stroke_at = [&](std::size_t dy, std::size_t dx) {
+      s.input.at(0, y0 + dy, x0 + dx) = clamp01(
+          stroke + static_cast<float>(rng.gaussian(0.0, noise_sigma)));
+    };
+    for (std::size_t dx = 0; dx < kGlyphW; ++dx) {
+      if (seg & 0b0000001u) stroke_at(0, dx);
+      if (seg & 0b0001000u) stroke_at(2, dx);
+      if (seg & 0b1000000u) stroke_at(4, dx);
+    }
+    for (std::size_t dy = 0; dy < 3; ++dy) {
+      if (seg & 0b0000010u) stroke_at(dy, 0);
+      if (seg & 0b0000100u) stroke_at(dy, kGlyphW - 1);
+      if (seg & 0b0010000u) stroke_at(dy + 2, 0);
+      if (seg & 0b0100000u) stroke_at(dy + 2, kGlyphW - 1);
+    }
+    s.signal = Region{y0, x0, y0 + kGlyphH, x0 + kGlyphW};
+    ds.samples.push_back(std::move(s));
+  }
+  return ds;
+}
+
 Dataset make_satellite_telemetry(std::size_t n, std::uint64_t seed,
                                  double anomaly_fraction) {
   Dataset ds;

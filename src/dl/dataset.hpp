@@ -64,6 +64,18 @@ Dataset make_road_scene(std::size_t n, std::uint64_t seed,
 Dataset make_railway_obstacle(std::size_t n, std::uint64_t seed,
                               float noise_sigma = 0.08f);
 
+inline constexpr std::size_t kDigitClasses = 10;
+inline constexpr std::size_t kDigitSide = 8;
+
+/// Synthetic-but-structured digit classification (1 x 8 x 8, values in
+/// [0,1]): each sample renders the seven-segment glyph of its digit into a
+/// 5 x 3 box at a jittered position with per-sample stroke brightness and
+/// additive Gaussian noise. Structured enough that a small CNN learns it to
+/// high accuracy — the end-to-end trained workload of the scenario sweeps.
+/// `signal` marks the glyph box.
+Dataset make_digits(std::size_t n, std::uint64_t seed,
+                    float noise_sigma = 0.05f);
+
 inline constexpr std::size_t kTelemetryDim = 32;
 
 /// Satellite telemetry vectors: correlated sinusoidal channels + noise.

@@ -83,6 +83,15 @@ class StaticEngine {
 
   /// The kernel plan in effect (nullptr when running reference loops).
   const KernelPlan* kernel_plan() const noexcept { return plan_; }
+  /// Re-snapshots packed weight panels from the live model parameters.
+  /// Required after in-place weight mutation (fault injection, scrubbing)
+  /// under kPacked, where Dense/Conv2d weights were copied into panels at
+  /// plan time — without it the mutation is invisible to the hot path.
+  /// No-op for reference/blocked modes; a shared plan must be repacked by
+  /// its owner instead.
+  void repack() noexcept {
+    if (owned_plan_) owned_plan_->repack();
+  }
   /// Resolved mode: the shared/owned plan's mode, or kReference.
   KernelMode kernel_mode() const noexcept {
     return plan_ ? plan_->mode() : KernelMode::kReference;

@@ -49,6 +49,16 @@ struct CampaignOutcome {
                             static_cast<double>(total())
                       : 0.0;
   }
+  /// Accumulates another campaign's trials into this outcome (the scenario
+  /// sweeper folds per-cell campaigns into per-axis totals). Merging an
+  /// unmeasured outcome is a no-op; the merged rates are the pooled-trial
+  /// rates, not an average of the two rate sets.
+  void merge(const CampaignOutcome& other) noexcept {
+    correct += other.correct;
+    detected += other.detected;
+    fallback += other.fallback;
+    sdc += other.sdc;
+  }
 };
 
 /// Runs a fault-injection campaign against `channel`. Faults are injected

@@ -33,10 +33,10 @@ Status SingleChannel::infer(tensor::ConstTensorView in,
 
 // --------------------------------------------------------- MonitoredChannel
 
-MonitoredChannel::MonitoredChannel(const dl::Model& model, MonitorConfig cfg)
+MonitoredChannel::MonitoredChannel(const dl::Model& model, MonitorConfig cfg,
+                                   dl::StaticEngineConfig engine_cfg)
     : model_(std::make_unique<dl::Model>(model)),
-      engine_(std::make_unique<dl::StaticEngine>(
-          *model_, dl::StaticEngineConfig{.check_numeric_faults = true})),
+      engine_(std::make_unique<dl::StaticEngine>(*model_, engine_cfg)),
       monitor_(cfg) {}
 
 Status MonitoredChannel::infer(tensor::ConstTensorView in,

@@ -84,6 +84,18 @@ class SingleChannel final : public InferenceChannel {
   }
   dl::Model& replica(std::size_t) override { return *model_; }
 
+  /// Injected bits must reach any packed weight panels (see QuantChannel).
+  FaultRecord inject_fault(FaultInjector& injector, std::size_t i,
+                           FaultType type) override {
+    FaultRecord rec = injector.inject(replica(i), type);
+    engine_->repack();
+    return rec;
+  }
+  void undo_fault(std::size_t i, const FaultRecord& rec) override {
+    FaultInjector::restore(replica(i), rec);
+    engine_->repack();
+  }
+
  private:
   std::unique_ptr<dl::Model> model_;
   std::unique_ptr<dl::StaticEngine> engine_;
@@ -92,7 +104,9 @@ class SingleChannel final : public InferenceChannel {
 /// Engine + envelope monitor (fail-stop).
 class MonitoredChannel final : public InferenceChannel {
  public:
-  MonitoredChannel(const dl::Model& model, MonitorConfig cfg);
+  MonitoredChannel(const dl::Model& model, MonitorConfig cfg,
+                   dl::StaticEngineConfig engine_cfg = {
+                       .check_numeric_faults = true});
 
   std::string_view pattern_name() const noexcept override {
     return "monitored";
@@ -103,6 +117,18 @@ class MonitoredChannel final : public InferenceChannel {
     return model_->output_shape().size();
   }
   dl::Model& replica(std::size_t) override { return *model_; }
+
+  /// Injected bits must reach any packed weight panels (see QuantChannel).
+  FaultRecord inject_fault(FaultInjector& injector, std::size_t i,
+                           FaultType type) override {
+    FaultRecord rec = injector.inject(replica(i), type);
+    engine_->repack();
+    return rec;
+  }
+  void undo_fault(std::size_t i, const FaultRecord& rec) override {
+    FaultInjector::restore(replica(i), rec);
+    engine_->repack();
+  }
 
   const SafetyMonitor& monitor() const noexcept { return monitor_; }
 
@@ -130,6 +156,17 @@ class DmrChannel final : public InferenceChannel {
   }
   std::size_t replica_count() const noexcept override { return 2; }
   dl::Model& replica(std::size_t i) override { return *models_.at(i); }
+
+  FaultRecord inject_fault(FaultInjector& injector, std::size_t i,
+                           FaultType type) override {
+    FaultRecord rec = injector.inject(replica(i), type);
+    engines_.at(i)->repack();
+    return rec;
+  }
+  void undo_fault(std::size_t i, const FaultRecord& rec) override {
+    FaultInjector::restore(replica(i), rec);
+    engines_.at(i)->repack();
+  }
 
   std::uint64_t divergences() const noexcept { return divergences_; }
 
@@ -161,6 +198,17 @@ class TmrChannel final : public InferenceChannel {
   }
   std::size_t replica_count() const noexcept override { return 3; }
   dl::Model& replica(std::size_t i) override { return *models_.at(i); }
+
+  FaultRecord inject_fault(FaultInjector& injector, std::size_t i,
+                           FaultType type) override {
+    FaultRecord rec = injector.inject(replica(i), type);
+    engines_.at(i)->repack();
+    return rec;
+  }
+  void undo_fault(std::size_t i, const FaultRecord& rec) override {
+    FaultInjector::restore(replica(i), rec);
+    engines_.at(i)->repack();
+  }
 
   /// Votes in which at least one replica disagreed (masked faults).
   std::uint64_t masked_votes() const noexcept { return masked_; }
@@ -199,6 +247,17 @@ class DiverseTmrChannel final : public InferenceChannel {
   /// exposed for parameter-level injection.
   std::size_t replica_count() const noexcept override { return 2; }
   dl::Model& replica(std::size_t i) override { return *models_.at(i); }
+
+  FaultRecord inject_fault(FaultInjector& injector, std::size_t i,
+                           FaultType type) override {
+    FaultRecord rec = injector.inject(replica(i), type);
+    engines_.at(i)->repack();
+    return rec;
+  }
+  void undo_fault(std::size_t i, const FaultRecord& rec) override {
+    FaultInjector::restore(replica(i), rec);
+    engines_.at(i)->repack();
+  }
 
   void bind_telemetry(obs::Registry& registry) override {
     obs_ = &registry;

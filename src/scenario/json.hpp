@@ -1,0 +1,70 @@
+// Deterministic JSON emission for machine-checkable scenario evidence.
+//
+// The scenario sweeper's acceptance contract is *byte-identical* exports
+// across runs and platforms, so the writer avoids every locale- and
+// precision-dependent formatting path: numbers go through std::to_chars
+// (shortest round-trip form), keys are emitted in caller order, and there
+// is no pretty-printer state beyond an explicit nesting stack (no
+// recursion). Output is a single line per value stream; callers control
+// newlines via raw().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sx::scenario {
+
+/// Shortest round-trip decimal form of a double (std::to_chars). NaN and
+/// infinities — which JSON cannot carry — are emitted as quoted strings.
+std::string format_double(double v);
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(std::string_view s);
+
+/// Append-only JSON builder with explicit begin/end calls. Comma placement
+/// is tracked by a nesting stack, so emission order alone fixes the bytes.
+class JsonWriter {
+ public:
+  JsonWriter() { need_comma_.push_back(false); }
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  /// Emits `"name":` — must be followed by exactly one value or container.
+  void key(std::string_view name);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view{s}); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(bool b);
+
+  /// Convenience: key + value in one call.
+  template <typename T>
+  void field(std::string_view name, T v) {
+    key(name);
+    value(v);
+  }
+
+  /// Appends raw bytes (newlines between top-level records, etc.).
+  void raw(std::string_view s) { out_.append(s); }
+
+  const std::string& str() const noexcept { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void open(char c);
+  void close(char c);
+  void comma_for_value();
+
+  std::string out_;
+  std::vector<bool> need_comma_;  // one flag per open container
+  bool after_key_ = false;
+};
+
+}  // namespace sx::scenario

@@ -1,0 +1,58 @@
+// Trained end-to-end workload seeding the scenario sweeps.
+//
+// Every sweep in the repo so far ran over synthesized or barely-trained
+// models; the certification argument, however, is about a model that
+// actually learned its function. make_digit_workload() trains a small CNN
+// on the structured digit dataset (dl::make_digits), evaluates float and
+// int8 accuracy, and enforces *golden accuracy gates* — a workload whose
+// training regressed below the floors recorded in tests/data/ never reaches
+// a sweep, so scenario evidence is always about a competent model.
+// Training is offline and deterministic (seeded); it may allocate/throw.
+#pragma once
+
+#include <cstdint>
+
+#include "dl/dataset.hpp"
+#include "dl/model.hpp"
+#include "dl/train.hpp"
+
+namespace sx::scenario {
+
+struct DigitWorkloadConfig {
+  std::size_t samples = 1200;       ///< generated, then split train/test
+  double train_fraction = 0.8;
+  std::uint64_t data_seed = 21;
+  float noise_sigma = 0.05f;
+  std::uint64_t model_seed = 9;
+  dl::TrainConfig train{.learning_rate = 0.03,
+                        .momentum = 0.9,
+                        .epochs = 12,
+                        .batch_size = 16,
+                        .shuffle_seed = 7};
+  /// Golden accuracy gates (floors; see tests/data/digits_golden.txt).
+  /// Deployment throws std::runtime_error when a gate fails.
+  bool check_gates = true;
+  double min_train_accuracy = 0.90;
+  double min_test_accuracy = 0.85;
+  double min_int8_accuracy = 0.80;
+};
+
+/// A trained digit classifier plus the datasets and accuracies that went
+/// into its deployment decision. `train` doubles as the calibration set of
+/// the pipelines the sweeper deploys; `test` is the probe pool.
+struct DigitWorkload {
+  dl::Model model;
+  dl::Dataset train;
+  dl::Dataset test;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  /// Accuracy of the int8-quantized deployment twin on `test`.
+  double int8_accuracy = 0.0;
+};
+
+/// Generates data, trains the CNN, quantizes a throwaway int8 twin for the
+/// accuracy gate, and returns the deployable workload. Deterministic for a
+/// fixed config.
+DigitWorkload make_digit_workload(const DigitWorkloadConfig& cfg = {});
+
+}  // namespace sx::scenario

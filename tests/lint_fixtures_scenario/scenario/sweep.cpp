@@ -1,0 +1,38 @@
+// Seeded FUSA-violation fixture for sxlint coverage of src/scenario/.
+// NEVER compiled or linked — only scanned by the `sxlint_scenario_fixture`
+// CTest entry (WILL_FAIL). The `scenario/` directory component makes this
+// file count as runtime code, the same contract src/scenario/*.cpp are
+// held to: no console I/O, no banned headers, no raw heap expressions.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+namespace fixture {
+
+// console-io: progress chatter from inside the sweep loop.
+void report_cell(unsigned idx) {
+  std::cout << "cell " << idx << " done\n";
+  printf("cell %u done\n", idx);
+}
+
+// heap-expr: raw new/delete for the cell-evidence array instead of a
+// container sized at configuration time.
+double* allocate_rates(unsigned cells) { return new double[cells]; }
+void free_rates(double* rates) { delete[] rates; }
+
+// throw-in-noexcept: a verdict accessor that can actually throw.
+int verdict_at(const std::unique_ptr<int[]>& v, unsigned i) noexcept {
+  if (v == nullptr) throw i;
+  return v[i];
+}
+
+// A waived finding: the marker must suppress this one.
+std::unique_ptr<int> config_time_slot() {
+  return std::make_unique<int>(0);  // sxlint: allow(hot-path-alloc)
+}
+
+// Not findings: identifiers and string literals mentioning banned calls.
+void printf_like_name() {}
+const char* kDoc = "never printf from a scenario cell";
+
+}  // namespace fixture

@@ -2,8 +2,12 @@
 // invariants that individual unit tests check only pointwise.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <iomanip>
 #include <sstream>
 
+#include "dl/batch.hpp"
+#include "dl/dataset.hpp"
 #include "dl/engine.hpp"
 #include "dl/model.hpp"
 #include "dl/quant.hpp"
@@ -210,6 +214,135 @@ TEST_P(GumbelCoherence, BoundsOrdered) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GumbelCoherence,
                          ::testing::Range<std::uint64_t>(1, 9));
+
+// ----------------------------------- kernel-mode x worker-count identity
+
+/// Hexfloat rendering of the first bitwise divergence between two logit
+/// streams — the diff an assessor needs to audit an identity failure.
+std::string first_diff_hexfloat(std::span<const float> a,
+                                std::span<const float> b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint32_t>(a[i]) ==
+        std::bit_cast<std::uint32_t>(b[i]))
+      continue;
+    std::ostringstream os;
+    os << "first divergence at element " << i << ": " << std::hexfloat
+       << a[i] << " vs " << b[i];
+    return os.str();
+  }
+  return "streams identical";
+}
+
+/// Random small CNN over the digit input geometry, from a safe menu.
+dl::Model random_digit_cnn(std::uint64_t seed) {
+  util::Xoshiro256 rng{seed * 31 + 7};
+  dl::ModelBuilder b{Shape::chw(1, dl::kDigitSide, dl::kDigitSide)};
+  b.conv2d(2 + rng.below(5), 3, 1, 1).relu();
+  if (rng.uniform() < 0.5) b.maxpool(2);
+  b.flatten();
+  b.dense(8 + rng.below(17)).relu();
+  b.dense(dl::kDigitClasses);
+  return b.build(seed);
+}
+
+/// The full float decision stream — every kernel mode crossed with every
+/// worker count — is bitwise identical to the reference single-worker
+/// path, over randomized architectures. This is the per-cell identity
+/// claim of the scenario sweep, asserted at the engine layer.
+class CrossModeIdentity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossModeIdentity, FloatBatchBitsMatchReferenceAcrossModesAndWorkers) {
+  const std::uint64_t seed = GetParam();
+  const dl::Model m = random_digit_cnn(seed);
+  const dl::Dataset ds = dl::make_digits(23, seed * 5 + 3);
+  const std::size_t n = ds.samples.size();
+  const std::size_t in_size = ds.input_shape.size();
+  const std::size_t out_size = m.output_shape().size();
+  std::vector<float> flat(n * in_size);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = ds.samples[i].input.data();
+    std::copy(src.begin(), src.end(), flat.begin() + i * in_size);
+  }
+
+  dl::BatchRunner anchor{
+      m, {.workers = 1, .kernels = dl::KernelMode::kReference}};
+  std::vector<float> ref(n * out_size);
+  std::vector<Status> st(n);
+  ASSERT_EQ(anchor.run(flat, ref, st), Status::kOk);
+
+  for (const dl::KernelMode mode :
+       {dl::KernelMode::kReference, dl::KernelMode::kBlocked,
+        dl::KernelMode::kPacked}) {
+    for (const std::size_t workers : {1u, 4u}) {
+      dl::BatchRunner runner{m, {.workers = workers, .kernels = mode}};
+      std::vector<float> out(n * out_size, -1.0f);
+      ASSERT_EQ(runner.run(flat, out, st), Status::kOk);
+      const bool identical =
+          std::equal(out.begin(), out.end(), ref.begin(),
+                     [](float x, float y) {
+                       return std::bit_cast<std::uint32_t>(x) ==
+                              std::bit_cast<std::uint32_t>(y);
+                     });
+      EXPECT_TRUE(identical)
+          << "seed " << seed << " mode " << static_cast<int>(mode) << " x "
+          << workers << " workers: " << first_diff_hexfloat(out, ref);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossModeIdentity,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+/// Same cross for the int8 backend: the quantized batch path must be
+/// bitwise identical across kernel modes AND worker counts (dequantized
+/// logits compared as bits).
+class QuantCrossModeIdentity
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantCrossModeIdentity, Int8BatchBitsMatchReferenceAcrossModes) {
+  const std::uint64_t seed = GetParam();
+  const dl::Model m = random_digit_cnn(seed + 100);
+  const dl::Dataset calib = dl::make_digits(32, seed * 9 + 1);
+  const dl::QuantizedModel qm = dl::QuantizedModel::quantize(m, calib);
+  const dl::Dataset ds = dl::make_digits(19, seed * 7 + 5);
+  const std::size_t n = ds.samples.size();
+  const std::size_t in_size = ds.input_shape.size();
+  const std::size_t out_size = qm.output_shape().size();
+  std::vector<float> flat(n * in_size);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = ds.samples[i].input.data();
+    std::copy(src.begin(), src.end(), flat.begin() + i * in_size);
+  }
+
+  dl::BatchRunner anchor{
+      qm, {.workers = 1, .kernels = dl::KernelMode::kReference}};
+  std::vector<float> ref(n * out_size);
+  std::vector<Status> st(n);
+  ASSERT_EQ(anchor.run(flat, ref, st), Status::kOk);
+
+  for (const dl::KernelMode mode :
+       {dl::KernelMode::kReference, dl::KernelMode::kBlocked,
+        dl::KernelMode::kPacked}) {
+    for (const std::size_t workers : {1u, 4u}) {
+      dl::BatchRunner runner{qm, {.workers = workers, .kernels = mode}};
+      std::vector<float> out(n * out_size, -1.0f);
+      ASSERT_EQ(runner.run(flat, out, st), Status::kOk);
+      const bool identical =
+          std::equal(out.begin(), out.end(), ref.begin(),
+                     [](float x, float y) {
+                       return std::bit_cast<std::uint32_t>(x) ==
+                              std::bit_cast<std::uint32_t>(y);
+                     });
+      EXPECT_TRUE(identical)
+          << "seed " << seed << " int8 mode " << static_cast<int>(mode)
+          << " x " << workers << " workers: "
+          << first_diff_hexfloat(out, ref);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantCrossModeIdentity,
+                         ::testing::Range<std::uint64_t>(1, 7));
 
 }  // namespace
 }  // namespace sx

@@ -77,8 +77,8 @@ constexpr AllowEntry kAllowlist[] = {
     {"", "", ""},  // sentinel so the table compiles when empty
 };
 
-const std::set<std::string> kRuntimeDirs = {"dl", "safety", "rt", "core",
-                                            "obs"};
+const std::set<std::string> kRuntimeDirs = {"dl",  "safety",   "rt",
+                                            "core", "obs", "scenario"};
 
 const std::set<std::string> kBannedCalls = {
     "malloc", "calloc", "realloc", "free",   "alloca",

@@ -2,18 +2,25 @@
 //
 // A deployed CertifiablePipeline embeds its metrics exposition and
 // flight-recorder stage trail in the certification report between marker
-// pairs (see core::make_observability_evidence):
+// pairs (see core::make_observability_evidence), and a scenario sweep adds
+// its machine-checkable evidence matrix (see core::make_scenario_evidence):
 //
 //   # BEGIN SX_METRICS ... # END SX_METRICS          Prometheus text format
 //   # BEGIN SX_FLIGHT_TRAIL ... # END SX_FLIGHT_TRAIL  stage-span trail
+//   # BEGIN SX_SCENARIO_JSON ... # END SX_SCENARIO_JSON  scenario matrix
 //
-// sxmetrics recovers either block from a serialized report file (or stdin)
+// sxmetrics recovers any block from a serialized report file (or stdin)
 // so a scrape pipeline, diff tool or assessor can consume the snapshot
 // without parsing the surrounding prose:
 //
 //   sxmetrics report.txt              # print the metrics exposition
 //   sxmetrics --flight report.txt    # print the flight-recorder trail
 //   sxmetrics --summary report.txt   # one line per metric family
+//   sxmetrics --json report.txt      # metrics exposition as JSON, so the
+//                                    # counters can be diffed mechanically
+//                                    # against a ScenarioReport's per-cell
+//                                    # obs snapshots
+//   sxmetrics --scenario report.txt  # the scenario evidence-matrix JSON
 //
 // Exit status: 0 on success, 1 when the requested block is missing,
 // 2 on usage/IO errors. Host tool: iostream/filesystem are fine here.
@@ -70,8 +77,100 @@ std::string summarize(const std::string& exposition) {
   return out.str();
 }
 
+/// True when `v` can be emitted as a bare JSON number (Prometheus values
+/// are numeric, but +Inf/NaN and exotic spellings must be quoted).
+bool plain_json_number(const std::string& v) {
+  if (v.empty()) return false;
+  std::size_t i = v[0] == '-' ? 1 : 0;
+  if (i == v.size()) return false;
+  bool digit = false, dot = false, exp = false;
+  for (; i < v.size(); ++i) {
+    const char c = v[i];
+    if (c >= '0' && c <= '9') {
+      digit = true;
+    } else if (c == '.' && !dot && !exp) {
+      dot = true;
+    } else if ((c == 'e' || c == 'E') && digit && !exp) {
+      exp = true;
+      if (i + 1 < v.size() && (v[i + 1] == '+' || v[i + 1] == '-')) ++i;
+    } else {
+      return false;
+    }
+  }
+  return digit;
+}
+
+void json_value(std::ostringstream& out, const std::string& v) {
+  if (plain_json_number(v)) {
+    out << v;
+  } else {
+    out << '"' << v << '"';
+  }
+}
+
+/// Metrics exposition as one JSON object grouped by family type:
+///   {"counter":{name:value,...},"gauge":{...},
+///    "histogram":{name:{"count":n,"sum":s},...}}
+/// Mirrors summarize()'s view of the exposition (labelled series such as
+/// histogram buckets are folded into their family), so the counter map can
+/// be compared field-by-field against a ScenarioReport cell's obs
+/// snapshot. Metric names are [a-zA-Z0-9_:] per the exposition format, so
+/// they need no escaping.
+std::string to_json(const std::string& exposition) {
+  std::ostringstream counters, gauges, hists;
+  std::istringstream in(exposition);
+  std::string line;
+  std::string pending_type;
+  std::string pending_name;
+  std::string hist_count, hist_sum;  // collected for the open histogram
+  bool hist_open = false;
+  auto close_hist = [&] {
+    if (!hist_open) return;
+    hists << (hists.tellp() > 0 ? "," : "") << '"' << pending_name
+          << "\":{\"count\":";
+    json_value(hists, hist_count.empty() ? "0" : hist_count);
+    hists << ",\"sum\":";
+    json_value(hists, hist_sum.empty() ? "0" : hist_sum);
+    hists << '}';
+    hist_open = false;
+  };
+  while (std::getline(in, line)) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      close_hist();
+      std::istringstream fields(line.substr(7));
+      fields >> pending_name >> pending_type;
+      if (pending_type == "histogram") {
+        hist_open = true;
+        hist_count.clear();
+        hist_sum.clear();
+      }
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos) continue;
+    const std::string series = line.substr(0, sp);
+    const std::string value = line.substr(sp + 1);
+    if (pending_type == "histogram") {
+      if (series == pending_name + "_count") hist_count = value;
+      if (series == pending_name + "_sum") hist_sum = value;
+      continue;
+    }
+    if (series != pending_name) continue;
+    std::ostringstream& out = pending_type == "counter" ? counters : gauges;
+    out << (out.tellp() > 0 ? "," : "") << '"' << series << "\":";
+    json_value(out, value);
+  }
+  close_hist();
+  std::ostringstream out;
+  out << "{\"counter\":{" << counters.str() << "},\"gauge\":{" << gauges.str()
+      << "},\"histogram\":{" << hists.str() << "}}\n";
+  return out.str();
+}
+
 int usage() {
-  std::cerr << "usage: sxmetrics [--flight|--summary] [report-file|-]\n";
+  std::cerr << "usage: sxmetrics [--flight|--summary|--json|--scenario] "
+               "[report-file|-]\n";
   return 2;
 }
 
@@ -80,6 +179,8 @@ int usage() {
 int main(int argc, char** argv) {
   bool flight = false;
   bool summary = false;
+  bool json = false;
+  bool scenario = false;
   std::string path = "-";
   std::vector<std::string> args(argv + 1, argv + argc);
   for (const auto& a : args) {
@@ -87,13 +188,17 @@ int main(int argc, char** argv) {
       flight = true;
     } else if (a == "--summary") {
       summary = true;
+    } else if (a == "--json") {
+      json = true;
+    } else if (a == "--scenario") {
+      scenario = true;
     } else if (!a.empty() && a[0] == '-' && a != "-") {
       return usage();
     } else {
       path = a;
     }
   }
-  if (flight && summary) return usage();
+  if (flight + summary + json + scenario > 1) return usage();
 
   std::ostringstream buf;
   if (path == "-") {
@@ -107,9 +212,15 @@ int main(int argc, char** argv) {
     buf << f.rdbuf();
   }
 
-  const std::string begin =
-      flight ? "# BEGIN SX_FLIGHT_TRAIL" : "# BEGIN SX_METRICS";
-  const std::string end = flight ? "# END SX_FLIGHT_TRAIL" : "# END SX_METRICS";
+  std::string begin = "# BEGIN SX_METRICS";
+  std::string end = "# END SX_METRICS";
+  if (flight) {
+    begin = "# BEGIN SX_FLIGHT_TRAIL";
+    end = "# END SX_FLIGHT_TRAIL";
+  } else if (scenario) {
+    begin = "# BEGIN SX_SCENARIO_JSON";
+    end = "# END SX_SCENARIO_JSON";
+  }
   bool found = false;
   const std::string block = extract_block(buf.str(), begin, end, found);
   if (!found) {
@@ -118,6 +229,10 @@ int main(int argc, char** argv) {
                  "certification report)\n";
     return 1;
   }
-  std::cout << (summary ? summarize(block) : block);
+  if (json) {
+    std::cout << to_json(block);
+  } else {
+    std::cout << (summary ? summarize(block) : block);
+  }
   return 0;
 }

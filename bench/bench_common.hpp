@@ -7,7 +7,12 @@
 #pragma once
 
 #include <chrono>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "dl/dataset.hpp"
 #include "dl/model.hpp"
@@ -77,5 +82,51 @@ inline void print_header(const char* experiment, const char* question) {
 inline void print_verdict(bool holds, const std::string& claim) {
   std::cout << (holds ? "[SHAPE OK]   " : "[SHAPE FAIL] ") << claim << "\n";
 }
+
+/// Machine-readable harness results: scalar metrics accumulated during the
+/// run and written as `BENCH_<id>.json` in the working directory, so CI can
+/// diff the perf/arena trajectory across commits instead of scraping the
+/// ASCII tables. The schema is deliberately flat:
+///   {"experiment":"E14","smoke":false,"ok":true,"metrics":{name:value,..}}
+class JsonResult {
+ public:
+  JsonResult(std::string id, bool smoke) : id_(std::move(id)), smoke_(smoke) {}
+
+  void add(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Serializes and writes the file; returns false on IO failure so the
+  /// harness can fold it into its own exit verdict.
+  bool write(bool ok) const {
+    const std::string path = "BENCH_" + id_ + ".json";
+    std::ostringstream out;
+    out << "{\"experiment\":\"" << id_
+        << "\",\"smoke\":" << (smoke_ ? "true" : "false")
+        << ",\"ok\":" << (ok ? "true" : "false") << ",\"metrics\":{";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      out << (i > 0 ? "," : "") << '"' << metrics_[i].first << "\":";
+      std::ostringstream v;
+      v.precision(12);
+      v << metrics_[i].second;
+      out << v.str();
+    }
+    out << "}}\n";
+    std::ofstream f(path);
+    f << out.str();
+    f.flush();
+    if (!f) {
+      std::cerr << "bench: cannot write " << path << "\n";
+      return false;
+    }
+    std::cout << "machine-readable results: " << path << "\n";
+    return true;
+  }
+
+ private:
+  std::string id_;
+  bool smoke_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace sx::bench

@@ -122,6 +122,7 @@ int main(int argc, char** argv) {
       "over the reference loops — at bitwise-identical outputs?");
 
   bool all_ok = true;
+  bench::JsonResult json{"E14", smoke};
 
   // ---------------------------------------------- 1. raw matvec 512x512
   {
@@ -192,6 +193,10 @@ int main(int argc, char** argv) {
     std::cout << "\n";
 
     const double best = t_ref / std::min(t_blk, t_pck);
+    json.add("matvec512_us_reference", t_ref);
+    json.add("matvec512_us_blocked", t_blk);
+    json.add("matvec512_us_packed", t_pck);
+    json.add("matvec512_speedup", best);
     const bool fast = best >= 2.0;
     bench::print_verdict(fast, "planned matvec is >= 2x reference at 512 "
                                "(measured " + util::fmt(best, 2) + "x)");
@@ -252,6 +257,10 @@ int main(int argc, char** argv) {
     std::cout << "\n";
 
     const double eng_speedup = t_ref / std::min(t_blk, t_pck);
+    json.add("engine_us_reference", t_ref);
+    json.add("engine_us_blocked", t_blk);
+    json.add("engine_us_packed", t_pck);
+    json.add("engine_speedup", eng_speedup);
     const bool fast = eng_speedup >= 1.5;
     bench::print_verdict(fast,
                          "planned engine is >= 1.5x the reference engine "
@@ -315,6 +324,8 @@ int main(int argc, char** argv) {
     // per-decision safety machinery — audit hashing, supervisor, ODD scan
     // — is fixed overhead both deployments pay identically).
     const double e2e = batch_ref / batch_plan;
+    json.add("pipeline_single_speedup", single_ref / single_plan);
+    json.add("pipeline_batch_speedup", e2e);
     const bool fast = e2e >= 1.5;
     bench::print_verdict(
         fast, "end-to-end SIL2 CNN pipeline speedup >= 1.5x on the batch "
@@ -323,5 +334,6 @@ int main(int argc, char** argv) {
     all_ok = all_ok && fast;
   }
 
-  return all_ok ? 0 : 1;
+  const bool wrote = json.write(all_ok);
+  return all_ok && wrote ? 0 : 1;
 }

@@ -147,6 +147,7 @@ int main(int argc, char** argv) {
       "bitwise-identical outputs and clip counters?");
 
   bool all_ok = true;
+  bench::JsonResult json{"E15", smoke};
 
   // ------------------------------------------ 1. raw int8 matvec 512x512
   {
@@ -222,6 +223,11 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     std::cout << "\n";
 
+    json.add("qmatvec512_us_reference", t_ref);
+    json.add("qmatvec512_us_blocked", t_blk);
+    json.add("qmatvec512_us_packed", t_pck);
+    json.add("qmatvec512_speedup", t_ref / std::min(t_blk, t_pck));
+
     // Informational, not gated: this inline reference loop is itself a
     // single tight kernel the compiler vectorizes, so an isolated int8
     // matvec shows only a modest win. The gated >= 1.5x claims are at the
@@ -289,6 +295,10 @@ int main(int argc, char** argv) {
     std::cout << "\n";
 
     const double eng_speedup = t_ref / std::min(t_blk, t_pck);
+    json.add("engine_us_reference", t_ref);
+    json.add("engine_us_blocked", t_blk);
+    json.add("engine_us_packed", t_pck);
+    json.add("engine_speedup", eng_speedup);
     const bool fast = eng_speedup >= 1.5;
     bench::print_verdict(fast,
                          "planned int8 engine is >= 1.5x the reference "
@@ -348,6 +358,8 @@ int main(int argc, char** argv) {
     std::cout << core::make_quant_backend_evidence(p_plan).body << "\n";
 
     const double e2e = batch_ref / batch_plan;
+    json.add("pipeline_single_speedup", single_ref / single_plan);
+    json.add("pipeline_batch_speedup", e2e);
     const bool fast = e2e >= 1.5;
     bench::print_verdict(
         fast, "end-to-end SIL2 int8 pipeline speedup >= 1.5x on the batch "
@@ -356,5 +368,6 @@ int main(int argc, char** argv) {
     all_ok = all_ok && fast;
   }
 
-  return all_ok ? 0 : 1;
+  const bool wrote = json.write(all_ok);
+  return all_ok && wrote ? 0 : 1;
 }

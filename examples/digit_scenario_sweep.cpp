@@ -56,9 +56,11 @@ int main() {
   core::CertifiablePipeline pipeline{w.model, w.train, pc};
   const auto cert = core::make_certification_report(
       pipeline, nullptr,
-      {core::make_scenario_evidence(report.summary(), report.to_json())});
+      {core::make_scenario_evidence(report.summary(), report.to_json()),
+       core::make_ir_evidence(pipeline)});
   std::cout << "\ncertification report: " << cert.text.size()
-            << " bytes (scenario JSON embedded between SX_SCENARIO_JSON "
-               "markers; recover with tools/sxmetrics --scenario)\n";
+            << " bytes (scenario JSON between SX_SCENARIO_JSON markers, "
+               "plan-IR pass evidence between SX_IR_PASSES markers; "
+               "recover with tools/sxmetrics --scenario / --ir)\n";
   return 0;
 }

@@ -178,6 +178,19 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
       verify_->quant_checked = true;
       if (!verify_->quant_arena.consistent)
         verify_->verdict.arena_consistent = false;
+      // Re-verify the int8 plan's static-analysis passes against a probe
+      // plan built exactly like the deployed one: the checker re-derives
+      // elimination/fusion/liveness from the quantized layers alone and
+      // any mismatch (an unsound or corrupted transformation) refuses the
+      // deployment before a channel exists.
+      const dl::KernelMode qmode =
+          dl::resolve_kernel_mode(cfg_.quant_engine.kernels);
+      if (qmode != dl::KernelMode::kReference) {
+        const dl::QuantKernelPlan qprobe{*quant_, qmode};
+        verify_->quant_ir = verify::check_ir(*quant_, qprobe);
+        if (!verify_->quant_ir.passed())
+          verify_->verdict.ir_sound = false;
+      }
     }
     verify_refused_ = !verify_->verdict.passed();
   }
@@ -200,6 +213,10 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
     dl::StaticEngineConfig sup_cfg;
     sup_cfg.check_numeric_faults = false;
     sup_cfg.kernels = cfg_.kernel_mode;
+    // Pin the tapped feature layer: the fusion pass must not fold an
+    // epilogue across it, or the pre-activation values the supervisor
+    // reads would no longer exist in the arena.
+    sup_cfg.pin_tap_layer = mahal_->feature_layer();
     auto sup_eng = std::make_unique<dl::StaticEngine>(*model_, sup_cfg);
     if (sup_eng->can_tap(mahal_->feature_layer())) {
       sup_engine_ = std::move(sup_eng);
@@ -269,9 +286,24 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
     audit_.append(0, "static-verify",
                   verify_refused_ ? "refuse-model" : "pass",
                   verify_->verdict_line());
-  if (qchannel_ != nullptr && qchannel_->kernel_plan() != nullptr)
+  // Deploy-time plan evidence: the plan summary plus one audit entry per
+  // static-analysis pass (dce, fusion, liveness), so the tamper-evident
+  // chain records exactly which transformations shaped the deployed
+  // program and what each one claims to have saved.
+  if (channel_ != nullptr) {
+    if (const dl::KernelPlan* fp = channel_->float_kernel_plan();
+        fp != nullptr) {
+      audit_.append(0, "kernel-plan", "deploy", fp->summary());
+      for (const auto& pe : fp->pass_evidence())
+        audit_.append(0, "ir-pass", pe.pass, pe.summary());
+    }
+  }
+  if (qchannel_ != nullptr && qchannel_->kernel_plan() != nullptr) {
     audit_.append(0, "quant-plan", "deploy",
                   qchannel_->kernel_plan()->summary());
+    for (const auto& pe : qchannel_->kernel_plan()->pass_evidence())
+      audit_.append(0, "ir-pass", pe.pass, pe.summary());
+  }
 }
 
 std::uint64_t CertifiablePipeline::quant_saturation_total() const noexcept {

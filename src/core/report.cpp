@@ -1,6 +1,7 @@
 #include "core/report.hpp"
 
 #include <iomanip>
+#include <span>
 #include <sstream>
 
 #include "dl/batch.hpp"
@@ -217,6 +218,88 @@ EvidenceItem make_static_verification_evidence(
     const verify::VerificationEvidence& evidence) {
   return EvidenceItem{"Static verification (abstract interpretation)",
                       evidence.to_text()};
+}
+
+namespace {
+
+void ir_plan_lines(std::ostringstream& os, const char* plan_name,
+                   const sx::ir::ArenaLayout& layout,
+                   std::span<const sx::ir::PassEvidence> passes,
+                   const char* unit) {
+  const double pct =
+      layout.naive_elems > 0
+          ? 100.0 * static_cast<double>(layout.naive_elems -
+                                        layout.total_elems) /
+                static_cast<double>(layout.naive_elems)
+          : 0.0;
+  os << plan_name << " plan arena: " << layout.total_elems << " " << unit
+     << " planned vs " << layout.naive_elems
+     << " naive ping-pong => " << std::fixed << std::setprecision(1) << pct
+     << "% reuse from liveness coloring\n";
+  for (const auto& pe : passes)
+    os << "  " << plan_name << " " << pe.summary() << "\n";
+}
+
+void ir_marker_lines(std::ostringstream& os, const char* plan_name,
+                     const sx::ir::ArenaLayout& layout,
+                     std::span<const sx::ir::PassEvidence> passes) {
+  for (const auto& pe : passes)
+    os << "plan=" << plan_name << " " << pe.summary() << "\n";
+  os << "plan=" << plan_name << " arena_total=" << layout.total_elems
+     << " arena_naive=" << layout.naive_elems << "\n";
+}
+
+}  // namespace
+
+EvidenceItem make_ir_evidence(const CertifiablePipeline& pipeline) {
+  std::ostringstream os;
+  const dl::KernelPlan* fp =
+      pipeline.channel() != nullptr
+          ? pipeline.channel()->float_kernel_plan()
+          : nullptr;
+  const dl::QuantKernelPlan* qp =
+      pipeline.quant_channel() != nullptr
+          ? pipeline.quant_channel()->kernel_plan()
+          : nullptr;
+  if (fp == nullptr && qp == nullptr) {
+    os << "no IR-backed kernel plan deployed (reference loops via "
+          "SX_KERNEL_REFERENCE / explicit kReference, refuse-only mode, "
+          "or a redundant pattern that owns its engines internally)\n";
+    return EvidenceItem{"IR pass pipeline (static-analysis evidence)",
+                        os.str()};
+  }
+  os << "every transformation below ran at deploy time on the lowered "
+        "program IR; each\n"
+     << "  pass records machine-checkable facts and the verify gate "
+        "re-derives all of\n"
+     << "  them independently from the model layers before the plan may "
+        "serve traffic\n";
+  if (fp != nullptr)
+    ir_plan_lines(os, "float", fp->layout(), fp->pass_evidence(), "floats");
+  if (qp != nullptr)
+    ir_plan_lines(os, "int8", qp->layout(), qp->pass_evidence(), "bytes");
+  if (const auto* sv = pipeline.static_verification(); sv != nullptr) {
+    if (sv->ir.checked)
+      os << "float re-verification: "
+         << (sv->ir.passed() ? "SOUND" : "UNSOUND")
+         << " (rederived=" << sv->ir.rederived_elems
+         << " planned=" << sv->ir.planned_elems << " elems)\n";
+    if (sv->quant_ir.checked)
+      os << "int8 re-verification: "
+         << (sv->quant_ir.passed() ? "SOUND" : "UNSOUND")
+         << " (rederived=" << sv->quant_ir.rederived_elems
+         << " planned=" << sv->quant_ir.planned_elems << " bytes)\n";
+  }
+  // The marker pair lets tools/sxmetrics --ir recover the per-pass facts
+  // from a serialized report without parsing the surrounding prose.
+  os << "# BEGIN SX_IR_PASSES\n";
+  if (fp != nullptr)
+    ir_marker_lines(os, "float", fp->layout(), fp->pass_evidence());
+  if (qp != nullptr)
+    ir_marker_lines(os, "int8", qp->layout(), qp->pass_evidence());
+  os << "# END SX_IR_PASSES\n";
+  return EvidenceItem{"IR pass pipeline (static-analysis evidence)",
+                      os.str()};
 }
 
 EvidenceItem make_scenario_evidence(std::string_view summary,

@@ -68,6 +68,17 @@ EvidenceItem make_quant_backend_evidence(const CertifiablePipeline& pipeline);
 EvidenceItem make_static_verification_evidence(
     const verify::VerificationEvidence& evidence);
 
+/// Evidence for the deploy-time IR pass pipeline: per-pass structured
+/// audit facts (dce, fusion legality, liveness arena planning) of the
+/// deployed float and/or int8 kernel plans, the arena reuse achieved
+/// against the naive ping-pong demand, and — when static verification
+/// ran — the independent re-verification verdict of every pass. The
+/// machine-readable per-pass lines sit between `# BEGIN SX_IR_PASSES` /
+/// `# END SX_IR_PASSES` markers so tools/sxmetrics --ir can recover them
+/// from a serialized report. Attach to make_certification_report's
+/// evidence list.
+EvidenceItem make_ir_evidence(const CertifiablePipeline& pipeline);
+
 /// Evidence wrapping a scenario-sweep report (see scenario/scenario.hpp):
 /// a human-readable summary followed by the machine-checkable JSON between
 /// `# BEGIN SX_SCENARIO_JSON` / `# END SX_SCENARIO_JSON` markers, so

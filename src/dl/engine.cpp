@@ -15,13 +15,15 @@ std::unique_ptr<KernelPlan> make_owned_plan(const Model& model,
                                             const StaticEngineConfig& cfg) {
   const KernelMode mode = resolve_kernel_mode(cfg.kernels);
   if (mode == KernelMode::kReference) return nullptr;
-  return std::make_unique<KernelPlan>(model, mode);
+  return std::make_unique<KernelPlan>(model, mode, cfg.pin_tap_layer);
 }
 
+/// Planned mode: the liveness-colored base block. Reference mode: the
+/// classic two-buffer ping-pong worst case.
 std::size_t planned_capacity(const Model& model, const KernelPlan* plan,
                              const StaticEngineConfig& cfg) {
-  return 2 * model.max_activation_size() +
-         (plan != nullptr ? plan->scratch_floats() : 0) + cfg.arena_slack;
+  if (plan != nullptr) return plan->arena_elems() + cfg.arena_slack;
+  return 2 * model.max_activation_size() + cfg.arena_slack;
 }
 
 }  // namespace
@@ -32,10 +34,13 @@ StaticEngine::StaticEngine(const Model& model, StaticEngineConfig cfg)
       owned_plan_(make_owned_plan(model, cfg)),
       plan_(owned_plan_.get()),
       arena_(planned_capacity(model, owned_plan_.get(), cfg)) {
-  const std::size_t buf = model.max_activation_size();
-  ping_ = arena_.alloc(buf);
-  pong_ = arena_.alloc(buf);
-  if (plan_ != nullptr) scratch_ = arena_.alloc(plan_->scratch_floats());
+  if (plan_ != nullptr) {
+    base_ = arena_.alloc(plan_->arena_elems());
+  } else {
+    const std::size_t buf = model.max_activation_size();
+    ping_ = arena_.alloc(buf);
+    pong_ = arena_.alloc(buf);
+  }
 }
 
 StaticEngine::StaticEngine(const Model& model, const KernelPlan& plan,
@@ -44,10 +49,7 @@ StaticEngine::StaticEngine(const Model& model, const KernelPlan& plan,
       cfg_(cfg),
       plan_(&plan),
       arena_(planned_capacity(model, &plan, cfg)) {
-  const std::size_t buf = model.max_activation_size();
-  ping_ = arena_.alloc(buf);
-  pong_ = arena_.alloc(buf);
-  scratch_ = arena_.alloc(plan.scratch_floats());
+  base_ = arena_.alloc(plan.arena_elems());
 }
 
 Status StaticEngine::run(tensor::ConstTensorView input,
@@ -59,8 +61,9 @@ bool StaticEngine::can_tap(std::size_t tap_layer) const noexcept {
   if (tap_layer >= model_->layer_count()) return false;
   if (plan_ == nullptr) return true;  // reference materializes every layer
   for (const KernelStep& s : plan_->steps())
-    if (s.first_layer == tap_layer) return true;
-  return false;  // activation fused into the preceding step's epilogue
+    if (tap_layer >= s.tap_first && tap_layer <= s.first_layer) return true;
+  // Trailing bit identities alias the final output buffer.
+  return tap_layer >= plan_->final_tap_first();
 }
 
 Status StaticEngine::run_tapped(tensor::ConstTensorView input,
@@ -82,7 +85,8 @@ Status StaticEngine::run_impl(tensor::ConstTensorView input,
     return Status::kShapeMismatch;
   if (output.size() != model_->output_shape().size())
     return Status::kShapeMismatch;
-  if (ping_.empty() || pong_.empty()) return Status::kArenaExhausted;
+  if (plan_ == nullptr && (ping_.empty() || pong_.empty()))
+    return Status::kArenaExhausted;
 
   if (cfg_.check_numeric_faults && tensor::has_non_finite(input)) {
     ++faults_;
@@ -126,59 +130,55 @@ Status StaticEngine::run_planned(tensor::ConstTensorView input,
                                  std::span<float> output,
                                  std::size_t tap_layer,
                                  std::span<float> tap) noexcept {
-  // Same ping-pong discipline as the reference loop, one plan step at a
-  // time (a step covers a layer plus an optionally fused activation).
+  // One step per surviving IR op, each reading/writing its liveness-pass
+  // arena offsets (dce'd bit identities have no step; the ranges
+  // [tap_first, first_layer] keep their taps serviceable).
   //
   // Fault semantics match the reference engine exactly: a fused kernel
   // screens every pre-activation value with the has_non_finite predicate
   // (the reference path would have caught a non-finite value in the dense/
   // conv output before applying the activation), and the step's final
   // output is scanned afterwards just as every reference layer output is.
-  tensor::ConstTensorView cur = input;
-  bool use_ping = true;
+  // Eliminated identity layers need no scan of their own — their bits were
+  // already screened as the producing step's output (or the engine input).
+  float* const base = base_.data();
   for (const KernelStep& s : plan_->steps()) {
-    // `cur` entering the step that starts at layer L carries exactly the
-    // bits of forward_trace()'s activations[L] (identity steps re-view the
-    // same buffer; Flatten's reference forward copies bits verbatim).
-    if (s.first_layer == tap_layer)
-      for (std::size_t j = 0; j < tap.size(); ++j) tap[j] = cur.data[j];
-    const Shape& out_shape =
-        model_->activation_shape(s.first_layer + s.layer_span - 1);
-    std::span<float> dst = use_ping ? ping_ : pong_;
-    tensor::TensorView out{dst.first(out_shape.size()), out_shape};
+    const float* in = s.in_offset == ir::kNone
+                          ? input.data.data()
+                          : base + s.in_offset;
+    // `in` carries exactly the bits of forward_trace()'s activations[t]
+    // for every t in [tap_first, first_layer].
+    if (tap_layer >= s.tap_first && tap_layer <= s.first_layer)
+      for (std::size_t j = 0; j < tap.size(); ++j) tap[j] = in[j];
+    float* out = base + s.out_offset;
     const bool fused = s.epilogue != k::Epilogue::kNone;
     const bool pre_check = cfg_.check_numeric_faults && fused;
     bool pre_ok = true;
     switch (s.kind) {
       case KernelStep::Kind::kDense:
         pre_ok = s.panel != nullptr
-                     ? k::matvec_packed(s.panel, s.bias, s.rows, s.cols,
-                                        cur.data.data(), out.data.data(),
-                                        s.epilogue, pre_check)
+                     ? k::matvec_packed(s.panel, s.bias, s.rows, s.cols, in,
+                                        out, s.epilogue, pre_check)
                      : k::matvec_blocked(s.weights, s.bias, s.rows, s.cols,
-                                         cur.data.data(), out.data.data(),
-                                         s.epilogue, pre_check);
+                                         in, out, s.epilogue, pre_check);
         break;
-      case KernelStep::Kind::kConv2d:
-        k::im2col_gather(cur.data.data(), s.conv.in_idx, s.scratch,
-                         scratch_.data());
+      case KernelStep::Kind::kConv2d: {
+        float* scratch = base + s.scratch_offset;
+        k::im2col_gather(in, s.conv.in_idx, s.scratch, scratch);
         pre_ok = s.panel != nullptr
                      ? k::conv2d_im2col_packed(s.panel, s.weights, s.bias,
-                                               s.conv, scratch_.data(),
-                                               out.data.data(), s.epilogue,
-                                               pre_check)
-                     : k::conv2d_im2col(s.weights, s.bias, s.conv,
-                                        scratch_.data(), out.data.data(),
-                                        s.epilogue, pre_check);
+                                               s.conv, scratch, out,
+                                               s.epilogue, pre_check)
+                     : k::conv2d_im2col(s.weights, s.bias, s.conv, scratch,
+                                        out, s.epilogue, pre_check);
         break;
-      case KernelStep::Kind::kIdentity:
-        // Flatten: same bits under the flattened shape; skip the copy and
-        // the redundant re-scan of bits that were already screened as the
-        // previous step's output (or as the engine input).
-        cur = tensor::ConstTensorView{cur.data, out_shape};
-        continue;
+      }
       case KernelStep::Kind::kReference: {
-        const Status st = model_->layer(s.first_layer).forward(cur, out);
+        const tensor::ConstTensorView vin{
+            std::span<const float>(in, s.in_elems), s.in_shape};
+        tensor::TensorView vout{std::span<float>(out, s.out_elems),
+                                s.out_shape};
+        const Status st = s.ref_layer->forward(vin, vout);
         if (!ok(st)) return st;
         break;
       }
@@ -188,17 +188,23 @@ Status StaticEngine::run_planned(tensor::ConstTensorView input,
       // epilogues map finite inputs to finite outputs (relu/tanh are
       // bounded by their input; sigmoid's exp may overflow to +Inf but
       // 1/(1+Inf) is 0), so their post-scan is provably redundant.
-      const bool fault = pre_check ? !pre_ok : tensor::has_non_finite(out);
+      const tensor::ConstTensorView vout{
+          std::span<const float>(out, s.out_elems), s.out_shape};
+      const bool fault = pre_check ? !pre_ok : tensor::has_non_finite(vout);
       if (fault) {
         ++faults_;
         return Status::kNumericFault;
       }
     }
-    cur = out;
-    use_ping = !use_ping;
   }
 
-  for (std::size_t i = 0; i < output.size(); ++i) output[i] = cur.data[i];
+  const float* out_src = plan_->output_offset() == ir::kNone
+                             ? input.data.data()
+                             : base + plan_->output_offset();
+  // Trailing dce'd identities alias the final output bitwise.
+  if (tap_layer != kNoTap && tap_layer >= plan_->final_tap_first())
+    for (std::size_t j = 0; j < tap.size(); ++j) tap[j] = out_src[j];
+  for (std::size_t i = 0; i < output.size(); ++i) output[i] = out_src[i];
   ++runs_;
   return Status::kOk;
 }

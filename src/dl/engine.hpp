@@ -5,6 +5,12 @@
 // allocations, and optional per-layer numeric-fault checks detect NaN/Inf
 // propagation (pillar 3).
 //
+// In planned modes the arena is a single base block sized by the IR
+// liveness pass (ArenaLayout::total_elems — non-interfering tensor
+// lifetimes share offsets), not the 2x-max-activation ping-pong worst
+// case; every KernelStep carries its offsets. Reference mode keeps the
+// original ping-pong loop as the bitwise-identical unoptimized twin.
+//
 // DynamicEngine is the deliberately non-compliant baseline standing in for a
 // general-purpose DL framework: per-inference heap allocation and no fault
 // containment. Experiment E1 contrasts the two.
@@ -27,6 +33,11 @@ struct StaticEngineConfig {
   /// planned blocked kernels unless SX_KERNEL_REFERENCE is set in the
   /// environment at construction time.
   KernelMode kernels = KernelMode::kAuto;
+  /// Keep the activation feeding this layer materialized in the plan
+  /// (fusion across it is blocked) so run_tapped can capture it. Ignored
+  /// in reference mode and by the shared-plan constructor (the plan's own
+  /// pin governs there).
+  std::size_t pin_tap_layer = kNoPinnedTap;
 };
 
 /// Allocation-free, deterministic inference over a fixed model.
@@ -37,10 +48,11 @@ class StaticEngine {
   explicit StaticEngine(const Model& model, StaticEngineConfig cfg = {});
 
   /// Shares a prebuilt KernelPlan (e.g. one plan across BatchRunner
-  /// workers; tables/panels are read-only on the hot path while im2col
-  /// scratch stays in this engine's private arena). `cfg.kernels` is
-  /// ignored — the plan's mode governs. Plan and model must outlive the
-  /// engine and the plan must have been built for this model.
+  /// workers; tables/panels are read-only on the hot path while arena
+  /// slots stay in this engine's private arena). `cfg.kernels` and
+  /// `cfg.pin_tap_layer` are ignored — the plan governs. Plan and model
+  /// must outlive the engine and the plan must have been built for this
+  /// model.
   StaticEngine(const Model& model, const KernelPlan& plan,
                StaticEngineConfig cfg = {});
 
@@ -62,9 +74,11 @@ class StaticEngine {
                     std::size_t tap_layer, std::span<float> tap) noexcept;
 
   /// True if run_tapped can capture the activation feeding `tap_layer`.
-  /// Reference engines materialize every activation; a planned engine only
-  /// materializes step boundaries, so the input of an activation fused
-  /// into the preceding kernel's epilogue is not tappable.
+  /// Reference engines materialize every activation. A planned engine
+  /// materializes step boundaries: taps inside a step's [tap_first,
+  /// first_layer] range read its input (the layers between were dce'd bit
+  /// identities), but the input of an activation fused into the preceding
+  /// kernel's epilogue is gone — pin it via cfg.pin_tap_layer to keep it.
   bool can_tap(std::size_t tap_layer) const noexcept;
 
   const Shape& input_shape() const noexcept { return model_->input_shape(); }
@@ -115,10 +129,12 @@ class StaticEngine {
   tensor::Arena arena_;
   // Buffers are carved out of the arena once, here at configuration time;
   // run() touches the arena only through these spans (zero hot-path
-  // bookkeeping, high-water mark == capacity by construction).
-  std::span<float> ping_{};
-  std::span<float> pong_{};
-  std::span<float> scratch_{};  ///< im2col column (planned mode only)
+  // bookkeeping, high-water mark == demand by construction). Planned mode
+  // carves the single liveness-colored base block; reference mode keeps
+  // the classic ping-pong pair.
+  std::span<float> base_{};     ///< planned mode: ArenaLayout base block
+  std::span<float> ping_{};     ///< reference mode only
+  std::span<float> pong_{};     ///< reference mode only
   std::uint64_t runs_ = 0;
   std::uint64_t faults_ = 0;
 };

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "dl/lower.hpp"
+
 namespace sx::dl {
 
 namespace k = tensor::kernels;
@@ -31,12 +33,14 @@ const char* kernel_mode_name(KernelMode mode) noexcept {
 
 namespace {
 
-k::Epilogue fusable_epilogue(LayerKind kind) noexcept {
+k::Epilogue fused_epilogue(ir::OpKind kind) noexcept {
   switch (kind) {
-    case LayerKind::kRelu: return k::Epilogue::kRelu;
-    case LayerKind::kSigmoid: return k::Epilogue::kSigmoid;
-    case LayerKind::kTanh: return k::Epilogue::kTanh;
-    default: return k::Epilogue::kNone;
+    case ir::OpKind::kRelu: return k::Epilogue::kRelu;
+    case ir::OpKind::kSigmoid: return k::Epilogue::kSigmoid;
+    case ir::OpKind::kTanh: return k::Epilogue::kTanh;
+    default: return k::Epilogue::kNone;  // unsound fused kind: the verify
+                                         // gate refuses the plan before any
+                                         // engine runs it
   }
 }
 
@@ -56,17 +60,31 @@ k::Conv2dGeom conv_geom(const Model& m, std::size_t i, const Conv2d& c) {
 
 }  // namespace
 
-KernelPlan::KernelPlan(const Model& model, KernelMode mode)
-    : model_(&model), mode_(mode) {
-  const std::size_t n = model.layer_count();
+KernelPlan::KernelPlan(const Model& model, KernelMode mode,
+                       std::size_t pin_tap_layer)
+    : model_(&model),
+      mode_(mode),
+      pin_tap_layer_(pin_tap_layer),
+      program_(lower(model)) {
+  // Static-analysis pass pipeline over the lowered IR: dce, fusion
+  // legality, liveness arena coloring. The per-pass audit evidence is
+  // retained for the AuditLog and the verify gate re-derives all of it.
+  ir::PassOptions opts;
+  opts.fuse_sigmoid_tanh = true;
+  opts.pin_layer = pin_tap_layer;
+  ir::OptimizeResult opt = ir::optimize(program_, opts);
+  layout_ = std::move(opt.layout);
+  passes_ = std::move(opt.passes);
+  output_offset_ = layout_.value_offset[program_.output_value];
+  for (const ir::PassEvidence& pe : passes_) removed_ += pe.layers_removed;
 
-  // Pass 1: size the deploy-time storage from the static shapes alone.
+  // Pass 1 over the surviving ops: size the deploy-time storage.
   std::size_t table_u32 = 0;  // pix_off arrays + in_idx + w_ofs
-  for (std::size_t i = 0; i < n; ++i) {
-    const Layer& layer = model.layer(i);
-    if (layer.kind() == LayerKind::kConv2d) {
-      const auto& c = static_cast<const Conv2d&>(layer);
-      const k::Conv2dGeom g = conv_geom(model, i, c);
+  for (const ir::Op& op : program_.ops) {
+    if (!op.live) continue;
+    if (op.kind == ir::OpKind::kConv2d) {
+      const auto& c = static_cast<const Conv2d&>(model.layer(op.layer));
+      const k::Conv2dGeom g = conv_geom(model, op.layer, c);
       const std::size_t entries = k::im2col_entries(g);
       table_u32 += (g.opix() + 1) + 2 * entries;
       table_entries_ += entries;
@@ -74,32 +92,49 @@ KernelPlan::KernelPlan(const Model& model, KernelMode mode)
       if (mode_ == KernelMode::kPacked)
         panel_floats_ += k::conv_panel_floats(g.out_c, g.patch());
     } else if (mode_ == KernelMode::kPacked &&
-               layer.kind() == LayerKind::kDense) {
-      const auto& d = static_cast<const Dense&>(layer);
+               op.kind == ir::OpKind::kDense) {
+      const auto& d = static_cast<const Dense&>(model.layer(op.layer));
       panel_floats_ += k::dense_panel_floats(d.out_dim(), d.in_dim());
     }
   }
 
   // Configuration-time storage, allocated exactly once per deployment;
   // the hot path only ever reads it.
-  steps_ = std::make_unique<KernelStep[]>(n);  // sxlint: allow(hot-path-alloc) deploy-time plan storage
+  const std::size_t live = program_.live_op_count();
+  if (live != 0)
+    steps_ = std::make_unique<KernelStep[]>(live);  // sxlint: allow(hot-path-alloc) deploy-time plan storage
   if (table_u32 != 0)
     tables_ = std::make_unique<std::uint32_t[]>(table_u32);  // sxlint: allow(hot-path-alloc) deploy-time im2col tables
   if (panel_floats_ != 0)
     panels_ = tensor::make_aligned_storage<float>(panel_floats_);
 
-  // Pass 2: build steps, tables and panels.
+  // Pass 2: one executable step per surviving op, carrying its liveness
+  // arena assignment and fused epilogue.
   std::size_t tu = 0, pf = 0;
-  for (std::size_t i = 0; i < n;) {
+  std::size_t prev_last = 0;
+  for (const ir::Op& op : program_.ops) {
+    if (!op.live) continue;
     KernelStep& s = steps_[step_count_++];
-    s.first_layer = i;
-    const Layer& layer = model.layer(i);
-    const k::Epilogue next_ep =
-        i + 1 < n ? fusable_epilogue(model.layer(i + 1).kind())
-                  : k::Epilogue::kNone;
+    s.first_layer = op.layer;
+    s.last_layer = program_.last_layer(op);
+    s.tap_first = step_count_ == 1 ? 0 : prev_last + 1;
+    prev_last = s.last_layer;
+    s.in_elems = program_.values[op.input].elems;
+    s.out_elems = program_.values[op.output].elems;
+    s.in_shape = op.layer == 0 ? model.input_shape()
+                               : model.activation_shape(op.layer - 1);
+    s.out_shape = model.activation_shape(s.last_layer);
+    const ir::ArenaAssignment& slot = layout_.per_op[op.id];
+    s.in_offset = slot.in_offset;
+    s.out_offset = slot.out_offset;
+    s.scratch_offset = slot.scratch_offset;
+    if (op.fused_layer != ir::kNone) {
+      s.epilogue = fused_epilogue(op.fused_kind);
+      ++fused_;
+    }
 
-    if (layer.kind() == LayerKind::kDense) {
-      const auto& d = static_cast<const Dense&>(layer);
+    if (op.kind == ir::OpKind::kDense) {
+      const auto& d = static_cast<const Dense&>(model.layer(op.layer));
       s.kind = KernelStep::Kind::kDense;
       s.rows = d.out_dim();
       s.cols = d.in_dim();
@@ -111,11 +146,10 @@ KernelPlan::KernelPlan(const Model& model, KernelMode mode)
         s.panel = panel;
         pf += k::dense_panel_floats(s.rows, s.cols);
       }
-      s.epilogue = next_ep;
       ++planned_dense_;
-    } else if (layer.kind() == LayerKind::kConv2d) {
-      const auto& c = static_cast<const Conv2d&>(layer);
-      const k::Conv2dGeom g = conv_geom(model, i, c);
+    } else if (op.kind == ir::OpKind::kConv2d) {
+      const auto& c = static_cast<const Conv2d&>(model.layer(op.layer));
+      const k::Conv2dGeom g = conv_geom(model, op.layer, c);
       const std::size_t entries = k::im2col_entries(g);
       std::uint32_t* pix_off = tables_.get() + tu;
       std::uint32_t* in_idx = pix_off + (g.opix() + 1);
@@ -141,30 +175,15 @@ KernelPlan::KernelPlan(const Model& model, KernelMode mode)
           pf += pfl;
         }
       }
-      s.epilogue = next_ep;
       ++planned_conv_;
-    } else if (layer.kind() == LayerKind::kFlatten) {
-      // Flatten::forward is a verbatim copy; the planned engine re-views
-      // the live buffer under the flattened shape instead (same bits, one
-      // less full-tensor copy and scan per inference).
-      s.kind = KernelStep::Kind::kIdentity;
-      ++identity_;
-      ++i;
-      continue;
     } else {
       s.kind = KernelStep::Kind::kReference;
+      s.ref_layer = &model.layer(op.layer);
       ++reference_;
-      ++i;
-      continue;
-    }
-    if (s.epilogue != k::Epilogue::kNone) {
-      s.layer_span = 2;
-      ++fused_;
-      i += 2;
-    } else {
-      ++i;
     }
   }
+  final_tap_first_ =
+      step_count_ != 0 ? steps_[step_count_ - 1].last_layer + 1 : 0;
 }
 
 void KernelPlan::repack() noexcept {
@@ -186,8 +205,9 @@ std::string KernelPlan::summary() const {
   os << "mode=" << kernel_mode_name(mode_) << " steps=" << step_count_ << "/"
      << model_->layer_count() << " layers (dense=" << planned_dense_
      << " conv=" << planned_conv_ << " fused-act=" << fused_
-     << " identity=" << identity_ << " reference=" << reference_
-     << "), im2col entries=" << table_entries_
+     << " removed=" << removed_ << " reference=" << reference_
+     << "), arena=" << layout_.total_elems << "/" << layout_.naive_elems
+     << " floats, im2col entries=" << table_entries_
      << ", scratch=" << scratch_floats_ << " floats, panels=" << panel_floats_
      << " floats";
   return os.str();

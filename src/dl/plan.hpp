@@ -1,22 +1,34 @@
 // Deploy-time kernel plans (pillar 3: FUSA-compliant DL libraries).
 //
 // A KernelPlan is built exactly once per deployed model, at configuration
-// time. It decides, from the static shapes alone, how every layer will
-// execute on the hot path:
+// time. Since PR 7 it is IR-backed: the model is lowered to a whole-model
+// program IR (src/ir) and run through the deterministic pass pipeline —
+// dead-layer elimination, fusion legality from single-use dataflow facts,
+// and buffer-lifetime (liveness) analysis that colors non-interfering
+// tensor lifetimes into shared arena slots — before the executable steps
+// are built from the surviving ops:
 //
 //   - Dense layers run the register-blocked matvec kernels from
 //     tensor/kernels.hpp; in kPacked mode their weights are additionally
 //     repacked into cache-line-aligned row-blocked panels owned by the
 //     plan (a deploy-time snapshot — see the staleness contract below);
 //   - Conv2d layers are lowered to gather + blocked GEMM through ragged
-//     im2col index tables precomputed here; the only runtime scratch they
-//     need (the gathered column) is sized by scratch_floats() and drawn
-//     from each engine's pre-planned arena, so the hot path still performs
-//     zero allocations;
-//   - a Dense/Conv2d immediately followed by ReLU/Sigmoid/Tanh is fused
-//     into one step with the activation applied in the kernel epilogue;
+//     im2col index tables precomputed here; the gathered column is an
+//     arena slot assigned by the liveness pass;
+//   - a Dense/Conv2d whose output has exactly one live consumer, an
+//     activation, absorbs it as a fused kernel epilogue (the fusion pass
+//     decides this from dataflow facts, honoring a pinned tap layer);
+//   - Flatten layers and idempotent relu-after-relu chains are bit
+//     identities and are eliminated outright by the dce pass;
 //   - every other layer becomes a kReference step and executes its
 //     unmodified Layer::forward.
+//
+// Every step carries its arena addresses (element offsets into one shared
+// base block sized by ArenaLayout::total_elems), so engine demand shrinks
+// from the ping-pong worst case toward the max live set. The per-pass
+// audit evidence (ir::PassEvidence) is retained for the AuditLog, and
+// verify/range re-derives the whole optimized structure independently from
+// the model — the SIL3/4 gate refuses a plan whose IR does not match.
 //
 // All planned kernels preserve the reference per-output accumulation
 // order, so a planned engine is bitwise identical to a reference engine
@@ -34,15 +46,18 @@
 // and all conv weights in kBlocked mode, are always read live.
 //
 // One plan is immutable after construction (repack() aside) and safe to
-// share read-only across BatchRunner workers; the per-inference im2col
-// scratch lives in each worker's own arena.
+// share read-only across BatchRunner workers; the im2col scratch slots
+// live in each worker's own arena.
 #pragma once
 
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "dl/model.hpp"
+#include "ir/passes.hpp"
+#include "ir/program.hpp"
 #include "tensor/arena.hpp"
 #include "tensor/kernels.hpp"
 
@@ -57,26 +72,44 @@ enum class KernelMode : std::uint8_t {
   kPacked,     ///< kBlocked + Dense weights snapshotted into aligned panels
 };
 
+/// "No pinned tap": the fusion pass may fuse every legal activation.
+inline constexpr std::size_t kNoPinnedTap = ~std::size_t{0};
+
 /// Applies the SX_KERNEL_REFERENCE escape hatch to kAuto (reads the
 /// environment; call at configuration time only, never on the hot path).
 KernelMode resolve_kernel_mode(KernelMode requested) noexcept;
 
 const char* kernel_mode_name(KernelMode mode) noexcept;
 
-/// One executable step of a plan: one layer, or a layer fused with its
-/// following activation. Pointer members alias the model's live parameter
-/// storage (or the plan's own tables/panels) and stay valid for the
-/// model's lifetime.
+/// One executable step of a plan: one surviving IR op — a layer, or a
+/// layer fused with its following activation. Pointer members alias the
+/// model's live parameter storage (or the plan's own tables/panels) and
+/// stay valid for the model's lifetime. Offsets are element indices into
+/// the engine's single arena base block (ir::kNone = no slot; an in_offset
+/// of ir::kNone means the caller's input buffer).
 struct KernelStep {
-  /// kIdentity marks a layer whose forward is a verbatim bit copy
-  /// (Flatten): the planned engine re-views the current buffer under the
-  /// new shape instead of copying — bitwise identical by definition.
-  enum class Kind : std::uint8_t { kReference, kDense, kConv2d, kIdentity };
+  enum class Kind : std::uint8_t { kReference, kDense, kConv2d };
 
   Kind kind = Kind::kReference;
   std::size_t first_layer = 0;  ///< model layer index this step starts at
-  std::size_t layer_span = 1;   ///< 2 when a following activation is fused
+  std::size_t last_layer = 0;   ///< fused activation layer, or first_layer
+  /// Taps at layers [tap_first, first_layer] all read this step's input
+  /// buffer bitwise (the layers strictly between were eliminated as bit
+  /// identities by the dce pass).
+  std::size_t tap_first = 0;
   tensor::kernels::Epilogue epilogue = tensor::kernels::Epilogue::kNone;
+
+  // Arena addressing (liveness-pass assignment).
+  std::size_t in_offset = ir::kNone;
+  std::size_t out_offset = ir::kNone;
+  std::size_t scratch_offset = ir::kNone;
+  std::size_t in_elems = 0;
+  std::size_t out_elems = 0;
+  Shape in_shape{};   ///< static views for reference steps (noexcept path)
+  Shape out_shape{};
+
+  // kReference
+  const Layer* ref_layer = nullptr;  ///< the layer to forward verbatim
 
   // kDense / kConv2d
   std::size_t rows = 0, cols = 0;  ///< Dense dims
@@ -94,8 +127,11 @@ struct KernelStep {
 class KernelPlan {
  public:
   /// `mode` must be kBlocked or kPacked (resolve kAuto first); the model
-  /// must outlive the plan.
-  KernelPlan(const Model& model, KernelMode mode);
+  /// must outlive the plan. `pin_tap_layer` keeps the activation feeding
+  /// that layer materialized (fusion across it is blocked) so a
+  /// supervisor can tap it.
+  KernelPlan(const Model& model, KernelMode mode,
+             std::size_t pin_tap_layer = kNoPinnedTap);
 
   KernelPlan(const KernelPlan&) = delete;
   KernelPlan& operator=(const KernelPlan&) = delete;
@@ -105,8 +141,29 @@ class KernelPlan {
     return {steps_.get(), step_count_};
   }
 
+  /// The optimized program IR and its liveness-colored arena layout —
+  /// the structures verify/range re-checks against the model.
+  const ir::Program& program() const noexcept { return program_; }
+  const ir::ArenaLayout& layout() const noexcept { return layout_; }
+  /// Structured audit evidence emitted by each static-analysis pass.
+  std::span<const ir::PassEvidence> pass_evidence() const noexcept {
+    return {passes_.data(), passes_.size()};
+  }
+
+  /// Engine arena demand in floats (liveness-pass total, excluding slack).
+  std::size_t arena_elems() const noexcept { return layout_.total_elems; }
+  /// Arena offset of the program output (ir::kNone when the program has
+  /// no live ops and the output aliases the caller's input).
+  std::size_t output_offset() const noexcept { return output_offset_; }
+  /// Taps at layers [final_tap_first(), layer_count) read the final
+  /// output buffer (every trailing layer was a bit identity).
+  std::size_t final_tap_first() const noexcept { return final_tap_first_; }
+  /// The tap layer pinned against fusion at construction (kNoPinnedTap
+  /// when none).
+  std::size_t pin_tap_layer() const noexcept { return pin_tap_layer_; }
+
   /// Per-inference scratch demand in floats (max ragged im2col column
-  /// over all conv steps) — added to every engine's arena plan.
+  /// over all conv steps).
   std::size_t scratch_floats() const noexcept { return scratch_floats_; }
 
   /// Deploy-time storage footprint of the packed Dense and Conv2d panels
@@ -119,7 +176,8 @@ class KernelPlan {
   std::size_t planned_conv() const noexcept { return planned_conv_; }
   std::size_t fused_activations() const noexcept { return fused_; }
   std::size_t reference_steps() const noexcept { return reference_; }
-  std::size_t identity_steps() const noexcept { return identity_; }
+  /// Layers eliminated by the dce pass (bit identities).
+  std::size_t removed_layers() const noexcept { return removed_; }
 
   /// Re-snapshots Dense and Conv2d weights into the packed panels
   /// (kPacked only; no-op in kBlocked mode). For callers that mutate
@@ -132,10 +190,16 @@ class KernelPlan {
  private:
   const Model* model_;
   KernelMode mode_;
+  std::size_t pin_tap_layer_ = kNoPinnedTap;
+  ir::Program program_;
+  ir::ArenaLayout layout_;
+  std::vector<ir::PassEvidence> passes_;
   std::unique_ptr<KernelStep[]> steps_;
   std::size_t step_count_ = 0;
   std::unique_ptr<std::uint32_t[]> tables_;  ///< pix_off + in_idx + w_ofs
   tensor::AlignedStorage<float> panels_;  ///< cache-line-aligned base
+  std::size_t output_offset_ = ir::kNone;
+  std::size_t final_tap_first_ = 0;
   std::size_t scratch_floats_ = 0;
   std::size_t panel_floats_ = 0;
   std::size_t table_entries_ = 0;
@@ -143,7 +207,7 @@ class KernelPlan {
   std::size_t planned_conv_ = 0;
   std::size_t fused_ = 0;
   std::size_t reference_ = 0;
-  std::size_t identity_ = 0;
+  std::size_t removed_ = 0;
 };
 
 }  // namespace sx::dl

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "dl/lower.hpp"
+
 namespace sx::dl {
 
 namespace k = tensor::kernels;
@@ -29,48 +31,72 @@ k::Conv2dGeom qconv_geom(const QuantizedModel& m, std::size_t i,
 }  // namespace
 
 QuantKernelPlan::QuantKernelPlan(const QuantizedModel& model, KernelMode mode)
-    : model_(&model), mode_(mode) {
-  const std::size_t n = model.layer_count();
+    : model_(&model), mode_(mode), program_(lower(model)) {
+  // Static-analysis pass pipeline over the lowered IR. The int8 path only
+  // ever fuses ReLU: quantize() admits no other activation, and int8 ReLU
+  // after the requantize clamp is exact.
+  ir::PassOptions opts;
+  opts.fuse_sigmoid_tanh = false;
+  ir::OptimizeResult opt = ir::optimize(program_, opts);
+  layout_ = std::move(opt.layout);
+  passes_ = std::move(opt.passes);
+  output_offset_ = layout_.value_offset[program_.output_value];
+  for (const ir::PassEvidence& pe : passes_) removed_ += pe.layers_removed;
 
-  // Pass 1: size the deploy-time storage from the static shapes alone.
+  // Pass 1 over the surviving ops: size the deploy-time storage.
   std::size_t table_u32 = 0;  // pix_off arrays + in_idx + w_ofs
-  for (std::size_t i = 0; i < n; ++i) {
-    const QuantizedModel::QLayerView v = model.layer_view(i);
-    if (v.kind == LayerKind::kConv2d) {
-      const k::Conv2dGeom g = qconv_geom(model, i, v);
+  for (const ir::Op& op : program_.ops) {
+    if (!op.live) continue;
+    if (op.kind == ir::OpKind::kConv2d) {
+      const QuantizedModel::QLayerView v = model.layer_view(op.layer);
+      const k::Conv2dGeom g = qconv_geom(model, op.layer, v);
       const std::size_t entries = k::im2col_entries(g);
       table_u32 += (g.opix() + 1) + 2 * entries;
       table_entries_ += entries;
       scratch_bytes_ = scratch_bytes_ > entries ? scratch_bytes_ : entries;
       if (mode_ == KernelMode::kPacked)
         panel_bytes_ += qk::qconv_panel_bytes(g.out_c, g.patch());
-    } else if (mode_ == KernelMode::kPacked && v.kind == LayerKind::kDense) {
+    } else if (mode_ == KernelMode::kPacked &&
+               op.kind == ir::OpKind::kDense) {
+      const QuantizedModel::QLayerView v = model.layer_view(op.layer);
       panel_bytes_ += qk::qdense_panel_bytes(v.out_dim, v.in_dim);
     }
   }
 
   // Configuration-time storage, allocated exactly once per deployment;
   // the hot path only ever reads it.
-  steps_ = std::make_unique<QuantKernelStep[]>(n);  // sxlint: allow(hot-path-alloc) deploy-time plan storage
+  const std::size_t live = program_.live_op_count();
+  if (live != 0)
+    steps_ = std::make_unique<QuantKernelStep[]>(live);  // sxlint: allow(hot-path-alloc) deploy-time plan storage
   if (table_u32 != 0)
     tables_ = std::make_unique<std::uint32_t[]>(table_u32);  // sxlint: allow(hot-path-alloc) deploy-time im2col tables
   if (panel_bytes_ != 0)
     panels_ = tensor::make_aligned_storage<std::int8_t>(panel_bytes_);
 
-  // Pass 2: build steps, tables and panels.
+  // Pass 2: one executable step per surviving op, carrying its liveness
+  // arena assignment and fused-ReLU requantize epilogue. The input scale
+  // is keyed to the op's own model layer — dce'd flatten layers preserve
+  // bytes AND scale, so this matches what the reference path feeds it.
   std::size_t tu = 0, pb = 0;
-  for (std::size_t i = 0; i < n;) {
+  for (const ir::Op& op : program_.ops) {
+    if (!op.live) continue;
     QuantKernelStep& s = steps_[step_count_++];
+    const std::size_t i = op.layer;
     s.first_layer = i;
+    s.last_layer = program_.last_layer(op);
+    s.in_elems = program_.values[op.input].elems;
+    s.out_elems = program_.values[op.output].elems;
+    const ir::ArenaAssignment& slot = layout_.per_op[op.id];
+    s.in_offset = slot.in_offset;
+    s.out_offset = slot.out_offset;
+    s.scratch_offset = slot.scratch_offset;
+    const bool relu_fused = op.fused_layer != ir::kNone;
+    if (relu_fused) ++fused_;
     const QuantizedModel::QLayerView v = model.layer_view(i);
-    // The int8 path only ever fuses ReLU: quantize() admits no other
-    // activation, and int8 ReLU after the requantize clamp is exact.
-    const bool relu_next =
-        i + 1 < n && model.layer_view(i + 1).kind == LayerKind::kRelu;
     const float in_scale =
         i == 0 ? model.input_scale() : model.activation_scale(i - 1);
 
-    if (v.kind == LayerKind::kDense) {
+    if (op.kind == ir::OpKind::kDense) {
       s.kind = QuantKernelStep::Kind::kDense;
       s.rows = v.out_dim;
       s.cols = v.in_dim;
@@ -80,7 +106,7 @@ QuantKernelPlan::QuantKernelPlan(const QuantizedModel& model, KernelMode mode)
                          .bias = v.bias.data(),
                          .in_scale = in_scale,
                          .out_scale = v.out_scale,
-                         .relu = relu_next};
+                         .relu = relu_fused};
       if (mode_ == KernelMode::kPacked) {
         std::int8_t* panel = panels_.get() + pb;
         qk::pack_qdense_panel(s.weights, s.rows, s.cols, panel);
@@ -88,7 +114,7 @@ QuantKernelPlan::QuantKernelPlan(const QuantizedModel& model, KernelMode mode)
         pb += qk::qdense_panel_bytes(s.rows, s.cols);
       }
       ++planned_dense_;
-    } else if (v.kind == LayerKind::kConv2d) {
+    } else if (op.kind == ir::OpKind::kConv2d) {
       const k::Conv2dGeom g = qconv_geom(model, i, v);
       const std::size_t entries = k::im2col_entries(g);
       std::uint32_t* pix_off = tables_.get() + tu;
@@ -109,7 +135,7 @@ QuantKernelPlan::QuantKernelPlan(const QuantizedModel& model, KernelMode mode)
                          .bias = v.bias.data(),
                          .in_scale = in_scale,
                          .out_scale = v.out_scale,
-                         .relu = relu_next};
+                         .relu = relu_fused};
       s.scratch = entries;
       if (mode_ == KernelMode::kPacked) {
         const std::size_t pbl = qk::qconv_panel_bytes(g.out_c, g.patch());
@@ -121,25 +147,9 @@ QuantKernelPlan::QuantKernelPlan(const QuantizedModel& model, KernelMode mode)
         }
       }
       ++planned_conv_;
-    } else if (v.kind == LayerKind::kFlatten) {
-      // The reference copies the bytes verbatim; the planned engine keeps
-      // the buffer and re-views it (same bits, one less pass).
-      s.kind = QuantKernelStep::Kind::kIdentity;
-      ++identity_;
-      ++i;
-      continue;
     } else {
       s.kind = QuantKernelStep::Kind::kReference;
       ++reference_;
-      ++i;
-      continue;
-    }
-    if (relu_next) {
-      s.layer_span = 2;
-      ++fused_;
-      i += 2;
-    } else {
-      ++i;
     }
   }
 }
@@ -163,8 +173,9 @@ std::string QuantKernelPlan::summary() const {
   os << "mode=" << kernel_mode_name(mode_) << " steps=" << step_count_ << "/"
      << model_->layer_count() << " layers (dense=" << planned_dense_
      << " conv=" << planned_conv_ << " fused-relu=" << fused_
-     << " identity=" << identity_ << " reference=" << reference_
-     << "), im2col entries=" << table_entries_
+     << " removed=" << removed_ << " reference=" << reference_
+     << "), arena=" << layout_.total_elems << "/" << layout_.naive_elems
+     << " bytes, im2col entries=" << table_entries_
      << ", scratch=" << scratch_bytes_ << " bytes, panels=" << panel_bytes_
      << " bytes";
   return os.str();
@@ -189,11 +200,14 @@ std::size_t max_activation_bytes(const QuantizedModel& m) {
   return mx;
 }
 
+/// Planned mode: the liveness-colored base block (the quantized input and
+/// all im2col scratch slots live inside it). Reference mode: the classic
+/// two-buffer ping-pong worst case.
 std::size_t planned_capacity(const QuantizedModel& m,
                              const QuantKernelPlan* plan,
                              const QuantEngineConfig& cfg) {
-  const std::size_t scratch = plan != nullptr ? plan->scratch_bytes() : 0;
-  return 2 * max_activation_bytes(m) + scratch + cfg.arena_slack;
+  if (plan != nullptr) return plan->arena_bytes() + cfg.arena_slack;
+  return 2 * max_activation_bytes(m) + cfg.arena_slack;
 }
 
 }  // namespace
@@ -231,11 +245,15 @@ void QuantEngine::init() {
   for (std::size_t i = 0; i < layer_count_; ++i)
     act_sizes_[i] = model_->activation_shape(i).size();
 
-  const std::size_t mx = max_activation_bytes(*model_);
-  ping_ = arena_.alloc(mx);
-  pong_ = arena_.alloc(mx);
-  const std::size_t sb = plan_ != nullptr ? plan_->scratch_bytes() : 0;
-  if (sb != 0) scratch_ = arena_.alloc(sb);
+  if (plan_ != nullptr) {
+    base_ = arena_.alloc(plan_->arena_bytes());
+    input_offset_ = plan_->input_offset();
+    output_offset_ = plan_->output_offset();
+  } else {
+    const std::size_t mx = max_activation_bytes(*model_);
+    ping_ = arena_.alloc(mx);
+    pong_ = arena_.alloc(mx);
+  }
 }
 
 Status QuantEngine::run(tensor::ConstTensorView input,
@@ -244,14 +262,21 @@ Status QuantEngine::run(tensor::ConstTensorView input,
   if (input.shape != model_->input_shape() || !input.valid())
     return Status::kShapeMismatch;
   if (output.size() != out_size_) return Status::kShapeMismatch;
-  if (ping_.empty() || pong_.empty()) return Status::kArenaExhausted;
 
   // Quantize the input exactly as the reference run() does (clips at the
-  // input are uncounted there too, so the counters stay comparable).
+  // input are uncounted there too, so the counters stay comparable). The
+  // planned destination is the input's own liveness-pass arena slot.
+  if (plan_ != nullptr) {
+    if (base_.empty()) return Status::kArenaExhausted;
+    std::int8_t* qin = base_.data() + input_offset_;
+    for (std::size_t i = 0; i < in_size_; ++i)
+      qin[i] = quantize_value(input.data[i], in_scale_);
+    return run_planned(output);
+  }
+  if (ping_.empty() || pong_.empty()) return Status::kArenaExhausted;
   for (std::size_t i = 0; i < in_size_; ++i)
     ping_[i] = quantize_value(input.data[i], in_scale_);
-
-  return plan_ != nullptr ? run_planned(output) : run_reference(output);
+  return run_reference(output);
 }
 
 Status QuantEngine::run_reference(std::span<float> output) noexcept {
@@ -275,50 +300,43 @@ Status QuantEngine::run_reference(std::span<float> output) noexcept {
 }
 
 Status QuantEngine::run_planned(std::span<float> output) noexcept {
-  const std::int8_t* cur = ping_.data();
-  bool dst_ping = false;  // the input occupies ping_; first output -> pong_
+  // One step per surviving IR op, each reading/writing its liveness-pass
+  // byte-arena offsets (dce'd flatten layers have no step — same bytes,
+  // one less pass). Fused-ReLU clips land on the producing layer's
+  // counter, exactly where the reference also counts them.
+  std::int8_t* const base = base_.data();
   for (const QuantKernelStep& s : plan_->steps()) {
-    if (s.kind == QuantKernelStep::Kind::kIdentity) {
-      // Flatten: same bytes under a flattened shape — keep the buffer.
-      continue;
-    }
-    std::int8_t* dst = dst_ping ? ping_.data() : pong_.data();
+    const std::int8_t* in = base + s.in_offset;
+    std::int8_t* dst = base + s.out_offset;
     std::uint64_t* sat = &sat_counts_[s.first_layer];
     switch (s.kind) {
       case QuantKernelStep::Kind::kDense:
         if (s.panel != nullptr)
-          tensor::qkernels::qmatvec_packed(s.panel, s.rows, s.cols, cur,
-                                           s.rq, dst, sat);
+          qk::qmatvec_packed(s.panel, s.rows, s.cols, in, s.rq, dst, sat);
         else
-          tensor::qkernels::qmatvec_blocked(s.weights, s.rows, s.cols, cur,
-                                            s.rq, dst, sat);
+          qk::qmatvec_blocked(s.weights, s.rows, s.cols, in, s.rq, dst, sat);
         break;
-      case QuantKernelStep::Kind::kConv2d:
-        tensor::qkernels::im2col_gather_i8(cur, s.conv.in_idx, s.scratch,
-                                           scratch_.data());
+      case QuantKernelStep::Kind::kConv2d: {
+        std::int8_t* scratch = base + s.scratch_offset;
+        qk::im2col_gather_i8(in, s.conv.in_idx, s.scratch, scratch);
         if (s.panel != nullptr)
-          tensor::qkernels::qconv2d_im2col_packed(
-              s.panel, s.weights, s.conv, scratch_.data(), s.rq, dst, sat);
+          qk::qconv2d_im2col_packed(s.panel, s.weights, s.conv, scratch,
+                                    s.rq, dst, sat);
         else
-          tensor::qkernels::qconv2d_im2col(s.weights, s.conv, scratch_.data(),
-                                           s.rq, dst, sat);
+          qk::qconv2d_im2col(s.weights, s.conv, scratch, s.rq, dst, sat);
         break;
+      }
       case QuantKernelStep::Kind::kReference: {
-        const std::size_t i = s.first_layer;
-        const std::size_t in_sz = i == 0 ? in_size_ : act_sizes_[i - 1];
-        const Status st = model_->apply_layer(i, {cur, in_sz},
-                                              {dst, act_sizes_[i]}, sat);
+        const Status st = model_->apply_layer(
+            s.first_layer, {in, s.in_elems}, {dst, s.out_elems}, sat);
         if (!ok(st)) return st;
         break;
       }
-      case QuantKernelStep::Kind::kIdentity:
-        break;  // handled above
     }
-    cur = dst;
-    dst_ping = !dst_ping;
   }
+  const std::int8_t* out_src = base + output_offset_;
   for (std::size_t i = 0; i < out_size_; ++i)
-    output[i] = static_cast<float>(cur[i]) * final_scale_;
+    output[i] = static_cast<float>(out_src[i]) * final_scale_;
   ++runs_;
   return Status::kOk;
 }

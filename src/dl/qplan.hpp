@@ -1,9 +1,13 @@
 // Deploy-time kernel plans for the int8 quantized path (pillar 3).
 //
-// QuantKernelPlan is the quantized sibling of dl::KernelPlan: built exactly
-// once per deployed QuantizedModel, at configuration time, it decides from
-// the static shapes alone how every quantized layer executes on the hot
-// path:
+// QuantKernelPlan is the quantized sibling of dl::KernelPlan and shares
+// its IR-backed construction: the QuantizedModel is lowered to the program
+// IR (src/ir, elem_bytes = 1, input staged in-arena) and run through the
+// same deterministic pass pipeline — dead-layer elimination, fusion
+// legality (relu only: quantize() admits no other activation and int8
+// ReLU after the requantize clamp is exact), and buffer-lifetime analysis
+// coloring the int8 activation lifetimes into shared byte-arena slots.
+// The executable steps are then built from the surviving ops:
 //
 //   - Dense layers run the register-blocked int8 matvec kernels from
 //     tensor/qkernels.hpp; in kPacked mode their weights are additionally
@@ -11,15 +15,14 @@
 //     plan;
 //   - Conv2d layers are lowered to int8 gather + blocked GEMM through the
 //     same ragged im2col index tables the float plan uses (the tables are
-//     element-type-agnostic); the gathered int8 column is the only runtime
-//     scratch, sized by scratch_bytes() and drawn from the engine's
-//     pre-planned byte arena;
-//   - a Dense/Conv2d immediately followed by the int8 ReLU is fused into
-//     one step: the requantize epilogue applies `q > 0 ? q : 0` on the
+//     element-type-agnostic); the gathered int8 column is a byte-arena
+//     slot assigned by the liveness pass;
+//   - a Dense/Conv2d whose output's single live consumer is the int8 ReLU
+//     absorbs it: the requantize epilogue applies `q > 0 ? q : 0` on the
 //     just-quantized value, exactly what the separate reference layer
 //     computes;
-//   - Flatten becomes a kIdentity re-view (verbatim bit copy in the
-//     reference); pooling layers become kReference steps executed through
+//   - Flatten (a verbatim byte copy in the reference) is eliminated by
+//     dce; pooling layers become kReference steps executed through
 //     QuantizedModel::apply_layer.
 //
 // All planned kernels preserve the reference per-output int32 accumulation
@@ -36,13 +39,14 @@
 // (dl/plan.hpp).
 //
 // One plan is immutable after construction (repack() aside) and safe to
-// share read-only across BatchRunner workers; each worker's im2col scratch
+// share read-only across BatchRunner workers; each worker's arena slots
 // and saturation counters live in its own engine.
 #pragma once
 
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "dl/plan.hpp"
 #include "dl/quant.hpp"
@@ -51,18 +55,24 @@
 
 namespace sx::dl {
 
-/// One executable step of a quantized plan: one layer, or a Dense/Conv2d
-/// fused with its following int8 ReLU. Pointer members alias the
-/// QuantizedModel's live parameter storage (or the plan's own
-/// tables/panels) and stay valid for the model's lifetime.
+/// One executable step of a quantized plan: one surviving IR op — a
+/// layer, or a Dense/Conv2d fused with its following int8 ReLU. Pointer
+/// members alias the QuantizedModel's live parameter storage (or the
+/// plan's own tables/panels) and stay valid for the model's lifetime.
+/// Offsets are byte indices into the engine's arena base block.
 struct QuantKernelStep {
-  /// kIdentity marks Flatten (verbatim bit copy in the reference): the
-  /// planned engine re-views the current int8 buffer instead of copying.
-  enum class Kind : std::uint8_t { kReference, kDense, kConv2d, kIdentity };
+  enum class Kind : std::uint8_t { kReference, kDense, kConv2d };
 
   Kind kind = Kind::kReference;
   std::size_t first_layer = 0;  ///< model layer index this step starts at
-  std::size_t layer_span = 1;   ///< 2 when the following ReLU is fused
+  std::size_t last_layer = 0;   ///< fused ReLU layer, or first_layer
+
+  // Byte-arena addressing (liveness-pass assignment).
+  std::size_t in_offset = ir::kNone;
+  std::size_t out_offset = ir::kNone;
+  std::size_t scratch_offset = ir::kNone;
+  std::size_t in_elems = 0;
+  std::size_t out_elems = 0;
 
   // kDense / kConv2d
   std::size_t rows = 0, cols = 0;       ///< Dense dims
@@ -91,8 +101,24 @@ class QuantKernelPlan {
     return {steps_.get(), step_count_};
   }
 
+  /// The optimized program IR and its liveness-colored arena layout —
+  /// the structures verify/range re-checks against the model.
+  const ir::Program& program() const noexcept { return program_; }
+  const ir::ArenaLayout& layout() const noexcept { return layout_; }
+  /// Structured audit evidence emitted by each static-analysis pass.
+  std::span<const ir::PassEvidence> pass_evidence() const noexcept {
+    return {passes_.data(), passes_.size()};
+  }
+
+  /// Engine byte-arena demand (liveness-pass total, excluding slack).
+  std::size_t arena_bytes() const noexcept { return layout_.total_elems; }
+  /// Byte offset of the in-arena quantized input slot.
+  std::size_t input_offset() const noexcept { return layout_.input_offset; }
+  /// Byte offset of the program output.
+  std::size_t output_offset() const noexcept { return output_offset_; }
+
   /// Per-inference scratch demand in bytes (max ragged im2col column over
-  /// all conv steps) — added to every engine's byte-arena plan.
+  /// all conv steps).
   std::size_t scratch_bytes() const noexcept { return scratch_bytes_; }
 
   /// Deploy-time footprint of the packed panels (bytes; 0 in kBlocked).
@@ -104,7 +130,8 @@ class QuantKernelPlan {
   std::size_t planned_conv() const noexcept { return planned_conv_; }
   std::size_t fused_relus() const noexcept { return fused_; }
   std::size_t reference_steps() const noexcept { return reference_; }
-  std::size_t identity_steps() const noexcept { return identity_; }
+  /// Layers eliminated by the dce pass (bit identities).
+  std::size_t removed_layers() const noexcept { return removed_; }
 
   /// Re-snapshots the quantized weights into the packed panels (kPacked
   /// only; no-op in kBlocked mode).
@@ -116,10 +143,14 @@ class QuantKernelPlan {
  private:
   const QuantizedModel* model_;
   KernelMode mode_;
+  ir::Program program_;
+  ir::ArenaLayout layout_;
+  std::vector<ir::PassEvidence> passes_;
   std::unique_ptr<QuantKernelStep[]> steps_;
   std::size_t step_count_ = 0;
   std::unique_ptr<std::uint32_t[]> tables_;  ///< pix_off + in_idx + w_ofs
   tensor::AlignedStorage<std::int8_t> panels_;  ///< cache-line-aligned base
+  std::size_t output_offset_ = ir::kNone;
   std::size_t scratch_bytes_ = 0;
   std::size_t panel_bytes_ = 0;
   std::size_t table_entries_ = 0;
@@ -127,7 +158,7 @@ class QuantKernelPlan {
   std::size_t planned_conv_ = 0;
   std::size_t fused_ = 0;
   std::size_t reference_ = 0;
-  std::size_t identity_ = 0;
+  std::size_t removed_ = 0;
 };
 
 struct QuantEngineConfig {
@@ -138,10 +169,11 @@ struct QuantEngineConfig {
 };
 
 /// Planned int8 inference engine: the quantized sibling of StaticEngine.
-/// All activation ping-pong buffers and the im2col scratch are carved from
-/// one pre-planned ByteArena at construction; run() is noexcept and
-/// performs zero heap allocations. Outputs are bitwise identical to
-/// QuantizedModel::run for every kernel mode.
+/// In planned modes the byte arena is the single liveness-colored base
+/// block (the quantized input occupies its own slot inside it); reference
+/// mode keeps the classic ping-pong pair as the unoptimized twin. run()
+/// is noexcept and performs zero heap allocations. Outputs are bitwise
+/// identical to QuantizedModel::run for every kernel mode.
 class QuantEngine {
  public:
   /// Builds an engine-private plan (or none when the resolved mode is
@@ -202,14 +234,16 @@ class QuantEngine {
   std::unique_ptr<QuantKernelPlan> owned_plan_;
   const QuantKernelPlan* plan_;
   tensor::ByteArena arena_;
-  std::span<std::int8_t> ping_;
-  std::span<std::int8_t> pong_;
-  std::span<std::int8_t> scratch_;
+  std::span<std::int8_t> base_;  ///< planned mode: layout base block
+  std::span<std::int8_t> ping_;  ///< reference mode only
+  std::span<std::int8_t> pong_;  ///< reference mode only
   // Static sizes cached at construction so the noexcept hot path never
   // touches a throwing accessor.
   std::size_t layer_count_ = 0;
   std::size_t in_size_ = 0;
   std::size_t out_size_ = 0;
+  std::size_t input_offset_ = 0;   ///< planned: in-arena input slot
+  std::size_t output_offset_ = 0;  ///< planned: program output slot
   float in_scale_ = 1.0f;
   float final_scale_ = 1.0f;
   std::unique_ptr<std::size_t[]> act_sizes_;  ///< size after each layer

@@ -63,6 +63,15 @@ class InferenceChannel {
   /// True if the previous infer() produced a fallback (degraded) output.
   virtual bool last_degraded() const noexcept { return false; }
 
+  /// The deploy-time float kernel plan of replica 0's engine, when the
+  /// channel runs planned kernels (nullptr in reference mode or when the
+  /// channel deploys no float StaticEngine of its own, e.g. QuantChannel).
+  /// Lets the pipeline attach the plan's IR pass evidence to the audit
+  /// chain without knowing the concrete pattern.
+  virtual const dl::KernelPlan* float_kernel_plan() const noexcept {
+    return nullptr;
+  }
+
   /// Registers and binds this pattern's telemetry counters (configuration
   /// time; no-op by default). Wrapper channels forward to their inner
   /// channel. The registry must outlive the channel.
@@ -94,6 +103,10 @@ class SingleChannel final : public InferenceChannel {
   void undo_fault(std::size_t i, const FaultRecord& rec) override {
     FaultInjector::restore(replica(i), rec);
     engine_->repack();
+  }
+
+  const dl::KernelPlan* float_kernel_plan() const noexcept override {
+    return engine_->kernel_plan();
   }
 
  private:
@@ -131,6 +144,10 @@ class MonitoredChannel final : public InferenceChannel {
   }
 
   const SafetyMonitor& monitor() const noexcept { return monitor_; }
+
+  const dl::KernelPlan* float_kernel_plan() const noexcept override {
+    return engine_->kernel_plan();
+  }
 
   void bind_telemetry(obs::Registry& registry) override {
     monitor_.bind_telemetry(&registry,
@@ -375,6 +392,9 @@ class SafetyBagChannel final : public InferenceChannel {
     primary_->undo_fault(i, rec);
   }
   bool last_degraded() const noexcept override { return degraded_; }
+  const dl::KernelPlan* float_kernel_plan() const noexcept override {
+    return primary_->float_kernel_plan();
+  }
 
   std::uint64_t fallback_activations() const noexcept { return fallbacks_; }
 

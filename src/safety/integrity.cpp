@@ -40,7 +40,10 @@ Status WeightIntegrityGuard::scrub(dl::Model& deployed) {
     ++repaired_;
     const auto& golden = golden_params_[i];
     if (params.size() != golden.size()) return Status::kInvalidArgument;
-    for (std::size_t j = 0; j < params.size(); ++j) params[j] = golden[j];
+    // Reviewed repair-to-golden site: scrub() restores the fingerprinted
+    // image, the one write the guard exists to make.
+    for (std::size_t j = 0; j < params.size(); ++j)
+      params[j] = golden[j];  // sxlint: allow(weight-mutation)
   }
   if (corrupted) {
     ++detections_;

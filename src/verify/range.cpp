@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <iomanip>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -68,8 +69,9 @@ std::string VerificationEvidence::verdict_line() const {
   os << (verdict.passed() ? "PASS" : "FAIL")
      << " bounded=" << (verdict.output_bounded ? 1 : 0)
      << " nan_free=" << (verdict.nan_free ? 1 : 0)
-     << " arena=" << (verdict.arena_consistent ? 1 : 0) << " output=["
-     << output_lo << "," << output_hi << "]";
+     << " arena=" << (verdict.arena_consistent ? 1 : 0)
+     << " ir=" << (verdict.ir_sound ? 1 : 0) << " output=[" << output_lo
+     << "," << output_hi << "]";
   return os.str();
 }
 
@@ -79,8 +81,29 @@ std::string VerificationEvidence::to_text() const {
      << "arena plan: required=" << arena.required_floats
      << " floats (shape-derived), planned=" << arena.planned_floats
      << " floats => " << (arena.consistent ? "CONSISTENT" : "MISMATCH")
-     << "\n"
-     << "per-layer output intervals (ODD-bounded abstract interpretation):\n";
+     << "\n";
+  if (ir.checked) {
+    os << "ir passes: structure=" << (ir.structure_sound ? "OK" : "UNSOUND")
+       << " elimination=" << (ir.elimination_sound ? "OK" : "UNSOUND")
+       << " fusion=" << (ir.fusion_sound ? "OK" : "UNSOUND")
+       << " layout=" << (ir.layout_sound ? "OK" : "UNSOUND")
+       << "; arena rederived=" << ir.rederived_elems
+       << " planned=" << ir.planned_elems
+       << " elems, removed=" << ir.layers_removed
+       << " fused=" << ir.layers_fused << "\n";
+  }
+  if (quant_ir.checked) {
+    os << "int8 ir passes: structure="
+       << (quant_ir.structure_sound ? "OK" : "UNSOUND")
+       << " elimination=" << (quant_ir.elimination_sound ? "OK" : "UNSOUND")
+       << " fusion=" << (quant_ir.fusion_sound ? "OK" : "UNSOUND")
+       << " layout=" << (quant_ir.layout_sound ? "OK" : "UNSOUND")
+       << "; arena rederived=" << quant_ir.rederived_elems
+       << " planned=" << quant_ir.planned_elems
+       << " bytes, removed=" << quant_ir.layers_removed
+       << " fused=" << quant_ir.layers_fused << "\n";
+  }
+  os << "per-layer output intervals (ODD-bounded abstract interpretation):\n";
   os << std::setprecision(4);
   for (const auto& l : layers) {
     os << "  layer " << l.index << " " << dl::to_string(l.kind) << ": ["
@@ -133,68 +156,376 @@ std::vector<IntervalTensor> analyze_ranges(const dl::Model& model,
 
 namespace {
 
-/// Kernel-plan scratch demand re-derived from shapes alone: the engine's
-/// planned Conv2d lowering gathers one ragged im2col column per conv
-/// layer (one float per *valid* tap — padding-clipped taps are omitted),
-/// and engines size their scratch buffer for the largest column. This
-/// deliberately re-counts valid taps with its own geometry walk instead of
-/// consulting tensor::kernels::im2col_entries or the KernelPlan.
-std::size_t kernel_scratch_demand(const dl::Model& model,
-                                  const dl::StaticEngineConfig& cfg) {
-  if (dl::resolve_kernel_mode(cfg.kernels) == dl::KernelMode::kReference)
-    return 0;
-  Shape shape = model.input_shape();
-  std::size_t scratch = 0;
-  for (std::size_t i = 0; i < model.layer_count(); ++i) {
-    if (model.layer(i).kind() == dl::LayerKind::kConv2d) {
-      const auto& c = static_cast<const dl::Conv2d&>(model.layer(i));
-      const std::size_t h = shape.dim(1), w = shape.dim(2);
-      const std::size_t k = c.kernel(), s = c.stride(), p = c.padding();
-      const std::size_t oh = (h + 2 * p - k) / s + 1;
-      const std::size_t ow = (w + 2 * p - k) / s + 1;
-      std::size_t entries = 0;
-      for (std::size_t oy = 0; oy < oh; ++oy) {
-        for (std::size_t ox = 0; ox < ow; ++ox) {
-          std::size_t taps = 0;
-          for (std::size_t ky = 0; ky < k; ++ky) {
-            const std::ptrdiff_t iy =
-                static_cast<std::ptrdiff_t>(oy * s + ky) -
-                static_cast<std::ptrdiff_t>(p);
-            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
-            for (std::size_t kx = 0; kx < k; ++kx) {
-              const std::ptrdiff_t ix =
-                  static_cast<std::ptrdiff_t>(ox * s + kx) -
-                  static_cast<std::ptrdiff_t>(p);
-              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
-              ++taps;
-            }
-          }
-          entries += c.in_channels() * taps;
+constexpr std::size_t kNoIdx = ~std::size_t{0};
+
+/// Ragged im2col column of one conv layer re-derived from its geometry
+/// alone (one element per *valid* tap — padding-clipped taps are
+/// omitted), deliberately re-counting taps with its own walk instead of
+/// consulting tensor::kernels::im2col_entries or any plan bookkeeping.
+std::size_t conv_entries_independent(std::size_t h, std::size_t w,
+                                     std::size_t in_c, std::size_t k,
+                                     std::size_t s, std::size_t p) {
+  const std::size_t oh = (h + 2 * p - k) / s + 1;
+  const std::size_t ow = (w + 2 * p - k) / s + 1;
+  std::size_t entries = 0;
+  for (std::size_t oy = 0; oy < oh; ++oy) {
+    for (std::size_t ox = 0; ox < ow; ++ox) {
+      std::size_t taps = 0;
+      for (std::size_t ky = 0; ky < k; ++ky) {
+        const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy * s + ky) -
+                                  static_cast<std::ptrdiff_t>(p);
+        if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+        for (std::size_t kx = 0; kx < k; ++kx) {
+          const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox * s + kx) -
+                                    static_cast<std::ptrdiff_t>(p);
+          if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+          ++taps;
         }
       }
-      scratch = std::max(scratch, entries);
+      entries += in_c * taps;
+    }
+  }
+  return entries;
+}
+
+/// One source-model layer as the checker sees it: kind, output element
+/// count, and (for conv) the independently re-counted scratch column.
+struct ChainLayer {
+  dl::LayerKind kind{};
+  std::size_t out_elems = 0;
+  std::size_t scratch = 0;
+};
+
+std::vector<ChainLayer> float_chain(const dl::Model& model) {
+  std::vector<ChainLayer> layers;
+  layers.reserve(model.layer_count());
+  Shape shape = model.input_shape();
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    ChainLayer cl;
+    cl.kind = model.layer(i).kind();
+    if (cl.kind == dl::LayerKind::kConv2d) {
+      const auto& c = static_cast<const dl::Conv2d&>(model.layer(i));
+      cl.scratch =
+          conv_entries_independent(shape.dim(1), shape.dim(2),
+                                   c.in_channels(), c.kernel(), c.stride(),
+                                   c.padding());
     }
     shape = model.layer(i).output_shape(shape);
+    cl.out_elems = shape.size();
+    layers.push_back(cl);
   }
-  return scratch;
+  return layers;
+}
+
+std::vector<ChainLayer> quant_chain(const dl::QuantizedModel& q) {
+  std::vector<ChainLayer> layers;
+  layers.reserve(q.layer_count());
+  for (std::size_t i = 0; i < q.layer_count(); ++i) {
+    const dl::QuantizedModel::QLayerView v = q.layer_view(i);
+    ChainLayer cl;
+    cl.kind = v.kind;
+    if (v.kind == dl::LayerKind::kConv2d) {
+      const Shape& in =
+          i == 0 ? q.input_shape() : q.activation_shape(i - 1);
+      cl.scratch = conv_entries_independent(in.dim(1), in.dim(2), v.in_c,
+                                            v.k, v.stride, v.pad);
+    }
+    cl.out_elems = q.activation_shape(i).size();
+    layers.push_back(cl);
+  }
+  return layers;
+}
+
+/// One surviving operation of the checker's independent re-derivation.
+struct DerivedOp {
+  dl::LayerKind kind{};
+  std::size_t layer = 0;
+  std::size_t in_elems = 0;
+  std::size_t out_elems = 0;
+  std::size_t scratch = 0;
+  std::size_t fused_layer = kNoIdx;
+  dl::LayerKind fused_kind{};
+};
+
+struct DerivedPlan {
+  std::size_t input_elems = 0;
+  bool input_in_arena = false;
+  std::vector<DerivedOp> ops;  ///< surviving ops in execution order
+  std::size_t total_elems = 0; ///< first-fit liveness arena total
+  std::size_t removed = 0;     ///< layers a sound dce pass eliminates
+  std::size_t fused = 0;       ///< fusions the dataflow facts admit
+};
+
+/// Re-runs the whole static-analysis chain from the model layers alone:
+/// which layers are bit identities (flatten; relu over an already
+/// rectified value), which producer/activation pairs the single-use
+/// dataflow facts let fuse (honoring a pinned tap layer), and the
+/// deterministic first-fit coloring of the surviving value lifetimes.
+/// This mirrors the documented pass contracts without executing any
+/// src/ir code, so a corrupted pass result cannot corrupt the checker.
+DerivedPlan derive_plan(std::size_t input_elems, bool input_in_arena,
+                        const std::vector<ChainLayer>& layers,
+                        bool fuse_sigmoid_tanh, std::size_t pin_layer) {
+  DerivedPlan d;
+  d.input_elems = input_elems;
+  d.input_in_arena = input_in_arena;
+
+  // Elimination facts: a flatten is a verbatim copy; a relu whose
+  // (surviving) producer is itself a relu is idempotent. On a sequential
+  // chain everything else is reachable from the output.
+  std::size_t cur_elems = input_elems;
+  bool have_def = false;
+  dl::LayerKind def_kind{};
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const ChainLayer& l = layers[i];
+    const bool identity =
+        l.kind == dl::LayerKind::kFlatten ||
+        (l.kind == dl::LayerKind::kRelu && have_def &&
+         def_kind == dl::LayerKind::kRelu);
+    if (identity) {
+      ++d.removed;
+      continue;
+    }
+    DerivedOp op;
+    op.kind = l.kind;
+    op.layer = i;
+    op.in_elems = cur_elems;
+    op.out_elems = l.out_elems;
+    op.scratch = l.scratch;
+    d.ops.push_back(op);
+    cur_elems = l.out_elems;
+    have_def = true;
+    def_kind = l.kind;
+  }
+
+  // Fusion legality: a dense/conv producer whose output's single reader
+  // is the immediately following activation absorbs it — unless a pinned
+  // tap needs the pre-activation value materialized.
+  for (std::size_t j = 0; j + 1 < d.ops.size();) {
+    const bool producer = d.ops[j].kind == dl::LayerKind::kDense ||
+                          d.ops[j].kind == dl::LayerKind::kConv2d;
+    const dl::LayerKind ck = d.ops[j + 1].kind;
+    const bool act = ck == dl::LayerKind::kRelu ||
+                     (fuse_sigmoid_tanh && (ck == dl::LayerKind::kSigmoid ||
+                                            ck == dl::LayerKind::kTanh));
+    const bool pinned = pin_layer != kNoIdx && d.ops[j].layer < pin_layer &&
+                        pin_layer <= d.ops[j + 1].layer;
+    if (producer && act && !pinned && d.ops[j].fused_layer == kNoIdx) {
+      d.ops[j].fused_layer = d.ops[j + 1].layer;
+      d.ops[j].fused_kind = ck;
+      d.ops[j].out_elems = d.ops[j + 1].out_elems;
+      d.ops.erase(d.ops.begin() + j + 1);
+      ++d.fused;
+    }
+    ++j;
+  }
+
+  // Liveness coloring: value lifetimes over execution positions, placed
+  // by deterministic first-fit in the contractual order (in-arena input,
+  // then per op its scratch, then its output).
+  struct Placed {
+    std::size_t off, elems, b, e;
+  };
+  std::vector<Placed> placed;
+  auto place = [&](std::size_t elems, std::size_t b, std::size_t e) {
+    std::size_t off = 0;
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (const Placed& a : placed) {
+        if (b > a.e || a.b > e) continue;  // lifetimes disjoint
+        if (off < a.off + a.elems && a.off < off + elems) {
+          off = a.off + a.elems;
+          moved = true;
+        }
+      }
+    }
+    placed.push_back({off, elems, b, e});
+    d.total_elems = std::max(d.total_elems, off + elems);
+    return off;
+  };
+  if (input_in_arena) place(input_elems, 0, 0);
+  const std::size_t m = d.ops.size();
+  for (std::size_t j = 0; j < m; ++j) {
+    if (d.ops[j].scratch != 0) place(d.ops[j].scratch, j, j);
+    place(d.ops[j].out_elems, j, j + 1 < m ? j + 1 : j);
+  }
+  return d;
+}
+
+/// The checker's own LayerKind -> OpKind expectation (never dl/lower).
+ir::OpKind expected_opkind(dl::LayerKind k) noexcept {
+  switch (k) {
+    case dl::LayerKind::kDense: return ir::OpKind::kDense;
+    case dl::LayerKind::kConv2d: return ir::OpKind::kConv2d;
+    case dl::LayerKind::kRelu: return ir::OpKind::kRelu;
+    case dl::LayerKind::kSigmoid: return ir::OpKind::kSigmoid;
+    case dl::LayerKind::kTanh: return ir::OpKind::kTanh;
+    case dl::LayerKind::kMaxPool2d: return ir::OpKind::kMaxPool2d;
+    case dl::LayerKind::kAvgPool2d: return ir::OpKind::kAvgPool2d;
+    case dl::LayerKind::kFlatten: return ir::OpKind::kFlatten;
+    case dl::LayerKind::kSoftmax: return ir::OpKind::kSoftmax;
+    case dl::LayerKind::kBatchNorm: return ir::OpKind::kBatchNorm;
+  }
+  return ir::OpKind::kFlatten;
+}
+
+/// Compares a plan's optimized program + arena layout against the
+/// independent re-derivation, axis by axis.
+IrCheck check_against(const ir::Program& p, const ir::ArenaLayout& layout,
+                      const DerivedPlan& d, std::size_t model_layers,
+                      std::size_t output_elems) {
+  IrCheck c;
+  c.checked = true;
+  c.rederived_elems = d.total_elems;
+  c.planned_elems = layout.total_elems;
+  c.layers_removed = d.removed;
+  c.layers_fused = d.fused;
+
+  // Structure: a well-formed graph whose envelope matches the model.
+  c.structure_sound =
+      p.well_formed() && p.layer_count == model_layers &&
+      p.input_in_arena == d.input_in_arena && p.input_value != ir::kNone &&
+      p.values[p.input_value].elems == d.input_elems &&
+      p.output_value != ir::kNone &&
+      p.values[p.output_value].elems == output_elems;
+
+  // Elimination: the surviving ops must be exactly the re-derived set, in
+  // execution order, with matching shapes and scratch demands.
+  std::vector<const ir::Op*> live;
+  for (const ir::Op& op : p.ops)
+    if (op.live) live.push_back(&op);
+  bool elim = live.size() == d.ops.size();
+  if (elim) {
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      const ir::Op& op = *live[i];
+      const DerivedOp& e = d.ops[i];
+      if (op.layer != e.layer || op.kind != expected_opkind(e.kind) ||
+          p.values[op.input].elems != e.in_elems ||
+          p.values[op.output].elems != e.out_elems ||
+          op.scratch_elems != e.scratch)
+        elim = false;
+    }
+  }
+  c.elimination_sound = elim;
+
+  // Fusion: annotations are judged per layer, not per position, so a
+  // forged fused-epilogue marker is reported on this axis even when the
+  // surviving set already disagrees (elimination unsound). Live ops whose
+  // layer the re-derivation does not know are elimination's problem.
+  bool fus = true;
+  std::map<std::size_t, const DerivedOp*> by_layer;
+  for (const DerivedOp& e : d.ops) by_layer[e.layer] = &e;
+  for (const ir::Op* op : live) {
+    const auto it = by_layer.find(op->layer);
+    if (it == by_layer.end()) continue;
+    const DerivedOp& e = *it->second;
+    const bool efused = e.fused_layer != kNoIdx;
+    if ((op->fused_layer != ir::kNone) != efused ||
+        (efused && (op->fused_layer != e.fused_layer ||
+                    op->fused_kind != expected_opkind(e.fused_kind))))
+      fus = false;
+  }
+  c.fusion_sound = fus;
+
+  // Layout: the claimed total must equal the re-derived first-fit total,
+  // every assigned block must fit under it, inputs must chain, and no two
+  // lifetime-overlapping blocks may share space (pairwise interference
+  // over the plan's own offsets — an under-reported total or an aliased
+  // slot fails here even though the per-op offsets look individually
+  // plausible). With elimination unsound the offsets have no op set to be
+  // validated against, so layout is conservatively unsound too.
+  bool lay = elim && layout.total_elems == d.total_elems;
+  if (lay) {
+    struct Block {
+      std::size_t off, elems, b, e;
+    };
+    std::vector<Block> blocks;
+    if (d.input_in_arena) {
+      if (layout.input_offset == ir::kNone)
+        lay = false;
+      else
+        blocks.push_back({layout.input_offset, d.input_elems, 0, 0});
+    }
+    const std::size_t m = d.ops.size();
+    for (std::size_t i = 0; lay && i < m; ++i) {
+      const ir::ArenaAssignment& slot = layout.per_op[live[i]->id];
+      const std::size_t expected_in =
+          i == 0 ? (d.input_in_arena ? layout.input_offset : ir::kNone)
+                 : layout.per_op[live[i - 1]->id].out_offset;
+      if (slot.in_offset != expected_in) lay = false;
+      if (d.ops[i].scratch != 0) {
+        if (slot.scratch_offset == ir::kNone) {
+          lay = false;
+          break;
+        }
+        blocks.push_back({slot.scratch_offset, d.ops[i].scratch, i, i});
+      }
+      if (slot.out_offset == ir::kNone) {
+        lay = false;
+        break;
+      }
+      blocks.push_back(
+          {slot.out_offset, d.ops[i].out_elems, i, i + 1 < m ? i + 1 : i});
+    }
+    for (std::size_t i = 0; lay && i < blocks.size(); ++i) {
+      if (blocks[i].off + blocks[i].elems > layout.total_elems) lay = false;
+      for (std::size_t j = i + 1; lay && j < blocks.size(); ++j) {
+        const Block& a = blocks[i];
+        const Block& b = blocks[j];
+        if (a.b > b.e || b.b > a.e) continue;  // lifetimes disjoint
+        if (a.off < b.off + b.elems && b.off < a.off + a.elems)
+          lay = false;  // shared bytes while both alive
+      }
+    }
+  }
+  c.layout_sound = lay;
+  return c;
 }
 
 }  // namespace
 
 std::size_t static_arena_demand(const dl::Model& model,
                                 const dl::StaticEngineConfig& cfg) {
-  // Re-derive every activation size from the layers' own shape rules; the
-  // engine ping-pongs two buffers each sized for the largest activation,
-  // the input itself occupies the first buffer, and (in a planned kernel
-  // mode) the im2col scratch column rides in the same arena.
-  Shape shape = model.input_shape();
-  std::size_t max_activation = shape.size();
-  for (std::size_t i = 0; i < model.layer_count(); ++i) {
-    shape = model.layer(i).output_shape(shape);
-    max_activation = std::max(max_activation, shape.size());
+  if (dl::resolve_kernel_mode(cfg.kernels) == dl::KernelMode::kReference) {
+    // Reference mode ping-pongs two buffers each sized for the largest
+    // activation (input included); re-derive that from the layers' own
+    // shape rules.
+    Shape shape = model.input_shape();
+    std::size_t max_activation = shape.size();
+    for (std::size_t i = 0; i < model.layer_count(); ++i) {
+      shape = model.layer(i).output_shape(shape);
+      max_activation = std::max(max_activation, shape.size());
+    }
+    return 2 * max_activation + cfg.arena_slack;
   }
-  return 2 * max_activation + kernel_scratch_demand(model, cfg) +
-         cfg.arena_slack;
+  // Planned modes size the arena by the liveness pass; re-run the whole
+  // static-analysis chain independently and take its first-fit total.
+  const DerivedPlan d =
+      derive_plan(model.input_shape().size(), /*input_in_arena=*/false,
+                  float_chain(model), /*fuse_sigmoid_tanh=*/true,
+                  cfg.pin_tap_layer);
+  return d.total_elems + cfg.arena_slack;
+}
+
+IrCheck check_ir(const dl::Model& model, const dl::KernelPlan& plan) {
+  const DerivedPlan d =
+      derive_plan(model.input_shape().size(), /*input_in_arena=*/false,
+                  float_chain(model), /*fuse_sigmoid_tanh=*/true,
+                  plan.pin_tap_layer());
+  return check_against(plan.program(), plan.layout(), d,
+                       model.layer_count(), model.output_shape().size());
+}
+
+IrCheck check_ir(const dl::QuantizedModel& quantized,
+                 const dl::QuantKernelPlan& plan) {
+  const DerivedPlan d =
+      derive_plan(quantized.input_shape().size(), /*input_in_arena=*/true,
+                  quant_chain(quantized), /*fuse_sigmoid_tanh=*/false,
+                  kNoIdx);
+  return check_against(plan.program(), plan.layout(), d,
+                       quantized.layer_count(),
+                       quantized.output_shape().size());
 }
 
 VerificationEvidence verify_model(const dl::Model& model,
@@ -242,7 +573,16 @@ VerificationEvidence verify_model(const dl::Model& model,
                                   const trace::OddSpec& odd,
                                   const dl::StaticEngineConfig& cfg) {
   const dl::StaticEngine probe{model, cfg};
-  return verify_model(model, odd, probe.arena_capacity(), cfg);
+  VerificationEvidence ev =
+      verify_model(model, odd, probe.arena_capacity(), cfg);
+  if (probe.kernel_plan() != nullptr) {
+    // Planned deployment: re-verify the IR pass pipeline the plan was
+    // built with. An unsound transformation (or a mis-reported layout)
+    // fails the whole verdict, so the SIL3/4 gate refuses it.
+    ev.ir = check_ir(model, *probe.kernel_plan());
+    ev.verdict.ir_sound = ev.ir.passed();
+  }
+  return ev;
 }
 
 std::vector<QuantSaturationCheck> check_quant_saturation(
@@ -270,49 +610,23 @@ std::vector<QuantSaturationCheck> check_quant_saturation(
 
 std::size_t quant_arena_demand(const dl::QuantizedModel& quantized,
                                const dl::QuantEngineConfig& cfg) {
-  // Re-derive every activation size (int8: one byte per element) from the
-  // stored shapes, and the im2col scratch column from each Conv2d's
-  // geometry by counting valid taps directly — the same independent walk
-  // static_arena_demand does for the float engine, never consulting
-  // QuantKernelPlan's bookkeeping.
-  std::size_t max_activation = quantized.input_shape().size();
-  std::size_t scratch = 0;
-  const bool planned =
-      dl::resolve_kernel_mode(cfg.kernels) != dl::KernelMode::kReference;
-  for (std::size_t i = 0; i < quantized.layer_count(); ++i) {
-    max_activation =
-        std::max(max_activation, quantized.activation_shape(i).size());
-    if (!planned) continue;
-    const dl::QuantizedModel::QLayerView v = quantized.layer_view(i);
-    if (v.kind != dl::LayerKind::kConv2d) continue;
-    const Shape& in =
-        i == 0 ? quantized.input_shape() : quantized.activation_shape(i - 1);
-    const std::size_t h = in.dim(1), w = in.dim(2);
-    const std::size_t k = v.k, s = v.stride, p = v.pad;
-    const std::size_t oh = (h + 2 * p - k) / s + 1;
-    const std::size_t ow = (w + 2 * p - k) / s + 1;
-    std::size_t entries = 0;
-    for (std::size_t oy = 0; oy < oh; ++oy) {
-      for (std::size_t ox = 0; ox < ow; ++ox) {
-        std::size_t taps = 0;
-        for (std::size_t ky = 0; ky < k; ++ky) {
-          const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy * s + ky) -
-                                    static_cast<std::ptrdiff_t>(p);
-          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
-          for (std::size_t kx = 0; kx < k; ++kx) {
-            const std::ptrdiff_t ix =
-                static_cast<std::ptrdiff_t>(ox * s + kx) -
-                static_cast<std::ptrdiff_t>(p);
-            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
-            ++taps;
-          }
-        }
-        entries += v.in_c * taps;
-      }
-    }
-    scratch = std::max(scratch, entries);
+  if (dl::resolve_kernel_mode(cfg.kernels) == dl::KernelMode::kReference) {
+    // Reference mode ping-pongs two byte buffers (int8: one byte per
+    // element) each sized for the largest activation, input included.
+    std::size_t max_activation = quantized.input_shape().size();
+    for (std::size_t i = 0; i < quantized.layer_count(); ++i)
+      max_activation =
+          std::max(max_activation, quantized.activation_shape(i).size());
+    return 2 * max_activation + cfg.arena_slack;
   }
-  return 2 * max_activation + scratch + cfg.arena_slack;
+  // Planned modes size the byte arena by the liveness pass (the quantized
+  // input occupies its own in-arena slot); re-run the static-analysis
+  // chain independently and take its first-fit total.
+  const DerivedPlan d =
+      derive_plan(quantized.input_shape().size(), /*input_in_arena=*/true,
+                  quant_chain(quantized), /*fuse_sigmoid_tanh=*/false,
+                  kNoIdx);
+  return d.total_elems + cfg.arena_slack;
 }
 
 QuantArenaCheck check_quant_arena(const dl::QuantizedModel& quantized,

@@ -54,6 +54,34 @@ struct QuantArenaCheck {
   bool consistent = false;         ///< planned == required
 };
 
+/// Independent re-verification of an IR-backed kernel plan's static-
+/// analysis passes. The checker re-derives, from the model layers alone
+/// (never from src/ir), which layers a sound dce pass may eliminate,
+/// which fusions the single-use dataflow facts admit, and the first-fit
+/// liveness arena total — then compares the plan's optimized program and
+/// layout against the re-derivation, including a pairwise interference
+/// check over the plan's actual offset assignments. Any mismatch means
+/// the transformation pipeline produced (or mis-reported) an unsound
+/// result and the SIL3/4 pre-flight gate must refuse the deployment.
+struct IrCheck {
+  bool checked = false;            ///< a plan was present and examined
+  bool structure_sound = false;    ///< well-formed IR matching the model
+  bool elimination_sound = false;  ///< surviving ops == re-derived set
+  bool fusion_sound = false;       ///< fusion decisions == re-derived set
+  bool layout_sound = false;       ///< arena total + no interference
+  std::size_t rederived_elems = 0; ///< first-fit total, model-derived
+  std::size_t planned_elems = 0;   ///< plan's claimed ArenaLayout total
+  std::size_t layers_removed = 0;  ///< re-derived dce eliminations
+  std::size_t layers_fused = 0;    ///< re-derived legal fusions
+
+  /// Unchecked plans (reference mode) pass vacuously; checked plans must
+  /// be sound on every axis.
+  bool passed() const noexcept {
+    return !checked || (structure_sound && elimination_sound &&
+                        fusion_sound && layout_sound);
+  }
+};
+
 /// Saturation margin of one quantized layer against the static bound.
 struct QuantSaturationCheck {
   std::size_t layer = 0;
@@ -67,9 +95,13 @@ struct StaticVerdict {
   bool output_bounded = false;    ///< every layer interval finite
   bool nan_free = false;          ///< no NaN reachable from ODD inputs
   bool arena_consistent = false;  ///< plan matches shape-derived demand
+  /// IR pass pipeline re-verified (vacuously true when no plan was
+  /// available to the verifier, e.g. reference mode or a capacity-only
+  /// check).
+  bool ir_sound = true;
 
   bool passed() const noexcept {
-    return output_bounded && nan_free && arena_consistent;
+    return output_bounded && nan_free && arena_consistent && ir_sound;
   }
 };
 
@@ -78,6 +110,8 @@ struct VerificationEvidence {
   StaticVerdict verdict;
   std::vector<LayerRangeSummary> layers;
   ArenaCheck arena;
+  IrCheck ir;  ///< checked iff a float kernel plan was examined
+  IrCheck quant_ir;  ///< checked iff an int8 kernel plan was examined
   std::vector<QuantSaturationCheck> quant;  ///< empty unless requested
   QuantArenaCheck quant_arena;  ///< meaningful iff quant_checked
   bool quant_checked = false;   ///< int8 deployment evidence attached
@@ -100,15 +134,25 @@ IntervalTensor odd_input_interval(const tensor::Shape& input_shape,
 std::vector<IntervalTensor> analyze_ranges(const dl::Model& model,
                                            const IntervalTensor& input);
 
-/// Arena demand (floats) of StaticEngine's plan — two ping-pong buffers
-/// plus, when the resolved kernel mode is a planned one, the ragged
-/// im2col scratch column of the largest Conv2d — re-derived from layer
-/// output shapes alone, deliberately not using the engine's own
-/// Model::max_activation_size() or KernelPlan bookkeeping. Honors the
-/// same cfg.kernels / SX_KERNEL_REFERENCE resolution as the engine so
-/// the ArenaCheck equality holds in either mode.
+/// Arena demand (floats) of StaticEngine's plan, re-derived from layer
+/// output shapes alone — deliberately not using the engine's own
+/// Model::max_activation_size() or KernelPlan/ir bookkeeping. Reference
+/// mode re-counts the two ping-pong buffers; a planned mode re-runs the
+/// whole static-analysis chain (dce facts, fusion legality incl.
+/// cfg.pin_tap_layer, liveness first-fit) independently and returns that
+/// total. Honors the same cfg.kernels / SX_KERNEL_REFERENCE resolution
+/// as the engine so the ArenaCheck equality holds in either mode.
 std::size_t static_arena_demand(const dl::Model& model,
                                 const dl::StaticEngineConfig& cfg = {});
+
+/// Independent re-verification of an IR-backed float kernel plan: the
+/// checker re-derives elimination/fusion/liveness from the model layers
+/// and compares every structural fact and arena offset of `plan`.
+IrCheck check_ir(const dl::Model& model, const dl::KernelPlan& plan);
+/// Same re-verification for the int8 plan (relu-only fusion, in-arena
+/// input slot, byte arena).
+IrCheck check_ir(const dl::QuantizedModel& quantized,
+                 const dl::QuantKernelPlan& plan);
 
 /// Runs the full pass against a claimed arena capacity (in floats).
 VerificationEvidence verify_model(const dl::Model& model,
@@ -116,8 +160,10 @@ VerificationEvidence verify_model(const dl::Model& model,
                                   std::size_t planned_arena_floats,
                                   const dl::StaticEngineConfig& cfg = {});
 
-/// Convenience overload: plans a probe StaticEngine and checks its actual
-/// capacity against the shape-derived demand.
+/// Convenience overload: plans a probe StaticEngine, checks its actual
+/// capacity against the shape-derived demand and — when the probe carries
+/// an IR-backed kernel plan — re-verifies the whole pass pipeline
+/// (IrCheck), so an unsound transformation fails the verdict.
 VerificationEvidence verify_model(const dl::Model& model,
                                   const trace::OddSpec& odd,
                                   const dl::StaticEngineConfig& cfg = {});
@@ -129,12 +175,14 @@ std::vector<QuantSaturationCheck> check_quant_saturation(
     const dl::Model& model, const dl::QuantizedModel& quantized,
     const trace::OddSpec& odd);
 
-/// Byte-arena demand of dl::QuantEngine's plan — two int8 ping-pong
-/// buffers plus (in a planned kernel mode) the ragged im2col byte column
-/// of the largest Conv2d — re-derived from the quantized layers' shapes
-/// alone, deliberately not using QuantKernelPlan's own scratch_bytes()
-/// bookkeeping. Honors the same cfg.kernels / SX_KERNEL_REFERENCE
-/// resolution as the engine so the equality holds in either mode.
+/// Byte-arena demand of dl::QuantEngine's plan, re-derived from the
+/// quantized layers' shapes alone, deliberately not using
+/// QuantKernelPlan's own bookkeeping. Reference mode re-counts the two
+/// int8 ping-pong buffers; a planned mode re-runs the static-analysis
+/// chain (dce, relu-only fusion, liveness first-fit with the in-arena
+/// input slot) independently. Honors the same cfg.kernels /
+/// SX_KERNEL_REFERENCE resolution as the engine so the equality holds in
+/// either mode.
 std::size_t quant_arena_demand(const dl::QuantizedModel& quantized,
                                const dl::QuantEngineConfig& cfg = {});
 

@@ -144,7 +144,8 @@ TEST(Pipeline, AuditTrailGrowsAndVerifies) {
   CertifiablePipeline p{model(), data(), cfg};
   for (std::size_t i = 0; i < 10; ++i)
     (void)p.infer(data().samples[i].input, i);
-  EXPECT_EQ(p.audit().size(), 11u);  // deploy + 10 decisions
+  // deploy + kernel-plan + 3 ir-pass (dce, fusion, liveness) + 10 decisions
+  EXPECT_EQ(p.audit().size(), 15u);
   EXPECT_EQ(p.audit().verify(), Status::kOk);
 }
 

@@ -177,7 +177,7 @@ TEST(QuantKernelPlan, PlanShapeMatchesArchitecture) {
   EXPECT_EQ(plan.planned_conv(), 1u);
   EXPECT_EQ(plan.planned_dense(), 1u);
   EXPECT_EQ(plan.fused_relus(), 1u);   // conv+relu fuse
-  EXPECT_EQ(plan.identity_steps(), 1u);  // flatten
+  EXPECT_EQ(plan.removed_layers(), 1u);  // flatten dce'd outright
   EXPECT_EQ(plan.reference_steps(), 1u);  // maxpool
   EXPECT_GT(plan.panel_bytes(), 0u);
   EXPECT_GT(plan.table_entries(), 0u);

@@ -1,0 +1,42 @@
+// Seeded FUSA-violation fixture for the whole-file call-graph rules. NEVER
+// compiled or linked — only scanned by the `sxlint_ir_fixture` CTest entry,
+// which expects the linter to exit non-zero on this directory. The `ir/`
+// directory component makes it count as a runtime path, proving the
+// runtime-directory scope extends to the plan-IR subsystem.
+#include <iostream>  // banned-include: stream IO in a runtime directory (ir/)
+
+namespace fixture {
+
+// recursion-cycle: mutual recursion — each function passes the
+// per-definition `recursion` rule (no direct self-call), so only the
+// assembled call graph can reject the pair.
+bool is_odd(unsigned n);
+bool is_even(unsigned n) { return n == 0 ? true : is_odd(n - 1); }
+bool is_odd(unsigned n) { return n == 0 ? false : is_even(n - 1); }
+
+// A three-node cycle reports once, anchored at the lexically-first
+// participant (`walk_op` below).
+int walk_value(int v);
+int walk_slot(int s);
+int walk_op(int o) { return o <= 0 ? 0 : walk_value(o - 1); }
+int walk_value(int v) { return v <= 0 ? 0 : walk_slot(v - 1); }
+int walk_slot(int s) { return s <= 0 ? 0 : walk_op(s - 1); }
+
+// A waived cycle: the marker at the lexically-first participant
+// *definition* must suppress the finding (it feeds the "waived" counter,
+// not the findings list).
+int ping(int n);
+int pong(int n) { return n <= 0 ? 0 : ping(n - 1); }  // sxlint: allow(recursion-cycle)
+int ping(int n) { return n <= 0 ? 1 : pong(n / 2); }
+
+// Not findings: qualified calls never form edges, and a forward
+// declaration without a body is not a participant.
+struct Walker {
+  int descend(int n);
+};
+int descend_free(int n) {
+  Walker w;
+  return n <= 0 ? 0 : w.descend(n - 1);  // member call, not a graph edge
+}
+
+}  // namespace fixture

@@ -1,0 +1,50 @@
+// Seeded weight-mutation fixture. NEVER compiled or linked — only scanned
+// by the `sxlint_ir_fixture` CTest entry. The `safety/` directory component
+// puts it in weight-store scope, so every unsanctioned element write below
+// must be reported.
+namespace fixture {
+
+struct Span {
+  float* data;
+  unsigned long size;
+  float& operator[](unsigned long i) { return data[i]; }
+};
+
+struct Model {
+  Span params() { return {}; }
+  Span mutable_weights(unsigned long) { return {}; }
+};
+
+// weight-mutation: direct accessor-call write outside any sanctioned entry
+// point — the deployed image changes behind the verifier's back.
+void tweak_in_place(Model& m, unsigned long i) { m.params()[i] = 0.0f; }
+
+// weight-mutation: the conventional local-alias form.
+void zero_layer(Model& m, unsigned long layer) {
+  auto weights = m.mutable_weights(layer);
+  for (unsigned long j = 0; j < weights.size; ++j) weights[j] = 0.0f;
+}
+
+// weight-mutation: compound assignment mutates too.
+void scale_params(Model& m, unsigned long i, float g) { m.params()[i] *= g; }
+
+// Not a finding: writes inside a sanctioned entry point are the mechanism
+// that entry point exists for.
+void repack(Model& m, unsigned long layer) {
+  auto weights = m.mutable_weights(layer);
+  for (unsigned long j = 0; j < weights.size; ++j) weights[j] = weights[j];
+}
+
+// Not a finding: a read on the right-hand side is not a mutation.
+float peek(Model& m, unsigned long i) {
+  const float v = m.params()[i];
+  return v;
+}
+
+// A waived finding: a reviewed repair site carries the inline marker and
+// feeds the "waived" counter instead of the findings list.
+void reviewed_repair(Model& m, unsigned long i, float golden) {
+  m.params()[i] = golden;  // sxlint: allow(weight-mutation)
+}
+
+}  // namespace fixture

@@ -10,7 +10,9 @@
 #include "dl/dataset.hpp"
 #include "dl/engine.hpp"
 #include "dl/model.hpp"
+#include "dl/qplan.hpp"
 #include "dl/quant.hpp"
+#include "verify/range.hpp"
 #include "platform/cache.hpp"
 #include "supervise/conformal.hpp"
 #include "test_helpers.hpp"
@@ -343,6 +345,36 @@ TEST_P(QuantCrossModeIdentity, Int8BatchBitsMatchReferenceAcrossModes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QuantCrossModeIdentity,
                          ::testing::Range<std::uint64_t>(1, 7));
+
+/// The IR pass pipeline (dce, fusion legality, liveness arena coloring)
+/// must survive the verify gate's independent re-derivation on *every*
+/// architecture, not just the golden ones: for random CNNs, both the
+/// float and the int8 kernel plan are re-verified sound on all four axes
+/// and the arena never exceeds the ping-pong worst case.
+class IrSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IrSoundness, RandomArchitecturePlansRederiveSound) {
+  const std::uint64_t seed = GetParam();
+  const dl::Model m = random_digit_cnn(seed + 300);
+
+  const dl::KernelPlan plan{m, dl::KernelMode::kPacked};
+  const verify::IrCheck c = verify::check_ir(m, plan);
+  EXPECT_TRUE(c.checked);
+  EXPECT_TRUE(c.passed()) << "seed " << seed;
+  EXPECT_EQ(c.rederived_elems, c.planned_elems) << "seed " << seed;
+  EXPECT_LE(plan.layout().total_elems, plan.layout().naive_elems);
+
+  const dl::Dataset calib = dl::make_digits(16, seed * 11 + 3);
+  const dl::QuantizedModel qm = dl::QuantizedModel::quantize(m, calib);
+  const dl::QuantKernelPlan qplan{qm, dl::KernelMode::kPacked};
+  const verify::IrCheck qc = verify::check_ir(qm, qplan);
+  EXPECT_TRUE(qc.checked);
+  EXPECT_TRUE(qc.passed()) << "seed " << seed;
+  EXPECT_EQ(qc.rederived_elems, qc.planned_elems) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IrSoundness,
+                         ::testing::Range<std::uint64_t>(1, 11));
 
 }  // namespace
 }  // namespace sx

@@ -331,7 +331,7 @@ TEST(KernelPlanEngine, FusedSigmoidTanhPipelineBitwiseIdentical) {
   EXPECT_EQ(plan.planned_conv(), 1u);
   EXPECT_EQ(plan.planned_dense(), 2u);
   EXPECT_EQ(plan.fused_activations(), 2u);  // tanh + sigmoid
-  EXPECT_EQ(plan.identity_steps(), 1u);     // flatten becomes a re-view
+  EXPECT_EQ(plan.removed_layers(), 1u);     // flatten dce'd outright
   EXPECT_EQ(plan.reference_steps(), 1u);    // softmax
   EXPECT_GT(plan.scratch_floats(), 0u);
 

@@ -10,9 +10,9 @@
 //                      owns all memory via arenas and all randomness via
 //                      seeded Xoshiro256.
 //   banned-include     <iostream>/<cstdio>/<stdio.h> in runtime directories
-//                      (dl/, safety/, rt/, core/, obs/): global stream
-//                      objects drag in static-init order hazards and
-//                      buffered IO.
+//                      (dl/, safety/, rt/, core/, obs/, scenario/, ir/):
+//                      global stream objects drag in static-init order
+//                      hazards and buffered IO.
 //   console-io         std::cout/std::cerr/printf/... in runtime dirs.
 //   heap-expr          raw `new` / `delete` expressions in runtime dirs;
 //                      configuration-time ownership goes through
@@ -33,6 +33,20 @@
 //                      deploy time; the few legitimate configuration-time
 //                      allocations (the arena's backing store, the plan's
 //                      tables/panels) carry reviewed inline waivers.
+//   recursion-cycle    whole-file call-graph cycles (mutual recursion,
+//                      f -> g -> f). Each participant looks bounded in
+//                      isolation — only the assembled per-file call graph
+//                      exposes the unbounded combined stack demand, so
+//                      this is the one rule that reasons across whole-file
+//                      structure instead of a single definition.
+//   weight-mutation    an element write into a deployed weight store
+//                      (a params()/mutable_weights() span, or a local
+//                      alias of one) outside the sanctioned
+//                      inject_fault/undo_fault/repack entry points, in
+//                      safety/ and the dl kernel files. The verified
+//                      weight image is certification input; every other
+//                      write site is either a reviewed repair/injection
+//                      helper (inline waiver) or a defect.
 //
 // Waivers: an inline `// sxlint: allow(<rule>)` on the offending line, or a
 // per-directory entry in kAllowlist below. Both are part of the reviewed
@@ -77,8 +91,8 @@ constexpr AllowEntry kAllowlist[] = {
     {"", "", ""},  // sentinel so the table compiles when empty
 };
 
-const std::set<std::string> kRuntimeDirs = {"dl",  "safety",   "rt",
-                                            "core", "obs", "scenario"};
+const std::set<std::string> kRuntimeDirs = {"dl",  "safety", "rt",      "core",
+                                            "obs", "ir",     "scenario"};
 
 const std::set<std::string> kBannedCalls = {
     "malloc", "calloc", "realloc", "free",   "alloca",
@@ -97,6 +111,26 @@ const std::set<std::string> kHotAllocCalls = {
     "push_back", "emplace_back", "resize",      "reserve",
     "insert",    "emplace",      "assign",      "shrink_to_fit",
     "make_unique", "make_shared"};
+
+// Statement/declaration keywords that the function-definition scanner must
+// never mistake for a function name (`if (...) {` parses like a definition).
+const std::set<std::string> kStmtKeywords = {
+    "if",     "for",    "while",  "switch", "return", "sizeof", "catch",
+    "case",   "do",     "else",   "new",    "delete", "static", "const",
+    "struct", "class",  "enum",   "using",  "public", "private"};
+
+// Deployed weight stores: spans handed out by Model/QuantizedModel. The
+// names double as the conventional local-alias names
+// (`auto params = model.layer(l).params();`), so both the direct call form
+// and the alias form are caught.
+const std::set<std::string> kWeightStores = {"params", "weights",
+                                             "mutable_weights"};
+
+// The only entry points allowed to write a deployed weight store: fault
+// injection/undo (safety::InferenceChannel contract) and panel repack
+// after a weight change.
+const std::set<std::string> kWeightWriters = {"inject_fault", "undo_fault",
+                                              "repack"};
 
 bool ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
@@ -216,6 +250,22 @@ bool is_hot_path(const fs::path& p) {
   if (!in_dl) return false;
   const std::string stem = p.stem().string();
   return stem == "plan" || stem == "qplan" || stem == "quant";
+}
+
+/// Files that own or repair the deployed weight image: all of safety/
+/// (fault injection, integrity scrub, channels) plus the dl kernel files
+/// whose packed panels snapshot the weights.
+bool is_weight_store_path(const fs::path& p) {
+  bool in_dl = false;
+  for (const auto& part : p) {
+    const std::string s = part.string();
+    if (s == "safety") return true;
+    if (s == "dl") in_dl = true;
+  }
+  if (!in_dl) return false;
+  const std::string stem = p.stem().string();
+  return stem == "plan" || stem == "qplan" || stem == "engine" ||
+         stem == "quant";
 }
 
 bool allowlisted(const std::string& file, const std::string& rule) {
@@ -339,7 +389,9 @@ class Linter {
     check_heap_exprs(file, s, runtime);
     check_noexcept_throw(file, s);
     check_recursion(file, s);
+    check_call_graph(file, s);
     if (hot) check_hot_allocs(file, s);
+    if (is_weight_store_path(path)) check_weight_mutation(file, s);
   }
 
   void report(std::ostream& os) const {
@@ -540,16 +592,11 @@ class Linter {
 
   void check_recursion(const std::string& file, const StrippedSource& s) {
     const std::string& t = s.text;
-    static const std::set<std::string> kKeywords = {
-        "if",     "for",    "while",  "switch",   "return", "sizeof",
-        "catch",  "case",   "do",     "else",     "new",    "delete",
-        "static", "const",  "struct", "class",    "enum",   "using",
-        "public", "private"};
     std::string ident;
     std::size_t pos = 0;
     while ((pos = next_ident(t, pos, &ident)) != std::string::npos) {
       const std::size_t end = pos + ident.size();
-      if (kKeywords.count(ident) != 0) {
+      if (kStmtKeywords.count(ident) != 0) {
         pos = end;
         continue;
       }
@@ -612,6 +659,238 @@ class Linter {
         }
         wpos = wend;
       }
+      pos = end;
+    }
+  }
+
+  /// One function definition discovered by the whole-file scan: the name
+  /// token position (where findings anchor), the body range, and the
+  /// parameter count (used to match calls to overloads).
+  struct FnDef {
+    std::string name;
+    std::size_t pos = 0;
+    std::size_t body = 0;
+    std::size_t close = 0;
+    std::size_t params = 0;
+  };
+
+  /// Collects every plausible function definition in the stripped source,
+  /// using the same lexical recognizer as check_recursion: identifier,
+  /// balanced parameter list, optional qualifier tokens, then a braced
+  /// body. Names in `only` restrict the collection when non-empty.
+  static std::vector<FnDef> collect_defs(const std::string& t,
+                                         const std::set<std::string>& only) {
+    std::vector<FnDef> defs;
+    std::string ident;
+    std::size_t pos = 0;
+    while ((pos = next_ident(t, pos, &ident)) != std::string::npos) {
+      const std::size_t end = pos + ident.size();
+      if (kStmtKeywords.count(ident) != 0 ||
+          (!only.empty() && only.count(ident) == 0)) {
+        pos = end;
+        continue;
+      }
+      std::size_t cur = skip_ws(t, end);
+      if (cur >= t.size() || t[cur] != '(') {
+        pos = end;
+        continue;
+      }
+      const std::size_t params = count_args(t, cur);
+      int depth = 0;
+      for (; cur < t.size(); ++cur) {
+        if (t[cur] == '(') ++depth;
+        if (t[cur] == ')') {
+          --depth;
+          if (depth == 0) {
+            ++cur;
+            break;
+          }
+        }
+      }
+      std::size_t body = cur;
+      while (body < t.size() && t[body] != '{' && t[body] != ';' &&
+             t[body] != '(' && t[body] != '}' && t[body] != ',' &&
+             t[body] != ')' && t[body] != '=')
+        ++body;
+      if (body >= t.size() || t[body] != '{') {
+        pos = end;
+        continue;
+      }
+      defs.push_back({ident, pos, body, match_brace(t, body), params});
+      pos = end;
+    }
+    return defs;
+  }
+
+  /// Whole-file call-graph cycle detection (rule `recursion-cycle`):
+  /// mutual recursion f -> g -> f that the per-definition `recursion` rule
+  /// cannot see. Edges connect same-file definitions through unqualified
+  /// calls whose argument count matches a definition of the callee name;
+  /// direct self-calls stay under the `recursion` rule. One finding per
+  /// cycle, anchored at the lexically-first participant so the standard
+  /// inline-waiver flow applies.
+  void check_call_graph(const std::string& file, const StrippedSource& s) {
+    const std::string& t = s.text;
+    const std::vector<FnDef> defs = collect_defs(t, {});
+    if (defs.size() < 2) return;
+    std::map<std::string, std::vector<const FnDef*>> by_name;
+    for (const auto& d : defs) by_name[d.name].push_back(&d);
+
+    std::map<std::string, std::set<std::string>> edges;
+    for (const auto& d : defs) {
+      std::string word;
+      std::size_t wpos = d.body;
+      while ((wpos = next_ident(t, wpos, &word)) != std::string::npos &&
+             wpos < d.close) {
+        const std::size_t wend = wpos + word.size();
+        if (word != d.name && by_name.count(word) != 0) {
+          const std::size_t after = skip_ws(t, wend);
+          const bool qualified =
+              wpos >= 1 && (t[wpos - 1] == '.' || t[wpos - 1] == ':' ||
+                            (wpos >= 2 && t[wpos - 2] == '-' &&
+                             t[wpos - 1] == '>'));
+          if (!qualified && after < t.size() && t[after] == '(') {
+            const std::size_t nargs = count_args(t, after);
+            for (const FnDef* callee : by_name[word]) {
+              if (callee->params == nargs) {
+                edges[d.name].insert(word);
+                break;
+              }
+            }
+          }
+        }
+        wpos = wend;
+      }
+    }
+
+    auto reaches = [&edges](const std::string& from, const std::string& to) {
+      std::set<std::string> seen;
+      std::vector<std::string> stack{from};
+      while (!stack.empty()) {
+        const std::string cur = stack.back();
+        stack.pop_back();
+        const auto it = edges.find(cur);
+        if (it == edges.end()) continue;
+        for (const auto& nxt : it->second) {
+          if (nxt == to) return true;
+          if (seen.insert(nxt).second) stack.push_back(nxt);
+        }
+      }
+      return false;
+    };
+
+    // Self-edges were excluded above, so reaching yourself means a cycle
+    // through at least one other function. Group mutually-reachable
+    // participants so each cycle reports exactly once.
+    std::vector<std::string> cyclic;
+    for (const auto& e : edges)
+      if (reaches(e.first, e.first)) cyclic.push_back(e.first);
+    std::set<std::string> grouped;
+    for (const auto& a : cyclic) {
+      if (grouped.count(a) != 0) continue;
+      std::vector<std::string> members{a};
+      grouped.insert(a);
+      for (const auto& b : cyclic) {
+        if (grouped.count(b) != 0) continue;
+        if (reaches(a, b) && reaches(b, a)) {
+          members.push_back(b);
+          grouped.insert(b);
+        }
+      }
+      if (members.size() < 2) continue;
+      const FnDef* anchor = nullptr;
+      for (const auto& n : members)
+        for (const FnDef* d : by_name[n])
+          if (anchor == nullptr || d->pos < anchor->pos) anchor = d;
+      std::sort(members.begin(), members.end(),
+                [&by_name](const std::string& x, const std::string& y) {
+                  return by_name[x].front()->pos < by_name[y].front()->pos;
+                });
+      std::string chain;
+      for (const auto& n : members) {
+        if (!chain.empty()) chain += " -> ";
+        chain += "'" + n + "'";
+      }
+      add(file, s, anchor->pos, "recursion-cycle",
+          "mutual recursion cycle " + chain +
+              " (unbounded combined stack demand)",
+          "break the cycle with an explicit worklist, or document the "
+          "joint depth bound with `// sxlint: allow(recursion-cycle)` at "
+          "the first participant");
+    }
+  }
+
+  /// Weight-store mutation audit (rule `weight-mutation`): an element
+  /// write through params()/mutable_weights() — or a local span alias
+  /// named like one — outside the bodies of the sanctioned
+  /// inject_fault/undo_fault/repack entry points. Reads (`params[i]` on a
+  /// right-hand side), whole-handle rebinds (`auto params = ...`), and
+  /// struct-field assignments (`s.weights = ptr`) stay silent: only an
+  /// indexed store mutates the deployed image.
+  void check_weight_mutation(const std::string& file,
+                             const StrippedSource& s) {
+    const std::string& t = s.text;
+    const std::vector<FnDef> sanctioned = collect_defs(t, kWeightWriters);
+    auto inside_sanctioned = [&sanctioned](std::size_t p) {
+      for (const auto& d : sanctioned)
+        if (p >= d.body && p < d.close) return true;
+      return false;
+    };
+    std::string ident;
+    std::size_t pos = 0;
+    while ((pos = next_ident(t, pos, &ident)) != std::string::npos) {
+      const std::size_t end = pos + ident.size();
+      if (kWeightStores.count(ident) == 0) {
+        pos = end;
+        continue;
+      }
+      // Accessor-call form first (`params()` / `mutable_weights(i)`), then
+      // the mandatory element index, then an assignment operator.
+      std::size_t cur = skip_ws(t, end);
+      if (cur < t.size() && t[cur] == '(') {
+        int depth = 0;
+        for (; cur < t.size(); ++cur) {
+          if (t[cur] == '(') ++depth;
+          if (t[cur] == ')') {
+            --depth;
+            if (depth == 0) {
+              ++cur;
+              break;
+            }
+          }
+        }
+        cur = skip_ws(t, cur);
+      }
+      if (cur >= t.size() || t[cur] != '[') {
+        pos = end;
+        continue;
+      }
+      int depth = 0;
+      for (; cur < t.size(); ++cur) {
+        if (t[cur] == '[') ++depth;
+        if (t[cur] == ']') {
+          --depth;
+          if (depth == 0) {
+            ++cur;
+            break;
+          }
+        }
+      }
+      cur = skip_ws(t, cur);
+      const bool plain = cur < t.size() && t[cur] == '=' &&
+                         (cur + 1 >= t.size() || t[cur + 1] != '=');
+      const bool compound =
+          cur + 1 < t.size() && t[cur + 1] == '=' &&
+          (t[cur] == '+' || t[cur] == '-' || t[cur] == '*' ||
+           t[cur] == '/' || t[cur] == '%' || t[cur] == '&' ||
+           t[cur] == '|' || t[cur] == '^');
+      if ((plain || compound) && !inside_sanctioned(pos))
+        add(file, s, pos, "weight-mutation",
+            "write into weight store '" + ident +
+                "' outside inject_fault/undo_fault/repack",
+            "route the write through the sanctioned fault/repair entry "
+            "points, or waive the reviewed repair site inline with "
+            "`// sxlint: allow(weight-mutation)`");
       pos = end;
     }
   }

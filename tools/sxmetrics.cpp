@@ -8,6 +8,8 @@
 //   # BEGIN SX_METRICS ... # END SX_METRICS          Prometheus text format
 //   # BEGIN SX_FLIGHT_TRAIL ... # END SX_FLIGHT_TRAIL  stage-span trail
 //   # BEGIN SX_SCENARIO_JSON ... # END SX_SCENARIO_JSON  scenario matrix
+//   # BEGIN SX_IR_PASSES ... # END SX_IR_PASSES      IR pass-pipeline audit
+//                                                    (see make_ir_evidence)
 //
 // sxmetrics recovers any block from a serialized report file (or stdin)
 // so a scrape pipeline, diff tool or assessor can consume the snapshot
@@ -21,6 +23,9 @@
 //                                    # against a ScenarioReport's per-cell
 //                                    # obs snapshots
 //   sxmetrics --scenario report.txt  # the scenario evidence-matrix JSON
+//   sxmetrics --ir report.txt        # the IR pass-pipeline audit lines
+//                                    # (per-pass facts + arena totals per
+//                                    # kernel plan), one record per line
 //
 // Exit status: 0 on success, 1 when the requested block is missing,
 // 2 on usage/IO errors. Host tool: iostream/filesystem are fine here.
@@ -169,7 +174,7 @@ std::string to_json(const std::string& exposition) {
 }
 
 int usage() {
-  std::cerr << "usage: sxmetrics [--flight|--summary|--json|--scenario] "
+  std::cerr << "usage: sxmetrics [--flight|--summary|--json|--scenario|--ir] "
                "[report-file|-]\n";
   return 2;
 }
@@ -181,6 +186,7 @@ int main(int argc, char** argv) {
   bool summary = false;
   bool json = false;
   bool scenario = false;
+  bool ir = false;
   std::string path = "-";
   std::vector<std::string> args(argv + 1, argv + argc);
   for (const auto& a : args) {
@@ -192,13 +198,15 @@ int main(int argc, char** argv) {
       json = true;
     } else if (a == "--scenario") {
       scenario = true;
+    } else if (a == "--ir") {
+      ir = true;
     } else if (!a.empty() && a[0] == '-' && a != "-") {
       return usage();
     } else {
       path = a;
     }
   }
-  if (flight + summary + json + scenario > 1) return usage();
+  if (flight + summary + json + scenario + ir > 1) return usage();
 
   std::ostringstream buf;
   if (path == "-") {
@@ -220,6 +228,9 @@ int main(int argc, char** argv) {
   } else if (scenario) {
     begin = "# BEGIN SX_SCENARIO_JSON";
     end = "# END SX_SCENARIO_JSON";
+  } else if (ir) {
+    begin = "# BEGIN SX_IR_PASSES";
+    end = "# END SX_IR_PASSES";
   }
   bool found = false;
   const std::string block = extract_block(buf.str(), begin, end, found);

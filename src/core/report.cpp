@@ -315,6 +315,20 @@ EvidenceItem make_scenario_evidence(std::string_view summary,
   return EvidenceItem{"Scenario sweep (cell evidence matrix)", os.str()};
 }
 
+EvidenceItem make_fleet_evidence(std::string_view summary,
+                                 std::string_view fleet_block) {
+  std::ostringstream os;
+  os << summary;
+  if (!summary.empty() && summary.back() != '\n') os << '\n';
+  // The marker pair lets tools/sxmetrics --fleet recover the quantified
+  // bounds from a serialized report without parsing the surrounding prose.
+  os << "# BEGIN SX_FLEET_EVIDENCE\n" << fleet_block;
+  if (!fleet_block.empty() && fleet_block.back() != '\n') os << '\n';
+  os << "# END SX_FLEET_EVIDENCE\n";
+  return EvidenceItem{"Fleet evidence (sharded campaign, quantified bounds)",
+                      os.str()};
+}
+
 EvidenceItem make_observability_evidence(const CertifiablePipeline& pipeline) {
   std::ostringstream os;
   const obs::Registry* reg = pipeline.telemetry();

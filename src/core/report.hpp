@@ -88,6 +88,16 @@ EvidenceItem make_ir_evidence(const CertifiablePipeline& pipeline);
 EvidenceItem make_scenario_evidence(std::string_view summary,
                                     std::string_view scenario_json);
 
+/// Evidence wrapping a merged fleet campaign (see fleet/fleet.hpp): a
+/// human-readable summary followed by the machine-readable bound/root
+/// lines between `# BEGIN SX_FLEET_EVIDENCE` / `# END SX_FLEET_EVIDENCE`
+/// markers, so tools/sxmetrics --fleet can recover the quantified safety
+/// bounds from a serialized certification report. Takes the pre-rendered
+/// strings (fleet::summary / fleet::render_fleet_block) to keep sx_core
+/// free of a dependency on sx_fleet.
+EvidenceItem make_fleet_evidence(std::string_view summary,
+                                 std::string_view fleet_block);
+
 /// Telemetry snapshot of a deployed pipeline: the Prometheus-style metric
 /// exposition (between `# BEGIN SX_METRICS` / `# END SX_METRICS` markers,
 /// recoverable offline by tools/sxmetrics) and the flight-recorder stage

@@ -1,0 +1,40 @@
+// Fleet evidence interchange: shard evidence files and the report block.
+//
+// serialize_shard()/parse_shard() move one shard's evidence across process
+// boundaries as a deterministic text file (schema "sx-fleet-shard/1").
+// Audit entries are persisted with their *stored* chain hashes and
+// reloaded verbatim (trace::AuditLog::from_entries), so merge-time chain
+// verification detects any post-persistence tampering — a file edit cannot
+// be laundered through re-chaining.
+//
+// render_fleet_block() renders the merged evidence as the machine-readable
+// line block embedded between `# BEGIN SX_FLEET_EVIDENCE` / `# END
+// SX_FLEET_EVIDENCE` markers of the certification report
+// (core::make_fleet_evidence) and recovered by tools/sxmetrics --fleet.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "fleet/fleet.hpp"
+
+namespace sx::fleet {
+
+/// Deterministic text form of one shard's evidence: equal evidence
+/// serializes byte-identically.
+std::string serialize_shard(const ShardEvidence& evidence);
+
+/// Parses serialize_shard() output. False on any malformed line (`out` is
+/// left in an unspecified state). Chain hashes are adopted as stored;
+/// callers verify via merge_shards / trace::verify_segment.
+bool parse_shard(std::string_view text, ShardEvidence& out);
+
+/// Machine-readable line block of a merged fleet (schema
+/// "sx-fleet-evidence/1"): status, merged outcome counts, both quantified
+/// bounds, the two roots and one line per shard. Deterministic.
+std::string render_fleet_block(const FleetEvidence& evidence);
+
+/// One-paragraph human-readable summary for the report prose.
+std::string summary(const FleetEvidence& evidence);
+
+}  // namespace sx::fleet

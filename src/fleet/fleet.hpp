@@ -1,0 +1,169 @@
+// Fleet evidence plane: sharded fault campaigns whose merged evidence is
+// bitwise identical to the single-process run, with quantified safety
+// bounds (E18).
+//
+// A fleet run splits the global trial range [0, n_faults) of a fault
+// campaign into contiguous per-shard ranges (static partition — shard s
+// owns [n*s/N, n*(s+1)/N)), executes every shard through the trial-indexed
+// campaign path (safety::run_campaign_range, where trial t's fault draw is
+// a pure function of (seed, t)), and folds the per-shard evidence back
+// together:
+//
+//   - CampaignOutcome counts merge by summation in static shard order;
+//   - each shard's obs::Registry freezes into an obs::RegistrySnapshot and
+//     the snapshots merge in static shard order — the merged serialization
+//     is byte-identical for every shard count;
+//   - each shard emits one hash-chained trace::AuditSegment: a `trial`
+//     entry per fault trial (logical_time = global trial index, payload =
+//     that trial's outcome counts, no shard-local state) framed by
+//     shard-start/shard-end entries. At merge time every chain is
+//     re-verified, each shard's claimed outcome is cross-checked against
+//     its own trial entries, and two roots are published: the *anchor*
+//     (ordered hash over shard-id -> chain head; commits to the physical
+//     sharding) and the *fleet root* (canonical re-chain of all trial
+//     entries in global trial order; partition-independent — the
+//     byte-identity acceptance gate);
+//   - the merged outcome yields quantified safety bounds: a one-sided
+//     Clopper-Pearson upper confidence bound and a Bayesian posterior
+//     upper bound on the SDC rate per demand (util::clopper_pearson_upper,
+//     util::bayes_binomial_upper) for the configured confidence level.
+//
+// Any inconsistency refuses instead of merging: overlapping or gapped
+// trial ranges, differing base seeds or snapshot schemas
+// (Status::kInvalidArgument), broken chains or an outcome that contradicts
+// its own audit trail (Status::kIntegrityFault, offending shard named).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dl/dataset.hpp"
+#include "obs/snapshot.hpp"
+#include "safety/campaign.hpp"
+#include "safety/channel.hpp"
+#include "trace/safety_case.hpp"
+#include "trace/segment.hpp"
+#include "util/status.hpp"
+
+namespace sx::fleet {
+
+/// Builds one worker's private InferenceChannel. Each shard owns its own
+/// channel (its own model replicas), so workers never share mutable weight
+/// memory; the factory itself is invoked serially.
+using ChannelFactory =
+    std::function<std::unique_ptr<safety::InferenceChannel>()>;
+
+struct FleetConfig {
+  /// Worker shards the campaign's trial range is partitioned over.
+  std::size_t shards = 1;
+  /// The campaign every shard executes a slice of. `campaign.n_faults` is
+  /// the *global* trial count.
+  safety::CampaignConfig campaign;
+  /// One-sided confidence level of the published upper bounds.
+  double confidence = 0.99;
+  /// Beta prior of the Bayesian bound (1,1 = uniform).
+  double prior_a = 1.0;
+  double prior_b = 1.0;
+};
+
+/// Everything one shard contributes to the merge — the unit that crosses
+/// process boundaries (fleet::serialize_shard / parse_shard).
+struct ShardEvidence {
+  std::uint32_t shard_id = 0;
+  std::uint64_t first_trial = 0;
+  std::uint64_t trial_count = 0;
+  std::uint64_t base_seed = 0;  ///< must agree across shards
+  safety::CampaignOutcome outcome;
+  trace::AuditSegment segment;
+  obs::RegistrySnapshot snapshot;
+};
+
+/// Quantified upper bounds on the SDC rate per demand, derived from the
+/// merged campaign outcome.
+struct SafetyBounds {
+  std::size_t demands = 0;  ///< classified (fault, probe) trials
+  std::size_t sdc = 0;
+  double confidence = 0.99;
+  double prior_a = 1.0;
+  double prior_b = 1.0;
+  /// One-sided Clopper-Pearson (exact binomial) upper bound; 1.0 when
+  /// nothing was measured (conservative, matching CampaignOutcome's rate
+  /// accessors).
+  double cp_upper_sdc_rate = 1.0;
+  /// Beta-posterior upper quantile under the configured prior.
+  double bayes_upper_sdc_rate = 1.0;
+  bool measured = false;
+};
+
+/// Merged fleet evidence. When `status` != kOk the merge was *refused*:
+/// `offending_shard`/`refusal` say why and every derived field is in its
+/// conservative default state (empty outcome, bounds at 1.0).
+struct FleetEvidence {
+  Status status = Status::kOk;
+  std::size_t shards = 0;
+  std::uint32_t offending_shard = 0;
+  std::string refusal;  ///< human-readable reason (empty when kOk)
+  safety::CampaignOutcome merged;
+  obs::RegistrySnapshot merged_snapshot;
+  /// Partition-independent canonical root over all trial entries in global
+  /// trial order — byte-identical for every shard count.
+  util::Sha256Digest fleet_root{};
+  /// Ordered hash over (shard-id, chain head) — commits to the physical
+  /// segments of this particular sharding.
+  util::Sha256Digest anchor{};
+  SafetyBounds bounds;
+  std::vector<ShardEvidence> shard_evidence;
+};
+
+/// First global trial of shard `s` under the contiguous static partition
+/// of `n_trials` trials over `shards` shards.
+std::size_t shard_begin(std::size_t n_trials, std::size_t shards,
+                        std::size_t s) noexcept;
+
+/// Executes one shard's slice of the campaign: runs the trial range
+/// through safety::run_campaign_range, counts every classification into a
+/// private obs::Registry (sx_fleet_* counters only — per-shard channel
+/// telemetry would scale with the shard count and break merge identity),
+/// and records the audit segment described in the file
+/// comment. Throws std::invalid_argument on a malformed config
+/// (shard_id >= cfg.shards, cfg.shards == 0) — configuration errors, not
+/// runtime faults.
+ShardEvidence run_shard(safety::InferenceChannel& channel,
+                        const dl::Dataset& probes, const FleetConfig& cfg,
+                        std::uint32_t shard_id);
+
+/// Merges independently produced shard evidence (any order; sorted into
+/// static shard order internally) after the layered validation described
+/// in the file comment, and derives the quantified bounds. Never throws on
+/// bad evidence — refusal is a Status in the result.
+FleetEvidence merge_shards(std::span<const ShardEvidence> shards,
+                           double confidence = 0.99, double prior_a = 1.0,
+                           double prior_b = 1.0);
+
+/// Runs the whole campaign sharded over cfg.shards worker threads (one
+/// private channel each, built serially through `factory`) and merges. The
+/// merged outcome, merged snapshot serialization and fleet root are
+/// bitwise identical for every cfg.shards over the same campaign config.
+FleetEvidence run_sharded_campaign(const ChannelFactory& factory,
+                                   const dl::Dataset& probes,
+                                   const FleetConfig& cfg);
+
+/// Derives the quantified bounds from a merged outcome.
+SafetyBounds compute_bounds(const safety::CampaignOutcome& merged,
+                            double confidence, double prior_a,
+                            double prior_b) noexcept;
+
+/// Attaches the fleet evidence under `parent_goal` as a strategy carrying
+/// quantified GSN solutions: measured demand count, both upper SDC-rate
+/// bounds (trace::SafetyCase::add_quantified_solution) and the fleet audit
+/// root. A refused merge attaches nothing and returns false — an
+/// unverifiable fleet must not discharge a safety goal.
+bool attach_to_safety_case(const FleetEvidence& evidence,
+                           trace::SafetyCase& safety_case,
+                           std::size_t parent_goal);
+
+}  // namespace sx::fleet

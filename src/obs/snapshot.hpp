@@ -1,0 +1,106 @@
+// Mergeable, byte-identical Registry snapshots (fleet evidence plane).
+//
+// A RegistrySnapshot freezes one obs::Registry — counters, gauges,
+// histogram bins and the dropped-sample counts of the MBPTA rings — into a
+// plain value that can be serialized, shipped across process boundaries,
+// and folded with the snapshots of other workers/processes:
+//
+//   - capture() reads the registry once (serial section); the snapshot owns
+//     its data and outlives the registry;
+//   - merge() folds N snapshots taken over the *same metric schema* (same
+//     names, registration order, bin count) in the caller-supplied static
+//     shard order: counters, histogram bins, counts, sums and
+//     dropped-sample totals add; min/max widen; gauges keep the
+//     lowest-ordered shard's value (they are point-in-time deploy-level
+//     settings, not accumulators — summing would be meaningless). Because
+//     addition is commutative and the fold order is static, the merged
+//     totals are bitwise identical regardless of which shard finished
+//     first. A schema mismatch is refused (Status::kInvalidArgument):
+//     silently merging different metric sets would fabricate evidence;
+//   - serialize() renders a deterministic line-based text form (numbers via
+//     std::to_chars) so equal snapshots produce byte-identical files — the
+//     property the fleet merge-identity acceptance gates check; parse()
+//     reverses it;
+//   - dropped-sample accounting is carried per histogram and summed on
+//     merge (total_dropped_samples(), the `sx_samples_dropped_total` line
+//     of the serialization), so merged MBPTA evidence states its own
+//     coverage honestly: "n samples analyzed, d dropped" survives sharding
+//     with no silent loss.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "util/status.hpp"
+
+namespace sx::obs {
+
+struct SnapshotCounter {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct SnapshotGauge {
+  std::string name;
+  double value = 0.0;
+};
+
+struct SnapshotHistogram {
+  std::string name;
+  std::vector<std::uint64_t> bins;  ///< per-bin counts, last bin = +Inf
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< 0 when count == 0
+  std::uint64_t max = 0;
+  /// Raw MBPTA-ring samples overwritten before being drained (bins still
+  /// counted them). Carried so merged evidence can state its coverage.
+  std::uint64_t dropped_samples = 0;
+};
+
+struct RegistrySnapshot {
+  std::vector<SnapshotCounter> counters;
+  std::vector<SnapshotGauge> gauges;
+  std::vector<SnapshotHistogram> histograms;
+  /// Schema parameters (merge refuses on mismatch).
+  std::uint64_t histogram_first_bound = 0;
+  std::uint64_t dropped_registrations = 0;
+
+  /// Freezes `registry` (serial section — concurrent writers would tear
+  /// the counter/bin correspondence).
+  static RegistrySnapshot capture(const Registry& registry);
+
+  /// Merged counter value by name (0 when absent).
+  std::uint64_t counter_value(std::string_view name) const noexcept;
+
+  /// Sum of every histogram's dropped-sample count — the denominator-side
+  /// honesty term of merged MBPTA evidence.
+  std::uint64_t total_dropped_samples() const noexcept;
+
+  /// True when `other` carries the same metric names in the same order
+  /// with the same histogram geometry.
+  bool same_schema(const RegistrySnapshot& other) const noexcept;
+
+  /// Folds `other` into this snapshot (see file comment for semantics).
+  /// Status::kInvalidArgument on schema mismatch; this snapshot is
+  /// unchanged in that case.
+  Status merge_from(const RegistrySnapshot& other) noexcept;
+
+  /// N-way fold in the given (static shard) order into `out`. The span's
+  /// order is the merge order; an empty span yields an empty snapshot.
+  static Status merge(std::span<const RegistrySnapshot> shards,
+                      RegistrySnapshot& out);
+
+  /// Deterministic text form (schema "sx-registry-snapshot/1"): equal
+  /// snapshots serialize byte-identically.
+  std::string serialize() const;
+
+  /// Parses serialize() output. False on any malformed line (out is left
+  /// in an unspecified state).
+  static bool parse(std::string_view text, RegistrySnapshot& out);
+};
+
+}  // namespace sx::obs

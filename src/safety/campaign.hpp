@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "dl/dataset.hpp"
 #include "safety/channel.hpp"
@@ -73,5 +74,38 @@ struct CampaignOutcome {
 CampaignOutcome run_campaign(InferenceChannel& channel,
                              const dl::Dataset& probes,
                              const CampaignConfig& cfg);
+
+/// Deterministic per-trial seed of the trial-indexed campaign path: the
+/// global trial index expanded against the campaign base seed via
+/// SplitMix64, so trial t's fault draw is a pure function of (seed, t) —
+/// independent of every other trial. This is what makes a campaign
+/// partitionable: any split of [0, n_faults) into disjoint ranges executes
+/// bit-identical trials.
+std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t trial) noexcept;
+
+/// Per-trial observer of run_campaign_range: called once per fault trial,
+/// in ascending global trial order, with that trial's own outcome counts
+/// (probes_per_fault classifications). The fleet layer uses it to emit one
+/// audit entry per trial whose content is partition-independent.
+using TrialSink =
+    std::function<void(std::uint64_t trial, const CampaignOutcome& counts)>;
+
+/// Trial-indexed variant of run_campaign for sharded execution: runs the
+/// global fault trials [first_trial, first_trial + trial_count) of an
+/// n_faults-trial campaign. Each trial t seeds its own injector with
+/// trial_seed(cfg.seed, t) and probes the round-robin window starting at
+/// t * probes_per_fault, so outcomes depend only on (cfg, t) — executing
+/// the ranges of any disjoint partition and summing (CampaignOutcome::
+/// merge) reproduces the single-range run [0, n_faults) exactly. The
+/// legacy run_campaign draws all faults from one sequential RNG stream and
+/// is NOT partitionable; it keeps its semantics (and its goldens)
+/// unchanged. Same probe/refusal contract as run_campaign; `cfg.n_faults`
+/// bounds the global range (first_trial + trial_count must not exceed it).
+CampaignOutcome run_campaign_range(InferenceChannel& channel,
+                                   const dl::Dataset& probes,
+                                   const CampaignConfig& cfg,
+                                   std::size_t first_trial,
+                                   std::size_t trial_count,
+                                   const TrialSink& sink = {});
 
 }  // namespace sx::safety

@@ -45,6 +45,32 @@ Status AuditLog::verify() const noexcept {
   return Status::kOk;
 }
 
+Status AuditLog::verify_from(
+    std::size_t anchor_index,
+    const util::Sha256Digest& anchor_digest) const noexcept {
+  if (anchor_index >= entries_.size()) return Status::kInvalidArgument;
+  // The anchor entry must still be the one that was verified: its sequence
+  // and stored chain hash pin the whole prefix.
+  if (entries_[anchor_index].sequence != anchor_index)
+    return Status::kIntegrityFault;
+  if (entries_[anchor_index].chain_hash != anchor_digest)
+    return Status::kIntegrityFault;
+  util::Sha256Digest prev = anchor_digest;
+  for (std::size_t i = anchor_index + 1; i < entries_.size(); ++i) {
+    const AuditEntry& e = entries_[i];
+    if (e.sequence != i) return Status::kIntegrityFault;
+    if (hash_entry(e, prev) != e.chain_hash) return Status::kIntegrityFault;
+    prev = e.chain_hash;
+  }
+  return Status::kOk;
+}
+
+AuditLog AuditLog::from_entries(std::vector<AuditEntry> entries) noexcept {
+  AuditLog log;
+  log.entries_ = std::move(entries);
+  return log;
+}
+
 util::Sha256Digest AuditLog::head() const noexcept {
   return entries_.empty() ? util::Sha256Digest{} : entries_.back().chain_hash;
 }

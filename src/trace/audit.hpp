@@ -35,8 +35,27 @@ class AuditLog {
   /// (i.e. an entry was altered after being written).
   Status verify() const noexcept;
 
+  /// Incremental verification from a previously verified anchor: checks
+  /// that entry `anchor_index` still carries `anchor_digest` as its chain
+  /// hash (a rewritten prefix head is caught immediately), then replays
+  /// only the suffix (anchor_index, size()). Equivalent to verify() when
+  /// the anchor was itself obtained from a verified chain — long-running
+  /// fleet gates re-check an N-entry log in O(new entries) instead of
+  /// O(n) per call (O(n^2) over a run). kInvalidArgument when
+  /// anchor_index >= size().
+  Status verify_from(std::size_t anchor_index,
+                     const util::Sha256Digest& anchor_digest) const noexcept;
+
   /// Hash of the newest entry (anchor to publish externally).
   util::Sha256Digest head() const noexcept;
+
+  /// Reconstitutes a persisted log from raw entries *as stored*: chain
+  /// hashes are adopted, never recomputed, so verify() on the result
+  /// detects post-persistence tampering exactly as on the original object.
+  /// (Re-appending through append() would re-chain the tampered bytes and
+  /// launder them.) Used by the fleet evidence plane to reload shard
+  /// segment files for merge-time verification.
+  static AuditLog from_entries(std::vector<AuditEntry> entries) noexcept;
 
 #if defined(SX_ENABLE_TEST_HOOKS)
   /// DANGEROUS: test hook that mutates a stored entry to demonstrate that

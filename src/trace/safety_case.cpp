@@ -1,5 +1,6 @@
 #include "trace/safety_case.hpp"
 
+#include <charconv>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -14,6 +15,26 @@ const char* prefix(NodeKind k) {
     case NodeKind::kSolution: return "Sn";
   }
   return "?";
+}
+
+/// Shortest round-trip decimal form (std::to_chars): quantified claims
+/// render byte-identically for equal values.
+std::string format_value(double v) {
+  char buf[40];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+/// ` [= value unit]` suffix of a quantified node ("" otherwise).
+std::string quantified_suffix(const CaseNode& n) {
+  if (!n.quantified) return {};
+  std::string out = " [= " + format_value(n.value);
+  if (!n.unit.empty()) {
+    out += ' ';
+    out += n.unit;
+  }
+  out += ']';
+  return out;
 }
 
 }  // namespace
@@ -50,6 +71,18 @@ std::size_t SafetyCase::add_strategy(std::size_t parent, std::string id,
 std::size_t SafetyCase::add_solution(std::size_t parent, std::string id,
                                      std::string text) {
   return add_node(parent, NodeKind::kSolution, std::move(id), std::move(text));
+}
+
+std::size_t SafetyCase::add_quantified_solution(std::size_t parent,
+                                                std::string id,
+                                                std::string text, double value,
+                                                std::string unit) {
+  const std::size_t idx =
+      add_node(parent, NodeKind::kSolution, std::move(id), std::move(text));
+  nodes_[idx].quantified = true;
+  nodes_[idx].value = value;
+  nodes_[idx].unit = std::move(unit);
+  return idx;
 }
 
 // The subtree walks below use an explicit work list instead of call
@@ -109,6 +142,7 @@ void SafetyCase::render(std::size_t idx, std::size_t depth,
     out += n.id;
     out += ": ";
     out += n.text;
+    out += quantified_suffix(n);
     out += '\n';
     for (auto it = n.children.rbegin(); it != n.children.rend(); ++it)
       work.emplace_back(*it, d + 1);
@@ -138,7 +172,8 @@ std::string SafetyCase::to_dot() const {
                             : (n.kind == NodeKind::kStrategy ? "parallelogram"
                                                              : "circle");
     out += "  n" + std::to_string(i) + " [shape=" + shape + ", label=\"" +
-           escape(n.id) + "\\n" + escape(n.text) + "\"];\n";
+           escape(n.id) + "\\n" + escape(n.text + quantified_suffix(n)) +
+           "\"];\n";
   }
   for (std::size_t i = 0; i < nodes_.size(); ++i)
     for (std::size_t c : nodes_[i].children)

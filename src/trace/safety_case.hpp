@@ -19,6 +19,13 @@ struct CaseNode {
   std::string id;
   std::string text;
   std::vector<std::size_t> children;  // indices into the node pool
+  /// Quantified solutions (fleet evidence plane) carry a measured value —
+  /// e.g. a Clopper–Pearson upper bound on the SDC rate per demand — so
+  /// the safety case states *how much* evidence supports a claim, not
+  /// just that some evidence exists.
+  bool quantified = false;
+  double value = 0.0;
+  std::string unit;  ///< e.g. "sdc/demand @ 0.99 one-sided"
 };
 
 class SafetyCase {
@@ -31,6 +38,11 @@ class SafetyCase {
                            std::string text);
   std::size_t add_solution(std::size_t parent, std::string id,
                            std::string text);
+  /// Solution carrying a measured numeric claim (see CaseNode::quantified).
+  /// Rendered as `text [= value unit]` by to_text()/to_dot().
+  std::size_t add_quantified_solution(std::size_t parent, std::string id,
+                                      std::string text, double value,
+                                      std::string unit);
 
   std::size_t size() const noexcept { return nodes_.size(); }
   const CaseNode& node(std::size_t i) const { return nodes_.at(i); }

@@ -1,0 +1,79 @@
+#include "trace/segment.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace sx::trace {
+
+Status verify_segment(const AuditSegment& segment) noexcept {
+  return segment.log.verify();
+}
+
+FleetAnchor anchor_segments(std::span<const AuditSegment> segments) noexcept {
+  FleetAnchor out;
+  util::Sha256 h;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const AuditSegment& seg = segments[i];
+    if (i > 0 && segments[i - 1].shard_id >= seg.shard_id) {
+      out.status = Status::kInvalidArgument;
+      out.offending_shard = seg.shard_id;
+      return out;
+    }
+    if (!ok(seg.log.verify())) {
+      out.status = Status::kIntegrityFault;
+      out.offending_shard = seg.shard_id;
+      return out;
+    }
+    h.update("shard|");
+    h.update(std::to_string(seg.shard_id));
+    h.update("|");
+    h.update(util::to_hex(seg.log.head()));
+    h.update("\n");
+  }
+  out.digest = h.finish();
+  return out;
+}
+
+FleetAnchor canonical_root(std::span<const AuditSegment> segments,
+                           std::string_view action) {
+  FleetAnchor out;
+  // Chains first: a canonical root over tampered entries would launder the
+  // tampering into a fresh, self-consistent chain.
+  for (const AuditSegment& seg : segments) {
+    if (!ok(seg.log.verify())) {
+      out.status = Status::kIntegrityFault;
+      out.offending_shard = seg.shard_id;
+      return out;
+    }
+  }
+  struct Ref {
+    std::uint64_t logical_time;
+    std::uint32_t shard_id;
+    const AuditEntry* entry;
+  };
+  std::vector<Ref> refs;
+  for (const AuditSegment& seg : segments)
+    for (const AuditEntry& e : seg.log.entries())
+      if (e.action == action) refs.push_back(Ref{e.logical_time, seg.shard_id, &e});
+  std::sort(refs.begin(), refs.end(), [](const Ref& a, const Ref& b) {
+    return a.logical_time < b.logical_time;
+  });
+  for (std::size_t i = 1; i < refs.size(); ++i) {
+    if (refs[i].logical_time == refs[i - 1].logical_time) {
+      out.status = Status::kInvalidArgument;
+      out.offending_shard = refs[i].shard_id;
+      return out;
+    }
+  }
+  // Re-chain in global trial order: sequence numbers are assigned by the
+  // canonical log itself, so the head depends only on the (logical_time,
+  // actor, action, payload) stream — not on how it was sharded.
+  AuditLog canonical;
+  for (const Ref& r : refs)
+    canonical.append(r.entry->logical_time, r.entry->actor, r.entry->action,
+                     r.entry->payload);
+  out.digest = canonical.head();
+  return out;
+}
+
+}  // namespace sx::trace

@@ -1,0 +1,68 @@
+// Sharded audit evidence: per-shard hash-chained AuditLog segments anchored
+// under deterministic fleet-level roots (fleet evidence plane).
+//
+// A fleet run produces one AuditSegment per shard (worker thread or
+// independent process). Merge-time verification is layered:
+//
+//   1. verify_segment() replays each shard's own SHA-256 chain — tampering
+//      with any stored entry of any shard is detected independently;
+//   2. anchor_segments() binds the per-shard chain heads into one *anchor
+//      digest*: an ordered hash over (shard-id, head) pairs in ascending
+//      shard order. The anchor commits to the exact physical segments, so
+//      it depends on how the run was sharded;
+//   3. canonical_root() additionally re-chains the shards' `trial` entries
+//      in global trial order (logical_time == global trial index) into one
+//      canonical merged log and returns its head. Because trial entries
+//      carry no shard-local state, the canonical root is *partition
+//      independent*: N shards over the same trial range produce the same
+//      root as the single-process run — the byte-identity acceptance gate
+//      of the fleet evidence plane.
+//
+// All three refuse (Status in the result, offending shard identified)
+// instead of producing a root over unverifiable input.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "trace/audit.hpp"
+#include "util/hash.hpp"
+#include "util/status.hpp"
+
+namespace sx::trace {
+
+/// One shard's slice of the fleet audit trail.
+struct AuditSegment {
+  std::uint32_t shard_id = 0;
+  AuditLog log;
+};
+
+/// Replays the segment's own hash chain (AuditLog::verify).
+Status verify_segment(const AuditSegment& segment) noexcept;
+
+/// Result of a fleet-level anchoring/merging step.
+struct FleetAnchor {
+  Status status = Status::kOk;
+  /// Shard id the failure was detected in (valid when status != kOk).
+  std::uint32_t offending_shard = 0;
+  util::Sha256Digest digest{};
+};
+
+/// Ordered hash over (shard_id, chain head) in ascending shard order.
+/// Every shard chain is verified first; duplicate or unordered shard ids
+/// are refused (kInvalidArgument), a broken chain yields kIntegrityFault
+/// with the offending shard. `segments` must already be sorted by
+/// shard_id (static shard order).
+FleetAnchor anchor_segments(std::span<const AuditSegment> segments) noexcept;
+
+/// Partition-independent fleet root: verifies every segment chain, then
+/// re-chains all entries with action == `action` (default "trial") from
+/// all segments, ordered by logical_time (the global trial index), into a
+/// fresh canonical log and returns its head. Duplicate logical times
+/// across segments are refused (kInvalidArgument) — two shards claiming
+/// the same trial is a partition fault, not mergeable evidence.
+FleetAnchor canonical_root(std::span<const AuditSegment> segments,
+                           std::string_view action = "trial");
+
+}  // namespace sx::trace

@@ -110,4 +110,99 @@ std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
   return h;
 }
 
+namespace {
+
+/// Continued fraction for the incomplete beta function (modified Lentz).
+/// Converges for x < (a + 1) / (a + b + 2); incomplete_beta handles the
+/// symmetry reflection.
+double betacf(double a, double b, double x) noexcept {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 1e-15;
+  constexpr double kFpMin = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double md = static_cast<double>(m);
+    const double m2 = 2.0 * md;
+    double aa = md * (b - md) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + md) * (qab + md) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) noexcept {
+  if (!(a > 0.0) || !(b > 0.0) || std::isnan(x)) return 0.0;
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) return front * betacf(a, b, x) / a;
+  return 1.0 - front * betacf(b, a, 1.0 - x) / b;
+}
+
+double beta_quantile(double a, double b, double q) noexcept {
+  if (!(a > 0.0) || !(b > 0.0) || std::isnan(q)) return 1.0;
+  if (q <= 0.0) return 0.0;
+  if (q >= 1.0) return 1.0;
+  // Bisection: I_x(a, b) is monotone increasing in x. 200 halvings take the
+  // bracket well below double resolution; deterministic iteration count.
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (incomplete_beta(a, b, mid) < q) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-15) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double clopper_pearson_upper(std::size_t failures, std::size_t trials,
+                             double confidence) noexcept {
+  if (trials == 0 || failures >= trials) return 1.0;  // unmeasured/degenerate
+  const auto k = static_cast<double>(failures);
+  const auto n = static_cast<double>(trials);
+  return beta_quantile(k + 1.0, n - k, confidence);
+}
+
+double bayes_binomial_upper(std::size_t failures, std::size_t trials,
+                            double confidence, double prior_a,
+                            double prior_b) noexcept {
+  // With no demands measured the posterior is just the prior; publishing its
+  // quantile would let a prior choice masquerade as evidence. Degrade to the
+  // conservative 1.0, matching clopper_pearson_upper.
+  if (trials == 0 || failures > trials) return 1.0;
+  if (!(prior_a > 0.0) || !(prior_b > 0.0)) return 1.0;
+  const auto k = static_cast<double>(failures);
+  const auto n = static_cast<double>(trials);
+  return beta_quantile(prior_a + k, prior_b + (n - k), confidence);
+}
+
 }  // namespace sx::util

@@ -50,4 +50,43 @@ double coeff_of_variation(std::span<const double> xs) noexcept;
 std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
                                    double hi, std::size_t bins);
 
+// --- quantified safety bounds (fleet evidence plane) -----------------------
+//
+// Conservative one-sided bounds on a per-demand failure probability from
+// pooled Bernoulli trials, in the statistical safety-claim framing of
+// Zhao et al. (arXiv 2003.05311): "k failures observed in n demands"
+// becomes "the failure rate per demand is below U at confidence c".
+// Deterministic closed-form numerics (Lentz continued fraction + bisection):
+// identical inputs give identical doubles on a given platform.
+
+/// Regularized incomplete beta function I_x(a, b) for a, b > 0 and
+/// x in [0, 1]. Continued-fraction evaluation (Numerical-Recipes style
+/// modified Lentz), accurate to ~1e-12 over the ranges used by the bounds.
+double incomplete_beta(double a, double b, double x) noexcept;
+
+/// Quantile (inverse CDF) of the Beta(a, b) distribution: the x with
+/// I_x(a, b) = q, found by bisection to ~1e-12. q outside (0, 1) clamps to
+/// the support endpoints.
+double beta_quantile(double a, double b, double q) noexcept;
+
+/// One-sided Clopper–Pearson upper confidence bound on a binomial
+/// proportion: the largest p consistent (at `confidence`, e.g. 0.99) with
+/// observing `failures` failures in `trials` Bernoulli demands.
+/// Exact-coverage conservative:  U = BetaQuantile(confidence; k+1, n-k).
+/// Conservative on degenerate inputs: trials == 0 or failures >= trials
+/// yields 1.0 — an unmeasured campaign can never claim a bound.
+double clopper_pearson_upper(std::size_t failures, std::size_t trials,
+                             double confidence) noexcept;
+
+/// Bayesian posterior upper credible bound: the `confidence`-quantile of
+/// the posterior Beta(prior_a + failures, prior_b + trials - failures)
+/// under a conjugate Beta(prior_a, prior_b) prior (defaults: uniform).
+/// trials == 0 returns the conservative 1.0 (matching
+/// clopper_pearson_upper): with no evidence the posterior is just the
+/// prior, and publishing a prior quantile as a bound would let a prior
+/// choice masquerade as measurement.
+double bayes_binomial_upper(std::size_t failures, std::size_t trials,
+                            double confidence, double prior_a = 1.0,
+                            double prior_b = 1.0) noexcept;
+
 }  // namespace sx::util

@@ -1,0 +1,50 @@
+// Seeded FUSA-violation fixture for sxlint coverage of src/fleet/.
+// NEVER compiled or linked — only scanned by the `sxlint_fleet_fixture`
+// CTest entry (WILL_FAIL). The `fleet/` directory component makes this
+// file count as runtime code, the same contract src/fleet/*.cpp are held
+// to: no console I/O, no banned headers, no raw heap expressions, no
+// unbounded recursion.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+namespace fixture {
+
+// console-io: merge progress chatter from inside the shard fold.
+void report_shard(unsigned shard) {
+  std::cout << "shard " << shard << " merged\n";
+  printf("shard %u merged\n", shard);
+}
+
+// heap-expr: raw new/delete for the shard-evidence array instead of a
+// container sized at configuration time.
+unsigned* allocate_counts(unsigned shards) { return new unsigned[shards]; }
+void free_counts(unsigned* counts) { delete[] counts; }
+
+// banned-call: ad-hoc randomness in a trial partition (all campaign
+// randomness goes through the seeded injector).
+unsigned jitter_partition(unsigned n) { return n + rand() % 7; }
+
+// recursion: unbounded chain walk without an explicit bound waiver.
+unsigned chain_depth(const unsigned* next, unsigned at) {
+  if (next[at] == at) return 0;
+  return 1 + chain_depth(next, next[at]);
+}
+
+// throw-in-noexcept: a verification accessor that can actually throw.
+unsigned head_at(const std::unique_ptr<unsigned[]>& heads,
+                 unsigned i) noexcept {
+  if (heads == nullptr) throw i;
+  return heads[i];
+}
+
+// A waived finding: the marker must suppress this one.
+std::unique_ptr<unsigned> config_time_slot() {
+  return std::make_unique<unsigned>(0);  // sxlint: allow(hot-path-alloc)
+}
+
+// Not findings: identifiers and string literals mentioning banned calls.
+void printf_like_name() {}
+const char* kDoc = "never printf from a merge fold";
+
+}  // namespace fixture

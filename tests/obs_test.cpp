@@ -4,11 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/flight_recorder.hpp"
 #include "obs/registry.hpp"
+#include "obs/snapshot.hpp"
 
 namespace sx::obs {
 namespace {
@@ -267,6 +269,125 @@ TEST(FlightRecorder, ToTextNamesEveryStage) {
         Stage::kInference, Stage::kSupervisor, Stage::kFallback,
         Stage::kDecision})
     EXPECT_NE(text.find(to_string(s)), std::string::npos) << to_string(s);
+}
+
+// ------------------------------------------------------ registry snapshots
+
+TEST(RegistrySnapshot, CaptureFreezesRegistryValues) {
+  Registry r{small_config()};
+  const CounterId c = r.counter("sx_items_total");
+  const GaugeId g = r.gauge("sx_budget");
+  const HistogramId h = r.histogram("sx_lat_cycles");
+  r.add(c, 5);
+  r.set(g, 1.5);
+  r.observe(h, 10);
+  r.observe(h, 200);
+  const RegistrySnapshot snap = RegistrySnapshot::capture(r);
+  EXPECT_EQ(snap.counter_value("sx_items_total"), 5u);
+  EXPECT_EQ(snap.counter_value("missing"), 0u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 1.5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 2u);
+  EXPECT_EQ(snap.histograms[0].sum, 210u);
+  EXPECT_EQ(snap.histograms[0].min, 10u);
+  EXPECT_EQ(snap.histograms[0].max, 200u);
+  // Snapshot outlives the registry: values above are owned copies.
+  r.add(c, 1);
+  EXPECT_EQ(snap.counter_value("sx_items_total"), 5u);
+}
+
+RegistrySnapshot worker_snapshot(std::uint64_t items,
+                                 std::uint64_t observations, double budget) {
+  Registry r{small_config()};  // sample_capacity = 8
+  const CounterId c = r.counter("sx_items_total");
+  const GaugeId g = r.gauge("sx_budget");
+  const HistogramId h = r.histogram("sx_lat_cycles");
+  r.add(c, items);
+  r.set(g, budget);
+  for (std::uint64_t v = 1; v <= observations; ++v) r.observe(h, v);
+  return RegistrySnapshot::capture(r);
+}
+
+TEST(RegistrySnapshot, MergeSumsCountersAndCarriesDroppedSamples) {
+  // 11 and 10 observations into capacity-8 rings: 3 + 2 raw samples were
+  // overwritten before a drain — the merged evidence must say so.
+  const RegistrySnapshot a = worker_snapshot(5, 11, 1.5);
+  const RegistrySnapshot b = worker_snapshot(7, 10, 9.0);
+  EXPECT_EQ(a.total_dropped_samples(), 3u);
+  EXPECT_EQ(b.total_dropped_samples(), 2u);
+  RegistrySnapshot merged = a;
+  ASSERT_EQ(merged.merge_from(b), Status::kOk);
+  EXPECT_EQ(merged.counter_value("sx_items_total"), 12u);
+  EXPECT_EQ(merged.total_dropped_samples(), 5u);  // no silent sample loss
+  EXPECT_EQ(merged.histograms[0].count, 21u);
+  EXPECT_EQ(merged.histograms[0].sum, 66u + 55u);
+  EXPECT_EQ(merged.histograms[0].min, 1u);
+  EXPECT_EQ(merged.histograms[0].max, 11u);
+  // Gauges are point-in-time settings: the lowest-ordered shard wins.
+  EXPECT_EQ(merged.gauges[0].value, 1.5);
+  // The serialized coverage line carries the merged total.
+  EXPECT_NE(merged.serialize().find("sx_samples_dropped_total 5\n"),
+            std::string::npos);
+}
+
+TEST(RegistrySnapshot, NWayMergeFoldsInGivenOrder) {
+  const std::vector<RegistrySnapshot> shards{worker_snapshot(1, 0, 4.0),
+                                             worker_snapshot(2, 0, 5.0),
+                                             worker_snapshot(3, 0, 6.0)};
+  RegistrySnapshot out;
+  ASSERT_EQ(RegistrySnapshot::merge(shards, out), Status::kOk);
+  EXPECT_EQ(out.counter_value("sx_items_total"), 6u);
+  EXPECT_EQ(out.gauges[0].value, 4.0);  // shard 0's gauge
+  RegistrySnapshot empty;
+  ASSERT_EQ(RegistrySnapshot::merge({}, empty), Status::kOk);
+  EXPECT_TRUE(empty.counters.empty());
+}
+
+TEST(RegistrySnapshot, SchemaMismatchIsRefusedAndTargetUnchanged) {
+  RegistrySnapshot a = worker_snapshot(5, 0, 1.0);
+  Registry other{small_config()};
+  other.counter("sx_other_total");  // different metric name
+  const RegistrySnapshot b = RegistrySnapshot::capture(other);
+  const std::string before = a.serialize();
+  EXPECT_EQ(a.merge_from(b), Status::kInvalidArgument);
+  EXPECT_EQ(a.serialize(), before);  // refusal leaves the target intact
+  EXPECT_FALSE(a.same_schema(b));
+  EXPECT_TRUE(a.same_schema(worker_snapshot(9, 4, 2.0)));  // values differ ok
+}
+
+TEST(RegistrySnapshot, SerializationRoundTripsByteIdentically) {
+  const RegistrySnapshot snap = worker_snapshot(5, 11, 1.5);
+  const std::string text = snap.serialize();
+  EXPECT_EQ(text, snap.serialize());  // deterministic
+  RegistrySnapshot reparsed;
+  ASSERT_TRUE(RegistrySnapshot::parse(text, reparsed));
+  EXPECT_EQ(reparsed.serialize(), text);  // parse inverts serialize
+  EXPECT_TRUE(reparsed.same_schema(snap));
+  EXPECT_EQ(reparsed.total_dropped_samples(), 3u);
+}
+
+TEST(RegistrySnapshot, ParseRefusesEditedCoverageClaim) {
+  std::string text = worker_snapshot(5, 11, 1.5).serialize();
+  // Hand-edit the derived coverage line: claim fewer drops than the
+  // histogram rows record. The file must be refused, not trusted.
+  const std::string honest = "sx_samples_dropped_total 3";
+  const std::size_t at = text.find(honest);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, honest.size(), "sx_samples_dropped_total 0");
+  RegistrySnapshot out;
+  EXPECT_FALSE(RegistrySnapshot::parse(text, out));
+}
+
+TEST(RegistrySnapshot, ParseRefusesMalformedText) {
+  RegistrySnapshot out;
+  EXPECT_FALSE(RegistrySnapshot::parse("", out));
+  EXPECT_FALSE(RegistrySnapshot::parse("wrong-schema/9\n", out));
+  // Truncated: counters promised but missing.
+  EXPECT_FALSE(RegistrySnapshot::parse(
+      "sx-registry-snapshot/1\nhistogram_first_bound 8\n"
+      "dropped_registrations 0\nsx_samples_dropped_total 0\ncounters 2\n",
+      out));
 }
 
 }  // namespace

@@ -1,11 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "test_helpers.hpp"
 #include "trace/audit.hpp"
 #include "trace/odd.hpp"
 #include "trace/provenance.hpp"
 #include "trace/requirements.hpp"
 #include "trace/safety_case.hpp"
+#include "trace/segment.hpp"
 
 namespace sx::trace {
 namespace {
@@ -106,6 +111,142 @@ TEST(Audit, IdenticalPayloadsGetDistinctHashes) {
   const auto h1 = log.append(1, "a", "act", "same").chain_hash;
   const auto h2 = log.append(1, "a", "act", "same").chain_hash;
   EXPECT_NE(h1, h2);  // chained, not content-only
+}
+
+TEST(Audit, VerifyFromMatchesFullVerifyOnCleanChain) {
+  AuditLog log;
+  for (int i = 0; i < 6; ++i) log.append(i, "x", "y", "z");
+  // Pin an anchor mid-chain, append more, then check incrementally from it.
+  const std::size_t anchor = 2;
+  const auto digest = log.entry(anchor).chain_hash;
+  for (int i = 6; i < 10; ++i) log.append(i, "x", "y", "z");
+  EXPECT_EQ(log.verify(), Status::kOk);
+  EXPECT_EQ(log.verify_from(anchor, digest), Status::kOk);
+  EXPECT_EQ(log.verify_from(log.size() - 1, log.head()), Status::kOk);
+}
+
+TEST(Audit, VerifyFromCatchesSuffixTampering) {
+  AuditLog log;
+  for (int i = 0; i < 6; ++i) log.append(i, "x", "y", "z");
+  const auto digest = log.entry(2).chain_hash;
+  log.tamper_payload_for_test(4, "altered");
+  // Equivalence with full verify on the tampered suffix.
+  EXPECT_EQ(log.verify(), Status::kIntegrityFault);
+  EXPECT_EQ(log.verify_from(2, digest), Status::kIntegrityFault);
+}
+
+TEST(Audit, VerifyFromCatchesRewrittenAnchor) {
+  AuditLog log;
+  for (int i = 0; i < 4; ++i) log.append(i, "x", "y", "z");
+  util::Sha256Digest wrong = log.entry(1).chain_hash;
+  wrong[0] ^= 0xff;
+  // Claimed anchor digest disagrees with the stored head of the prefix:
+  // a rewritten prefix is caught without replaying it.
+  EXPECT_EQ(log.verify_from(1, wrong), Status::kIntegrityFault);
+}
+
+TEST(Audit, VerifyFromRejectsOutOfRangeAnchor) {
+  AuditLog log;
+  log.append(0, "x", "y", "z");
+  EXPECT_EQ(log.verify_from(1, log.head()), Status::kInvalidArgument);
+  EXPECT_EQ(AuditLog{}.verify_from(0, util::Sha256Digest{}),
+            Status::kInvalidArgument);
+}
+
+TEST(Audit, FromEntriesAdoptsStoredHashes) {
+  AuditLog log;
+  log.append(1, "engine", "inference", "class=2");
+  log.append(2, "engine", "inference", "class=1");
+  // Clean entries reload into a verifying chain with the same head...
+  AuditLog reloaded = AuditLog::from_entries(log.entries());
+  EXPECT_EQ(reloaded.verify(), Status::kOk);
+  EXPECT_EQ(reloaded.head(), log.head());
+  // ...while a payload edited in the persisted form still fails verify:
+  // from_entries must not re-chain (that would launder the tampering).
+  std::vector<AuditEntry> edited = log.entries();
+  edited[0].payload = "class=3";
+  EXPECT_EQ(AuditLog::from_entries(std::move(edited)).verify(),
+            Status::kIntegrityFault);
+}
+
+// ----------------------------------------------------------- audit segments
+
+AuditLog trial_log(std::uint64_t first, std::uint64_t count) {
+  AuditLog log;
+  for (std::uint64_t t = first; t < first + count; ++t)
+    log.append(t, "fleet", "trial", "t=" + std::to_string(t));
+  return log;
+}
+
+TEST(AuditSegment, AnchorRequiresVerifiedOrderedSegments) {
+  std::vector<AuditSegment> segs(2);
+  segs[0] = AuditSegment{0, trial_log(0, 3)};
+  segs[1] = AuditSegment{1, trial_log(3, 3)};
+  const FleetAnchor good = anchor_segments(segs);
+  EXPECT_EQ(good.status, Status::kOk);
+
+  std::swap(segs[0], segs[1]);  // ids must be strictly increasing
+  EXPECT_NE(anchor_segments(segs).status, Status::kOk);
+  std::swap(segs[0], segs[1]);
+
+  segs[1].log.tamper_payload_for_test(0, "t=999");
+  const FleetAnchor bad = anchor_segments(segs);
+  EXPECT_EQ(bad.status, Status::kIntegrityFault);
+  EXPECT_EQ(bad.offending_shard, 1u);
+}
+
+TEST(AuditSegment, CanonicalRootIsPartitionIndependent) {
+  // One segment holding all six trials...
+  std::vector<AuditSegment> one{AuditSegment{0, trial_log(0, 6)}};
+  // ...a contiguous 2-way split...
+  std::vector<AuditSegment> split(2);
+  split[0] = AuditSegment{0, trial_log(0, 3)};
+  split[1] = AuditSegment{1, trial_log(3, 3)};
+  // ...and an odd/even interleaving (logical_time still identifies the
+  // global trial, so the canonical order is recoverable).
+  std::vector<AuditSegment> lace(2);
+  for (std::uint64_t t = 0; t < 6; ++t)
+    lace[t % 2].log.append(t, "fleet", "trial", "t=" + std::to_string(t));
+  lace[0].shard_id = 0;
+  lace[1].shard_id = 1;
+
+  const FleetAnchor a = canonical_root(one);
+  const FleetAnchor b = canonical_root(split);
+  const FleetAnchor c = canonical_root(lace);
+  ASSERT_EQ(a.status, Status::kOk);
+  ASSERT_EQ(b.status, Status::kOk);
+  ASSERT_EQ(c.status, Status::kOk);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.digest, c.digest);
+
+  // The physical anchor, by contrast, commits to the sharding.
+  EXPECT_NE(anchor_segments(one).digest, anchor_segments(split).digest);
+}
+
+TEST(AuditSegment, CanonicalRootIgnoresFramingEntries) {
+  std::vector<AuditSegment> bare{AuditSegment{0, trial_log(0, 4)}};
+  AuditLog framed_log;
+  framed_log.append(0, "fleet", "shard-start", "shard=0");
+  for (std::uint64_t t = 0; t < 4; ++t)
+    framed_log.append(t, "fleet", "trial", "t=" + std::to_string(t));
+  framed_log.append(4, "fleet", "shard-end", "done");
+  std::vector<AuditSegment> framed{AuditSegment{0, std::move(framed_log)}};
+  EXPECT_EQ(canonical_root(bare).digest, canonical_root(framed).digest);
+}
+
+TEST(AuditSegment, CanonicalRootRefusesDuplicateTrials) {
+  std::vector<AuditSegment> segs(2);
+  segs[0] = AuditSegment{0, trial_log(0, 3)};
+  segs[1] = AuditSegment{1, trial_log(2, 3)};  // trial 2 appears twice
+  EXPECT_NE(canonical_root(segs).status, Status::kOk);
+}
+
+TEST(AuditSegment, CanonicalRootRefusesBrokenChains) {
+  std::vector<AuditSegment> segs{AuditSegment{0, trial_log(0, 3)}};
+  segs[0].log.tamper_payload_for_test(1, "t=999");
+  const FleetAnchor root = canonical_root(segs);
+  EXPECT_EQ(root.status, Status::kIntegrityFault);
+  EXPECT_EQ(root.offending_shard, 0u);
 }
 
 // --------------------------------------------------------------- provenance

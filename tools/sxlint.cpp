@@ -10,7 +10,8 @@
 //                      owns all memory via arenas and all randomness via
 //                      seeded Xoshiro256.
 //   banned-include     <iostream>/<cstdio>/<stdio.h> in runtime directories
-//                      (dl/, safety/, rt/, core/, obs/, scenario/, ir/):
+//                      (dl/, safety/, rt/, core/, obs/, scenario/, ir/,
+//                      fleet/):
 //                      global stream objects drag in static-init order
 //                      hazards and buffered IO.
 //   console-io         std::cout/std::cerr/printf/... in runtime dirs.
@@ -91,8 +92,9 @@ constexpr AllowEntry kAllowlist[] = {
     {"", "", ""},  // sentinel so the table compiles when empty
 };
 
-const std::set<std::string> kRuntimeDirs = {"dl",  "safety", "rt",      "core",
-                                            "obs", "ir",     "scenario"};
+const std::set<std::string> kRuntimeDirs = {"dl",  "safety", "rt",   "core",
+                                            "obs", "ir",     "scenario",
+                                            "fleet"};
 
 const std::set<std::string> kBannedCalls = {
     "malloc", "calloc", "realloc", "free",   "alloca",

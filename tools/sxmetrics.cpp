@@ -10,6 +10,9 @@
 //   # BEGIN SX_SCENARIO_JSON ... # END SX_SCENARIO_JSON  scenario matrix
 //   # BEGIN SX_IR_PASSES ... # END SX_IR_PASSES      IR pass-pipeline audit
 //                                                    (see make_ir_evidence)
+//   # BEGIN SX_FLEET_EVIDENCE ... # END SX_FLEET_EVIDENCE  merged fleet
+//                                                    campaign bounds/roots
+//                                                    (see make_fleet_evidence)
 //
 // sxmetrics recovers any block from a serialized report file (or stdin)
 // so a scrape pipeline, diff tool or assessor can consume the snapshot
@@ -26,6 +29,9 @@
 //   sxmetrics --ir report.txt        # the IR pass-pipeline audit lines
 //                                    # (per-pass facts + arena totals per
 //                                    # kernel plan), one record per line
+//   sxmetrics --fleet report.txt     # the merged fleet-campaign evidence
+//                                    # (outcome counts, Clopper-Pearson /
+//                                    # Bayesian SDC bounds, audit roots)
 //
 // Exit status: 0 on success, 1 when the requested block is missing,
 // 2 on usage/IO errors. Host tool: iostream/filesystem are fine here.
@@ -174,7 +180,8 @@ std::string to_json(const std::string& exposition) {
 }
 
 int usage() {
-  std::cerr << "usage: sxmetrics [--flight|--summary|--json|--scenario|--ir] "
+  std::cerr << "usage: sxmetrics "
+               "[--flight|--summary|--json|--scenario|--ir|--fleet] "
                "[report-file|-]\n";
   return 2;
 }
@@ -187,6 +194,7 @@ int main(int argc, char** argv) {
   bool json = false;
   bool scenario = false;
   bool ir = false;
+  bool fleet = false;
   std::string path = "-";
   std::vector<std::string> args(argv + 1, argv + argc);
   for (const auto& a : args) {
@@ -200,13 +208,15 @@ int main(int argc, char** argv) {
       scenario = true;
     } else if (a == "--ir") {
       ir = true;
+    } else if (a == "--fleet") {
+      fleet = true;
     } else if (!a.empty() && a[0] == '-' && a != "-") {
       return usage();
     } else {
       path = a;
     }
   }
-  if (flight + summary + json + scenario + ir > 1) return usage();
+  if (flight + summary + json + scenario + ir + fleet > 1) return usage();
 
   std::ostringstream buf;
   if (path == "-") {
@@ -231,6 +241,9 @@ int main(int argc, char** argv) {
   } else if (ir) {
     begin = "# BEGIN SX_IR_PASSES";
     end = "# END SX_IR_PASSES";
+  } else if (fleet) {
+    begin = "# BEGIN SX_FLEET_EVIDENCE";
+    end = "# END SX_FLEET_EVIDENCE";
   }
   bool found = false;
   const std::string block = extract_block(buf.str(), begin, end, found);

@@ -9,8 +9,10 @@
 // Method: three rungs, each timed min-of-reps with reference/planned
 // rounds interleaved so transient machine load hits both alike.
 //   1. raw matvec 512x512: tensor::matvec vs kernels::matvec_blocked /
-//      matvec_packed (the BM_Matvec/512 geometry; target >= 2x);
-//   2. StaticEngine on the trained CNN: reference vs blocked vs packed;
+//      matvec_packed / the probed matvec_wide_* lane kernel (the
+//      BM_Matvec/512 geometry; target >= 2x);
+//   2. StaticEngine on the trained CNN: reference vs blocked vs packed vs
+//      wide (E19 isolates wide-vs-packed on micro sizes);
 //   3. end-to-end SIL2 CNN pipeline (ODD guard, supervisor, audit chain,
 //      telemetry all live) built once with SX_KERNEL_REFERENCE=1 and once
 //      normally — the deployment-shaped speedup (target >= 1.5x on the
@@ -32,6 +34,7 @@
 #include "core/report.hpp"
 #include "dl/engine.hpp"
 #include "dl/plan.hpp"
+#include "platform/cpu_probe.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 
@@ -78,10 +81,13 @@ const sx::dl::Model& perception_cnn() {
   return model;
 }
 
-sx::core::CertifiablePipeline make_sil2_pipeline(std::size_t batch_workers) {
+sx::core::CertifiablePipeline make_sil2_pipeline(
+    std::size_t batch_workers,
+    sx::dl::KernelMode mode = sx::dl::KernelMode::kAuto) {
   sx::core::PipelineConfig cfg;
   cfg.criticality = sx::core::Criticality::kSil2;
   cfg.batch_workers = batch_workers;
+  cfg.kernel_mode = mode;
   return sx::core::CertifiablePipeline{perception_cnn(),
                                        sx::bench::road_data(), cfg};
 }
@@ -134,9 +140,13 @@ int main(int argc, char** argv) {
     w.init_uniform(rng, -1, 1);
     x.init_uniform(rng, -1, 1);
     b.init_uniform(rng, -1, 1);
-    std::vector<float> ref(n), blocked(n), packed(n);
+    std::vector<float> ref(n), blocked(n), packed(n), wide(n);
     std::vector<float> panel(k::dense_panel_floats(n, n));
     k::pack_dense_panel(w.data().data(), n, n, panel.data());
+    std::vector<float> wpanel(k::wide_dense_panel_floats(n, n));
+    k::pack_wide_dense_panel(w.data().data(), n, n, wpanel.data());
+    const auto isa = platform::select_wide_isa().isa;
+    const auto wide_fn = k::wide_dense_kernel(isa);
 
     (void)tensor::matvec(w.view(), x.view(), b.view(),
                          tensor::TensorView{ref, tensor::Shape::vec(n)});
@@ -146,16 +156,18 @@ int main(int argc, char** argv) {
     (void)k::matvec_packed(panel.data(), b.data().data(), n, n,
                            x.data().data(), packed.data(),
                            k::Epilogue::kNone, false);
-    const bool identical =
-        bits_equal(blocked, ref) && bits_equal(packed, ref);
+    (void)wide_fn(wpanel.data(), b.data().data(), n, n, x.data().data(),
+                  wide.data(), k::Epilogue::kNone, false);
+    const bool identical = bits_equal(blocked, ref) &&
+                           bits_equal(packed, ref) && bits_equal(wide, ref);
     bench::print_verdict(identical,
-                         "matvec 512x512: blocked and packed kernels are "
-                         "bitwise identical to tensor::matvec");
+                         "matvec 512x512: blocked, packed and wide kernels "
+                         "are bitwise identical to tensor::matvec");
     all_ok = all_ok && identical;
 
     const std::size_t calls = smoke ? 20 : 50;
     const std::size_t reps = smoke ? 8 : 20;
-    double t_ref = 1e300, t_blk = 1e300, t_pck = 1e300;
+    double t_ref = 1e300, t_blk = 1e300, t_pck = 1e300, t_wide = 1e300;
     for (std::size_t r = 0; r < reps; ++r) {
       t_ref = std::min(t_ref, bench::time_per_call_us(
                                   [&] {
@@ -181,6 +193,14 @@ int main(int argc, char** argv) {
                                         k::Epilogue::kNone, false);
                                   },
                                   calls));
+      t_wide = std::min(t_wide, bench::time_per_call_us(
+                                    [&] {
+                                      (void)wide_fn(
+                                          wpanel.data(), b.data().data(), n,
+                                          n, x.data().data(), wide.data(),
+                                          k::Epilogue::kNone, false);
+                                    },
+                                    calls));
     }
 
     util::Table table({"matvec 512x512", "us/call", "speedup"});
@@ -189,13 +209,18 @@ int main(int argc, char** argv) {
                    util::fmt(t_ref / t_blk, 2) + "x"});
     table.add_row({"packed (aligned panels)", util::fmt(t_pck, 2),
                    util::fmt(t_ref / t_pck, 2) + "x"});
+    table.add_row({std::string("wide (") + k::wide_isa_name(isa) +
+                       " lane panels)",
+                   util::fmt(t_wide, 2),
+                   util::fmt(t_ref / t_wide, 2) + "x"});
     table.print(std::cout);
     std::cout << "\n";
 
-    const double best = t_ref / std::min(t_blk, t_pck);
+    const double best = t_ref / std::min({t_blk, t_pck, t_wide});
     json.add("matvec512_us_reference", t_ref);
     json.add("matvec512_us_blocked", t_blk);
     json.add("matvec512_us_packed", t_pck);
+    json.add("matvec512_us_wide", t_wide);
     json.add("matvec512_speedup", best);
     const bool fast = best >= 2.0;
     bench::print_verdict(fast, "planned matvec is >= 2x reference at 512 "
@@ -209,8 +234,10 @@ int main(int argc, char** argv) {
     dl::StaticEngine ref{m, {.kernels = dl::KernelMode::kReference}};
     dl::StaticEngine blk{m, {.kernels = dl::KernelMode::kBlocked}};
     dl::StaticEngine pck{m, {.kernels = dl::KernelMode::kPacked}};
+    dl::StaticEngine wid{m, {.kernels = dl::KernelMode::kWide}};
     std::cout << core::make_kernel_plan_evidence(*blk.kernel_plan()).body
               << "\n";
+    std::cout << wid.kernel_plan()->summary() << "\n\n";
 
     const auto& ds = bench::road_data();
     const std::size_t out_size = m.output_shape().size();
@@ -223,9 +250,11 @@ int main(int argc, char** argv) {
       identical = identical && bits_equal(o, a);
       (void)pck.run(in, o);
       identical = identical && bits_equal(o, a);
+      (void)wid.run(in, o);
+      identical = identical && bits_equal(o, a);
     }
     bench::print_verdict(identical,
-                         "StaticEngine: blocked and packed plans are "
+                         "StaticEngine: blocked, packed and wide plans are "
                          "bitwise identical to the reference engine over "
                          "64 CNN inferences");
     all_ok = all_ok && identical;
@@ -241,11 +270,12 @@ int main(int argc, char** argv) {
                  1) /
              static_cast<double>(infs);
     };
-    double t_ref = 1e300, t_blk = 1e300, t_pck = 1e300;
+    double t_ref = 1e300, t_blk = 1e300, t_pck = 1e300, t_wid = 1e300;
     for (std::size_t r = 0; r < reps; ++r) {
       t_ref = std::min(t_ref, run_many(ref));
       t_blk = std::min(t_blk, run_many(blk));
       t_pck = std::min(t_pck, run_many(pck));
+      t_wid = std::min(t_wid, run_many(wid));
     }
     util::Table table({"StaticEngine CNN", "us/inference", "speedup"});
     table.add_row({"reference loops", util::fmt(t_ref, 2), "1.00x"});
@@ -253,14 +283,18 @@ int main(int argc, char** argv) {
                    util::fmt(t_ref / t_blk, 2) + "x"});
     table.add_row({"packed plan", util::fmt(t_pck, 2),
                    util::fmt(t_ref / t_pck, 2) + "x"});
+    table.add_row({"wide plan", util::fmt(t_wid, 2),
+                   util::fmt(t_ref / t_wid, 2) + "x"});
     table.print(std::cout);
     std::cout << "\n";
 
-    const double eng_speedup = t_ref / std::min(t_blk, t_pck);
+    const double eng_speedup = t_ref / std::min({t_blk, t_pck, t_wid});
     json.add("engine_us_reference", t_ref);
     json.add("engine_us_blocked", t_blk);
     json.add("engine_us_packed", t_pck);
+    json.add("engine_us_wide", t_wid);
     json.add("engine_speedup", eng_speedup);
+    json.add("engine_wide_vs_packed", t_pck / t_wid);
     const bool fast = eng_speedup >= 1.5;
     bench::print_verdict(fast,
                          "planned engine is >= 1.5x the reference engine "
@@ -278,54 +312,71 @@ int main(int argc, char** argv) {
     auto p_ref = make_sil2_pipeline(4);
     unsetenv("SX_KERNEL_REFERENCE");
     auto p_plan = make_sil2_pipeline(4);
+    auto p_wide = make_sil2_pipeline(4, dl::KernelMode::kWide);
+    std::cout << "wide deployment records: " << p_wide.kernel_backend()
+              << "\n\n";
 
     const auto& ds = bench::road_data();
     bool identical = true;
     for (std::size_t i = 0; i < 32; ++i) {
       const auto a = p_ref.infer(ds.samples[i].input, 1000 + i);
       const auto b = p_plan.infer(ds.samples[i].input, 1000 + i);
+      const auto c = p_wide.infer(ds.samples[i].input, 1000 + i);
       identical = identical && a.predicted_class == b.predicted_class &&
                   std::bit_cast<std::uint32_t>(a.confidence) ==
                       std::bit_cast<std::uint32_t>(b.confidence) &&
                   std::bit_cast<std::uint64_t>(a.supervisor_score) ==
                       std::bit_cast<std::uint64_t>(b.supervisor_score) &&
                   a.status == b.status;
+      identical = identical && a.predicted_class == c.predicted_class &&
+                  std::bit_cast<std::uint32_t>(a.confidence) ==
+                      std::bit_cast<std::uint32_t>(c.confidence) &&
+                  std::bit_cast<std::uint64_t>(a.supervisor_score) ==
+                      std::bit_cast<std::uint64_t>(c.supervisor_score) &&
+                  a.status == c.status;
     }
     bench::print_verdict(identical,
                          "SIL2 pipeline decisions (class, confidence bits, "
                          "supervisor score bits, status) are identical "
-                         "with and without the plan");
+                         "across reference, planned and wide deployments");
     all_ok = all_ok && identical;
 
     const std::size_t decisions = smoke ? 150 : 400;
     const std::size_t reps = smoke ? 6 : 12;
-    double single_ref = 1e300, single_plan = 1e300;
-    double batch_ref = 1e300, batch_plan = 1e300;
+    double single_ref = 1e300, single_plan = 1e300, single_wide = 1e300;
+    double batch_ref = 1e300, batch_plan = 1e300, batch_wide = 1e300;
     for (std::size_t r = 0; r < reps; ++r) {
       single_ref = std::min(single_ref, time_single_once(p_ref, decisions));
       single_plan =
           std::min(single_plan, time_single_once(p_plan, decisions));
+      single_wide =
+          std::min(single_wide, time_single_once(p_wide, decisions));
       batch_ref = std::min(batch_ref, time_batch_once(p_ref, decisions));
       batch_plan = std::min(batch_plan, time_batch_once(p_plan, decisions));
+      batch_wide = std::min(batch_wide, time_batch_once(p_wide, decisions));
     }
 
     util::Table table({"SIL2 CNN pipeline", "reference (us/dec)",
-                       "planned (us/dec)", "speedup"});
+                       "planned (us/dec)", "wide (us/dec)", "wide speedup"});
     table.add_row({"single-item infer()", util::fmt(single_ref, 2),
-                   util::fmt(single_plan, 2),
-                   util::fmt(single_ref / single_plan, 2) + "x"});
+                   util::fmt(single_plan, 2), util::fmt(single_wide, 2),
+                   util::fmt(single_ref / single_wide, 2) + "x"});
     table.add_row({"batch x4 infer_batch()", util::fmt(batch_ref, 2),
-                   util::fmt(batch_plan, 2),
-                   util::fmt(batch_ref / batch_plan, 2) + "x"});
+                   util::fmt(batch_plan, 2), util::fmt(batch_wide, 2),
+                   util::fmt(batch_ref / batch_wide, 2) + "x"});
     table.print(std::cout);
     std::cout << "\n";
 
     // The batch path is where the engine dominates the decision cost (the
     // per-decision safety machinery — audit hashing, supervisor, ODD scan
-    // — is fixed overhead both deployments pay identically).
+    // — is fixed overhead both deployments pay identically). The gated
+    // claim stays on the default planned deployment; the wide numbers
+    // quantify what opting into kWide adds on top.
     const double e2e = batch_ref / batch_plan;
     json.add("pipeline_single_speedup", single_ref / single_plan);
     json.add("pipeline_batch_speedup", e2e);
+    json.add("pipeline_single_speedup_wide", single_ref / single_wide);
+    json.add("pipeline_batch_speedup_wide", batch_ref / batch_wide);
     const bool fast = e2e >= 1.5;
     bench::print_verdict(
         fast, "end-to-end SIL2 CNN pipeline speedup >= 1.5x on the batch "

@@ -20,7 +20,7 @@ int main() {
             << w.int8_accuracy * 100 << "%\n\n";
 
   // 2. Sweep the default grid: 3 perturbations x 3 campaigns x OOD off/on
-  //    x (3 kernel modes x 2 backends x 2 worker counts).
+  //    x (all concrete kernel modes x 2 backends x 2 worker counts).
   scenario::ScenarioConfig cfg;
   cfg.max_probes = 96;
   scenario::ScenarioSweeper sweeper{w.model, w.train, w.test, cfg};
@@ -57,10 +57,12 @@ int main() {
   const auto cert = core::make_certification_report(
       pipeline, nullptr,
       {core::make_scenario_evidence(report.summary(), report.to_json()),
-       core::make_ir_evidence(pipeline)});
+       core::make_ir_evidence(pipeline),
+       core::make_kernel_backend_evidence(pipeline)});
   std::cout << "\ncertification report: " << cert.text.size()
             << " bytes (scenario JSON between SX_SCENARIO_JSON markers, "
-               "plan-IR pass evidence between SX_IR_PASSES markers; "
-               "recover with tools/sxmetrics --scenario / --ir)\n";
+               "plan-IR pass evidence between SX_IR_PASSES markers, "
+               "resolved kernel backend between SX_KERNEL_BACKEND markers; "
+               "recover with tools/sxmetrics --scenario / --ir / --kernel)\n";
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "dl/engine.hpp"
+#include "platform/cpu_probe.hpp"
 #include "supervise/metrics.hpp"
 
 namespace sx::core {
@@ -67,6 +68,16 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
     throw std::invalid_argument(
         "CertifiablePipeline: the int8 backend reaches the 'monitored' "
         "pattern rung; DMR and above need float replicas");
+
+  // One kernel-mode knob across backends: under kInt8, cfg.kernel_mode
+  // drives the quantized channel / batch pool / IR re-check too, unless
+  // quant_engine.kernels was set explicitly (non-kAuto). Without this a
+  // kWide request would silently deploy the int8 default and the
+  // kernel-backend record would attribute evidence to the wrong mode.
+  if (cfg_.backend == BackendKind::kInt8 &&
+      cfg_.quant_engine.kernels == dl::KernelMode::kAuto &&
+      cfg_.kernel_mode != dl::KernelMode::kAuto)
+    cfg_.quant_engine.kernels = cfg_.kernel_mode;
 
   model_ = std::make_unique<dl::Model>(model);
   const std::size_t n_out = model_->output_shape().size();
@@ -303,6 +314,36 @@ CertifiablePipeline::CertifiablePipeline(const dl::Model& model,
                   qchannel_->kernel_plan()->summary());
     for (const auto& pe : qchannel_->kernel_plan()->pass_evidence())
       audit_.append(0, "ir-pass", pe.pass, pe.summary());
+  }
+
+  // Resolved-backend record: the mode the deployed plan *actually* runs
+  // (post SX_KERNEL_REFERENCE, post CPU probe), not just the requested one
+  // — under the escape hatch the two differ, and evidence attributed to
+  // the requested mode would misstate what executed. For kWide the probe /
+  // SX_KERNEL_ISA decision rides along verbatim.
+  {
+    dl::KernelMode resolved = dl::resolve_kernel_mode(cfg_.kernel_mode);
+    std::string wide_audit;
+    const dl::KernelPlan* fp =
+        channel_ != nullptr ? channel_->float_kernel_plan() : nullptr;
+    const dl::QuantKernelPlan* qp =
+        qchannel_ != nullptr ? qchannel_->kernel_plan() : nullptr;
+    if (fp != nullptr) {
+      resolved = fp->mode();
+      if (resolved == dl::KernelMode::kWide)
+        wide_audit = platform::wide_isa_audit(fp->cpu_probe(),
+                                              fp->isa_selection());
+    } else if (qp != nullptr) {
+      resolved = qp->mode();
+      if (resolved == dl::KernelMode::kWide)
+        wide_audit = platform::wide_isa_audit(qp->cpu_probe(),
+                                              qp->isa_selection());
+    }
+    kernel_backend_ =
+        "requested=" + std::string(dl::kernel_mode_name(cfg_.kernel_mode)) +
+        " resolved=" + std::string(dl::kernel_mode_name(resolved));
+    if (!wide_audit.empty()) kernel_backend_ += "; " + wide_audit;
+    audit_.append(0, "kernel-backend", "deploy", kernel_backend_);
   }
 }
 

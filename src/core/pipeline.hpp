@@ -51,12 +51,14 @@ struct PipelineConfig {
   /// Engine knobs of the kInt8 backend (kernel mode, arena slack) —
   /// forwarded to the channel engine and the quantized batch pool.
   dl::QuantEngineConfig quant_engine;
-  /// Hot-path kernel selection of the kFloat32 backend: forwarded to the
-  /// single/monitored channel engines, the float batch pool, the
-  /// supervisor's tap engine and the static-verification arena check.
-  /// Every mode is bitwise identical by construction — the scenario
-  /// sweeper crosses this axis to *prove* it per deployment. Redundant
-  /// patterns (DMR and above) keep kAuto for their replicas.
+  /// Hot-path kernel selection: forwarded to the single/monitored channel
+  /// engines, the float batch pool, the supervisor's tap engine and the
+  /// static-verification arena check. Under the kInt8 backend it also
+  /// drives the quantized channel and batch pool unless
+  /// quant_engine.kernels was set explicitly (non-kAuto). Every mode is
+  /// bitwise identical by construction — the scenario sweeper crosses
+  /// this axis to *prove* it per deployment. Redundant patterns (DMR and
+  /// above) keep kAuto for their replicas.
   dl::KernelMode kernel_mode = dl::KernelMode::kAuto;
   /// When unset, the spec recommended for `criticality` is used.
   std::optional<PipelineSpec> spec;
@@ -126,6 +128,17 @@ class CertifiablePipeline {
   Criticality criticality() const noexcept { return cfg_.criticality; }
   const trace::AuditLog& audit() const noexcept { return audit_; }
   const trace::ModelCard& model_card() const noexcept { return card_; }
+
+  /// One-line resolved-backend record, fixed at deploy time: the requested
+  /// kernel mode, the mode actually deployed (post resolve_kernel_mode,
+  /// i.e. after the SX_KERNEL_REFERENCE escape hatch), and — when the
+  /// deployed plan is kWide — the CPU-probe / SX_KERNEL_ISA selection
+  /// audit. Also appended to the audit log as the "kernel-backend" entry
+  /// and published in the certification report's SX_KERNEL_BACKEND block,
+  /// so evidence is never misattributed to a mode that did not run.
+  const std::string& kernel_backend() const noexcept {
+    return kernel_backend_;
+  }
 
   /// Deployment-time integrity gate: does the deployed model still match
   /// the card's provenance hash?
@@ -253,6 +266,7 @@ class CertifiablePipeline {
   bool verify_refused_ = false;
   safety::Watchdog watchdog_;
   trace::AuditLog audit_;
+  std::string kernel_backend_;
   trace::ModelCard card_;
   std::vector<float> out_buf_;
   std::vector<float> fallback_;

@@ -302,6 +302,48 @@ EvidenceItem make_ir_evidence(const CertifiablePipeline& pipeline) {
                       os.str()};
 }
 
+EvidenceItem make_kernel_backend_evidence(const CertifiablePipeline& pipeline) {
+  std::ostringstream os;
+  os << "kernel backend selection is fixed once at deploy time (requested "
+        "mode ->\n"
+     << "  resolve_kernel_mode -> CPU probe + SX_KERNEL_ISA override); the "
+        "serving\n"
+     << "  hot path dispatches through pointers bound at plan construction "
+        "and is\n"
+     << "  branch-free. The resolved record below is what actually ran — "
+        "under the\n"
+     << "  SX_KERNEL_REFERENCE escape hatch it differs from the requested "
+        "mode.\n";
+  const dl::KernelPlan* fp = pipeline.channel() != nullptr
+                                 ? pipeline.channel()->float_kernel_plan()
+                                 : nullptr;
+  const dl::QuantKernelPlan* qp =
+      pipeline.quant_channel() != nullptr
+          ? pipeline.quant_channel()->kernel_plan()
+          : nullptr;
+  // The marker pair lets tools/sxmetrics --kernel recover the resolved
+  // backend from a serialized report without parsing the prose.
+  os << "# BEGIN SX_KERNEL_BACKEND\n";
+  os << pipeline.kernel_backend() << '\n';
+  if (fp != nullptr) {
+    os << "plan=float mode=" << dl::kernel_mode_name(fp->mode());
+    if (fp->mode() == dl::KernelMode::kWide)
+      os << " isa="
+         << tensor::kernels::wide_isa_name(fp->isa_selection().isa);
+    os << '\n';
+  }
+  if (qp != nullptr) {
+    os << "plan=int8 mode=" << dl::kernel_mode_name(qp->mode());
+    if (qp->mode() == dl::KernelMode::kWide)
+      os << " isa="
+         << tensor::kernels::wide_isa_name(qp->isa_selection().isa);
+    os << '\n';
+  }
+  os << "# END SX_KERNEL_BACKEND\n";
+  return EvidenceItem{"Resolved kernel backend (CPU-probe selection)",
+                      os.str()};
+}
+
 EvidenceItem make_scenario_evidence(std::string_view summary,
                                     std::string_view scenario_json) {
   std::ostringstream os;

@@ -79,6 +79,16 @@ EvidenceItem make_static_verification_evidence(
 /// evidence list.
 EvidenceItem make_ir_evidence(const CertifiablePipeline& pipeline);
 
+/// Evidence for the resolved kernel backend: the requested vs. deployed
+/// kernel mode (post resolve_kernel_mode, so SX_KERNEL_REFERENCE cannot
+/// misattribute evidence) plus — for kWide — the deploy-time CPU-probe /
+/// SX_KERNEL_ISA selection audit and per-plan ISA lines. The machine-
+/// readable record sits between `# BEGIN SX_KERNEL_BACKEND` /
+/// `# END SX_KERNEL_BACKEND` markers so tools/sxmetrics --kernel can
+/// recover it from a serialized report. Attach to
+/// make_certification_report's evidence list.
+EvidenceItem make_kernel_backend_evidence(const CertifiablePipeline& pipeline);
+
 /// Evidence wrapping a scenario-sweep report (see scenario/scenario.hpp):
 /// a human-readable summary followed by the machine-checkable JSON between
 /// `# BEGIN SX_SCENARIO_JSON` / `# END SX_SCENARIO_JSON` markers, so

@@ -156,21 +156,16 @@ Status StaticEngine::run_planned(tensor::ConstTensorView input,
     bool pre_ok = true;
     switch (s.kind) {
       case KernelStep::Kind::kDense:
-        pre_ok = s.panel != nullptr
-                     ? k::matvec_packed(s.panel, s.bias, s.rows, s.cols, in,
-                                        out, s.epilogue, pre_check)
-                     : k::matvec_blocked(s.weights, s.bias, s.rows, s.cols,
-                                         in, out, s.epilogue, pre_check);
+        // Entry point resolved once at plan construction (mode + probed
+        // ISA) — a branch-free indirect call on the hot path.
+        pre_ok = s.dense_fn(s.dense_arg, s.bias, s.rows, s.cols, in, out,
+                            s.epilogue, pre_check);
         break;
       case KernelStep::Kind::kConv2d: {
         float* scratch = base + s.scratch_offset;
         k::im2col_gather(in, s.conv.in_idx, s.scratch, scratch);
-        pre_ok = s.panel != nullptr
-                     ? k::conv2d_im2col_packed(s.panel, s.weights, s.bias,
-                                               s.conv, scratch, out,
-                                               s.epilogue, pre_check)
-                     : k::conv2d_im2col(s.weights, s.bias, s.conv, scratch,
-                                        out, s.epilogue, pre_check);
+        pre_ok = s.conv_fn(s.panel, s.weights, s.bias, s.conv, scratch, out,
+                           s.epilogue, pre_check);
         break;
       }
       case KernelStep::Kind::kReference: {

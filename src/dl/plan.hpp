@@ -41,9 +41,18 @@
 // engine — is observed exactly as the reference path observes it. kPacked
 // snapshots Dense weights into row-blocked panels and full
 // kConvLanes-channel groups of Conv2d weights into tap-major lane panels
-// for unit-stride access; callers that mutate weights afterwards must
-// call repack(). The out_c % kConvLanes tail channels of a packed conv,
+// for unit-stride access; kWide does the same at its wider geometry
+// (kWideRowBlock rows, kWideConvLanes channels). Callers that mutate
+// weights afterwards must call repack(). The packed-conv tail channels,
 // and all conv weights in kBlocked mode, are always read live.
+//
+// kWide additionally selects, once, at construction, which SIMD variant
+// of the wide kernels runs (platform::CpuProbe + SX_KERNEL_ISA override);
+// the decision is exposed via isa_selection() for the audit trail, and
+// every step's kernel entry point is resolved to a function pointer here
+// so the engine hot path stays branch-free. All wide variants compute one
+// canonical accumulation tree, so the selection affects timing only —
+// outputs stay bitwise identical across machines, with or without the ISA.
 //
 // One plan is immutable after construction (repack() aside) and safe to
 // share read-only across BatchRunner workers; the im2col scratch slots
@@ -58,6 +67,7 @@
 #include "dl/model.hpp"
 #include "ir/passes.hpp"
 #include "ir/program.hpp"
+#include "platform/cpu_probe.hpp"
 #include "tensor/arena.hpp"
 #include "tensor/kernels.hpp"
 
@@ -70,7 +80,16 @@ enum class KernelMode : std::uint8_t {
   kReference,  ///< original per-layer reference loops, no plan
   kBlocked,    ///< planned kernels over live layer parameters
   kPacked,     ///< kBlocked + Dense weights snapshotted into aligned panels
+  kWide,       ///< wide-SIMD panels (8/16-lane float, 16/32-byte int8) with
+               ///< audited CPU-probe ISA selection; bitwise identical to
+               ///< every other mode (fixed accumulation tree + scalar twin)
 };
+
+/// Every concrete (non-kAuto) kernel mode, kReference first. The single
+/// source of truth for exhaustive mode enumeration — the scenario identity
+/// matrix and differential tests derive their execution axes from this so
+/// a new mode can never silently miss them.
+std::span<const KernelMode> all_kernel_modes() noexcept;
 
 /// "No pinned tap": the fusion pass may fuse every legal activation.
 inline constexpr std::size_t kNoPinnedTap = ~std::size_t{0};
@@ -114,8 +133,17 @@ struct KernelStep {
   // kDense / kConv2d
   std::size_t rows = 0, cols = 0;  ///< Dense dims
   const float* weights = nullptr;  ///< live natural-layout weights
-  const float* panel = nullptr;    ///< packed panel (kPacked), else null
+  const float* panel = nullptr;    ///< packed panel (kPacked/kWide), else null
   const float* bias = nullptr;
+
+  /// Kernel entry points resolved once at plan construction (mode + probed
+  /// ISA), so the engine hot path is a branch-free indirect call.
+  /// dense_arg is whatever the dense kernel walks: the live weights
+  /// (kBlocked) or the panel (kPacked/kWide). Conv kernels always receive
+  /// both the panel and the live weights (tail channels read live).
+  tensor::kernels::DenseKernelFn dense_fn = nullptr;
+  const float* dense_arg = nullptr;
+  tensor::kernels::ConvKernelFn conv_fn = nullptr;
 
   // kConv2d
   tensor::kernels::ConvTables conv{};  ///< tables owned by the plan
@@ -126,10 +154,11 @@ struct KernelStep {
 /// except repack(); shareable read-only across workers.
 class KernelPlan {
  public:
-  /// `mode` must be kBlocked or kPacked (resolve kAuto first); the model
-  /// must outlive the plan. `pin_tap_layer` keeps the activation feeding
-  /// that layer materialized (fusion across it is blocked) so a
-  /// supervisor can tap it.
+  /// `mode` must be kBlocked, kPacked, or kWide (resolve kAuto first); the
+  /// model must outlive the plan. `pin_tap_layer` keeps the activation
+  /// feeding that layer materialized (fusion across it is blocked) so a
+  /// supervisor can tap it. In kWide mode the CPU probe and the
+  /// SX_KERNEL_ISA override are consulted here, exactly once.
   KernelPlan(const Model& model, KernelMode mode,
              std::size_t pin_tap_layer = kNoPinnedTap);
 
@@ -180,9 +209,17 @@ class KernelPlan {
   std::size_t removed_layers() const noexcept { return removed_; }
 
   /// Re-snapshots Dense and Conv2d weights into the packed panels
-  /// (kPacked only; no-op in kBlocked mode). For callers that mutate
-  /// weights in place after deployment.
+  /// (kPacked/kWide only; no-op in kBlocked mode). For callers that
+  /// mutate weights in place after deployment.
   void repack() noexcept;
+
+  /// The deploy-time CPU probe and ISA decision (kWide only; defaults —
+  /// scalar, no probe facts — in every other mode). Recorded by the
+  /// pipeline audit log and the SX_KERNEL_BACKEND report block.
+  const platform::CpuProbe& cpu_probe() const noexcept { return probe_; }
+  const platform::WideIsaSelection& isa_selection() const noexcept {
+    return isa_sel_;
+  }
 
   /// One-line evidence summary for core/report.
   std::string summary() const;
@@ -190,6 +227,8 @@ class KernelPlan {
  private:
   const Model* model_;
   KernelMode mode_;
+  platform::CpuProbe probe_{};
+  platform::WideIsaSelection isa_sel_{};
   std::size_t pin_tap_layer_ = kNoPinnedTap;
   ir::Program program_;
   ir::ArenaLayout layout_;

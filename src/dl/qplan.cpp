@@ -1,5 +1,6 @@
 #include "dl/qplan.hpp"
 
+#include <cstdlib>
 #include <sstream>
 
 #include "dl/lower.hpp"
@@ -32,6 +33,11 @@ k::Conv2dGeom qconv_geom(const QuantizedModel& m, std::size_t i,
 
 QuantKernelPlan::QuantKernelPlan(const QuantizedModel& model, KernelMode mode)
     : model_(&model), mode_(mode), program_(lower(model)) {
+  if (mode_ == KernelMode::kWide) {
+    probe_ = platform::probe_cpu();
+    isa_sel_ =
+        platform::select_wide_isa(probe_, std::getenv("SX_KERNEL_ISA"));
+  }
   // Static-analysis pass pipeline over the lowered IR. The int8 path only
   // ever fuses ReLU: quantize() admits no other activation, and int8 ReLU
   // after the requantize clamp is exact.
@@ -56,10 +62,15 @@ QuantKernelPlan::QuantKernelPlan(const QuantizedModel& model, KernelMode mode)
       scratch_bytes_ = scratch_bytes_ > entries ? scratch_bytes_ : entries;
       if (mode_ == KernelMode::kPacked)
         panel_bytes_ += qk::qconv_panel_bytes(g.out_c, g.patch());
-    } else if (mode_ == KernelMode::kPacked &&
-               op.kind == ir::OpKind::kDense) {
+      else if (mode_ == KernelMode::kWide)
+        panel_bytes_ += qk::qwide_conv_panel_bytes(g.out_c, g.patch());
+    } else if (op.kind == ir::OpKind::kDense &&
+               (mode_ == KernelMode::kPacked ||
+                mode_ == KernelMode::kWide)) {
       const QuantizedModel::QLayerView v = model.layer_view(op.layer);
-      panel_bytes_ += qk::qdense_panel_bytes(v.out_dim, v.in_dim);
+      panel_bytes_ += mode_ == KernelMode::kPacked
+                          ? qk::qdense_panel_bytes(v.out_dim, v.in_dim)
+                          : qk::qwide_dense_panel_bytes(v.out_dim, v.in_dim);
     }
   }
 
@@ -112,7 +123,18 @@ QuantKernelPlan::QuantKernelPlan(const QuantizedModel& model, KernelMode mode)
         qk::pack_qdense_panel(s.weights, s.rows, s.cols, panel);
         s.panel = panel;
         pb += qk::qdense_panel_bytes(s.rows, s.cols);
+      } else if (mode_ == KernelMode::kWide) {
+        std::int8_t* panel = panels_.get() + pb;
+        qk::pack_qwide_dense_panel(s.weights, s.rows, s.cols, panel);
+        s.panel = panel;
+        pb += qk::qwide_dense_panel_bytes(s.rows, s.cols);
       }
+      // Branch-free hot path: the kernel entry point is decided here.
+      s.dense_fn = mode_ == KernelMode::kBlocked ? &qk::qmatvec_blocked
+                   : mode_ == KernelMode::kPacked
+                       ? &qk::qmatvec_packed
+                       : qk::wide_qdense_kernel(isa_sel_.isa);
+      s.dense_arg = s.panel != nullptr ? s.panel : s.weights;
       ++planned_dense_;
     } else if (op.kind == ir::OpKind::kConv2d) {
       const k::Conv2dGeom g = qconv_geom(model, i, v);
@@ -145,7 +167,21 @@ QuantKernelPlan::QuantKernelPlan(const QuantizedModel& model, KernelMode mode)
           s.panel = panel;
           pb += pbl;
         }
+      } else if (mode_ == KernelMode::kWide) {
+        const std::size_t pbl =
+            qk::qwide_conv_panel_bytes(g.out_c, g.patch());
+        if (pbl != 0) {
+          std::int8_t* panel = panels_.get() + pb;
+          qk::pack_qwide_conv_panel(s.weights, g.out_c, g.patch(), panel);
+          s.panel = panel;
+          pb += pbl;
+        }
       }
+      // A conv too narrow for its lane panel runs the live-weight kernel.
+      s.conv_fn = s.panel == nullptr ? &qk::qconv2d_im2col_live
+                  : mode_ == KernelMode::kPacked
+                      ? &qk::qconv2d_im2col_packed
+                      : qk::wide_qconv_kernel(isa_sel_.isa);
       ++planned_conv_;
     } else {
       s.kind = QuantKernelStep::Kind::kReference;
@@ -155,16 +191,26 @@ QuantKernelPlan::QuantKernelPlan(const QuantizedModel& model, KernelMode mode)
 }
 
 void QuantKernelPlan::repack() noexcept {
-  if (mode_ != KernelMode::kPacked) return;
+  if (mode_ != KernelMode::kPacked && mode_ != KernelMode::kWide) return;
+  const bool wide = mode_ == KernelMode::kWide;
   for (std::size_t i = 0; i < step_count_; ++i) {
     QuantKernelStep& s = steps_[i];
     if (s.panel == nullptr) continue;
-    if (s.kind == QuantKernelStep::Kind::kDense)
-      qk::pack_qdense_panel(s.weights, s.rows, s.cols,
-                            const_cast<std::int8_t*>(s.panel));
-    else if (s.kind == QuantKernelStep::Kind::kConv2d)
-      qk::pack_qconv_panel(s.weights, s.conv.out_c, s.conv.patch,
-                           const_cast<std::int8_t*>(s.panel));
+    if (s.kind == QuantKernelStep::Kind::kDense) {
+      if (wide)
+        qk::pack_qwide_dense_panel(s.weights, s.rows, s.cols,
+                                   const_cast<std::int8_t*>(s.panel));
+      else
+        qk::pack_qdense_panel(s.weights, s.rows, s.cols,
+                              const_cast<std::int8_t*>(s.panel));
+    } else if (s.kind == QuantKernelStep::Kind::kConv2d) {
+      if (wide)
+        qk::pack_qwide_conv_panel(s.weights, s.conv.out_c, s.conv.patch,
+                                  const_cast<std::int8_t*>(s.panel));
+      else
+        qk::pack_qconv_panel(s.weights, s.conv.out_c, s.conv.patch,
+                             const_cast<std::int8_t*>(s.panel));
+    }
   }
 }
 
@@ -178,6 +224,10 @@ std::string QuantKernelPlan::summary() const {
      << " bytes, im2col entries=" << table_entries_
      << ", scratch=" << scratch_bytes_ << " bytes, panels=" << panel_bytes_
      << " bytes";
+  if (mode_ == KernelMode::kWide) {
+    os << ", isa=" << k::wide_isa_name(isa_sel_.isa);
+    if (isa_sel_.refused) os << " (override refused)";
+  }
   return os.str();
 }
 
@@ -311,19 +361,14 @@ Status QuantEngine::run_planned(std::span<float> output) noexcept {
     std::uint64_t* sat = &sat_counts_[s.first_layer];
     switch (s.kind) {
       case QuantKernelStep::Kind::kDense:
-        if (s.panel != nullptr)
-          qk::qmatvec_packed(s.panel, s.rows, s.cols, in, s.rq, dst, sat);
-        else
-          qk::qmatvec_blocked(s.weights, s.rows, s.cols, in, s.rq, dst, sat);
+        // Entry point resolved once at plan construction (mode + probed
+        // ISA) — a branch-free indirect call on the hot path.
+        s.dense_fn(s.dense_arg, s.rows, s.cols, in, s.rq, dst, sat);
         break;
       case QuantKernelStep::Kind::kConv2d: {
         std::int8_t* scratch = base + s.scratch_offset;
         qk::im2col_gather_i8(in, s.conv.in_idx, s.scratch, scratch);
-        if (s.panel != nullptr)
-          qk::qconv2d_im2col_packed(s.panel, s.weights, s.conv, scratch,
-                                    s.rq, dst, sat);
-        else
-          qk::qconv2d_im2col(s.weights, s.conv, scratch, s.rq, dst, sat);
+        s.conv_fn(s.panel, s.weights, s.conv, scratch, s.rq, dst, sat);
         break;
       }
       case QuantKernelStep::Kind::kReference: {

@@ -33,10 +33,14 @@
 //
 // Staleness contract: kBlocked (the kAuto default) reads the quantized
 // weights live on every run. kPacked snapshots Dense rows and full
-// kQConvLanes-channel conv groups into panels; callers that mutate the
-// quantized weights afterwards must call repack(). KernelMode and the
-// SX_KERNEL_REFERENCE escape hatch are shared with the float plan
-// (dl/plan.hpp).
+// kQConvLanes-channel conv groups into panels; kWide does the same at the
+// widened geometry (kQWideRowBlock rows, kQWideConvLanes channels) and
+// additionally resolves, once, which SIMD variant of the wide int8
+// kernels runs (platform::CpuProbe + SX_KERNEL_ISA — see dl/plan.hpp;
+// the selection affects timing only, never output or the overflow
+// envelope). Callers that mutate the quantized weights afterwards must
+// call repack(). KernelMode and the SX_KERNEL_REFERENCE escape hatch are
+// shared with the float plan (dl/plan.hpp).
 //
 // One plan is immutable after construction (repack() aside) and safe to
 // share read-only across BatchRunner workers; each worker's arena slots
@@ -77,8 +81,16 @@ struct QuantKernelStep {
   // kDense / kConv2d
   std::size_t rows = 0, cols = 0;       ///< Dense dims
   const std::int8_t* weights = nullptr; ///< live natural-layout weights
-  const std::int8_t* panel = nullptr;   ///< packed panel (kPacked), or null
+  const std::int8_t* panel = nullptr;   ///< packed panel (kPacked/kWide)
   tensor::qkernels::Requant rq{};       ///< fused requantize(+ReLU) params
+
+  /// Kernel entry points resolved once at plan construction (mode + probed
+  /// ISA) — the engine hot path is a branch-free indirect call. dense_arg
+  /// is the live weights (kBlocked) or the panel (kPacked/kWide); conv
+  /// kernels always receive both (tail channels read live).
+  tensor::qkernels::QDenseKernelFn dense_fn = nullptr;
+  const std::int8_t* dense_arg = nullptr;
+  tensor::qkernels::QConvKernelFn conv_fn = nullptr;
 
   // kConv2d
   tensor::kernels::ConvTables conv{};  ///< tables owned by the plan
@@ -89,8 +101,9 @@ struct QuantKernelStep {
 /// construction except repack(); shareable read-only across workers.
 class QuantKernelPlan {
  public:
-  /// `mode` must be kBlocked or kPacked (resolve kAuto first); the model
-  /// must outlive the plan.
+  /// `mode` must be kBlocked, kPacked, or kWide (resolve kAuto first); the
+  /// model must outlive the plan. kWide consults the CPU probe and the
+  /// SX_KERNEL_ISA override here, exactly once.
   QuantKernelPlan(const QuantizedModel& model, KernelMode mode);
 
   QuantKernelPlan(const QuantKernelPlan&) = delete;
@@ -133,9 +146,16 @@ class QuantKernelPlan {
   /// Layers eliminated by the dce pass (bit identities).
   std::size_t removed_layers() const noexcept { return removed_; }
 
-  /// Re-snapshots the quantized weights into the packed panels (kPacked
-  /// only; no-op in kBlocked mode).
+  /// Re-snapshots the quantized weights into the packed panels
+  /// (kPacked/kWide only; no-op in kBlocked mode).
   void repack() noexcept;
+
+  /// The deploy-time CPU probe and ISA decision (kWide only; defaults in
+  /// every other mode). Mirrors dl::KernelPlan.
+  const platform::CpuProbe& cpu_probe() const noexcept { return probe_; }
+  const platform::WideIsaSelection& isa_selection() const noexcept {
+    return isa_sel_;
+  }
 
   /// One-line evidence summary for core/report.
   std::string summary() const;
@@ -143,6 +163,8 @@ class QuantKernelPlan {
  private:
   const QuantizedModel* model_;
   KernelMode mode_;
+  platform::CpuProbe probe_{};
+  platform::WideIsaSelection isa_sel_{};
   ir::Program program_;
   ir::ArenaLayout layout_;
   std::vector<ir::PassEvidence> passes_;

@@ -1,0 +1,65 @@
+#include "platform/cpu_probe.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace sx::platform {
+
+namespace k = tensor::kernels;
+
+CpuProbe probe_cpu() noexcept {
+  CpuProbe p;
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  p.avx2 = __builtin_cpu_supports("avx2") != 0;
+  p.avx512f = __builtin_cpu_supports("avx512f") != 0;
+#endif
+  return p;
+}
+
+WideIsaSelection select_wide_isa(const CpuProbe& probe,
+                                 const char* env) noexcept {
+  WideIsaSelection sel;
+  if (env == nullptr || env[0] == '\0') {
+    // No override: widest confirmed ISA.
+    sel.isa = probe.avx512f ? k::WideIsa::kAvx512
+              : probe.avx2 ? k::WideIsa::kAvx2
+                           : k::WideIsa::kScalar;
+    return sel;
+  }
+  sel.env_present = true;
+  std::strncpy(sel.requested, env, sizeof(sel.requested) - 1);
+  if (std::strcmp(env, "scalar") == 0) {
+    sel.isa = k::WideIsa::kScalar;
+  } else if (std::strcmp(env, "avx2") == 0 && probe.avx2) {
+    sel.isa = k::WideIsa::kAvx2;
+  } else if (std::strcmp(env, "avx512") == 0 && probe.avx512f) {
+    sel.isa = k::WideIsa::kAvx512;
+  } else {
+    // Unknown token or unconfirmed feature: refuse, run the portable twin.
+    sel.refused = true;
+    sel.isa = k::WideIsa::kScalar;
+  }
+  return sel;
+}
+
+WideIsaSelection select_wide_isa() noexcept {
+  return select_wide_isa(probe_cpu(), std::getenv("SX_KERNEL_ISA"));
+}
+
+std::string wide_isa_audit(const CpuProbe& probe,
+                           const WideIsaSelection& sel) {
+  std::string s = "probe avx2=";
+  s += probe.avx2 ? '1' : '0';
+  s += " avx512f=";
+  s += probe.avx512f ? '1' : '0';
+  s += " env=";
+  s += sel.env_present ? sel.requested : "(unset)";
+  s += " selected=";
+  s += k::wide_isa_name(sel.isa);
+  s += " refused=";
+  s += sel.refused ? '1' : '0';
+  return s;
+}
+
+}  // namespace sx::platform

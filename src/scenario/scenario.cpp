@@ -182,16 +182,16 @@ dl::Dataset apply_perturbation(const dl::Dataset& ds, const Perturbation& p,
 
 std::vector<ExecConfig> default_exec_grid() {
   std::vector<ExecConfig> g;
-  constexpr dl::KernelMode kModes[] = {dl::KernelMode::kReference,
-                                       dl::KernelMode::kBlocked,
-                                       dl::KernelMode::kPacked};
   constexpr core::BackendKind kBackends[] = {core::BackendKind::kFloat32,
                                              core::BackendKind::kInt8};
   constexpr std::size_t kWorkers[] = {1, 4};
   // Backend-major so the reference-mode/workers=1 anchor of each backend
-  // comes first; the sweep compares every later sibling against it.
+  // comes first; the sweep compares every later sibling against it. The
+  // mode axis comes from dl::all_kernel_modes() (kReference first), the
+  // single source of truth — a newly added KernelMode lands in the
+  // identity matrix automatically instead of silently missing it.
   for (const auto backend : kBackends)
-    for (const auto mode : kModes)
+    for (const auto mode : dl::all_kernel_modes())
       for (const auto workers : kWorkers)
         g.push_back(ExecConfig{backend, mode, workers});
   return g;

@@ -1,8 +1,12 @@
 #include "tensor/kernels.hpp"
 
+#include "tensor/kernels_detail.hpp"
+
 namespace sx::tensor::kernels {
 
 namespace {
+
+using detail::finish;
 
 /// Four-wide GCC/Clang vector lanes for the packed panels. Lane i only
 /// ever folds into accumulator lane i — vertical mul/add, no horizontal
@@ -16,18 +20,6 @@ inline v4sf v4_load(const float* p) noexcept {
   v4sf v;
   __builtin_memcpy(&v, p, sizeof v);
   return v;
-}
-
-/// Screens a finished pre-activation accumulator (same predicate as
-/// tensor::has_non_finite), applies the epilogue, stores. Returns the
-/// updated ok flag rather than early-exiting: on a detected fault the
-/// engine discards the whole buffer, and finishing the sweep keeps the
-/// kernel's timing data-independent.
-inline bool finish(float acc, float* out, Epilogue ep, bool check,
-                   bool ok) noexcept {
-  if (check && !std::isfinite(acc)) ok = false;
-  *out = apply_epilogue(acc, ep);
-  return ok;
 }
 
 }  // namespace
@@ -244,76 +236,22 @@ void im2col_gather(const float* in, const std::uint32_t* in_idx,
   for (std::size_t e = 0; e < entries; ++e) col[e] = in[in_idx[e]];
 }
 
-namespace {
-
-/// One kOcBlock sweep over every output pixel, sharing the gathered
-/// column. Interior pixels (full patch, w_ofs is the identity) take the
-/// contiguous-weight fast path; clipped border pixels indirect through
-/// w_ofs. Both walk the taps in table order == reference order.
-template <std::size_t kOc>
-inline bool conv_oc_sweep(const float* wt, const float* bias,
-                          const ConvTables& t, const float* col, float* out,
-                          std::size_t oc0, Epilogue ep, bool check,
-                          bool ok) noexcept {
-  const float* w[kOc];
-  for (std::size_t i = 0; i < kOc; ++i) w[i] = wt + (oc0 + i) * t.patch;
-  float* o[kOc];
-  for (std::size_t i = 0; i < kOc; ++i) o[i] = out + (oc0 + i) * t.opix;
-  for (std::size_t p = 0; p < t.opix; ++p) {
-    const std::size_t base = t.pix_off[p];
-    const std::size_t taps = t.pix_off[p + 1] - base;
-    float acc[kOc];
-    for (std::size_t i = 0; i < kOc; ++i) acc[i] = bias[oc0 + i];
-    const float* c = col + base;
-    if (taps == t.patch) {
-      // 4x tap unroll on the contiguous fast path (interior pixels are the
-      // overwhelming majority); each output channel's taps stay in strict
-      // ascending order, so accumulation order is untouched.
-      std::size_t j = 0;
-      for (; j + 4 <= taps; j += 4) {
-        for (std::size_t u = 0; u < 4; ++u) {
-          const float v = c[j + u];
-          for (std::size_t i = 0; i < kOc; ++i) acc[i] += w[i][j + u] * v;
-        }
-      }
-      for (; j < taps; ++j) {
-        const float v = c[j];
-        for (std::size_t i = 0; i < kOc; ++i) acc[i] += w[i][j] * v;
-      }
-    } else {
-      const std::uint32_t* wo = t.w_ofs + base;
-      for (std::size_t j = 0; j < taps; ++j) {
-        const float v = c[j];
-        const std::size_t k = wo[j];
-        for (std::size_t i = 0; i < kOc; ++i) acc[i] += w[i][k] * v;
-      }
-    }
-    for (std::size_t i = 0; i < kOc; ++i)
-      ok = finish(acc[i], o[i] + p, ep, check, ok);
-  }
-  return ok;
-}
-
-}  // namespace
-
 bool conv2d_im2col(const float* wt, const float* bias, const ConvTables& t,
                    const float* col, float* out, Epilogue ep,
                    bool check) noexcept {
   bool ok = true;
   std::size_t oc = 0;
   for (; oc + kOcBlock <= t.out_c; oc += kOcBlock)
-    ok = conv_oc_sweep<kOcBlock>(wt, bias, t, col, out, oc, ep, check, ok);
-  switch (t.out_c - oc) {
-    case 1: ok = conv_oc_sweep<1>(wt, bias, t, col, out, oc, ep, check, ok); break;
-    case 2: ok = conv_oc_sweep<2>(wt, bias, t, col, out, oc, ep, check, ok); break;
-    case 3: ok = conv_oc_sweep<3>(wt, bias, t, col, out, oc, ep, check, ok); break;
-    case 4: ok = conv_oc_sweep<4>(wt, bias, t, col, out, oc, ep, check, ok); break;
-    case 5: ok = conv_oc_sweep<5>(wt, bias, t, col, out, oc, ep, check, ok); break;
-    case 6: ok = conv_oc_sweep<6>(wt, bias, t, col, out, oc, ep, check, ok); break;
-    case 7: ok = conv_oc_sweep<7>(wt, bias, t, col, out, oc, ep, check, ok); break;
-    default: break;
-  }
-  return ok;
+    ok = detail::conv_oc_sweep<kOcBlock>(wt, bias, t, col, out, oc, ep,
+                                         check, ok);
+  return detail::conv_tail_sweep(wt, bias, t, col, out, oc, ep, check, ok);
+}
+
+bool conv2d_im2col_live(const float* /*panel*/, const float* wt,
+                        const float* bias, const ConvTables& t,
+                        const float* col, float* out, Epilogue ep,
+                        bool check) noexcept {
+  return conv2d_im2col(wt, bias, t, col, out, ep, check);
 }
 
 std::size_t conv_panel_floats(std::size_t out_c,
@@ -378,13 +316,7 @@ bool conv2d_im2col_packed(const float* panel, const float* wt,
   // Tail channels (out_c % kConvLanes) read the live weights through the
   // scalar sweeps, exactly like the unpacked path.
   const std::size_t oc = groups * kConvLanes;
-  switch (t.out_c - oc) {
-    case 1: ok = conv_oc_sweep<1>(wt, bias, t, col, out, oc, ep, check, ok); break;
-    case 2: ok = conv_oc_sweep<2>(wt, bias, t, col, out, oc, ep, check, ok); break;
-    case 3: ok = conv_oc_sweep<3>(wt, bias, t, col, out, oc, ep, check, ok); break;
-    default: break;
-  }
-  return ok;
+  return detail::conv_tail_sweep(wt, bias, t, col, out, oc, ep, check, ok);
 }
 
 }  // namespace sx::tensor::kernels

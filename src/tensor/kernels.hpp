@@ -184,4 +184,115 @@ bool conv2d_im2col_packed(const float* panel, const float* wt,
                           const float* col, float* out, Epilogue ep,
                           bool check) noexcept;
 
+// ------------------------------------------------- wide (kWide) backends
+
+/// Microkernel lane family of the kWide backend, selected once at deploy
+/// time by platform::select_wide_isa (CPU probe + SX_KERNEL_ISA override)
+/// and recorded as audit evidence. Every family computes the *identical*
+/// fixed accumulation tree — one serial ascending-column chain per output,
+/// vectorized only across independent outputs — so outputs are bitwise
+/// identical across families (and to every other KernelMode). kScalar is
+/// the portable twin that runs on any machine.
+enum class WideIsa : std::uint8_t {
+  kScalar,  ///< portable scalar twin of the wide accumulation tree
+  kAvx2,    ///< 8-lane 256-bit float / 32-byte int8 microkernels
+  kAvx512,  ///< 16-lane 512-bit float / 64-byte int8 microkernels
+};
+
+const char* wide_isa_name(WideIsa isa) noexcept;
+
+/// Output rows (Dense) per wide sweep: one 16-lane (512-bit-class) group,
+/// executed as 2 x 8 lanes on AVX2 and 16 scalar chains by the twin.
+inline constexpr std::size_t kWideRowBlock = 16;
+
+/// Output channels (Conv2d GEMM) per wide lane group. Eight matches the
+/// deployed perception CNNs' channel counts, so their convs hit the
+/// full-group path; the AVX-512-class variant keeps 16 channels in flight
+/// by pairing adjacent groups.
+inline constexpr std::size_t kWideConvLanes = 8;
+
+/// Floats needed for the wide row-blocked panel of a rows x cols Dense
+/// weight matrix (full kWideRowBlock blocks plus an interleaved tail,
+/// every block 64-byte aligned).
+std::size_t wide_dense_panel_floats(std::size_t rows,
+                                    std::size_t cols) noexcept;
+
+/// Repacks the row-major weight matrix into the wide panel layout: full
+/// blocks of kWideRowBlock rows interleaved column-major-within-block
+/// (panel[c * 16 + r]), the tail block interleaved at its own row count.
+void pack_wide_dense_panel(const float* w, std::size_t rows,
+                           std::size_t cols, float* panel) noexcept;
+
+/// matvec over a wide panel — the portable scalar twin and the two SIMD
+/// families. Same signature and check/epilogue contract as matvec_packed;
+/// all three produce bitwise-identical outputs (the SIMD variants fall
+/// back to the twin on non-x86 builds).
+bool matvec_wide_scalar(const float* panel, const float* bias,
+                        std::size_t rows, std::size_t cols, const float* x,
+                        float* out, Epilogue ep, bool check) noexcept;
+bool matvec_wide_avx2(const float* panel, const float* bias,
+                      std::size_t rows, std::size_t cols, const float* x,
+                      float* out, Epilogue ep, bool check) noexcept;
+bool matvec_wide_avx512(const float* panel, const float* bias,
+                        std::size_t rows, std::size_t cols, const float* x,
+                        float* out, Epilogue ep, bool check) noexcept;
+
+/// Floats needed for the wide tap-major lane panel of an out_c x patch
+/// Conv2d weight tensor: full kWideConvLanes-channel groups only; the
+/// tail channels keep reading the live weights.
+std::size_t wide_conv_panel_floats(std::size_t out_c,
+                                   std::size_t patch) noexcept;
+
+/// Repacks the natural out_c x patch weight layout into wide lane groups:
+/// group g, tap j holds weights of channels g*kWideConvLanes .. +7 at
+/// panel[g * align_up(patch * kWideConvLanes) + j * kWideConvLanes + i].
+void pack_wide_conv_panel(const float* wt, std::size_t out_c,
+                          std::size_t patch, float* panel) noexcept;
+
+/// conv2d_im2col over a wide lane panel (same tail-channel live-weight
+/// contract as conv2d_im2col_packed). The avx512 variant pairs adjacent
+/// groups to keep 16 output channels in flight per tap.
+bool conv2d_im2col_wide_scalar(const float* panel, const float* wt,
+                               const float* bias, const ConvTables& t,
+                               const float* col, float* out, Epilogue ep,
+                               bool check) noexcept;
+bool conv2d_im2col_wide_avx2(const float* panel, const float* wt,
+                             const float* bias, const ConvTables& t,
+                             const float* col, float* out, Epilogue ep,
+                             bool check) noexcept;
+bool conv2d_im2col_wide_avx512(const float* panel, const float* wt,
+                               const float* bias, const ConvTables& t,
+                               const float* col, float* out, Epilogue ep,
+                               bool check) noexcept;
+
+// ------------------------------------------- hot-path dispatch pointers
+
+/// Uniform Dense kernel shape: matvec_blocked (live weights),
+/// matvec_packed and the matvec_wide_* family all match it, so a plan can
+/// resolve one pointer per step at deploy time and the hot path stays
+/// branch-free.
+using DenseKernelFn = bool (*)(const float* w_or_panel, const float* bias,
+                               std::size_t rows, std::size_t cols,
+                               const float* x, float* out, Epilogue ep,
+                               bool check) noexcept;
+
+/// Uniform Conv2d kernel shape (panel variants use `panel`, the live
+/// adapter ignores it).
+using ConvKernelFn = bool (*)(const float* panel, const float* wt,
+                              const float* bias, const ConvTables& t,
+                              const float* col, float* out, Epilogue ep,
+                              bool check) noexcept;
+
+/// conv2d_im2col behind the uniform ConvKernelFn shape (ignores `panel`;
+/// reads the live weights).
+bool conv2d_im2col_live(const float* panel, const float* wt,
+                        const float* bias, const ConvTables& t,
+                        const float* col, float* out, Epilogue ep,
+                        bool check) noexcept;
+
+/// The wide Dense / Conv2d microkernel for one lane family — resolved
+/// once at plan construction, never on the hot path.
+DenseKernelFn wide_dense_kernel(WideIsa isa) noexcept;
+ConvKernelFn wide_conv_kernel(WideIsa isa) noexcept;
+
 }  // namespace sx::tensor::kernels

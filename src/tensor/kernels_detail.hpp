@@ -1,0 +1,93 @@
+// Internal helpers shared by the float kernel translation units
+// (kernels.cpp and kernels_wide.cpp). Everything here preserves the
+// reference per-output accumulation order — see the header comment of
+// tensor/kernels.hpp for the contract. Not part of the public API.
+#pragma once
+
+#include <cmath>
+
+#include "tensor/kernels.hpp"
+
+namespace sx::tensor::kernels::detail {
+
+/// Screens a finished pre-activation accumulator (same predicate as
+/// tensor::has_non_finite), applies the epilogue, stores. Returns the
+/// updated ok flag rather than early-exiting: on a detected fault the
+/// engine discards the whole buffer, and finishing the sweep keeps the
+/// kernel's timing data-independent.
+inline bool finish(float acc, float* out, Epilogue ep, bool check,
+                   bool ok) noexcept {
+  if (check && !std::isfinite(acc)) ok = false;
+  *out = apply_epilogue(acc, ep);
+  return ok;
+}
+
+/// One kOc sweep over every output pixel, sharing the gathered column.
+/// Interior pixels (full patch, w_ofs is the identity) take the
+/// contiguous-weight fast path; clipped border pixels indirect through
+/// w_ofs. Both walk the taps in table order == reference order. Used for
+/// the live-weight conv kernel and for the tail channels of every packed
+/// lane-panel variant (4-lane and wide alike).
+template <std::size_t kOc>
+inline bool conv_oc_sweep(const float* wt, const float* bias,
+                          const ConvTables& t, const float* col, float* out,
+                          std::size_t oc0, Epilogue ep, bool check,
+                          bool ok) noexcept {
+  const float* w[kOc];
+  for (std::size_t i = 0; i < kOc; ++i) w[i] = wt + (oc0 + i) * t.patch;
+  float* o[kOc];
+  for (std::size_t i = 0; i < kOc; ++i) o[i] = out + (oc0 + i) * t.opix;
+  for (std::size_t p = 0; p < t.opix; ++p) {
+    const std::size_t base = t.pix_off[p];
+    const std::size_t taps = t.pix_off[p + 1] - base;
+    float acc[kOc];
+    for (std::size_t i = 0; i < kOc; ++i) acc[i] = bias[oc0 + i];
+    const float* c = col + base;
+    if (taps == t.patch) {
+      // 4x tap unroll on the contiguous fast path (interior pixels are the
+      // overwhelming majority); each output channel's taps stay in strict
+      // ascending order, so accumulation order is untouched.
+      std::size_t j = 0;
+      for (; j + 4 <= taps; j += 4) {
+        for (std::size_t u = 0; u < 4; ++u) {
+          const float v = c[j + u];
+          for (std::size_t i = 0; i < kOc; ++i) acc[i] += w[i][j + u] * v;
+        }
+      }
+      for (; j < taps; ++j) {
+        const float v = c[j];
+        for (std::size_t i = 0; i < kOc; ++i) acc[i] += w[i][j] * v;
+      }
+    } else {
+      const std::uint32_t* wo = t.w_ofs + base;
+      for (std::size_t j = 0; j < taps; ++j) {
+        const float v = c[j];
+        const std::size_t k = wo[j];
+        for (std::size_t i = 0; i < kOc; ++i) acc[i] += w[i][k] * v;
+      }
+    }
+    for (std::size_t i = 0; i < kOc; ++i)
+      ok = finish(acc[i], o[i] + p, ep, check, ok);
+  }
+  return ok;
+}
+
+/// Dispatches the 1..7-channel conv tail through the templated sweep
+/// (reads live weights, exactly like the unpacked path).
+inline bool conv_tail_sweep(const float* wt, const float* bias,
+                            const ConvTables& t, const float* col,
+                            float* out, std::size_t oc0, Epilogue ep,
+                            bool check, bool ok) noexcept {
+  switch (t.out_c - oc0) {
+    case 1: return conv_oc_sweep<1>(wt, bias, t, col, out, oc0, ep, check, ok);
+    case 2: return conv_oc_sweep<2>(wt, bias, t, col, out, oc0, ep, check, ok);
+    case 3: return conv_oc_sweep<3>(wt, bias, t, col, out, oc0, ep, check, ok);
+    case 4: return conv_oc_sweep<4>(wt, bias, t, col, out, oc0, ep, check, ok);
+    case 5: return conv_oc_sweep<5>(wt, bias, t, col, out, oc0, ep, check, ok);
+    case 6: return conv_oc_sweep<6>(wt, bias, t, col, out, oc0, ep, check, ok);
+    case 7: return conv_oc_sweep<7>(wt, bias, t, col, out, oc0, ep, check, ok);
+    default: return ok;
+  }
+}
+
+}  // namespace sx::tensor::kernels::detail

@@ -1,5 +1,7 @@
 #include "tensor/qkernels.hpp"
 
+#include "tensor/qkernels_detail.hpp"
+
 namespace sx::tensor::qkernels {
 
 void qmatvec_blocked(const std::int8_t* w, std::size_t rows,
@@ -142,76 +144,17 @@ void im2col_gather_i8(const std::int8_t* in, const std::uint32_t* in_idx,
   for (std::size_t e = 0; e < entries; ++e) col[e] = in[in_idx[e]];
 }
 
-namespace {
-
-/// One kOc-channel sweep over every output pixel, sharing the gathered
-/// int8 column. Interior pixels (full patch, w_ofs is the identity) take
-/// the contiguous-weight fast path; clipped border pixels indirect through
-/// w_ofs. Both walk the taps in table order == reference order (the table
-/// construction in tensor/kernels.cpp mirrors the dl/quant.cpp skip).
-template <std::size_t kOc>
-inline void qconv_oc_sweep(const std::int8_t* wt,
-                           const kernels::ConvTables& t,
-                           const std::int8_t* col, const Requant& rq,
-                           std::int8_t* out, std::size_t oc0,
-                           std::uint64_t* sat) noexcept {
-  const std::int8_t* w[kOc];
-  for (std::size_t i = 0; i < kOc; ++i) w[i] = wt + (oc0 + i) * t.patch;
-  std::int8_t* o[kOc];
-  for (std::size_t i = 0; i < kOc; ++i) o[i] = out + (oc0 + i) * t.opix;
-  for (std::size_t p = 0; p < t.opix; ++p) {
-    const std::size_t base = t.pix_off[p];
-    const std::size_t taps = t.pix_off[p + 1] - base;
-    std::int32_t acc[kOc] = {};
-    const std::int8_t* c = col + base;
-    if (taps == t.patch) {
-      // 4x tap unroll on the contiguous fast path (interior pixels are the
-      // overwhelming majority); tap order per channel stays ascending.
-      std::size_t j = 0;
-      for (; j + 4 <= taps; j += 4) {
-        for (std::size_t u = 0; u < 4; ++u) {
-          const std::int32_t v = c[j + u];
-          for (std::size_t i = 0; i < kOc; ++i)
-            acc[i] += static_cast<std::int32_t>(w[i][j + u]) * v;
-        }
-      }
-      for (; j < taps; ++j) {
-        const std::int32_t v = c[j];
-        for (std::size_t i = 0; i < kOc; ++i)
-          acc[i] += static_cast<std::int32_t>(w[i][j]) * v;
-      }
-    } else {
-      const std::uint32_t* wo = t.w_ofs + base;
-      for (std::size_t j = 0; j < taps; ++j) {
-        const std::int32_t v = c[j];
-        const std::size_t k = wo[j];
-        for (std::size_t i = 0; i < kOc; ++i)
-          acc[i] += static_cast<std::int32_t>(w[i][k]) * v;
-      }
-    }
-    for (std::size_t i = 0; i < kOc; ++i)
-      o[i][p] = requantize(acc[i], oc0 + i, rq, sat);
-  }
-}
-
-}  // namespace
-
 void qconv2d_im2col(const std::int8_t* wt, const kernels::ConvTables& t,
                     const std::int8_t* col, const Requant& rq,
                     std::int8_t* out, std::uint64_t* sat) noexcept {
-  std::size_t oc = 0;
-  for (; oc + kOcBlock <= t.out_c; oc += kOcBlock)
-    qconv_oc_sweep<kOcBlock>(wt, t, col, rq, out, oc, sat);
-  switch (t.out_c - oc) {
-    case 1: qconv_oc_sweep<1>(wt, t, col, rq, out, oc, sat); break;
-    case 2: qconv_oc_sweep<2>(wt, t, col, rq, out, oc, sat); break;
-    case 3: qconv_oc_sweep<3>(wt, t, col, rq, out, oc, sat); break;
-    case 4: qconv_oc_sweep<4>(wt, t, col, rq, out, oc, sat); break;
-    case 5: qconv_oc_sweep<5>(wt, t, col, rq, out, oc, sat); break;
-    case 6: qconv_oc_sweep<6>(wt, t, col, rq, out, oc, sat); break;
-    case 7: qconv_oc_sweep<7>(wt, t, col, rq, out, oc, sat); break;
-    default: break;
-  }
+  detail::qconv_tail_sweep(wt, t, col, rq, out, 0, sat);
+}
+
+void qconv2d_im2col_live(const std::int8_t* /*panel*/, const std::int8_t* wt,
+                         const kernels::ConvTables& t, const std::int8_t* col,
+                         const Requant& rq, std::int8_t* out,
+                         std::uint64_t* sat) noexcept {
+  qconv2d_im2col(wt, t, col, rq, out, sat);
 }
 
 std::size_t qconv_panel_bytes(std::size_t out_c,
@@ -274,17 +217,7 @@ void qconv2d_im2col_packed(const std::int8_t* panel, const std::int8_t* wt,
   }
   // Tail channels (out_c % kQConvLanes) read the live weights through the
   // scalar sweeps, exactly like the unpacked path.
-  const std::size_t oc = groups * kQConvLanes;
-  switch (t.out_c - oc) {
-    case 1: qconv_oc_sweep<1>(wt, t, col, rq, out, oc, sat); break;
-    case 2: qconv_oc_sweep<2>(wt, t, col, rq, out, oc, sat); break;
-    case 3: qconv_oc_sweep<3>(wt, t, col, rq, out, oc, sat); break;
-    case 4: qconv_oc_sweep<4>(wt, t, col, rq, out, oc, sat); break;
-    case 5: qconv_oc_sweep<5>(wt, t, col, rq, out, oc, sat); break;
-    case 6: qconv_oc_sweep<6>(wt, t, col, rq, out, oc, sat); break;
-    case 7: qconv_oc_sweep<7>(wt, t, col, rq, out, oc, sat); break;
-    default: break;
-  }
+  detail::qconv_tail_sweep(wt, t, col, rq, out, groups * kQConvLanes, sat);
 }
 
 }  // namespace sx::tensor::qkernels

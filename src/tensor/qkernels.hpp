@@ -175,4 +175,119 @@ void qconv2d_im2col_packed(const std::int8_t* panel, const std::int8_t* wt,
                            const std::int8_t* col, const Requant& rq,
                            std::int8_t* out, std::uint64_t* sat) noexcept;
 
+// ------------------------------------------------- Wide (kWide) backends
+//
+// Widened int8 x int8 -> int32 dot-product microkernels: 32-row Dense
+// blocks and 16-channel Conv2d lane groups, each in three variants that
+// compute the *identical* fixed accumulation tree — a portable scalar
+// twin, a 16-byte-load AVX2-class sweep, and a 32-byte-load AVX-512-class
+// sweep. One output element is always one serial int32 chain in strict
+// reference order; the SIMD runs independent chains side by side
+// (broadcast multiplicand, sign-extended lane loads, no partial-sum
+// restructuring), so the overflow envelope matches the audited reference
+// loop exactly and all variants are bitwise identical. Variant selection
+// happens once at deploy time (platform::CpuProbe); on non-x86 builds the
+// SIMD entry points are the scalar twin.
+
+/// Output rows per wide Dense sweep (32 int8 lanes = one 256-bit load or
+/// two 128-bit loads per column) and output channels per wide Conv2d lane
+/// group (16 int8 lanes = one 128-bit load per tap).
+inline constexpr std::size_t kQWideRowBlock = 32;
+inline constexpr std::size_t kQWideConvLanes = 16;
+
+/// Bytes needed for the wide row-blocked panel (blocks of kQWideRowBlock
+/// rows, each 64-byte aligned; the tail block interleaved at its own row
+/// count).
+std::size_t qwide_dense_panel_bytes(std::size_t rows,
+                                    std::size_t cols) noexcept;
+
+/// Repacks row-major int8 weights into the wide panel layout
+/// (panel[c * 32 + r] within a block); padding is zero-filled.
+void pack_qwide_dense_panel(const std::int8_t* w, std::size_t rows,
+                            std::size_t cols, std::int8_t* panel) noexcept;
+
+/// qmatvec over a wide panel — portable scalar twin: 32 independent int32
+/// chains per block, columns in strict ascending order. The canonical
+/// tree the SIMD variants below reproduce lane for lane.
+void qmatvec_wide_scalar(const std::int8_t* panel, std::size_t rows,
+                         std::size_t cols, const std::int8_t* x,
+                         const Requant& rq, std::int8_t* out,
+                         std::uint64_t* sat) noexcept;
+
+/// AVX2-class variant: four 8-lane int32 accumulators per block, 8-byte
+/// sign-extended lane loads. Bitwise identical to the scalar twin.
+void qmatvec_wide_avx2(const std::int8_t* panel, std::size_t rows,
+                       std::size_t cols, const std::int8_t* x,
+                       const Requant& rq, std::int8_t* out,
+                       std::uint64_t* sat) noexcept;
+
+/// AVX-512-class variant: two 16-lane int32 accumulators per block,
+/// 16-byte sign-extended lane loads. Bitwise identical to the scalar twin.
+void qmatvec_wide_avx512(const std::int8_t* panel, std::size_t rows,
+                         std::size_t cols, const std::int8_t* x,
+                         const Requant& rq, std::int8_t* out,
+                         std::uint64_t* sat) noexcept;
+
+/// Bytes needed for the wide tap-major conv lane panel: full
+/// kQWideConvLanes-channel groups only; the out_c % kQWideConvLanes tail
+/// channels keep reading the live weights.
+std::size_t qwide_conv_panel_bytes(std::size_t out_c,
+                                   std::size_t patch) noexcept;
+
+/// Repacks the natural out_c x patch int8 layout into 16-channel
+/// tap-major groups: panel[g * align_up_bytes(patch * 16) + j * 16 + i].
+void pack_qwide_conv_panel(const std::int8_t* wt, std::size_t out_c,
+                           std::size_t patch, std::int8_t* panel) noexcept;
+
+/// Wide conv over the 16-channel lane panel — portable scalar twin. Tail
+/// channels read the live weights via the shared scalar sweeps.
+void qconv2d_im2col_wide_scalar(const std::int8_t* panel,
+                                const std::int8_t* wt,
+                                const kernels::ConvTables& t,
+                                const std::int8_t* col, const Requant& rq,
+                                std::int8_t* out,
+                                std::uint64_t* sat) noexcept;
+
+/// AVX2-class variant: two 8-lane int32 accumulators per group.
+void qconv2d_im2col_wide_avx2(const std::int8_t* panel,
+                              const std::int8_t* wt,
+                              const kernels::ConvTables& t,
+                              const std::int8_t* col, const Requant& rq,
+                              std::int8_t* out, std::uint64_t* sat) noexcept;
+
+/// AVX-512-class variant: one 16-lane int32 accumulator per group.
+void qconv2d_im2col_wide_avx512(const std::int8_t* panel,
+                                const std::int8_t* wt,
+                                const kernels::ConvTables& t,
+                                const std::int8_t* col, const Requant& rq,
+                                std::int8_t* out,
+                                std::uint64_t* sat) noexcept;
+
+/// Per-step int8 kernel entry points resolved once at plan-construction
+/// time so the engine hot path stays branch-free. qmatvec_blocked (live
+/// weights) and qmatvec_packed / the wide variants (panel) share the
+/// Dense shape; conv kernels take both the panel and the live weights
+/// (panel-less steps pass panel == nullptr and use qconv2d_im2col_live).
+using QDenseKernelFn = void (*)(const std::int8_t* w_or_panel,
+                                std::size_t rows, std::size_t cols,
+                                const std::int8_t* x, const Requant& rq,
+                                std::int8_t* out,
+                                std::uint64_t* sat) noexcept;
+using QConvKernelFn = void (*)(const std::int8_t* panel,
+                               const std::int8_t* wt,
+                               const kernels::ConvTables& t,
+                               const std::int8_t* col, const Requant& rq,
+                               std::int8_t* out,
+                               std::uint64_t* sat) noexcept;
+
+/// qconv2d_im2col behind the QConvKernelFn shape (ignores `panel`).
+void qconv2d_im2col_live(const std::int8_t* panel, const std::int8_t* wt,
+                         const kernels::ConvTables& t, const std::int8_t* col,
+                         const Requant& rq, std::int8_t* out,
+                         std::uint64_t* sat) noexcept;
+
+/// The wide kernel family for a probed/selected ISA (deploy-time only).
+QDenseKernelFn wide_qdense_kernel(kernels::WideIsa isa) noexcept;
+QConvKernelFn wide_qconv_kernel(kernels::WideIsa isa) noexcept;
+
 }  // namespace sx::tensor::qkernels

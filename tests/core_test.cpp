@@ -144,8 +144,9 @@ TEST(Pipeline, AuditTrailGrowsAndVerifies) {
   CertifiablePipeline p{model(), data(), cfg};
   for (std::size_t i = 0; i < 10; ++i)
     (void)p.infer(data().samples[i].input, i);
-  // deploy + kernel-plan + 3 ir-pass (dce, fusion, liveness) + 10 decisions
-  EXPECT_EQ(p.audit().size(), 15u);
+  // deploy + kernel-plan + 3 ir-pass (dce, fusion, liveness) +
+  // kernel-backend + 10 decisions
+  EXPECT_EQ(p.audit().size(), 16u);
   EXPECT_EQ(p.audit().verify(), Status::kOk);
 }
 

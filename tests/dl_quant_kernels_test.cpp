@@ -142,7 +142,7 @@ TEST(QuantKernelPlan, DifferentialSweepBitwiseIdentity) {
     for (WeightGranularity g :
          {WeightGranularity::kPerChannel, WeightGranularity::kPerTensor})
       for (KernelMode m : {KernelMode::kReference, KernelMode::kBlocked,
-                           KernelMode::kPacked})
+                           KernelMode::kPacked, KernelMode::kWide})
         expect_engine_matches_reference(a, g, m);
 }
 

@@ -303,6 +303,7 @@ TEST(KernelPlanEngine, AllModesBitwiseIdenticalOnTrainedModels) {
     StaticEngine ref{*m, {.kernels = KernelMode::kReference}};
     StaticEngine blocked{*m, {.kernels = KernelMode::kBlocked}};
     StaticEngine packed{*m, {.kernels = KernelMode::kPacked}};
+    StaticEngine wide{*m, {.kernels = KernelMode::kWide}};
     ASSERT_EQ(ref.kernel_plan(), nullptr);
     ASSERT_NE(blocked.kernel_plan(), nullptr);
     for (std::size_t i = 0; i < 32; ++i) {
@@ -310,6 +311,7 @@ TEST(KernelPlanEngine, AllModesBitwiseIdenticalOnTrainedModels) {
       const auto a = run_engine(ref, in);
       EXPECT_TRUE(BitEqual(run_engine(blocked, in), a)) << "sample " << i;
       EXPECT_TRUE(BitEqual(run_engine(packed, in), a)) << "sample " << i;
+      EXPECT_TRUE(BitEqual(run_engine(wide, in), a)) << "sample " << i;
     }
   }
 }
@@ -359,12 +361,15 @@ TEST(KernelPlanEngine, NumericFaultParityWithFusedActivations) {
   StaticEngine ref{m, {.kernels = KernelMode::kReference}};
   StaticEngine blocked{m, {.kernels = KernelMode::kBlocked}};
   StaticEngine packed{m, {.kernels = KernelMode::kPacked}};
+  StaticEngine wide{m, {.kernels = KernelMode::kWide}};
   run_engine(ref, in, Status::kNumericFault);
   run_engine(blocked, in, Status::kNumericFault);
   run_engine(packed, in, Status::kNumericFault);
+  run_engine(wide, in, Status::kNumericFault);
   EXPECT_EQ(ref.numeric_fault_count(), 1u);
   EXPECT_EQ(blocked.numeric_fault_count(), 1u);
   EXPECT_EQ(packed.numeric_fault_count(), 1u);
+  EXPECT_EQ(wide.numeric_fault_count(), 1u);
 
   // With checks off, all engines agree bit for bit on the corrupted output
   // (the campaign path compares raw propagation).
@@ -407,7 +412,7 @@ TEST(KernelPlanEngine, ArenaDemandMatchesIndependentDerivation) {
   for (const Model* m : {&sx::testing::trained_mlp(),
                          &sx::testing::trained_cnn()}) {
     for (KernelMode mode : {KernelMode::kReference, KernelMode::kBlocked,
-                            KernelMode::kPacked}) {
+                            KernelMode::kPacked, KernelMode::kWide}) {
       const StaticEngineConfig cfg{.kernels = mode};
       StaticEngine e{*m, cfg};
       EXPECT_EQ(verify::static_arena_demand(*m, cfg), e.arena_capacity())
@@ -468,7 +473,8 @@ TEST(KernelPlanBatch, WorkerCountsBitwiseIdenticalToReference) {
               Status::kOk);
   }
 
-  for (KernelMode mode : {KernelMode::kBlocked, KernelMode::kPacked}) {
+  for (KernelMode mode : {KernelMode::kBlocked, KernelMode::kPacked,
+                          KernelMode::kWide}) {
     for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
       dl::BatchRunner runner{m, dl::BatchRunnerConfig{.workers = workers,
                                                       .kernels = mode}};
@@ -508,7 +514,8 @@ TEST(KernelPlanEngine, TappedRunMatchesForwardTraceBitwise) {
                          &sx::testing::trained_cnn()}) {
     for (const KernelMode mode : {KernelMode::kReference,
                                   KernelMode::kBlocked,
-                                  KernelMode::kPacked}) {
+                                  KernelMode::kPacked,
+                                  KernelMode::kWide}) {
       StaticEngine e{*m, {.kernels = mode}};
       for (std::size_t s = 0; s < 4; ++s) {
         const Tensor& in = ds.samples[s].input;

@@ -1,0 +1,306 @@
+// Differential sweeps for the wide-SIMD (kWide) float microkernels.
+//
+// The load-bearing property is the same as for blocked/packed: *bitwise*
+// identity with the audited reference loops, for every lane family the
+// CPU probe can select. The wide kernels vectorize ACROSS independent
+// output rows/channels while preserving each output's serial
+// ascending-column accumulation chain, so scalar twin, AVX2 and AVX-512
+// variants must all reproduce matvec_blocked / conv2d_im2col bit for bit
+// — across randomized shapes, ragged tails off the 16/8-lane groups,
+// misaligned operand bases, and every fused epilogue. SIMD variants are
+// exercised only when the probe reports the ISA (the suite stays green
+// on any host); the scalar twin always runs.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "dl/layers.hpp"
+#include "platform/cpu_probe.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace sx::tensor::kernels {
+namespace {
+
+::testing::AssertionResult BitEqual(const std::vector<float>& a,
+                                    const std::vector<float>& b) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure()
+           << "size " << a.size() << " != " << b.size();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint32_t>(a[i]) !=
+        std::bit_cast<std::uint32_t>(b[i]))
+      return ::testing::AssertionFailure()
+             << "element " << i << ": " << a[i] << " vs " << b[i]
+             << " (bits 0x" << std::hex << std::bit_cast<std::uint32_t>(a[i])
+             << " vs 0x" << std::bit_cast<std::uint32_t>(b[i]) << ")";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+std::vector<float> random_vec(std::size_t n, util::Xoshiro256& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.5, 1.5));
+  return v;
+}
+
+/// Every dense wide variant the host can execute, scalar twin first.
+std::vector<std::pair<const char*, DenseKernelFn>> dense_variants() {
+  const platform::CpuProbe p = platform::probe_cpu();
+  std::vector<std::pair<const char*, DenseKernelFn>> v;
+  v.emplace_back("scalar", &matvec_wide_scalar);
+  if (p.avx2) v.emplace_back("avx2", &matvec_wide_avx2);
+  if (p.avx512f) v.emplace_back("avx512", &matvec_wide_avx512);
+  return v;
+}
+
+std::vector<std::pair<const char*, ConvKernelFn>> conv_variants() {
+  const platform::CpuProbe p = platform::probe_cpu();
+  std::vector<std::pair<const char*, ConvKernelFn>> v;
+  v.emplace_back("scalar", &conv2d_im2col_wide_scalar);
+  if (p.avx2) v.emplace_back("avx2", &conv2d_im2col_wide_avx2);
+  if (p.avx512f) v.emplace_back("avx512", &conv2d_im2col_wide_avx512);
+  return v;
+}
+
+TEST(WideMatvec, BitwiseEqualsBlockedAcrossShapesAndIsas) {
+  util::Xoshiro256 rng{2025};
+  // Below / at / above the 16-row group, primes for ragged tails, the
+  // benchmark sizes, and an exact two-group control.
+  const std::size_t sizes[] = {1,  2,  3,  7,  8,  15, 16, 17,
+                               23, 31, 32, 33, 48, 64, 100, 128};
+  for (std::size_t rows : sizes) {
+    for (std::size_t cols : {std::size_t{1}, std::size_t{3}, std::size_t{17},
+                             std::size_t{32}, std::size_t{53}}) {
+      const auto w = random_vec(rows * cols, rng);
+      const auto b = random_vec(rows, rng);
+      const auto x = random_vec(cols, rng);
+      std::vector<float> ref(rows, -7.0f);
+      ASSERT_TRUE(matvec_blocked(w.data(), b.data(), rows, cols, x.data(),
+                                 ref.data(), Epilogue::kNone, true));
+
+      std::vector<float> panel(wide_dense_panel_floats(rows, cols), -1.0f);
+      pack_wide_dense_panel(w.data(), rows, cols, panel.data());
+      for (const auto& [name, fn] : dense_variants()) {
+        std::vector<float> out(rows, -7.0f);
+        EXPECT_TRUE(fn(panel.data(), b.data(), rows, cols, x.data(),
+                       out.data(), Epilogue::kNone, true));
+        EXPECT_TRUE(BitEqual(out, ref))
+            << rows << "x" << cols << " wide/" << name;
+      }
+    }
+  }
+}
+
+TEST(WideMatvec, FusedEpiloguesMatchBlockedAcrossIsas) {
+  util::Xoshiro256 rng{7};
+  for (std::size_t rows : {std::size_t{5}, std::size_t{16}, std::size_t{19},
+                           std::size_t{40}}) {
+    const std::size_t cols = 23;
+    const auto w = random_vec(rows * cols, rng);
+    const auto b = random_vec(rows, rng);
+    const auto x = random_vec(cols, rng);
+    std::vector<float> panel(wide_dense_panel_floats(rows, cols));
+    pack_wide_dense_panel(w.data(), rows, cols, panel.data());
+    for (Epilogue ep : {Epilogue::kRelu, Epilogue::kSigmoid,
+                        Epilogue::kTanh}) {
+      std::vector<float> ref(rows);
+      ASSERT_TRUE(matvec_blocked(w.data(), b.data(), rows, cols, x.data(),
+                                 ref.data(), ep, true));
+      for (const auto& [name, fn] : dense_variants()) {
+        std::vector<float> out(rows);
+        EXPECT_TRUE(fn(panel.data(), b.data(), rows, cols, x.data(),
+                       out.data(), ep, true));
+        EXPECT_TRUE(BitEqual(out, ref))
+            << "rows=" << rows << " ep=" << static_cast<int>(ep) << " wide/"
+            << name;
+      }
+    }
+  }
+}
+
+TEST(WideMatvec, MisalignedOperandBasesStayBitwiseIdentical) {
+  // The wide loads go through memcpy, so nothing may depend on 32/64-byte
+  // operand alignment. Shift x, bias and out off the allocator's natural
+  // alignment by one float and re-check identity.
+  util::Xoshiro256 rng{31};
+  const std::size_t rows = 37, cols = 29;
+  const auto w = random_vec(rows * cols, rng);
+  const auto raw_b = random_vec(rows + 1, rng);
+  const auto raw_x = random_vec(cols + 1, rng);
+  const float* b = raw_b.data() + 1;
+  const float* x = raw_x.data() + 1;
+  std::vector<float> ref(rows);
+  ASSERT_TRUE(matvec_blocked(w.data(), b, rows, cols, x, ref.data(),
+                             Epilogue::kRelu, true));
+  std::vector<float> panel(wide_dense_panel_floats(rows, cols));
+  pack_wide_dense_panel(w.data(), rows, cols, panel.data());
+  for (const auto& [name, fn] : dense_variants()) {
+    std::vector<float> raw_out(rows + 1, -7.0f);
+    EXPECT_TRUE(fn(panel.data(), b, rows, cols, x, raw_out.data() + 1,
+                   Epilogue::kRelu, true));
+    EXPECT_TRUE(BitEqual(
+        std::vector<float>(raw_out.begin() + 1, raw_out.end()), ref))
+        << "wide/" << name;
+  }
+}
+
+TEST(WideMatvec, CheckFlagsNonFinitePreActivation) {
+  const std::size_t rows = 21, cols = 4;  // one full group + 5-row tail
+  util::Xoshiro256 rng{3};
+  auto w = random_vec(rows * cols, rng);
+  const auto b = random_vec(rows, rng);
+  const auto x = random_vec(cols, rng);
+  w[5 * cols + 2] = std::numeric_limits<float>::quiet_NaN();   // in-group
+  w[18 * cols + 1] = std::numeric_limits<float>::quiet_NaN();  // in-tail
+  std::vector<float> panel(wide_dense_panel_floats(rows, cols));
+  pack_wide_dense_panel(w.data(), rows, cols, panel.data());
+  for (const auto& [name, fn] : dense_variants()) {
+    std::vector<float> out(rows);
+    EXPECT_FALSE(fn(panel.data(), b.data(), rows, cols, x.data(), out.data(),
+                    Epilogue::kRelu, true))
+        << "wide/" << name;
+    // Unchecked mode still computes (campaigns compare raw propagation).
+    EXPECT_TRUE(fn(panel.data(), b.data(), rows, cols, x.data(), out.data(),
+                   Epilogue::kNone, false));
+    EXPECT_TRUE(std::isnan(out[5])) << "wide/" << name;
+    EXPECT_TRUE(std::isnan(out[18])) << "wide/" << name;
+  }
+}
+
+TEST(WidePanel, DenseLayoutIsAlignedAndExhaustive) {
+  EXPECT_EQ(wide_dense_panel_floats(16, 32) % kAlignFloats, 0u);
+  EXPECT_EQ(wide_dense_panel_floats(1, 1), kAlignFloats);
+
+  const std::size_t rows = 19, cols = 3;  // one full group + 3-row tail
+  util::Xoshiro256 rng{41};
+  const auto w = random_vec(rows * cols, rng);
+  std::vector<float> panel(wide_dense_panel_floats(rows, cols), 99.0f);
+  pack_wide_dense_panel(w.data(), rows, cols, panel.data());
+  // Full group: panel[c * kWideRowBlock + r] == w[r * cols + c].
+  for (std::size_t r = 0; r < kWideRowBlock; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      EXPECT_EQ(panel[c * kWideRowBlock + r], w[r * cols + c]);
+  // Tail of 3 rows, interleaved at its own row count.
+  const std::size_t tail_base = align_up(kWideRowBlock * cols);
+  for (std::size_t r = 0; r < rows - kWideRowBlock; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      EXPECT_EQ(panel[tail_base + c * (rows - kWideRowBlock) + r],
+                w[(kWideRowBlock + r) * cols + c]);
+}
+
+TEST(WideConv2d, BitwiseEqualsReferenceAcrossGeometriesAndIsas) {
+  util::Xoshiro256 rng{11};
+  for (std::size_t in_c : {1u, 3u}) {
+    for (std::size_t k : {1u, 3u}) {
+      for (std::size_t stride : {1u, 2u}) {
+        for (std::size_t pad : {0u, 1u}) {
+          // 8 = one full lane group; 16 = two groups (the AVX-512 paired
+          // path); 19 = two groups + 3 tail channels read from the live
+          // weights; 5 = tail-only (no packed group at all).
+          for (std::size_t out_c : {5u, 8u, 16u, 19u}) {
+            const std::size_t in_h = 7, in_w = 5;
+            if (in_h + 2 * pad < k) continue;
+
+            dl::Conv2d layer{in_c, out_c, k, stride, pad};
+            layer.init(rng);
+            Tensor in{Shape::chw(in_c, in_h, in_w)};
+            in.init_uniform(rng, -1.0f, 1.0f);
+            const Shape out_shape =
+                layer.output_shape(Shape::chw(in_c, in_h, in_w));
+            std::vector<float> ref(out_shape.size());
+            ASSERT_EQ(layer.forward(in.view(), TensorView{ref, out_shape}),
+                      Status::kOk);
+
+            Conv2dGeom g{.in_c = in_c, .in_h = in_h, .in_w = in_w,
+                         .out_c = out_c, .k = k, .stride = stride,
+                         .pad = pad};
+            const std::size_t entries = im2col_entries(g);
+            std::vector<std::uint32_t> pix_off(g.opix() + 1),
+                in_idx(entries), w_ofs(entries);
+            build_im2col_tables(g, pix_off.data(), in_idx.data(),
+                                w_ofs.data());
+            std::vector<float> col(entries);
+            im2col_gather(in.data().data(), in_idx.data(), entries,
+                          col.data());
+            const ConvTables t{.out_c = out_c, .patch = g.patch(),
+                               .opix = g.opix(), .pix_off = pix_off.data(),
+                               .in_idx = in_idx.data(),
+                               .w_ofs = w_ofs.data()};
+
+            std::vector<float> panel(
+                wide_conv_panel_floats(out_c, g.patch()), -1.0f);
+            pack_wide_conv_panel(layer.weights().data(), out_c, g.patch(),
+                                 panel.data());
+            for (const auto& [name, fn] : conv_variants()) {
+              std::vector<float> out(out_shape.size(), -7.0f);
+              EXPECT_TRUE(fn(panel.empty() ? nullptr : panel.data(),
+                             layer.weights().data(), layer.bias().data(), t,
+                             col.data(), out.data(), Epilogue::kNone, true));
+              EXPECT_TRUE(BitEqual(out, ref))
+                  << "wide/" << name << " in_c=" << in_c << " k=" << k
+                  << " stride=" << stride << " pad=" << pad
+                  << " out_c=" << out_c;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(WideConv2d, FusedEpiloguesMatchUnpackedAcrossIsas) {
+  util::Xoshiro256 rng{13};
+  const Conv2dGeom g{.in_c = 2, .in_h = 6, .in_w = 6, .out_c = 16, .k = 3,
+                     .stride = 1, .pad = 1};
+  dl::Conv2d layer{g.in_c, g.out_c, g.k, g.stride, g.pad};
+  layer.init(rng);
+  Tensor in{Shape::chw(g.in_c, g.in_h, g.in_w)};
+  in.init_uniform(rng, -1.0f, 1.0f);
+  const std::size_t entries = im2col_entries(g);
+  std::vector<std::uint32_t> pix_off(g.opix() + 1), in_idx(entries),
+      w_ofs(entries);
+  build_im2col_tables(g, pix_off.data(), in_idx.data(), w_ofs.data());
+  std::vector<float> col(entries);
+  im2col_gather(in.data().data(), in_idx.data(), entries, col.data());
+  const ConvTables t{.out_c = g.out_c, .patch = g.patch(), .opix = g.opix(),
+                     .pix_off = pix_off.data(), .in_idx = in_idx.data(),
+                     .w_ofs = w_ofs.data()};
+  std::vector<float> panel(wide_conv_panel_floats(g.out_c, g.patch()));
+  pack_wide_conv_panel(layer.weights().data(), g.out_c, g.patch(),
+                       panel.data());
+  const std::size_t n = g.out_c * g.opix();
+  for (Epilogue ep : {Epilogue::kRelu, Epilogue::kSigmoid, Epilogue::kTanh}) {
+    std::vector<float> ref(n);
+    ASSERT_TRUE(conv2d_im2col(layer.weights().data(), layer.bias().data(), t,
+                              col.data(), ref.data(), ep, true));
+    for (const auto& [name, fn] : conv_variants()) {
+      std::vector<float> out(n, -7.0f);
+      EXPECT_TRUE(fn(panel.data(), layer.weights().data(),
+                     layer.bias().data(), t, col.data(), out.data(), ep,
+                     true));
+      EXPECT_TRUE(BitEqual(out, ref))
+          << "wide/" << name << " ep=" << static_cast<int>(ep);
+    }
+  }
+}
+
+TEST(WideDispatch, SelectorsReturnIsaSpecificEntryPoints) {
+  EXPECT_EQ(wide_dense_kernel(WideIsa::kScalar), &matvec_wide_scalar);
+  EXPECT_EQ(wide_dense_kernel(WideIsa::kAvx2), &matvec_wide_avx2);
+  EXPECT_EQ(wide_dense_kernel(WideIsa::kAvx512), &matvec_wide_avx512);
+  EXPECT_EQ(wide_conv_kernel(WideIsa::kScalar), &conv2d_im2col_wide_scalar);
+  EXPECT_EQ(wide_conv_kernel(WideIsa::kAvx2), &conv2d_im2col_wide_avx2);
+  EXPECT_EQ(wide_conv_kernel(WideIsa::kAvx512), &conv2d_im2col_wide_avx512);
+  EXPECT_STREQ(wide_isa_name(WideIsa::kScalar), "scalar");
+  EXPECT_STREQ(wide_isa_name(WideIsa::kAvx2), "avx2");
+  EXPECT_STREQ(wide_isa_name(WideIsa::kAvx512), "avx512");
+}
+
+}  // namespace
+}  // namespace sx::tensor::kernels

@@ -13,6 +13,10 @@
 //   # BEGIN SX_FLEET_EVIDENCE ... # END SX_FLEET_EVIDENCE  merged fleet
 //                                                    campaign bounds/roots
 //                                                    (see make_fleet_evidence)
+//   # BEGIN SX_KERNEL_BACKEND ... # END SX_KERNEL_BACKEND  resolved kernel
+//                                                    mode + CPU-probe ISA
+//                                                    selection (see
+//                                                    make_kernel_backend_evidence)
 //
 // sxmetrics recovers any block from a serialized report file (or stdin)
 // so a scrape pipeline, diff tool or assessor can consume the snapshot
@@ -32,6 +36,9 @@
 //   sxmetrics --fleet report.txt     # the merged fleet-campaign evidence
 //                                    # (outcome counts, Clopper-Pearson /
 //                                    # Bayesian SDC bounds, audit roots)
+//   sxmetrics --kernel report.txt    # the resolved kernel backend record
+//                                    # (requested vs deployed mode, CPU
+//                                    # probe + SX_KERNEL_ISA decision)
 //
 // Exit status: 0 on success, 1 when the requested block is missing,
 // 2 on usage/IO errors. Host tool: iostream/filesystem are fine here.
@@ -181,7 +188,7 @@ std::string to_json(const std::string& exposition) {
 
 int usage() {
   std::cerr << "usage: sxmetrics "
-               "[--flight|--summary|--json|--scenario|--ir|--fleet] "
+               "[--flight|--summary|--json|--scenario|--ir|--fleet|--kernel] "
                "[report-file|-]\n";
   return 2;
 }
@@ -195,6 +202,7 @@ int main(int argc, char** argv) {
   bool scenario = false;
   bool ir = false;
   bool fleet = false;
+  bool kernel = false;
   std::string path = "-";
   std::vector<std::string> args(argv + 1, argv + argc);
   for (const auto& a : args) {
@@ -210,13 +218,16 @@ int main(int argc, char** argv) {
       ir = true;
     } else if (a == "--fleet") {
       fleet = true;
+    } else if (a == "--kernel") {
+      kernel = true;
     } else if (!a.empty() && a[0] == '-' && a != "-") {
       return usage();
     } else {
       path = a;
     }
   }
-  if (flight + summary + json + scenario + ir + fleet > 1) return usage();
+  if (flight + summary + json + scenario + ir + fleet + kernel > 1)
+    return usage();
 
   std::ostringstream buf;
   if (path == "-") {
@@ -244,6 +255,9 @@ int main(int argc, char** argv) {
   } else if (fleet) {
     begin = "# BEGIN SX_FLEET_EVIDENCE";
     end = "# END SX_FLEET_EVIDENCE";
+  } else if (kernel) {
+    begin = "# BEGIN SX_KERNEL_BACKEND";
+    end = "# END SX_KERNEL_BACKEND";
   }
   bool found = false;
   const std::string block = extract_block(buf.str(), begin, end, found);

@@ -1,0 +1,244 @@
+// E20 — Deterministic serving under load: sustained streaming throughput
+// with mixed-criticality admission, and pWCET tail-latency evidence.
+//
+// The harness deploys the serving front-end (serve::Server) over a SIL2
+// batch pipeline and replays two seeded traffic shapes in logical time:
+//
+//   - Poisson: exponential inter-arrivals per stream, the steady-state
+//     shape. Gates: zero HI deadline misses, and the logical-time latency
+//     samples drained from the serving registry are accepted by
+//     timing::analyze() and yield a pWCET curve over the tail.
+//   - Bursty: an on/off LO stream firing far past its declared rate
+//     against a conforming HI stream. Gates: overload sheds LO requests
+//     only (the HI shed counter stays zero), HI deadlines all hold, and
+//     every shed is an audit-log entry.
+//
+// Determinism gates: the serving decision digest and the rendered evidence
+// block are byte-identical across repeated runs and across batch_workers
+// in {1, 2, 4} — serving adds streaming without giving up the offline
+// batch path's reproducibility.
+//
+// Sustained throughput (requests/s, wall clock) is reported for the
+// record; no verdict hangs on it (logical-time behaviour is the product).
+//
+// Usage: bench_e20_serving [--smoke]   (--smoke shrinks the load for CI
+// label `bench-smoke`).
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "obs/snapshot.hpp"
+#include "serve/server.hpp"
+#include "serve/traffic.hpp"
+#include "timing/mbpta.hpp"
+
+namespace {
+
+using namespace sx;  // NOLINT
+
+core::PipelineConfig pipe_cfg(std::size_t workers) {
+  core::PipelineConfig cfg;
+  cfg.criticality = trace::Criticality::kSil2;
+  cfg.batch_workers = workers;
+  cfg.enable_telemetry = false;  // the serving registry is the evidence here
+  return cfg;
+}
+
+serve::ServerConfig server_cfg() {
+  serve::ServerConfig cfg;
+  cfg.streams = {
+      serve::StreamSpec{.name = "hazard",
+                        .criticality = trace::Criticality::kSil3,
+                        .period = 40,
+                        .deadline = 40,
+                        .service_lo = 4,
+                        .service_hi = 8},
+      serve::StreamSpec{.name = "infotainment",
+                        .criticality = trace::Criticality::kSil1,
+                        .period = 16,
+                        .deadline = 16,
+                        .service_lo = 2},
+  };
+  cfg.batch_max = 4;
+  cfg.batch_window = 4;
+  cfg.dispatch_overhead = 1;
+  cfg.queue_capacity = 256;
+  cfg.telemetry.sample_capacity = 65536;  // keep every latency observation
+  return cfg;
+}
+
+struct RunResult {
+  std::uint64_t requests = 0;
+  std::uint64_t served = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t hi_miss = 0;
+  std::uint64_t hazard_shed = 0;
+  std::uint64_t mode_switches = 0;
+  std::uint64_t audit_sheds = 0;
+  double wall_seconds = 0.0;
+  std::string digest;
+  std::string block;
+  std::vector<double> latencies;
+};
+
+RunResult run_once(const serve::ArrivalTrace& trace,
+                   std::span<const tensor::Tensor> pool,
+                   std::size_t workers) {
+  core::CertifiablePipeline pipe{bench::trained_mlp(), bench::road_data(),
+                                 pipe_cfg(workers)};
+  serve::Server server{pipe, server_cfg()};
+  const auto t0 = std::chrono::steady_clock::now();
+  server.run_trace(trace, pool);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.requests = server.requests();
+  r.served = server.served_count();
+  r.shed = server.shed_count();
+  r.hi_miss = server.hi_deadline_misses();
+  r.mode_switches = server.mode_switches();
+  r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.digest = server.decision_digest();
+  r.block = serve::render_serving_block(server);
+  const auto snap = obs::RegistrySnapshot::capture(server.telemetry());
+  r.hazard_shed = snap.counter_value("sx_serve_stream_hazard_shed");
+  for (const trace::AuditEntry& e : server.audit().entries())
+    if (e.action == "shed") ++r.audit_sheds;
+  r.latencies.resize(server.served_count());
+  const std::size_t n = server.telemetry().drain_samples(
+      server.telemetry().histogram("sx_serve_latency"), r.latencies);
+  r.latencies.resize(n);
+  return r;
+}
+
+bool pwcet_gate(const char* label, std::vector<double>& samples,
+                bench::JsonResult& json, const std::string& prefix) {
+  if (samples.size() < 200) {
+    std::cout << label << ": only " << samples.size()
+              << " latency samples (need >= 200 for MBPTA)\n";
+    return false;
+  }
+  timing::MbptaConfig mc;
+  mc.require_iid = false;  // deployment samples; the verdict is reported
+  const timing::MbptaReport report = timing::analyze(samples, mc);
+  std::cout << "--- " << label << " tail latency (logical units) ---\n"
+            << report.to_text() << "\n";
+  json.add(prefix + "_latency_hwm", report.observed_hwm);
+  json.add(prefix + "_latency_mean", report.mean);
+  if (!report.curve.empty()) {
+    const timing::PwcetPoint& tail = report.curve.back();
+    json.add(prefix + "_pwcet_exceedance", tail.exceedance);
+    json.add(prefix + "_pwcet_bound", tail.bound);
+  }
+  return report.observed_hwm > 0.0 && !report.curve.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  bench::print_header(
+      "E20: deterministic serving front-end",
+      "Does streaming with mixed-criticality admission sustain load while "
+      "shedding only low-SIL traffic, keeping every HI deadline, and "
+      "staying byte-reproducible at any worker count?");
+
+  const std::uint64_t horizon = smoke ? 4000 : 40000;
+  std::vector<tensor::Tensor> pool;
+  for (std::size_t i = 0; i < 16; ++i)
+    pool.push_back(bench::road_data().samples[i].input);
+
+  const serve::ArrivalTrace poisson = serve::make_poisson_trace(
+      {serve::PoissonStreamTraffic{.mean_gap = 45.0},
+       serve::PoissonStreamTraffic{.mean_gap = 18.0}},
+      serve::TrafficConfig{.horizon = horizon, .payloads = 16, .seed = 7});
+  const serve::ArrivalTrace bursty = serve::make_bursty_trace(
+      {serve::BurstyStreamTraffic{.burst_len = 1, .gap_between = 40},
+       serve::BurstyStreamTraffic{.burst_len = 24,
+                                  .gap_in_burst = 1,
+                                  .gap_between = 400,
+                                  .jitter = 16}},
+      serve::TrafficConfig{
+          .horizon = horizon * 2, .payloads = 16, .seed = 13});
+
+  bench::JsonResult json("E20", smoke);
+  bool all_ok = true;
+
+  // --- Poisson steady state -------------------------------------------
+  RunResult p = run_once(poisson, pool, /*workers=*/4);
+  const double p_rps =
+      p.wall_seconds > 0.0 ? static_cast<double>(p.served) / p.wall_seconds
+                           : 0.0;
+  std::cout << "Poisson:  " << p.requests << " requests, " << p.served
+            << " served, " << p.shed << " shed, " << p.hi_miss
+            << " HI misses; sustained " << static_cast<std::uint64_t>(p_rps)
+            << " req/s (wall)\n";
+  json.add("poisson_requests", static_cast<double>(p.requests));
+  json.add("poisson_served", static_cast<double>(p.served));
+  json.add("poisson_shed", static_cast<double>(p.shed));
+  json.add("poisson_hi_miss", static_cast<double>(p.hi_miss));
+  json.add("poisson_req_per_s", p_rps);
+
+  bench::print_verdict(p.hi_miss == 0,
+                       "Poisson: zero HI deadline misses under admitted load");
+  all_ok = all_ok && p.hi_miss == 0;
+
+  const bool p_pwcet = pwcet_gate("Poisson", p.latencies, json, "poisson");
+  bench::print_verdict(p_pwcet,
+                       "Poisson: drained serving latencies yield a pWCET "
+                       "curve (timing::analyze)");
+  all_ok = all_ok && p_pwcet;
+
+  // --- Bursty overload -------------------------------------------------
+  RunResult b = run_once(bursty, pool, /*workers=*/4);
+  const double b_rps =
+      b.wall_seconds > 0.0 ? static_cast<double>(b.served) / b.wall_seconds
+                           : 0.0;
+  std::cout << "Bursty:   " << b.requests << " requests, " << b.served
+            << " served, " << b.shed << " shed, " << b.hi_miss
+            << " HI misses; sustained " << static_cast<std::uint64_t>(b_rps)
+            << " req/s (wall)\n";
+  json.add("bursty_requests", static_cast<double>(b.requests));
+  json.add("bursty_served", static_cast<double>(b.served));
+  json.add("bursty_shed", static_cast<double>(b.shed));
+  json.add("bursty_hi_miss", static_cast<double>(b.hi_miss));
+  json.add("bursty_mode_switches", static_cast<double>(b.mode_switches));
+  json.add("bursty_req_per_s", b_rps);
+
+  const bool simplex_ok = b.shed > 0 && b.hazard_shed == 0 &&
+                          b.hi_miss == 0 && b.audit_sheds == b.shed;
+  bench::print_verdict(
+      simplex_ok,
+      "Bursty: overload sheds LO only (" + std::to_string(b.shed) +
+          " shed, all audited), HI stream unshed with zero misses");
+  all_ok = all_ok && simplex_ok;
+
+  const bool b_pwcet = pwcet_gate("Bursty", b.latencies, json, "bursty");
+  bench::print_verdict(b_pwcet,
+                       "Bursty: drained serving latencies yield a pWCET "
+                       "curve (timing::analyze)");
+  all_ok = all_ok && b_pwcet;
+
+  // --- Reproducibility: repeat run and worker counts -------------------
+  bool identical = true;
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    const RunResult r = run_once(poisson, pool, workers);
+    identical = identical && r.digest == p.digest && r.block == p.block;
+  }
+  bench::print_verdict(identical,
+                       "decision digest and evidence block byte-identical "
+                       "across reruns and batch_workers in {1,2,4}");
+  all_ok = all_ok && identical;
+  json.add("identity_across_workers", identical ? 1.0 : 0.0);
+
+  if (!json.write(all_ok)) all_ok = false;
+  std::cout << (all_ok ? "\nE20 PASS\n" : "\nE20 FAIL\n");
+  return all_ok ? 0 : 1;
+}

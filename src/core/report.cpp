@@ -371,6 +371,21 @@ EvidenceItem make_fleet_evidence(std::string_view summary,
                       os.str()};
 }
 
+EvidenceItem make_serving_evidence(std::string_view summary,
+                                   std::string_view serving_block) {
+  std::ostringstream os;
+  os << summary;
+  if (!summary.empty() && summary.back() != '\n') os << '\n';
+  // The marker pair lets tools/sxmetrics --serving recover the admission /
+  // traffic / deadline verdict from a serialized report without parsing
+  // the surrounding prose.
+  os << "# BEGIN SX_SERVING_EVIDENCE\n" << serving_block;
+  if (!serving_block.empty() && serving_block.back() != '\n') os << '\n';
+  os << "# END SX_SERVING_EVIDENCE\n";
+  return EvidenceItem{"Serving front-end (mixed-criticality admission)",
+                      os.str()};
+}
+
 EvidenceItem make_observability_evidence(const CertifiablePipeline& pipeline) {
   std::ostringstream os;
   const obs::Registry* reg = pipeline.telemetry();

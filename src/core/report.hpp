@@ -108,6 +108,17 @@ EvidenceItem make_scenario_evidence(std::string_view summary,
 EvidenceItem make_fleet_evidence(std::string_view summary,
                                  std::string_view fleet_block);
 
+/// Evidence wrapping a serving deployment (see serve/server.hpp): a
+/// human-readable summary followed by the machine-readable admission /
+/// traffic / deadline lines between `# BEGIN SX_SERVING_EVIDENCE` /
+/// `# END SX_SERVING_EVIDENCE` markers, so tools/sxmetrics --serving can
+/// recover the serving verdict from a serialized certification report.
+/// Takes the pre-rendered strings (serve::summary /
+/// serve::render_serving_block) to keep sx_core free of a dependency on
+/// sx_serve.
+EvidenceItem make_serving_evidence(std::string_view summary,
+                                   std::string_view serving_block);
+
 /// Telemetry snapshot of a deployed pipeline: the Prometheus-style metric
 /// exposition (between `# BEGIN SX_METRICS` / `# END SX_METRICS` markers,
 /// recoverable offline by tools/sxmetrics) and the flight-recorder stage

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/saturate.hpp"
+
 namespace sx::rt {
 
 void McTaskSet::add(McTask t) {
@@ -42,15 +44,21 @@ double McTaskSet::utilization(Mode m) const noexcept {
 
 namespace {
 
-/// Generic fixed-point RTA over a filtered interference set.
+/// Generic fixed-point RTA over a filtered interference set. All
+/// arithmetic saturates: a saturated sum means the true value exceeds
+/// uint64 range (hence any deadline), so the task is refused instead of
+/// letting a wrapped intermediate fabricate convergence below the
+/// deadline.
 std::optional<std::uint64_t> fixed_point(
     std::uint64_t own_c, std::uint64_t deadline,
     const std::vector<std::pair<std::uint64_t, std::uint64_t>>& hp) {
   std::uint64_t r = own_c;
   for (int iter = 0; iter < 1000; ++iter) {
     std::uint64_t next = own_c;
-    for (const auto& [period, c] : hp)
-      next += ((r + period - 1) / period) * c;
+    for (const auto& [period, c] : hp) {
+      next = util::sat_add(next, util::sat_mul(util::ceil_div(r, period), c));
+      if (next == util::kSatMax) return std::nullopt;
+    }
     if (next == r) return r <= deadline ? std::optional(r) : std::nullopt;
     r = next;
     if (r > deadline) return std::nullopt;
@@ -68,12 +76,14 @@ McRtaResult amc_rtb(const McTaskSet& ts) {
   res.transition.resize(n);
   res.schedulable = true;
 
-  // LO mode: everyone, C(LO).
+  // LO mode: everyone, C(LO). Equal-priority tasks (other than self)
+  // interfere: a tie may be broken either way at runtime, so a sound
+  // verdict charges a full job per release of every peer.
   for (std::size_t i = 0; i < n; ++i) {
     const McTask& ti = ts.tasks[i];
     std::vector<std::pair<std::uint64_t, std::uint64_t>> hp;
     for (std::size_t j = 0; j < n; ++j)
-      if (j != i && ts.tasks[j].priority > ti.priority)
+      if (j != i && ts.tasks[j].priority >= ti.priority)
         hp.emplace_back(ts.tasks[j].period, ts.tasks[j].wcet_lo);
     res.lo[i] = fixed_point(ti.wcet_lo, ti.deadline, hp);
     if (!res.lo[i]) res.schedulable = false;
@@ -86,7 +96,7 @@ McRtaResult amc_rtb(const McTaskSet& ts) {
     // Steady HI: interference from HI tasks at C(HI).
     std::vector<std::pair<std::uint64_t, std::uint64_t>> hp_hi;
     for (std::size_t j = 0; j < n; ++j)
-      if (j != i && ts.tasks[j].priority > ti.priority &&
+      if (j != i && ts.tasks[j].priority >= ti.priority &&
           ts.tasks[j].high_criticality)
         hp_hi.emplace_back(ts.tasks[j].period, ts.tasks[j].wcet_hi);
     res.hi[i] = fixed_point(ti.wcet_hi, ti.deadline, hp_hi);
@@ -99,17 +109,27 @@ McRtaResult amc_rtb(const McTaskSet& ts) {
     const std::uint64_t r_lo = *res.lo[i];
     std::uint64_t r = ti.wcet_hi;
     std::optional<std::uint64_t> out;
-    for (int iter = 0; iter < 1000; ++iter) {
+    bool saturated = false;
+    for (int iter = 0; iter < 1000 && !saturated; ++iter) {
       std::uint64_t next = ti.wcet_hi;
       for (std::size_t j = 0; j < n; ++j) {
-        if (j == i || ts.tasks[j].priority <= ti.priority) continue;
+        if (j == i || ts.tasks[j].priority < ti.priority) continue;
         const McTask& tj = ts.tasks[j];
         if (tj.high_criticality) {
-          next += ((r + tj.period - 1) / tj.period) * tj.wcet_hi;
+          next = util::sat_add(
+              next,
+              util::sat_mul(util::ceil_div(r, tj.period), tj.wcet_hi));
         } else {
-          next += ((r_lo + tj.period - 1) / tj.period) * tj.wcet_lo;
+          next = util::sat_add(
+              next,
+              util::sat_mul(util::ceil_div(r_lo, tj.period), tj.wcet_lo));
+        }
+        if (next == util::kSatMax) {
+          saturated = true;  // beyond any deadline: refuse, never wrap
+          break;
         }
       }
+      if (saturated) break;
       if (next == r) {
         if (r <= ti.deadline) out = r;
         break;
@@ -226,6 +246,15 @@ McSimResult simulate_mc(const McTaskSet& ts, const McSimConfig& cfg,
       ready = std::move(survivors);
     }
     release_due(now);
+  }
+  // End-of-horizon flush: jobs still pending whose absolute deadline lies
+  // *inside* the horizon have already missed — dropping them silently
+  // would make the miss-rate evidence optimistic. Jobs whose deadline is
+  // at or past the horizon are censored (unknown outcome), not misses.
+  for (const McJob& job : ready) {
+    if (job.abs_deadline >= cfg.duration) continue;
+    if (ts.tasks[job.task].high_criticality) ++result.hi_misses;
+    else ++result.lo_misses;
   }
   return result;
 }

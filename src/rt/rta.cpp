@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/saturate.hpp"
+
 namespace sx::rt {
 
 void TaskSet::assign_deadline_monotonic() noexcept {
@@ -25,15 +27,28 @@ RtaResult response_time_analysis(const TaskSet& ts) {
     const Task& ti = ts.tasks[i];
     std::uint64_t r = ti.wcet;
     bool converged = false;
+    bool saturated = false;
     // Fixed-point iteration; bail out once R exceeds the deadline.
-    for (int iter = 0; iter < 1000; ++iter) {
+    for (int iter = 0; iter < 1000 && !saturated; ++iter) {
       std::uint64_t next = ti.wcet;
       for (std::size_t j = 0; j < ts.tasks.size(); ++j) {
         if (j == i) continue;
         const Task& tj = ts.tasks[j];
-        if (tj.priority <= ti.priority) continue;
-        next += ((r + tj.period - 1) / tj.period) * tj.wcet;
+        // Equal-priority tasks interfere too: under FP scheduling a tie
+        // may be broken either way, so each such task can delay ti by a
+        // full job per release. Only strictly lower priorities are exempt.
+        if (tj.priority < ti.priority) continue;
+        next = util::sat_add(
+            next, util::sat_mul(util::ceil_div(r, tj.period), tj.wcet));
+        if (next == util::kSatMax) {
+          // Saturated interference: the true value exceeds uint64 range,
+          // hence any representable deadline. Refuse as non-schedulable
+          // instead of letting a wrapped sum fabricate convergence.
+          saturated = true;
+          break;
+        }
       }
+      if (saturated) break;
       if (next == r) {
         converged = true;
         break;

@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "obs/registry.hpp"
+#include "util/saturate.hpp"
 #include "util/status.hpp"
 
 namespace sx::safety {
@@ -24,9 +25,11 @@ class Watchdog {
   }
 
   /// Arms the watchdog: the task must kick() before `budget` time units
-  /// elapse from `now`.
+  /// elapse from `now`. The deadline saturates at UINT64_MAX — a budget
+  /// reaching past the end of logical time means "never expires"; wrapping
+  /// to a past deadline would turn every kick into a spurious miss.
   void arm(std::uint64_t now, std::uint64_t budget) noexcept {
-    deadline_ = now + budget;
+    deadline_ = util::sat_add(now, budget);
     armed_ = true;
   }
 

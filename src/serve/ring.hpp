@@ -1,0 +1,95 @@
+// Bounded lock-free request ring (serving ingress, pillar 4).
+//
+// A fixed-capacity multi-producer/single-consumer queue in the style of
+// Vyukov's bounded MPMC ring: every cell carries a sequence number, so
+// producers claim slots with one CAS and the consumer observes completed
+// writes through an acquire load — no locks, no allocation after
+// construction, full-queue back-pressure instead of blocking. This is the
+// only structure request ingress threads touch; everything behind it runs
+// on the deterministic serving loop.
+//
+// Capacity is fixed at construction (rounded up to a power of two) and all
+// cell storage is owned by one vector allocated there — the hot-path API
+// (try_push / try_pop) is noexcept and allocation-free, matching the FUSA
+// contract of the rest of the runtime tree.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sx::serve {
+
+template <typename T>
+class BoundedRing {
+ public:
+  /// Allocates every cell up front. `capacity` is rounded up to the next
+  /// power of two (minimum 2); this is configuration-time code and may
+  /// throw on allocation failure.
+  explicit BoundedRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    cells_ = std::vector<Cell>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < cap; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  BoundedRing(const BoundedRing&) = delete;
+  BoundedRing& operator=(const BoundedRing&) = delete;
+
+  /// Multi-producer enqueue. False when the ring is full (back-pressure:
+  /// the caller decides whether that is a shed or a fault).
+  bool try_push(const T& value) noexcept {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::ptrdiff_t diff =
+          static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed))
+          break;
+      } else if (diff < 0) {
+        return false;  // full: the slot still holds an unconsumed value
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    Cell& cell = cells_[pos & mask_];
+    cell.value = value;
+    cell.seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Single-consumer dequeue. False when the ring is empty.
+  bool try_pop(T& out) noexcept {
+    const std::size_t pos = tail_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    const std::ptrdiff_t diff = static_cast<std::ptrdiff_t>(seq) -
+                                static_cast<std::ptrdiff_t>(pos + 1);
+    if (diff < 0) return false;  // empty: producer has not published yet
+    out = cell.value;
+    cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+    tail_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  std::vector<Cell> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< producer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< consumer cursor
+};
+
+}  // namespace sx::serve

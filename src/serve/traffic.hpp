@@ -1,0 +1,81 @@
+// Deterministic arrival traces for the serving front-end.
+//
+// Serving experiments and acceptance gates replay *traces*: explicit
+// (seq, stream, arrival, payload) sequences in logical time. The two
+// generators here — Poisson (exponential inter-arrivals) and bursty
+// (on/off phases) — are seeded through util::Xoshiro256, so a trace is a
+// pure function of its configuration: the byte-deterministic serialize()
+// form is the identity the test suite pins.
+//
+// split_at_gaps() cuts a trace at idle boundaries (inter-arrival gaps the
+// server is guaranteed to drain through) so the fleet evidence plane can
+// replay slices in separate processes and merge their telemetry snapshots
+// back into the single-process bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sx::serve {
+
+/// One serving request in logical time. `payload` indexes the deployer's
+/// pre-staged input pool; the trace never carries tensor data itself.
+struct Request {
+  std::uint64_t seq = 0;      ///< global arrival order (ties: stream order)
+  std::uint32_t stream = 0;   ///< index into ServerConfig::streams
+  std::uint32_t payload = 0;  ///< index into the pre-staged input pool
+  std::uint64_t arrival = 0;  ///< logical arrival time
+};
+
+struct ArrivalTrace {
+  std::vector<Request> requests;  ///< sorted by (arrival, stream), seq 0..n-1
+  std::uint64_t horizon = 0;      ///< end of the observation window
+};
+
+/// Poisson traffic: per-stream exponential inter-arrival times with the
+/// given mean gap (logical units, >= 1 after rounding).
+struct PoissonStreamTraffic {
+  double mean_gap = 10.0;
+};
+
+/// Bursty on/off traffic: bursts of `burst_len` requests spaced
+/// `gap_in_burst` apart, with `gap_between` from the start of one burst to
+/// the start of the next (jittered by the seeded generator when
+/// `jitter` > 0).
+struct BurstyStreamTraffic {
+  std::uint64_t burst_len = 4;
+  std::uint64_t gap_in_burst = 1;
+  std::uint64_t gap_between = 64;
+  std::uint64_t jitter = 0;
+};
+
+struct TrafficConfig {
+  std::uint64_t horizon = 1024;  ///< arrivals strictly before this time
+  std::uint32_t payloads = 16;   ///< payload indices drawn from [0,payloads)
+  std::uint64_t seed = 1;
+};
+
+/// One Poisson arrival process per stream (streams[i] drives stream i),
+/// merged and sequenced deterministically.
+ArrivalTrace make_poisson_trace(const std::vector<PoissonStreamTraffic>& streams,
+                                const TrafficConfig& cfg);
+
+/// One on/off arrival process per stream, merged and sequenced
+/// deterministically.
+ArrivalTrace make_bursty_trace(const std::vector<BurstyStreamTraffic>& streams,
+                               const TrafficConfig& cfg);
+
+/// Deterministic text form (schema "sx-serving-trace/1"): equal traces
+/// serialize byte-identically — the reproducibility pin for trace replay.
+std::string serialize_trace(const ArrivalTrace& trace);
+
+/// Splits `trace` wherever consecutive arrivals are at least `min_gap`
+/// apart, preserving absolute arrival times and global sequence numbers.
+/// With `min_gap` larger than the server's worst-case drain time, every
+/// slice starts from an idle server, so per-slice telemetry snapshots merge
+/// byte-identically to the unsplit run.
+std::vector<ArrivalTrace> split_at_gaps(const ArrivalTrace& trace,
+                                        std::uint64_t min_gap);
+
+}  // namespace sx::serve

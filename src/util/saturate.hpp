@@ -1,0 +1,40 @@
+// Saturating uint64 arithmetic for timing analyses.
+//
+// The fixed-point iterations of the response-time analyses (rt/rta.cpp,
+// rt/mixed_criticality.cpp) and the watchdog deadline arithmetic
+// (safety/watchdog.hpp) operate on abstract logical-time values supplied
+// by the deployer. Near-max WCETs, periods or budgets must not wrap:
+// a wrapped interference term can fabricate convergence *below* the
+// deadline and certify an unschedulable task, and a wrapped watchdog
+// deadline turns every kick into a spurious miss. These helpers clamp at
+// UINT64_MAX instead; callers treat a saturated analysis value as
+// "exceeds any deadline" (refuse as non-schedulable) and a saturated
+// watchdog deadline as "never expires".
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sx::util {
+
+inline constexpr std::uint64_t kSatMax =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// a + b clamped at UINT64_MAX.
+constexpr std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) noexcept {
+  return a > kSatMax - b ? kSatMax : a + b;
+}
+
+/// a * b clamped at UINT64_MAX.
+constexpr std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  return a > kSatMax / b ? kSatMax : a * b;
+}
+
+/// ceil(a / b) without the overflowing `a + b - 1` intermediate.
+/// Precondition: b > 0.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return a == 0 ? 0 : (a - 1) / b + 1;
+}
+
+}  // namespace sx::util

@@ -1,0 +1,58 @@
+// Seeded FUSA-violation fixture for sxlint coverage of src/serve/.
+// NEVER compiled or linked — only scanned by the `sxlint_serve_fixture`
+// CTest entry (WILL_FAIL). The `serve/` directory component makes this
+// file count as runtime code, the same contract src/serve/*.cpp are held
+// to: no console I/O, no banned headers, no raw heap expressions, no
+// unbounded recursion, no throw from noexcept serving paths.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+namespace fixture {
+
+struct Request {
+  unsigned long long seq;
+  unsigned long long arrival;
+};
+
+// console-io: per-request chatter from inside the dispatch loop.
+void report_shed(const Request& r) {
+  std::cout << "shed request " << r.seq << "\n";
+  printf("shed %llu\n", r.seq);
+}
+
+// heap-expr: growing the pending backlog with raw new/delete instead of a
+// queue sized at deploy time.
+Request* grow_backlog(unsigned n) { return new Request[n]; }
+void drop_backlog(Request* backlog) { delete[] backlog; }
+
+// banned-call: ad-hoc jitter in the batch window close (all serving time
+// is logical; traffic randomness goes through the seeded generators).
+unsigned long long jitter_close(unsigned long long close) {
+  return close + rand() % 3;
+}
+
+// recursion: unbounded drain walk without an explicit bound waiver.
+unsigned drain_depth(const Request* chain, unsigned at) {
+  if (chain[at].seq == at) return 0;
+  return 1 + drain_depth(chain, at + 1);
+}
+
+// throw-in-noexcept: an ingress hook that can actually throw — the ring
+// submit path must stay allocation- and exception-free.
+unsigned long long submit_at(const std::unique_ptr<Request[]>& slots,
+                             unsigned i) noexcept {
+  if (slots == nullptr) throw i;
+  return slots[i].arrival;
+}
+
+// A waived finding: the marker must suppress this one.
+std::unique_ptr<Request> deploy_time_slot() {
+  return std::make_unique<Request>();  // sxlint: allow(hot-path-alloc)
+}
+
+// Not findings: identifiers and string literals mentioning banned calls.
+void printf_like_name() {}
+const char* kDoc = "never printf from a dispatch window";
+
+}  // namespace fixture

@@ -79,6 +79,44 @@ TEST(AmcRtb, TransitionBoundDominatesWhenLoInterferes) {
   EXPECT_TRUE(r.schedulable);
 }
 
+TEST(AmcRtb, EqualPriorityInterferenceRefusesOverload) {
+  // Regression: two HI tasks with identical user-set priorities. Each fits
+  // alone at C(HI), but a runtime tie-break can run either first, so each
+  // must charge the other's C(HI): 6 + 6 = 12 > 10 in HI mode. The old
+  // analysis skipped equal-priority interference and certified both.
+  McTaskSet ts;
+  ts.add(McTask{.name = "a", .period = 10, .deadline = 10, .priority = 1,
+                .high_criticality = true, .wcet_lo = 4, .wcet_hi = 6});
+  ts.add(McTask{.name = "b", .period = 10, .deadline = 10, .priority = 1,
+                .high_criticality = true, .wcet_lo = 4, .wcet_hi = 6});
+  const McRtaResult r = amc_rtb(ts);
+  EXPECT_FALSE(r.schedulable);
+  // LO mode still fits (4 + 4 = 8 <= 10), steady HI does not.
+  EXPECT_TRUE(r.lo[0].has_value());
+  EXPECT_FALSE(r.hi[0].has_value());
+  EXPECT_FALSE(r.hi[1].has_value());
+}
+
+TEST(AmcRtb, NearMaxBudgetsRefusedNotWrapped) {
+  // Regression: fixed_point accumulated ((r + T - 1) / T) * C with
+  // wrapping uint64 arithmetic; the interferer below makes the victim's
+  // first LO-mode iterate 2^32 + 2^32 * 2^32 == 2^32 (mod 2^64) — a
+  // fabricated fixed point far below the deadline. The saturating
+  // analysis refuses the victim in every mode.
+  McTaskSet ts;
+  const std::uint64_t big = std::uint64_t{1} << 32;
+  ts.add(McTask{.name = "hp", .period = 1, .deadline = 1, .priority = 2,
+                .high_criticality = true, .wcet_lo = big, .wcet_hi = big});
+  ts.add(McTask{.name = "victim", .period = big << 8, .deadline = big << 8,
+                .priority = 1, .high_criticality = true, .wcet_lo = big,
+                .wcet_hi = big});
+  const McRtaResult r = amc_rtb(ts);
+  EXPECT_FALSE(r.schedulable);
+  EXPECT_FALSE(r.lo[1].has_value())
+      << "wrapped LO-mode interference must not certify the victim";
+  EXPECT_FALSE(r.hi[1].has_value());
+}
+
 TEST(AmcRtb, OverloadedHiModeUnschedulable) {
   McTaskSet ts;
   ts.add(McTask{.name = "hi1", .period = 10, .deadline = 10, .priority = 2,
@@ -148,6 +186,38 @@ TEST(McSim, NoReturnPolicyKeepsDroppingLo) {
       ts, McSimConfig{.duration = 200'000, .return_to_lo_on_idle = true},
       exec);
   EXPECT_GT(stay.lo_dropped, back.lo_dropped);
+}
+
+TEST(McSim, UnfinishedJobsPastDeadlineCountAsMisses) {
+  // Regression: jobs still in the ready queue when the horizon ends were
+  // dropped without a finish_job() call, so a deadline that had already
+  // passed *inside* the horizon was never counted — miss-rate evidence
+  // was optimistic. A job with 60 units of demand, a deadline at t=10 and
+  // a 50-unit horizon has missed by any account.
+  {
+    McTaskSet ts;
+    ts.add(McTask{.name = "lo", .period = 100, .deadline = 10,
+                  .high_criticality = false, .wcet_lo = 60});
+    const McSimResult r = simulate_mc(ts, McSimConfig{.duration = 50});
+    EXPECT_EQ(r.lo_misses, 1u);
+  }
+  {
+    McTaskSet ts;
+    ts.add(McTask{.name = "hi", .period = 100, .deadline = 10,
+                  .high_criticality = true, .wcet_lo = 60, .wcet_hi = 60});
+    const McSimResult r = simulate_mc(ts, McSimConfig{.duration = 50});
+    EXPECT_EQ(r.hi_misses, 1u);
+  }
+}
+
+TEST(McSim, JobsWithDeadlineBeyondHorizonAreCensoredNotMisses) {
+  // The flush must not over-count: a pending job whose absolute deadline
+  // lies at or past the horizon has an unknown outcome, not a miss.
+  McTaskSet ts;
+  ts.add(McTask{.name = "lo", .period = 100, .deadline = 90,
+                .high_criticality = false, .wcet_lo = 60});
+  const McSimResult r = simulate_mc(ts, McSimConfig{.duration = 50});
+  EXPECT_EQ(r.lo_misses, 0u);
 }
 
 TEST(McSim, RejectsEmptySet) {

@@ -68,6 +68,55 @@ TEST(Rta, OverloadedSetUnschedulable) {
               r.response_times[1].has_value());
 }
 
+TEST(Rta, EqualPriorityInterferenceRefusesOverload) {
+  // Regression: user-set equal priorities are legal, and under FP
+  // scheduling a tie may be broken either way — each task must charge the
+  // other's full job per release. The old analysis skipped equal-priority
+  // interference and optimistically certified both tasks at R = 6.
+  TaskSet ts;
+  ts.add(Task{.name = "a", .period = 10, .wcet = 6, .deadline = 10,
+              .priority = 1});
+  ts.add(Task{.name = "b", .period = 10, .wcet = 6, .deadline = 10,
+              .priority = 1});
+  const RtaResult r = response_time_analysis(ts);
+  EXPECT_FALSE(r.schedulable);
+  EXPECT_FALSE(r.response_times[0].has_value());
+  EXPECT_FALSE(r.response_times[1].has_value());
+}
+
+TEST(Rta, EqualPriorityStillSchedulableWhenFeasible) {
+  // Equal priorities that genuinely fit: a charges b (and vice versa),
+  // and both still meet their deadlines.
+  TaskSet ts;
+  ts.add(Task{.name = "a", .period = 10, .wcet = 2, .deadline = 10,
+              .priority = 1});
+  ts.add(Task{.name = "b", .period = 10, .wcet = 3, .deadline = 10,
+              .priority = 1});
+  const RtaResult r = response_time_analysis(ts);
+  ASSERT_TRUE(r.schedulable);
+  EXPECT_EQ(r.response_times[0].value(), 5u);
+  EXPECT_EQ(r.response_times[1].value(), 5u);
+}
+
+TEST(Rta, NearMaxParametersRefusedNotWrapped) {
+  // Regression: the fixed-point iteration computed
+  // ((r + period - 1) / period) * wcet with wrapping uint64 arithmetic.
+  // With the interferer below, the victim's first iterate was
+  // 2^32 + 2^32 * 2^32 == 2^32 (mod 2^64): fabricated convergence well
+  // below the deadline, certifying an unschedulable task. The saturating
+  // analysis refuses it.
+  TaskSet ts;
+  const std::uint64_t big = std::uint64_t{1} << 32;
+  ts.add(Task{.name = "hp", .period = 1, .wcet = big, .deadline = 1,
+              .priority = 2});
+  ts.add(Task{.name = "victim", .period = big << 8, .wcet = big,
+              .deadline = big << 8, .priority = 1});
+  const RtaResult r = response_time_analysis(ts);
+  EXPECT_FALSE(r.schedulable);
+  EXPECT_FALSE(r.response_times[1].has_value())
+      << "wrapped interference must not certify the victim";
+}
+
 TEST(Rta, LiuLaylandBound) {
   EXPECT_NEAR(rm_utilization_bound(1), 1.0, 1e-12);
   EXPECT_NEAR(rm_utilization_bound(2), 0.8284, 1e-3);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "safety/campaign.hpp"
 #include "safety/channel.hpp"
 #include "safety/fault.hpp"
@@ -450,6 +452,23 @@ TEST(Watchdog, LateKickIsMiss) {
 TEST(Watchdog, KickWithoutArmIsNotReady) {
   Watchdog wd;
   EXPECT_EQ(wd.kick(0), Status::kNotReady);
+}
+
+TEST(Watchdog, HugeBudgetSaturatesInsteadOfWrapping) {
+  // Regression: arm() used to compute now + budget with wrapping uint64
+  // arithmetic, so a budget reaching past the end of logical time wrapped
+  // to a *past* deadline and every kick became a spurious miss.
+  Watchdog wd;
+  const std::uint64_t now = std::numeric_limits<std::uint64_t>::max() - 5;
+  wd.arm(now, 1000);
+  EXPECT_EQ(wd.deadline(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_FALSE(wd.expired(now));
+  EXPECT_EQ(wd.kick(now + 3), Status::kOk);
+  EXPECT_EQ(wd.misses(), 0u);
+  EXPECT_EQ(wd.kicks(), 1u);
+  // A saturated deadline can still be missed only by the end of time.
+  wd.arm(now, 1000);
+  EXPECT_FALSE(wd.expired(std::numeric_limits<std::uint64_t>::max()));
 }
 
 TEST(Watchdog, ExpiryPolling) {

@@ -11,7 +11,7 @@
 //                      seeded Xoshiro256.
 //   banned-include     <iostream>/<cstdio>/<stdio.h> in runtime directories
 //                      (dl/, safety/, rt/, core/, obs/, scenario/, ir/,
-//                      fleet/):
+//                      fleet/, serve/):
 //                      global stream objects drag in static-init order
 //                      hazards and buffered IO.
 //   console-io         std::cout/std::cerr/printf/... in runtime dirs.
@@ -94,7 +94,7 @@ constexpr AllowEntry kAllowlist[] = {
 
 const std::set<std::string> kRuntimeDirs = {"dl",  "safety", "rt",   "core",
                                             "obs", "ir",     "scenario",
-                                            "fleet"};
+                                            "fleet", "serve"};
 
 const std::set<std::string> kBannedCalls = {
     "malloc", "calloc", "realloc", "free",   "alloca",

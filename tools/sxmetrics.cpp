@@ -17,6 +17,11 @@
 //                                                    mode + CPU-probe ISA
 //                                                    selection (see
 //                                                    make_kernel_backend_evidence)
+//   # BEGIN SX_SERVING_EVIDENCE ... # END SX_SERVING_EVIDENCE  serving
+//                                                    admission/traffic
+//                                                    verdict + decision
+//                                                    digest (see
+//                                                    make_serving_evidence)
 //
 // sxmetrics recovers any block from a serialized report file (or stdin)
 // so a scrape pipeline, diff tool or assessor can consume the snapshot
@@ -39,6 +44,10 @@
 //   sxmetrics --kernel report.txt    # the resolved kernel backend record
 //                                    # (requested vs deployed mode, CPU
 //                                    # probe + SX_KERNEL_ISA decision)
+//   sxmetrics --serving report.txt   # the serving front-end evidence
+//                                    # (AMC-rtb admission bounds, traffic /
+//                                    # shed / deadline counters, decision
+//                                    # digest and audit head)
 //
 // Exit status: 0 on success, 1 when the requested block is missing,
 // 2 on usage/IO errors. Host tool: iostream/filesystem are fine here.
@@ -188,8 +197,8 @@ std::string to_json(const std::string& exposition) {
 
 int usage() {
   std::cerr << "usage: sxmetrics "
-               "[--flight|--summary|--json|--scenario|--ir|--fleet|--kernel] "
-               "[report-file|-]\n";
+               "[--flight|--summary|--json|--scenario|--ir|--fleet|--kernel|"
+               "--serving] [report-file|-]\n";
   return 2;
 }
 
@@ -203,6 +212,7 @@ int main(int argc, char** argv) {
   bool ir = false;
   bool fleet = false;
   bool kernel = false;
+  bool serving = false;
   std::string path = "-";
   std::vector<std::string> args(argv + 1, argv + argc);
   for (const auto& a : args) {
@@ -220,13 +230,15 @@ int main(int argc, char** argv) {
       fleet = true;
     } else if (a == "--kernel") {
       kernel = true;
+    } else if (a == "--serving") {
+      serving = true;
     } else if (!a.empty() && a[0] == '-' && a != "-") {
       return usage();
     } else {
       path = a;
     }
   }
-  if (flight + summary + json + scenario + ir + fleet + kernel > 1)
+  if (flight + summary + json + scenario + ir + fleet + kernel + serving > 1)
     return usage();
 
   std::ostringstream buf;
@@ -258,6 +270,9 @@ int main(int argc, char** argv) {
   } else if (kernel) {
     begin = "# BEGIN SX_KERNEL_BACKEND";
     end = "# END SX_KERNEL_BACKEND";
+  } else if (serving) {
+    begin = "# BEGIN SX_SERVING_EVIDENCE";
+    end = "# END SX_SERVING_EVIDENCE";
   }
   bool found = false;
   const std::string block = extract_block(buf.str(), begin, end, found);
